@@ -1,0 +1,63 @@
+"""Ablations of the counterexample search engine (DESIGN.md section 5).
+
+Measures the two soundness-preserving prunings against their disabled
+variants, on the Theorem 5.1 workload where both matter:
+
+* value-tag pruning — enumerate data-value partitions only over nodes the
+  query can compare;
+* sibling-order dedup — skip reorderings when both sides are unordered.
+"""
+
+import pytest
+
+from repro.logic.dependencies import FD
+from repro.reductions.fd_ind import fd_ind_to_typechecking
+from repro.typecheck import Verdict, find_counterexample
+from repro.typecheck.search import SearchBudget
+
+DEPS = [FD.of({1}, {2})]
+GOAL = FD.of({2}, {1})  # not implied: a counterexample exists at size 7
+
+
+def _budget(**kwargs) -> SearchBudget:
+    return SearchBudget(max_size=7, max_value_classes=2, max_instances=50_000, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "prune,dedupe",
+    [(True, True), (False, True), (True, False), (False, False)],
+    ids=["full", "no-value-pruning", "no-order-dedup", "neither"],
+)
+def test_search_ablation(benchmark, prune, dedupe):
+    inst = fd_ind_to_typechecking(2, DEPS, GOAL)
+    res = benchmark.pedantic(
+        lambda: find_counterexample(
+            inst.query,
+            inst.tau1,
+            inst.tau2,
+            budget=_budget(prune_value_tags=prune, dedupe_sibling_order=dedupe),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    # All four configurations stay sound and find the counterexample.
+    assert res.verdict is Verdict.FAILS
+
+
+def test_ablation_work_counts():
+    """Not a timing: record how many valued inputs each configuration
+    evaluates before refuting (the prunings' effect is the shrinkage)."""
+    inst = fd_ind_to_typechecking(2, DEPS, GOAL)
+    counts = {}
+    for prune, dedupe in [(True, True), (False, True), (True, False), (False, False)]:
+        res = find_counterexample(
+            inst.query,
+            inst.tau1,
+            inst.tau2,
+            budget=_budget(prune_value_tags=prune, dedupe_sibling_order=dedupe),
+        )
+        assert res.verdict is Verdict.FAILS
+        counts[(prune, dedupe)] = res.stats.valued_trees_checked
+    assert counts[(True, True)] <= counts[(False, True)]
+    assert counts[(True, True)] <= counts[(True, False)]
+    assert counts[(True, True)] <= counts[(False, False)]

@@ -1,0 +1,62 @@
+"""Supporting-tool benchmarks: tree-automata operations and DTD inclusion
+(the data-free face of typechecking), plus the textual DTD parser."""
+
+import pytest
+
+from repro.dtd import DTD, SpecializedDTD, parse_dtd
+from repro.dtd.inclusion import dtd_included
+from repro.dtd.tree_automata import from_specialized, to_specialized
+from repro.trees import parse_tree
+
+
+@pytest.mark.parametrize("width", [2, 4, 6])
+def test_inclusion_positive(benchmark, width):
+    alts = " + ".join(f"x{i}" for i in range(width))
+    sub = DTD("a", {"a": f"({alts}).({alts})?"})
+    sup = DTD("a", {"a": f"({alts})*"})
+    assert benchmark(lambda: bool(dtd_included(sub, sup)))
+
+
+def test_inclusion_negative_with_witness(benchmark):
+    sub = DTD("a", {"a": "m*", "m": "x.y"})
+    sup = DTD("a", {"a": "m*", "m": "x"})
+    res = benchmark(lambda: dtd_included(sub, sup))
+    assert not res.included and res.witness is not None
+
+
+def test_specialized_automaton_round_trip(benchmark):
+    core = DTD("a", {"a": "b1.b2", "b1": "c", "b2": "d"})
+    spec = SpecializedDTD(core, {"b1": "b", "b2": "b"})
+
+    def round_trip():
+        return to_specialized(from_specialized(spec))
+
+    again = benchmark(round_trip)
+    assert again.is_valid(parse_tree("a(b(c), b(d))"))
+
+
+def test_automaton_product(benchmark):
+    from repro.dtd.tree_automata import UnrankedTreeAutomaton
+
+    even = UnrankedTreeAutomaton(
+        {"qa", "qb"}, {"qa": "a", "qb": "b"}, {"qa": "(qb.qb)*", "qb": "eps"}, {"qa"}
+    )
+    triples = UnrankedTreeAutomaton(
+        {"pa", "pb"}, {"pa": "a", "pb": "b"}, {"pa": "(pb.pb.pb)*", "pb": "eps"}, {"pa"}
+    )
+    product = benchmark(lambda: even.intersect(triples))
+    assert product.accepts(parse_tree("a(" + ", ".join(["b"] * 6) + ")"))
+    assert not product.accepts(parse_tree("a(b, b)"))
+
+
+MOVIE_TEXT = """
+root  -> movie*
+movie -> title.director.review
+title -> actor*
+actor -> name.(bio + award)*
+"""
+
+
+def test_dtd_parse_cost(benchmark):
+    dtd = benchmark(lambda: parse_dtd(MOVIE_TEXT))
+    assert dtd.root == "root"

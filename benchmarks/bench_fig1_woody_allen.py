@@ -1,0 +1,31 @@
+"""Figure 1 (the Woody Allen query): evaluation cost vs catalog size.
+
+Paper artifact: Example 2.3 + Figure 1.  The paper reports no numbers
+here; the series establishes that the Definition 2.2 semantics scales
+(bindings grow linearly in movies x actors; nested review queries add one
+evaluation per title).
+"""
+
+import pytest
+
+from repro.examples_data import make_catalog, movie_dtd, woody_allen_query
+from repro.ql.eval import evaluate
+
+
+@pytest.mark.parametrize("n_movies", [5, 20, 60])
+def test_figure1_evaluation(benchmark, n_movies):
+    catalog = make_catalog(n_movies, actors_per_movie=3, seed=1)
+    assert movie_dtd().is_valid(catalog)
+    query = woody_allen_query()
+
+    out = benchmark(lambda: evaluate(query, catalog))
+    assert out is not None
+    titles = [c for c in out.root.children if c.label == "title"]
+    assert titles, "Woody movies with actors must appear"
+
+
+@pytest.mark.parametrize("actors", [1, 4, 8])
+def test_figure1_actor_fanout(benchmark, actors):
+    catalog = make_catalog(10, actors_per_movie=actors, seed=2)
+    query = woody_allen_query()
+    benchmark(lambda: evaluate(query, catalog))

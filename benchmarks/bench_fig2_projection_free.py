@@ -1,0 +1,34 @@
+"""Figure 2 / Example 3.4: the projection-free query and the cost of the
+empirical projection-freeness test (Definition 3.3)."""
+
+import pytest
+
+from repro.examples_data import make_catalog, movie_dtd, projection_free_query
+from repro.ql.analysis import expand_projections, is_projection_free
+from repro.ql.eval import evaluate
+
+
+@pytest.mark.parametrize("n_movies", [5, 20, 60])
+def test_figure2_evaluation(benchmark, n_movies):
+    catalog = make_catalog(n_movies, actors_per_movie=2, seed=3)
+    query = projection_free_query()
+    benchmark(lambda: evaluate(query, catalog))
+
+
+def test_expand_projections_cost(benchmark):
+    query = projection_free_query()
+    expanded = benchmark(lambda: expand_projections(query))
+    assert expanded.construct.label == "result"
+
+
+def test_projection_freeness_check(benchmark):
+    """The Definition 3.3 gate of Theorem 3.5: compare the query against
+    its expansion on enumerated instances."""
+    query = projection_free_query()
+    dtd = movie_dtd()
+    result = benchmark.pedantic(
+        lambda: is_projection_free(query, dtd, max_size=7, max_value_classes=2, max_instances=40),
+        rounds=3,
+        iterations=1,
+    )
+    assert result

@@ -1,0 +1,51 @@
+"""Proposition 4.3 (forall-exists core): Q3SAT through typechecking with
+FO output DTDs vs direct QBF evaluation (baseline).
+
+The growth driver is the universal block: the search enumerates all 2^n
+assignments; the FO sentence is evaluated per assignment."""
+
+import pytest
+
+from repro.reductions.qsat import (
+    decisive_max_size,
+    q3sat_to_typechecking,
+    source_qbf,
+)
+from repro.typecheck import Verdict, find_counterexample
+from repro.typecheck.search import SearchBudget
+
+
+def always_true_instance(nf: int):
+    """forall x1..x{nf} exists y: (x_i | !x_i | y) for each i — true."""
+    clauses = [[i, -i, nf + 1] for i in range(1, nf + 1)]
+    return clauses, nf, 1
+
+
+@pytest.mark.parametrize("nf", [1, 2, 3])
+def test_reduction_typecheck(benchmark, nf):
+    clauses, nf_, ne = always_true_instance(nf)
+    inst = q3sat_to_typechecking(clauses, nf_, ne)
+    res = benchmark(
+        lambda: find_counterexample(
+            inst.query, inst.tau1, inst.tau2, budget=SearchBudget(max_size=decisive_max_size(inst))
+        )
+    )
+    assert res.verdict is Verdict.TYPECHECKS
+
+
+@pytest.mark.parametrize("nf", [1, 2, 3])
+def test_direct_qbf_baseline(benchmark, nf):
+    clauses, nf_, ne = always_true_instance(nf)
+    qbf = source_qbf(clauses, nf_, ne)
+    assert benchmark(qbf.is_true)
+
+
+def test_refutation(benchmark):
+    clauses = [[1, 2], [1, -2]]  # false: fails at x1 = false
+    inst = q3sat_to_typechecking(clauses, 1, 1)
+    res = benchmark(
+        lambda: find_counterexample(
+            inst.query, inst.tau1, inst.tau2, budget=SearchBudget(max_size=decisive_max_size(inst))
+        )
+    )
+    assert res.verdict is Verdict.FAILS

@@ -1,0 +1,60 @@
+"""Definition 2.1: specialized DTDs = unranked tree automata.
+
+Series: the bottom-up subset run's cost vs tree size and vs the amount of
+nondeterminism (specializations per tag), with plain-DTD validation as
+the baseline."""
+
+import pytest
+
+from repro.dtd import DTD, SpecializedDTD
+from repro.trees.data_tree import DataTree, Node
+
+
+def chain_of_pairs(n: int) -> DataTree:
+    root = Node("a")
+    for _ in range(n):
+        b1 = root.add_child(Node("b"))
+        b1.add_child(Node("c"))
+        b2 = root.add_child(Node("b"))
+        b2.add_child(Node("d"))
+    return DataTree(root)
+
+
+def alternating_spec() -> SpecializedDTD:
+    core = DTD("a", {"a": "(b1.b2)*", "b1": "c", "b2": "d"})
+    return SpecializedDTD(core, {"b1": "b", "b2": "b"})
+
+
+@pytest.mark.parametrize("pairs", [5, 20, 80])
+def test_subset_run_scaling(benchmark, pairs):
+    spec = alternating_spec()
+    tree = chain_of_pairs(pairs)
+    assert benchmark(lambda: spec.is_valid(tree))
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_nondeterminism_scaling(benchmark, width):
+    """`width` specializations of the same tag: the subset sets grow."""
+    rules = {"r": "".join(f"x{i}?" if i else f"x{i}" for i in range(width))}
+    mu = {}
+    for i in range(width):
+        rules[f"x{i}"] = "eps"
+        mu[f"x{i}"] = "x"
+    core = DTD("r", rules)
+    spec = SpecializedDTD(core, mu)
+    tree = DataTree(Node("r", [Node("x") for _ in range(width)]))
+    benchmark(lambda: spec.is_valid(tree))
+
+
+@pytest.mark.parametrize("pairs", [5, 20, 80])
+def test_plain_dtd_baseline(benchmark, pairs):
+    plain = DTD("a", {"a": "b*", "b": "c + d"})
+    tree = chain_of_pairs(pairs)
+    assert benchmark(lambda: plain.is_valid(tree))
+
+
+def test_witness_reconstruction(benchmark):
+    spec = alternating_spec()
+    tree = chain_of_pairs(20)
+    witness = benchmark(lambda: spec.witness_specialization(tree))
+    assert witness is not None and spec.dtd_prime.is_valid(witness)

@@ -1,0 +1,50 @@
+"""Theorem 3.1: typechecking vs unordered output DTDs.
+
+Series: (a) refutation cost when a counterexample exists at small size,
+(b) exhaustive-verification cost on finite instance spaces (the decisive
+case), (c) growth with the input-DTD alphabet (the |Sigma| factor of the
+CO-NEXPTIME bound)."""
+
+import pytest
+
+from conftest import copy_query, flat_dtd
+
+from repro.dtd import DTD
+from repro.typecheck import Verdict, typecheck_unordered
+from repro.typecheck.search import SearchBudget
+
+
+def test_refutation_small_counterexample(benchmark):
+    tau1 = DTD("root", {"root": "a*"})
+    tau2 = DTD("out", {"out": "item0^>=2"}, unordered=True)
+    res = benchmark(
+        lambda: typecheck_unordered(copy_query(), tau1, tau2, SearchBudget(max_size=5))
+    )
+    assert res.verdict is Verdict.FAILS
+
+
+@pytest.mark.parametrize("copies", [2, 3, 4])
+def test_exhaustive_proof_finite_space(benchmark, copies):
+    """root -> a^{1..copies}: decisive TYPECHECKS by space exhaustion."""
+    tau1 = DTD("root", {"root": "a" + ".a?" * (copies - 1)})
+    tau2 = DTD("out", {"out": "item0^>=1"}, unordered=True)
+    res = benchmark(
+        lambda: typecheck_unordered(copy_query(), tau1, tau2, SearchBudget(max_size=copies + 1))
+    )
+    assert res.verdict is Verdict.TYPECHECKS
+
+
+@pytest.mark.parametrize("sigma", [2, 4, 6])
+def test_alphabet_scaling(benchmark, sigma):
+    """Search-space growth in |Sigma| — the exponential driver of the
+    Theorem 3.1 bound."""
+    tau1 = flat_dtd(sigma)
+    from repro.ql.ast import ConstructNode, Edge, Query, Where
+
+    q = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a0")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    tau2 = DTD("out", {"out": "item^=0"}, unordered=True)
+    res = benchmark(lambda: typecheck_unordered(q, tau1, tau2, SearchBudget(max_size=4)))
+    assert res.verdict is Verdict.FAILS

@@ -1,0 +1,49 @@
+"""Theorem 3.2: the (dagger)/(double-dagger) star-free -> SL compilation
+and the full pipeline.
+
+Series: (a) compilation cost growth with the stabilization threshold (the
+EXPTIME driver: the formula has (N+1)^k disjunct candidates), (b) growth
+with the number of distinct sibling tags k, (c) end-to-end pipeline
+(relabel + compile + Theorem 3.1 search)."""
+
+import pytest
+
+from repro.automata.regex import concat, star, sym
+from repro.dtd import DTD
+from repro.typecheck import Verdict, star_free_to_sl, typecheck_starfree
+from repro.typecheck.search import SearchBudget
+from conftest import copy_query
+
+
+@pytest.mark.parametrize("threshold", [2, 6, 12])
+def test_dagger_threshold_scaling(benchmark, threshold):
+    """r = a^threshold . b: threshold drives the vector enumeration."""
+    regex = concat(*([sym("a")] * threshold + [sym("b")]))
+    phi = benchmark(lambda: star_free_to_sl(regex, ["a", "b"]))
+    assert phi.max_integer() >= threshold - 1
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_dagger_tag_count_scaling(benchmark, k):
+    """r = a0*.a1*...: the number of tags k exponentiates the table."""
+    tags = [f"a{i}" for i in range(k)]
+    regex = concat(*(star(sym(t)) for t in tags))
+    benchmark(lambda: star_free_to_sl(regex, tags))
+
+
+def test_pipeline_pass(benchmark):
+    tau1 = DTD("root", {"root": "a.a?"})
+    tau2 = DTD("out", {"out": "item0.item0*"})
+    res = benchmark(
+        lambda: typecheck_starfree(copy_query(), tau1, tau2, SearchBudget(max_size=3))
+    )
+    assert res.verdict is Verdict.TYPECHECKS
+
+
+def test_pipeline_fail(benchmark):
+    tau1 = DTD("root", {"root": "a*"})
+    tau2 = DTD("out", {"out": "item0.item0"})
+    res = benchmark(
+        lambda: typecheck_starfree(copy_query(), tau1, tau2, SearchBudget(max_size=4))
+    )
+    assert res.verdict is Verdict.FAILS

@@ -1,0 +1,68 @@
+"""Theorem 3.5: regular output DTDs — profile decomposition (Prop 3.9)
+and the Ramsey-bounded search.
+
+Series: (a) decomposition cost vs the period of the content language (the
+moduli j_l), (b) decomposition vs tag count, (c) end-to-end parity cases,
+(d) the symbolic Ramsey bound computation itself."""
+
+import pytest
+
+from repro.automata.regex import concat, star, sym
+from repro.dtd import DTD
+from repro.typecheck import Verdict, decompose_profile_language, typecheck_regular
+from repro.typecheck.bounds import thm35_bound
+from repro.typecheck.search import SearchBudget
+from conftest import copy_query
+
+
+def _power(regex, n):
+    return concat(*([regex] * n))
+
+
+@pytest.mark.parametrize("period", [2, 4, 6])
+def test_decomposition_period_scaling(benchmark, period):
+    """(a^period)*: the modulus j grows with the period."""
+    regex = star(_power(sym("a"), period))
+    vectors = benchmark(lambda: decompose_profile_language(regex, ["a"], complement=True))
+    assert vectors
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_decomposition_tag_scaling(benchmark, k):
+    tags = [f"a{i}" for i in range(k)]
+    regex = concat(*(star(_power(sym(t), 2)) for t in tags))
+    benchmark(lambda: decompose_profile_language(regex, tags, complement=True))
+
+
+def test_parity_refutation(benchmark):
+    tau1 = DTD("root", {"root": "a*"})
+    tau2 = DTD("out", {"out": "(item0.item0)*"})
+    res = benchmark(
+        lambda: typecheck_regular(
+            copy_query(), tau1, tau2, SearchBudget(max_size=4), assume_projection_free=True
+        )
+    )
+    assert res.verdict is Verdict.FAILS
+
+
+def test_parity_pass_by_construction(benchmark):
+    from repro.ql.ast import ConstructNode, Edge, Query, Where
+
+    q = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode(
+            "out", (), (ConstructNode("item", ("X",)), ConstructNode("item", ("X",)))
+        ),
+    )
+    tau1 = DTD("root", {"root": "a.a?"})
+    tau2 = DTD("out", {"out": "(item.item)*"})
+    res = benchmark(
+        lambda: typecheck_regular(q, tau1, tau2, SearchBudget(max_size=3), assume_projection_free=True)
+    )
+    assert res.verdict is Verdict.TYPECHECKS
+
+
+def test_ramsey_bound_computation(benchmark):
+    tau1 = DTD("root", {"root": "a*"})
+    bound = benchmark(lambda: thm35_bound(copy_query(), tau1, periods=[2, 2]))
+    assert bound == float("inf") or bound > 0

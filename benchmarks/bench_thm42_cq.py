@@ -1,0 +1,67 @@
+"""Theorem 4.2(ii)/(iii): CQ containment through typechecking vs the
+direct canonical-database test (baseline).
+
+Two series: plain containment (NP piece of DP), containment with
+inequalities (Pi^p_2 piece — the identification enumeration)."""
+
+import pytest
+
+from repro.logic.conjunctive import ConjunctiveQuery, contained_in, random_chain_query
+from repro.reductions.cq_containment import (
+    cq_containment_to_typechecking,
+    counterexample_size,
+)
+from repro.typecheck import Verdict, find_counterexample
+from repro.typecheck.search import SearchBudget
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_direct_containment_chains(benchmark, n):
+    q1, q2 = random_chain_query(n + 1), random_chain_query(n)
+    assert benchmark(lambda: contained_in(q1, q2))
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_reduction_refutation(benchmark, n):
+    """Non-containment found by the typechecking search."""
+    q1, q2 = random_chain_query(n), random_chain_query(n + 1)
+    inst = cq_containment_to_typechecking(q1, q2)
+    res = benchmark.pedantic(
+        lambda: find_counterexample(
+            inst.query,
+            inst.tau1,
+            inst.tau2,
+            budget=SearchBudget(
+                max_size=counterexample_size(q1),
+                max_value_classes=len(q1.variables()) + 1,
+            ),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.verdict is Verdict.FAILS
+
+
+def test_inequality_containment_direct(benchmark):
+    q1 = ConjunctiveQuery(
+        2, ("x",), (("x", "y"), ("y", "z")), inequalities=(("x", "y"), ("y", "z"))
+    )
+    q2 = ConjunctiveQuery(2, ("x",), (("x", "y"),), inequalities=(("x", "y"),))
+    assert benchmark(lambda: contained_in(q1, q2))
+
+
+def test_inequality_reduction_search(benchmark):
+    q1 = ConjunctiveQuery(2, ("x",), (("x", "y"),))
+    q2 = ConjunctiveQuery(2, ("x",), (("x", "y"),), inequalities=(("x", "y"),))
+    inst = cq_containment_to_typechecking(q1, q2)
+    res = benchmark.pedantic(
+        lambda: find_counterexample(
+            inst.query,
+            inst.tau1,
+            inst.tau2,
+            budget=SearchBudget(max_size=counterexample_size(q1), max_value_classes=2),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.verdict is Verdict.FAILS  # q1 not contained in q2

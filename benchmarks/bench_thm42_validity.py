@@ -1,0 +1,50 @@
+"""Theorem 4.2(i): the CO-NP lower bound made operational.
+
+The reduction's decisive typecheck enumerates all 2^n assignments, so the
+series exhibits exactly the exponential growth the hardness predicts; the
+direct truth-table check is the baseline."""
+
+import pytest
+
+from repro.logic.propositional import p_not, p_or, var
+from repro.reductions.validity import decisive_max_size, validity_to_typechecking
+from repro.typecheck import Verdict, typecheck
+from repro.typecheck.search import SearchBudget
+
+
+def tautology(n: int):
+    """(x0 | !x0) & ... & (x{n-1} | !x{n-1}) — valid, worst case (all
+    assignments must be checked)."""
+    from repro.logic.propositional import p_and
+
+    return p_and(*(p_or(var(f"x{i}"), p_not(var(f"x{i}"))) for i in range(n)))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_reduction_typecheck(benchmark, n):
+    inst = validity_to_typechecking(tautology(n))
+    res = benchmark(
+        lambda: typecheck(
+            inst.query, inst.tau1, inst.tau2, budget=SearchBudget(max_size=decisive_max_size(inst))
+        )
+    )
+    assert res.verdict is Verdict.TYPECHECKS
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_direct_validity_baseline(benchmark, n):
+    phi = tautology(n)
+    assert benchmark(phi.is_valid)
+
+
+def test_refutation_short_circuits(benchmark):
+    """Invalid formulas are refuted as soon as the falsifying assignment
+    is enumerated — typically much faster than full validation."""
+    phi = var("x1")  # falsified by the first assignment tried
+    inst = validity_to_typechecking(phi)
+    res = benchmark(
+        lambda: typecheck(
+            inst.query, inst.tau1, inst.tau2, budget=SearchBudget(max_size=decisive_max_size(inst))
+        )
+    )
+    assert res.verdict is Verdict.FAILS

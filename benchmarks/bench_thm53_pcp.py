@@ -1,0 +1,56 @@
+"""Theorem 5.3: PCP through recursive-QL typechecking.
+
+Series: (a) the budgeted PCP solver on solvable/unsolvable instances,
+(b) the checker battery's evaluation cost on solution encodings (the
+counterexample-verification step), (c) encoding construction."""
+
+import pytest
+
+from repro.logic.pcp import PAPER_EXAMPLE, PCPInstance
+from repro.ql.eval import evaluate
+from repro.reductions.pcp import encode_solution_tree, pcp_to_typechecking
+
+SOLUTION = [1, 3, 2, 1]
+
+
+def test_pcp_solver_paper_instance(benchmark):
+    res = benchmark(lambda: PAPER_EXAMPLE.solve(max_configurations=50_000))
+    assert res.solution == tuple(SOLUTION)
+
+
+def test_pcp_solver_unsolvable(benchmark):
+    inst = PCPInstance.of(["aa", "ab"], ["a", "b"])
+    res = benchmark(lambda: inst.solve(max_configurations=20_000, max_length=24))
+    assert res.status.value in ("no_solution", "unknown")
+
+
+def test_encoding_construction(benchmark):
+    tree = benchmark(lambda: encode_solution_tree(PAPER_EXAMPLE, SOLUTION))
+    assert tree.size() == 91
+
+
+@pytest.mark.parametrize("repeats", [1, 2, 3])
+def test_checker_evaluation_scaling(benchmark, repeats):
+    """Evaluate the full checker battery on (stacked) solution encodings —
+    longer solutions mean deeper linear trees and more recursive-path
+    matches."""
+    inst = pcp_to_typechecking(PAPER_EXAMPLE)
+    tree = encode_solution_tree(PAPER_EXAMPLE, SOLUTION * repeats)
+    assert inst.tau1.is_valid(tree)
+    out = benchmark(lambda: evaluate(inst.query, tree))
+    # A k-fold repetition of a solution is again a solution: no checker
+    # may fire (the encoding stays a counterexample).
+    assert out is not None and len(out.root.children) == 0
+
+
+def test_corrupted_encoding_detection(benchmark):
+    inst = pcp_to_typechecking(PAPER_EXAMPLE)
+
+    def run():
+        tree = encode_solution_tree(PAPER_EXAMPLE, SOLUTION)
+        letter = tree.root.children[0].children[0].children[0].children[0]
+        letter.label = "b"
+        return evaluate(inst.query, tree)
+
+    out = benchmark(run)
+    assert len(out.root.children) > 0

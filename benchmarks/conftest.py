@@ -1,0 +1,27 @@
+"""Shared workload builders for the benchmark harness.
+
+Every module regenerates one artifact of the paper (a theorem's decision
+procedure, a figure's query, a reduction) — see the per-experiment index
+in DESIGN.md and the measured results in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.dtd import DTD
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+
+
+def copy_query(n_branches: int = 1) -> Query:
+    """``root(a*) -> out(item per a)`` with ``n_branches`` construct
+    children (scales the output DTD work)."""
+    children = tuple(ConstructNode(f"item{i}", ("X",)) for i in range(n_branches))
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), children),
+    )
+
+
+def flat_dtd(width_symbols: int) -> DTD:
+    """``root -> (a0 + ... + a{k-1})*`` — alphabet-size scaling."""
+    alts = " + ".join(f"a{i}" for i in range(width_symbols))
+    return DTD("root", {"root": f"({alts})*"})

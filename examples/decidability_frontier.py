@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's decidability boundary.
+
+Walks through every region of the map: the three decidable procedures
+(Theorems 3.1, 3.2, 3.5), the hardness sources (Theorem 4.2, Prop 4.3),
+and the undecidable extensions (Theorems 5.1, 5.3) with their executable
+reductions.
+
+Run:  python examples/decidability_frontier.py
+"""
+
+from repro import (
+    DTD,
+    ConstructNode,
+    Edge,
+    Query,
+    SearchBudget,
+    SpecializedDTD,
+    UndecidableFragmentError,
+    Where,
+    typecheck,
+)
+from repro.logic.dependencies import FD
+from repro.logic.pcp import PAPER_EXAMPLE
+from repro.logic.propositional import p_implies, p_or, p_not, var
+from repro.reductions import (
+    fd_ind_to_typechecking,
+    pcp_to_typechecking,
+    validity_to_typechecking,
+)
+from repro.reductions.validity import decisive_max_size
+from repro.typecheck import Verdict, find_counterexample
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def copy_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+def main() -> None:
+    tau1 = DTD("root", {"root": "a.a?"})  # finite instance space: decisive
+
+    banner("DECIDABLE 1 — Theorem 3.1: unordered output DTDs")
+    res = typecheck(copy_query(), tau1,
+                    DTD("out", {"out": "item^>=1"}, unordered=True),
+                    budget=SearchBudget(max_size=3))
+    print(res.summary())
+
+    banner("DECIDABLE 2 — Theorem 3.2: star-free output DTDs "
+           "(compiled to SL via the (dagger) lemma)")
+    res = typecheck(copy_query(), tau1, DTD("out", {"out": "item.item*"}),
+                    budget=SearchBudget(max_size=3))
+    print(res.summary())
+
+    banner("DECIDABLE 3 — Theorem 3.5: fully regular output DTDs "
+           "(projection-free queries; Ramsey-bounded)")
+    res = typecheck(copy_query(), tau1, DTD("out", {"out": "(item.item)*"}),
+                    budget=SearchBudget(max_size=3))
+    print(res.summary())
+
+    banner("HARDNESS — Theorem 4.2(i): propositional validity embeds "
+           "(CO-NP lower bound)")
+    phi = p_implies(var("rain"), p_or(var("rain"), var("umbrella")))
+    inst = validity_to_typechecking(phi)
+    res = typecheck(inst.query, inst.tau1, inst.tau2,
+                    budget=SearchBudget(max_size=decisive_max_size(inst)))
+    print(f"formula {phi} valid?", phi.is_valid())
+    print(res.summary())
+
+    banner("UNDECIDABLE 1 — Theorem 5.1: specialization in the output DTD "
+           "(FD+IND implication embeds)")
+    inst = fd_ind_to_typechecking(2, [FD.of({1}, {2})], FD.of({2}, {1}))
+    try:
+        typecheck(inst.query, inst.tau1, inst.tau2)
+    except UndecidableFragmentError as exc:
+        print("dispatcher refuses:", exc)
+    print("\n...but refutation search still works:")
+    res = find_counterexample(inst.query, inst.tau1, inst.tau2,
+                              SearchBudget(max_size=7, max_value_classes=2))
+    print(res.summary())
+    assert res.verdict is Verdict.FAILS  # {1->2} does not imply 2->1
+
+    banner("UNDECIDABLE 2 — Theorem 5.3: recursive path expressions "
+           "(PCP embeds)")
+    inst = pcp_to_typechecking(PAPER_EXAMPLE)
+    try:
+        typecheck(inst.query, inst.tau1, inst.tau2)
+    except UndecidableFragmentError as exc:
+        print("dispatcher refuses:", exc)
+    from repro.reductions.pcp import encode_solution_tree
+    from repro.ql.eval import evaluate
+
+    print("\nthe paper's PCP solution (1,3,2,1) encodes to a counterexample:")
+    enc = encode_solution_tree(PAPER_EXAMPLE, [1, 3, 2, 1])
+    out = evaluate(inst.query, enc)
+    verdict = inst.tau2.validate(out)
+    print(f"  encoding: {enc.size()} nodes, valid input: {inst.tau1.is_valid(enc)}")
+    print(f"  checkers fired: {len(out.root.children)}  -> output valid: {bool(verdict)}")
+    print("  (no checker fires on a true solution, so the childless answer")
+    print("   violates the output DTD: typechecking fails iff PCP solvable)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: build a DTD, write a QL query, typecheck it.
+
+The 60-second tour of the library: data trees, DTD validation, query
+evaluation, and the three-valued typechecking verdict.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DTD,
+    ConstructNode,
+    Edge,
+    Query,
+    SearchBudget,
+    Where,
+    evaluate,
+    parse_tree,
+    to_term,
+    to_xml,
+    typecheck,
+)
+
+
+def main() -> None:
+    # -- 1. Documents are data trees -------------------------------------
+    doc = parse_tree("catalog(product['laptop'], product['mouse'], sale)")
+    print("document:", to_term(doc))
+    print(to_xml(doc))
+
+    # -- 2. DTDs constrain the tags --------------------------------------
+    input_dtd = DTD("catalog", {"catalog": "product*.sale?"})
+    print("\nvalid?", input_dtd.is_valid(doc))
+    assert input_dtd.is_valid(doc)
+    assert not input_dtd.is_valid(parse_tree("catalog(sale, product)"))
+
+    # -- 3. QL queries: match a pattern, construct an answer -------------
+    # "one <entry> per product, under <report>"
+    query = Query(
+        where=Where.of("catalog", [Edge.of(None, "P", "product")]),
+        construct=ConstructNode("report", (), (ConstructNode("entry", ("P",)),)),
+    )
+    output = evaluate(query, doc)
+    print("\nquery output:", to_term(output))
+
+    # -- 4. Typechecking: does EVERY valid input yield a valid output? ---
+    # Claim A: reports always have at least one entry.  FALSE: a catalog
+    # with zero products... produces no output at all (vacuously fine),
+    # but "exactly two entries" is refutable:
+    claim_two = DTD("report", {"report": "entry^=2"}, unordered=True)
+    result = typecheck(query, input_dtd, claim_two, budget=SearchBudget(max_size=5))
+    print("\nclaim 'exactly two entries':")
+    print(result.summary())
+    assert result.verdict.value == "fails"
+    print("counterexample input:", to_term(result.counterexample))
+
+    # Claim B: at most the number of products in the doc — trivially true
+    # but the instance space is infinite, so the verdict is honest:
+    claim_any = DTD("report", {"report": "entry^>=0"}, unordered=True)
+    result2 = typecheck(query, input_dtd, claim_any, budget=SearchBudget(max_size=5))
+    print("\nclaim 'any number of entries':")
+    print(result2.summary())
+
+    # Claim C: on a FINITE instance space the checker PROVES typechecking.
+    bounded_dtd = DTD("catalog", {"catalog": "product.product?"})
+    claim_one = DTD("report", {"report": "entry^>=1"}, unordered=True)
+    result3 = typecheck(query, bounded_dtd, claim_one, budget=SearchBudget(max_size=3))
+    print("\nclaim 'at least one entry' (bounded input space):")
+    print(result3.summary())
+    assert result3.verdict.value == "typechecks"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Under the hood of the typechecker: the paper's proof machinery, live.
+
+Shows (1) the (dagger) star-free -> SL compilation of Theorem 3.2,
+(2) the Proposition 3.9 profile decomposition with its moduli,
+(3) the symbolic counterexample bounds (Theorem 3.1, Corollary 4.1,
+Theorem 3.5/Ramsey), and (4) how the anytime search reports them.
+
+Run:  python examples/under_the_hood.py
+"""
+
+from repro import DTD, ConstructNode, Edge, Query, Where, parse_regex
+from repro.typecheck import (
+    decompose_profile_language,
+    star_free_to_sl,
+    star_free_to_sl_hom,
+    thm31_bound,
+    thm35_bound,
+)
+from repro.typecheck.bounds import cor41_bound
+from repro.typecheck.ramsey import ramsey_bound, ramsey_bound_variant
+from repro.typecheck.regular import profile_moduli
+
+
+def main() -> None:
+    print("== (dagger): star-free regexes become SL on profile words ==")
+    for text in ["a.a.b?", "a*.b", "~(a.b)"]:
+        phi = star_free_to_sl(parse_regex(text), ["a", "b"])
+        print(f"  {text:12s}  ->  {phi}")
+
+    print("\n== (double-dagger): repeated tags via fresh symbols ==")
+    phi = star_free_to_sl_hom(parse_regex("a.b.a?"), [("b1", "a"), ("b2", "b"), ("b3", "a")])
+    print(f"  a.b.a? over children (a,b,a) -> {phi}")
+
+    print("\n== Proposition 3.9: violation profiles of a regular rule ==")
+    for text in ["(a.a)*", "(a.a.a)*.b"]:
+        vectors = decompose_profile_language(parse_regex(text), ["a", "b"], complement=True)
+        moduli = sorted(set(profile_moduli(vectors)))
+        print(f"  not({text}) on a*b*: {len(vectors)} vector languages, moduli j_l = {moduli}")
+        for vec in vectors[:4]:
+            print("     ", " ; ".join(f"#{t}" for t in vec))
+        if len(vectors) > 4:
+            print(f"      ... and {len(vectors) - 4} more")
+
+    print("\n== The bounds that make these decision procedures ==")
+    q = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    tau1 = DTD("root", {"root": "a*"})
+    tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+    b31 = thm31_bound(q, tau1, tau2)
+    b41 = cor41_bound(q, tau1, tau2)
+    b35 = thm35_bound(q, tau1, periods=[2])
+    print(f"  Theorem 3.1 bound:   ~10^{len(str(b31)) - 1} nodes")
+    print(f"  Corollary 4.1 bound: ~10^{len(str(b41)) - 1} nodes (depth-bounded: polynomial)")
+    print(f"  Theorem 3.5 bound:   {'astronomical (Ramsey tower)' if b35 == float('inf') else b35}")
+
+    print("\n== Ramsey numbers behind Theorem 3.5 ==")
+    print(f"  R(1, 4, 3)  (pigeonhole, exact) = {ramsey_bound(1, 4, 3)}")
+    print(f"  R(2, 3, 2)  (upper bound)       = {ramsey_bound(2, 3, 2)}")
+    r3 = ramsey_bound(3, 4, 2)
+    print(f"  R(3, 4, 2)  (upper bound)       = {'inf' if r3 == float('inf') else r3}")
+    rv = ramsey_bound_variant(2, 3, 2)
+    print(f"  R'(2, 3, 2) (Corollary 3.14)    = {'inf' if rv == float('inf') else rv}")
+    print("\nThe moral of Section 3: decidability via bounds you can state")
+    print("but never enumerate — which is why the library's searcher is an")
+    print("anytime procedure with honest three-valued verdicts.")
+
+
+if __name__ == "__main__":
+    main()

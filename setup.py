@@ -1,0 +1,6 @@
+"""Legacy setup shim: required for editable installs in offline
+environments without the `wheel` package (pip --no-use-pep517 path).
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — a reproduction of *XML with Data Values: Typechecking
+Revisited* (Alon, Milo, Neven, Suciu, Vianu; PODS 2001).
+
+The library implements the paper's full stack:
+
+* **data trees** (:mod:`repro.trees`) — ordered unranked labeled trees
+  with data values, the abstraction of XML documents;
+* **DTDs** (:mod:`repro.dtd`) — regular / star-free / unordered (SL)
+  content models, specialized DTDs (= unranked regular tree languages),
+  validation and instance enumeration;
+* **QL** (:mod:`repro.ql`) — the XML-QL-style pattern/construct query
+  language with data-value comparisons, nesting and tag variables,
+  with the paper's exact semantics;
+* **typechecking** (:mod:`repro.typecheck`) — the three decision
+  procedures of Section 3 (Theorems 3.1, 3.2, 3.5), the (dagger)
+  star-free -> SL compilation, the Ramsey-bound machinery, and an
+  anytime bounded counterexample search with honest three-valued
+  verdicts;
+* **reductions** (:mod:`repro.reductions`) — the executable lower-bound
+  and undecidability constructions of Sections 4 and 5;
+* supporting logics (:mod:`repro.logic`): SL, propositional, QBF,
+  FO-over-words, conjunctive queries, FD/IND dependencies with the
+  chase, and PCP.
+
+Quickstart::
+
+    from repro import DTD, parse_tree, typecheck, SearchBudget
+    from repro.ql.ast import ConstructNode, Edge, Query, Where
+
+    tau1 = DTD("root", {"root": "a*"})
+    tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+    q = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    result = typecheck(q, tau1, tau2, budget=SearchBudget(max_size=6))
+    print(result.summary())
+"""
+
+from repro.automata import Regex, parse_regex
+from repro.dtd import DTD, SpecializedDTD
+from repro.logic.sl import SLFormula, at_least, exactly, parse_sl
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.ql.eval import evaluate, evaluate_forest
+from repro.trees import DataTree, Node, parse_tree, to_term, to_xml
+from repro.typecheck import (
+    TypecheckResult,
+    UndecidableFragmentError,
+    Verdict,
+    find_counterexample,
+    typecheck,
+)
+from repro.typecheck.search import SearchBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Condition",
+    "Const",
+    "ConstructNode",
+    "DTD",
+    "DataTree",
+    "Edge",
+    "NestedQuery",
+    "Node",
+    "Query",
+    "Regex",
+    "SLFormula",
+    "SearchBudget",
+    "SpecializedDTD",
+    "TypecheckResult",
+    "UndecidableFragmentError",
+    "Verdict",
+    "Where",
+    "at_least",
+    "evaluate",
+    "evaluate_forest",
+    "exactly",
+    "find_counterexample",
+    "parse_regex",
+    "parse_sl",
+    "parse_tree",
+    "to_term",
+    "to_xml",
+    "typecheck",
+]

@@ -1,0 +1,62 @@
+"""Finite automata and regular-expression toolkit.
+
+Everything the paper's constructions need over *words*:
+
+* a regular-expression AST with union, concatenation, star, complement and
+  intersection (:mod:`repro.automata.regex`) plus a parser for the paper's
+  syntax (``b*.c.e``, ``zero + one``, ...);
+* Thompson NFAs (:mod:`repro.automata.nfa`);
+* DFAs with determinization, minimization, boolean operations, emptiness,
+  finiteness, word enumeration, and the aperiodicity (counter-freeness)
+  tests used by the star-free machinery (:mod:`repro.automata.dfa`);
+* star-freeness checks, both syntactic and semantic
+  (:mod:`repro.automata.starfree`).
+
+All automata operate over alphabets of arbitrary string symbols (XML tags
+are multi-character).
+"""
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.regex import (
+    Complement,
+    Concat,
+    Empty,
+    Epsilon,
+    Intersect,
+    Regex,
+    RegexParseError,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    intersect,
+    parse_regex,
+    star,
+    sym,
+    union,
+)
+from repro.automata.starfree import is_star_free_expression, is_star_free_language
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "Complement",
+    "Concat",
+    "Empty",
+    "Epsilon",
+    "Intersect",
+    "Regex",
+    "RegexParseError",
+    "Star",
+    "Symbol",
+    "Union",
+    "concat",
+    "intersect",
+    "is_star_free_expression",
+    "is_star_free_language",
+    "parse_regex",
+    "star",
+    "sym",
+    "union",
+]

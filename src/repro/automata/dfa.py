@@ -1,0 +1,507 @@
+"""Deterministic finite automata.
+
+The DFA is the workhorse of the reproduction: DTD content models, QL path
+expressions, the star-free -> SL compilation, and the counterexample search
+all reduce to DFA operations.  DFAs here are *total* (every state has a
+transition on every letter of the alphabet) with integer states.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.automata.nfa import NFA
+
+
+class DFA:
+    """A total deterministic finite automaton over string symbols.
+
+    Attributes
+    ----------
+    n_states:
+        States are ``0 .. n_states - 1``.
+    start:
+        The start state.
+    accepting:
+        Frozenset of accepting states.
+    transitions:
+        ``dict[(state, symbol)] -> state``; total over ``alphabet``.
+    alphabet:
+        Frozenset of symbols.
+    """
+
+    __slots__ = ("n_states", "start", "accepting", "transitions", "alphabet")
+
+    def __init__(
+        self,
+        n_states: int,
+        start: int,
+        accepting: Iterable[int],
+        transitions: dict[tuple[int, str], int],
+        alphabet: Iterable[str],
+    ) -> None:
+        self.n_states = n_states
+        self.start = start
+        self.accepting = frozenset(accepting)
+        self.transitions = dict(transitions)
+        self.alphabet = frozenset(alphabet)
+        for s in range(n_states):
+            for a in self.alphabet:
+                if (s, a) not in self.transitions:
+                    raise ValueError(f"DFA not total: missing transition ({s}, {a!r})")
+
+    # -- basics ---------------------------------------------------------------
+
+    def step(self, state: int, symbol: str) -> int:
+        """One transition; raises KeyError for symbols outside the alphabet."""
+        return self.transitions[(state, symbol)]
+
+    def run(self, word: Iterable[str], start: Optional[int] = None) -> int:
+        """State reached after reading ``word``."""
+        state = self.start if start is None else start
+        for symbol in word:
+            state = self.transitions[(state, symbol)]
+        return state
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Membership test.  Symbols outside the alphabet reject."""
+        state = self.start
+        for symbol in word:
+            nxt = self.transitions.get((state, symbol))
+            if nxt is None:
+                return False
+            state = nxt
+        return state in self.accepting
+
+    # -- reachability ----------------------------------------------------------
+
+    def reachable_states(self) -> frozenset[int]:
+        """States reachable from the start state."""
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            s = stack.pop()
+            for a in self.alphabet:
+                t = self.transitions[(s, a)]
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> frozenset[int]:
+        """States from which some accepting state is reachable."""
+        rev: dict[int, set[int]] = {s: set() for s in range(self.n_states)}
+        for (s, _a), t in self.transitions.items():
+            rev[t].add(s)
+        seen = set(self.accepting)
+        stack = list(seen)
+        while stack:
+            s = stack.pop()
+            for p in rev[s]:
+                if p not in seen:
+                    seen.add(p)
+                    stack.append(p)
+        return frozenset(seen)
+
+    def live_states(self) -> frozenset[int]:
+        """Reachable and co-reachable states (the trim part)."""
+        return self.reachable_states() & self.coreachable_states()
+
+    # -- language predicates -----------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True iff the language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def accepts_epsilon(self) -> bool:
+        return self.start in self.accepting
+
+    def is_finite_language(self) -> bool:
+        """True iff the accepted language is finite (no cycle through a
+        live state)."""
+        live = self.live_states()
+        # Detect a cycle within the live subgraph via iterative DFS colors.
+        color: dict[int, int] = {}  # 0 grey, 1 black
+        for root in live:
+            if root in color:
+                continue
+            stack: list[tuple[int, Iterator[int]]] = [
+                (root, iter([self.transitions[(root, a)] for a in self.alphabet]))
+            ]
+            color[root] = 0
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in live:
+                        continue
+                    c = color.get(succ)
+                    if c == 0:
+                        return False
+                    if c is None:
+                        color[succ] = 0
+                        stack.append(
+                            (succ, iter([self.transitions[(succ, a)] for a in self.alphabet]))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = 1
+                    stack.pop()
+        return True
+
+    def shortest_word(self) -> Optional[tuple[str, ...]]:
+        """A shortest accepted word, or ``None`` if the language is empty.
+        Ties broken by sorted symbol order (shortlex)."""
+        if self.start in self.accepting:
+            return ()
+        parent: dict[int, tuple[int, str]] = {}
+        queue = deque([self.start])
+        seen = {self.start}
+        order = sorted(self.alphabet)
+        while queue:
+            s = queue.popleft()
+            for a in order:
+                t = self.transitions[(s, a)]
+                if t in seen:
+                    continue
+                seen.add(t)
+                parent[t] = (s, a)
+                if t in self.accepting:
+                    out: list[str] = []
+                    cur = t
+                    while cur != self.start:
+                        p, sym = parent[cur]
+                        out.append(sym)
+                        cur = p
+                    return tuple(reversed(out))
+                queue.append(t)
+        return None
+
+    def iter_words(self, max_length: Optional[int] = None) -> Iterator[tuple[str, ...]]:
+        """Yield accepted words in shortlex order.
+
+        ``max_length`` bounds the enumeration; for infinite languages it is
+        required (otherwise the generator never terminates past the longest
+        prefix tree level — pass a bound!).
+        """
+        order = sorted(self.alphabet)
+        coreach = self.coreachable_states()
+        level: list[tuple[int, tuple[str, ...]]] = (
+            [(self.start, ())] if self.start in coreach else []
+        )
+        length = 0
+        while level and (max_length is None or length <= max_length):
+            for state, word in level:
+                if state in self.accepting:
+                    yield word
+            if max_length is not None and length == max_length:
+                return
+            nxt: list[tuple[int, tuple[str, ...]]] = []
+            for state, word in level:
+                for a in order:
+                    t = self.transitions[(state, a)]
+                    if t in coreach:
+                        nxt.append((t, word + (a,)))
+            level = nxt
+            length += 1
+
+    def count_words(self, length: int) -> int:
+        """Number of accepted words of exactly ``length`` (transfer-matrix
+        style dynamic programming)."""
+        counts = [0] * self.n_states
+        counts[self.start] = 1
+        for _ in range(length):
+            nxt = [0] * self.n_states
+            for s, c in enumerate(counts):
+                if not c:
+                    continue
+                for a in self.alphabet:
+                    nxt[self.transitions[(s, a)]] += c
+            counts = nxt
+        return sum(counts[s] for s in self.accepting)
+
+    # -- boolean operations ---------------------------------------------------
+
+    def complement(self) -> "DFA":
+        """Language complement relative to ``alphabet*``."""
+        return DFA(
+            self.n_states,
+            self.start,
+            frozenset(range(self.n_states)) - self.accepting,
+            self.transitions,
+            self.alphabet,
+        )
+
+    def _product(self, other: "DFA", keep: Callable[[bool, bool], bool]) -> "DFA":
+        if self.alphabet != other.alphabet:
+            raise ValueError(
+                f"product of DFAs over different alphabets: "
+                f"{sorted(self.alphabet)} vs {sorted(other.alphabet)}"
+            )
+        index: dict[tuple[int, int], int] = {}
+        transitions: dict[tuple[int, str], int] = {}
+        accepting: set[int] = set()
+
+        def intern(pair: tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(index)
+            return index[pair]
+
+        start = intern((self.start, other.start))
+        queue = deque([(self.start, other.start)])
+        visited = {(self.start, other.start)}
+        while queue:
+            p, q = queue.popleft()
+            s = index[(p, q)]
+            if keep(p in self.accepting, q in other.accepting):
+                accepting.add(s)
+            for a in self.alphabet:
+                pair = (self.transitions[(p, a)], other.transitions[(q, a)])
+                transitions[(s, a)] = intern(pair)
+                if pair not in visited:
+                    visited.add(pair)
+                    queue.append(pair)
+        return DFA(len(index), start, accepting, transitions, self.alphabet)
+
+    def intersect(self, other: "DFA") -> "DFA":
+        """Language intersection (product construction)."""
+        return self._product(other, lambda x, y: x and y)
+
+    def union(self, other: "DFA") -> "DFA":
+        """Language union (product construction)."""
+        return self._product(other, lambda x, y: x or y)
+
+    def difference(self, other: "DFA") -> "DFA":
+        """Words accepted by ``self`` but not ``other``."""
+        return self._product(other, lambda x, y: x and not y)
+
+    def symmetric_difference(self, other: "DFA") -> "DFA":
+        return self._product(other, lambda x, y: x != y)
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equality."""
+        return self.symmetric_difference(other).is_empty()
+
+    def contains(self, other: "DFA") -> bool:
+        """Language inclusion: ``L(other) subseteq L(self)``."""
+        return other.difference(self).is_empty()
+
+    # -- minimization -----------------------------------------------------------
+
+    def minimize(self) -> "DFA":
+        """Minimal equivalent DFA (restrict to reachable states, then
+        Moore partition refinement)."""
+        reachable = sorted(self.reachable_states())
+        remap = {s: i for i, s in enumerate(reachable)}
+        n = len(reachable)
+        trans = [
+            [remap[self.transitions[(s, a)]] for a in sorted(self.alphabet)] for s in reachable
+        ]
+        order = sorted(self.alphabet)
+        # Moore refinement on the reachable part.
+        block = [1 if s in self.accepting else 0 for s in reachable]
+        n_blocks = 2 if 0 in block and 1 in block else 1
+        if n_blocks == 1:
+            block = [0] * n
+        while True:
+            signatures: dict[tuple, int] = {}
+            new_block = [0] * n
+            for s in range(n):
+                sig = (block[s], tuple(block[t] for t in trans[s]))
+                if sig not in signatures:
+                    signatures[sig] = len(signatures)
+                new_block[s] = signatures[sig]
+            if len(signatures) == n_blocks:
+                block = new_block
+                break
+            n_blocks = len(signatures)
+            block = new_block
+        transitions: dict[tuple[int, str], int] = {}
+        accepting: set[int] = set()
+        for s in range(n):
+            b = block[s]
+            for j, a in enumerate(order):
+                transitions[(b, a)] = block[trans[s][j]]
+            if reachable[s] in self.accepting:
+                accepting.add(b)
+        return DFA(n_blocks, block[remap[self.start]], accepting, transitions, self.alphabet)
+
+    # -- algebraic structure ------------------------------------------------------
+
+    def letter_transformation(self, symbol: str) -> tuple[int, ...]:
+        """The state transformation induced by one letter: position ``s``
+        holds ``delta(s, symbol)``."""
+        return tuple(self.transitions[(s, symbol)] for s in range(self.n_states))
+
+    def letter_power_stabilization(self, symbol: str) -> tuple[int, int]:
+        """Index ``mu`` and period ``pi`` of the cyclic behaviour of the
+        letter transformation: ``M^(mu + pi) == M^mu`` with minimal such
+        ``mu >= 0``, ``pi >= 1``.
+
+        For counter-free (star-free) languages ``pi == 1`` for every
+        letter, which is what the (dagger) compilation of Theorem 3.2
+        relies on.
+        """
+        ident = tuple(range(self.n_states))
+        seen: dict[tuple[int, ...], int] = {ident: 0}
+        m = self.letter_transformation(symbol)
+        cur = ident
+        k = 0
+        while True:
+            cur = tuple(m[s] for s in cur)
+            k += 1
+            if cur in seen:
+                mu = seen[cur]
+                return mu, k - mu
+            seen[cur] = k
+
+    def transition_monoid(self, max_size: int = 200_000) -> set[tuple[int, ...]]:
+        """The transition monoid: all state transformations induced by
+        words.  Aborts with ``ValueError`` past ``max_size`` elements."""
+        ident = tuple(range(self.n_states))
+        gens = [self.letter_transformation(a) for a in sorted(self.alphabet)]
+        monoid: set[tuple[int, ...]] = {ident}
+        frontier = [ident]
+        while frontier:
+            nxt: list[tuple[int, ...]] = []
+            for m in frontier:
+                for g in gens:
+                    composed = tuple(g[s] for s in m)
+                    if composed not in monoid:
+                        monoid.add(composed)
+                        nxt.append(composed)
+                        if len(monoid) > max_size:
+                            raise ValueError("transition monoid exceeds max_size")
+            frontier = nxt
+        return monoid
+
+    def is_aperiodic(self, max_monoid_size: int = 200_000) -> bool:
+        """Schutzenberger's test: the language is star-free iff the
+        transition monoid of the *minimal* DFA is aperiodic, i.e. every
+        element ``m`` satisfies ``m^k == m^(k+1)`` for some ``k``."""
+        minimal = self.minimize()
+        for m in minimal.transition_monoid(max_monoid_size):
+            # Find the cycle of powers of m; aperiodic iff period is 1.
+            seen: dict[tuple[int, ...], int] = {}
+            cur = m
+            k = 0
+            while cur not in seen:
+                seen[cur] = k
+                cur = tuple(m[s] for s in cur)
+                k += 1
+            if k - seen[cur] != 1:
+                return False
+        return True
+
+    def to_regex(self) -> "Regex":
+        """An equivalent regular expression (GNFA state elimination).
+
+        Useful to round-trip content models (e.g. turning an SL rule into
+        an explicit regular one).  The result can be large; it is built
+        from the minimized automaton to keep it manageable.
+        """
+        from repro.automata import regex as rx
+
+        dfa = self.minimize()
+        # GNFA: states 0..n-1 plus fresh start S=n and accept F=n+1,
+        # edges labeled by regexes.
+        n = dfa.n_states
+        start, accept = n, n + 1
+        edges: dict[tuple[int, int], rx.Regex] = {}
+
+        def add(i: int, j: int, r: rx.Regex) -> None:
+            if (i, j) in edges:
+                edges[(i, j)] = rx.union(edges[(i, j)], r)
+            else:
+                edges[(i, j)] = r
+
+        add(start, dfa.start, rx.EPSILON)
+        for s in dfa.accepting:
+            add(s, accept, rx.EPSILON)
+        for (s, a), t in dfa.transitions.items():
+            add(s, t, rx.Symbol(a))
+
+        for victim in range(n):
+            loop = edges.pop((victim, victim), None)
+            loop_star = rx.star(loop) if loop is not None else rx.EPSILON
+            incoming = [(i, r) for (i, j), r in edges.items() if j == victim and i != victim]
+            outgoing = [(j, r) for (i, j), r in edges.items() if i == victim and j != victim]
+            for (i, _r) in incoming:
+                edges.pop((i, victim))
+            for (j, _r) in outgoing:
+                edges.pop((victim, j))
+            for i, rin in incoming:
+                for j, rout in outgoing:
+                    add(i, j, rx.concat(rin, loop_star, rout))
+        return edges.get((start, accept), rx.EMPTY)
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={self.n_states}, alphabet={sorted(self.alphabet)}, "
+            f"accepting={sorted(self.accepting)})"
+        )
+
+
+def from_nfa(nfa: NFA, alphabet: Optional[frozenset[str]] = None) -> DFA:
+    """Subset construction.  The result is total over ``alphabet``
+    (default: the NFA's alphabet); the empty subset is the sink."""
+    sigma = alphabet if alphabet is not None else nfa.alphabet
+    start_set = nfa.epsilon_closure({nfa.start})
+    index: dict[frozenset[int], int] = {start_set: 0}
+    transitions: dict[tuple[int, str], int] = {}
+    accepting: set[int] = set()
+    queue = deque([start_set])
+    while queue:
+        subset = queue.popleft()
+        s = index[subset]
+        if subset & nfa.accepting:
+            accepting.add(s)
+        for a in sigma:
+            nxt = nfa.epsilon_closure(nfa.step(subset, a))
+            if nxt not in index:
+                index[nxt] = len(index)
+                queue.append(nxt)
+            transitions[(s, a)] = index[nxt]
+    return DFA(len(index), 0, accepting, transitions, sigma)
+
+
+def dfa_for_finite_language(words: Iterable[tuple[str, ...]], alphabet: Iterable[str]) -> DFA:
+    """Build a (trie-shaped, then minimized) DFA for a finite set of words."""
+    sigma = frozenset(alphabet)
+    words = list(words)
+    for w in words:
+        extra = set(w) - sigma
+        if extra:
+            raise ValueError(f"word {w} uses symbols outside alphabet: {sorted(extra)}")
+    # Trie construction.
+    trie: dict[int, dict[str, int]] = {0: {}}
+    accepting: set[int] = set()
+    for w in words:
+        cur = 0
+        for a in w:
+            if a not in trie[cur]:
+                new = len(trie)
+                trie[cur][a] = new
+                trie[new] = {}
+            cur = trie[cur][a]
+        accepting.add(cur)
+    sink = len(trie)
+    transitions: dict[tuple[int, str], int] = {}
+    for s, edges in trie.items():
+        for a in sigma:
+            transitions[(s, a)] = edges.get(a, sink)
+    for a in sigma:
+        transitions[(sink, a)] = sink
+    return DFA(sink + 1, 0, accepting, transitions, sigma).minimize()
+
+
+def enumerate_language(dfa: DFA, limit: Optional[int] = None, max_length: Optional[int] = None):
+    """List accepted words (shortlex), stopping after ``limit`` words or
+    ``max_length`` length.  Convenience wrapper over :meth:`DFA.iter_words`."""
+    it = dfa.iter_words(max_length=max_length)
+    if limit is not None:
+        return list(itertools.islice(it, limit))
+    return list(it)

@@ -1,0 +1,182 @@
+"""Epsilon-NFAs and the Thompson construction.
+
+States are integers.  Transitions map ``(state, symbol) -> set of states``;
+epsilon moves are stored separately.  Complement and intersection
+sub-expressions (needed for star-free regexes) are compiled through a DFA
+and re-embedded, so :func:`thompson` accepts the full extended AST of
+:mod:`repro.automata.regex`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.automata import regex as rx
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon moves.
+
+    Attributes
+    ----------
+    n_states:
+        States are ``0 .. n_states - 1``.
+    start:
+        The unique start state.
+    accepting:
+        Set of accepting states.
+    transitions:
+        ``dict[(state, symbol)] -> frozenset[state]``.
+    epsilon:
+        ``dict[state] -> frozenset[state]`` of epsilon successors.
+    alphabet:
+        The symbols the automaton may read.
+    """
+
+    __slots__ = ("n_states", "start", "accepting", "transitions", "epsilon", "alphabet")
+
+    def __init__(
+        self,
+        n_states: int,
+        start: int,
+        accepting: Iterable[int],
+        transitions: dict[tuple[int, str], frozenset[int]],
+        epsilon: dict[int, frozenset[int]],
+        alphabet: frozenset[str],
+    ) -> None:
+        self.n_states = n_states
+        self.start = start
+        self.accepting = frozenset(accepting)
+        self.transitions = transitions
+        self.epsilon = epsilon
+        self.alphabet = alphabet
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable via epsilon moves from ``states``."""
+        seen = set(states)
+        stack = list(seen)
+        while stack:
+            s = stack.pop()
+            for t in self.epsilon.get(s, ()):
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+    def step(self, states: Iterable[int], symbol: str) -> frozenset[int]:
+        """One symbol move (without closing under epsilon afterwards)."""
+        out: set[int] = set()
+        for s in states:
+            out |= self.transitions.get((s, symbol), frozenset())
+        return frozenset(out)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Direct NFA simulation (useful for cross-checking the DFA)."""
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            current = self.epsilon_closure(self.step(current, symbol))
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+
+class _Builder:
+    """Mutable scratchpad for Thompson fragments."""
+
+    def __init__(self, alphabet: frozenset[str]) -> None:
+        self.alphabet = alphabet
+        self.n = 0
+        self.trans: dict[tuple[int, str], set[int]] = defaultdict(set)
+        self.eps: dict[int, set[int]] = defaultdict(set)
+
+    def new_state(self) -> int:
+        self.n += 1
+        return self.n - 1
+
+    def add(self, src: int, symbol: str, dst: int) -> None:
+        self.trans[(src, symbol)].add(dst)
+
+    def add_eps(self, src: int, dst: int) -> None:
+        self.eps[src].add(dst)
+
+    def fragment(self, node: rx.Regex) -> tuple[int, int]:
+        """Compile ``node`` into a fragment; returns (enter, exit)."""
+        if isinstance(node, rx.Empty):
+            return self.new_state(), self.new_state()
+        if isinstance(node, rx.Epsilon):
+            i, o = self.new_state(), self.new_state()
+            self.add_eps(i, o)
+            return i, o
+        if isinstance(node, rx.Symbol):
+            i, o = self.new_state(), self.new_state()
+            self.add(i, node.name, o)
+            return i, o
+        if isinstance(node, rx.Concat):
+            i1, o1 = self.fragment(node.left)
+            i2, o2 = self.fragment(node.right)
+            self.add_eps(o1, i2)
+            return i1, o2
+        if isinstance(node, rx.Union):
+            i, o = self.new_state(), self.new_state()
+            for part in (node.left, node.right):
+                pi, po = self.fragment(part)
+                self.add_eps(i, pi)
+                self.add_eps(po, o)
+            return i, o
+        if isinstance(node, rx.Star):
+            i, o = self.new_state(), self.new_state()
+            pi, po = self.fragment(node.inner)
+            self.add_eps(i, pi)
+            self.add_eps(po, o)
+            self.add_eps(i, o)
+            self.add_eps(po, pi)
+            return i, o
+        if isinstance(node, (rx.Complement, rx.Intersect)):
+            return self._via_dfa(node)
+        raise TypeError(f"unknown regex node {node!r}")
+
+    def _via_dfa(self, node: rx.Regex) -> tuple[int, int]:
+        """Complement/intersection: compile through a DFA over the ambient
+        alphabet, then graft the DFA in as an NFA fragment."""
+        from repro.automata.dfa import from_nfa
+
+        if isinstance(node, rx.Complement):
+            inner = from_nfa(thompson(node.inner, self.alphabet), self.alphabet)
+            dfa = inner.complement()
+        else:
+            assert isinstance(node, rx.Intersect)
+            left = from_nfa(thompson(node.left, self.alphabet), self.alphabet)
+            right = from_nfa(thompson(node.right, self.alphabet), self.alphabet)
+            dfa = left.intersect(right)
+        dfa = dfa.minimize()
+        base = self.n
+        for _ in range(dfa.n_states):
+            self.new_state()
+        out = self.new_state()
+        for (s, a), t in dfa.transitions.items():
+            self.add(base + s, a, base + t)
+        for s in dfa.accepting:
+            self.add_eps(base + s, out)
+        return base + dfa.start, out
+
+
+def thompson(node: rx.Regex, alphabet: frozenset[str]) -> NFA:
+    """Thompson construction for the extended regex AST.
+
+    ``alphabet`` is the ambient alphabet used to interpret complement; it
+    must contain every symbol of ``node``.
+    """
+    missing = node.symbols() - alphabet
+    if missing:
+        raise ValueError(f"alphabet is missing regex symbols: {sorted(missing)}")
+    builder = _Builder(alphabet)
+    enter, exit_ = builder.fragment(node)
+    return NFA(
+        n_states=builder.n,
+        start=enter,
+        accepting={exit_},
+        transitions={k: frozenset(v) for k, v in builder.trans.items()},
+        epsilon={k: frozenset(v) for k, v in builder.eps.items()},
+        alphabet=alphabet,
+    )

@@ -1,0 +1,43 @@
+"""Star-freeness: syntactic and semantic tests.
+
+The paper's *star-free DTDs* use star-free regular expressions: expressions
+built from single symbols and epsilon using concatenation, union and
+complement (Section 2).  Two independent tests:
+
+* :func:`is_star_free_expression` — the syntactic check (no Kleene star in
+  the AST; intersection is allowed since ``r & s = ~(~r + ~s)``);
+* :func:`is_star_free_language` — Schutzenberger's semantic
+  characterization: a regular language is star-free iff the transition
+  monoid of its minimal DFA is aperiodic.
+
+The semantic test accepts, e.g., ``(a.a)* + a.(a.a)*`` written with stars
+but denoting the (star-free) language ``a*``; the syntactic test rejects
+it.  The typechecker (Theorem 3.2) accepts a DTD whenever the *language* is
+star-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.automata.regex import Regex
+
+
+def is_star_free_expression(regex: Regex) -> bool:
+    """True iff the expression never uses the Kleene star."""
+    return not regex.uses_star()
+
+
+def is_star_free_language(
+    regex: Regex,
+    alphabet: Optional[Iterable[str]] = None,
+    max_monoid_size: int = 200_000,
+) -> bool:
+    """True iff the *language* of ``regex`` is star-free (aperiodic).
+
+    ``max_monoid_size`` caps the transition-monoid exploration; a
+    ``ValueError`` escapes for pathological inputs rather than silently
+    mis-answering.
+    """
+    dfa = regex.to_dfa(alphabet)
+    return dfa.is_aperiodic(max_monoid_size)

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``validate``
+    Validate a document (term syntax) against a DTD (rule-list syntax)::
+
+        python -m repro validate --dtd rules.dtd --doc "a(b, c(d), e)"
+
+``instances``
+    Enumerate instances of a DTD up to a size::
+
+        python -m repro instances --dtd rules.dtd --max-size 6
+
+``bounds``
+    Report the symbolic counterexample bounds for a DTD pair (using a
+    trivial probe query, mainly to show the Thm 3.1 / Cor 4.1 gap)::
+
+        python -m repro bounds --input-dtd in.dtd --output-dtd out.dtd --unordered-output
+
+``typecheck``
+    Typecheck a query (JSON, see :mod:`repro.ql.serde`) against an
+    input/output DTD pair::
+
+        python -m repro typecheck --query q.json --input-dtd in.dtd \\
+            --output-dtd out.dtd --unordered-output --max-size 6
+
+DTD files use the paper's rule syntax (see :mod:`repro.dtd.parser`);
+``--dtd``/``--input-dtd``/``--output-dtd`` accept either a file path or an
+inline rule string.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.dtd import DTD, enumerate_instances, parse_dtd
+from repro.trees import parse_tree, to_term, to_xml
+
+
+def _load_dtd(spec: str, unordered: bool = False, root: Optional[str] = None) -> DTD:
+    if os.path.exists(spec):
+        with open(spec, encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = spec
+    return parse_dtd(text, root=root, unordered=unordered)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, unordered=args.unordered, root=args.root)
+    doc = parse_tree(args.doc)
+    result = dtd.validate(doc)
+    if result.ok:
+        print(f"VALID: {to_term(doc)}")
+        return 0
+    print(f"INVALID: {result.error}")
+    return 1
+
+
+def _cmd_instances(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, unordered=args.unordered, root=args.root)
+    count = 0
+    for tree in enumerate_instances(dtd, args.max_size, limit=args.limit):
+        print(to_xml(tree) if args.xml else to_term(tree))
+        count += 1
+    print(f"-- {count} instance(s) of size <= {args.max_size}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.ql.ast import ConstructNode, Edge, Query, Where
+    from repro.typecheck.bounds import cor41_bound, thm31_bound
+
+    tau1 = _load_dtd(args.input_dtd, unordered=args.unordered_input)
+    tau2 = _load_dtd(args.output_dtd, unordered=args.unordered_output)
+    probe_tag = sorted(tau1.alphabet - {tau1.root})
+    if not probe_tag:
+        print("input DTD has a single symbol; nothing to probe", file=sys.stderr)
+        return 1
+    query = Query(
+        where=Where.of(tau1.root, [Edge.of(None, "X", probe_tag[0])]),
+        construct=ConstructNode(tau2.root, (), (ConstructNode("item", ("X",)),)),
+    )
+    b31 = thm31_bound(query, tau1, tau2)
+    print(f"Theorem 3.1 bound:   ~10^{len(str(b31)) - 1} nodes")
+    depth = tau1.depth_bound()
+    if depth is not None:
+        b41 = cor41_bound(query, tau1, tau2)
+        print(f"Corollary 4.1 bound: {b41} nodes (input depth <= {depth})")
+    else:
+        print("Corollary 4.1: not applicable (recursive input DTD)")
+    return 0
+
+
+def _cmd_typecheck(args: argparse.Namespace) -> int:
+    from repro.ql.serde import query_from_json
+    from repro.typecheck import Verdict, typecheck
+    from repro.typecheck.search import SearchBudget
+
+    tau1 = _load_dtd(args.input_dtd, unordered=args.unordered_input)
+    tau2 = _load_dtd(args.output_dtd, unordered=args.unordered_output)
+    if os.path.exists(args.query):
+        with open(args.query, encoding="utf-8") as handle:
+            query_text = handle.read()
+    else:
+        query_text = args.query
+    query = query_from_json(query_text)
+    result = typecheck(
+        query,
+        tau1,
+        tau2,
+        budget=SearchBudget(max_size=args.max_size),
+        force_search=args.force_search,
+    )
+    print(result.summary())
+    return 0 if result.verdict is not Verdict.FAILS else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tools from the PODS'01 typechecking reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_val = sub.add_parser("validate", help="validate a document against a DTD")
+    p_val.add_argument("--dtd", required=True, help="DTD file or inline rules")
+    p_val.add_argument("--doc", required=True, help="document in term syntax")
+    p_val.add_argument("--root", default=None, help="override the DTD root")
+    p_val.add_argument("--unordered", action="store_true", help="rules are SL formulas")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_inst = sub.add_parser("instances", help="enumerate DTD instances by size")
+    p_inst.add_argument("--dtd", required=True)
+    p_inst.add_argument("--max-size", type=int, default=6)
+    p_inst.add_argument("--limit", type=int, default=None)
+    p_inst.add_argument("--root", default=None)
+    p_inst.add_argument("--unordered", action="store_true")
+    p_inst.add_argument("--xml", action="store_true", help="print as XML")
+    p_inst.set_defaults(func=_cmd_instances)
+
+    p_bounds = sub.add_parser("bounds", help="report symbolic counterexample bounds")
+    p_bounds.add_argument("--input-dtd", required=True)
+    p_bounds.add_argument("--output-dtd", required=True)
+    p_bounds.add_argument("--unordered-input", action="store_true")
+    p_bounds.add_argument("--unordered-output", action="store_true")
+    p_bounds.set_defaults(func=_cmd_bounds)
+
+    p_tc = sub.add_parser("typecheck", help="typecheck a JSON query against a DTD pair")
+    p_tc.add_argument("--query", required=True, help="query JSON file or inline text")
+    p_tc.add_argument("--input-dtd", required=True)
+    p_tc.add_argument("--output-dtd", required=True)
+    p_tc.add_argument("--unordered-input", action="store_true")
+    p_tc.add_argument("--unordered-output", action="store_true")
+    p_tc.add_argument("--max-size", type=int, default=6, help="search budget (input nodes)")
+    p_tc.add_argument(
+        "--force-search",
+        action="store_true",
+        help="run the refutation-only search outside the decidable fragments",
+    )
+    p_tc.set_defaults(func=_cmd_typecheck)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

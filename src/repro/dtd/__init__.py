@@ -1,0 +1,49 @@
+"""DTDs and their variants (paper, Section 2).
+
+* :class:`~repro.dtd.core.DTD` — an extended context-free grammar: one
+  *content model* per tag constraining the word of children labels.
+  Content models come in the paper's three flavours:
+
+  - **regular** (:class:`~repro.dtd.content.RegularContent`) — arbitrary
+    regular expressions;
+  - **star-free** — regular content whose language is aperiodic
+    (checked semantically, Schutzenberger);
+  - **unordered** (:class:`~repro.dtd.content.SLContent`) — SL formulas
+    counting children tags.
+
+* :class:`~repro.dtd.specialized.SpecializedDTD` — DTDs with types
+  decoupled from tags (Definition 2.1), equivalent to regular unranked
+  tree automata; validation runs the canonical bottom-up subset algorithm.
+
+* :mod:`repro.dtd.generate` — exhaustive size-ordered enumeration and
+  random sampling of ``inst(tau)``, the engine behind the typechecker's
+  bounded counterexample search.
+"""
+
+from repro.dtd.content import ContentKind, ContentModel, FOContent, RegularContent, SLContent
+from repro.dtd.core import DTD, ValidationError, ValidationResult
+from repro.dtd.parser import DTDParseError, format_dtd, parse_dtd
+from repro.dtd.generate import (
+    enumerate_instances,
+    min_instance_size,
+    random_instance,
+)
+from repro.dtd.specialized import SpecializedDTD
+
+__all__ = [
+    "DTD",
+    "ContentKind",
+    "ContentModel",
+    "DTDParseError",
+    "FOContent",
+    "RegularContent",
+    "SLContent",
+    "SpecializedDTD",
+    "ValidationError",
+    "ValidationResult",
+    "enumerate_instances",
+    "format_dtd",
+    "min_instance_size",
+    "parse_dtd",
+    "random_instance",
+]

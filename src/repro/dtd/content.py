@@ -1,0 +1,230 @@
+"""Content models: what a DTD allows as the children word of a tag.
+
+The paper's hierarchy (Section 2)::
+
+    unordered (SL)  <  star-free regular  <  regular
+
+``RegularContent`` wraps a regular expression; star-freeness is a
+*property* (checked syntactically or semantically) rather than a separate
+class, since the typechecker accepts any regular content whose language is
+aperiodic.  ``SLContent`` wraps an SL formula, which sees only the
+multiset of children tags.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.automata.dfa import DFA
+from repro.automata.regex import Regex, parse_regex
+from repro.automata.starfree import is_star_free_expression, is_star_free_language
+from repro.logic.sl import SLFormula, coerce_sl
+
+
+class ContentKind(enum.Enum):
+    """The paper's three DTD flavours."""
+
+    REGULAR = "regular"
+    STAR_FREE = "star-free"
+    UNORDERED = "unordered"
+
+
+class ContentModel:
+    """Abstract content model: a constraint on words of children tags."""
+
+    __slots__ = ()
+
+    def matches(self, word: Sequence[str]) -> bool:
+        """Whether a children word satisfies the model."""
+        raise NotImplementedError
+
+    def symbols(self) -> frozenset[str]:
+        """Tags mentioned by the model (the DTD's alphabet contribution)."""
+        raise NotImplementedError
+
+    def kind(self) -> ContentKind:
+        """The strongest class this model provably belongs to."""
+        raise NotImplementedError
+
+    def to_dfa(self, alphabet: frozenset[str]) -> DFA:
+        """A DFA for the allowed children words over ``alphabet``."""
+        raise NotImplementedError
+
+    def is_nullable(self) -> bool:
+        """Whether the empty children word is allowed (leaf possible)."""
+        return self.matches(())
+
+
+class RegularContent(ContentModel):
+    """Content given by a regular expression (standard DTDs)."""
+
+    __slots__ = ("regex",)
+
+    def __init__(self, regex: Union[Regex, str]) -> None:
+        self.regex = parse_regex(regex) if isinstance(regex, str) else regex
+
+    def matches(self, word: Sequence[str]) -> bool:
+        sigma = frozenset(self.regex.symbols()) | frozenset(word)
+        return _regex_dfa(self.regex, sigma).accepts(tuple(word))
+
+    def symbols(self) -> frozenset[str]:
+        return self.regex.symbols()
+
+    def kind(self) -> ContentKind:
+        """STAR_FREE when the language is provably aperiodic (syntactic
+        star-freeness is checked first as a fast path), else REGULAR."""
+        if is_star_free_expression(self.regex):
+            return ContentKind.STAR_FREE
+        try:
+            if is_star_free_language(self.regex):
+                return ContentKind.STAR_FREE
+        except ValueError:
+            pass
+        return ContentKind.REGULAR
+
+    def to_dfa(self, alphabet: frozenset[str]) -> DFA:
+        return _regex_dfa(self.regex, alphabet | self.regex.symbols())
+
+    def __repr__(self) -> str:
+        return f"RegularContent({self.regex})"
+
+    def __str__(self) -> str:
+        return str(self.regex)
+
+
+@lru_cache(maxsize=4096)
+def _regex_dfa(regex: Regex, sigma: frozenset[str]) -> DFA:
+    return regex.to_dfa(sigma)
+
+
+class SLContent(ContentModel):
+    """Content given by an SL formula (*unordered DTDs*)."""
+
+    __slots__ = ("formula",)
+
+    def __init__(self, formula: Union[SLFormula, str]) -> None:
+        self.formula = coerce_sl(formula)
+
+    def matches(self, word: Sequence[str]) -> bool:
+        return self.formula.satisfied_by_word(word)
+
+    def symbols(self) -> frozenset[str]:
+        return self.formula.symbols()
+
+    def kind(self) -> ContentKind:
+        return ContentKind.UNORDERED
+
+    def to_dfa(self, alphabet: frozenset[str]) -> DFA:
+        """Compile counting constraints to a DFA over ``alphabet``.
+
+        States track, per constrained symbol, its count capped at
+        ``max_integer + 1`` (all SL atoms are insensitive beyond the cap).
+        """
+        tracked = sorted(self.formula.symbols() & alphabet | self.formula.symbols())
+        cap = self.formula.max_integer() + 1
+        index: dict[tuple[int, ...], int] = {}
+        transitions: dict[tuple[int, str], int] = {}
+        accepting: set[int] = set()
+
+        def intern(state: tuple[int, ...]) -> int:
+            if state not in index:
+                index[state] = len(index)
+            return index[state]
+
+        start = intern(tuple(0 for _ in tracked))
+        stack = [tuple(0 for _ in tracked)]
+        seen = {stack[0]}
+        pos = {s: i for i, s in enumerate(tracked)}
+        while stack:
+            state = stack.pop()
+            s = index[state]
+            counts = {sym: state[i] for i, sym in enumerate(tracked)}
+            if self.formula.evaluate(counts):
+                accepting.add(s)
+            for a in alphabet:
+                if a in pos:
+                    nxt = list(state)
+                    nxt[pos[a]] = min(cap, nxt[pos[a]] + 1)
+                    nxt_t = tuple(nxt)
+                else:
+                    nxt_t = state
+                transitions[(s, a)] = intern(nxt_t)
+                if nxt_t not in seen:
+                    seen.add(nxt_t)
+                    stack.append(nxt_t)
+        return DFA(len(index), start, accepting, transitions, alphabet).minimize()
+
+    def __repr__(self) -> str:
+        return f"SLContent({self.formula})"
+
+    def __str__(self) -> str:
+        return str(self.formula)
+
+
+class FOContent(ContentModel):
+    """Content given by an FO sentence over words (Proposition 4.3 uses
+    star-free DTDs *via FO sentences* — exponentially more succinct than
+    the equivalent star-free expression).
+
+    FO = star-free semantically, so :meth:`kind` reports ``STAR_FREE``;
+    compilation to a DFA is intentionally unsupported (the blow-up is the
+    very point of the lower bound) — validation uses direct evaluation.
+    """
+
+    __slots__ = ("sentence", "_symbols")
+
+    def __init__(self, sentence, symbols: Iterable[str]) -> None:
+        from repro.logic.fo_words import FOFormula
+
+        if not isinstance(sentence, FOFormula):
+            raise TypeError("FOContent expects an FOFormula")
+        if not sentence.is_sentence():
+            raise ValueError(
+                f"FO content must be a sentence; free variables "
+                f"{sorted(sentence.free_variables())}"
+            )
+        self.sentence = sentence
+        self._symbols = frozenset(symbols)
+
+    def matches(self, word: Sequence[str]) -> bool:
+        return self.sentence.evaluate(word)
+
+    def symbols(self) -> frozenset[str]:
+        return self._symbols
+
+    def kind(self) -> ContentKind:
+        return ContentKind.STAR_FREE
+
+    def to_dfa(self, alphabet: frozenset[str]) -> DFA:
+        raise NotImplementedError(
+            "FOContent deliberately has no DFA compilation (the succinctness "
+            "gap is the point of Proposition 4.3); use search-based checking"
+        )
+
+    def __repr__(self) -> str:
+        return f"FOContent(symbols={sorted(self._symbols)})"
+
+    def __str__(self) -> str:
+        return "<FO sentence>"
+
+
+ContentLike = Union[ContentModel, Regex, SLFormula, str]
+
+
+def coerce_content(spec: ContentLike, unordered: bool = False) -> ContentModel:
+    """Build a content model from user-friendly inputs.
+
+    Strings parse as regular expressions by default; pass
+    ``unordered=True`` (or an :class:`SLFormula`) for SL content.
+    """
+    if isinstance(spec, ContentModel):
+        return spec
+    if isinstance(spec, SLFormula):
+        return SLContent(spec)
+    if isinstance(spec, Regex):
+        return RegularContent(spec)
+    if isinstance(spec, str):
+        return SLContent(spec) if unordered else RegularContent(spec)
+    raise TypeError(f"cannot interpret {spec!r} as a content model")

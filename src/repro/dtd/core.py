@@ -1,0 +1,209 @@
+"""DTDs as extended context-free grammars (paper, Section 2).
+
+A DTD is a root symbol plus one content model per tag; a data tree
+satisfies the DTD iff its label tree is a derivation tree of the grammar:
+the root carries the root symbol, and every node's children word matches
+its tag's content model.  Data values are unconstrained — DTDs "concern
+exclusively the tags".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.dtd.content import ContentKind, ContentLike, ContentModel, coerce_content
+from repro.trees.data_tree import DataTree, Node
+
+EPSILON_CONTENT = "eps"
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationError:
+    """One violation: the node whose children word broke its content model."""
+
+    node: Node
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationResult:
+    """Outcome of validating a tree; falsy iff invalid."""
+
+    ok: bool
+    error: Optional[ValidationError] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class DTD:
+    """An extended CFG: ``rules[tag]`` constrains the children of ``tag``.
+
+    Parameters
+    ----------
+    root:
+        The start symbol; valid documents have this tag at the root.
+    rules:
+        Mapping from tag to content model (or anything
+        :func:`~repro.dtd.content.coerce_content` accepts — a regex
+        string/AST, or an SL formula for unordered DTDs).
+    unordered:
+        When true, *string* rule values parse as SL formulas instead of
+        regular expressions.
+    alphabet:
+        Optional extra tags beyond those mentioned in rules.  Tags that
+        appear in content models but have no rule default to epsilon
+        content (leaves only), which keeps the paper's example DTDs terse.
+    """
+
+    __slots__ = ("root", "rules", "alphabet")
+
+    def __init__(
+        self,
+        root: str,
+        rules: Mapping[str, ContentLike],
+        unordered: bool = False,
+        alphabet: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.root = root
+        coerced = {tag: coerce_content(spec, unordered) for tag, spec in rules.items()}
+        sigma = {root} | set(coerced)
+        for model in coerced.values():
+            sigma |= model.symbols()
+        if alphabet is not None:
+            sigma |= set(alphabet)
+        for tag in sorted(sigma - set(coerced)):
+            coerced[tag] = coerce_content(EPSILON_CONTENT, unordered=False)
+        self.rules: dict[str, ContentModel] = coerced
+        self.alphabet = frozenset(sigma)
+        if root not in self.alphabet:
+            raise ValueError(f"root {root!r} not in DTD alphabet")
+
+    # -- inspection -------------------------------------------------------------
+
+    def content(self, tag: str) -> ContentModel:
+        try:
+            return self.rules[tag]
+        except KeyError:
+            raise KeyError(f"tag {tag!r} has no rule in this DTD") from None
+
+    def kind(self) -> ContentKind:
+        """The weakest class among the rules: a DTD is unordered /
+        star-free / regular according to its most expressive rule."""
+        order = {ContentKind.UNORDERED: 0, ContentKind.STAR_FREE: 1, ContentKind.REGULAR: 2}
+        worst = ContentKind.UNORDERED
+        for model in self.rules.values():
+            if _is_epsilon_only(model):
+                # Leaf rules (auto-filled `eps`) are trivially expressible
+                # in SL and must not bump the DTD out of the unordered class.
+                continue
+            k = model.kind()
+            if order[k] > order[worst]:
+                worst = k
+        return worst
+
+    def size(self) -> int:
+        """A syntactic size proxy: total length of rule descriptions.
+        Used by the counterexample-bound formulas of Section 3."""
+        return sum(len(str(model)) + len(tag) for tag, model in self.rules.items())
+
+    def max_dfa_states(self) -> int:
+        """Max number of DFA states across rules — the |tau1| the paper's
+        bounds actually use ("the number of states in the automaton for
+        the regular language describing the allowed children")."""
+        best = 1
+        for model in self.rules.values():
+            try:
+                best = max(best, model.to_dfa(self.alphabet).n_states)
+            except NotImplementedError:  # FOContent: count quantifiers instead
+                best = max(best, 2)
+        return best
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self, tree: Union[DataTree, Node]) -> ValidationResult:
+        """Check tree membership in ``inst(self)``, reporting the first
+        violating node."""
+        root = tree.root if isinstance(tree, DataTree) else tree
+        if root.label != self.root:
+            return ValidationResult(
+                False,
+                ValidationError(root, f"root tag {root.label!r} is not the DTD root {self.root!r}"),
+            )
+        for node in root.iter_preorder():
+            model = self.rules.get(node.label)
+            if model is None:
+                return ValidationResult(
+                    False, ValidationError(node, f"tag {node.label!r} not in DTD alphabet")
+                )
+            word = node.child_word()
+            if not model.matches(word):
+                return ValidationResult(
+                    False,
+                    ValidationError(
+                        node,
+                        f"children of {node.label!r} spell {' '.join(word) or 'epsilon'!s}, "
+                        f"violating content model {model}",
+                    ),
+                )
+        return ValidationResult(True)
+
+    def is_valid(self, tree: Union[DataTree, Node]) -> bool:
+        """Boolean shorthand for :meth:`validate`."""
+        return self.validate(tree).ok
+
+    # -- depth analysis ------------------------------------------------------------
+
+    def depth_bound(self, cap: int = 64) -> Optional[int]:
+        """The maximum depth of any instance, or ``None`` if unbounded
+        (recursive DTD).  ``cap`` guards the fixpoint iteration.
+
+        Bounded-depth DTDs are the PSPACE cases of Corollary 4.1.
+        """
+        # depth[tag] = max depth of a derivation rooted at tag (root depth 0).
+        # Compute by iterating depth(tag) = 1 + max over reachable child tags;
+        # divergence past `cap` means recursion.
+        reachable_children: dict[str, frozenset[str]] = {}
+        for tag, model in self.rules.items():
+            dfa = model.to_dfa(self.alphabet)
+            live = dfa.live_states()
+            used = set()
+            for (s, a), t in dfa.transitions.items():
+                if s in live and t in live:
+                    used.add(a)
+            reachable_children[tag] = frozenset(used)
+        depth: dict[str, int] = {tag: 0 for tag in self.rules}
+        for _ in range(cap + 1):
+            changed = False
+            for tag in self.rules:
+                kids = reachable_children[tag]
+                new = 1 + max((depth[k] for k in kids), default=-1)
+                if new > depth[tag]:
+                    depth[tag] = new
+                    changed = True
+                    if new > cap:
+                        return None
+            if not changed:
+                return depth[self.root]
+        return None
+
+    def __repr__(self) -> str:
+        rules = "; ".join(f"{t} -> {m}" for t, m in sorted(self.rules.items()))
+        return f"DTD(root={self.root!r}, {rules})"
+
+
+def _is_epsilon_only(model: ContentModel) -> bool:
+    """Whether the model admits exactly the empty children word."""
+    if not model.matches(()):
+        return False
+    try:
+        dfa = model.to_dfa(model.symbols() or frozenset({"_any"}))
+    except NotImplementedError:  # e.g. FOContent: no DFA compilation
+        return False
+    if not dfa.is_finite_language():
+        return False
+    return list(dfa.iter_words()) == [()]

@@ -1,0 +1,290 @@
+"""Instance generation for DTDs: the engine behind counterexample search.
+
+All the paper's decidability proofs (Theorems 3.1, 3.2, 3.5) argue that a
+typechecking violation, if any, is witnessed by a *small* instance of the
+input DTD; the decision procedure then checks all instances up to the
+bound.  This module provides exactly that machinery:
+
+* :func:`min_instance_size` — smallest derivation tree per tag (Dijkstra
+  over content-model DFAs inside a fixpoint);
+* :func:`enumerate_instances` — exhaustive, size-ordered, duplicate-free
+  enumeration of ``inst(tau)`` with budget-pruned word expansion;
+* :func:`random_instance` — randomized sampling for benchmarks.
+
+Enumeration is over *label* trees (no data values); the typechecker layers
+data-value assignments on top (see ``repro.typecheck.search``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Iterator, Optional, Sequence
+
+from repro.automata.dfa import DFA
+from repro.dtd.core import DTD
+from repro.trees.data_tree import DataTree, Node
+
+_INF = float("inf")
+
+
+def min_instance_size(dtd: DTD) -> dict[str, Optional[int]]:
+    """For each tag, the size of the smallest derivation tree rooted at
+    that tag, or ``None`` when the tag derives no finite tree (useless
+    symbol)."""
+    sizes: dict[str, float] = {tag: _INF for tag in dtd.rules}
+    dfas = {tag: model.to_dfa(dtd.alphabet) for tag, model in dtd.rules.items()}
+    changed = True
+    while changed:
+        changed = False
+        for tag, dfa in dfas.items():
+            best = _min_word_cost(dfa, sizes)
+            if best is None:
+                continue
+            candidate = 1 + best
+            if candidate < sizes[tag]:
+                sizes[tag] = candidate
+                changed = True
+    return {tag: (None if s is _INF else int(s)) for tag, s in sizes.items()}
+
+
+def _min_word_cost(dfa: DFA, letter_cost: dict[str, float]) -> Optional[float]:
+    """Cheapest total letter cost of an accepted word (Dijkstra)."""
+    dist: dict[int, float] = {dfa.start: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, dfa.start)]
+    while heap:
+        d, s = heapq.heappop(heap)
+        if d > dist.get(s, _INF):
+            continue
+        if s in dfa.accepting:
+            return d
+        for a in dfa.alphabet:
+            cost = letter_cost.get(a, _INF)
+            if cost is _INF:
+                continue
+            t = dfa.transitions[(s, a)]
+            nd = d + cost
+            if nd < dist.get(t, _INF):
+                dist[t] = nd
+                heapq.heappush(heap, (nd, t))
+    return None
+
+
+def _completion_cost(dfa: DFA, letter_cost: dict[str, float]) -> dict[int, float]:
+    """Per state, the cheapest cost of a word leading to acceptance
+    (backward Dijkstra)."""
+    rev: dict[int, list[tuple[int, float]]] = {s: [] for s in range(dfa.n_states)}
+    for (s, a), t in dfa.transitions.items():
+        cost = letter_cost.get(a, _INF)
+        if cost is not _INF:
+            rev[t].append((s, cost))
+    dist: dict[int, float] = {s: 0.0 for s in dfa.accepting}
+    heap = [(0.0, s) for s in dfa.accepting]
+    heapq.heapify(heap)
+    while heap:
+        d, s = heapq.heappop(heap)
+        if d > dist.get(s, _INF):
+            continue
+        for p, cost in rev[s]:
+            nd = d + cost
+            if nd < dist.get(p, _INF):
+                dist[p] = nd
+                heapq.heappush(heap, (nd, p))
+    return dist
+
+
+def _words_within_budget(
+    dfa: DFA, budget: int, letter_cost: dict[str, float]
+) -> Iterator[tuple[str, ...]]:
+    """Accepted words whose total letter cost is <= budget, pruned by the
+    cheapest completion from each state."""
+    completion = _completion_cost(dfa, letter_cost)
+    order = sorted(a for a in dfa.alphabet if letter_cost.get(a, _INF) is not _INF)
+
+    def rec(state: int, remaining: float, prefix: list[str]) -> Iterator[tuple[str, ...]]:
+        if state in dfa.accepting:
+            yield tuple(prefix)
+        for a in order:
+            cost = letter_cost[a]
+            t = dfa.transitions[(state, a)]
+            left = remaining - cost
+            if left < completion.get(t, _INF):
+                continue
+            prefix.append(a)
+            yield from rec(t, left, prefix)
+            prefix.pop()
+
+    if completion.get(dfa.start, _INF) <= budget:
+        yield from rec(dfa.start, float(budget), [])
+
+
+def enumerate_trees(dtd: DTD, tag: str, size: int) -> Iterator[Node]:
+    """All derivation trees rooted at ``tag`` with exactly ``size`` nodes.
+
+    Children words are enumerated through the content DFA with the
+    remaining size budget; the budget is then distributed over the
+    children in all ways compatible with their minimal sizes.
+    """
+    mins = min_instance_size(dtd)
+    yield from _enumerate(dtd, mins, tag, size)
+
+
+def _enumerate(
+    dtd: DTD, mins: dict[str, Optional[int]], tag: str, size: int
+) -> Iterator[Node]:
+    if mins.get(tag) is None or size < mins[tag]:  # type: ignore[operator]
+        return
+    dfa = dtd.content(tag).to_dfa(dtd.alphabet)
+    letter_cost = {a: float(m) for a, m in mins.items() if m is not None}
+    budget = size - 1
+    for word in _words_within_budget(dfa, budget, letter_cost):
+        min_total = sum(mins[a] for a in word)  # type: ignore[misc]
+        extra = budget - min_total
+        if extra < 0:
+            continue
+        yield from _fill_children(dtd, mins, tag, list(word), extra)
+
+
+def _fill_children(
+    dtd: DTD,
+    mins: dict[str, Optional[int]],
+    tag: str,
+    word: list[str],
+    extra: int,
+) -> Iterator[Node]:
+    """Distribute ``extra`` spare nodes over the children of ``word``."""
+
+    def rec(i: int, spare: int, built: list[Node]) -> Iterator[Node]:
+        if i == len(word):
+            if spare == 0:
+                yield Node(tag, list(built))
+            return
+        child_tag = word[i]
+        base = mins[child_tag]
+        assert base is not None
+        for bonus in range(spare + 1):
+            for child in _enumerate(dtd, mins, child_tag, base + bonus):
+                built.append(child)
+                yield from rec(i + 1, spare - bonus, built)
+                built.pop()
+
+    yield from rec(0, extra, [])
+
+
+def enumerate_instances(
+    dtd: DTD,
+    max_size: int,
+    min_size: int = 1,
+    limit: Optional[int] = None,
+) -> Iterator[DataTree]:
+    """Instances of the DTD in increasing size order, sizes
+    ``min_size..max_size``, up to ``limit`` trees."""
+    produced = 0
+    for size in range(max(1, min_size), max_size + 1):
+        for node in enumerate_trees(dtd, dtd.root, size):
+            yield DataTree(node)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
+def max_instance_size(dtd: DTD, cap: int = 10_000) -> Optional[int]:
+    """The size of the *largest* instance, or ``None`` when instances can
+    grow without bound (recursive DTD or starred content).
+
+    Finite iff the DTD has a depth bound and every content model has a
+    finite language.  ``cap`` guards the fixpoint against blowup.
+    """
+    if dtd.depth_bound() is None:
+        return None
+    dfas = {tag: model.to_dfa(dtd.alphabet) for tag, model in dtd.rules.items()}
+    if not all(d.is_finite_language() for d in dfas.values()):
+        return None
+    # Longest-derivation fixpoint; finite because the DTD is depth-bounded
+    # and children words are finitely many.
+    maxes: dict[str, int] = {}
+
+    def rec(tag: str, stack: frozenset[str]) -> int:
+        if tag in maxes:
+            return maxes[tag]
+        if tag in stack:  # pragma: no cover - contradicts depth-boundedness
+            raise ValueError("unexpected recursion in depth-bounded DTD")
+        best = 1
+        for word in dfas[tag].iter_words():
+            total = 1 + sum(rec(a, stack | {tag}) for a in word)
+            if total > best:
+                best = total
+            if best > cap:
+                return cap
+        maxes[tag] = best
+        return best
+
+    return rec(dtd.root, frozenset())
+
+
+def count_instances(dtd: DTD, max_size: int) -> int:
+    """How many label trees of size <= max_size satisfy the DTD (used by
+    benchmarks to report search-space sizes)."""
+    return sum(1 for _ in enumerate_instances(dtd, max_size))
+
+
+def random_instance(
+    dtd: DTD,
+    rng: Optional[random.Random] = None,
+    fanout_bias: float = 0.5,
+    max_depth: int = 24,
+) -> DataTree:
+    """Sample a random instance top-down.
+
+    At each node we sample a children word from the content DFA: at
+    accepting states we stop with probability ``1 - fanout_bias``
+    (and always once ``max_depth`` is hit, falling back to the cheapest
+    completion).  Useful for benchmark workloads; not uniform.
+    """
+    rng = rng or random.Random(0)
+    mins = min_instance_size(dtd)
+    if mins.get(dtd.root) is None:
+        raise ValueError(f"DTD root {dtd.root!r} derives no finite tree")
+    letter_cost = {a: float(m) for a, m in mins.items() if m is not None}
+
+    def sample_word(tag: str, depth: int) -> list[str]:
+        dfa = dtd.content(tag).to_dfa(dtd.alphabet)
+        completion = _completion_cost(dfa, letter_cost)
+        word: list[str] = []
+        state = dfa.start
+        while True:
+            options = [
+                a
+                for a in sorted(dfa.alphabet)
+                if a in letter_cost
+                and completion.get(dfa.transitions[(state, a)], _INF) is not _INF
+            ]
+            may_stop = state in dfa.accepting
+            must_stop = depth >= max_depth or not options
+            if may_stop and (must_stop or rng.random() > fanout_bias):
+                return word
+            if must_stop:
+                # Cheapest completion to an accepting state.
+                while state not in dfa.accepting:
+                    a = min(
+                        options,
+                        key=lambda x: letter_cost[x]
+                        + completion.get(dfa.transitions[(state, x)], _INF),
+                    )
+                    word.append(a)
+                    state = dfa.transitions[(state, a)]
+                    options = [
+                        b
+                        for b in sorted(dfa.alphabet)
+                        if b in letter_cost
+                        and completion.get(dfa.transitions[(state, b)], _INF) is not _INF
+                    ]
+                return word
+            a = rng.choice(options)
+            word.append(a)
+            state = dfa.transitions[(state, a)]
+
+    def build(tag: str, depth: int) -> Node:
+        return Node(tag, [build(a, depth + 1) for a in sample_word(tag, depth)])
+
+    return DataTree(build(dtd.root, 0))

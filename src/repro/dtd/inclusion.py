@@ -1,0 +1,180 @@
+"""Inclusion between plain DTDs: ``inst(sub) subseteq inst(sup)``.
+
+A natural companion to typechecking (it is the data-free special case:
+the identity transformation typechecks w.r.t. ``(sub, sup)`` iff the
+inclusion holds), and useful on its own for schema-evolution checks.
+
+For *plain* DTDs the problem is decidable in polynomial time modulo DFA
+sizes: after trimming ``sub`` to its productive-and-reachable symbols,
+
+    inst(sub) subseteq inst(sup)
+        iff  sub.root == sup.root
+        and  for every used tag t:
+             L(content_sub(t)) ∩ U*  subseteq  L(content_sup(t))
+
+where ``U`` is the set of symbols that actually occur in ``sub``
+instances.  The restriction matters: unproductive symbols in a content
+model can never appear as children, so they must not count against the
+inclusion.  On failure a *witness document* is constructed (valid for
+``sub``, invalid for ``sup``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.dfa import DFA
+from repro.automata.regex import any_of, star
+from repro.dtd.core import DTD
+from repro.dtd.generate import enumerate_trees, min_instance_size
+from repro.trees.data_tree import DataTree, Node
+
+
+@dataclass(slots=True)
+class InclusionResult:
+    """Outcome of an inclusion check; falsy iff inclusion fails."""
+
+    included: bool
+    witness: Optional[DataTree] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.included
+
+
+def _productive_symbols(dtd: DTD) -> frozenset[str]:
+    sizes = min_instance_size(dtd)
+    return frozenset(tag for tag, size in sizes.items() if size is not None)
+
+
+def _reachable_symbols(dtd: DTD, productive: frozenset[str]) -> frozenset[str]:
+    """Symbols occurring in some instance: walk from the root through
+    content models restricted to productive letters."""
+    reached = {dtd.root} & productive
+    stack = list(reached)
+    while stack:
+        tag = stack.pop()
+        dfa = dtd.content(tag).to_dfa(dtd.alphabet)
+        usable = _letters_on_accepting_paths(dfa, productive)
+        for child in usable:
+            if child not in reached:
+                reached.add(child)
+                stack.append(child)
+    return frozenset(reached)
+
+
+def _letters_on_accepting_paths(dfa: DFA, allowed: frozenset[str]) -> set[str]:
+    """Letters from ``allowed`` used on some path from start to acceptance
+    when only ``allowed`` letters may be read."""
+    # Forward-reachable states over `allowed`.
+    fwd = {dfa.start}
+    stack = [dfa.start]
+    while stack:
+        s = stack.pop()
+        for a in allowed:
+            if a in dfa.alphabet:
+                t = dfa.transitions[(s, a)]
+                if t not in fwd:
+                    fwd.add(t)
+                    stack.append(t)
+    # Backward-reachable from accepting over `allowed`.
+    rev: dict[int, list[tuple[int, str]]] = {}
+    for (s, a), t in dfa.transitions.items():
+        if a in allowed:
+            rev.setdefault(t, []).append((s, a))
+    bwd = set(dfa.accepting)
+    stack = list(bwd)
+    while stack:
+        t = stack.pop()
+        for s, _a in rev.get(t, ()):
+            if s not in bwd:
+                bwd.add(s)
+                stack.append(s)
+    live = fwd & bwd
+    return {
+        a
+        for (s, a), t in dfa.transitions.items()
+        if a in allowed and s in live and t in live
+    }
+
+
+def dtd_included(sub: DTD, sup: DTD, witness_max_size: int = 24) -> InclusionResult:
+    """Decide ``inst(sub) subseteq inst(sup)``, with a witness on failure."""
+    productive = _productive_symbols(sub)
+    if sub.root not in productive:
+        return InclusionResult(True, reason="sub has no instances at all")
+    if sub.root != sup.root:
+        witness = _some_instance(sub, witness_max_size)
+        return InclusionResult(
+            False, witness, f"roots differ: {sub.root!r} vs {sup.root!r}"
+        )
+    used = _reachable_symbols(sub, productive)
+    missing = used - sup.alphabet
+    if missing:
+        witness = _witness_with_tag(sub, used, sorted(missing)[0], witness_max_size)
+        return InclusionResult(
+            False, witness, f"sub uses tags unknown to sup: {sorted(missing)}"
+        )
+    sigma = frozenset(sub.alphabet | sup.alphabet)
+    used_star = star(any_of(sorted(used))).to_dfa(sigma)
+    for tag in sorted(used):
+        sub_dfa = sub.content(tag).to_dfa(sigma).intersect(used_star)
+        sup_dfa = sup.content(tag).to_dfa(sigma)
+        gap = sub_dfa.difference(sup_dfa)
+        word = gap.shortest_word()
+        if word is not None:
+            witness = _witness_with_children(sub, used, tag, word, witness_max_size)
+            return InclusionResult(
+                False,
+                witness,
+                f"children word {' '.join(word) or 'eps'} allowed for {tag!r} "
+                f"by sub but not by sup",
+            )
+    return InclusionResult(True)
+
+
+def _some_instance(dtd: DTD, max_size: int) -> Optional[DataTree]:
+    sizes = min_instance_size(dtd)
+    base = sizes.get(dtd.root)
+    if base is None or base > max_size:
+        return None
+    for node in enumerate_trees(dtd, dtd.root, base):
+        return DataTree(node)
+    return None
+
+
+def _minimal_subtree(dtd: DTD, tag: str) -> Node:
+    sizes = min_instance_size(dtd)
+    for node in enumerate_trees(dtd, tag, sizes[tag]):  # type: ignore[arg-type]
+        return node
+    raise AssertionError(f"{tag!r} was reported productive")
+
+
+def _witness_with_tag(
+    dtd: DTD, used: frozenset[str], target: str, max_size: int
+) -> Optional[DataTree]:
+    """Some instance of ``dtd`` containing a ``target`` node (exists since
+    ``target`` is reachable); found by bounded enumeration."""
+    from repro.dtd.generate import enumerate_instances
+
+    for tree in enumerate_instances(dtd, max_size):
+        if any(n.label == target for n in tree.nodes()):
+            return tree
+    return None
+
+
+def _witness_with_children(
+    dtd: DTD, used: frozenset[str], tag: str, word: tuple[str, ...], max_size: int
+) -> Optional[DataTree]:
+    """An instance of ``dtd`` where some ``tag`` node has exactly the
+    children word ``word`` — built by grafting minimal subtrees into a
+    minimal context containing a ``tag`` node."""
+    context = _witness_with_tag(dtd, used, tag, max_size)
+    if context is None:
+        return None
+    for node in context.nodes():
+        if node.label == tag:
+            node.children = [_minimal_subtree(dtd, child) for child in word]
+            break
+    return context if dtd.is_valid(context) else None

@@ -1,0 +1,98 @@
+"""Textual syntax for whole DTDs, matching the paper's notation.
+
+The paper writes DTDs as rule lists::
+
+    root     -> movie*
+    movie    -> title.director.review
+    title    -> actor*
+    director -> eps ; review -> eps
+
+:func:`parse_dtd` accepts exactly that: one rule per line (or separated by
+``;``), ``tag -> content``, the first rule's tag being the root unless
+``root=`` is given.  Content parses as a regular expression by default;
+inside ``unordered`` DTDs (``parse_dtd(text, unordered=True)``) it parses
+as an SL formula, matching e.g. the Theorem 5.1 input type::
+
+    root -> R^>=1
+    R    -> 1^=1 & 2^=1 & 3^=1
+
+Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd.core import DTD
+
+
+class DTDParseError(ValueError):
+    """Malformed DTD text."""
+
+
+def parse_dtd(
+    text: str,
+    root: Optional[str] = None,
+    unordered: bool = False,
+) -> DTD:
+    """Parse the paper-style rule-list syntax into a :class:`DTD`.
+
+    Parameters
+    ----------
+    text:
+        Rules like ``"a -> b*.c.e"``; one per line or ``;``-separated.
+        ``->`` may also be written ``→``.
+    root:
+        Start symbol; defaults to the first rule's tag.
+    unordered:
+        Parse rule bodies as SL formulas instead of regular expressions.
+    """
+    rules: dict[str, str] = {}
+    first: Optional[str] = None
+    for raw_line in text.replace("→", "->").splitlines():
+        line = raw_line.split("#", 1)[0]
+        for part in line.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            if "->" not in part:
+                raise DTDParseError(f"rule without '->': {part!r}")
+            tag, _, body = part.partition("->")
+            tag = tag.strip()
+            body = body.strip()
+            if not tag:
+                raise DTDParseError(f"rule with empty tag: {part!r}")
+            if not body:
+                raise DTDParseError(f"rule with empty content for {tag!r}")
+            if tag.startswith("'") and tag.endswith("'") and len(tag) >= 2:
+                tag = tag[1:-1]
+            if tag in rules:
+                raise DTDParseError(f"duplicate rule for tag {tag!r}")
+            rules[tag] = body
+            if first is None:
+                first = tag
+    if not rules:
+        raise DTDParseError("no rules found")
+    start = root if root is not None else first
+    assert start is not None
+    try:
+        return DTD(start, rules, unordered=unordered)
+    except ValueError as exc:
+        raise DTDParseError(f"invalid DTD: {exc}") from exc
+
+
+def format_dtd(dtd: DTD, include_leaves: bool = False) -> str:
+    """Render a DTD back into the rule-list syntax (root rule first).
+
+    Auto-filled leaf rules (``eps``) are omitted unless
+    ``include_leaves=True``, matching how the paper elides them.
+    """
+    lines = [f"{dtd.root} -> {dtd.rules[dtd.root]}"]
+    for tag in sorted(dtd.rules):
+        if tag == dtd.root:
+            continue
+        body = str(dtd.rules[tag])
+        if body == "eps" and not include_leaves:
+            continue
+        lines.append(f"{tag} -> {body}")
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Specialized DTDs (Definition 2.1): types decoupled from tags.
+
+A specialized DTD is ``(Sigma, Sigma', tau', mu)`` with ``tau'`` a DTD over
+the specialization alphabet ``Sigma'`` and ``mu : Sigma' -> Sigma`` the
+re-labeling.  A tree over ``Sigma`` satisfies it iff it is the ``mu``-image
+of some instance of ``tau'``.
+
+Specialized DTDs are exactly the regular unranked tree languages;
+validation below is the canonical bottom-up *subset* run of the
+corresponding nondeterministic unranked tree automaton: for each node we
+compute the set of specializations it can carry, by checking, per
+candidate ``a'``, whether the children's specialization-set sequence can
+spell a word in the content model of ``a'`` (an NFA-style product walk
+over the children).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.dtd.core import DTD, ValidationError, ValidationResult
+from repro.trees.data_tree import DataTree, Node
+
+
+class SpecializedDTD:
+    """A DTD over ``Sigma'`` plus the tag re-labeling ``mu: Sigma' -> Sigma``.
+
+    Parameters
+    ----------
+    dtd_prime:
+        The DTD over the specialization alphabet ``Sigma'``.
+    mu:
+        Mapping from each specialized symbol to the external tag it
+        presents as.  Symbols missing from ``mu`` map to themselves,
+        so plain DTDs embed as specialized DTDs with identity ``mu``.
+    """
+
+    __slots__ = ("dtd_prime", "mu", "sigma", "roots")
+
+    def __init__(
+        self,
+        dtd_prime: DTD,
+        mu: Optional[Mapping[str, str]] = None,
+        roots: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.dtd_prime = dtd_prime
+        full_mu = {s: s for s in dtd_prime.alphabet}
+        if mu:
+            unknown = set(mu) - set(dtd_prime.alphabet)
+            if unknown:
+                raise ValueError(f"mu maps symbols outside Sigma': {sorted(unknown)}")
+            full_mu.update(mu)
+        self.mu: dict[str, str] = full_mu
+        self.sigma = frozenset(full_mu.values())
+        # Several specializations of the same external root tag may serve
+        # as start symbols (handy for "disjunctive" specified types, e.g.
+        # the Theorem 5.1 output DTD: "some dependency violated OR the
+        # goal satisfied").
+        self.roots = frozenset(roots) if roots is not None else frozenset({dtd_prime.root})
+        unknown_roots = self.roots - set(dtd_prime.alphabet)
+        if unknown_roots:
+            raise ValueError(f"roots outside Sigma': {sorted(unknown_roots)}")
+
+    # -- structure ----------------------------------------------------------------
+
+    def specializations_of(self, tag: str) -> frozenset[str]:
+        """All ``a'`` in ``Sigma'`` with ``mu(a') == tag``."""
+        return frozenset(s for s, t in self.mu.items() if t == tag)
+
+    def apply_mu(self, tree: Union[DataTree, Node]) -> DataTree:
+        """Re-label an instance of ``tau'`` into the external alphabet."""
+        root = tree.root if isinstance(tree, DataTree) else tree
+
+        def rec(node: Node) -> Node:
+            return Node(self.mu[node.label], [rec(c) for c in node.children], node.value)
+
+        return DataTree(rec(root))
+
+    # -- validation -----------------------------------------------------------------
+
+    def specialization_sets(self, tree: Union[DataTree, Node]) -> dict[int, frozenset[str]]:
+        """Bottom-up subset run: ``id(node) -> set of possible a'``.
+
+        ``a'`` is possible for node ``n`` iff ``mu(a') == label(n)`` and
+        some choice of children specializations spells a word in the
+        content model of ``a'``.
+        """
+        root = tree.root if isinstance(tree, DataTree) else tree
+        result: dict[int, frozenset[str]] = {}
+        sigma_prime = frozenset(self.dtd_prime.alphabet)
+        for node in root.iter_postorder():
+            child_sets = [result[id(c)] for c in node.children]
+            possible: set[str] = set()
+            for a_prime in self.specializations_of(node.label):
+                if a_prime not in self.dtd_prime.alphabet:
+                    continue
+                model = self.dtd_prime.content(a_prime)
+                dfa = model.to_dfa(sigma_prime)
+                # NFA-style walk: the set of DFA states reachable reading
+                # one symbol from each child's specialization set.
+                states = {dfa.start}
+                for options in child_sets:
+                    states = {dfa.transitions[(s, a)] for s in states for a in options}
+                    if not states:
+                        break
+                if states & dfa.accepting:
+                    possible.add(a_prime)
+            result[id(node)] = frozenset(possible)
+        return result
+
+    def validate(self, tree: Union[DataTree, Node]) -> ValidationResult:
+        """Membership of the ``Sigma``-tree in ``mu(inst(tau'))``."""
+        root = tree.root if isinstance(tree, DataTree) else tree
+        sets = self.specialization_sets(root)
+        if self.roots & sets[id(root)]:
+            return ValidationResult(True)
+        return ValidationResult(
+            False,
+            ValidationError(
+                root,
+                f"no specialization run assigns a root symbol "
+                f"({sorted(self.roots)}) to the root (tag {root.label!r})",
+            ),
+        )
+
+    def is_valid(self, tree: Union[DataTree, Node]) -> bool:
+        return self.validate(tree).ok
+
+    def witness_specialization(self, tree: Union[DataTree, Node]) -> Optional[DataTree]:
+        """A concrete ``tau'`` derivation tree whose ``mu``-image is
+        ``tree``, or ``None`` if the tree is invalid.  Reconstructed
+        top-down from the subset run."""
+        root = tree.root if isinstance(tree, DataTree) else tree
+        sets = self.specialization_sets(root)
+        possible_roots = sorted(self.roots & sets[id(root)])
+        if not possible_roots:
+            return None
+        root_symbol = possible_roots[0]
+        sigma_prime = frozenset(self.dtd_prime.alphabet)
+
+        def rebuild(node: Node, a_prime: str) -> Node:
+            model = self.dtd_prime.content(a_prime)
+            dfa = model.to_dfa(sigma_prime)
+            choice = self._choose_word(dfa, [sets[id(c)] for c in node.children])
+            assert choice is not None, "subset run promised a word"
+            return Node(
+                a_prime,
+                [rebuild(c, a) for c, a in zip(node.children, choice)],
+                node.value,
+            )
+
+        return DataTree(rebuild(root, root_symbol))
+
+    @staticmethod
+    def _choose_word(dfa, option_sets: list[frozenset[str]]) -> Optional[list[str]]:
+        """One accepted word choosing a letter from each option set, by
+        backward dynamic programming over DFA states."""
+        n = len(option_sets)
+        # ok[i] = set of states from which a completion using sets i..n-1 accepts.
+        ok: list[set[int]] = [set() for _ in range(n + 1)]
+        ok[n] = set(dfa.accepting)
+        for i in range(n - 1, -1, -1):
+            for s in range(dfa.n_states):
+                if any(dfa.transitions[(s, a)] in ok[i + 1] for a in option_sets[i]):
+                    ok[i].add(s)
+        if dfa.start not in ok[0]:
+            return None
+        word: list[str] = []
+        state = dfa.start
+        for i in range(n):
+            for a in sorted(option_sets[i]):
+                t = dfa.transitions[(state, a)]
+                if t in ok[i + 1]:
+                    word.append(a)
+                    state = t
+                    break
+            else:  # pragma: no cover - contradicts ok[] computation
+                return None
+        return word
+
+    # -- language-level operations ---------------------------------------------
+
+    def _root_dtds(self) -> list[DTD]:
+        """One plain DTD per allowed root symbol (same rules)."""
+        return [
+            DTD(r, dict(self.dtd_prime.rules), alphabet=self.dtd_prime.alphabet)
+            for r in sorted(self.roots)
+        ]
+
+    def is_empty(self) -> bool:
+        """Whether ``mu(inst(tau'))`` is empty — i.e. no allowed root
+        symbol derives a finite tree."""
+        from repro.dtd.generate import min_instance_size
+
+        for dtd in self._root_dtds():
+            if min_instance_size(dtd).get(dtd.root) is not None:
+                return False
+        return True
+
+    def sample_instance(self, max_size: int = 16) -> Optional[DataTree]:
+        """A smallest member of the specified tree language (the
+        ``mu``-image of a minimal ``tau'`` derivation), or ``None`` if the
+        language is empty or exceeds ``max_size``."""
+        from repro.dtd.generate import enumerate_instances
+
+        best: Optional[DataTree] = None
+        for dtd in self._root_dtds():
+            for prime_tree in enumerate_instances(dtd, max_size, limit=1):
+                candidate = self.apply_mu(prime_tree)
+                if best is None or candidate.size() < best.size():
+                    best = candidate
+        return best
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{s}->{t}" for s, t in sorted(self.mu.items()) if s != t)
+        return f"SpecializedDTD({self.dtd_prime!r}, mu={{{pairs}}})"

@@ -1,0 +1,265 @@
+"""Unranked regular tree automata.
+
+The paper (Section 2) notes that *specialized DTDs are precisely
+equivalent to regular tree automata over unranked trees* [3, 22] — "more
+evidence that specialized DTDs are a robust and natural specification
+mechanism".  This module makes the equivalence executable:
+
+* :class:`UnrankedTreeAutomaton` — nondeterministic bottom-up automata:
+  a run assigns each node a state ``q`` such that the node's tag is
+  allowed for ``q`` and the children's state word lies in the horizontal
+  language of ``q`` (a regular language over the state alphabet);
+* :func:`from_specialized` / :func:`to_specialized` — the two directions
+  of the equivalence (states <-> specialized symbols);
+* product construction (:meth:`intersect`), emptiness, and membership.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.automata.dfa import DFA
+from repro.automata.regex import Regex, parse_regex
+from repro.dtd.core import DTD
+from repro.dtd.specialized import SpecializedDTD
+from repro.trees.data_tree import DataTree, Node
+
+
+class UnrankedTreeAutomaton:
+    """A nondeterministic bottom-up automaton on unranked ``Sigma``-trees.
+
+    Parameters
+    ----------
+    states:
+        Finite state set (strings).
+    tag_of:
+        ``state -> tag``: the (single) input tag a state may label.
+        (General automata allow a set of tags per state; duplicating
+        states makes single-tag canonical and matches specialization.)
+    horizontal:
+        ``state -> regex over states``: allowed children state words.
+    accepting:
+        Root states.
+    """
+
+    __slots__ = ("states", "tag_of", "horizontal", "accepting", "_dfas")
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        tag_of: Mapping[str, str],
+        horizontal: Mapping[str, Union[Regex, str]],
+        accepting: Iterable[str],
+    ) -> None:
+        self.states = frozenset(states)
+        missing = self.states - set(tag_of)
+        if missing:
+            raise ValueError(f"states without a tag: {sorted(missing)}")
+        self.tag_of = dict(tag_of)
+        self.horizontal: dict[str, Regex] = {}
+        for q in self.states:
+            spec = horizontal.get(q, "eps")
+            self.horizontal[q] = parse_regex(spec) if isinstance(spec, str) else spec
+        self.accepting = frozenset(accepting)
+        unknown = self.accepting - self.states
+        if unknown:
+            raise ValueError(f"accepting states not declared: {sorted(unknown)}")
+        self._dfas: dict[str, DFA] = {}
+
+    # -- runs -----------------------------------------------------------------
+
+    def _dfa(self, state: str) -> DFA:
+        if state not in self._dfas:
+            self._dfas[state] = self.horizontal[state].to_dfa(self.states)
+        return self._dfas[state]
+
+    def reachable_states_of(self, tree: Union[DataTree, Node]) -> dict[int, frozenset[str]]:
+        """Bottom-up subset run: ``id(node) -> possible states``."""
+        root = tree.root if isinstance(tree, DataTree) else tree
+        result: dict[int, frozenset[str]] = {}
+        for node in root.iter_postorder():
+            child_sets = [result[id(c)] for c in node.children]
+            possible: set[str] = set()
+            for q in self.states:
+                if self.tag_of[q] != node.label:
+                    continue
+                dfa = self._dfa(q)
+                current = {dfa.start}
+                for options in child_sets:
+                    current = {
+                        dfa.transitions[(s, a)]
+                        for s in current
+                        for a in options
+                        if a in dfa.alphabet
+                    }
+                    if not current:
+                        break
+                if current & dfa.accepting:
+                    possible.add(q)
+            result[id(node)] = frozenset(possible)
+        return result
+
+    def accepts(self, tree: Union[DataTree, Node]) -> bool:
+        """Whether some run reaches an accepting state at the root."""
+        root = tree.root if isinstance(tree, DataTree) else tree
+        return bool(self.reachable_states_of(root)[id(root)] & self.accepting)
+
+    # -- language operations -----------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Emptiness: no accepting state is *productive* (derives a finite
+        tree).  Standard fixpoint over productive states."""
+        productive: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for q in self.states - productive:
+                dfa = self._dfa(q)
+                # Is some word over `productive` accepted?
+                restricted_live = self._accepts_some_word_over(dfa, productive)
+                if restricted_live:
+                    productive.add(q)
+                    changed = True
+        return not (productive & self.accepting)
+
+    @staticmethod
+    def _accepts_some_word_over(dfa: DFA, letters: set[str]) -> bool:
+        seen = {dfa.start}
+        stack = [dfa.start]
+        while stack:
+            s = stack.pop()
+            if s in dfa.accepting:
+                return True
+            for a in letters:
+                if a not in dfa.alphabet:
+                    continue
+                t = dfa.transitions[(s, a)]
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return False
+
+    def intersect(self, other: "UnrankedTreeAutomaton") -> "UnrankedTreeAutomaton":
+        """Product automaton: accepts exactly the trees both accept.
+        States are pairs (encoded ``q|r``) with matching tags; horizontal
+        languages are products through an explicit DFA construction."""
+        pair_states: list[tuple[str, str]] = [
+            (q, r)
+            for q in sorted(self.states)
+            for r in sorted(other.states)
+            if self.tag_of[q] == other.tag_of[r]
+        ]
+        if not pair_states:
+            return UnrankedTreeAutomaton(
+                {"__dead__"}, {"__dead__": "__none__"}, {"__dead__": "empty"}, set()
+            )
+        encode = {pair: f"{pair[0]}|{pair[1]}" for pair in pair_states}
+        tag_of = {encode[(q, r)]: self.tag_of[q] for q, r in pair_states}
+        horizontal: dict[str, Regex] = {}
+        for q, r in pair_states:
+            horizontal[encode[(q, r)]] = _product_horizontal(
+                self._dfa(q), other._dfa(r), pair_states, encode
+            )
+        accepting = {
+            encode[(q, r)]
+            for q, r in pair_states
+            if q in self.accepting and r in other.accepting
+        }
+        return UnrankedTreeAutomaton(encode.values(), tag_of, horizontal, accepting)
+
+    def __repr__(self) -> str:
+        return (
+            f"UnrankedTreeAutomaton(states={len(self.states)}, "
+            f"accepting={sorted(self.accepting)})"
+        )
+
+
+def _product_horizontal(
+    d1: DFA,
+    d2: DFA,
+    pair_states: list[tuple[str, str]],
+    encode: dict[tuple[str, str], str],
+) -> Regex:
+    """The horizontal language of a product state: words of pair-letters
+    whose projections are accepted by both component DFAs."""
+    index: dict[tuple[int, int], int] = {}
+
+    def intern(p: tuple[int, int]) -> int:
+        if p not in index:
+            index[p] = len(index)
+        return index[p]
+
+    alphabet = frozenset(encode.values())
+    start = intern((d1.start, d2.start))
+    transitions: dict[tuple[int, str], int] = {}
+    accepting: set[int] = set()
+    queue = [(d1.start, d2.start)]
+    seen = {(d1.start, d2.start)}
+    while queue:
+        s1, s2 = queue.pop()
+        s = index[(s1, s2)]
+        if s1 in d1.accepting and s2 in d2.accepting:
+            accepting.add(s)
+        for q, r in pair_states:
+            t1 = d1.transitions.get((s1, q))
+            t2 = d2.transitions.get((s2, r))
+            if t1 is None or t2 is None:
+                continue
+            transitions[(s, encode[(q, r)])] = intern((t1, t2))
+            if (t1, t2) not in seen:
+                seen.add((t1, t2))
+                queue.append((t1, t2))
+    # Totalize with a sink.
+    sink = len(index)
+    n = sink + 1
+    for s in range(n):
+        for a in alphabet:
+            transitions.setdefault((s, a), sink)
+    dfa = DFA(n, start, accepting, transitions, alphabet)
+    return dfa.to_regex()
+
+
+# -- the equivalence with specialized DTDs ------------------------------------------
+
+
+def from_specialized(spec: SpecializedDTD) -> UnrankedTreeAutomaton:
+    """Specialized DTD -> tree automaton: specialized symbols become
+    states, ``mu`` gives the tag, content models give the horizontal
+    languages, the allowed roots accept."""
+    dtd = spec.dtd_prime
+    horizontal: dict[str, Regex] = {}
+    for symbol in dtd.alphabet:
+        horizontal[symbol] = dtd.content(symbol).to_dfa(dtd.alphabet).to_regex()
+    return UnrankedTreeAutomaton(
+        states=dtd.alphabet,
+        tag_of=dict(spec.mu),
+        horizontal=horizontal,
+        accepting=spec.roots,
+    )
+
+
+def intersect_dtds(
+    d1: Union[DTD, SpecializedDTD], d2: Union[DTD, SpecializedDTD]
+) -> SpecializedDTD:
+    """The intersection of two (possibly specialized) DTD languages.
+
+    Plain DTDs are *not* closed under intersection — the product of two
+    content constraints may need the type of a tag to depend on context —
+    but specialized DTDs are (they are exactly the regular unranked tree
+    languages).  This goes DTD -> automaton -> product -> specialized DTD.
+    """
+    s1 = d1 if isinstance(d1, SpecializedDTD) else SpecializedDTD(d1)
+    s2 = d2 if isinstance(d2, SpecializedDTD) else SpecializedDTD(d2)
+    return to_specialized(from_specialized(s1).intersect(from_specialized(s2)))
+
+
+def to_specialized(automaton: UnrankedTreeAutomaton) -> SpecializedDTD:
+    """Tree automaton -> specialized DTD: states become specialized
+    symbols with their horizontal languages as content."""
+    rules = {q: automaton.horizontal[q] for q in automaton.states}
+    dtd_prime = DTD(
+        sorted(automaton.accepting)[0] if automaton.accepting else sorted(automaton.states)[0],
+        rules,
+        alphabet=automaton.states,
+    )
+    return SpecializedDTD(dtd_prime, dict(automaton.tag_of), roots=automaton.accepting)

@@ -1,0 +1,15 @@
+"""Concrete workloads from the paper's running examples."""
+
+from repro.examples_data.movies import (
+    make_catalog,
+    movie_dtd,
+    projection_free_query,
+    woody_allen_query,
+)
+
+__all__ = [
+    "make_catalog",
+    "movie_dtd",
+    "projection_free_query",
+    "woody_allen_query",
+]

@@ -1,0 +1,179 @@
+"""The paper's running example: the movie catalog (Example 2.3,
+Figures 1 and 2).
+
+The (partial) DTD of Example 2.3::
+
+    root     -> movie*
+    movie    -> title.director.review
+    title    -> actor*
+    actor    -> name.Sigma*
+    director -> eps ; review -> eps
+
+``Sigma*`` (free-form actor info) is instantiated with the concrete tags
+``bio`` and ``award``.  Data values carry the actual names/titles: the
+``director`` node's value is the director's name, an ``actor`` node's
+value is the actor's name (so the same actor is recognizable across
+movies), etc.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.dtd.core import DTD
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.trees.data_tree import DataTree, Node
+
+WOODY = "W. Allen"
+
+#: Concrete instantiation of the paper's ``Sigma*`` actor info.
+ACTOR_INFO_TAGS = ("bio", "award")
+
+
+def movie_dtd() -> DTD:
+    """The Example 2.3 DTD (with ``Sigma*`` made concrete)."""
+    return DTD(
+        "root",
+        {
+            "root": "movie*",
+            "movie": "title.director.review",
+            "title": "actor*",
+            "actor": f"name.({' + '.join(ACTOR_INFO_TAGS)})*",
+        },
+    )
+
+
+def make_catalog(
+    n_movies: int,
+    actors_per_movie: int = 2,
+    woody_share: float = 0.5,
+    seed: int = 0,
+    actor_pool: Optional[Sequence[str]] = None,
+) -> DataTree:
+    """Generate a valid movie catalog.
+
+    Roughly ``woody_share`` of the movies are directed by W. Allen;
+    actors are drawn from a shared pool so the Figure 2 sub-query (same
+    actor in other movies) has matches.
+    """
+    rng = random.Random(seed)
+    pool = list(actor_pool) if actor_pool is not None else [f"actor{i}" for i in range(6)]
+    directors = [WOODY, "S. Coppola", "A. Varda"]
+    root = Node("root")
+    for m in range(n_movies):
+        movie = root.add_child(Node("movie"))
+        title = movie.add_child(Node("title", value=f"Movie {m}"))
+        for _ in range(actors_per_movie):
+            name = rng.choice(pool)
+            actor = title.add_child(Node("actor", value=name))
+            actor.add_child(Node("name", value=name))
+            for tag in ACTOR_INFO_TAGS:
+                if rng.random() < 0.5:
+                    actor.add_child(Node(tag, value=f"{tag} of {name}"))
+        director = WOODY if rng.random() < woody_share else rng.choice(directors[1:])
+        movie.add_child(Node("director", value=director))
+        movie.add_child(Node("review", value=f"review of Movie {m}"))
+    return DataTree(root)
+
+
+def woody_allen_query() -> Query:
+    """Figure 1: titles of W. Allen movies, actors grouped under title,
+    all actor info (with the *input* tags, via a tag variable), and the
+    reviews collected by the nested query ``Q1``.
+
+    A title appears only if it has at least one actor (the where clause
+    requires one), but appears even without reviews (those come from the
+    nested query).
+    """
+    where = Where.of(
+        "root",
+        [
+            Edge.of(None, "X1", "movie"),
+            Edge.of("X1", "X2", "title"),
+            Edge.of("X1", "X3", "director"),
+            Edge.of("X2", "X4", "actor"),
+            Edge.of("X4", "X5", " + ".join(("name",) + ACTOR_INFO_TAGS)),
+        ],
+        [Condition("X3", "=", Const(WOODY))],
+    )
+    q1 = Query(  # collect the movie's reviews (may be none)
+        where=Where.of(
+            "root",
+            [Edge.of("X1", "Y1", "review")],
+        ),
+        construct=ConstructNode("review", ("X1", "X2", "Y1")),
+        free_vars=("X1", "X2"),
+    )
+    construct = ConstructNode(
+        "result",
+        (),
+        (
+            ConstructNode(
+                "title",
+                ("X2",),
+                (
+                    ConstructNode(
+                        "actor",
+                        ("X2", "X4"),
+                        (ConstructNode("X5", ("X2", "X4", "X5")),),  # tag variable
+                    ),
+                    NestedQuery(q1, ("X1", "X2")),
+                ),
+            ),
+        ),
+    )
+    return Query(where=where, construct=construct)
+
+
+def projection_free_query() -> Query:
+    """Figure 2 / Example 3.4: the actors of W. Allen movies with their
+    movie's title, and — per actor — all *other* titles (not by W. Allen)
+    in which the actor acts.  This query is projection-free w.r.t. the
+    movie DTD: every construct node's variables functionally determine
+    the rest of its scope.
+    """
+    where = Where.of(
+        "root",
+        [
+            Edge.of(None, "X1", "movie"),
+            Edge.of("X1", "X2", "title"),
+            Edge.of("X1", "X5", "director"),
+            Edge.of("X2", "X3", "actor"),
+        ],
+        [Condition("X5", "=", Const(WOODY))],
+    )
+    other_titles = Query(
+        where=Where.of(
+            "root",
+            [
+                Edge.of(None, "Y1", "movie"),
+                Edge.of("Y1", "Y2", "title"),
+                Edge.of("Y2", "Y3", "actor"),
+                Edge.of("Y1", "Y4", "director"),
+            ],
+            [
+                Condition("Y3", "=", "X3"),  # the same actor (by name value)
+                Condition("Y4", "!=", Const(WOODY)),
+            ],
+        ),
+        construct=ConstructNode(
+            "othertitle", ("X1", "X2", "X3", "X5", "Y1", "Y2", "Y3", "Y4")
+        ),
+        free_vars=("X1", "X2", "X3", "X5"),
+    )
+    construct = ConstructNode(
+        "result",
+        (),
+        (
+            ConstructNode(
+                "actor",
+                ("X1", "X2", "X3", "X5"),
+                (
+                    ConstructNode("title", ("X1", "X2", "X3", "X5")),
+                    NestedQuery(other_titles, ("X1", "X2", "X3", "X5")),
+                ),
+            ),
+        ),
+    )
+    return Query(where=where, construct=construct)

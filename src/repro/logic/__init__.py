@@ -1,0 +1,49 @@
+"""Logics and decision problems used by the paper.
+
+* :mod:`repro.logic.sl` — the counting logic SL behind *unordered DTDs*
+  (Section 2);
+* :mod:`repro.logic.propositional` — propositional formulas (validity is
+  the CO-NP-hardness source of Theorem 4.2(i));
+* :mod:`repro.logic.qbf` — quantified Boolean formulas (PSPACE source of
+  Proposition 4.3);
+* :mod:`repro.logic.conjunctive` — conjunctive queries, with optional
+  inequalities, and their containment problems (Theorem 4.2(ii)/(iii));
+* :mod:`repro.logic.dependencies` — functional + inclusion dependencies
+  and the chase (undecidability source of Theorem 5.1 / Proposition 5.2);
+* :mod:`repro.logic.pcp` — Post's Correspondence Problem (undecidability
+  source of Theorem 5.3).
+"""
+
+from repro.logic.sl import (
+    SLAnd,
+    SLAtom,
+    SLFalse,
+    SLFormula,
+    SLNot,
+    SLOr,
+    SLTrue,
+    at_least,
+    exactly,
+    parse_sl,
+    sl_and,
+    sl_implies,
+    sl_not,
+    sl_or,
+)
+
+__all__ = [
+    "SLAnd",
+    "SLAtom",
+    "SLFalse",
+    "SLFormula",
+    "SLNot",
+    "SLOr",
+    "SLTrue",
+    "at_least",
+    "exactly",
+    "parse_sl",
+    "sl_and",
+    "sl_implies",
+    "sl_not",
+    "sl_or",
+]

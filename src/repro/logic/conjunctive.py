@@ -1,0 +1,229 @@
+"""Conjunctive queries over a single relation, with optional inequalities.
+
+These are the complexity sources of Theorem 4.2:
+
+* plain CQ containment is NP-complete — combined with propositional
+  validity it gives the DP-hardness of Theorem 4.2(ii);
+* containment of CQs with inequalities is Pi^p_2-complete (van der Meyden)
+  — the source of Theorem 4.2(iii).
+
+Conventions: one relation symbol ``R`` of fixed arity; variables are
+strings, constants are ints.  A database instance is a set of tuples of
+values (any hashables).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator, Optional, Sequence
+
+Term = Any  # str = variable, int (or other non-str hashable) = constant
+
+
+def is_variable(term: Term) -> bool:
+    """Variables are strings; everything else is a constant."""
+    return isinstance(term, str)
+
+
+@dataclass(frozen=True, slots=True)
+class ConjunctiveQuery:
+    """``q(head) :- R(atom1), ..., R(atomm), t1 != t2, ...``.
+
+    ``arity`` is the arity of the single relation ``R``; every atom must
+    have exactly that many terms.  ``inequalities`` are unordered pairs of
+    terms required to differ.
+    """
+
+    arity: int
+    head: tuple[Term, ...]
+    atoms: tuple[tuple[Term, ...], ...]
+    inequalities: tuple[tuple[Term, Term], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for atom in self.atoms:
+            if len(atom) != self.arity:
+                raise ValueError(f"atom {atom} does not match arity {self.arity}")
+        body_vars = self.body_variables()
+        for v in self.head:
+            if is_variable(v) and v not in body_vars:
+                raise ValueError(f"head variable {v!r} not bound in the body (unsafe query)")
+        for s, t in self.inequalities:
+            for term in (s, t):
+                if is_variable(term) and term not in body_vars:
+                    raise ValueError(f"inequality uses unbound variable {term!r}")
+
+    def body_variables(self) -> frozenset[str]:
+        return frozenset(t for atom in self.atoms for t in atom if is_variable(t))
+
+    def variables(self) -> frozenset[str]:
+        return self.body_variables() | frozenset(t for t in self.head if is_variable(t))
+
+    def has_inequalities(self) -> bool:
+        return bool(self.inequalities)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def homomorphisms(self, instance: Iterable[tuple]) -> Iterator[dict[str, Hashable]]:
+        """All assignments of body variables that map every atom into
+        ``instance`` and satisfy the inequalities."""
+        tuples = list(instance)
+        yield from self._extend({}, 0, tuples)
+
+    def _extend(
+        self, partial: dict[str, Hashable], i: int, tuples: list[tuple]
+    ) -> Iterator[dict[str, Hashable]]:
+        if i == len(self.atoms):
+            if self._inequalities_ok(partial):
+                yield dict(partial)
+            return
+        atom = self.atoms[i]
+        for row in tuples:
+            binding = self._match(atom, row, partial)
+            if binding is not None:
+                yield from self._extend(binding, i + 1, tuples)
+
+    @staticmethod
+    def _match(
+        atom: tuple[Term, ...], row: tuple, partial: dict[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]:
+        binding = dict(partial)
+        for term, value in zip(atom, row):
+            if is_variable(term):
+                if term in binding:
+                    if binding[term] != value:
+                        return None
+                else:
+                    binding[term] = value
+            elif term != value:
+                return None
+        return binding
+
+    def _inequalities_ok(self, binding: dict[str, Hashable]) -> bool:
+        for s, t in self.inequalities:
+            sv = binding[s] if is_variable(s) else s
+            tv = binding[t] if is_variable(t) else t
+            if sv == tv:
+                return False
+        return True
+
+    def evaluate(self, instance: Iterable[tuple]) -> set[tuple]:
+        """The set of head tuples."""
+        out: set[tuple] = set()
+        for h in self.homomorphisms(instance):
+            out.add(tuple(h[t] if is_variable(t) else t for t in self.head))
+        return out
+
+    # -- canonical databases ---------------------------------------------------
+
+    def canonical_instance(self) -> tuple[set[tuple], dict[str, Hashable]]:
+        """Freeze every variable into a fresh constant; returns the frozen
+        database and the freezing map."""
+        freeze = {v: f"_c_{v}" for v in sorted(self.body_variables())}
+        db = {tuple(freeze.get(t, t) if is_variable(t) else t for t in atom) for atom in self.atoms}
+        return db, freeze
+
+
+def contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide ``q1 subseteq q2``.
+
+    * Without inequalities this is the classical canonical-database /
+      homomorphism test (Chandra-Merlin), NP in ``|q2|``.
+    * With inequalities we run the Pi^p_2 test: for every partition of
+      ``q1``'s variables consistent with ``q1``'s inequalities, the induced
+      canonical database must make ``q2`` produce the corresponding head.
+    """
+    if q1.arity != q2.arity:
+        raise ValueError("containment requires queries over the same relation arity")
+    if len(q1.head) != len(q2.head):
+        raise ValueError("containment requires same head arity")
+    if not q1.inequalities and not q2.inequalities:
+        # Chandra-Merlin: one canonical database suffices.
+        db, freeze = q1.canonical_instance()
+        goal = tuple(freeze.get(t, t) if is_variable(t) else t for t in q1.head)
+        return goal in q2.evaluate(db)
+    # With inequalities on either side, distinct frozen nulls are no longer
+    # "generic": we must check every identification of q1's variables that
+    # respects q1's own inequalities (the Pi^p_2 procedure).
+    variables = sorted(q1.body_variables())
+    # Identifications may equate q1's variables with any constant either
+    # query mentions — a constant known only to q2 can still distinguish
+    # databases (e.g. q2 requiring x != 3 fails exactly when x is 3).
+    constants = sorted(
+        {
+            t
+            for q in (q1, q2)
+            for atom in q.atoms
+            for t in atom
+            if not is_variable(t)
+        }
+        | {
+            t
+            for q in (q1, q2)
+            for pair in q.inequalities
+            for t in pair
+            if not is_variable(t)
+        },
+        key=repr,
+    )
+    for theta in _identifications(variables, constants):
+        if not q1._inequalities_ok(theta):
+            continue
+        db = {
+            tuple(theta[t] if is_variable(t) else t for t in atom) for atom in q1.atoms
+        }
+        goal = tuple(theta[t] if is_variable(t) else t for t in q1.head)
+        if goal not in q2.evaluate(db):
+            return False
+    return True
+
+
+def _identifications(
+    variables: Sequence[str], constants: Sequence[Hashable]
+) -> Iterator[dict[str, Hashable]]:
+    """Every way of identifying variables with each other or with existing
+    constants (set partitions with optional constant anchors)."""
+    if not variables:
+        yield {}
+        return
+    # Each variable maps to either one of the constants or a "block id";
+    # block ids are canonicalized (restricted growth strings) to avoid
+    # producing the same partition twice.
+    n = len(variables)
+
+    def rec(i: int, mapping: dict[str, Hashable], next_block: int) -> Iterator[dict[str, Hashable]]:
+        if i == n:
+            yield dict(mapping)
+            return
+        v = variables[i]
+        for c in constants:
+            mapping[v] = c
+            yield from rec(i + 1, mapping, next_block)
+        for b in range(next_block):
+            mapping[v] = f"_b_{b}"
+            yield from rec(i + 1, mapping, next_block)
+        mapping[v] = f"_b_{next_block}"
+        yield from rec(i + 1, mapping, next_block + 1)
+        del mapping[v]
+
+    yield from rec(0, {}, 0)
+
+
+def random_chain_query(
+    length: int, arity: int = 2, head_width: int = 1, prefix: str = "z"
+) -> ConjunctiveQuery:
+    """A chain CQ ``q(z0) :- R(z0,z1), R(z1,z2), ...`` used by benchmark
+    workload generators (binary relations only)."""
+    if arity != 2:
+        raise ValueError("chain queries are defined over binary relations")
+    atoms = tuple((f"{prefix}{i}", f"{prefix}{i+1}") for i in range(length))
+    head = tuple(f"{prefix}{i}" for i in range(head_width))
+    return ConjunctiveQuery(arity=2, head=head, atoms=atoms)
+
+
+def cycle_query(length: int, prefix: str = "z") -> ConjunctiveQuery:
+    """A cycle CQ of given length over a binary relation (boolean head)."""
+    atoms = tuple(
+        (f"{prefix}{i}", f"{prefix}{(i + 1) % length}") for i in range(length)
+    )
+    return ConjunctiveQuery(arity=2, head=(f"{prefix}0",), atoms=atoms)

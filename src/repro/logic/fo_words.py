@@ -1,0 +1,207 @@
+"""First-order logic over words: the "star-free DTDs use FO sentences"
+view of the paper (Section 2: star-free = FO-definable; Proposition 4.3
+states its PSPACE lower bound *using FO sentences* as content models).
+
+A word ``a1..an`` is the structure ``({1..n}; <, (O_a))``; sentences are
+built from position variables with ``exists/forall``, ``<``, ``=`` and the
+letter predicates ``O_a(x)``.  Evaluation is direct (``O(n^depth)``) —
+exactly what makes FO content models succinct yet checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+class FOFormula:
+    """Base class of FO-over-words formulas."""
+
+    __slots__ = ()
+
+    def evaluate(self, word: Sequence[str], env: Mapping[str, int] | None = None) -> bool:
+        return self._eval(tuple(word), dict(env or {}))
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        raise NotImplementedError
+
+    def free_variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        self._free(out, set())
+        return frozenset(out)
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        raise NotImplementedError
+
+    def is_sentence(self) -> bool:
+        return not self.free_variables()
+
+    def __and__(self, other: "FOFormula") -> "FOFormula":
+        return FOAnd(self, other)
+
+    def __or__(self, other: "FOFormula") -> "FOFormula":
+        return FOOr(self, other)
+
+    def __invert__(self) -> "FOFormula":
+        return FONot(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Letter(FOFormula):
+    """``O_a(x)``: position ``x`` carries letter ``a``."""
+
+    var: str
+    letter: str
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return word[env[self.var]] == self.letter
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        if self.var not in bound:
+            out.add(self.var)
+
+
+@dataclass(frozen=True, slots=True)
+class Less(FOFormula):
+    """``x < y`` on positions."""
+
+    left: str
+    right: str
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return env[self.left] < env[self.right]
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        for v in (self.left, self.right):
+            if v not in bound:
+                out.add(v)
+
+
+@dataclass(frozen=True, slots=True)
+class SamePos(FOFormula):
+    """``x = y`` on positions."""
+
+    left: str
+    right: str
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return env[self.left] == env[self.right]
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        for v in (self.left, self.right):
+            if v not in bound:
+                out.add(v)
+
+
+@dataclass(frozen=True, slots=True)
+class FONot(FOFormula):
+    inner: FOFormula
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return not self.inner._eval(word, env)
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        self.inner._free(out, bound)
+
+
+@dataclass(frozen=True, slots=True)
+class FOAnd(FOFormula):
+    left: FOFormula
+    right: FOFormula
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return self.left._eval(word, env) and self.right._eval(word, env)
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        self.left._free(out, bound)
+        self.right._free(out, bound)
+
+
+@dataclass(frozen=True, slots=True)
+class FOOr(FOFormula):
+    left: FOFormula
+    right: FOFormula
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return self.left._eval(word, env) or self.right._eval(word, env)
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        self.left._free(out, bound)
+        self.right._free(out, bound)
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(FOFormula):
+    var: str
+    body: FOFormula
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        for i in range(len(word)):
+            env[self.var] = i
+            if self.body._eval(word, env):
+                del env[self.var]
+                return True
+        env.pop(self.var, None)
+        return False
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        self.body._free(out, bound | {self.var})
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(FOFormula):
+    var: str
+    body: FOFormula
+
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        for i in range(len(word)):
+            env[self.var] = i
+            if not self.body._eval(word, env):
+                del env[self.var]
+                return False
+        env.pop(self.var, None)
+        return True
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        self.body._free(out, bound | {self.var})
+
+
+@dataclass(frozen=True, slots=True)
+class FOTrue(FOFormula):
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return True
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        pass
+
+
+@dataclass(frozen=True, slots=True)
+class FOFalse(FOFormula):
+    def _eval(self, word: tuple[str, ...], env: dict[str, int]) -> bool:
+        return False
+
+    def _free(self, out: set[str], bound: set[str]) -> None:
+        pass
+
+
+def fo_and(*parts: FOFormula) -> FOFormula:
+    if not parts:
+        return FOTrue()
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = FOAnd(acc, p)
+    return acc
+
+
+def fo_or(*parts: FOFormula) -> FOFormula:
+    if not parts:
+        raise ValueError("fo_or needs at least one operand")
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = FOOr(acc, p)
+    return acc
+
+
+def exists_letter(letter: str, var: str = "_p") -> FOFormula:
+    """``exists x. O_letter(x)`` — the workhorse of the QSAT reduction."""
+    return Exists(var, Letter(var, letter))

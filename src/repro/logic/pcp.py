@@ -1,0 +1,184 @@
+"""Post's Correspondence Problem — the undecidability source of Theorem 5.3.
+
+A PCP instance is a list of pairs ``(u_i, v_i)`` of non-empty words over
+``{a, b}``; a solution is a non-empty index sequence ``i1..im`` with
+``u_i1 ... u_im == v_i1 ... v_im``.  PCP is undecidable, so the solver here
+is a budgeted BFS over *configurations* (the outstanding suffix of
+whichever side is ahead), returning a three-valued result.
+
+The module also produces the paper's string encoding of a solution (proof
+of Theorem 5.3): for each output position ``i`` the encoding holds four
+consecutive positions ``w(i) s(j) index letter`` for the ``u``-parsing,
+then a ``$`` separator, the analogous ``v``-parsing, and ``#``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+class PCPStatus(enum.Enum):
+    SOLVED = "solved"
+    NO_SOLUTION = "no_solution"  # search space exhausted
+    UNKNOWN = "unknown"  # budget ran out
+
+
+@dataclass(frozen=True, slots=True)
+class PCPInstance:
+    """Pairs ``(u_i, v_i)`` indexed from 1, words over ``{a, b}``."""
+
+    pairs: tuple[tuple[str, str], ...]
+
+    @staticmethod
+    def of(us: Sequence[str], vs: Sequence[str]) -> "PCPInstance":
+        if len(us) != len(vs):
+            raise ValueError("PCP instance needs equally many u's and v's")
+        return PCPInstance(tuple(zip(us, vs)))
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("PCP instance must have at least one pair")
+        for u, v in self.pairs:
+            if not u or not v:
+                raise ValueError("PCP words must be non-empty")
+            if set(u) | set(v) - {"a", "b"}:
+                if not (set(u) | set(v)) <= {"a", "b"}:
+                    raise ValueError("PCP words must be over {a, b}")
+
+    @property
+    def k(self) -> int:
+        return len(self.pairs)
+
+    def is_solution(self, indices: Sequence[int]) -> bool:
+        """Verify a candidate index sequence (1-based indices)."""
+        if not indices:
+            return False
+        u = "".join(self.pairs[i - 1][0] for i in indices)
+        v = "".join(self.pairs[i - 1][1] for i in indices)
+        return u == v
+
+    def solve(self, max_configurations: int = 200_000, max_length: int = 64) -> "PCPSearch":
+        """Budgeted BFS for a shortest solution.
+
+        Configurations are ``(side, outstanding)``: the suffix by which one
+        side is ahead.  A solution is found when the outstanding suffix
+        becomes empty after at least one tile.
+        """
+        start = ("", 0)  # (outstanding, sign) sign>0: u ahead, <0: v ahead, 0: even
+        queue: deque[tuple[str, int, tuple[int, ...]]] = deque()
+        seen: set[tuple[str, int]] = set()
+        explored = 0
+        # Seed with every tile.
+        for i, (u, v) in enumerate(self.pairs, start=1):
+            cfg = _step("", 0, u, v)
+            if cfg is None:
+                continue
+            outstanding, sign = cfg
+            if not outstanding:
+                return PCPSearch(PCPStatus.SOLVED, (i,), explored)
+            if (outstanding, sign) not in seen and len(outstanding) <= max_length:
+                seen.add((outstanding, sign))
+                queue.append((outstanding, sign, (i,)))
+        while queue:
+            explored += 1
+            if explored > max_configurations:
+                return PCPSearch(PCPStatus.UNKNOWN, None, explored)
+            outstanding, sign, path = queue.popleft()
+            for i, (u, v) in enumerate(self.pairs, start=1):
+                cfg = _step(outstanding, sign, u, v)
+                if cfg is None:
+                    continue
+                new_out, new_sign = cfg
+                new_path = path + (i,)
+                if not new_out:
+                    assert self.is_solution(new_path)
+                    return PCPSearch(PCPStatus.SOLVED, new_path, explored)
+                key = (new_out, new_sign)
+                if key not in seen and len(new_out) <= max_length:
+                    seen.add(key)
+                    queue.append((new_out, new_sign, new_path))
+        return PCPSearch(PCPStatus.NO_SOLUTION, None, explored)
+
+
+@dataclass(frozen=True, slots=True)
+class PCPSearch:
+    status: PCPStatus
+    solution: Optional[tuple[int, ...]]
+    configurations_explored: int
+
+
+def _step(outstanding: str, sign: int, u: str, v: str) -> Optional[tuple[str, int]]:
+    """Append tile (u, v) to a configuration.
+
+    ``sign > 0`` means the u-side is ahead by ``outstanding`` (v must catch
+    up through it), ``sign < 0`` symmetrically, ``0`` means both even.
+    Returns the new configuration or ``None`` if the tile mismatches.
+    """
+    if sign >= 0:
+        total_u = outstanding + u  # u-side text that v must match
+        total_v = v
+    else:
+        total_u = u
+        total_v = outstanding + v
+    m = min(len(total_u), len(total_v))
+    if total_u[:m] != total_v[:m]:
+        return None
+    if len(total_u) >= len(total_v):
+        return total_u[m:], 1 if len(total_u) > len(total_v) else 0
+    return total_v[m:], -1
+
+
+# -- the paper's solution encoding (Theorem 5.3) -----------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedPosition:
+    """One output position of the common word: ``w(i) s(j) index letter``."""
+
+    position: int  # i  (1-based position in the common word)
+    segment: int  # j  (1-based tile occurrence this letter belongs to)
+    tile: int  # the tile index i_j
+    letter: str  # the letter a/b at this position
+
+
+def parse_side(instance: PCPInstance, indices: Sequence[int], side: int) -> list[ParsedPosition]:
+    """Parse ``u_{i1}..u_{im}`` (side 0) or ``v_{i1}..v_{im}`` (side 1)
+    into the per-position records of the paper's encoding."""
+    out: list[ParsedPosition] = []
+    pos = 1
+    for j, tile in enumerate(indices, start=1):
+        word = instance.pairs[tile - 1][side]
+        for letter in word:
+            out.append(ParsedPosition(pos, j, tile, letter))
+            pos += 1
+    return out
+
+
+def encode_solution(instance: PCPInstance, indices: Sequence[int]) -> list[str]:
+    """The linear string encoding ``x $ y #`` of the paper: for each
+    position four symbols ``w(i)``, ``s(j)``, tile index, letter; the
+    ``u``-parsing, then ``$``, then the ``v``-parsing, then ``#``.
+
+    Returned as a flat list of symbols, e.g.
+    ``['w1', 's1', 'i1', 'a', ..., '$', 'w1', 's1', 'i1', 'a', ..., '#']``.
+    Position/segment numbers are data values in the tree encoding; here
+    they are baked into symbol names for readability.
+    """
+    if not instance.is_solution(indices):
+        raise ValueError("not a PCP solution; refusing to encode")
+    symbols: list[str] = []
+    for rec in parse_side(instance, indices, 0):
+        symbols += [f"w{rec.position}", f"s{rec.segment}", f"i{rec.tile}", rec.letter]
+    symbols.append("$")
+    for rec in parse_side(instance, indices, 1):
+        symbols += [f"w{rec.position}", f"s{rec.segment}", f"i{rec.tile}", rec.letter]
+    symbols.append("#")
+    return symbols
+
+
+PAPER_EXAMPLE = PCPInstance.of(["aba", "aab", "bb"], ["a", "abab", "babba"])
+"""The worked example of Theorem 5.3: solution ``(1, 3, 2, 1)`` with common
+word ``ababbaababa``."""

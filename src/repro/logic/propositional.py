@@ -1,0 +1,199 @@
+"""Propositional logic: the CO-NP-hardness source of Theorem 4.2(i).
+
+The reduction of the paper maps a propositional formula ``phi`` over
+``x1..xn`` to a typechecking instance that typechecks iff ``phi`` is valid.
+This module supplies formulas, truth-table validity/satisfiability (the
+instances in tests and benchmarks are small), and CNF/DNF helpers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+
+class PropFormula:
+    """Base class of propositional formulas."""
+
+    __slots__ = ()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        self._collect(out)
+        return frozenset(out)
+
+    def _collect(self, out: set[str]) -> None:
+        raise NotImplementedError
+
+    def assignments(self) -> Iterator[dict[str, bool]]:
+        """All assignments over the formula's variables."""
+        names = sorted(self.variables())
+        for bits in itertools.product((False, True), repeat=len(names)):
+            yield dict(zip(names, bits))
+
+    def is_valid(self) -> bool:
+        """Truth-table validity (exponential; instances here are small)."""
+        return all(self.evaluate(a) for a in self.assignments())
+
+    def is_satisfiable(self) -> bool:
+        return any(self.evaluate(a) for a in self.assignments())
+
+    def __and__(self, other: "PropFormula") -> "PropFormula":
+        return p_and(self, other)
+
+    def __or__(self, other: "PropFormula") -> "PropFormula":
+        return p_or(self, other)
+
+    def __invert__(self) -> "PropFormula":
+        return p_not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class PTrue(PropFormula):
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return True
+
+    def _collect(self, out: set[str]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class PFalse(PropFormula):
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return False
+
+    def _collect(self, out: set[str]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True, slots=True)
+class Var(PropFormula):
+    name: str
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            return assignment[self.name]
+        except KeyError:
+            raise KeyError(f"assignment missing variable {self.name!r}") from None
+
+    def _collect(self, out: set[str]) -> None:
+        out.add(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PNot(PropFormula):
+    inner: PropFormula
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.inner.evaluate(assignment)
+
+    def _collect(self, out: set[str]) -> None:
+        self.inner._collect(out)
+
+    def __str__(self) -> str:
+        return f"!{_wrap(self.inner)}"
+
+
+@dataclass(frozen=True, slots=True)
+class PAnd(PropFormula):
+    left: PropFormula
+    right: PropFormula
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def _collect(self, out: set[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class POr(PropFormula):
+    left: PropFormula
+    right: PropFormula
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+    def _collect(self, out: set[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+def _wrap(phi: PropFormula) -> str:
+    if isinstance(phi, (Var, PTrue, PFalse, PNot)):
+        return str(phi)
+    return f"({phi})"
+
+
+P_TRUE = PTrue()
+P_FALSE = PFalse()
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def p_not(phi: PropFormula) -> PropFormula:
+    if isinstance(phi, PTrue):
+        return P_FALSE
+    if isinstance(phi, PFalse):
+        return P_TRUE
+    if isinstance(phi, PNot):
+        return phi.inner
+    return PNot(phi)
+
+
+def p_and(*parts: PropFormula) -> PropFormula:
+    acc: PropFormula = P_TRUE
+    for part in parts:
+        if isinstance(part, PFalse) or isinstance(acc, PFalse):
+            return P_FALSE
+        if isinstance(part, PTrue):
+            continue
+        acc = part if isinstance(acc, PTrue) else PAnd(acc, part)
+    return acc
+
+
+def p_or(*parts: PropFormula) -> PropFormula:
+    acc: PropFormula = P_FALSE
+    for part in parts:
+        if isinstance(part, PTrue) or isinstance(acc, PTrue):
+            return P_TRUE
+        if isinstance(part, PFalse):
+            continue
+        acc = part if isinstance(acc, PFalse) else POr(acc, part)
+    return acc
+
+
+def p_implies(premise: PropFormula, conclusion: PropFormula) -> PropFormula:
+    return p_or(p_not(premise), conclusion)
+
+
+def from_clauses(clauses: Sequence[Sequence[int]], prefix: str = "x") -> PropFormula:
+    """Build a CNF formula from DIMACS-style clauses: literal ``3`` is
+    ``x3``, ``-3`` is ``!x3``."""
+    cnf: list[PropFormula] = []
+    for clause in clauses:
+        lits = [var(f"{prefix}{abs(l)}") if l > 0 else p_not(var(f"{prefix}{abs(l)}")) for l in clause]
+        cnf.append(p_or(*lits))
+    return p_and(*cnf)

@@ -1,0 +1,83 @@
+"""Quantified Boolean formulas: the PSPACE-hardness source of
+Proposition 4.3 (reduction from Quantified 3-SAT).
+
+A :class:`QBF` is a quantifier prefix over distinct variables plus a
+propositional matrix.  Evaluation is the textbook recursive PSPACE
+procedure.  :func:`q3sat` builds the Q3SAT shape (strictly alternating
+prefix, 3-CNF matrix) the reduction consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.logic.propositional import PropFormula, from_clauses
+
+FORALL = "forall"
+EXISTS = "exists"
+
+
+@dataclass(frozen=True, slots=True)
+class QBF:
+    """``Q1 x1 ... Qn xn . matrix`` with ``Qi in {forall, exists}``."""
+
+    prefix: tuple[tuple[str, str], ...]  # (quantifier, variable)
+    matrix: PropFormula
+
+    def __post_init__(self) -> None:
+        names = [v for _, v in self.prefix]
+        if len(set(names)) != len(names):
+            raise ValueError("QBF prefix quantifies a variable twice")
+        for q, _ in self.prefix:
+            if q not in (FORALL, EXISTS):
+                raise ValueError(f"unknown quantifier {q!r}")
+        free = self.matrix.variables() - set(names)
+        if free:
+            raise ValueError(f"free variables in QBF matrix: {sorted(free)}")
+
+    def is_true(self) -> bool:
+        """Evaluate the closed QBF (recursive, PSPACE)."""
+        return self._eval(0, {})
+
+    def _eval(self, i: int, assignment: dict[str, bool]) -> bool:
+        if i == len(self.prefix):
+            return self.matrix.evaluate(assignment)
+        quantifier, name = self.prefix[i]
+        results = []
+        for value in (False, True):
+            assignment[name] = value
+            results.append(self._eval(i + 1, assignment))
+            del assignment[name]
+        return all(results) if quantifier == FORALL else any(results)
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(v for _, v in self.prefix)
+
+    def __str__(self) -> str:
+        quants = " ".join(f"{'A' if q == FORALL else 'E'}{v}" for q, v in self.prefix)
+        return f"{quants} . {self.matrix}"
+
+
+def q3sat(
+    clauses: Sequence[Sequence[int]],
+    n_vars: int,
+    first_quantifier: str = EXISTS,
+    prefix_name: str = "x",
+) -> QBF:
+    """A Quantified 3-SAT instance: alternating prefix ``E x1 A x2 E x3 ...``
+    (starting with ``first_quantifier``) over ``x1..xn`` and a CNF matrix
+    given as DIMACS-style clauses of width <= 3.
+    """
+    for clause in clauses:
+        if not 1 <= len(clause) <= 3:
+            raise ValueError("Q3SAT clauses must have 1 to 3 literals")
+        for lit in clause:
+            if lit == 0 or abs(lit) > n_vars:
+                raise ValueError(f"literal {lit} out of range for {n_vars} variables")
+    other = EXISTS if first_quantifier == FORALL else FORALL
+    prefix = tuple(
+        (first_quantifier if i % 2 == 0 else other, f"{prefix_name}{i + 1}")
+        for i in range(n_vars)
+    )
+    return QBF(prefix, from_clauses(clauses, prefix=prefix_name))

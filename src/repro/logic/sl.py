@@ -1,0 +1,552 @@
+"""The counting logic SL of *unordered DTDs* (paper, Section 2).
+
+Syntax: for every symbol ``a`` and natural ``i``, ``a^=i`` and ``a^>=i``
+are atomic formulas; formulas are closed under negation, conjunction and
+disjunction.  A word satisfies ``a^=i`` iff it contains exactly ``i``
+occurrences of ``a`` (order is invisible to SL — it corresponds to
+FO without ``<``).
+
+Besides evaluation, this module provides the *positive DNF* used in the
+proof of Theorem 3.1: any SL formula (in particular the negation
+``not phi_a`` of a content constraint) can be written as a disjunction of
+conjunctions ``a_1^{*1 i_1} and ... and a_h^{*h i_h}`` with positive atoms
+only, ``*_j in {=, >=}``, and integers bounded by the maximum integer of
+the original formula (+1).  Each disjunct is represented by a
+:class:`CountBox` mapping each constrained symbol to one constraint.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+
+class SLFormula:
+    """Base class of SL formulas."""
+
+    __slots__ = ()
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        """Truth value on a word given as a symbol-count mapping."""
+        raise NotImplementedError
+
+    def satisfied_by_word(self, word: Iterable[str]) -> bool:
+        """Truth value on a word given as a symbol sequence."""
+        return self.evaluate(Counter(word))
+
+    # -- structure ------------------------------------------------------------
+
+    def symbols(self) -> frozenset[str]:
+        """Symbols constrained anywhere in the formula."""
+        out: set[str] = set()
+        self._collect(out)
+        return frozenset(out)
+
+    def max_integer(self) -> int:
+        """The largest count mentioned by any atom (0 for constants)."""
+        return max((a.count for a in self.atoms()), default=0)
+
+    def atoms(self) -> list["SLAtom"]:
+        out: list[SLAtom] = []
+        self._collect_atoms(out)
+        return out
+
+    def _collect(self, out: set[str]) -> None:
+        raise NotImplementedError
+
+    def _collect_atoms(self, out: list["SLAtom"]) -> None:
+        raise NotImplementedError
+
+    # -- normal forms ------------------------------------------------------------
+
+    def to_positive_dnf(self) -> list["CountBox"]:
+        """Positive DNF: a list of :class:`CountBox` whose union is the
+        language of the formula.  Contradictory boxes are pruned, so the
+        formula is satisfiable iff the list is non-empty.
+        """
+        return _positive_dnf(self)
+
+    def is_satisfiable(self) -> bool:
+        """Whether some word satisfies the formula."""
+        return bool(self.to_positive_dnf())
+
+    def witness(self) -> Optional[Counter]:
+        """A minimal multiset of symbols satisfying the formula, or ``None``."""
+        boxes = self.to_positive_dnf()
+        if not boxes:
+            return None
+        best = min(boxes, key=lambda b: b.min_total())
+        return best.min_word_counts()
+
+    def negate(self) -> "SLFormula":
+        return sl_not(self)
+
+    def equivalent(self, other: "SLFormula") -> bool:
+        """Semantic equivalence (both directions unsatisfiable)."""
+        left = sl_and(self, sl_not(other))
+        right = sl_and(other, sl_not(self))
+        return not left.is_satisfiable() and not right.is_satisfiable()
+
+    # -- sugar ------------------------------------------------------------------
+
+    def __and__(self, other: "SLFormula") -> "SLFormula":
+        return sl_and(self, other)
+
+    def __or__(self, other: "SLFormula") -> "SLFormula":
+        return sl_or(self, other)
+
+    def __invert__(self) -> "SLFormula":
+        return sl_not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class SLTrue(SLFormula):
+    """The constant true."""
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        return True
+
+    def _collect(self, out: set[str]) -> None:
+        pass
+
+    def _collect_atoms(self, out: list["SLAtom"]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class SLFalse(SLFormula):
+    """The constant false."""
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        return False
+
+    def _collect(self, out: set[str]) -> None:
+        pass
+
+    def _collect_atoms(self, out: list["SLAtom"]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True, slots=True)
+class SLAtom(SLFormula):
+    """``symbol^=count`` (op '=') or ``symbol^>=count`` (op '>=')."""
+
+    symbol: str
+    op: str  # '=' or '>='
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", ">="):
+            raise ValueError(f"SL atom operator must be '=' or '>=', got {self.op!r}")
+        if self.count < 0:
+            raise ValueError("SL atom count must be a natural number")
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        c = counts.get(self.symbol, 0)
+        return c == self.count if self.op == "=" else c >= self.count
+
+    def _collect(self, out: set[str]) -> None:
+        out.add(self.symbol)
+
+    def _collect_atoms(self, out: list["SLAtom"]) -> None:
+        out.append(self)
+
+    def __str__(self) -> str:
+        return f"{self.symbol}^{self.op}{self.count}"
+
+
+@dataclass(frozen=True, slots=True)
+class SLNot(SLFormula):
+    inner: SLFormula
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        return not self.inner.evaluate(counts)
+
+    def _collect(self, out: set[str]) -> None:
+        self.inner._collect(out)
+
+    def _collect_atoms(self, out: list["SLAtom"]) -> None:
+        self.inner._collect_atoms(out)
+
+    def __str__(self) -> str:
+        return f"!({self.inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class SLAnd(SLFormula):
+    left: SLFormula
+    right: SLFormula
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        return self.left.evaluate(counts) and self.right.evaluate(counts)
+
+    def _collect(self, out: set[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def _collect_atoms(self, out: list["SLAtom"]) -> None:
+        self.left._collect_atoms(out)
+        self.right._collect_atoms(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class SLOr(SLFormula):
+    left: SLFormula
+    right: SLFormula
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        return self.left.evaluate(counts) or self.right.evaluate(counts)
+
+    def _collect(self, out: set[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def _collect_atoms(self, out: list["SLAtom"]) -> None:
+        self.left._collect_atoms(out)
+        self.right._collect_atoms(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+# -- constructors ---------------------------------------------------------------
+
+TRUE = SLTrue()
+FALSE = SLFalse()
+
+
+def exactly(symbol: str, count: int) -> SLAtom:
+    """``symbol^=count``."""
+    return SLAtom(symbol, "=", count)
+
+
+def at_least(symbol: str, count: int) -> SLAtom:
+    """``symbol^>=count``."""
+    return SLAtom(symbol, ">=", count)
+
+
+def at_most(symbol: str, count: int) -> SLFormula:
+    """``symbol^<=count``, as sugar for ``not (symbol^>=count+1)``."""
+    return SLNot(at_least(symbol, count + 1))
+
+
+def sl_not(phi: SLFormula) -> SLFormula:
+    if isinstance(phi, SLTrue):
+        return FALSE
+    if isinstance(phi, SLFalse):
+        return TRUE
+    if isinstance(phi, SLNot):
+        return phi.inner
+    return SLNot(phi)
+
+
+def sl_and(*parts: SLFormula) -> SLFormula:
+    acc: SLFormula = TRUE
+    for part in parts:
+        if isinstance(part, SLFalse) or isinstance(acc, SLFalse):
+            return FALSE
+        if isinstance(part, SLTrue):
+            continue
+        acc = part if isinstance(acc, SLTrue) else SLAnd(acc, part)
+    return acc
+
+
+def sl_or(*parts: SLFormula) -> SLFormula:
+    acc: SLFormula = FALSE
+    for part in parts:
+        if isinstance(part, SLTrue) or isinstance(acc, SLTrue):
+            return TRUE
+        if isinstance(part, SLFalse):
+            continue
+        acc = part if isinstance(acc, SLFalse) else SLOr(acc, part)
+    return acc
+
+
+def sl_implies(premise: SLFormula, conclusion: SLFormula) -> SLFormula:
+    """The paper's example shape, e.g. ``co-producer^>=1 -> producer^>=1``."""
+    return sl_or(sl_not(premise), conclusion)
+
+
+def only_symbols(symbols: Iterable[str], universe: Iterable[str]) -> SLFormula:
+    """Constrain every symbol of ``universe`` outside ``symbols`` to count 0."""
+    allowed = set(symbols)
+    return sl_and(*(exactly(a, 0) for a in sorted(set(universe) - allowed)))
+
+
+# -- positive DNF ------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CountConstraint:
+    """One per-symbol constraint of a positive DNF disjunct:
+    exactly ``count`` (op '=') or at least ``count`` (op '>=')."""
+
+    op: str
+    count: int
+
+    def admits(self, value: int) -> bool:
+        return value == self.count if self.op == "=" else value >= self.count
+
+    def min_value(self) -> int:
+        return self.count
+
+    def merge(self, other: "CountConstraint") -> Optional["CountConstraint"]:
+        """Conjunction of two constraints on the same symbol; ``None`` if
+        contradictory."""
+        a, b = self, other
+        if a.op == "=" and b.op == "=":
+            return a if a.count == b.count else None
+        if a.op == "=":
+            return a if a.count >= b.count else None
+        if b.op == "=":
+            return b if b.count >= a.count else None
+        return CountConstraint(">=", max(a.count, b.count))
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.count}"
+
+
+@dataclass(frozen=True, slots=True)
+class CountBox:
+    """A satisfiable conjunction of positive atoms, at most one per symbol.
+
+    ``constraints`` maps a symbol to its :class:`CountConstraint`;
+    unmentioned symbols are unconstrained.
+    """
+
+    constraints: tuple[tuple[str, CountConstraint], ...]
+
+    @staticmethod
+    def of(mapping: Mapping[str, CountConstraint]) -> "CountBox":
+        return CountBox(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> dict[str, CountConstraint]:
+        return dict(self.constraints)
+
+    def admits(self, counts: Mapping[str, int]) -> bool:
+        return all(c.admits(counts.get(s, 0)) for s, c in self.constraints)
+
+    def min_total(self) -> int:
+        return sum(c.min_value() for _, c in self.constraints)
+
+    def min_word_counts(self) -> Counter:
+        """The smallest multiset admitted by the box."""
+        return Counter({s: c.min_value() for s, c in self.constraints if c.min_value() > 0})
+
+    def conjoin(self, other: "CountBox") -> Optional["CountBox"]:
+        merged = self.as_dict()
+        for s, c in other.constraints:
+            if s in merged:
+                m = merged[s].merge(c)
+                if m is None:
+                    return None
+                merged[s] = m
+            else:
+                merged[s] = c
+        return CountBox.of(merged)
+
+    def __str__(self) -> str:
+        if not self.constraints:
+            return "true"
+        return " & ".join(f"{s}^{c}" for s, c in self.constraints)
+
+
+def _atom_boxes(atom: SLAtom, positive: bool) -> list[CountBox]:
+    """Positive DNF of a literal.
+
+    Negations expand into positive atoms exactly as in the proof of
+    Theorem 3.1: ``not a^>=i`` = ``a^=0 | ... | a^=i-1`` and
+    ``not a^=i`` = ``a^=0 | ... | a^=i-1 | a^>=i+1``.
+    """
+    if positive:
+        return [CountBox.of({atom.symbol: CountConstraint(atom.op, atom.count)})]
+    boxes = [
+        CountBox.of({atom.symbol: CountConstraint("=", j)}) for j in range(atom.count)
+    ]
+    if atom.op == "=":
+        boxes.append(CountBox.of({atom.symbol: CountConstraint(">=", atom.count + 1)}))
+    return boxes
+
+
+def _positive_dnf(phi: SLFormula, negated: bool = False) -> list[CountBox]:
+    if isinstance(phi, SLTrue):
+        return [] if negated else [CountBox(())]
+    if isinstance(phi, SLFalse):
+        return [CountBox(())] if negated else []
+    if isinstance(phi, SLAtom):
+        return _atom_boxes(phi, not negated)
+    if isinstance(phi, SLNot):
+        return _positive_dnf(phi.inner, not negated)
+    if isinstance(phi, (SLAnd, SLOr)):
+        is_or = isinstance(phi, SLOr) != negated  # de Morgan under negation
+        left = _positive_dnf(phi.left, negated)
+        right = _positive_dnf(phi.right, negated)
+        if is_or:
+            return _dedup(left + right)
+        out: list[CountBox] = []
+        for a in left:
+            for b in right:
+                merged = a.conjoin(b)
+                if merged is not None:
+                    out.append(merged)
+        return _dedup(out)
+    raise TypeError(f"unknown SL node {phi!r}")
+
+
+def _dedup(boxes: list[CountBox]) -> list[CountBox]:
+    seen: set[CountBox] = set()
+    out: list[CountBox] = []
+    for b in boxes:
+        if b not in seen:
+            seen.add(b)
+            out.append(b)
+    return out
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def parse_sl(text: str) -> SLFormula:
+    """Parse SL formulas.
+
+    Grammar (loosest first)::
+
+        or    := and ('|' and)*
+        and   := unary ('&' unary)*
+        unary := '!' unary | '(' or ')' | 'true' | 'false' | atom
+        atom  := SYMBOL '^' ('=' | '>=') NAT      # e.g.  producer^>=1
+
+    Symbols follow the same lexical rules as regex symbols.
+    """
+    parser = _SLParser(text)
+    phi = parser.parse_or()
+    parser.skip_ws()
+    if parser.pos != len(text):
+        raise ValueError(f"trailing input in SL formula at {parser.pos}: {text!r}")
+    return phi
+
+
+_IDENT_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_")
+_IDENT_CONT = _IDENT_START | set("#$-")
+
+
+class _SLParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def fail(self, message: str) -> ValueError:
+        return ValueError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def parse_or(self) -> SLFormula:
+        node = self.parse_and()
+        self.skip_ws()
+        while self.peek() == "|":
+            self.pos += 1
+            node = sl_or(node, self.parse_and())
+            self.skip_ws()
+        return node
+
+    def parse_and(self) -> SLFormula:
+        node = self.parse_unary()
+        self.skip_ws()
+        while self.peek() == "&":
+            self.pos += 1
+            node = sl_and(node, self.parse_unary())
+            self.skip_ws()
+        return node
+
+    def parse_unary(self) -> SLFormula:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == "!":
+            self.pos += 1
+            return sl_not(self.parse_unary())
+        if ch == "(":
+            self.pos += 1
+            node = self.parse_or()
+            self.skip_ws()
+            if self.peek() != ")":
+                raise self.fail("expected ')'")
+            self.pos += 1
+            return node
+        if ch == "'" or ch in _IDENT_START:
+            name = self._symbol()
+            if name == "true":
+                return TRUE
+            if name == "false":
+                return FALSE
+            return self._atom_tail(name)
+        raise self.fail("expected SL atom, '!', '(' or constant")
+
+    def _symbol(self) -> str:
+        if self.peek() == "'":
+            self.pos += 1
+            out: list[str] = []
+            while True:
+                if self.pos >= len(self.text):
+                    raise self.fail("unterminated quoted symbol")
+                ch = self.text[self.pos]
+                self.pos += 1
+                if ch == "\\" and self.pos < len(self.text):
+                    out.append(self.text[self.pos])
+                    self.pos += 1
+                elif ch == "'":
+                    return "".join(out)
+                else:
+                    out.append(ch)
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _IDENT_CONT:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def _atom_tail(self, symbol: str) -> SLAtom:
+        self.skip_ws()
+        if self.peek() != "^":
+            raise self.fail(f"expected '^' after symbol {symbol!r}")
+        self.pos += 1
+        self.skip_ws()
+        if self.text.startswith(">=", self.pos):
+            op = ">="
+            self.pos += 2
+        elif self.peek() == "=":
+            op = "="
+            self.pos += 1
+        else:
+            raise self.fail("expected '=' or '>=' in SL atom")
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        if start == self.pos:
+            raise self.fail("expected a natural number in SL atom")
+        return SLAtom(symbol, op, int(self.text[start : self.pos]))
+
+
+SLExpr = Union[SLFormula, str]
+
+
+def coerce_sl(phi: SLExpr) -> SLFormula:
+    """Accept either an :class:`SLFormula` or its textual form."""
+    if isinstance(phi, SLFormula):
+        return phi
+    return parse_sl(phi)

@@ -1,0 +1,57 @@
+"""The query language QL (paper, Definition 2.2): an XML-QL-style
+pattern/construct language with data-value comparisons and nesting.
+
+* :mod:`repro.ql.ast` — queries: a *where* clause (a tree pattern whose
+  edges carry regular path expressions, plus =/!= conditions on data
+  values) and a *construct* clause (a tree of ``f(x...)`` nodes, possibly
+  with tag variables, whose leaves may be nested sub-queries);
+* :mod:`repro.ql.eval` — the paper's exact semantics: gamma-bindings,
+  lexicographic binding order, and output-forest construction;
+* :mod:`repro.ql.analysis` — the fragment tests the decidability map is
+  stated in terms of: non-recursive, conjunctive, disjunctive,
+  tag-variable-free, and (empirically, w.r.t. an input DTD)
+  projection-free.
+"""
+
+from repro.ql.ast import (
+    Condition,
+    Const,
+    ConstructNode,
+    Edge,
+    NestedQuery,
+    Query,
+    Where,
+)
+from repro.ql.eval import Binding, bindings, evaluate, evaluate_forest
+from repro.ql.analysis import (
+    expand_projections,
+    has_tag_variables,
+    is_conjunctive,
+    is_disjunctive,
+    is_non_recursive,
+    is_projection_free,
+    max_path_depth,
+    query_size,
+)
+
+__all__ = [
+    "Binding",
+    "Condition",
+    "Const",
+    "ConstructNode",
+    "Edge",
+    "NestedQuery",
+    "Query",
+    "Where",
+    "bindings",
+    "evaluate",
+    "evaluate_forest",
+    "expand_projections",
+    "has_tag_variables",
+    "is_conjunctive",
+    "is_disjunctive",
+    "is_non_recursive",
+    "is_projection_free",
+    "max_path_depth",
+    "query_size",
+]

@@ -1,0 +1,297 @@
+"""Abstract syntax of QL queries (Definition 2.2 of the paper).
+
+A query ``q(z1..zk) = <W, C>``:
+
+* ``W`` (:class:`Where`) is a finite tree whose root is a tag of ``Sigma``
+  and whose other nodes are variables; edges carry regular path
+  expressions.  Conditions are (in)equalities ``x = alpha`` / ``x != alpha``
+  with ``x`` a variable and ``alpha`` a variable or a data value.
+* ``C`` (:class:`ConstructNode` tree) has internal nodes ``f(x...)`` where
+  ``f`` is a tag or one of the node's own variables (a *tag variable*);
+  leaves may additionally be nested queries ``q'(x...)``.  A child's
+  variables must contain its parent's (paper requirement), which makes
+  output edges well defined.
+
+Conventions: variables are plain strings; by convention the examples use
+capitalized names (``X1``, ``Y2``) to distinguish them from tags, but the
+semantics never guesses — a construct label is a tag variable iff it
+occurs among the node's argument variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from repro.automata.regex import Regex, parse_regex
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A data value constant appearing in a condition."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A where-clause edge ``source --regex--> target``.
+
+    ``source`` is ``None`` for the pattern root (the node labeled by the
+    root tag), otherwise a variable name; ``target`` is a variable name.
+    """
+
+    source: Optional[str]
+    target: str
+    regex: Regex
+
+    @staticmethod
+    def of(source: Optional[str], target: str, regex: Union[Regex, str]) -> "Edge":
+        return Edge(source, target, parse_regex(regex) if isinstance(regex, str) else regex)
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """``left op right`` with ``op`` in {'=', '!='}; ``left`` a variable,
+    ``right`` a variable or a :class:`Const`."""
+
+    left: str
+    op: str
+    right: Union[str, Const]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!="):
+            raise ValueError(f"condition operator must be '=' or '!=', got {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Where:
+    """The where clause: pattern tree plus data-value conditions."""
+
+    root_tag: str
+    edges: tuple[Edge, ...]
+    conditions: tuple[Condition, ...] = field(default=())
+
+    @staticmethod
+    def of(
+        root_tag: str,
+        edges: Sequence[Edge],
+        conditions: Sequence[Condition] = (),
+    ) -> "Where":
+        return Where(root_tag, tuple(edges), tuple(conditions))
+
+    def __post_init__(self) -> None:
+        seen_targets: set[str] = set()
+        for e in self.edges:
+            if e.target in seen_targets:
+                raise ValueError(f"pattern variable {e.target!r} has two parent edges")
+            seen_targets.add(e.target)
+        # Sources may be the pattern root (None), a pattern variable, or a
+        # variable bound by an enclosing query (a free variable of the
+        # query this clause belongs to — checked by Query).
+        children: dict[Optional[str], list[str]] = {}
+        for e in self.edges:
+            children.setdefault(e.source, []).append(e.target)
+        reached: set[str] = set()
+        roots: list[Optional[str]] = [None] + [
+            s for s in children if s is not None and s not in seen_targets
+        ]
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            for t in children.get(node, ()):
+                if t in reached:
+                    raise ValueError(f"pattern variable {t!r} reached twice (cycle?)")
+                reached.add(t)
+                stack.append(t)
+        if reached != seen_targets:
+            raise ValueError(
+                f"pattern variables not reachable: {sorted(seen_targets - reached)}"
+            )
+
+    def external_sources(self) -> tuple[str, ...]:
+        """Edge sources that are not targets here: variables that must be
+        bound by an enclosing query (free variables)."""
+        targets = {e.target for e in self.edges}
+        out: list[str] = []
+        for e in self.edges:
+            if e.source is not None and e.source not in targets and e.source not in out:
+                out.append(e.source)
+        return tuple(out)
+
+    def variables(self) -> tuple[str, ...]:
+        """``var(W)`` in the canonical (depth-first) order the paper uses
+        for the lexicographic ordering of bindings."""
+        children: dict[Optional[str], list[str]] = {}
+        for e in self.edges:
+            children.setdefault(e.source, []).append(e.target)
+        targets = {e.target for e in self.edges}
+        out: list[str] = []
+
+        def rec(node: Optional[str]) -> None:
+            for t in children.get(node, ()):
+                out.append(t)
+                rec(t)
+
+        rec(None)
+        for source in self.external_sources():
+            rec(source)
+        return tuple(out)
+
+    def condition_constants(self) -> frozenset:
+        return frozenset(
+            c.right.value for c in self.conditions if isinstance(c.right, Const)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NestedQuery:
+    """A construct leaf labeled by a sub-query ``query(args)``.
+
+    ``args`` become the free variables ``Z`` of the sub-query and must be
+    (a superset of) the parent construct node's variables.
+    """
+
+    query: "Query"
+    args: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.args)) != len(self.args):
+            raise ValueError("nested query arguments must be distinct variables")
+        if tuple(self.query.free_vars) != tuple(self.args):
+            raise ValueError(
+                f"nested query declares free variables {self.query.free_vars} "
+                f"but is invoked with {self.args}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ConstructNode:
+    """A construct-clause node ``label(args)`` with child nodes/sub-queries.
+
+    ``label`` is a tag unless it occurs in ``args``, in which case it is a
+    *tag variable*: the output node copies the tag of the bound input node.
+
+    ``value_of`` implements the paper's Remark (Section 2): a mechanism
+    for producing data values in the output.  When set to one of ``args``,
+    the output node carries ``val(beta(value_of))``.  DTDs never constrain
+    data values, so this provably does not affect any typechecking result
+    (asserted by tests).
+    """
+
+    label: str
+    args: tuple[str, ...] = field(default=())
+    children: tuple[Union["ConstructNode", NestedQuery], ...] = field(default=())
+    value_of: Optional[str] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if len(set(self.args)) != len(self.args):
+            raise ValueError(f"construct node {self.label!r} has repeated variables {self.args}")
+        if self.value_of is not None and self.value_of not in self.args:
+            raise ValueError(
+                f"value_of={self.value_of!r} must be one of the node's variables {self.args}"
+            )
+        for child in self.children:
+            child_vars = child.args if isinstance(child, NestedQuery) else child.args
+            missing = set(self.args) - set(child_vars)
+            if missing:
+                raise ValueError(
+                    f"construct child of {self.label!r} must carry the parent's variables; "
+                    f"missing {sorted(missing)}"
+                )
+
+    @property
+    def is_tag_variable(self) -> bool:
+        return self.label in self.args
+
+    def walk(self):
+        """Yield every construct node (not nested queries) in this clause,
+        top-down."""
+        yield self
+        for child in self.children:
+            if isinstance(child, ConstructNode):
+                yield from child.walk()
+
+    def __str__(self) -> str:
+        return f"{self.label}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """``q(free_vars) = <where, construct>``.
+
+    The *outermost* query of a program has no free variables and a
+    construct root ``f()`` with ``f`` a tag (paper requirement); nested
+    queries may have free variables (their ``Z``).
+    """
+
+    where: Where
+    construct: ConstructNode
+    free_vars: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        scope = set(self.where.variables()) | set(self.free_vars)
+        loose_sources = set(self.where.external_sources()) - set(self.free_vars)
+        if loose_sources:
+            raise ValueError(
+                f"where-clause edges start at variables that are neither "
+                f"pattern targets nor free variables: {sorted(loose_sources)}"
+            )
+        for c in self.where.conditions:
+            if c.left not in scope:
+                raise ValueError(f"condition uses unknown variable {c.left!r}")
+            if isinstance(c.right, str) and c.right not in scope:
+                raise ValueError(f"condition uses unknown variable {c.right!r}")
+        for node in self.construct.walk():
+            loose = set(node.args) - scope
+            if loose:
+                raise ValueError(
+                    f"construct node {node} uses variables outside the where clause: "
+                    f"{sorted(loose)}"
+                )
+            for child in node.children:
+                if isinstance(child, NestedQuery):
+                    loose = set(child.args) - scope
+                    if loose:
+                        raise ValueError(
+                            f"nested query argument(s) {sorted(loose)} not in scope"
+                        )
+
+    def is_program(self) -> bool:
+        """Whether this query is a valid outermost query."""
+        return (
+            not self.free_vars
+            and not self.construct.args
+            and not self.construct.is_tag_variable
+        )
+
+    def subqueries(self):
+        """Yield ``self`` and every nested query, outermost first."""
+        yield self
+        stack = [self.construct]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                if isinstance(child, NestedQuery):
+                    yield from child.query.subqueries()
+                else:
+                    stack.append(child)
+
+    def all_path_regexes(self) -> list[Regex]:
+        return [e.regex for q in self.subqueries() for e in q.where.edges]
+
+    def output_tags(self) -> frozenset[str]:
+        """Tags the construct clauses can emit (tag variables excluded —
+        those can emit any input tag)."""
+        out: set[str] = set()
+        for q in self.subqueries():
+            for node in q.construct.walk():
+                if not node.is_tag_variable:
+                    out.add(node.label)
+        return frozenset(out)

@@ -1,0 +1,200 @@
+"""Evaluation semantics of QL (paper, Section 2).
+
+The two stages of the paper's definition:
+
+1. **Bindings** — ``Bind_gamma(q, t)``: mappings ``beta`` from
+   ``var(W) + Z`` to tree nodes extending ``gamma``, matching every edge's
+   path expression (labels on the path exclusive of the source, inclusive
+   of the target) and satisfying the data-value conditions.  Bindings are
+   ordered lexicographically: variables in the canonical (depth-first)
+   order of the where tree, nodes in document order.
+
+2. **Construction** — each construct node ``u = f(xs)`` contributes one
+   output node per *distinct* projection ``beta(xs)``; children are
+   grouped under the parent instance with the matching projection and
+   ordered by their own projections; nested-query leaves splice in the
+   roots of the recursively evaluated forest, once per distinct
+   restriction ``beta|args``.
+
+Tag variables: if ``f`` occurs among ``xs``, the output node's label is
+the input label of ``beta(f)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from repro.automata.dfa import DFA
+from repro.ql.ast import Condition, Const, ConstructNode, NestedQuery, Query, Where
+from repro.trees.data_tree import DataTree, Node, document_order
+
+Binding = dict[str, Node]
+
+
+def _path_targets(source: Node, dfa: DFA) -> list[Node]:
+    """Nodes reachable from ``source`` by a downward path whose label word
+    (exclusive of source, inclusive of target) is accepted by ``dfa``.
+    Document order."""
+    out: list[Node] = []
+    if dfa.accepts_epsilon():
+        out.append(source)
+    coreach = dfa.coreachable_states()
+    stack = [(child, dfa.start) for child in reversed(source.children)]
+    while stack:
+        node, state = stack.pop()
+        nxt = dfa.transitions.get((state, node.label))
+        if nxt is None or nxt not in coreach:
+            continue
+        if nxt in dfa.accepting:
+            out.append(node)
+        stack.extend((c, nxt) for c in reversed(node.children))
+    return out
+
+
+def _condition_holds(cond: Condition, binding: Mapping[str, Node]) -> bool:
+    left = binding[cond.left].value
+    if isinstance(cond.right, Const):
+        right: Any = cond.right.value
+    else:
+        right = binding[cond.right].value
+    return (left == right) if cond.op == "=" else (left != right)
+
+
+def bindings(
+    query: Query,
+    tree: Union[DataTree, Node],
+    gamma: Optional[Mapping[str, Node]] = None,
+) -> list[Binding]:
+    """``Bind_gamma(q, t)`` in the paper's lexicographic order."""
+    root = tree.root if isinstance(tree, DataTree) else tree
+    gamma = dict(gamma or {})
+    where = query.where
+    missing = set(query.free_vars) - set(gamma)
+    if missing:
+        raise ValueError(f"gamma does not bind free variables {sorted(missing)}")
+    if root.label != where.root_tag:
+        return []
+
+    alphabet = frozenset({n.label for n in root.iter_preorder()})
+    dfas = [e.regex.to_dfa(alphabet | e.regex.symbols()) for e in where.edges]
+
+    partial: list[Binding] = [dict(gamma)]
+    for edge, dfa in zip(where.edges, dfas):
+        extended: list[Binding] = []
+        for b in partial:
+            source = root if edge.source is None else b[edge.source]
+            targets = _path_targets(source, dfa)
+            if edge.target in b:
+                # Pattern node doubling as an already-bound (free) variable:
+                # the binding is forced, the edge only constrains it.
+                if any(t is b[edge.target] for t in targets):
+                    extended.append(b)
+                continue
+            for t in targets:
+                nb = dict(b)
+                nb[edge.target] = t
+                extended.append(nb)
+        partial = extended
+        if not partial:
+            return []
+
+    result = [b for b in partial if all(_condition_holds(c, b) for c in where.conditions)]
+
+    order = document_order(root)
+    var_order = where.variables()
+    result.sort(key=lambda b: tuple(order[id(b[v])] for v in var_order))
+    # Dedup structurally identical bindings (two edges may locate the same
+    # node via different paths — bindings are mappings, not derivations).
+    seen: set[tuple[int, ...]] = set()
+    unique: list[Binding] = []
+    for b in result:
+        key = tuple(order[id(b[v])] for v in var_order)
+        if key not in seen:
+            seen.add(key)
+            unique.append(b)
+    return unique
+
+
+def _projection_key(
+    binding: Binding, args: tuple[str, ...], order: dict[int, int]
+) -> tuple[int, ...]:
+    return tuple(order[id(binding[a])] for a in args)
+
+
+def _instantiate(
+    cnode: ConstructNode,
+    bnds: list[Binding],
+    tree_root: Node,
+    order: dict[int, int],
+) -> list[Node]:
+    """Output nodes for construct node ``cnode`` over bindings ``bnds``
+    (already restricted to the parent's projection), ordered by
+    projection."""
+    groups: dict[tuple[int, ...], list[Binding]] = {}
+    for b in bnds:
+        groups.setdefault(_projection_key(b, cnode.args, order), []).append(b)
+    out: list[Node] = []
+    for key in sorted(groups):
+        group = groups[key]
+        rep = group[0]
+        label = rep[cnode.label].label if cnode.is_tag_variable else cnode.label
+        value = rep[cnode.value_of].value if cnode.value_of is not None else None
+        children: list[Node] = []
+        for child in cnode.children:
+            if isinstance(child, ConstructNode):
+                children.extend(_instantiate(child, group, tree_root, order))
+            else:
+                children.extend(_nested_roots(child, group, tree_root, order))
+        out.append(Node(label, children, value))
+    return out
+
+
+def _nested_roots(
+    nested: NestedQuery,
+    bnds: list[Binding],
+    tree_root: Node,
+    order: dict[int, int],
+) -> list[Node]:
+    """Roots contributed by a nested-query leaf: one recursive evaluation
+    per distinct restriction ``beta | args``, in binding order."""
+    out: list[Node] = []
+    seen: set[tuple[int, ...]] = set()
+    keyed = sorted(
+        ((_projection_key(b, nested.args, order), b) for b in bnds), key=lambda kv: kv[0]
+    )
+    for key, b in keyed:
+        if key in seen:
+            continue
+        seen.add(key)
+        gamma = {a: b[a] for a in nested.args}
+        out.extend(evaluate_forest(nested.query, tree_root, gamma))
+    return out
+
+
+def evaluate_forest(
+    query: Query,
+    tree: Union[DataTree, Node],
+    gamma: Optional[Mapping[str, Node]] = None,
+) -> list[Node]:
+    """``q_gamma(T)``: the output forest (empty when there is no binding)."""
+    root = tree.root if isinstance(tree, DataTree) else tree
+    bnds = bindings(query, root, gamma)
+    if not bnds:
+        return []
+    order = document_order(root)
+    return _instantiate(query.construct, bnds, root, order)
+
+
+def evaluate(query: Query, tree: Union[DataTree, Node]) -> Optional[DataTree]:
+    """Evaluate an outermost query; ``None`` when the where clause has no
+    binding at all (no output tree is produced)."""
+    if not query.is_program():
+        raise ValueError(
+            "evaluate() expects an outermost query: no free variables and a "
+            "construct root f() with a plain tag"
+        )
+    forest = evaluate_forest(query, tree, {})
+    if not forest:
+        return None
+    assert len(forest) == 1, "outermost construct root has no variables"
+    return DataTree(forest[0])

@@ -1,0 +1,67 @@
+"""Readable rendering of QL queries, in the spirit of the paper's figures.
+
+:func:`format_query` prints a query as an indented where/construct block::
+
+    where root
+      X1 <-movie- root
+      X2 <-title- X1
+      val(X3) = 'W. Allen'
+    construct
+      result()
+        title(X2)
+          actor(X2, X4)
+          [nested] Q(X1, X2)
+            where ...
+"""
+
+from __future__ import annotations
+
+from repro.ql.ast import Condition, ConstructNode, NestedQuery, Query, Where
+
+
+def _format_where(where: Where, indent: str, lines: list[str]) -> None:
+    lines.append(f"{indent}where {where.root_tag}")
+    for e in where.edges:
+        src = e.source if e.source is not None else where.root_tag
+        lines.append(f"{indent}  {e.target} <-[{e.regex}]- {src}")
+    for c in where.conditions:
+        lines.append(f"{indent}  val({c.left}) {c.op} {_rhs(c)}")
+
+
+def _rhs(cond: Condition) -> str:
+    from repro.ql.ast import Const
+
+    if isinstance(cond.right, Const):
+        return repr(cond.right.value)
+    return f"val({cond.right})"
+
+
+def _format_construct(node: ConstructNode, indent: str, lines: list[str]) -> None:
+    label = f"<{node.label}>" if node.is_tag_variable else node.label
+    value = f" [value: val({node.value_of})]" if node.value_of else ""
+    lines.append(f"{indent}{label}({', '.join(node.args)}){value}")
+    for child in node.children:
+        if isinstance(child, ConstructNode):
+            _format_construct(child, indent + "  ", lines)
+        else:
+            _format_nested(child, indent + "  ", lines)
+
+
+def _format_nested(nested: NestedQuery, indent: str, lines: list[str]) -> None:
+    lines.append(f"{indent}[nested query]({', '.join(nested.args)})")
+    _format_query(nested.query, indent + "  ", lines)
+
+
+def _format_query(query: Query, indent: str, lines: list[str]) -> None:
+    _format_where(query.where, indent, lines)
+    lines.append(f"{indent}construct")
+    _format_construct(query.construct, indent + "  ", lines)
+
+
+def format_query(query: Query) -> str:
+    """Render a query (and its nested sub-queries) as an indented block."""
+    lines: list[str] = []
+    if query.free_vars:
+        lines.append(f"free variables: {', '.join(query.free_vars)}")
+    _format_query(query, "", lines)
+    return "\n".join(lines)

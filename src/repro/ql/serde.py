@@ -1,0 +1,150 @@
+"""JSON (de)serialization for QL queries.
+
+Queries are plain data; this module round-trips them through dicts/JSON so
+they can be stored in files and fed to the CLI's ``typecheck`` command.
+
+Schema (all keys required unless noted)::
+
+    query     = {"where": where, "construct": cnode, "free_vars": [str]?}
+    where     = {"root": str, "edges": [edge], "conditions": [cond]?}
+    edge      = {"from": str|null, "to": str, "path": str}      # regex text
+    cond      = {"left": str, "op": "="|"!=",
+                 "right": {"var": str} | {"const": value}}
+    cnode     = {"tag": str, "args": [str]?, "value_of": str?,
+                 "children": [cnode | nested]?}
+    nested    = {"nested": query, "args": [str]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Union
+
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+
+
+class QuerySerdeError(ValueError):
+    """Malformed query document."""
+
+
+# -- serialization -----------------------------------------------------------------
+
+
+def query_to_dict(query: Query) -> dict:
+    out: dict[str, Any] = {
+        "where": _where_to_dict(query.where),
+        "construct": _cnode_to_dict(query.construct),
+    }
+    if query.free_vars:
+        out["free_vars"] = list(query.free_vars)
+    return out
+
+
+def _where_to_dict(where: Where) -> dict:
+    out: dict[str, Any] = {
+        "root": where.root_tag,
+        "edges": [
+            {"from": e.source, "to": e.target, "path": str(e.regex)} for e in where.edges
+        ],
+    }
+    if where.conditions:
+        out["conditions"] = [
+            {
+                "left": c.left,
+                "op": c.op,
+                "right": (
+                    {"const": c.right.value} if isinstance(c.right, Const) else {"var": c.right}
+                ),
+            }
+            for c in where.conditions
+        ]
+    return out
+
+
+def _cnode_to_dict(node: ConstructNode) -> dict:
+    out: dict[str, Any] = {"tag": node.label}
+    if node.args:
+        out["args"] = list(node.args)
+    if node.value_of is not None:
+        out["value_of"] = node.value_of
+    if node.children:
+        out["children"] = [
+            _cnode_to_dict(c)
+            if isinstance(c, ConstructNode)
+            else {"nested": query_to_dict(c.query), "args": list(c.args)}
+            for c in node.children
+        ]
+    return out
+
+
+def query_to_json(query: Query, indent: int = 2) -> str:
+    return json.dumps(query_to_dict(query), indent=indent, sort_keys=True)
+
+
+# -- deserialization ----------------------------------------------------------------
+
+
+def query_from_dict(data: Mapping) -> Query:
+    if not isinstance(data, Mapping):
+        raise QuerySerdeError(f"query must be an object, got {type(data).__name__}")
+    for key in ("where", "construct"):
+        if key not in data:
+            raise QuerySerdeError(f"query is missing the {key!r} key")
+    try:
+        return Query(
+            where=_where_from_dict(data["where"]),
+            construct=_cnode_from_dict(data["construct"]),
+            free_vars=tuple(data.get("free_vars", ())),
+        )
+    except ValueError as exc:
+        if isinstance(exc, QuerySerdeError):
+            raise
+        raise QuerySerdeError(f"invalid query: {exc}") from exc
+
+
+def _where_from_dict(data: Mapping) -> Where:
+    if "root" not in data:
+        raise QuerySerdeError("where clause is missing 'root'")
+    edges = []
+    for e in data.get("edges", ()):
+        for key in ("to", "path"):
+            if key not in e:
+                raise QuerySerdeError(f"edge is missing {key!r}: {e}")
+        edges.append(Edge.of(e.get("from"), e["to"], e["path"]))
+    conditions = []
+    for c in data.get("conditions", ()):
+        right_spec = c.get("right", {})
+        if "const" in right_spec:
+            right: Union[str, Const] = Const(right_spec["const"])
+        elif "var" in right_spec:
+            right = right_spec["var"]
+        else:
+            raise QuerySerdeError(f"condition right side must be var or const: {c}")
+        conditions.append(Condition(c["left"], c["op"], right))
+    return Where.of(data["root"], edges, conditions)
+
+
+def _cnode_from_dict(data: Mapping) -> ConstructNode:
+    if "tag" not in data:
+        raise QuerySerdeError(f"construct node is missing 'tag': {data}")
+    children: list[Union[ConstructNode, NestedQuery]] = []
+    for child in data.get("children", ()):
+        if "nested" in child:
+            sub = query_from_dict(child["nested"])
+            children.append(NestedQuery(sub, tuple(child.get("args", ()))))
+        else:
+            children.append(_cnode_from_dict(child))
+    return ConstructNode(
+        data["tag"],
+        tuple(data.get("args", ())),
+        tuple(children),
+        data.get("value_of"),
+    )
+
+
+def query_from_json(text: str) -> Query:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise QuerySerdeError(f"not valid JSON: {exc}") from exc
+    return query_from_dict(data)

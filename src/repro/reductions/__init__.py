@@ -1,0 +1,36 @@
+"""Executable versions of the paper's lower-bound and undecidability
+reductions (Sections 4 and 5).
+
+Each module maps instances of a source problem to typechecking instances
+``(tau1, q, tau2)`` and the tests validate the characteristic equivalence
+(*source is a yes-instance iff the query typechecks*) end-to-end against
+the search-based typechecker:
+
+* :mod:`repro.reductions.validity` — propositional validity ->
+  typechecking (Theorem 4.2(i), CO-NP-hardness; Figure 3);
+* :mod:`repro.reductions.cq_containment` — conjunctive-query containment,
+  optionally with inequalities (Theorem 4.2(ii)/(iii), DP / Pi^p_2);
+* :mod:`repro.reductions.qsat` — quantified 3-SAT with FO output DTDs
+  (Proposition 4.3, PSPACE; the paper omits the construction, we
+  reproduce the forall-exists core — see module docstring);
+* :mod:`repro.reductions.fd_ind` — FD + IND implication -> typechecking
+  with *specialized* unordered output DTDs (Theorem 5.1, undecidability;
+  Figures 4 and 5), plus the disjunctive/tag-variable trade-off variant
+  (Proposition 5.2);
+* :mod:`repro.reductions.pcp` — Post's Correspondence Problem ->
+  typechecking *recursive* QL (Theorem 5.3, undecidability).
+"""
+
+from repro.reductions.validity import validity_to_typechecking
+from repro.reductions.cq_containment import cq_containment_to_typechecking
+from repro.reductions.qsat import q3sat_to_typechecking
+from repro.reductions.fd_ind import fd_ind_to_typechecking
+from repro.reductions.pcp import pcp_to_typechecking
+
+__all__ = [
+    "cq_containment_to_typechecking",
+    "fd_ind_to_typechecking",
+    "pcp_to_typechecking",
+    "q3sat_to_typechecking",
+    "validity_to_typechecking",
+]

@@ -1,0 +1,27 @@
+"""Shared shape of reduction outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.dtd.core import DTD
+from repro.dtd.specialized import SpecializedDTD
+from repro.ql.ast import Query
+
+
+@dataclass(slots=True)
+class ReductionInstance:
+    """A typechecking instance produced by a reduction, plus provenance.
+
+    The characteristic property (documented per reduction) is always:
+    *the source problem is a yes-instance iff ``query`` typechecks with
+    respect to ``tau1`` and ``tau2``*.
+    """
+
+    tau1: DTD
+    query: Query
+    tau2: Union[DTD, SpecializedDTD]
+    source: str
+    theorem: str
+    notes: list[str] = field(default_factory=list)

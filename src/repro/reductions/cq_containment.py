@@ -1,0 +1,152 @@
+"""Theorem 4.2(ii)/(iii): conjunctive-query containment -> typechecking.
+
+The paper's construction: documents encode instances of a ``k``-ary
+relation ``R`` (``root -> R.R*``, each ``R`` node carrying its attribute
+values on children ``1..k``); the query's outer where clause matches
+``q1``'s body (join conditions become data-value equalities), producing
+one ``Q1`` output node per binding, and a nested query matches ``q2``'s
+body *with the head values tied to q1's head values*, producing a ``Q2``
+witness child.  The unordered output DTD
+
+    answer -> true ,  Q1 -> Q2^>=1
+
+then typechecks iff ``q1 subseteq q2``.  Inequalities in the source
+queries (Theorem 4.2(iii)) become ``!=`` conditions verbatim.
+
+The instance space is infinite (``R^+``), so refutations (non-containment)
+are decisive — the canonical counterexample appears at size
+``1 + |q1 body| * (k + 1)`` — while containment manifests as
+``NO_COUNTEREXAMPLE_FOUND``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dtd.core import DTD
+from repro.logic.conjunctive import ConjunctiveQuery, is_variable
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.reductions.common import ReductionInstance
+
+Term = Union[str, int]
+
+
+def _pattern_for(
+    cq: ConjunctiveQuery, prefix: str, edges: list[Edge], conditions: list[Condition]
+) -> dict[str, str]:
+    """Emit pattern edges and join/constant conditions for a CQ body.
+
+    Returns the map from each CQ variable to its representative pattern
+    variable (first occurrence).
+    """
+    representative: dict[str, str] = {}
+    for m, atom in enumerate(cq.atoms):
+        tuple_var = f"{prefix}T{m}"
+        edges.append(Edge.of(None, tuple_var, "R"))
+        for j, term in enumerate(atom, start=1):
+            attr_var = f"{prefix}A{m}_{j}"
+            edges.append(Edge.of(tuple_var, attr_var, str(j)))
+            if is_variable(term):
+                if term in representative:
+                    conditions.append(Condition(attr_var, "=", representative[term]))
+                else:
+                    representative[term] = attr_var
+            else:
+                conditions.append(Condition(attr_var, "=", Const(term)))
+    for s, t in cq.inequalities:
+        left = representative[s] if is_variable(s) else None
+        right: Union[str, Const] = (
+            representative[t] if is_variable(t) else Const(t)
+        )
+        if left is None:
+            if isinstance(right, Const):
+                raise ValueError("constant-vs-constant inequality in source CQ")
+            left, right = right, Const(s)
+        conditions.append(Condition(left, "!=", right))
+    return representative
+
+
+def cq_containment_to_typechecking(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> ReductionInstance:
+    """Build the Theorem 4.2(ii)/(iii) instance; ``q1 subseteq q2`` iff the
+    query typechecks."""
+    if q1.arity != q2.arity or len(q1.head) != len(q2.head):
+        raise ValueError("containment requires aligned relation and head arities")
+    k = q1.arity
+    tau1 = DTD(
+        "root",
+        {"root": "R.R*", "R": ".".join(str(j) for j in range(1, k + 1))},
+    )
+
+    outer_edges: list[Edge] = []
+    outer_conditions: list[Condition] = []
+    rep1 = _pattern_for(q1, "x", outer_edges, outer_conditions)
+    outer_where = Where.of("root", outer_edges, outer_conditions)
+    outer_vars = outer_where.variables()
+
+    inner_edges: list[Edge] = []
+    inner_conditions: list[Condition] = []
+    rep2 = _pattern_for(q2, "y", inner_edges, inner_conditions)
+    # Tie q2's head to q1's head, value-wise.
+    for t1, t2 in zip(q1.head, q2.head):
+        left = rep2[t2] if is_variable(t2) else None
+        right: Union[str, Const]
+        if is_variable(t1):
+            right = rep1[t1]
+        else:
+            right = Const(t1)
+        if left is None:
+            # q2 head constant: compare against q1's side.
+            if isinstance(right, Const):
+                if right.value != t2:
+                    inner_conditions.append(Condition(f"yT0", "!=", f"yT0"))  # unsatisfiable
+                continue
+            left, right = right, Const(t2)
+        inner_conditions.append(Condition(left, "=", right))
+    inner_where = Where.of("root", inner_edges, inner_conditions)
+
+    witness = Query(
+        where=inner_where,
+        construct=ConstructNode("Q2", ()),
+        free_vars=outer_vars,
+    )
+    query = Query(
+        where=outer_where,
+        construct=ConstructNode(
+            "answer",
+            (),
+            (
+                ConstructNode(
+                    "Q1",
+                    outer_vars,
+                    (NestedQuery(witness, outer_vars),),
+                ),
+            ),
+        ),
+    )
+    tau2 = DTD(
+        "answer",
+        {"answer": "true", "Q1": "Q2^>=1"},
+        unordered=True,
+        alphabet={"answer", "Q1", "Q2"},
+    )
+    kind = "with inequalities (Pi^p_2, Thm 4.2(iii))" if (
+        q1.inequalities or q2.inequalities
+    ) else "plain (NP inside DP, Thm 4.2(ii))"
+    return ReductionInstance(
+        tau1=tau1,
+        query=query,
+        tau2=tau2,
+        source=f"CQ containment {kind}",
+        theorem="Theorem 4.2(ii)/(iii)",
+        notes=[
+            f"counterexamples to containment appear at input size "
+            f"<= {1 + len(q1.atoms) * (k + 1)}"
+        ],
+    )
+
+
+def counterexample_size(q1: ConjunctiveQuery) -> int:
+    """Input tree size of the canonical database of ``q1``."""
+    return 1 + len(q1.atoms) * (q1.arity + 1)

@@ -1,0 +1,288 @@
+"""Theorem 5.1: FD + IND implication -> typechecking with *specialized*
+unordered output DTDs (undecidability; Figures 4 and 5).
+
+The construction (paper, Section 5):
+
+* input DTD (unordered, depth 2):
+  ``root -> R^>=1; R -> 1^=1 & ... & k^=1`` — documents encode finite
+  instances of a ``k``-ary relation, attribute values as data values;
+* the query is a *concatenation of gadgets*, one per dependency in ``D``
+  plus one for the goal FD ``f``:
+
+  - **IND gadget** for ``R[X] subseteq R[Y]`` (Figure 4): one output node
+    per tuple projection on ``X``, with a nested query emitting a witness
+    child for each tuple whose ``Y``-projection matches value-wise;
+  - **FD gadget** for ``L -> r`` (Figure 5): one output ``pair`` node per
+    pair of tuples agreeing (value-wise) on ``L``, with a nested query
+    emitting an ``eq`` child iff the pair also agrees on ``r``;
+
+  the query is conjunctive, has no tag variables and *no inequalities* —
+  the violation of an FD is the **absence** of an ``eq`` witness, counted
+  by the output type, never tested by the query;
+
+* the specialized unordered output DTD states *"some dependency of D is
+  violated, or f is satisfied"*: each gadget tag gets two specializations
+  (``_ok``: witness count >= 1, ``_bad``: witness count = 0), and the root
+  has one specialization per dependency ``d`` (requiring a ``d``-gadget
+  ``_bad`` child) plus one requiring every goal gadget child to be
+  ``_ok``.
+
+Then ``q`` typechecks iff ``D`` *finitely* implies ``f`` (typechecking
+quantifies over XML documents = finite relations; finite implication for
+FD + IND is undecidable too, Mitchell / Chandra-Vardi).
+
+Proposition 5.2 (nested queries traded for disjunctive paths + tag
+variables) is reproduced for the IND gadgets — see
+:func:`disjunctive_ind_gadget`; the paper omits its construction and the
+FD half could not be reconstructed from the text (recorded in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dtd.core import DTD
+from repro.dtd.specialized import SpecializedDTD
+from repro.logic import sl
+from repro.logic.dependencies import FD, IND, Dependency
+from repro.ql.ast import Condition, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.reductions.common import ReductionInstance
+from repro.trees.data_tree import DataTree, Node
+
+
+def relation_to_tree(instance: Sequence[tuple], arity: int) -> DataTree:
+    """Encode a finite relation instance as an input document."""
+    root = Node("root")
+    for row in instance:
+        if len(row) != arity:
+            raise ValueError(f"tuple {row} does not match arity {arity}")
+        r = root.add_child(Node("R"))
+        for j, value in enumerate(row, start=1):
+            r.add_child(Node(str(j), value=value))
+    return DataTree(root)
+
+
+class _Gadget:
+    """A construct node plus the edges/conditions it contributes to the
+    query's shared where clause."""
+
+    __slots__ = ("node", "edges", "conditions")
+
+    def __init__(
+        self, node: ConstructNode, edges: list[Edge], conditions: list[Condition]
+    ) -> None:
+        self.node = node
+        self.edges = edges
+        self.conditions = conditions
+
+
+def _ind_gadget(idx: int, ind: IND) -> _Gadget:
+    """Figure 4: one ``IND{idx}`` node per tuple (projected on the lhs),
+    nested witness per value-matching rhs projection."""
+    p = f"i{idx}"
+    outer_edges = [Edge.of(None, f"{p}T", "R")]
+    outer_vars = [f"{p}T"]
+    for n, attr in enumerate(ind.lhs):
+        v = f"{p}A{n}"
+        outer_edges.append(Edge.of(f"{p}T", v, str(attr)))
+        outer_vars.append(v)
+    # NOTE: the outer edges extend the *shared* where clause of the whole
+    # query; see fd_ind_to_typechecking which concatenates them.
+    inner_edges = [Edge.of(None, f"{p}U", "R")]
+    inner_conditions = []
+    for n, attr in enumerate(ind.rhs):
+        v = f"{p}B{n}"
+        inner_edges.append(Edge.of(f"{p}U", v, str(attr)))
+        inner_conditions.append(Condition(v, "=", f"{p}A{n}"))
+    witness = Query(
+        where=Where.of("root", inner_edges, inner_conditions),
+        construct=ConstructNode(f"INDW{idx}", ()),
+        free_vars=tuple(outer_vars),
+    )
+    node = ConstructNode(
+        f"IND{idx}",
+        tuple(outer_vars),
+        (NestedQuery(witness, tuple(outer_vars)),),
+    )
+    return _Gadget(node, outer_edges, [])
+
+
+def _fd_gadget(idx: int, fd: FD, tag: str) -> _Gadget:
+    """Figure 5: one ``{tag}{idx}`` node per pair of tuples agreeing on the
+    lhs, nested ``{tag}W{idx}`` witness iff they also agree on the rhs."""
+    p = f"f{idx}" if tag == "FD" else "g"
+    outer_edges = [Edge.of(None, f"{p}T1", "R"), Edge.of(None, f"{p}T2", "R")]
+    outer_conditions: list[Condition] = []
+    outer_vars = [f"{p}T1", f"{p}T2"]
+    for n, attr in enumerate(sorted(fd.lhs)):
+        a1, a2 = f"{p}L1_{n}", f"{p}L2_{n}"
+        outer_edges += [Edge.of(f"{p}T1", a1, str(attr)), Edge.of(f"{p}T2", a2, str(attr))]
+        outer_conditions.append(Condition(a1, "=", a2))
+        outer_vars += [a1, a2]
+    inner_edges: list[Edge] = []
+    inner_conditions: list[Condition] = []
+    for n, attr in enumerate(sorted(fd.rhs)):
+        c1, c2 = f"{p}R1_{n}", f"{p}R2_{n}"
+        inner_edges.append(Edge.of(f"{p}T1", c1, str(attr)))
+        inner_edges.append(Edge.of(f"{p}T2", c2, str(attr)))
+        inner_conditions.append(Condition(c1, "=", c2))
+    # The nested pattern hangs off the already-bound pair: its free
+    # variables force T1/T2, re-anchored from the root.
+    anchor = [Edge.of(None, f"{p}T1", "R"), Edge.of(None, f"{p}T2", "R")]
+    witness = Query(
+        where=Where.of("root", anchor + inner_edges, inner_conditions),
+        construct=ConstructNode(f"{tag}W{idx}", ()),
+        free_vars=tuple(outer_vars),
+    )
+    node = ConstructNode(
+        f"{tag}{idx}",
+        tuple(outer_vars),
+        (NestedQuery(witness, tuple(outer_vars)),),
+    )
+    return _Gadget(node, outer_edges, outer_conditions)
+
+
+def fd_ind_to_typechecking(
+    arity: int, dependencies: Sequence[Dependency], goal: FD
+) -> ReductionInstance:
+    """Build the Theorem 5.1 instance; the query typechecks iff every
+    finite relation satisfying nothing in particular makes "some d in D
+    violated or f satisfied" true — i.e. iff ``D`` finitely implies ``f``."""
+    goal.check_arity(arity)
+    for dep in dependencies:
+        dep.check_arity(arity)
+
+    # SL formulas leave unmentioned tags unconstrained, so the content
+    # models pin every other tag of the alphabet to count zero.
+    sigma = ["root", "R"] + [str(j) for j in range(1, arity + 1)]
+    tau1 = DTD(
+        "root",
+        {
+            "root": sl.sl_and(
+                sl.at_least("R", 1), sl.only_symbols(["R"], sigma)
+            ),
+            "R": sl.sl_and(
+                *(sl.exactly(str(j), 1) for j in range(1, arity + 1)),
+                sl.only_symbols([str(j) for j in range(1, arity + 1)], sigma),
+            ),
+        },
+        unordered=True,
+    )
+
+    gadget_nodes: list[ConstructNode] = []
+    all_edges: list[Edge] = []
+    all_conditions: list[Condition] = []
+    gadget_tags: list[str] = []
+    for idx, dep in enumerate(dependencies):
+        gadget = _ind_gadget(idx, dep) if isinstance(dep, IND) else _fd_gadget(idx, dep, "FD")
+        gadget_nodes.append(gadget.node)
+        gadget_tags.append(gadget.node.label)
+        all_edges += gadget.edges
+        all_conditions += gadget.conditions
+    goal_gadget = _fd_gadget(len(dependencies), goal, "GOAL")
+    goal_node = goal_gadget.node
+    gadget_nodes.append(goal_node)
+    all_edges += goal_gadget.edges
+    all_conditions += goal_gadget.conditions
+
+    query = Query(
+        where=Where.of("root", all_edges, all_conditions),
+        construct=ConstructNode("answer", (), tuple(gadget_nodes)),
+    )
+
+    # --- specialized unordered output DTD -------------------------------
+    goal_tag = goal_node.label
+    witness_of = {n.label: n.children[0].query.construct.label for n in gadget_nodes}
+    rules: dict[str, object] = {}
+    mu: dict[str, str] = {}
+    sigma_prime: set[str] = set()
+    for g, w in witness_of.items():
+        rules[f"{g}_ok"] = sl.at_least(w, 1)
+        rules[f"{g}_bad"] = sl.exactly(w, 0)
+        mu[f"{g}_ok"] = g
+        mu[f"{g}_bad"] = g
+        rules[w] = "true"
+        sigma_prime |= {f"{g}_ok", f"{g}_bad", w}
+    roots: set[str] = set()
+    for g in gadget_tags:  # "dependency g is violated somewhere"
+        root_sym = f"answer_viol_{g}"
+        rules[root_sym] = sl.at_least(f"{g}_bad", 1)
+        mu[root_sym] = "answer"
+        roots.add(root_sym)
+        sigma_prime.add(root_sym)
+    rules["answer_sat"] = sl.exactly(f"{goal_tag}_bad", 0)  # "goal satisfied"
+    mu["answer_sat"] = "answer"
+    roots.add("answer_sat")
+    sigma_prime.add("answer_sat")
+
+    dtd_prime = DTD("answer_sat", rules, unordered=True, alphabet=sigma_prime)
+    tau2 = SpecializedDTD(dtd_prime, mu, roots=roots)
+
+    deps = ", ".join(str(d) for d in dependencies)
+    return ReductionInstance(
+        tau1=tau1,
+        query=query,
+        tau2=tau2,
+        source=f"{{{deps}}} |= {goal} over R/{arity}",
+        theorem="Theorem 5.1",
+        notes=[
+            "typechecking here means FINITE implication; the chase decides "
+            "unrestricted implication — they agree for FD-only and "
+            "acyclic-IND inputs used in tests"
+        ],
+    )
+
+
+def disjunctive_ind_gadget(idx: int, ind: IND) -> Query:
+    """Proposition 5.2's mechanism, reproduced for a (unary) IND: the
+    nested witness query is traded for a *disjunctive path* plus a *tag
+    variable*.
+
+    For ``R[x] subseteq R[y]``: bind ``W`` via the disjunctive path
+    ``(x + y)`` from any tuple with ``val(W) = val(A)``; the ``A``-tuple's
+    own ``x``-attribute always matches, so every lhs value stays visible,
+    and the *tag* of ``W`` (copied to the output by a tag variable)
+    reveals whether a genuine ``y``-witness exists.  The specialized
+    output type then counts children tagged ``y``.
+    """
+    if len(ind.lhs) != 1 or len(ind.rhs) != 1:
+        raise ValueError("the disjunctive gadget is defined for unary INDs")
+    x, y = str(ind.lhs[0]), str(ind.rhs[0])
+    p = f"d{idx}"
+    edges = [
+        Edge.of(None, f"{p}T", "R"),
+        Edge.of(f"{p}T", f"{p}A", x),
+        Edge.of(None, f"{p}U", "R"),
+        Edge.of(f"{p}U", f"{p}W", f"{x} + {y}" if x != y else x),
+    ]
+    conditions = [Condition(f"{p}W", "=", f"{p}A")]
+    return Query(
+        where=Where.of("root", edges, conditions),
+        construct=ConstructNode(
+            "answer",
+            (),
+            (
+                ConstructNode(
+                    f"IND{idx}",
+                    (f"{p}T", f"{p}A"),
+                    (ConstructNode(f"{p}W", (f"{p}T", f"{p}A", f"{p}U", f"{p}W")),),
+                ),
+            ),
+        ),
+    )
+
+
+def disjunctive_ind_output_type(idx: int, ind: IND) -> SpecializedDTD:
+    """The specialized unordered output type paired with
+    :func:`disjunctive_ind_gadget`: valid iff every ``IND{idx}`` node has
+    at least one child tagged with the rhs attribute (a genuine witness)."""
+    y = str(ind.rhs[0])
+    x = str(ind.lhs[0])
+    rules = {
+        "answer": sl.TRUE,
+        f"IND{idx}": sl.at_least(y, 1),
+        y: "true",
+        x: "true",
+    }
+    dtd_prime = DTD("answer", rules, unordered=True)
+    return SpecializedDTD(dtd_prime)

@@ -1,0 +1,164 @@
+"""Proposition 4.3: PSPACE-hardness via Quantified 3-SAT.
+
+The paper only states "We use a reduction from the Quantified 3-SAT
+problem" — the construction itself is omitted.  We reproduce the
+*forall-exists core* of it, which exhibits exactly the mechanism that
+star-free-via-FO output DTDs add over SL (succinct quantification over
+child positions):
+
+* the input DTD enumerates assignments to the universal block
+  (``root -> x1..xn; xi -> zero + one``, depth 2 — as in the
+  proposition's statement);
+* the query (no tag variables, no data-value conditions) copies the
+  universal assignment to marker children ``xi_t`` / ``xi_f`` and emits
+  *both* markers ``yj_t``, ``yj_f`` for every existential variable;
+* the output DTD is one FO sentence over the children word: *there exist
+  positions p1..pm, one per existential variable, each holding that
+  variable's true- or false-marker, such that every clause is satisfied* —
+  existential choice becomes FO position quantification.
+
+Then the query typechecks iff ``forall X exists Y . phi`` holds.  This is
+the Pi_2 fragment of QSAT; the paper's (omitted) gadget for unbounded
+alternation could not be reconstructed from the text — the substitution
+is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dtd.content import FOContent
+from repro.dtd.core import DTD
+from repro.logic import fo_words as fo
+from repro.logic.qbf import EXISTS, FORALL, QBF, q3sat
+from repro.ql.ast import ConstructNode, Edge, NestedQuery, Query, Where
+from repro.reductions.common import ReductionInstance
+
+
+def _forall_gadget(i: int, polarity: str) -> NestedQuery:
+    """Emit marker ``xi_t``/``xi_f`` iff input ``x_i`` has a ``one``/
+    ``zero`` child."""
+    child = "one" if polarity == "t" else "zero"
+    sub = Query(
+        where=Where.of(
+            "root", [Edge.of(None, f"U{i}{polarity}", f"x{i}"), Edge.of(f"U{i}{polarity}", f"V{i}{polarity}", child)]
+        ),
+        construct=ConstructNode(f"x{i}_{polarity}", ()),
+        free_vars=(),
+    )
+    return NestedQuery(sub, ())
+
+
+def _exists_gadget(j: int, polarity: str) -> NestedQuery:
+    """Unconditionally emit marker ``yj_t``/``yj_f`` (the trivially
+    matching where clause)."""
+    sub = Query(
+        where=Where.of("root", []),
+        construct=ConstructNode(f"y{j}_{polarity}", ()),
+        free_vars=(),
+    )
+    return NestedQuery(sub, ())
+
+
+def _clause_sentence(
+    clause: Sequence[int], n_forall: int, position_vars: dict[int, str]
+) -> fo.FOFormula:
+    """FO translation of one clause: universal literals become marker
+    presence, existential literals test the chosen position's letter."""
+    parts: list[fo.FOFormula] = []
+    for lit in clause:
+        idx = abs(lit)
+        pol = "t" if lit > 0 else "f"
+        if idx <= n_forall:
+            parts.append(fo.exists_letter(f"x{idx}_{pol}", var=f"_c{idx}{pol}"))
+        else:
+            j = idx - n_forall
+            parts.append(fo.Letter(position_vars[j], f"y{j}_{pol}"))
+    return fo.fo_or(*parts)
+
+
+def q3sat_to_typechecking(
+    clauses: Sequence[Sequence[int]], n_forall: int, n_exists: int
+) -> ReductionInstance:
+    """Build the forall-exists typechecking instance.
+
+    ``clauses`` use DIMACS literals over variables ``1..n_forall`` (the
+    universal block) and ``n_forall+1..n_forall+n_exists`` (existential).
+    The query typechecks iff ``forall x1..xn exists y1..ym . CNF`` is
+    true.
+    """
+    if n_forall < 1 or n_exists < 1:
+        raise ValueError("the reduction needs both quantifier blocks non-empty")
+    for clause in clauses:
+        for lit in clause:
+            if lit == 0 or abs(lit) > n_forall + n_exists:
+                raise ValueError(f"literal {lit} out of range")
+
+    x_tags = [f"x{i}" for i in range(1, n_forall + 1)]
+    tau1 = DTD("root", {"root": ".".join(x_tags), **{t: "zero + one" for t in x_tags}})
+
+    gadgets: list[NestedQuery] = []
+    for i in range(1, n_forall + 1):
+        gadgets.append(_forall_gadget(i, "t"))
+        gadgets.append(_forall_gadget(i, "f"))
+    for j in range(1, n_exists + 1):
+        gadgets.append(_exists_gadget(j, "t"))
+        gadgets.append(_exists_gadget(j, "f"))
+    query = Query(
+        where=Where.of("root", []),
+        construct=ConstructNode("answer", (), tuple(gadgets)),
+    )
+
+    position_vars = {j: f"p{j}" for j in range(1, n_exists + 1)}
+    body_parts: list[fo.FOFormula] = []
+    for j in range(1, n_exists + 1):
+        body_parts.append(
+            fo.FOOr(
+                fo.Letter(position_vars[j], f"y{j}_t"),
+                fo.Letter(position_vars[j], f"y{j}_f"),
+            )
+        )
+    for clause in clauses:
+        body_parts.append(_clause_sentence(clause, n_forall, position_vars))
+    sentence: fo.FOFormula = fo.fo_and(*body_parts)
+    for j in range(n_exists, 0, -1):
+        sentence = fo.Exists(position_vars[j], sentence)
+
+    marker_tags = (
+        [f"x{i}_{p}" for i in range(1, n_forall + 1) for p in "tf"]
+        + [f"y{j}_{p}" for j in range(1, n_exists + 1) for p in "tf"]
+    )
+    tau2 = DTD(
+        "answer",
+        {"answer": FOContent(sentence, marker_tags)},
+        alphabet=frozenset(marker_tags) | {"answer"},
+    )
+
+    return ReductionInstance(
+        tau1=tau1,
+        query=query,
+        tau2=tau2,
+        source=f"Q3SAT (forall^{n_forall} exists^{n_exists}) with {len(clauses)} clauses",
+        theorem="Proposition 4.3 (forall-exists core)",
+        notes=[
+            f"decisive search budget: max_size = {2 * n_forall + 1} "
+            "(finite instance space)",
+            "the paper omits its QSAT gadget; this reproduces the "
+            "forall-exists fragment (see DESIGN.md substitutions)",
+        ],
+    )
+
+
+def source_qbf(clauses: Sequence[Sequence[int]], n_forall: int, n_exists: int) -> QBF:
+    """The source Pi_2 QBF, for cross-checking the reduction."""
+    prefix = tuple(
+        (FORALL, f"x{i}") for i in range(1, n_forall + 1)
+    ) + tuple((EXISTS, f"x{n_forall + j}") for j in range(1, n_exists + 1))
+    from repro.logic.propositional import from_clauses
+
+    return QBF(prefix, from_clauses(clauses))
+
+
+def decisive_max_size(instance: ReductionInstance) -> int:
+    n = sum(1 for t in instance.tau1.alphabet if t.startswith("x"))
+    return 2 * n + 1

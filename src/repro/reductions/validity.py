@@ -1,0 +1,105 @@
+"""Theorem 4.2(i): propositional validity -> typechecking (Figure 3).
+
+The construction, verbatim from the paper:
+
+* input DTD: ``root -> X1...Xn; Xi -> (zero + one)`` — instances are
+  exactly the truth assignments to ``x1..xn``;
+* query ``q``: the outermost where clause is trivial (it only ensures the
+  binding set is non-empty); for each variable, a nested query ``q_i``
+  emits a single node tagged ``Xi`` iff ``Xi`` has a child labeled
+  ``one``;
+* output (unordered) DTD: the SL formula obtained from ``phi`` by
+  replacing each positive literal ``x_i`` by ``Xi^=1`` and each negative
+  literal ``!x_i`` by ``Xi^=0``.
+
+Then ``phi`` is valid iff ``q`` typechecks.  The instance space is finite
+(one tree per assignment), so the bounded typechecker is *decisive* here:
+``max_size = 2n + 1`` exhausts ``inst(tau1)``.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.core import DTD
+from repro.logic.propositional import (
+    PAnd,
+    PFalse,
+    PNot,
+    POr,
+    PropFormula,
+    PTrue,
+    Var,
+)
+from repro.logic import sl
+from repro.ql.ast import ConstructNode, Edge, NestedQuery, Query, Where
+from repro.reductions.common import ReductionInstance
+
+
+def _prop_to_sl(phi: PropFormula) -> sl.SLFormula:
+    """Literal-for-literal translation: ``x_i -> Xi^=1``, ``!x_i -> Xi^=0``."""
+    if isinstance(phi, Var):
+        return sl.exactly(f"X_{phi.name}", 1)
+    if isinstance(phi, PNot):
+        if isinstance(phi.inner, Var):
+            return sl.exactly(f"X_{phi.inner.name}", 0)
+        return sl.sl_not(_prop_to_sl(phi.inner))
+    if isinstance(phi, PAnd):
+        return sl.sl_and(_prop_to_sl(phi.left), _prop_to_sl(phi.right))
+    if isinstance(phi, POr):
+        return sl.sl_or(_prop_to_sl(phi.left), _prop_to_sl(phi.right))
+    if isinstance(phi, PTrue):
+        return sl.TRUE
+    if isinstance(phi, PFalse):
+        return sl.FALSE
+    raise TypeError(f"unknown propositional node {phi!r}")
+
+
+def variable_gadget(name: str) -> NestedQuery:
+    """The nested query ``q_i``: emit one ``X_name`` node iff the input's
+    ``X_name`` element has a child labeled ``one``."""
+    tag = f"X_{name}"
+    sub = Query(
+        where=Where.of(
+            "root",
+            [Edge.of(None, f"Y_{name}", tag), Edge.of(f"Y_{name}", f"W_{name}", "one")],
+        ),
+        construct=ConstructNode(tag, ()),
+        free_vars=(),
+    )
+    return NestedQuery(sub, ())
+
+
+def validity_to_typechecking(phi: PropFormula) -> ReductionInstance:
+    """Build the Figure 3 instance for ``phi``; ``phi`` is valid iff the
+    query typechecks."""
+    names = sorted(phi.variables())
+    if not names:
+        raise ValueError("the reduction needs at least one propositional variable")
+    tags = [f"X_{n}" for n in names]
+    tau1 = DTD(
+        "root",
+        {"root": ".".join(tags), **{t: "zero + one" for t in tags}},
+    )
+    query = Query(
+        where=Where.of("root", []),  # trivially non-empty binding set
+        construct=ConstructNode(
+            "answer", (), tuple(variable_gadget(n) for n in names)
+        ),
+    )
+    tau2 = DTD("answer", {"answer": _prop_to_sl(phi)}, alphabet=frozenset(tags) | {"answer"})
+    return ReductionInstance(
+        tau1=tau1,
+        query=query,
+        tau2=tau2,
+        source=f"propositional validity of {phi}",
+        theorem="Theorem 4.2(i)",
+        notes=[
+            f"decisive search budget: max_size = {2 * len(names) + 1} "
+            "(finite instance space)"
+        ],
+    )
+
+
+def decisive_max_size(instance: ReductionInstance) -> int:
+    """The input size that exhausts the instance space of this reduction."""
+    n = sum(1 for t in instance.tau1.alphabet if t.startswith("X_"))
+    return 2 * n + 1

@@ -1,0 +1,25 @@
+"""Ordered, unranked, labeled trees with data values.
+
+Data trees are the paper's abstraction of XML documents (Section 2 of
+Alon, Milo, Neven, Suciu, Vianu, *XML with Data Values: Typechecking
+Revisited*, PODS 2001): a finite ordered tree ``t`` together with a
+``label`` mapping into a finite alphabet and a ``val`` mapping into an
+infinite domain of data values.
+"""
+
+from repro.trees.data_tree import DataTree, Node, document_order, tree_depth, tree_size
+from repro.trees.parser import ParseError, parse_forest, parse_tree
+from repro.trees.serialize import to_term, to_xml
+
+__all__ = [
+    "DataTree",
+    "Node",
+    "ParseError",
+    "document_order",
+    "parse_forest",
+    "parse_tree",
+    "to_term",
+    "to_xml",
+    "tree_depth",
+    "tree_size",
+]

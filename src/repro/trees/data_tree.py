@@ -1,0 +1,230 @@
+"""Core data-tree structure.
+
+A :class:`Node` is one XML element: a tag (its *label*), an optional data
+value, and an ordered sequence of children.  A :class:`DataTree` wraps a
+root node and offers whole-document operations (traversal, document order,
+structural equality).
+
+Design notes
+------------
+* Trees are unranked: a node may have any number of children, matching the
+  paper's ``T_{Sigma,D}``.
+* Data values live in an infinite domain ``D``.  We use arbitrary hashable
+  Python values (usually strings); ``None`` means "no value", which is how
+  the paper treats structural results of queries (queries map data trees to
+  trees *without* data values).
+* Nodes are mutable during construction but the library treats a tree as
+  frozen once built; hashing is on structure, computed lazily.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any, Optional
+
+
+class Node:
+    """One element of a data tree.
+
+    Parameters
+    ----------
+    label:
+        The tag, an element of the finite alphabet ``Sigma``.
+    value:
+        The data value attached to the node (an element of the infinite
+        domain ``D``), or ``None`` when the node carries no value.
+    children:
+        Ordered sequence of child nodes.
+    """
+
+    __slots__ = ("label", "value", "children", "_hash")
+
+    def __init__(
+        self,
+        label: str,
+        children: Optional[Iterable["Node"]] = None,
+        value: Any = None,
+    ) -> None:
+        if not isinstance(label, str) or not label:
+            raise ValueError(f"node label must be a non-empty string, got {label!r}")
+        self.label = label
+        self.value = value
+        self.children: list[Node] = list(children) if children is not None else []
+        self._hash: Optional[int] = None
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` and return it (for fluent building)."""
+        self.children.append(child)
+        self._hash = None
+        return child
+
+    def copy(self) -> "Node":
+        """Deep structural copy (iterative: safe for very deep documents)."""
+        clones: dict[int, Node] = {}
+        for node in self.iter_postorder():
+            clones[id(node)] = Node(
+                node.label, [clones[id(c)] for c in node.children], node.value
+            )
+        return clones[id(self)]
+
+    # -- traversal -------------------------------------------------------------
+
+    def iter_preorder(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in document (pre)order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator["Node"]:
+        """Yield all descendants bottom-up, this node last."""
+        # Iterative post-order to survive deep trees.
+        out: list[Node] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return reversed(out)  # type: ignore[return-value]
+
+    def leaves(self) -> Iterator["Node"]:
+        """Yield the leaf nodes, in document order."""
+        for node in self.iter_preorder():
+            if not node.children:
+                yield node
+
+    # -- measurements ----------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter_preorder())
+
+    def depth(self) -> int:
+        """Depth of the subtree; a leaf has depth 0 (the paper's convention:
+        *the root has depth zero*)."""
+        best = 0
+        stack = [(self, 0)]
+        while stack:
+            node, d = stack.pop()
+            if d > best:
+                best = d
+            stack.extend((c, d + 1) for c in node.children)
+        return best
+
+    def child_word(self) -> tuple[str, ...]:
+        """The sequence of labels of this node's children, as a word over
+        ``Sigma`` — the object DTD content models constrain."""
+        return tuple(c.label for c in self.children)
+
+    # -- equality / hashing ----------------------------------------------------
+
+    def structure_key(self) -> tuple:
+        """A hashable key identifying label, value and child structure.
+
+        Two nodes are structurally equal iff their keys are equal: the
+        preorder sequence of ``(label, value, child_count)`` triples
+        determines the tree uniquely.  Computed iteratively so very deep
+        documents (long PCP encodings, for instance) are safe.
+        """
+        return tuple(
+            (n.label, n.value, len(n.children)) for n in self.iter_preorder()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Node):
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return self.structure_key() == other.structure_key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.structure_key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        from repro.trees.serialize import to_term
+
+        return f"Node({to_term(self)})"
+
+
+class DataTree:
+    """A whole document: a data tree over alphabet ``Sigma``.
+
+    Thin wrapper over the root :class:`Node` providing document-level
+    helpers.  Equality is structural (labels, values, order).
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Node) -> None:
+        if not isinstance(root, Node):
+            raise TypeError(f"DataTree root must be a Node, got {type(root).__name__}")
+        self.root = root
+
+    # -- delegation -------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of nodes in the document."""
+        return self.root.size()
+
+    def depth(self) -> int:
+        """Depth of the document (root at depth 0)."""
+        return self.root.depth()
+
+    def labels(self) -> set[str]:
+        """The set of tags actually used in the document."""
+        return {n.label for n in self.root.iter_preorder()}
+
+    def values(self) -> set[Any]:
+        """The set of non-``None`` data values in the document."""
+        return {n.value for n in self.root.iter_preorder() if n.value is not None}
+
+    def nodes(self) -> list[Node]:
+        """All nodes in document order."""
+        return list(self.root.iter_preorder())
+
+    def copy(self) -> "DataTree":
+        return DataTree(self.root.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataTree):
+            return NotImplemented
+        return self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash(self.root)
+
+    def __repr__(self) -> str:
+        from repro.trees.serialize import to_term
+
+        return f"DataTree({to_term(self.root)})"
+
+
+def document_order(tree: DataTree | Node) -> dict[int, int]:
+    """Map ``id(node) -> position`` in the depth-first left-to-right
+    traversal.
+
+    The paper orders bindings lexicographically using this order
+    (Section 2, semantics of QL); we key by ``id`` because distinct nodes
+    may be structurally equal.
+    """
+    root = tree.root if isinstance(tree, DataTree) else tree
+    return {id(node): i for i, node in enumerate(root.iter_preorder())}
+
+
+def tree_size(tree: DataTree | Node) -> int:
+    """Number of nodes of a tree or subtree."""
+    root = tree.root if isinstance(tree, DataTree) else tree
+    return root.size()
+
+
+def tree_depth(tree: DataTree | Node) -> int:
+    """Depth of a tree or subtree (root at depth zero)."""
+    root = tree.root if isinstance(tree, DataTree) else tree
+    return root.depth()

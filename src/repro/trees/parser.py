@@ -1,0 +1,157 @@
+"""Term syntax for data trees.
+
+The paper writes trees as ``r(t1, ..., tn)``.  We support exactly that,
+extended with an optional data value in square brackets::
+
+    a(b[v1], c(d, d[7]), e)
+
+* labels: identifiers ``[A-Za-z_][A-Za-z0-9_.$#-]*`` or any string quoted
+  with single quotes (``'$'(...)``).
+* values: ``[...]`` after the label; an unquoted token (kept as string,
+  or int if all digits) or a single-quoted string.
+* whitespace is insignificant between tokens.
+
+``parse_tree`` returns a :class:`~repro.trees.data_tree.DataTree`;
+``parse_forest`` parses a comma-separated sequence of trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.trees.data_tree import DataTree, Node
+
+_IDENT_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_IDENT_CONT = _IDENT_START | set("0123456789.$#-")
+
+
+class ParseError(ValueError):
+    """Raised on malformed term syntax, with position information."""
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        snippet = text[max(0, pos - 15) : pos + 15]
+        super().__init__(f"{message} at position {pos} (near {snippet!r})")
+        self.pos = pos
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level ---------------------------------------------------------
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+    def quoted(self) -> str:
+        self.expect("'")
+        out = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error("unterminated quoted string")
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == "\\" and self.pos < len(self.text):
+                out.append(self.text[self.pos])
+                self.pos += 1
+            elif ch == "'":
+                break
+            else:
+                out.append(ch)
+        return "".join(out)
+
+    def ident(self) -> str:
+        if self.peek() == "'":
+            return self.quoted()
+        start = self.pos
+        if self.peek() not in _IDENT_START:
+            raise self.error("expected identifier")
+        while self.pos < len(self.text) and self.text[self.pos] in _IDENT_CONT:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    # -- grammar -----------------------------------------------------------
+
+    def value(self) -> Any:
+        """Parse the contents of ``[...]``."""
+        self.expect("[")
+        self.skip_ws()
+        if self.peek() == "'":
+            val: Any = self.quoted()
+        else:
+            start = self.pos
+            while self.pos < len(self.text) and self.text[self.pos] not in "]":
+                self.pos += 1
+            token = self.text[start : self.pos].strip()
+            if not token:
+                raise self.error("empty data value")
+            val = int(token) if token.lstrip("-").isdigit() else token
+        self.skip_ws()
+        self.expect("]")
+        return val
+
+    def node(self) -> Node:
+        self.skip_ws()
+        label = self.ident()
+        self.skip_ws()
+        value = None
+        if self.peek() == "[":
+            value = self.value()
+            self.skip_ws()
+        children: list[Node] = []
+        if self.peek() == "(":
+            self.pos += 1
+            self.skip_ws()
+            if self.peek() == ")":
+                self.pos += 1
+            else:
+                children.append(self.node())
+                self.skip_ws()
+                while self.peek() == ",":
+                    self.pos += 1
+                    children.append(self.node())
+                    self.skip_ws()
+                self.expect(")")
+        return Node(label, children, value)
+
+    def forest(self) -> list[Node]:
+        roots = [self.node()]
+        self.skip_ws()
+        while self.peek() == ",":
+            self.pos += 1
+            roots.append(self.node())
+            self.skip_ws()
+        return roots
+
+
+def parse_tree(text: str) -> DataTree:
+    """Parse one tree in term syntax, e.g. ``"a(b[x], c)"``."""
+    parser = _Parser(text)
+    node = parser.node()
+    parser.skip_ws()
+    if parser.pos != len(text):
+        raise parser.error("trailing input after tree")
+    return DataTree(node)
+
+
+def parse_forest(text: str) -> list[DataTree]:
+    """Parse a comma-separated sequence of trees."""
+    parser = _Parser(text)
+    roots = parser.forest()
+    parser.skip_ws()
+    if parser.pos != len(text):
+        raise parser.error("trailing input after forest")
+    return [DataTree(r) for r in roots]

@@ -1,0 +1,85 @@
+"""Printers for data trees: compact term syntax and indented XML."""
+
+from __future__ import annotations
+
+from repro.trees.data_tree import DataTree, Node
+
+_IDENT_OK = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_0123456789.$#-")
+
+
+def _quote_label(label: str) -> str:
+    if label and label[0].isalpha() or label.startswith("_"):
+        if all(ch in _IDENT_OK for ch in label):
+            return label
+    escaped = label.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def to_term(tree: DataTree | Node) -> str:
+    """Render in the round-trippable term syntax of
+    :mod:`repro.trees.parser`, e.g. ``a(b[v], c)``.
+
+    Iterative, so arbitrarily deep documents serialize safely.
+    """
+    node = tree.root if isinstance(tree, DataTree) else tree
+    parts: list[str] = []
+    # Work stack of (node | closing-token, needs_separator).
+    stack: list[tuple[object, bool]] = [(node, False)]
+    while stack:
+        item, separate = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        assert isinstance(item, Node)
+        if separate:
+            parts.append(", ")
+        parts.append(_quote_label(item.label))
+        if item.value is not None:
+            if isinstance(item.value, int):
+                parts.append(f"[{item.value}]")
+            else:
+                escaped = str(item.value).replace("\\", "\\\\").replace("'", "\\'")
+                parts.append(f"['{escaped}']")
+        if item.children:
+            parts.append("(")
+            stack.append((")", False))
+            for i, child in enumerate(reversed(item.children)):
+                stack.append((child, i != len(item.children) - 1))
+    return "".join(parts)
+
+
+def to_xml(tree: DataTree | Node, indent: int = 2) -> str:
+    """Render as indented XML.  Data values become a ``value`` attribute.
+
+    This is a presentation aid for examples and debugging; the library's
+    canonical format is the term syntax.
+    """
+    node = tree.root if isinstance(tree, DataTree) else tree
+    lines: list[str] = []
+    stack: list[tuple[object, int]] = [(node, 0)]
+    while stack:
+        item, level = stack.pop()
+        pad = " " * (indent * level)
+        if isinstance(item, str):
+            lines.append(f"{pad}</{item}>")
+            continue
+        assert isinstance(item, Node)
+        attr = f' value="{_xml_escape(str(item.value))}"' if item.value is not None else ""
+        tag = _xml_escape(item.label)
+        if not item.children:
+            lines.append(f"{pad}<{tag}{attr}/>")
+            continue
+        lines.append(f"{pad}<{tag}{attr}>")
+        stack.append((tag, level))
+        for child in reversed(item.children):
+            stack.append((child, level + 1))
+    return "\n".join(lines)
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

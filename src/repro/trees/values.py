@@ -1,0 +1,90 @@
+"""Data-value assignment enumeration.
+
+DTDs constrain only tags, but QL queries compare *data values*, so the
+typechecker's counterexample search must consider how values are placed on
+a candidate label tree.  Up to the =/!= tests a query can perform, only
+the *partition* of nodes into equal-value classes matters, plus which
+classes equal which query constants.  This module enumerates exactly
+those: canonical (restricted-growth) labelings of the nodes with either a
+query constant or an anonymous class id — every semantically distinct
+assignment appears exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.trees.data_tree import DataTree, Node
+
+
+def assign_values(tree: DataTree, values: Sequence[Any]) -> DataTree:
+    """A copy of ``tree`` whose nodes (in document order) carry ``values``."""
+    nodes = tree.nodes()
+    if len(values) != len(nodes):
+        raise ValueError(f"need {len(nodes)} values, got {len(values)}")
+    copy = tree.copy()
+    for node, value in zip(copy.nodes(), values):
+        node.value = value
+    return copy
+
+
+def enumerate_value_assignments(
+    n_nodes: int,
+    constants: Sequence[Any] = (),
+    max_classes: Optional[int] = None,
+) -> Iterator[tuple[Any, ...]]:
+    """All semantically distinct value vectors for ``n_nodes`` nodes.
+
+    Each node gets either one of ``constants`` (values the query mentions
+    literally) or an anonymous value ``_v0, _v1, ...``; anonymous class
+    ids form a restricted-growth string so that permuting anonymous values
+    never yields a duplicate.  ``max_classes`` caps the number of distinct
+    anonymous values (``None`` = up to ``n_nodes``); capping trades
+    completeness for speed and is reported by the typechecker as a budget.
+    """
+    consts = list(dict.fromkeys(constants))
+    cap = n_nodes if max_classes is None else min(max_classes, n_nodes)
+
+    def rec(i: int, used_anon: int, prefix: list[Any]) -> Iterator[tuple[Any, ...]]:
+        if i == n_nodes:
+            yield tuple(prefix)
+            return
+        for c in consts:
+            prefix.append(c)
+            yield from rec(i + 1, used_anon, prefix)
+            prefix.pop()
+        for b in range(min(used_anon + 1, cap)):
+            prefix.append(f"_v{b}")
+            yield from rec(i + 1, max(used_anon, b + 1), prefix)
+            prefix.pop()
+
+    yield from rec(0, 0, [])
+
+
+def enumerate_valued_trees(
+    tree: DataTree,
+    constants: Sequence[Any] = (),
+    max_classes: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[DataTree]:
+    """All semantically distinct valued versions of a label tree."""
+    n = tree.size()
+    it = enumerate_value_assignments(n, constants, max_classes)
+    if limit is not None:
+        it = itertools.islice(it, limit)
+    for values in it:
+        yield assign_values(tree, values)
+
+
+def count_value_assignments(
+    n_nodes: int, n_constants: int, max_classes: Optional[int] = None
+) -> int:
+    """Size of the assignment space (for search-budget reporting)."""
+    return sum(1 for _ in enumerate_value_assignments(n_nodes, list(range(n_constants)), max_classes))
+
+
+def fresh_values(tree: DataTree) -> DataTree:
+    """All-distinct values — the coarsest assignment that satisfies every
+    ``!=`` and no ``=`` between distinct nodes."""
+    return assign_values(tree, [f"_v{i}" for i in range(tree.size())])

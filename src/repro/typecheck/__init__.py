@@ -1,0 +1,65 @@
+"""Typechecking: does ``q(inst(tau1)) subseteq inst(tau2)`` hold?
+
+The paper's three decision procedures, all instances of *bounded
+counterexample search* (if the query can ever violate the output DTD, it
+does so on an input no larger than a computable bound):
+
+* :func:`~repro.typecheck.unordered.typecheck_unordered` — Theorem 3.1:
+  non-recursive QL, regular input DTD, unordered (SL) output DTD;
+* :func:`~repro.typecheck.starfree.typecheck_starfree` — Theorem 3.2:
+  additionally no tag variables, output DTD star-free; implemented by the
+  (dagger)/(double-dagger) compilation of star-free expressions into SL
+  followed by the Theorem 3.1 procedure;
+* :func:`~repro.typecheck.regular.typecheck_regular` — Theorem 3.5:
+  additionally projection-free, output DTD fully regular; the bound is
+  Ramsey-theoretic.
+
+:func:`~repro.typecheck.api.typecheck` dispatches on the fragment, and
+raises :class:`~repro.typecheck.api.UndecidableFragmentError` outside the
+decidable region (recursive path expressions — Theorem 5.3 — or
+specialized output DTDs — Theorem 5.1), where only the raw
+counterexample *search* (no completeness) remains available.
+
+Because the paper's bounds are astronomical, the searcher is an anytime
+procedure with an explicit budget and three-valued
+:class:`~repro.typecheck.result.Verdict`.
+"""
+
+from repro.typecheck.api import UndecidableFragmentError, typecheck
+from repro.typecheck.bounds import (
+    cor41_bound,
+    thm31_bound,
+    thm35_bound,
+)
+from repro.typecheck.ramsey import ramsey_bound, ramsey_bound_variant
+from repro.typecheck.result import SearchStats, TypecheckResult, Verdict
+from repro.typecheck.search import find_counterexample
+from repro.typecheck.starfree import (
+    NotStarFreeError,
+    star_free_to_sl,
+    star_free_to_sl_hom,
+    typecheck_starfree,
+)
+from repro.typecheck.regular import decompose_profile_language, typecheck_regular
+from repro.typecheck.unordered import typecheck_unordered
+
+__all__ = [
+    "NotStarFreeError",
+    "SearchStats",
+    "TypecheckResult",
+    "UndecidableFragmentError",
+    "Verdict",
+    "cor41_bound",
+    "decompose_profile_language",
+    "find_counterexample",
+    "ramsey_bound",
+    "ramsey_bound_variant",
+    "star_free_to_sl",
+    "star_free_to_sl_hom",
+    "thm31_bound",
+    "thm35_bound",
+    "typecheck",
+    "typecheck_regular",
+    "typecheck_starfree",
+    "typecheck_unordered",
+]

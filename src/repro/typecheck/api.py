@@ -1,0 +1,121 @@
+"""The typechecking front door: fragment dispatch along the paper's
+decidability boundary.
+
+``typecheck(q, tau1, tau2)`` routes to the strongest applicable procedure:
+
+==========================  =======================  ====================
+output DTD                  query fragment           procedure
+==========================  =======================  ====================
+unordered (SL)              non-recursive            Theorem 3.1
+star-free                   + no tag variables       Theorem 3.2
+regular                     + projection-free        Theorem 3.5
+specialized (any)           —                        undecidable (Thm 5.1)
+any                         recursive paths          undecidable (Thm 5.3)
+==========================  =======================  ====================
+
+Outside the decidable region the call raises
+:class:`UndecidableFragmentError` unless ``force_search=True``, in which
+case the raw bounded search still runs — it can *refute* (find a concrete
+counterexample) but never *prove* typechecking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.dtd.content import ContentKind, FOContent
+from repro.dtd.core import DTD
+from repro.dtd.specialized import SpecializedDTD
+from repro.ql.analysis import has_tag_variables, is_non_recursive, is_projection_free
+from repro.ql.ast import Query
+from repro.typecheck.result import TypecheckResult, Verdict
+from repro.typecheck.search import SearchBudget, find_counterexample
+from repro.typecheck.starfree import typecheck_starfree
+from repro.typecheck.regular import typecheck_regular
+from repro.typecheck.unordered import typecheck_unordered
+
+
+class UndecidableFragmentError(ValueError):
+    """The instance lies outside the paper's decidable region."""
+
+    def __init__(self, message: str, theorem: str) -> None:
+        super().__init__(f"{message} (see {theorem}); pass force_search=True to run "
+                         "the refutation-only bounded search")
+        self.theorem = theorem
+
+
+def typecheck(
+    query: Query,
+    tau1: DTD,
+    tau2: Union[DTD, SpecializedDTD],
+    budget: Optional[SearchBudget] = None,
+    assume_projection_free: bool = False,
+    force_search: bool = False,
+) -> TypecheckResult:
+    """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
+
+    Dispatches to the strongest applicable decision procedure; raises
+    :class:`UndecidableFragmentError` outside the decidable boundary
+    unless ``force_search`` requests the refutation-only search.
+    """
+    if not query.is_program():
+        raise ValueError("typechecking applies to outermost queries (no free variables)")
+
+    def fallback(reason: str, theorem: str) -> TypecheckResult:
+        if not force_search:
+            raise UndecidableFragmentError(reason, theorem)
+        result = find_counterexample(
+            query, tau1, tau2, budget=budget, algorithm="refutation-search"
+        )
+        if result.verdict is Verdict.TYPECHECKS:
+            # Even exhausting a finite space is legitimate; keep it.
+            return result
+        result.notes.append(f"{reason} ({theorem}): search can refute but not prove")
+        return result
+
+    if isinstance(tau2, SpecializedDTD):
+        return fallback(
+            "typechecking with specialized output DTDs is undecidable", "Theorem 5.1"
+        )
+    if not is_non_recursive(query):
+        return fallback(
+            "typechecking recursive QL queries is undecidable", "Theorem 5.3"
+        )
+    kind = tau2.kind()
+    if kind is ContentKind.UNORDERED:
+        return typecheck_unordered(query, tau1, tau2, budget=budget)
+    if has_tag_variables(query):
+        return fallback(
+            "tag variables with ordered output DTDs are outside the paper's "
+            "decidable fragments",
+            "Section 3 (Theorem 3.1 covers tag variables only for unordered DTDs)",
+        )
+    if kind is ContentKind.STAR_FREE:
+        if any(isinstance(m, FOContent) for m in tau2.rules.values()):
+            # FO sentences are star-free semantically, but deliberately
+            # carry no DFA compilation (Proposition 4.3's succinctness
+            # point), so the (dagger) pipeline cannot run.  Use the search
+            # directly; on finite instance spaces it is still decisive.
+            result = find_counterexample(
+                query, tau1, tau2, budget=budget, algorithm="starfree-FO-search"
+            )
+            result.notes.append(
+                "FO content models are checked by direct search (no DFA "
+                "compilation; see Proposition 4.3)"
+            )
+            return result
+        return typecheck_starfree(query, tau1, tau2, budget=budget)
+    # Fully regular output DTD: Theorem 3.5 needs projection-freeness.
+    if not assume_projection_free and not is_projection_free(query, tau1):
+        return fallback(
+            "query is not projection-free; decidability for regular output "
+            "DTDs without projection-freeness is open",
+            "Theorem 3.5 / open problem",
+        )
+    return typecheck_regular(
+        query,
+        tau1,
+        tau2,
+        budget=budget,
+        assume_projection_free=True,
+    )

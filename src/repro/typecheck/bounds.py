@@ -1,0 +1,98 @@
+"""Symbolic counterexample-size bounds (Theorems 3.1 and 3.5, Corollary 4.1).
+
+These are the quantities that make the paper's procedures *decision*
+procedures: if a violation exists at all, one exists within the bound.
+The bounds are enormous — they are computed exactly (Python ints) for
+reporting, while the search itself proceeds size-by-size and usually finds
+real counterexamples at single-digit sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd.core import DTD
+from repro.logic.sl import SLFormula
+from repro.dtd.content import SLContent
+from repro.ql.analysis import query_size
+from repro.ql.ast import Query
+from repro.typecheck.ramsey import ramsey_bound_variant
+
+
+def _tau2_integer_weight(tau2: DTD) -> int:
+    """``|tau2|`` with integers in unary (footnote 5): the sum of the
+    integers occurring in the SL formulas, plus one per atom."""
+    total = 0
+    for model in tau2.rules.values():
+        if isinstance(model, SLContent):
+            for atom in model.formula.atoms():
+                total += atom.count + 1
+    return max(1, total)
+
+
+def thm31_bound(query: Query, tau1: DTD, tau2: DTD) -> int:
+    """The Theorem 3.1 counterexample bound.
+
+    With ``B`` the protected node set, ``|B| <= |q|^2 (|q| + |tau2||Sigma|)``
+    and the minimal violating tree has at most
+    ``[(|B|+1)|tau1|]^{|q|} * (1 + |tau1|^{|Sigma|})`` nodes.
+    """
+    q = max(1, query_size(query))
+    sigma = max(1, len(tau1.alphabet))
+    t1 = max(2, tau1.max_dfa_states())
+    t2 = _tau2_integer_weight(tau2)
+    b = q * q * (q + t2 * sigma)
+    return ((b + 1) * t1) ** q * (1 + t1**sigma)
+
+
+def cor41_bound(query: Query, tau1: DTD, tau2: DTD, depth: Optional[int] = None) -> int:
+    """The Corollary 4.1 bound for bounded-depth input DTDs: with fixed
+    alphabet and depth ``M``, the counterexample is polynomial —
+    ``[(|B|+1)|tau1|]^M`` (no deep-pumping factor; instances simply cannot
+    be deeper than ``M``)."""
+    m = tau1.depth_bound() if depth is None else depth
+    if m is None:
+        raise ValueError("cor41_bound requires a bounded-depth input DTD")
+    q = max(1, query_size(query))
+    sigma = max(1, len(tau1.alphabet))
+    t1 = max(2, tau1.max_dfa_states())
+    t2 = _tau2_integer_weight(tau2)
+    b = q * q * (q + t2 * sigma)
+    return ((b + 1) * t1) ** max(1, m)
+
+
+def thm35_bound(
+    query: Query,
+    tau1: DTD,
+    periods: Optional[list[int]] = None,
+) -> int | float:
+    """The Theorem 3.5 (Ramsey) counterexample bound.
+
+    ``periods`` are the moduli ``j_l`` of the profile decomposition of the
+    violated content model (Proposition 3.9); when unknown we use the
+    conservative default ``[2] * |q|``.  With ``k = |q|``,
+    ``w = prod(j_l)`` colors and ``m = prod(j_l) * k!`` requested
+    homogeneous units, the bound is
+    ``R'(k, m, w) * (|tau1| * (|N|+1))^{|q|}``.
+
+    This quantity is a tower of exponentials even for toy inputs — the
+    decision procedure is *theoretical*; the implementation reports it and
+    searches within a practical budget.
+    """
+    q = max(1, query_size(query))
+    t1 = max(2, tau1.max_dfa_states())
+    js = [j for j in (periods if periods is not None else [2] * min(q, 4)) if j > 1]
+    w = 1
+    for j in js:
+        w *= j
+    k = q
+    fact = 1
+    for i in range(2, k + 1):
+        fact *= i
+    m = w * fact
+    n_protected = q + q * q + 2 * q * q  # items 1-3 of the N construction
+    n_protected *= q  # item 4: root paths
+    r = ramsey_bound_variant(k, m, w)
+    if r == float("inf"):
+        return float("inf")
+    return r * (t1 * (n_protected + 1)) ** q

@@ -1,0 +1,98 @@
+"""Upper bounds for Ramsey numbers (Theorem 3.13 / Corollary 3.14).
+
+Theorem 3.5's counterexample bound is ``R'(k, m, w) * (|tau1| * (|N|+1))^|q|``
+where ``R'`` is the Corollary 3.14 variant of the hypergraph Ramsey number
+``R(k, m, w)``: the least ``n`` such that any ``w``-coloring of the
+``k``-subsets of an ``n``-set has a monochromatic ``m``-subset.
+
+Exact Ramsey numbers are unknown beyond tiny cases, so — like the paper,
+which only needs *a* finite bound — we compute classical upper bounds:
+
+* ``k = 1``: pigeonhole, ``R(1, m, w) = w(m-1) + 1`` (exact);
+* ``k = 2``: the multicolor Erdos-Szekeres bound
+  ``R(2, m, w) <= w^(w(m-2)+1)`` (we use the standard product/recursive
+  neighborhood-chasing bound);
+* ``k >= 3``: the Erdos-Rado stepping-up lemma
+  ``R(k, m, w) <= w^(R(k-1, m-1, w) choose k-1) * ... `` — we use the
+  clean form ``R(k, m, w) <= 2 ** (w * C(R(k-1, m, w), k-1))`` iterated
+  down to ``k = 2``, which is a valid (generous) upper bound.
+
+The numbers explode immediately (towers of exponentials); everything here
+returns exact Python ints, which the typechecker reports but obviously
+never enumerates to.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+#: Exponent threshold past which bounds are reported as ``float('inf')``
+#: ("astronomical") instead of being materialized as exact integers —
+#: a tower-of-exponentials int would not fit in memory.
+MAX_EXPONENT_BITS = 4096
+
+Bound = int | float  # exact int, or float('inf') for "astronomical"
+
+
+def ramsey_bound(k: int, m: int, w: int) -> Bound:
+    """An upper bound on ``R(k, m, w)`` (Theorem 3.13).
+
+    ``k``: subset size being colored; ``m``: requested monochromatic set
+    size; ``w``: number of colors.
+    """
+    if k < 1 or m < 1 or w < 1:
+        raise ValueError("Ramsey parameters must be positive")
+    if m < k:
+        # Any m-subset works vacuously once the ground set has m elements.
+        return m
+    if w == 1:
+        return m
+    if k == 1:
+        return w * (m - 1) + 1
+    if k == 2:
+        return _two_color_graph_bound(m, w)
+    # Erdos-Rado stepping up: a w-coloring of k-subsets of an n-set induces,
+    # after fixing a point, a coloring of (k-1)-subsets; n beyond
+    # 2^(w * C(n', k-1)) with n' = R(k-1, m, w) suffices.
+    previous = ramsey_bound(k - 1, m, w)
+    if previous == float("inf"):
+        return float("inf")
+    exponent = w * comb(int(previous), k - 1)
+    if exponent > MAX_EXPONENT_BITS:
+        return float("inf")
+    return 2**exponent + previous
+
+
+def _two_color_graph_bound(m: int, w: int) -> Bound:
+    """Multicolor graph Ramsey upper bound: the simple and valid
+    ``R(2, m; w) <= w^(w(m-1)) + 1``."""
+    exponent = w * (m - 1)
+    if exponent * max(1, w.bit_length()) > MAX_EXPONENT_BITS:
+        return float("inf")
+    return w**exponent + 1
+
+
+def ramsey_bound_variant(k: int, m: int, w: int) -> Bound:
+    """An upper bound on the Corollary 3.14 variant ``R'(k, m, w)``:
+    colorings of *all* subsets of size <= k, requesting an ``m``-set
+    homogeneous at every size ``k' <= k`` separately.
+
+    Iterating Ramsey's theorem size by size gives
+    ``R'(k, m, w) <= R(1, R(2, ..., R(k, m, w) ..., w), w)``.
+    """
+    target: Bound = m
+    for size in range(k, 0, -1):
+        if target == float("inf"):
+            return float("inf")
+        target = ramsey_bound(size, int(target), w)
+    return target
+
+
+def deletable_unit_count_lower_bound(
+    tree_size: int, tau1_size: int, n_protected: int, q_size: int
+) -> int:
+    """Proposition 3.11: a tree of the given size contains at least
+    ``tree_size // (tau1_size * (n_protected + 1)) ** q_size`` deletable
+    units avoiding the protected node set ``N``."""
+    denom = (tau1_size * (n_protected + 1)) ** q_size
+    return tree_size // max(1, denom)

@@ -1,0 +1,218 @@
+"""Theorem 3.5: projection-free queries against full regular output DTDs.
+
+    The typechecking problem for projection-free non-recursive QL queries
+    without tag variables, regular input DTDs, and regular output DTDs,
+    is decidable.
+
+The paper's proof machinery, implemented:
+
+* **Profile decomposition** (the step before Proposition 3.9): for a
+  content rule ``r_a`` and children tags ``a1..an``, the violation
+  language ``r-hat = not(r_a) ∩ a1*..an*`` is a finite union of *vector
+  languages*, each described by triples ``(k_l, i_l, j_l)`` constraining
+  the count of ``a_l`` to ``k_l + alpha`` with ``alpha ≡ i_l (mod j_l)``
+  (or exactly ``k_l`` when ``j_l = 0``).  :func:`decompose_profile_language`
+  computes this decomposition from the DFA's per-letter stabilization
+  ``(mu, pi)`` — unlike the star-free case, periods ``pi > 1`` are allowed
+  and become the moduli ``j_l``.
+
+* **Ramsey bound**: with moduli ``j_l`` in hand,
+  :func:`~repro.typecheck.bounds.thm35_bound` instantiates
+  ``R'(|q|, prod j_l * |q|!, prod j_l) * (|tau1| (|N|+1))^{|q|}``.
+
+* **Search**: the same bounded counterexample search, validating outputs
+  directly against the regular DTD.
+
+Projection-freeness (Definition 3.3) is semantic; by default we run the
+empirical check of :func:`repro.ql.analysis.is_projection_free` and
+record its budget in the result notes; pass ``assume_projection_free=True``
+when it is known by construction (cf. Example 3.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.automata.dfa import DFA
+from repro.automata.regex import Regex, parse_regex
+from repro.dtd.core import DTD
+from repro.ql.analysis import has_tag_variables, is_non_recursive, is_projection_free
+from repro.ql.ast import ConstructNode, NestedQuery, Query
+from repro.typecheck.bounds import thm35_bound
+from repro.typecheck.result import TypecheckResult
+from repro.typecheck.search import SearchBudget, find_counterexample
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileTriple:
+    """One per-position constraint of Proposition 3.9: count is exactly
+    ``k`` when ``j == 0``, else ``k + alpha`` for some positive
+    ``alpha ≡ i (mod j)``."""
+
+    k: int
+    i: int
+    j: int
+
+    def admits(self, count: int) -> bool:
+        if self.j == 0:
+            return count == self.k
+        alpha = count - self.k
+        return alpha >= 1 and alpha % self.j == self.i % self.j
+
+    def __str__(self) -> str:
+        if self.j == 0:
+            return f"={self.k}"
+        return f"{self.k}+a, a≡{self.i} (mod {self.j})"
+
+
+def decompose_profile_language(
+    regex: Union[Regex, str, DFA],
+    tags: Sequence[str],
+    alphabet: Optional[frozenset[str]] = None,
+    complement: bool = False,
+) -> list[tuple[ProfileTriple, ...]]:
+    """Decompose ``L ∩ tags[0]*..tags[k-1]*`` (with ``L`` the language of
+    ``regex``, complemented first when ``complement=True``) into vector
+    languages.
+
+    Per position the letter transformation stabilizes with index ``mu``
+    and period ``pi``; counts below ``mu`` are enumerated exactly, counts
+    ``>= mu + 1`` fall into ``pi`` residue classes.  Every combination is
+    tested on a representative word, so the returned union is exact.
+    """
+    if isinstance(regex, DFA):
+        dfa = regex
+    else:
+        r = parse_regex(regex) if isinstance(regex, str) else regex
+        sigma = (alphabet or frozenset()) | r.symbols() | frozenset(tags)
+        dfa = r.to_dfa(sigma).minimize()
+    if complement:
+        dfa = dfa.complement()
+
+    stabilizations = [dfa.letter_power_stabilization(a) for a in tags]
+    powers: list[list[tuple[int, ...]]] = []
+    for a, (mu, pi) in zip(tags, stabilizations):
+        m = dfa.letter_transformation(a)
+        acc = [tuple(range(dfa.n_states))]
+        for _ in range(mu + pi):
+            acc.append(tuple(m[s] for s in acc[-1]))
+        powers.append(acc)
+
+    # Class per position: ("exact", c) for c in 0..mu, or ("mod", r) for
+    # the residue class {mu + 1 + r + t*pi : t >= 0}.
+    position_classes: list[list[tuple[str, int]]] = []
+    for mu, pi in stabilizations:
+        classes: list[tuple[str, int]] = [("exact", c) for c in range(mu + 1)]
+        classes.extend(("mod", r) for r in range(pi))
+        position_classes.append(classes)
+
+    out: list[tuple[ProfileTriple, ...]] = []
+    for combo in itertools.product(*position_classes):
+        state = dfa.start
+        triples: list[ProfileTriple] = []
+        ok = True
+        for pos, (kind, value) in enumerate(combo):
+            mu, pi = stabilizations[pos]
+            if kind == "exact":
+                count = value
+                triples.append(ProfileTriple(count, 0, 0))
+            else:
+                count = mu + 1 + value
+                # Counts mu+1+value, +pi, +2pi, ...: k = mu, i = value+1, j = pi.
+                triples.append(ProfileTriple(mu, value + 1, pi))
+            rep = min(count, len(powers[pos]) - 1)
+            # Representative transformation: counts beyond mu+pi wrap, but
+            # our representative is always <= mu + pi by construction.
+            state = powers[pos][rep][state]
+            if count > rep:  # pragma: no cover - representative is exact
+                ok = False
+                break
+        if ok and state in dfa.accepting:
+            out.append(tuple(triples))
+    return out
+
+
+def profile_moduli(vectors: Sequence[tuple[ProfileTriple, ...]]) -> list[int]:
+    """All non-zero moduli ``j_l`` across a decomposition (the Ramsey
+    bound parameters)."""
+    return [t.j for vec in vectors for t in vec if t.j > 0]
+
+
+def _child_tags(node: ConstructNode) -> list[str]:
+    tags = []
+    for child in node.children:
+        inner = child if isinstance(child, ConstructNode) else child.query.construct
+        tags.append(inner.label)
+    return tags
+
+
+def violation_decompositions(
+    query: Query, tau2: DTD
+) -> dict[str, list[tuple[ProfileTriple, ...]]]:
+    """For every construct node (keyed by its tag), the decomposition of
+    its violation language ``not(r_a) ∩ a1*..an*`` (Proposition 3.9)."""
+    out: dict[str, list[tuple[ProfileTriple, ...]]] = {}
+    for q in query.subqueries():
+        for node in q.construct.walk():
+            if node.is_tag_variable:
+                raise ValueError("Theorem 3.5 requires queries without tag variables")
+            tags = _child_tags(node)
+            if node.label not in tau2.alphabet:
+                # Everything this node emits violates: the whole profile
+                # space, described by one unconstrained vector per tag.
+                out[node.label] = [tuple(ProfileTriple(0, 0, 1) for _ in tags)]
+                continue
+            model = tau2.content(node.label)
+            dfa = model.to_dfa(tau2.alphabet | frozenset(tags))
+            out[node.label] = decompose_profile_language(dfa, tags, complement=True)
+    return out
+
+
+def typecheck_regular(
+    query: Query,
+    tau1: DTD,
+    tau2: DTD,
+    budget: Optional[SearchBudget] = None,
+    assume_projection_free: bool = False,
+    projection_check_size: int = 5,
+) -> TypecheckResult:
+    """Theorem 3.5: typecheck a projection-free, tag-variable-free,
+    non-recursive query against a fully regular output DTD."""
+    if not is_non_recursive(query):
+        raise ValueError(
+            "Theorem 3.5 requires a non-recursive query; recursion makes "
+            "typechecking undecidable (Theorem 5.3)"
+        )
+    if has_tag_variables(query):
+        raise ValueError("Theorem 3.5 requires queries without tag variables")
+    notes: list[str] = []
+    if not assume_projection_free:
+        if not is_projection_free(query, tau1, max_size=projection_check_size):
+            raise ValueError(
+                "query is not projection-free w.r.t. the input DTD "
+                "(Definition 3.3); Theorem 3.5 does not apply"
+            )
+        notes.append(
+            f"projection-freeness verified empirically on instances of size <= "
+            f"{projection_check_size}"
+        )
+    decomposition = violation_decompositions(query, tau2)
+    moduli = profile_moduli([v for vecs in decomposition.values() for v in vecs])
+    bound = thm35_bound(query, tau1, periods=moduli or None)
+    result = find_counterexample(
+        query,
+        tau1,
+        tau2,
+        budget=budget,
+        theoretical_bound=bound,
+        algorithm="thm-3.5-regular",
+    )
+    result.notes.extend(notes)
+    if moduli:
+        result.notes.append(
+            f"violation profile moduli j_l: {sorted(set(moduli))} "
+            f"(Ramsey parameters of the Theorem 3.5 bound)"
+        )
+    return result

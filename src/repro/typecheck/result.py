@@ -1,0 +1,88 @@
+"""Typechecking verdicts and result records.
+
+The paper's procedures are complete but their bounds are astronomically
+large, so the implementation is *anytime*: it searches candidate inputs in
+increasing size and stops at a configurable budget.  The verdict records
+which of the three situations occurred.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.trees.data_tree import DataTree
+
+
+class Verdict(enum.Enum):
+    """Outcome of a typechecking run."""
+
+    TYPECHECKS = "typechecks"
+    """Proof: the search exhausted the theoretical counterexample bound
+    (or the full space of candidate inputs) without finding a violation."""
+
+    FAILS = "fails"
+    """Proof: a concrete input tree whose output violates the output DTD
+    is attached (and re-verified before being reported)."""
+
+    NO_COUNTEREXAMPLE_FOUND = "no_counterexample_found"
+    """The search budget ran out below the theoretical bound; no violation
+    was found among the inputs explored.  Not a proof."""
+
+    def __bool__(self) -> bool:
+        return self is Verdict.TYPECHECKS
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Diagnostics of one bounded search."""
+
+    label_trees_checked: int = 0
+    valued_trees_checked: int = 0
+    max_size_reached: int = 0
+    theoretical_bound: Optional[int | float] = None  # float('inf') = astronomical
+    budget_max_size: int = 0
+    budget_max_instances: int = 0
+    exhausted_space: bool = False
+
+
+@dataclass(slots=True)
+class TypecheckResult:
+    """Verdict + witness + diagnostics."""
+
+    verdict: Verdict
+    counterexample: Optional[DataTree] = None
+    output: Optional[DataTree] = None
+    violation: Optional[str] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    algorithm: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+    def summary(self) -> str:
+        lines = [f"[{self.algorithm}] verdict: {self.verdict.value}"]
+        if self.counterexample is not None:
+            lines.append(f"  counterexample: {self.counterexample!r}")
+        if self.output is not None:
+            lines.append(f"  query output:   {self.output!r}")
+        if self.violation:
+            lines.append(f"  violation:      {self.violation}")
+        s = self.stats
+        lines.append(
+            f"  searched {s.valued_trees_checked} valued inputs over "
+            f"{s.label_trees_checked} label trees (sizes <= {s.max_size_reached})"
+        )
+        if s.theoretical_bound is not None:
+            if s.theoretical_bound == float("inf"):
+                bound = "astronomical (tower of exponentials)"
+            elif s.theoretical_bound > 10**9:
+                bound = f"about 10^{len(str(int(s.theoretical_bound))) - 1}"
+            else:
+                bound = str(s.theoretical_bound)
+            lines.append(f"  theoretical counterexample bound: {bound} nodes")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Theorem 3.1: typechecking non-recursive QL against unordered output DTDs.
+
+    The typechecking problem for non-recursive QL queries, regular input
+    DTDs, and unordered output DTDs is decidable in CO-NEXPTIME.
+
+The procedure is the paper's: a violation, if any, is witnessed by an
+input of size at most :func:`~repro.typecheck.bounds.thm31_bound`; search
+candidates in increasing size (guessing the exponential-size ``T0`` is the
+nondeterminism in CO-NEXPTIME — deterministically we enumerate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd.content import ContentKind
+from repro.dtd.core import DTD
+from repro.ql.analysis import is_non_recursive
+from repro.ql.ast import Query
+from repro.typecheck.bounds import thm31_bound
+from repro.typecheck.result import TypecheckResult
+from repro.typecheck.search import SearchBudget, find_counterexample
+
+
+def check_preconditions_thm31(query: Query, tau2: DTD) -> None:
+    """Raise ``ValueError`` when outside the Theorem 3.1 fragment."""
+    if not is_non_recursive(query):
+        raise ValueError(
+            "Theorem 3.1 requires a non-recursive query (finite path languages); "
+            "typechecking recursive QL is undecidable (Theorem 5.3)"
+        )
+    if tau2.kind() is not ContentKind.UNORDERED:
+        raise ValueError(
+            "Theorem 3.1 requires an unordered (SL) output DTD; "
+            f"got a {tau2.kind().value} DTD"
+        )
+
+
+def typecheck_unordered(
+    query: Query,
+    tau1: DTD,
+    tau2: DTD,
+    budget: Optional[SearchBudget] = None,
+) -> TypecheckResult:
+    """Decide (within budget) whether every output of ``query`` on
+    ``inst(tau1)`` satisfies the unordered DTD ``tau2``."""
+    check_preconditions_thm31(query, tau2)
+    bound = thm31_bound(query, tau1, tau2)
+    return find_counterexample(
+        query,
+        tau1,
+        tau2,
+        budget=budget,
+        theoretical_bound=bound,
+        algorithm="thm-3.1-unordered",
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dtd import DTD
+from repro.examples_data import make_catalog, movie_dtd
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+
+
+@pytest.fixture(scope="session")
+def movies_dtd() -> DTD:
+    return movie_dtd()
+
+
+@pytest.fixture()
+def small_catalog():
+    return make_catalog(3, actors_per_movie=2, seed=7)
+
+
+@pytest.fixture()
+def copy_query() -> Query:
+    """``root(a*) -> out(item per a)``: the simplest interesting query."""
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+@pytest.fixture()
+def star_input_dtd() -> DTD:
+    return DTD("root", {"root": "a*"})
+
+
+def words_up_to(alphabet: list[str], max_len: int):
+    """All words over ``alphabet`` of length <= max_len."""
+    for n in range(max_len + 1):
+        yield from itertools.product(alphabet, repeat=n)
+
+
+def brute_force_language(regex, alphabet: list[str], max_len: int) -> set[tuple[str, ...]]:
+    """Language prefix by direct DFA membership (oracle for cross-checks)."""
+    dfa = regex.to_dfa(frozenset(alphabet))
+    return {w for w in words_up_to(alphabet, max_len) if dfa.accepts(w)}

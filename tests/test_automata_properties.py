@@ -1,0 +1,117 @@
+"""Property-based tests: random regexes cross-checked between
+representations (NFA vs DFA, minimized vs not, boolean algebra laws)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import from_nfa
+from repro.automata.regex import (
+    EPSILON,
+    Complement,
+    Intersect,
+    Regex,
+    concat,
+    star,
+    sym,
+    union,
+)
+
+ALPHABET = ("a", "b")
+SIGMA = frozenset(ALPHABET)
+
+
+@st.composite
+def regexes(draw, depth: int = 3) -> Regex:
+    if depth == 0:
+        return draw(st.sampled_from([sym("a"), sym("b"), EPSILON]))
+    kind = draw(st.sampled_from(["sym", "concat", "union", "star", "complement", "intersect"]))
+    if kind == "sym":
+        return draw(st.sampled_from([sym("a"), sym("b"), EPSILON]))
+    if kind == "star":
+        return star(draw(regexes(depth=depth - 1)))
+    if kind == "complement":
+        return Complement(draw(regexes(depth=depth - 1)))
+    left = draw(regexes(depth=depth - 1))
+    right = draw(regexes(depth=depth - 1))
+    if kind == "concat":
+        return concat(left, right)
+    if kind == "intersect":
+        return Intersect(left, right)
+    return union(left, right)
+
+
+words = st.lists(st.sampled_from(ALPHABET), max_size=6).map(tuple)
+
+
+@given(regexes(), words)
+@settings(max_examples=150, deadline=None)
+def test_nfa_and_dfa_agree(regex, w):
+    nfa = regex.to_nfa(SIGMA)
+    dfa = from_nfa(nfa, SIGMA)
+    assert nfa.accepts(w) == dfa.accepts(w)
+
+
+@given(regexes())
+@settings(max_examples=80, deadline=None)
+def test_minimization_preserves_language(regex):
+    dfa = regex.to_dfa(SIGMA)
+    assert dfa.minimize().equivalent(dfa)
+
+
+@given(regexes(), words)
+@settings(max_examples=120, deadline=None)
+def test_complement_flips_membership(regex, w):
+    dfa = regex.to_dfa(SIGMA)
+    assert dfa.accepts(w) != dfa.complement().accepts(w)
+
+
+@given(regexes(depth=2), regexes(depth=2), words)
+@settings(max_examples=120, deadline=None)
+def test_product_is_pointwise(r1, r2, w):
+    d1, d2 = r1.to_dfa(SIGMA), r2.to_dfa(SIGMA)
+    assert d1.intersect(d2).accepts(w) == (d1.accepts(w) and d2.accepts(w))
+    assert d1.union(d2).accepts(w) == (d1.accepts(w) or d2.accepts(w))
+    assert d1.difference(d2).accepts(w) == (d1.accepts(w) and not d2.accepts(w))
+
+
+@given(regexes(depth=2))
+@settings(max_examples=60, deadline=None)
+def test_de_morgan(regex):
+    d = regex.to_dfa(SIGMA)
+    left = Complement(regex).to_dfa(SIGMA)
+    assert left.equivalent(d.complement())
+
+
+@given(regexes(depth=2))
+@settings(max_examples=60, deadline=None)
+def test_count_words_matches_enumeration(regex):
+    dfa = regex.to_dfa(SIGMA)
+    by_len: dict[int, int] = {}
+    for w in dfa.iter_words(max_length=4):
+        by_len[len(w)] = by_len.get(len(w), 0) + 1
+    for n in range(5):
+        assert dfa.count_words(n) == by_len.get(n, 0)
+
+
+@given(regexes(depth=2))
+@settings(max_examples=60, deadline=None)
+def test_shortest_word_is_accepted_and_minimal(regex):
+    dfa = regex.to_dfa(SIGMA)
+    shortest = dfa.shortest_word()
+    if shortest is None:
+        assert dfa.is_empty()
+    else:
+        assert dfa.accepts(shortest)
+        for w in dfa.iter_words(max_length=len(shortest)):
+            assert len(w) >= len(shortest)
+            break
+
+
+@given(regexes(depth=2))
+@settings(max_examples=40, deadline=None)
+def test_finite_language_agrees_with_enumeration_growth(regex):
+    dfa = regex.to_dfa(SIGMA)
+    if dfa.is_finite_language():
+        ws = list(dfa.iter_words(max_length=3 * dfa.n_states))
+        # A finite language has no word longer than the state count.
+        assert all(len(w) <= dfa.n_states for w in ws)

@@ -1,0 +1,116 @@
+"""The CLI and the query pretty-printer."""
+
+import pytest
+
+from repro.cli import main
+from repro.examples_data import projection_free_query, woody_allen_query
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+from repro.ql.pretty import format_query
+
+
+class TestCLIValidate:
+    def test_valid_doc(self, capsys):
+        rc = main(["validate", "--dtd", "a -> b*.c.e ; c -> d*", "--doc", "a(b, c(d), e)"])
+        assert rc == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_invalid_doc(self, capsys):
+        rc = main(["validate", "--dtd", "a -> b*.c.e", "--doc", "a(c, b, e)"])
+        assert rc == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_unordered_mode(self, capsys):
+        rc = main(
+            ["validate", "--dtd", "r -> x^=2", "--unordered", "--doc", "r(x, x)"]
+        )
+        assert rc == 0
+
+    def test_dtd_from_file(self, tmp_path, capsys):
+        path = tmp_path / "rules.dtd"
+        path.write_text("a -> b?\n")
+        rc = main(["validate", "--dtd", str(path), "--doc", "a(b)"])
+        assert rc == 0
+
+    def test_root_override(self, capsys):
+        rc = main(["validate", "--dtd", "x -> y ; z -> x", "--root", "z", "--doc", "z(x(y))"])
+        assert rc == 0
+
+
+class TestCLIInstances:
+    def test_enumeration(self, capsys):
+        rc = main(["instances", "--dtd", "a -> b*", "--max-size", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["a", "a(b)", "a(b, b)"]
+
+    def test_limit(self, capsys):
+        rc = main(["instances", "--dtd", "a -> b*", "--max-size", "9", "--limit", "2"])
+        assert rc == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_xml_output(self, capsys):
+        rc = main(["instances", "--dtd", "a -> b", "--max-size", "2", "--xml"])
+        assert rc == 0
+        assert "<a>" in capsys.readouterr().out
+
+
+class TestCLIBounds:
+    def test_bounded_depth(self, capsys):
+        rc = main(
+            [
+                "bounds",
+                "--input-dtd",
+                "root -> a*",
+                "--output-dtd",
+                "out -> item^>=1",
+                "--unordered-output",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.1" in out and "Corollary 4.1" in out
+
+    def test_recursive_input(self, capsys):
+        rc = main(
+            [
+                "bounds",
+                "--input-dtd",
+                "root -> a* ; a -> root?",
+                "--output-dtd",
+                "out -> item^>=1",
+                "--unordered-output",
+            ]
+        )
+        assert rc == 0
+        assert "not applicable" in capsys.readouterr().out
+
+
+class TestPrettyPrinter:
+    def test_figure1_renders(self):
+        text = format_query(woody_allen_query())
+        assert "where root" in text
+        assert "<X5>" in text  # the tag variable
+        assert "[nested query]" in text
+        assert "val(X3) = 'W. Allen'" in text
+
+    def test_figure2_renders(self):
+        text = format_query(projection_free_query())
+        assert "val(Y4) != 'W. Allen'" in text
+        assert "othertitle" in text
+
+    def test_free_vars_shown(self):
+        q = Query(
+            where=Where.of("root", [Edge.of("Z", "Y", "b")]),
+            construct=ConstructNode("g", ("Z",)),
+            free_vars=("Z",),
+        )
+        assert format_query(q).startswith("free variables: Z")
+
+    def test_value_of_shown(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode(
+                "out", (), (ConstructNode("item", ("X",), value_of="X"),)
+            ),
+        )
+        assert "[value: val(X)]" in format_query(q)

@@ -1,0 +1,97 @@
+"""Robustness on very deep documents (e.g. long PCP solution encodings):
+every core operation must be iterative, never recursion-bound."""
+
+import sys
+
+import pytest
+
+from repro.dtd import DTD
+from repro.logic.pcp import PCPInstance
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+from repro.ql.eval import evaluate
+from repro.reductions.pcp import encode_solution_tree, input_dtd, pcp_to_typechecking
+from repro.trees import parse_tree, to_term, to_xml
+from repro.trees.data_tree import DataTree, Node, document_order
+
+DEPTH = max(2000, sys.getrecursionlimit() + 500)
+
+
+@pytest.fixture(scope="module")
+def deep_chain() -> DataTree:
+    root = Node("a", value=0)
+    cursor = root
+    for i in range(1, DEPTH):
+        cursor = cursor.add_child(Node("a", value=i))
+    return DataTree(root)
+
+
+class TestDeepOperations:
+    def test_size_and_depth(self, deep_chain):
+        assert deep_chain.size() == DEPTH
+        assert deep_chain.depth() == DEPTH - 1
+
+    def test_traversals(self, deep_chain):
+        assert sum(1 for _ in deep_chain.root.iter_preorder()) == DEPTH
+        assert sum(1 for _ in deep_chain.root.iter_postorder()) == DEPTH
+
+    def test_document_order(self, deep_chain):
+        order = document_order(deep_chain)
+        assert len(order) == DEPTH
+
+    def test_hash_and_eq(self, deep_chain):
+        clone = deep_chain.copy()
+        assert hash(clone) == hash(deep_chain)
+        assert clone == deep_chain
+        clone.root.children[0].value = "changed"
+        clone.root.children[0]._hash = None
+        # eq compares structurally; just ensure no recursion blowup.
+        assert isinstance(clone == deep_chain, bool)
+
+    def test_copy(self, deep_chain):
+        clone = deep_chain.copy()
+        assert clone.size() == DEPTH
+        assert clone.root is not deep_chain.root
+
+    def test_serialize_term(self, deep_chain):
+        text = to_term(deep_chain)
+        assert text.count("a[") == DEPTH
+
+    def test_serialize_xml(self, deep_chain):
+        xml = to_xml(deep_chain)
+        assert xml.count("<a") == DEPTH
+
+    def test_validation(self, deep_chain):
+        dtd = DTD("a", {"a": "a?"})
+        assert dtd.is_valid(deep_chain)
+
+    def test_query_evaluation(self, deep_chain):
+        """Recursive path expressions walk the full chain iteratively."""
+        q = Query(
+            where=Where.of("a", [Edge.of(None, "X", "a*.a")]),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        out = evaluate(q, deep_chain)
+        assert len(out.root.children) == DEPTH - 1
+
+
+class TestLongPCPEncodings:
+    def test_long_solution_checks(self):
+        """A long stacked solution (deep linear encoding) passes the full
+        checker battery without recursion errors."""
+        instance = PCPInstance.of(["ab"], ["ab"])
+        indices = [1] * 60  # 60 tiles -> 60*2 positions * 4 nodes * 2 sides
+        assert instance.is_solution(indices)
+        tree = encode_solution_tree(instance, indices)
+        assert tree.depth() > 900
+        assert input_dtd(instance).is_valid(tree)
+        inst = pcp_to_typechecking(instance)
+        out = evaluate(inst.query, tree)
+        assert len(out.root.children) == 0  # still a counterexample
+
+    def test_term_round_trip_moderate_depth(self):
+        """The term *parser* is recursive-descent; it handles documents a
+        few hundred levels deep (the practical range for literals)."""
+        text = "a(" * 200 + "a" + ")" * 200
+        t = parse_tree(text)
+        assert t.depth() == 200
+        assert parse_tree(to_term(t)) == t

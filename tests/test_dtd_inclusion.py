@@ -1,0 +1,112 @@
+"""DTD inclusion: the data-free face of typechecking."""
+
+import pytest
+
+from repro.dtd import DTD, enumerate_instances
+from repro.dtd.inclusion import dtd_included
+
+
+def assert_witness_genuine(result, sub: DTD, sup: DTD) -> None:
+    assert not result.included
+    if result.witness is not None:
+        assert sub.is_valid(result.witness)
+        assert not sup.is_valid(result.witness)
+
+
+class TestBasicInclusion:
+    def test_reflexive(self):
+        dtd = DTD("a", {"a": "b*.c"})
+        assert dtd_included(dtd, dtd)
+
+    def test_star_widens(self):
+        narrow = DTD("a", {"a": "b.b"})
+        wide = DTD("a", {"a": "b*"})
+        assert dtd_included(narrow, wide)
+        res = dtd_included(wide, narrow)
+        assert_witness_genuine(res, wide, narrow)
+
+    def test_optional_vs_mandatory(self):
+        opt = DTD("a", {"a": "b?"})
+        must = DTD("a", {"a": "b"})
+        assert dtd_included(must, opt)
+        res = dtd_included(opt, must)
+        assert_witness_genuine(res, opt, must)
+
+    def test_root_mismatch(self):
+        res = dtd_included(DTD("a", {"a": "b"}), DTD("z", {"z": "b"}))
+        assert not res.included and "roots differ" in res.reason
+
+    def test_unknown_tags(self):
+        sub = DTD("a", {"a": "b + weird"})
+        sup = DTD("a", {"a": "b"})
+        res = dtd_included(sub, sup)
+        assert_witness_genuine(res, sub, sup)
+
+    def test_nested_rules(self):
+        sub = DTD("a", {"a": "b", "b": "c.c"})
+        sup = DTD("a", {"a": "b", "b": "c*"})
+        assert dtd_included(sub, sup)
+        res = dtd_included(sup, sub)
+        assert_witness_genuine(res, sup, sub)
+
+
+class TestUnproductiveSymbols:
+    def test_dead_alternative_ignored(self):
+        """A content alternative through an unproductive symbol can never
+        occur, so it must not break inclusion."""
+        sub = DTD("a", {"a": "b + dead", "dead": "dead"})
+        sup = DTD("a", {"a": "b"})
+        assert dtd_included(sub, sup)
+
+    def test_empty_sub_always_included(self):
+        sub = DTD("a", {"a": "loop", "loop": "loop"})
+        sup = DTD("z", {"z": "q"})
+        assert dtd_included(sub, sup)
+
+    def test_unreachable_rule_ignored(self):
+        sub = DTD("a", {"a": "b", "orphan": "x.x.x"}, alphabet={"x"})
+        sup = DTD("a", {"a": "b"})
+        assert dtd_included(sub, sup)
+
+
+class TestWitnesses:
+    def test_witness_attached_on_content_gap(self):
+        sub = DTD("a", {"a": "b.b.b"})
+        sup = DTD("a", {"a": "b.b?"})
+        res = dtd_included(sub, sup)
+        assert_witness_genuine(res, sub, sup)
+        assert res.witness.size() == 4
+
+    def test_deep_witness(self):
+        sub = DTD("a", {"a": "m*", "m": "x.y"})
+        sup = DTD("a", {"a": "m*", "m": "x"})
+        res = dtd_included(sub, sup)
+        assert_witness_genuine(res, sub, sup)
+
+
+POOL = [
+    DTD("a", {"a": "b*"}),
+    DTD("a", {"a": "b.b?"}),
+    DTD("a", {"a": "b?"}),
+    DTD("a", {"a": "b.b*"}),
+    DTD("a", {"a": "b*.c?"}),
+    DTD("a", {"a": "(b + c)*"}),
+]
+
+
+@pytest.mark.parametrize("i", range(len(POOL)))
+@pytest.mark.parametrize("j", range(len(POOL)))
+def test_against_enumeration_oracle(i, j):
+    """Cross-check inclusion against brute-force instance enumeration."""
+    sub, sup = POOL[i], POOL[j]
+    claimed = bool(dtd_included(sub, sup))
+    actual = all(sup.is_valid(t) for t in enumerate_instances(sub, 5))
+    # Enumeration up to size 5 can only *refute*; if it refutes, the
+    # checker must too.  If the checker refutes, its witness refutes.
+    if not actual:
+        assert not claimed
+    if not claimed:
+        res = dtd_included(sub, sup)
+        assert_witness_genuine(res, sub, sup)
+    if claimed:
+        assert actual

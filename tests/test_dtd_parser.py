@@ -1,0 +1,94 @@
+"""The paper-style textual DTD syntax."""
+
+import pytest
+
+from repro.dtd import DTD
+from repro.dtd.content import ContentKind
+from repro.dtd.parser import DTDParseError, format_dtd, parse_dtd
+from repro.trees import parse_tree
+
+
+PAPER_DTD = """
+# Section 2's example DTD
+a -> b*.c.e
+c -> d*
+"""
+
+MOVIE_DTD = """
+root     -> movie*
+movie    -> title.director.review
+title    -> actor*
+actor    -> name.(bio + award)*
+"""
+
+
+class TestParse:
+    def test_paper_example(self):
+        dtd = parse_dtd(PAPER_DTD)
+        assert dtd.root == "a"
+        assert dtd.is_valid(parse_tree("a(b, b, c(d), e)"))
+        assert not dtd.is_valid(parse_tree("a(c, b, e)"))
+
+    def test_movie_dtd_round(self):
+        dtd = parse_dtd(MOVIE_DTD)
+        assert dtd.root == "root"
+        assert dtd.is_valid(
+            parse_tree("root(movie(title(actor(name, bio)), director, review))")
+        )
+
+    def test_semicolon_separated(self):
+        dtd = parse_dtd("a -> b.c ; b -> eps ; c -> eps")
+        assert dtd.is_valid(parse_tree("a(b, c)"))
+
+    def test_unicode_arrow(self):
+        dtd = parse_dtd("a → b*")
+        assert dtd.is_valid(parse_tree("a(b, b)"))
+
+    def test_explicit_root(self):
+        dtd = parse_dtd("x -> y\nz -> x", root="z")
+        assert dtd.root == "z"
+        assert dtd.is_valid(parse_tree("z(x(y))"))
+
+    def test_comments_ignored(self):
+        dtd = parse_dtd("a -> b  # trailing comment\n# whole-line comment\n")
+        assert dtd.is_valid(parse_tree("a(b)"))
+
+    def test_quoted_tags(self):
+        dtd = parse_dtd("'$' -> w")
+        assert dtd.root == "$"
+
+    def test_unordered_mode(self):
+        dtd = parse_dtd("root -> R^>=1\nR -> 1^=1 & 2^=1", unordered=True)
+        assert dtd.kind() is ContentKind.UNORDERED
+        assert dtd.is_valid(parse_tree("root(R('2', '1'))"))
+
+    def test_errors(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("")
+        with pytest.raises(DTDParseError):
+            parse_dtd("a b c")
+        with pytest.raises(DTDParseError):
+            parse_dtd("a -> ")
+        with pytest.raises(DTDParseError):
+            parse_dtd("a -> b\na -> c")
+        with pytest.raises(DTDParseError):
+            parse_dtd("a -> (b")  # regex error surfaces as DTDParseError
+
+
+class TestFormat:
+    def test_round_trip_semantics(self):
+        dtd = parse_dtd(MOVIE_DTD)
+        again = parse_dtd(format_dtd(dtd))
+        doc = parse_tree("root(movie(title(actor(name)), director, review))")
+        assert dtd.is_valid(doc) == again.is_valid(doc) == True  # noqa: E712
+        bad = parse_tree("root(movie(director, title, review))")
+        assert dtd.is_valid(bad) == again.is_valid(bad) == False  # noqa: E712
+
+    def test_root_rule_first(self):
+        dtd = parse_dtd("z -> y\nq -> z", root="q")
+        assert format_dtd(dtd).splitlines()[0].startswith("q ->")
+
+    def test_leaves_elided_by_default(self):
+        dtd = parse_dtd("a -> b")
+        assert "b ->" not in format_dtd(dtd)
+        assert "b -> eps" in format_dtd(dtd, include_leaves=True)

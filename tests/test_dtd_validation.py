@@ -1,0 +1,150 @@
+"""DTD validation: regular / star-free / unordered, and DTD analyses."""
+
+import pytest
+
+from repro.dtd import DTD, ContentKind
+from repro.dtd.content import FOContent, RegularContent, SLContent, coerce_content
+from repro.logic import fo_words as fo
+from repro.logic.sl import at_least
+from repro.trees import parse_tree
+
+
+class TestPaperExampleDTD:
+    """Section 2's example: a -> b*.c.e ; c -> d* ; b,d,e -> eps."""
+
+    @pytest.fixture()
+    def dtd(self) -> DTD:
+        return DTD("a", {"a": "b*.c.e", "c": "d*"})
+
+    def test_paper_tree_valid(self, dtd):
+        assert dtd.is_valid(parse_tree("a(b, b, c(d, d, d), e)"))
+
+    def test_missing_e_invalid(self, dtd):
+        assert not dtd.is_valid(parse_tree("a(b, c)"))
+
+    def test_order_matters(self, dtd):
+        assert not dtd.is_valid(parse_tree("a(c, b, e)"))
+
+    def test_wrong_root(self, dtd):
+        result = dtd.validate(parse_tree("c(d)"))
+        assert not result.ok and "root" in str(result.error)
+
+    def test_unknown_tag(self, dtd):
+        result = dtd.validate(parse_tree("a(zzz, c, e)"))
+        assert not result.ok
+
+    def test_leaf_rules_autofilled(self, dtd):
+        # b was never given a rule: it must be a leaf.
+        assert not dtd.is_valid(parse_tree("a(b(b), c, e)"))
+
+    def test_error_mentions_node(self, dtd):
+        result = dtd.validate(parse_tree("a(c(c), e)"))
+        assert not result.ok
+        assert result.error.node.label in {"a", "c"}
+
+
+class TestUnorderedDTD:
+    def test_counts_not_order(self):
+        dtd = DTD("r", {"r": "x^=2 & y^>=1"}, unordered=True)
+        assert dtd.is_valid(parse_tree("r(y, x, x)"))
+        assert dtd.is_valid(parse_tree("r(x, y, x, y)"))
+        assert not dtd.is_valid(parse_tree("r(x, y)"))
+
+    def test_sl_formula_object(self):
+        dtd = DTD("r", {"r": at_least("x", 1)})
+        assert dtd.is_valid(parse_tree("r(x)"))
+
+    def test_unmentioned_tags_unconstrained(self):
+        # SL leaves other tags free — the paper's semantics.
+        dtd = DTD("r", {"r": "x^>=1"}, unordered=True, alphabet={"r", "x", "y"})
+        assert dtd.is_valid(parse_tree("r(x, y)"))
+
+
+class TestKinds:
+    def test_regular(self):
+        assert DTD("r", {"r": "(a.a)*"}).kind() is ContentKind.REGULAR
+
+    def test_star_free_syntactic(self):
+        assert DTD("r", {"r": "a.b?"}).kind() is ContentKind.STAR_FREE
+
+    def test_star_free_semantic(self):
+        # a* is written with a star but denotes an aperiodic language.
+        assert DTD("r", {"r": "a*"}).kind() is ContentKind.STAR_FREE
+
+    def test_unordered(self):
+        assert DTD("r", {"r": "a^=1"}, unordered=True).kind() is ContentKind.UNORDERED
+
+    def test_epsilon_leaves_do_not_promote(self):
+        dtd = DTD("r", {"r": "a^=1"}, unordered=True)
+        assert "a" in dtd.rules  # auto-filled leaf
+        assert dtd.kind() is ContentKind.UNORDERED
+
+    def test_mixed_takes_worst(self):
+        # Explicit content models mix SL and regular rules in one DTD.
+        dtd = DTD("r", {"r": SLContent("a^=1"), "a": RegularContent("(b.b)*")})
+        assert dtd.kind() is ContentKind.REGULAR
+
+
+class TestContentModels:
+    def test_coerce_string_regex(self):
+        m = coerce_content("a.b")
+        assert isinstance(m, RegularContent) and m.matches(("a", "b"))
+
+    def test_coerce_string_sl(self):
+        m = coerce_content("a^=1", unordered=True)
+        assert isinstance(m, SLContent) and m.matches(("a",))
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            coerce_content(42)  # type: ignore[arg-type]
+
+    def test_nullability(self):
+        assert coerce_content("a*").is_nullable()
+        assert not coerce_content("a.a*").is_nullable()
+
+    def test_fo_content(self):
+        sentence = fo.exists_letter("a")
+        m = FOContent(sentence, ["a", "b"])
+        assert m.matches(("b", "a")) and not m.matches(("b",))
+        assert m.kind() is ContentKind.STAR_FREE
+        with pytest.raises(NotImplementedError):
+            m.to_dfa(frozenset({"a"}))
+
+    def test_fo_content_requires_sentence(self):
+        with pytest.raises(ValueError):
+            FOContent(fo.Letter("x", "a"), ["a"])
+
+
+class TestDTDAnalyses:
+    def test_depth_bound_flat(self):
+        assert DTD("r", {"r": "a*"}).depth_bound() == 1
+
+    def test_depth_bound_nested(self):
+        dtd = DTD("r", {"r": "m*", "m": "t.d", "t": "x*"})
+        assert dtd.depth_bound() == 3
+
+    def test_depth_bound_recursive(self):
+        assert DTD("r", {"r": "r*"}).depth_bound() is None
+        assert DTD("r", {"r": "s?", "s": "r?"}).depth_bound() is None
+
+    def test_max_dfa_states_positive(self):
+        assert DTD("r", {"r": "a*.b"}).max_dfa_states() >= 2
+
+    def test_size_proxy(self):
+        assert DTD("r", {"r": "a*"}).size() > 0
+
+    def test_content_lookup(self):
+        dtd = DTD("r", {"r": "a"})
+        assert dtd.content("r").matches(("a",))
+        with pytest.raises(KeyError):
+            dtd.content("zzz")
+
+    def test_root_in_alphabet(self):
+        dtd = DTD("r", {"r": "a"})
+        assert dtd.alphabet == {"r", "a"}
+
+    def test_extra_alphabet(self):
+        dtd = DTD("r", {"r": "a"}, alphabet={"extra"})
+        assert "extra" in dtd.alphabet
+        # extra tags become leaves
+        assert dtd.content("extra").matches(())

@@ -1,0 +1,112 @@
+"""Property-based tests of the QL evaluation semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, Query, Where
+from repro.ql.eval import bindings, evaluate, evaluate_forest
+from repro.trees.data_tree import DataTree, Node
+from repro.trees.data_tree import document_order
+
+labels = st.sampled_from(["a", "b", "c"])
+values = st.sampled_from([None, "v1", "v2"])
+
+
+@st.composite
+def input_trees(draw, max_depth: int = 3) -> DataTree:
+    def node(depth: int) -> Node:
+        label = draw(labels)
+        value = draw(values)
+        if depth == 0:
+            return Node(label, value=value)
+        n = draw(st.integers(0, 3))
+        return Node(label, [node(depth - 1) for _ in range(n)], value)
+
+    root = Node("root", [node(max_depth - 1) for _ in range(draw(st.integers(0, 3)))])
+    return DataTree(root)
+
+
+paths = st.sampled_from(["a", "b", "a + b", "a.b", "a.(b + c)", "b?"])
+
+
+@st.composite
+def simple_queries(draw) -> Query:
+    p1 = draw(paths)
+    edges = [Edge.of(None, "X", p1)]
+    second = draw(st.booleans())
+    if second:
+        edges.append(Edge.of("X", "Y", draw(paths)))
+    conds = []
+    if second and draw(st.booleans()):
+        conds.append(Condition("X", draw(st.sampled_from(["=", "!="])), "Y"))
+    args = ("X", "Y") if second else ("X",)
+    return Query(
+        where=Where.of("root", edges, conds),
+        construct=ConstructNode("out", (), (ConstructNode("item", args),)),
+    )
+
+
+@given(simple_queries(), input_trees())
+@settings(max_examples=150, deadline=None)
+def test_evaluation_deterministic(query, tree):
+    a = evaluate(query, tree)
+    b = evaluate(query, tree)
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert a == b
+
+
+@given(simple_queries(), input_trees())
+@settings(max_examples=150, deadline=None)
+def test_output_count_equals_distinct_projections(query, tree):
+    """Each construct node emits exactly one output node per distinct
+    projection of the bindings on its variables."""
+    found = bindings(query, tree)
+    out = evaluate(query, tree)
+    item = query.construct.children[0]
+    order = document_order(tree)
+    projections = {tuple(order[id(b[v])] for v in item.args) for b in found}
+    n_items = 0 if out is None else len(out.root.children)
+    assert n_items == len(projections)
+
+
+@given(simple_queries(), input_trees())
+@settings(max_examples=100, deadline=None)
+def test_bindings_sorted_lexicographically(query, tree):
+    found = bindings(query, tree)
+    order = document_order(tree)
+    var_order = query.where.variables()
+    keys = [tuple(order[id(b[v])] for v in var_order) for b in found]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)  # no duplicate bindings
+
+
+@given(simple_queries(), input_trees())
+@settings(max_examples=100, deadline=None)
+def test_output_labels_from_construct(query, tree):
+    out = evaluate(query, tree)
+    if out is None:
+        return
+    assert out.root.label == "out"
+    assert all(c.label == "item" for c in out.root.children)
+
+
+@given(input_trees())
+@settings(max_examples=60, deadline=None)
+def test_empty_where_always_one_binding(tree):
+    query = Query(where=Where.of("root", []), construct=ConstructNode("out", ()))
+    assert len(bindings(query, tree)) == 1
+    assert evaluate(query, tree) is not None
+
+
+@given(simple_queries(), input_trees())
+@settings(max_examples=60, deadline=None)
+def test_values_never_change_structure_only_selection(query, tree):
+    """Stripping all data values can only grow the binding set when the
+    query has conditions; without conditions it must not change it."""
+    if any(q.where.conditions for q in query.subqueries()):
+        return
+    stripped = tree.copy()
+    for n in stripped.nodes():
+        n.value = None
+    assert len(bindings(query, tree)) == len(bindings(query, stripped))

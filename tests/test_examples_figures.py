@@ -1,0 +1,136 @@
+"""Figures 1 and 2 and Example 2.3: the paper's concrete artifacts."""
+
+import pytest
+
+from repro.examples_data import (
+    make_catalog,
+    movie_dtd,
+    projection_free_query,
+    woody_allen_query,
+)
+from repro.examples_data.movies import WOODY
+from repro.ql.analysis import (
+    has_tag_variables,
+    is_non_recursive,
+    is_projection_free,
+)
+from repro.ql.eval import evaluate
+from repro.trees.data_tree import DataTree, Node
+
+
+def custom_catalog() -> DataTree:
+    """Hand-built catalog with known structure:
+
+    * Movie 0 — by W. Allen, actors ann & bob, has review
+    * Movie 1 — by Other, actor ann, has review
+    * Movie 2 — by W. Allen, no actors (must NOT appear in Fig 1 output)
+    """
+    root = Node("root")
+
+    def movie(title, director, actors, review=True):
+        m = root.add_child(Node("movie"))
+        t = m.add_child(Node("title", value=title))
+        for a in actors:
+            actor = t.add_child(Node("actor", value=a))
+            actor.add_child(Node("name", value=a))
+        m.add_child(Node("director", value=director))
+        m.add_child(Node("review", value=f"review of {title}"))
+        return m
+
+    movie("m0", WOODY, ["ann", "bob"])
+    movie("m1", "Other", ["ann"])
+    movie("m2", WOODY, [])
+    return DataTree(root)
+
+
+class TestMovieDTD:
+    def test_generated_catalogs_validate(self):
+        dtd = movie_dtd()
+        for seed in range(5):
+            assert dtd.is_valid(make_catalog(4, seed=seed))
+
+    def test_custom_catalog_validates(self):
+        assert movie_dtd().is_valid(custom_catalog())
+
+    def test_structure_enforced(self):
+        from repro.trees import parse_tree
+
+        dtd = movie_dtd()
+        assert not dtd.is_valid(parse_tree("root(movie(director, title, review))"))
+        assert not dtd.is_valid(parse_tree("root(movie(title, director))"))
+
+
+class TestFigure1:
+    def test_fragment(self):
+        q = woody_allen_query()
+        assert is_non_recursive(q)
+        assert has_tag_variables(q)
+
+    def test_only_woody_movies_with_actors(self):
+        out = evaluate(woody_allen_query(), custom_catalog())
+        titles = [c for c in out.root.children if c.label == "title"]
+        # m0 qualifies; m1 is not by Woody; m2 has no actor (where clause
+        # requires one).
+        assert len(titles) == 1
+
+    def test_actors_grouped_with_info_tags(self):
+        out = evaluate(woody_allen_query(), custom_catalog())
+        title = out.root.children[0]
+        actors = [c for c in title.children if c.label == "actor"]
+        assert len(actors) == 2
+        # Actor info copied with the *input* tags (tag variable).
+        for actor in actors:
+            assert [g.label for g in actor.children] == ["name"]
+
+    def test_reviews_collected_by_nested_query(self):
+        out = evaluate(woody_allen_query(), custom_catalog())
+        title = out.root.children[0]
+        reviews = [c for c in title.children if c.label == "review"]
+        assert len(reviews) == 1
+
+    def test_title_without_review_still_appears(self):
+        cat = custom_catalog()
+        # Drop m0's review; DTD requires one, so operate on a copy tree
+        # only for evaluation semantics (the query does not require it).
+        m0 = cat.root.children[0]
+        m0.children = [c for c in m0.children if c.label != "review"]
+        out = evaluate(woody_allen_query(), cat)
+        titles = [c for c in out.root.children if c.label == "title"]
+        assert len(titles) == 1
+        assert all(c.label != "review" for c in titles[0].children)
+
+
+class TestFigure2:
+    def test_fragment(self):
+        q = projection_free_query()
+        assert is_non_recursive(q)
+        assert not has_tag_variables(q)
+
+    def test_projection_free_wrt_movie_dtd(self):
+        assert is_projection_free(
+            projection_free_query(), movie_dtd(), max_size=7, max_value_classes=2,
+            max_instances=60,
+        )
+
+    def test_other_titles_found(self):
+        out = evaluate(projection_free_query(), custom_catalog())
+        actors = [c for c in out.root.children if c.label == "actor"]
+        # Woody movie m0 has actors ann and bob.
+        assert len(actors) == 2
+        # ann also acts in m1 (not by Woody): one othertitle for her.
+        with_other = [a for a in actors if any(c.label == "othertitle" for c in a.children)]
+        assert len(with_other) == 1
+
+    def test_own_movie_excluded(self):
+        """The nested query requires a non-Woody director, so the actor's
+        own Woody movie never shows up as an othertitle."""
+        root = Node("root")
+        m = root.add_child(Node("movie"))
+        t = m.add_child(Node("title", value="m"))
+        a = t.add_child(Node("actor", value="solo"))
+        a.add_child(Node("name", value="solo"))
+        m.add_child(Node("director", value=WOODY))
+        m.add_child(Node("review", value="r"))
+        out = evaluate(projection_free_query(), DataTree(root))
+        actor = out.root.children[0]
+        assert all(c.label != "othertitle" for c in actor.children)

@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example script runs to completion.
+
+The examples are part of the public surface (deliverable (b)); each
+script's own assertions double as integration checks."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script, capsys, monkeypatch):
+    # Run as __main__ so the `if __name__ == "__main__"` blocks fire.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_present():
+    """Deliverable check: at least a quickstart plus three domain scripts."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 4
+
+
+def test_readme_quickstart_snippet():
+    """The README's code block must actually run."""
+    from repro import (
+        DTD,
+        ConstructNode,
+        Edge,
+        Query,
+        SearchBudget,
+        Where,
+        evaluate,
+        parse_tree,
+        typecheck,
+    )
+
+    doc = parse_tree("catalog(product['laptop'], product['mouse'], sale)")
+    input_dtd = DTD("catalog", {"catalog": "product*.sale?"})
+    assert input_dtd.is_valid(doc)
+    query = Query(
+        where=Where.of("catalog", [Edge.of(None, "P", "product")]),
+        construct=ConstructNode("report", (), (ConstructNode("entry", ("P",)),)),
+    )
+    out = evaluate(query, doc)
+    assert [c.label for c in out.root.children] == ["entry", "entry"]
+    claim = DTD("report", {"report": "entry^=2"}, unordered=True)
+    result = typecheck(query, input_dtd, claim, budget=SearchBudget(max_size=5))
+    assert result.verdict.value == "fails"
+
+
+def test_module_docstring_example():
+    """The `repro` package docstring example must run."""
+    from repro import DTD, SearchBudget, typecheck
+    from repro.ql.ast import ConstructNode, Edge, Query, Where
+
+    tau1 = DTD("root", {"root": "a*"})
+    tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+    q = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    result = typecheck(q, tau1, tau2, budget=SearchBudget(max_size=6))
+    assert "verdict" in result.summary()

@@ -1,0 +1,131 @@
+"""Extension features beyond the paper's core: DFA -> regex round trips,
+output data values (the Section 2 Remark), specialized-DTD language ops."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import parse_regex
+from repro.dtd import DTD, SpecializedDTD
+from repro.dtd.content import SLContent
+from repro.logic.sl import parse_sl
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+from repro.ql.eval import evaluate
+from repro.trees import parse_tree
+from repro.typecheck import Verdict, typecheck
+from repro.typecheck.search import SearchBudget
+
+
+class TestDfaToRegex:
+    @pytest.mark.parametrize(
+        "text",
+        ["a", "a.b", "a*", "(a + b)*", "a*.b.a*", "(a.a)*", "a.b + b.a", "empty", "eps"],
+    )
+    def test_round_trip(self, text):
+        sigma = frozenset({"a", "b"})
+        dfa = parse_regex(text).to_dfa(sigma)
+        back = dfa.to_regex()
+        assert back.to_dfa(sigma).equivalent(dfa), f"{text} -> {back}"
+
+    def test_sl_content_to_regex(self):
+        """Unordered rules can be exported as explicit regular ones."""
+        sigma = frozenset({"a", "b"})
+        content = SLContent(parse_sl("a^=1 & b^>=1"))
+        regex = content.to_dfa(sigma).to_regex()
+        dfa = regex.to_dfa(sigma)
+        for word in [("a", "b"), ("b", "a"), ("b", "a", "b"), ("a",), ("a", "a", "b")]:
+            assert dfa.accepts(word) == content.matches(word), word
+
+    @given(st.sampled_from(["a?", "a.b*", "(a+b).(a+b)", "~(a.b)", "(a.a)*.b?"]))
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_property(self, text):
+        sigma = frozenset({"a", "b"})
+        dfa = parse_regex(text).to_dfa(sigma)
+        assert dfa.to_regex().to_dfa(sigma).equivalent(dfa)
+
+
+class TestOutputDataValues:
+    """The Section 2 Remark: emitting data values never affects
+    typechecking, because DTDs constrain only tags."""
+
+    def value_query(self, with_values: bool) -> Query:
+        return Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode(
+                "out",
+                (),
+                (
+                    ConstructNode(
+                        "item", ("X",), value_of="X" if with_values else None
+                    ),
+                ),
+            ),
+        )
+
+    def test_values_copied(self):
+        q = self.value_query(True)
+        out = evaluate(q, parse_tree("root(a['v1'], a['v2'])"))
+        assert [c.value for c in out.root.children] == ["v1", "v2"]
+
+    def test_values_absent_without(self):
+        q = self.value_query(False)
+        out = evaluate(q, parse_tree("root(a['v1'])"))
+        assert out.root.children[0].value is None
+
+    def test_value_of_must_be_arg(self):
+        with pytest.raises(ValueError):
+            ConstructNode("item", ("X",), value_of="Y")
+
+    @pytest.mark.parametrize(
+        "tau2",
+        [
+            DTD("out", {"out": "item^>=2"}, unordered=True),
+            DTD("out", {"out": "item^>=1"}, unordered=True),
+            DTD("out", {"out": "item.item*"}),
+        ],
+        ids=["fails", "passes-finite", "starfree"],
+    )
+    def test_typechecking_unaffected(self, tau2):
+        tau1 = DTD("root", {"root": "a.a?"})
+        with_v = typecheck(
+            self.value_query(True), tau1, tau2, budget=SearchBudget(max_size=3)
+        )
+        without_v = typecheck(
+            self.value_query(False), tau1, tau2, budget=SearchBudget(max_size=3)
+        )
+        assert with_v.verdict == without_v.verdict
+
+
+class TestSpecializedLanguageOps:
+    def test_nonempty(self):
+        core = DTD("a", {"a": "b1.b2", "b1": "c", "b2": "d"})
+        spec = SpecializedDTD(core, {"b1": "b", "b2": "b"})
+        assert not spec.is_empty()
+
+    def test_empty_language(self):
+        # root requires a symbol that only derives infinite trees.
+        core = DTD("a", {"a": "s", "s": "s"})
+        spec = SpecializedDTD(core)
+        assert spec.is_empty()
+        assert spec.sample_instance() is None
+
+    def test_sample_is_member(self):
+        core = DTD("a", {"a": "b1.b2", "b1": "c", "b2": "d"})
+        spec = SpecializedDTD(core, {"b1": "b", "b2": "b"})
+        sample = spec.sample_instance()
+        assert sample is not None
+        assert spec.is_valid(sample)
+        assert sample == parse_tree("a(b(c), b(d))")
+
+    def test_sample_minimal_across_roots(self):
+        core = DTD("big", {"big": "x.x.x", "small": "x"}, alphabet={"big", "small", "x"})
+        spec = SpecializedDTD(core, {"big": "r", "small": "r"}, roots={"big", "small"})
+        sample = spec.sample_instance()
+        assert sample.size() == 2  # the 'small' root wins
+
+    def test_emptiness_respects_roots(self):
+        core = DTD("ok", {"ok": "x", "dead": "dead"}, alphabet={"ok", "dead", "x"})
+        alive = SpecializedDTD(core, roots={"ok"})
+        dead = SpecializedDTD(core, roots={"dead"})
+        assert not alive.is_empty()
+        assert dead.is_empty()

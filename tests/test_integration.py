@@ -1,0 +1,150 @@
+"""Cross-module integration: full workflows through the public API."""
+
+import pytest
+
+import repro
+from repro.dtd import DTD, parse_dtd
+from repro.dtd.inclusion import dtd_included
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.ql.pretty import format_query
+from repro.trees import parse_tree, to_term
+from repro.typecheck import Verdict, typecheck
+from repro.typecheck.search import SearchBudget
+
+
+def test_public_api_surface():
+    """Everything advertised in __all__ resolves."""
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+class TestSchemaEvolutionWorkflow:
+    """A realistic scenario: a producer evolves its DTD; consumers check
+    (a) document-level compatibility (inclusion) and (b) that their
+    transformation still typechecks."""
+
+    V1 = """
+    feed  -> entry*
+    entry -> title.body
+    """
+    V2 = """
+    feed  -> entry*
+    entry -> title.body.tag*
+    """
+
+    def test_backward_compatibility(self):
+        v1, v2 = parse_dtd(self.V1), parse_dtd(self.V2)
+        assert dtd_included(v1, v2)  # old documents remain valid
+        res = dtd_included(v2, v1)  # new documents may not be
+        assert not res.included
+        assert v2.is_valid(res.witness) and not v1.is_valid(res.witness)
+
+    def test_transformation_still_typechecks(self):
+        v2 = parse_dtd(self.V2)
+        summary = Query(
+            where=Where.of("feed", [Edge.of(None, "E", "entry")]),
+            construct=ConstructNode("digest", (), (ConstructNode("item", ("E",)),)),
+        )
+        claim = DTD("digest", {"digest": "item^>=0"}, unordered=True, alphabet={"digest", "item"})
+        res = typecheck(summary, v2, claim, budget=SearchBudget(max_size=6))
+        assert res.verdict is not Verdict.FAILS
+
+
+class TestEndToEndNestedWorkflow:
+    def test_parse_query_evaluate_pretty(self):
+        dtd = parse_dtd("lib -> book* ; book -> author.year")
+        doc = parse_tree(
+            "lib(book(author['knuth'], year['1968']), book(author['knuth'], year['1973']),"
+            " book(author['dijkstra'], year['1976']))"
+        )
+        assert dtd.is_valid(doc)
+        # Authors with more than one book (self-join on author value).
+        q = Query(
+            where=Where.of(
+                "lib",
+                [
+                    Edge.of(None, "B1", "book"),
+                    Edge.of("B1", "A1", "author"),
+                    Edge.of(None, "B2", "book"),
+                    Edge.of("B2", "A2", "author"),
+                    Edge.of("B1", "Y1", "year"),
+                    Edge.of("B2", "Y2", "year"),
+                ],
+                [Condition("A1", "=", "A2"), Condition("Y1", "!=", "Y2")],
+            ),
+            construct=ConstructNode(
+                "prolific", (), (ConstructNode("author", ("A1",), value_of="A1"),)
+            ),
+        )
+        out = repro.evaluate(q, doc)
+        authors = {c.value for c in out.root.children}
+        assert authors == {"knuth"}
+        rendered = format_query(q)
+        assert "val(A1) = val(A2)" in rendered and "val(Y1) != val(Y2)" in rendered
+
+    def test_typecheck_the_join_query(self):
+        dtd = parse_dtd("lib -> book.book? ; book -> author.year")
+        q = Query(
+            where=Where.of(
+                "lib",
+                [
+                    Edge.of(None, "B1", "book"),
+                    Edge.of("B1", "A1", "author"),
+                ],
+            ),
+            construct=ConstructNode("prolific", (), (ConstructNode("author", ("A1",)),)),
+        )
+        # 1 or 2 books -> 1 or 2 authors in the output: author^<=2 holds.
+        ok = DTD(
+            "prolific", {"prolific": "!(author^>=3)"}, unordered=True,
+            alphabet={"prolific", "author"},
+        )
+        res = typecheck(q, dtd, ok, budget=SearchBudget(max_size=7))
+        assert res.verdict is Verdict.TYPECHECKS
+        bad = DTD(
+            "prolific", {"prolific": "author^=1"}, unordered=True,
+            alphabet={"prolific", "author"},
+        )
+        res2 = typecheck(q, dtd, bad, budget=SearchBudget(max_size=7))
+        assert res2.verdict is Verdict.FAILS
+        assert res2.counterexample.size() == 7  # two books
+
+
+class TestReductionInstancesAreWellFormedPrograms:
+    """Every reduction emits a valid outermost query within its claimed
+    fragment, usable directly through the public typecheck API."""
+
+    def test_validity_instance(self):
+        from repro.logic.propositional import p_or, var
+        from repro.reductions import validity_to_typechecking
+
+        inst = validity_to_typechecking(p_or(var("p"), var("q")))
+        assert inst.query.is_program()
+
+    def test_cq_instance(self):
+        from repro.logic.conjunctive import ConjunctiveQuery
+        from repro.reductions import cq_containment_to_typechecking
+
+        q1 = ConjunctiveQuery(2, ("x",), (("x", "y"),))
+        inst = cq_containment_to_typechecking(q1, q1)
+        assert inst.query.is_program()
+
+    def test_fd_ind_instance(self):
+        from repro.logic.dependencies import FD
+        from repro.reductions import fd_ind_to_typechecking
+
+        inst = fd_ind_to_typechecking(2, [FD.of({1}, {2})], FD.of({2}, {1}))
+        assert inst.query.is_program()
+
+    def test_pcp_instance(self):
+        from repro.logic.pcp import PAPER_EXAMPLE
+        from repro.reductions import pcp_to_typechecking
+
+        inst = pcp_to_typechecking(PAPER_EXAMPLE)
+        assert inst.query.is_program()
+
+    def test_qsat_instance(self):
+        from repro.reductions import q3sat_to_typechecking
+
+        inst = q3sat_to_typechecking([[1, 2]], 1, 1)
+        assert inst.query.is_program()

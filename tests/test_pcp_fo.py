@@ -1,0 +1,142 @@
+"""PCP (Theorem 5.3 source) and FO over words (Prop 4.3 content models)."""
+
+import pytest
+
+from repro.logic import fo_words as fo
+from repro.logic.pcp import (
+    PAPER_EXAMPLE,
+    PCPInstance,
+    PCPStatus,
+    encode_solution,
+    parse_side,
+)
+
+
+class TestPCPInstances:
+    def test_paper_example_solution(self):
+        assert PAPER_EXAMPLE.is_solution([1, 3, 2, 1])
+        assert not PAPER_EXAMPLE.is_solution([1])
+        assert not PAPER_EXAMPLE.is_solution([])
+
+    def test_common_word(self):
+        u = "".join(PAPER_EXAMPLE.pairs[i - 1][0] for i in (1, 3, 2, 1))
+        v = "".join(PAPER_EXAMPLE.pairs[i - 1][1] for i in (1, 3, 2, 1))
+        assert u == v == "ababbaababa"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCPInstance.of(["a"], ["a", "b"])
+        with pytest.raises(ValueError):
+            PCPInstance.of([""], ["a"])
+        with pytest.raises(ValueError):
+            PCPInstance.of(["ax"], ["a"])
+
+    def test_solver_finds_paper_solution(self):
+        result = PAPER_EXAMPLE.solve()
+        assert result.status is PCPStatus.SOLVED
+        assert PAPER_EXAMPLE.is_solution(result.solution)
+
+    def test_solver_shortest_first(self):
+        inst = PCPInstance.of(["a", "ab"], ["a", "ab"])  # trivial: any single tile
+        result = inst.solve()
+        assert result.status is PCPStatus.SOLVED
+        assert len(result.solution) == 1
+
+    def test_no_solution_total_mismatch(self):
+        inst = PCPInstance.of(["a"], ["b"])
+        assert inst.solve().status is PCPStatus.NO_SOLUTION
+
+    def test_no_solution_length_argument(self):
+        # u always strictly longer than v: no solution, search space finite.
+        inst = PCPInstance.of(["aa"], ["a"])
+        assert inst.solve().status is PCPStatus.NO_SOLUTION
+
+    def test_budget_unknown(self):
+        # A divergent-looking instance under a tiny budget reports UNKNOWN.
+        inst = PCPInstance.of(["ab", "b"], ["a", "ba"])
+        result = inst.solve(max_configurations=2, max_length=3)
+        assert result.status in (PCPStatus.UNKNOWN, PCPStatus.NO_SOLUTION, PCPStatus.SOLVED)
+
+
+class TestEncoding:
+    def test_parse_side_positions(self):
+        records = parse_side(PAPER_EXAMPLE, [1, 3, 2, 1], 0)
+        assert [r.position for r in records] == list(range(1, 12))
+        assert records[0].tile == 1 and records[0].letter == "a"
+        # Segment boundaries follow the tile word lengths: 3, 2, 3, 3.
+        segments = [r.segment for r in records]
+        assert segments == [1, 1, 1, 2, 2, 3, 3, 3, 4, 4, 4]
+
+    def test_encode_solution_shape(self):
+        symbols = encode_solution(PAPER_EXAMPLE, [1, 3, 2, 1])
+        assert symbols.count("$") == 1 and symbols.count("#") == 1
+        assert symbols[-1] == "#"
+        # 11 positions * 4 symbols per side + 2 separators.
+        assert len(symbols) == 11 * 4 * 2 + 2
+
+    def test_encode_rejects_non_solutions(self):
+        with pytest.raises(ValueError):
+            encode_solution(PAPER_EXAMPLE, [1, 1])
+
+
+class TestFOWords:
+    def test_letter(self):
+        phi = fo.Exists("x", fo.Letter("x", "a"))
+        assert phi.evaluate(["b", "a"])
+        assert not phi.evaluate(["b"])
+        assert not phi.evaluate([])
+
+    def test_forall(self):
+        phi = fo.Forall("x", fo.Letter("x", "a"))
+        assert phi.evaluate(["a", "a"])
+        assert phi.evaluate([])  # vacuous
+        assert not phi.evaluate(["a", "b"])
+
+    def test_order(self):
+        # some a before some b
+        phi = fo.Exists("x", fo.Exists("y", fo.fo_and(
+            fo.Letter("x", "a"), fo.Letter("y", "b"), fo.Less("x", "y"))))
+        assert phi.evaluate(["a", "b"])
+        assert not phi.evaluate(["b", "a"])
+
+    def test_same_pos(self):
+        phi = fo.Exists("x", fo.Exists("y", fo.fo_and(
+            fo.SamePos("x", "y"), fo.Letter("x", "a"), fo.Letter("y", "b"))))
+        assert not phi.evaluate(["a", "b"])
+
+    def test_constants(self):
+        assert fo.FOTrue().evaluate([])
+        assert not fo.FOFalse().evaluate(["a"])
+        assert fo.fo_and().evaluate([])
+
+    def test_free_variables(self):
+        phi = fo.Exists("x", fo.Less("x", "y"))
+        assert phi.free_variables() == {"y"}
+        assert not phi.is_sentence()
+        assert fo.Exists("y", phi).is_sentence()
+
+    def test_negation_operator(self):
+        phi = ~fo.Exists("x", fo.Letter("x", "a"))
+        assert phi.evaluate(["b"]) and not phi.evaluate(["a"])
+
+    def test_exists_letter_helper(self):
+        assert fo.exists_letter("q").evaluate(["q"])
+
+    def test_fo_star_free_example(self):
+        """FO over words expresses exactly star-free properties; check one
+        against the regex engine: 'no b before an a' ~ a*.b*."""
+        from repro.automata import parse_regex
+
+        phi = ~fo.Exists(
+            "x",
+            fo.Exists(
+                "y",
+                fo.fo_and(fo.Letter("x", "b"), fo.Letter("y", "a"), fo.Less("x", "y")),
+            ),
+        )
+        dfa = parse_regex("a*.b*").to_dfa(frozenset({"a", "b"}))
+        import itertools
+
+        for n in range(5):
+            for w in itertools.product("ab", repeat=n):
+                assert phi.evaluate(list(w)) == dfa.accepts(w), w

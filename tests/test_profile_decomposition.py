@@ -1,0 +1,121 @@
+"""Proposition 3.9 machinery: decomposing (the complement of) a content
+model on profile words into (k, i, j) vector languages."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import parse_regex
+from repro.typecheck.regular import (
+    ProfileTriple,
+    decompose_profile_language,
+    profile_moduli,
+)
+
+
+def admitted(vectors, counts) -> bool:
+    return any(all(t.admits(c) for t, c in zip(vec, counts)) for vec in vectors)
+
+
+def check(regex_text: str, tags: list[str], cap: int = 8, complement: bool = False):
+    regex = parse_regex(regex_text)
+    sigma = frozenset(tags) | regex.symbols()
+    vectors = decompose_profile_language(regex, tags, sigma, complement=complement)
+    dfa = regex.to_dfa(sigma)
+    if complement:
+        dfa = dfa.complement()
+    for counts in itertools.product(range(cap + 1), repeat=len(tags)):
+        word = tuple(t for t, n in zip(tags, counts) for _ in range(n))
+        assert dfa.accepts(word) == admitted(vectors, counts), (regex_text, counts)
+
+
+class TestProfileTriple:
+    def test_exact(self):
+        t = ProfileTriple(3, 0, 0)
+        assert t.admits(3) and not t.admits(2) and not t.admits(4)
+
+    def test_modular(self):
+        # counts = 1 + alpha, alpha ≡ 1 (mod 2): {2, 4, 6, ...}
+        t = ProfileTriple(1, 1, 2)
+        assert t.admits(2) and t.admits(4)
+        assert not t.admits(1) and not t.admits(3)
+
+    def test_str(self):
+        assert str(ProfileTriple(3, 0, 0)) == "=3"
+        assert "mod" in str(ProfileTriple(1, 1, 2))
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "regex_text,tags",
+        [
+            ("(a.a)*", ["a"]),
+            ("(a.a.a)*", ["a"]),
+            ("a*", ["a"]),
+            ("a.a.a", ["a"]),
+            ("(a.a)*.b", ["a", "b"]),
+            ("(a.a)*.(b.b.b)*", ["a", "b"]),
+            ("a*.b.a*", ["a", "b"]),
+            ("empty", ["a"]),
+            ("eps", ["a", "b"]),
+        ],
+    )
+    def test_battery(self, regex_text, tags):
+        check(regex_text, tags)
+
+    @pytest.mark.parametrize(
+        "regex_text,tags",
+        [
+            ("(a.a)*", ["a"]),
+            ("a.a", ["a"]),
+            ("(a.a)*.b*", ["a", "b"]),
+        ],
+    )
+    def test_complement_battery(self, regex_text, tags):
+        """The Theorem 3.5 use case: not(r_a) ∩ a1*..an*."""
+        check(regex_text, tags, complement=True)
+
+    def test_moduli_extraction(self):
+        vectors = decompose_profile_language(parse_regex("(a.a)*"), ["a"])
+        assert 2 in profile_moduli(vectors)
+
+    def test_star_free_has_trivial_moduli(self):
+        vectors = decompose_profile_language(parse_regex("a*.b?"), ["a", "b"])
+        assert all(j == 1 for j in profile_moduli(vectors))
+
+    def test_exact_only_for_finite(self):
+        vectors = decompose_profile_language(parse_regex("a.a"), ["a"])
+        exact = [v for v in vectors if all(t.j == 0 for t in v)]
+        assert any(t.k == 2 for v in exact for t in v)
+
+
+@st.composite
+def small_regexes(draw, depth: int = 2):
+    from repro.automata.regex import Regex, concat, star, sym, union
+
+    if depth == 0:
+        return draw(st.sampled_from([sym("a"), sym("b")]))
+    kind = draw(st.sampled_from(["sym", "concat", "union", "star"]))
+    if kind == "sym":
+        return draw(st.sampled_from([sym("a"), sym("b")]))
+    if kind == "star":
+        return star(draw(small_regexes(depth=depth - 1)))
+    left = draw(small_regexes(depth=depth - 1))
+    right = draw(small_regexes(depth=depth - 1))
+    return concat(left, right) if kind == "concat" else union(left, right)
+
+
+@given(small_regexes(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_decomposition_on_random_regexes(regex, complement):
+    sigma = frozenset({"a", "b"})
+    vectors = decompose_profile_language(regex, ["a", "b"], sigma, complement=complement)
+    dfa = regex.to_dfa(sigma)
+    if complement:
+        dfa = dfa.complement()
+    for na in range(7):
+        for nb in range(7):
+            word = ("a",) * na + ("b",) * nb
+            assert dfa.accepts(word) == admitted(vectors, (na, nb)), (na, nb)

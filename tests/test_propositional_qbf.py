@@ -1,0 +1,109 @@
+"""Propositional logic and QBF (the Theorem 4.2(i) / Prop 4.3 sources)."""
+
+import pytest
+
+from repro.logic.propositional import (
+    P_FALSE,
+    P_TRUE,
+    from_clauses,
+    p_and,
+    p_implies,
+    p_not,
+    p_or,
+    var,
+)
+from repro.logic.qbf import EXISTS, FORALL, QBF, q3sat
+
+
+class TestPropositional:
+    def test_eval(self):
+        phi = p_and(var("x"), p_not(var("y")))
+        assert phi.evaluate({"x": True, "y": False})
+        assert not phi.evaluate({"x": True, "y": True})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            var("x").evaluate({})
+
+    def test_validity(self):
+        assert p_or(var("x"), p_not(var("x"))).is_valid()
+        assert not var("x").is_valid()
+        assert p_implies(p_and(var("x"), var("y")), var("x")).is_valid()
+
+    def test_satisfiability(self):
+        assert var("x").is_satisfiable()
+        assert not p_and(var("x"), p_not(var("x"))).is_satisfiable()
+
+    def test_constant_folding(self):
+        assert p_and(P_TRUE, var("x")) == var("x")
+        assert p_and(P_FALSE, var("x")) == P_FALSE
+        assert p_or(P_TRUE, var("x")) == P_TRUE
+        assert p_not(p_not(var("x"))) == var("x")
+
+    def test_variables(self):
+        assert p_implies(var("a"), p_or(var("b"), var("a"))).variables() == {"a", "b"}
+
+    def test_from_clauses(self):
+        phi = from_clauses([[1, -2], [2]])
+        assert phi.evaluate({"x1": True, "x2": True})
+        assert not phi.evaluate({"x1": False, "x2": False})
+
+    def test_assignments_cover_space(self):
+        phi = p_or(var("a"), var("b"))
+        assert sum(1 for _ in phi.assignments()) == 4
+
+
+class TestQBF:
+    def test_closed_requirement(self):
+        with pytest.raises(ValueError):
+            QBF((), var("x"))
+
+    def test_duplicate_quantifier(self):
+        with pytest.raises(ValueError):
+            QBF(((EXISTS, "x"), (FORALL, "x")), var("x"))
+
+    def test_exists(self):
+        assert QBF(((EXISTS, "x"),), var("x")).is_true()
+
+    def test_forall(self):
+        assert not QBF(((FORALL, "x"),), var("x")).is_true()
+        assert QBF(((FORALL, "x"),), p_or(var("x"), p_not(var("x")))).is_true()
+
+    def test_alternation(self):
+        # forall x exists y: x <-> y   (true: pick y = x)
+        matrix = p_and(p_implies(var("x"), var("y")), p_implies(var("y"), var("x")))
+        assert QBF(((FORALL, "x"), (EXISTS, "y")), matrix).is_true()
+        # exists y forall x: x <-> y   (false)
+        assert not QBF(((EXISTS, "y"), (FORALL, "x")), matrix).is_true()
+
+    def test_three_level_alternation(self):
+        # forall x exists y forall z: (x|y) & (y|!z|x)... pick y=True
+        matrix = p_and(p_or(var("x"), var("y")), p_or(var("y"), p_not(var("z")), var("x")))
+        q = QBF(((FORALL, "x"), (EXISTS, "y"), (FORALL, "z")), matrix)
+        assert q.is_true()
+
+
+class TestQ3SAT:
+    def test_prefix_alternates(self):
+        q = q3sat([[1]], 3)
+        assert [quant for quant, _ in q.prefix] == [EXISTS, FORALL, EXISTS]
+
+    def test_first_quantifier_override(self):
+        q = q3sat([[1]], 2, first_quantifier=FORALL)
+        assert q.prefix[0][0] == FORALL
+
+    def test_clause_width_checked(self):
+        with pytest.raises(ValueError):
+            q3sat([[1, 2, 3, 4]], 4)
+
+    def test_literal_range_checked(self):
+        with pytest.raises(ValueError):
+            q3sat([[5]], 3)
+
+    def test_semantics(self):
+        # E x1: x1  -> true
+        assert q3sat([[1]], 1).is_true()
+        # E x1 A x2: x1 | x2 -> true (x1 = True)
+        assert q3sat([[1, 2]], 2).is_true()
+        # E x1 A x2: x2 -> false
+        assert not q3sat([[2]], 2).is_true()

@@ -1,0 +1,196 @@
+"""Fragment analysis: the classes the decidability boundary is stated in."""
+
+import pytest
+
+from repro.dtd import DTD
+from repro.examples_data import movie_dtd, projection_free_query, woody_allen_query
+from repro.ql.analysis import (
+    constants_used,
+    expand_projections,
+    has_data_conditions,
+    has_inequalities,
+    has_nested_queries,
+    has_tag_variables,
+    is_conjunctive,
+    is_disjunctive,
+    is_non_recursive,
+    is_projection_free,
+    max_path_depth,
+    query_size,
+)
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.ql.eval import evaluate_forest
+from repro.trees import parse_tree
+
+
+def mk(path: str, conditions=()) -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", path)], conditions),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+class TestFragments:
+    def test_non_recursive(self):
+        assert is_non_recursive(mk("a.b + c"))
+        assert not is_non_recursive(mk("a*"))
+        assert not is_non_recursive(mk("a.(b + c)*"))
+
+    def test_conjunctive(self):
+        assert is_conjunctive(mk("a"))
+        assert not is_conjunctive(mk("a + b"))
+        assert not is_conjunctive(mk("a.b"))
+        assert not is_conjunctive(mk("a*"))
+
+    def test_disjunctive(self):
+        assert is_disjunctive(mk("a"))
+        assert is_disjunctive(mk("a + b"))
+        assert not is_disjunctive(mk("a.b"))
+        assert not is_disjunctive(mk("a + eps"))
+
+    def test_semantically_single_symbol_is_conjunctive(self):
+        # (a + a) denotes one single-symbol word.
+        assert is_conjunctive(mk("a + a"))
+
+    def test_tag_variables(self):
+        assert has_tag_variables(woody_allen_query())
+        assert not has_tag_variables(projection_free_query())
+
+    def test_nesting_and_conditions(self):
+        assert has_nested_queries(woody_allen_query())
+        assert not has_nested_queries(mk("a"))
+        assert has_data_conditions(mk("a", [Condition("X", "=", Const(1))]))
+        assert not has_inequalities(mk("a", [Condition("X", "=", Const(1))]))
+        assert has_inequalities(projection_free_query())
+
+    def test_constants_used(self):
+        assert constants_used(woody_allen_query()) == {"W. Allen"}
+
+
+class TestMeasures:
+    def test_query_size_positive_and_monotone(self):
+        small = query_size(mk("a"))
+        big = query_size(woody_allen_query())
+        assert 0 < small < big
+
+    def test_max_path_depth_simple(self):
+        assert max_path_depth(mk("a")) == 1
+        assert max_path_depth(mk("a.b.c")) == 3
+        assert max_path_depth(mk("a + b.c")) == 2
+
+    def test_max_path_depth_chains_edges(self):
+        q = Query(
+            where=Where.of(
+                "root",
+                [Edge.of(None, "X", "a.b"), Edge.of("X", "Y", "c")],
+            ),
+            construct=ConstructNode("out", ()),
+        )
+        assert max_path_depth(q) == 3
+
+    def test_max_path_depth_recursive_raises(self):
+        with pytest.raises(ValueError):
+            max_path_depth(mk("a*"))
+
+    def test_max_path_depth_of_figures(self):
+        # Figure 1 descends root -> movie -> title -> actor -> info: depth 4.
+        assert max_path_depth(woody_allen_query()) == 4
+        # Figure 2 descends root -> movie -> title -> actor: depth 3.
+        assert max_path_depth(projection_free_query()) == 3
+
+
+class TestExpandProjections:
+    def test_adds_all_scope_vars(self):
+        q = Query(
+            where=Where.of(
+                "root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]
+            ),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        exp = expand_projections(q)
+        item = exp.construct.children[0]
+        assert set(item.args) == {"X", "Y"}
+
+    def test_root_stays_bare(self):
+        q = mk("a")
+        assert expand_projections(q).construct.args == ()
+
+    def test_nested_free_vars_widened(self):
+        sub = Query(
+            where=Where.of("root", [Edge.of("X", "Y", "b")]),
+            construct=ConstructNode("g", ("X",)),
+            free_vars=("X",),
+        )
+        q = Query(
+            where=Where.of(
+                "root", [Edge.of(None, "X", "a"), Edge.of(None, "Z", "c")]
+            ),
+            construct=ConstructNode(
+                "out", (), (ConstructNode("item", ("X",), (NestedQuery(sub, ("X",)),)),)
+            ),
+        )
+        exp = expand_projections(q)
+        nested = exp.construct.children[0].children[0]
+        assert set(nested.args) == {"X", "Z"}
+        inner_g = nested.query.construct
+        assert {"X", "Z", "Y"} <= set(inner_g.args)
+
+    def test_tag_variable_survives(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", (), (ConstructNode("X", ("X",)),)),
+        )
+        exp = expand_projections(q)
+        assert exp.construct.children[0].is_tag_variable
+
+    def test_expansion_changes_projecting_query(self):
+        """A genuinely projecting query differs from its expansion."""
+        q = Query(
+            where=Where.of(
+                "root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]
+            ),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        exp = expand_projections(q)
+        t = parse_tree("root(a(b, b))")
+        a = [n.structure_key() for n in evaluate_forest(q, t, {})]
+        b = [n.structure_key() for n in evaluate_forest(exp, t, {})]
+        assert a != b  # one item vs two
+
+
+class TestProjectionFree:
+    def test_figure_one_style_not_projection_free(self):
+        """Example 3.4: grouping actors under title(X2) is a projection."""
+        q = Query(
+            where=Where.of(
+                "root",
+                [
+                    Edge.of(None, "X1", "movie"),
+                    Edge.of("X1", "X2", "title"),
+                    Edge.of("X2", "X4", "actor"),
+                ],
+            ),
+            construct=ConstructNode(
+                "result", (), (ConstructNode("title", ("X2",), (ConstructNode("actor", ("X2", "X4")),)),)
+            ),
+        )
+        # The separating instance needs a title with TWO actors:
+        # root + movie + title + 2*(actor+name) + director + review = 9 nodes.
+        assert not is_projection_free(q, movie_dtd(), max_size=9, max_instances=2000)
+
+    def test_figure_two_projection_free(self):
+        assert is_projection_free(
+            projection_free_query(), movie_dtd(), max_size=7, max_value_classes=2,
+            max_instances=60,
+        )
+
+    def test_expanded_query_is_projection_free(self):
+        q = Query(
+            where=Where.of(
+                "root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]
+            ),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        dtd = DTD("root", {"root": "a*", "a": "b*"})
+        assert not is_projection_free(q, dtd)
+        assert is_projection_free(expand_projections(q), dtd)

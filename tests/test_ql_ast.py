@@ -1,0 +1,163 @@
+"""QL abstract syntax: well-formedness per Definition 2.2."""
+
+import pytest
+
+from repro.ql.ast import (
+    Condition,
+    Const,
+    ConstructNode,
+    Edge,
+    NestedQuery,
+    Query,
+    Where,
+)
+
+
+def simple_query(**kwargs) -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        **kwargs,
+    )
+
+
+class TestWhere:
+    def test_duplicate_parent_rejected(self):
+        with pytest.raises(ValueError):
+            Where.of("root", [Edge.of(None, "X", "a"), Edge.of(None, "X", "b")])
+
+    def test_variables_depth_first_order(self):
+        w = Where.of(
+            "root",
+            [
+                Edge.of(None, "A", "x"),
+                Edge.of("A", "B", "y"),
+                Edge.of(None, "C", "z"),
+                Edge.of("A", "D", "y"),
+            ],
+        )
+        assert w.variables() == ("A", "B", "D", "C")
+
+    def test_external_sources_detected(self):
+        w = Where.of("root", [Edge.of("FREE", "Y", "review")])
+        assert w.external_sources() == ("FREE",)
+        assert w.variables() == ("Y",)
+
+    def test_condition_constants(self):
+        w = Where.of(
+            "root",
+            [Edge.of(None, "X", "a")],
+            [Condition("X", "=", Const("v")), Condition("X", "!=", "X")],
+        )
+        assert w.condition_constants() == {"v"}
+
+    def test_bad_operator(self):
+        with pytest.raises(ValueError):
+            Condition("X", "<", "Y")
+
+
+class TestConstructNode:
+    def test_repeated_args_rejected(self):
+        with pytest.raises(ValueError):
+            ConstructNode("f", ("X", "X"))
+
+    def test_child_must_carry_parent_vars(self):
+        with pytest.raises(ValueError):
+            ConstructNode("f", ("X",), (ConstructNode("g", ()),))
+
+    def test_tag_variable_detection(self):
+        assert ConstructNode("X", ("X",)).is_tag_variable
+        assert not ConstructNode("f", ("X",)).is_tag_variable
+
+    def test_walk_covers_tree(self):
+        node = ConstructNode(
+            "f", (), (ConstructNode("g", (), (ConstructNode("h", ()),)),)
+        )
+        assert [n.label for n in node.walk()] == ["f", "g", "h"]
+
+
+class TestNestedQuery:
+    def test_args_must_match_free_vars(self):
+        sub = Query(
+            where=Where.of("root", [Edge.of(None, "Y", "a")]),
+            construct=ConstructNode("g", ()),
+            free_vars=("X",),
+        )
+        NestedQuery(sub, ("X",))  # fine
+        with pytest.raises(ValueError):
+            NestedQuery(sub, ("Z",))
+
+    def test_distinct_args(self):
+        sub = Query(
+            where=Where.of("root", [Edge.of(None, "Y", "a")]),
+            construct=ConstructNode("g", ()),
+            free_vars=("X", "X"),
+        )
+        with pytest.raises(ValueError):
+            NestedQuery(sub, ("X", "X"))
+
+
+class TestQuery:
+    def test_is_program(self):
+        assert simple_query().is_program()
+
+    def test_condition_scope_checked(self):
+        with pytest.raises(ValueError):
+            Query(
+                where=Where.of(
+                    "root", [Edge.of(None, "X", "a")], [Condition("ZZZ", "=", "X")]
+                ),
+                construct=ConstructNode("out", ()),
+            )
+
+    def test_construct_scope_checked(self):
+        with pytest.raises(ValueError):
+            Query(
+                where=Where.of("root", [Edge.of(None, "X", "a")]),
+                construct=ConstructNode("out", (), (ConstructNode("g", ("ZZZ",)),)),
+            )
+
+    def test_loose_external_source_rejected(self):
+        with pytest.raises(ValueError):
+            Query(
+                where=Where.of("root", [Edge.of("FREE", "Y", "a")]),
+                construct=ConstructNode("out", ()),
+                free_vars=(),  # FREE is not declared
+            )
+
+    def test_external_source_ok_when_free(self):
+        q = Query(
+            where=Where.of("root", [Edge.of("FREE", "Y", "a")]),
+            construct=ConstructNode("out", ("FREE",)),
+            free_vars=("FREE",),
+        )
+        assert not q.is_program()
+
+    def test_subqueries_iteration(self):
+        sub = Query(
+            where=Where.of("root", [Edge.of(None, "Y", "b")]),
+            construct=ConstructNode("g", ()),
+            free_vars=("X",),
+        )
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode(
+                "out", (), (ConstructNode("mid", ("X",), (NestedQuery(sub, ("X",)),)),)
+            ),
+        )
+        assert len(list(q.subqueries())) == 2
+
+    def test_all_path_regexes(self):
+        q = simple_query()
+        assert len(q.all_path_regexes()) == 1
+
+    def test_output_tags(self):
+        q = simple_query()
+        assert q.output_tags() == {"out", "item"}
+
+    def test_output_tags_exclude_tag_variables(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", (), (ConstructNode("X", ("X",)),)),
+        )
+        assert q.output_tags() == {"out"}

@@ -1,0 +1,244 @@
+"""QL evaluation semantics: the paper's Section 2 definition, in detail."""
+
+import pytest
+
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.ql.eval import bindings, evaluate, evaluate_forest
+from repro.trees import parse_tree, to_term
+
+
+def q(where, construct, free=()):
+    return Query(where=where, construct=construct, free_vars=tuple(free))
+
+
+class TestBindings:
+    def test_root_tag_must_match(self):
+        query = q(Where.of("root", [Edge.of(None, "X", "a")]), ConstructNode("out", ()))
+        assert bindings(query, parse_tree("other(a)")) == []
+
+    def test_path_exclusive_of_source(self):
+        # Edge regex 'b' from X matches X's children labeled b —
+        # X's own label is NOT part of the word.
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]),
+            ConstructNode("out", ()),
+        )
+        t = parse_tree("root(a(b))")
+        assert len(bindings(query, t)) == 1
+
+    def test_multi_step_path(self):
+        query = q(Where.of("root", [Edge.of(None, "Y", "a.b.c")]), ConstructNode("out", ()))
+        assert len(bindings(query, parse_tree("root(a(b(c)))"))) == 1
+        assert bindings(query, parse_tree("root(a(c(b)))")) == []
+
+    def test_epsilon_path_binds_source(self):
+        query = q(Where.of("root", [Edge.of(None, "X", "a?")]), ConstructNode("out", ()))
+        t = parse_tree("root(a)")
+        found = bindings(query, t)
+        # X can be the root itself (empty word) or the a child.
+        assert len(found) == 2
+
+    def test_union_path(self):
+        query = q(Where.of("root", [Edge.of(None, "X", "a + b")]), ConstructNode("out", ()))
+        assert len(bindings(query, parse_tree("root(a, b, c)"))) == 2
+
+    def test_starred_path_descends(self):
+        query = q(Where.of("root", [Edge.of(None, "X", "a*.b")]), ConstructNode("out", ()))
+        assert len(bindings(query, parse_tree("root(a(a(b)), b)"))) == 2
+
+    def test_condition_equality_constant(self):
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const("k"))]),
+            ConstructNode("out", ()),
+        )
+        t = parse_tree("root(a['k'], a['z'])")
+        assert len(bindings(query, t)) == 1
+
+    def test_condition_inequality_variables(self):
+        query = q(
+            Where.of(
+                "root",
+                [Edge.of(None, "X", "a"), Edge.of(None, "Y", "a")],
+                [Condition("X", "!=", "Y")],
+            ),
+            ConstructNode("out", ()),
+        )
+        t = parse_tree("root(a['1'], a['1'], a['2'])")
+        # pairs with different values: (1,2),(2,1) twice for the two '1's.
+        assert len(bindings(query, t)) == 4
+
+    def test_lexicographic_order(self):
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]),
+            ConstructNode("out", ()),
+        )
+        t = parse_tree("root(a(b, b), a(b))")
+        found = bindings(query, t)
+        nodes = t.nodes()
+        from repro.trees.data_tree import document_order
+
+        order = document_order(t)
+        keys = [(order[id(b["X"])], order[id(b["Y"])]) for b in found]
+        assert keys == sorted(keys)
+
+    def test_gamma_forces_free_variables(self):
+        sub = q(
+            Where.of("root", [Edge.of("X", "Y", "b")]),
+            ConstructNode("g", ("X", "Y")),
+            free=("X",),
+        )
+        t = parse_tree("root(a(b), a(b, b))")
+        first_a = t.root.children[0]
+        found = bindings(sub, t, {"X": first_a})
+        assert len(found) == 1 and found[0]["X"] is first_a
+
+    def test_gamma_missing_free_var_raises(self):
+        sub = q(
+            Where.of("root", [Edge.of("X", "Y", "b")]),
+            ConstructNode("g", ("X", "Y")),
+            free=("X",),
+        )
+        with pytest.raises(ValueError):
+            bindings(sub, parse_tree("root(a(b))"), {})
+
+    def test_forced_rebinding_must_be_reachable(self):
+        # The nested pattern re-anchors X under root via tag 'a'; if the
+        # forced node is not an 'a' child, there is no binding.
+        sub = q(
+            Where.of("root", [Edge.of(None, "X", "a")]),
+            ConstructNode("g", ("X",)),
+            free=("X",),
+        )
+        t = parse_tree("root(a, b)")
+        b_node = t.root.children[1]
+        assert bindings(sub, t, {"X": b_node}) == []
+
+
+class TestConstruction:
+    def test_dedup_by_projection(self):
+        # Two bindings with the same X projection produce ONE item node.
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]),
+            ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        t = parse_tree("root(a(b, b))")
+        assert to_term(evaluate(query, t)) == "out(item)"
+
+    def test_children_grouped_under_parent(self):
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]),
+            ConstructNode(
+                "out", (), (ConstructNode("item", ("X",), (ConstructNode("leaf", ("X", "Y")),)),)
+            ),
+        )
+        t = parse_tree("root(a(b, b), a(b))")
+        assert to_term(evaluate(query, t)) == "out(item(leaf, leaf), item(leaf))"
+
+    def test_construct_order_yields_profile_words(self):
+        """Sibling outputs follow construct order: a1* a2* ... — the fact
+        Theorem 3.2 relies on."""
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a"), Edge.of(None, "Y", "b")]),
+            ConstructNode(
+                "out",
+                (),
+                (ConstructNode("first", ("X",)), ConstructNode("second", ("Y",))),
+            ),
+        )
+        t = parse_tree("root(b, a, b, a)")
+        out = evaluate(query, t)
+        assert [c.label for c in out.root.children] == ["first", "first", "second", "second"]
+
+    def test_tag_variables_copy_input_tags(self):
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a + b")]),
+            ConstructNode("out", (), (ConstructNode("X", ("X",)),)),
+        )
+        assert to_term(evaluate(query, parse_tree("root(b, a)"))) == "out(b, a)"
+
+    def test_no_bindings_no_output(self):
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "zzz")]),
+            ConstructNode("out", ()),
+        )
+        assert evaluate(query, parse_tree("root(a)")) is None
+
+    def test_outermost_must_be_program(self):
+        sub = q(
+            Where.of("root", [Edge.of(None, "X", "a")]),
+            ConstructNode("out", ("X",)),
+        )
+        with pytest.raises(ValueError):
+            evaluate(sub, parse_tree("root(a)"))
+
+    def test_output_carries_no_values(self):
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a")]),
+            ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        out = evaluate(query, parse_tree("root(a['v'])"))
+        assert all(n.value is None for n in out.nodes())
+
+
+class TestNestedQueries:
+    def test_nested_emits_per_restriction(self):
+        sub = q(
+            Where.of("root", [Edge.of("X", "Y", "b")]),
+            ConstructNode("got", ("X",)),
+            free=("X",),
+        )
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a")]),
+            ConstructNode(
+                "out", (), (ConstructNode("item", ("X",), (NestedQuery(sub, ("X",)),)),)
+            ),
+        )
+        t = parse_tree("root(a(b), a(c), a(b, b))")
+        assert to_term(evaluate(query, t)) == "out(item(got), item, item(got))"
+
+    def test_nested_forest_has_multiple_roots(self):
+        # The nested construct root has args: one root per projection.
+        sub = q(
+            Where.of("root", [Edge.of("X", "Y", "b")]),
+            ConstructNode("each", ("X", "Y")),
+            free=("X",),
+        )
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a")]),
+            ConstructNode(
+                "out", (), (ConstructNode("item", ("X",), (NestedQuery(sub, ("X",)),)),)
+            ),
+        )
+        t = parse_tree("root(a(b, b))")
+        assert to_term(evaluate(query, t)) == "out(item(each, each))"
+
+    def test_two_level_nesting(self):
+        inner = q(
+            Where.of("root", [Edge.of("Y", "Z", "c")]),
+            ConstructNode("deep", ("X", "Y", "Z")),
+            free=("X", "Y"),
+        )
+        mid = q(
+            Where.of("root", [Edge.of("X", "Y", "b")]),
+            ConstructNode("level1", ("X", "Y"), (NestedQuery(inner, ("X", "Y")),)),
+            free=("X",),
+        )
+        query = q(
+            Where.of("root", [Edge.of(None, "X", "a")]),
+            ConstructNode(
+                "out", (), (ConstructNode("item", ("X",), (NestedQuery(mid, ("X",)),)),)
+            ),
+        )
+        t = parse_tree("root(a(b(c, c)))")
+        assert to_term(evaluate(query, t)) == "out(item(level1(deep, deep)))"
+
+    def test_evaluate_forest_with_gamma(self):
+        sub = q(
+            Where.of("root", [Edge.of("X", "Y", "b")]),
+            ConstructNode("got", ("X", "Y")),
+            free=("X",),
+        )
+        t = parse_tree("root(a(b, b))")
+        a = t.root.children[0]
+        forest = evaluate_forest(sub, t, {"X": a})
+        assert [n.label for n in forest] == ["got", "got"]

@@ -1,0 +1,122 @@
+"""Ramsey machinery and the counterexample-size bounds of Section 3."""
+
+import pytest
+
+from repro.dtd import DTD
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+from repro.typecheck.bounds import cor41_bound, thm31_bound, thm35_bound
+from repro.typecheck.ramsey import (
+    deletable_unit_count_lower_bound,
+    ramsey_bound,
+    ramsey_bound_variant,
+)
+
+INF = float("inf")
+
+
+def tiny_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+class TestRamseyBound:
+    def test_pigeonhole_exact(self):
+        # R(1, m, w) = w(m-1) + 1.
+        assert ramsey_bound(1, 3, 2) == 5
+        assert ramsey_bound(1, 2, 4) == 5
+
+    def test_one_color(self):
+        assert ramsey_bound(2, 4, 1) == 4
+
+    def test_m_below_k_trivial(self):
+        assert ramsey_bound(3, 2, 5) == 2
+
+    def test_graph_case_upper_bounds_known_values(self):
+        # R(3,3) = 6 classically; any upper bound must be >= 6.
+        assert ramsey_bound(2, 3, 2) >= 6
+
+    def test_monotone_in_m(self):
+        assert ramsey_bound(2, 3, 2) <= ramsey_bound(2, 4, 2)
+
+    def test_monotone_in_w(self):
+        assert ramsey_bound(2, 3, 2) <= ramsey_bound(2, 3, 3)
+
+    def test_hypergraph_grows(self):
+        r2 = ramsey_bound(2, 3, 2)
+        r3 = ramsey_bound(3, 3, 2)
+        assert r3 == INF or r3 >= r2
+
+    def test_astronomical_becomes_inf(self):
+        assert ramsey_bound(3, 64, 16) == INF
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ramsey_bound(0, 1, 1)
+
+
+class TestRamseyVariant:
+    def test_variant_at_least_plain(self):
+        plain = ramsey_bound(2, 3, 2)
+        variant = ramsey_bound_variant(2, 3, 2)
+        assert variant == INF or variant >= plain
+
+    def test_variant_k1_is_pigeonhole(self):
+        assert ramsey_bound_variant(1, 3, 2) == ramsey_bound(1, 3, 2)
+
+
+class TestDeletableUnits:
+    def test_proposition_311_shape(self):
+        # |T| / (|tau1| (|N|+1))^{|q|}
+        assert deletable_unit_count_lower_bound(1000, 2, 1, 2) == 1000 // 16
+        assert deletable_unit_count_lower_bound(10, 100, 100, 3) == 0
+
+
+class TestSymbolicBounds:
+    def test_thm31_bound_positive_int(self):
+        tau1 = DTD("root", {"root": "a*"})
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        bound = thm31_bound(tiny_query(), tau1, tau2)
+        assert isinstance(bound, int) and bound > 1
+
+    def test_thm31_bound_grows_with_tau2_integers(self):
+        tau1 = DTD("root", {"root": "a*"})
+        small = DTD("out", {"out": "item^>=1"}, unordered=True)
+        large = DTD("out", {"out": "item^>=9"}, unordered=True)
+        assert thm31_bound(tiny_query(), tau1, small) <= thm31_bound(
+            tiny_query(), tau1, large
+        )
+
+    def test_cor41_poly_smaller_than_exp(self):
+        """Corollary 4.1: bounded depth kills the deep-pumping factor."""
+        tau1 = DTD("root", {"root": "a*"})  # depth 1
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        q = tiny_query()
+        assert cor41_bound(q, tau1, tau2) < thm31_bound(q, tau1, tau2)
+
+    def test_cor41_requires_bounded_depth(self):
+        tau1 = DTD("root", {"root": "root?"})
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        with pytest.raises(ValueError):
+            cor41_bound(tiny_query(), tau1, tau2)
+
+    def test_cor41_explicit_depth(self):
+        tau1 = DTD("root", {"root": "a*"})
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        b2 = cor41_bound(tiny_query(), tau1, tau2, depth=2)
+        b4 = cor41_bound(tiny_query(), tau1, tau2, depth=4)
+        assert b2 < b4
+
+    def test_thm35_bound_astronomical(self):
+        """The Ramsey bound is a tower — reported as inf, never searched."""
+        tau1 = DTD("root", {"root": "a*"})
+        bound = thm35_bound(tiny_query(), tau1, periods=[2, 2])
+        assert bound == INF or bound > 10**9
+
+    def test_thm35_bound_trivial_periods(self):
+        tau1 = DTD("root", {"root": "a*"})
+        bound = thm35_bound(tiny_query(), tau1, periods=[1, 1])
+        # All periods 1: no colors needed beyond one; still a huge number
+        # but finite.
+        assert bound != INF

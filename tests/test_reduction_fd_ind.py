@@ -1,0 +1,157 @@
+"""Theorem 5.1 / Proposition 5.2: FD+IND implication <=> typechecking with
+specialized output DTDs."""
+
+import pytest
+
+from repro.logic.dependencies import FD, IND, fd_implies
+from repro.ql.eval import evaluate
+from repro.reductions.fd_ind import (
+    disjunctive_ind_gadget,
+    disjunctive_ind_output_type,
+    fd_ind_to_typechecking,
+    relation_to_tree,
+)
+from repro.ql.analysis import (
+    has_inequalities,
+    has_tag_variables,
+    is_conjunctive,
+    is_disjunctive,
+)
+from repro.typecheck import Verdict, find_counterexample
+from repro.typecheck.search import SearchBudget
+
+
+def behavioral_check(inst, relation, arity, expect_valid):
+    """Run the reduction query on a concrete relation document and
+    validate the output against the specialized type."""
+    tree = relation_to_tree(relation, arity)
+    assert inst.tau1.is_valid(tree)
+    out = evaluate(inst.query, tree)
+    assert out is not None
+    assert inst.tau2.validate(out).ok == expect_valid
+
+
+class TestQueryFragment:
+    """Theorem 5.1's stringency claims about its own query."""
+
+    def test_conjunctive_no_tagvars_no_inequality(self):
+        inst = fd_ind_to_typechecking(2, [FD.of({1}, {2})], FD.of({2}, {1}))
+        assert is_conjunctive(inst.query)
+        assert not has_tag_variables(inst.query)
+        assert not has_inequalities(inst.query)
+
+    def test_input_dtd_unordered_depth_two(self):
+        from repro.dtd.content import ContentKind
+
+        inst = fd_ind_to_typechecking(2, [FD.of({1}, {2})], FD.of({2}, {1}))
+        assert inst.tau1.kind() is ContentKind.UNORDERED
+        assert inst.tau1.depth_bound() == 2
+
+
+class TestFDOnlyEquivalence:
+    DEPS = [FD.of({1}, {2}), FD.of({2}, {3})]
+
+    def test_implied_goal_no_counterexample(self):
+        inst = fd_ind_to_typechecking(3, self.DEPS, FD.of({1}, {3}))
+        assert fd_implies(self.DEPS, FD.of({1}, {3}))
+        res = find_counterexample(
+            inst.query,
+            inst.tau1,
+            inst.tau2,
+            budget=SearchBudget(max_size=9, max_value_classes=3, max_instances=3000),
+        )
+        assert res.verdict is not Verdict.FAILS
+
+    def test_not_implied_goal_refuted(self):
+        inst = fd_ind_to_typechecking(3, self.DEPS, FD.of({3}, {1}))
+        assert not fd_implies(self.DEPS, FD.of({3}, {1}))
+        res = find_counterexample(
+            inst.query,
+            inst.tau1,
+            inst.tau2,
+            budget=SearchBudget(max_size=9, max_value_classes=3, max_instances=100_000),
+        )
+        assert res.verdict is Verdict.FAILS
+        # The counterexample decodes to a relation satisfying D but
+        # violating the goal.
+        from repro.logic.dependencies import satisfies
+
+        rows = {
+            tuple(c.value for c in r.children)
+            for r in res.counterexample.root.children
+        }
+        for d in self.DEPS:
+            assert satisfies(rows, d)
+        assert not satisfies(rows, FD.of({3}, {1}))
+
+
+class TestBehavioralSemantics:
+    def test_relation_satisfying_everything(self):
+        deps = [FD.of({1}, {2})]
+        inst = fd_ind_to_typechecking(2, deps, FD.of({1}, {2}))
+        behavioral_check(inst, [(1, 2), (3, 4)], 2, expect_valid=True)
+
+    def test_relation_violating_some_d(self):
+        # "Some dependency in D violated" makes the output valid.
+        deps = [FD.of({1}, {2})]
+        inst = fd_ind_to_typechecking(2, deps, FD.of({2}, {1}))
+        behavioral_check(inst, [(1, 2), (1, 3)], 2, expect_valid=True)
+
+    def test_relation_separating(self):
+        # D holds, goal fails -> invalid output (the counterexample case).
+        deps = [FD.of({1}, {2})]
+        inst = fd_ind_to_typechecking(2, deps, FD.of({2}, {1}))
+        behavioral_check(inst, [(1, 3), (2, 3)], 2, expect_valid=False)
+
+    def test_ind_gadget_counts_witnesses(self):
+        deps = [IND.of((1,), (2,))]
+        inst = fd_ind_to_typechecking(2, deps, FD.of({1, 2}, {1}))
+        # R[1] <= R[2] satisfied: goal trivially holds -> valid.
+        behavioral_check(inst, [(1, 1)], 2, expect_valid=True)
+        # R[1] <= R[2] violated -> "some d violated" -> valid too.
+        behavioral_check(inst, [(1, 2)], 2, expect_valid=True)
+
+    def test_ind_goal_interplay(self):
+        # goal 1->2 does not follow from R[1] <= R[2].
+        inst = fd_ind_to_typechecking(2, [IND.of((1,), (2,))], FD.of({1}, {2}))
+        # (1,1),(1,2): IND: col1={1} within col2={1,2} (satisfied, no
+        # violation); goal 1->2 broken -> output invalid.
+        behavioral_check(inst, [(1, 1), (1, 2)], 2, expect_valid=False)
+
+    def test_tuple_arity_checked(self):
+        with pytest.raises(ValueError):
+            relation_to_tree([(1, 2, 3)], 2)
+
+
+class TestDisjunctiveVariant:
+    """Proposition 5.2's mechanism on IND gadgets: nesting traded for a
+    disjunctive path + a tag variable."""
+
+    IND01 = IND.of((1,), (2,))
+
+    def test_query_is_disjunctive_with_tagvars_no_nesting(self):
+        from repro.ql.analysis import has_nested_queries
+
+        q = disjunctive_ind_gadget(0, self.IND01)
+        assert is_disjunctive(q)
+        assert has_tag_variables(q)
+        assert not has_nested_queries(q)
+        assert not has_inequalities(q)
+
+    def test_detects_satisfaction(self):
+        q = disjunctive_ind_gadget(0, self.IND01)
+        ty = disjunctive_ind_output_type(0, self.IND01)
+        good = relation_to_tree([(1, 1), (2, 1), (1, 2)], 2)
+        out = evaluate(q, good)
+        assert ty.validate(out).ok
+
+    def test_detects_violation(self):
+        q = disjunctive_ind_gadget(0, self.IND01)
+        ty = disjunctive_ind_output_type(0, self.IND01)
+        bad = relation_to_tree([(1, 2), (3, 1)], 2)  # 3 not in column 2
+        out = evaluate(q, bad)
+        assert not ty.validate(out).ok
+
+    def test_requires_unary_ind(self):
+        with pytest.raises(ValueError):
+            disjunctive_ind_gadget(0, IND.of((1, 2), (2, 1)))

@@ -1,0 +1,129 @@
+"""Theorem 5.3: PCP <=> typechecking recursive QL.
+
+The characteristic property is demonstrated constructively: valid solution
+encodings make every checker silent (hence the childless output violates
+the output DTD — a typechecking counterexample exists iff a solution
+does), while corrupted encodings trigger checkers.
+"""
+
+import pytest
+
+from repro.logic.pcp import PAPER_EXAMPLE, PCPInstance
+from repro.ql.analysis import is_non_recursive
+from repro.ql.eval import evaluate
+from repro.reductions.pcp import (
+    encode_solution_tree,
+    input_dtd,
+    pcp_to_typechecking,
+    violation_checkers,
+)
+
+SOLUTION = [1, 3, 2, 1]
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return pcp_to_typechecking(PAPER_EXAMPLE)
+
+
+@pytest.fixture()
+def encoding():
+    return encode_solution_tree(PAPER_EXAMPLE, SOLUTION)
+
+
+class TestInputDTD:
+    def test_encoding_is_valid(self, inst, encoding):
+        assert inst.tau1.is_valid(encoding)
+
+    def test_dtd_is_recursive(self, inst):
+        assert inst.tau1.depth_bound() is None
+
+    def test_non_encodings_rejected(self, inst):
+        from repro.trees import parse_tree
+
+        assert not inst.tau1.is_valid(parse_tree("root(w(s))"))  # s needs a tile child
+        assert not inst.tau1.is_valid(parse_tree("root('$')"))
+
+
+class TestQueryShape:
+    def test_query_is_recursive(self, inst):
+        assert not is_non_recursive(inst.query)
+
+    def test_output_dtd_requires_children(self, inst):
+        from repro.trees import parse_tree
+
+        assert not inst.tau2.is_valid(parse_tree("answer"))
+        assert inst.tau2.is_valid(parse_tree("answer(viol)"))
+        assert inst.tau2.is_valid(parse_tree("answer(viol, viol)"))
+
+
+class TestCharacteristicProperty:
+    def test_solution_encoding_is_counterexample(self, inst, encoding):
+        out = evaluate(inst.query, encoding)
+        assert out is not None
+        assert len(out.root.children) == 0, [c.label for c in out.root.children]
+        assert not inst.tau2.validate(out).ok
+
+    def test_letter_corruption_fires(self, inst, encoding):
+        # Flip the first letter a -> b: positions no longer agree.
+        letter = encoding.root.children[0].children[0].children[0].children[0]
+        assert letter.label in ("a", "b")
+        letter.label = "b" if letter.label == "a" else "a"
+        out = evaluate(inst.query, encoding)
+        assert inst.tau2.validate(out).ok  # a viol child appeared
+
+    def test_position_misalignment_fires(self, inst, encoding):
+        dollar = next(n for n in encoding.nodes() if n.label == "$")
+        dollar.children[0].value = "p-corrupt"
+        out = evaluate(inst.query, encoding)
+        assert inst.tau2.validate(out).ok
+
+    def test_duplicate_position_fires(self, inst, encoding):
+        # Make two x-part positions share a value.
+        ws = [n for n in encoding.nodes() if n.label == "w"]
+        ws[1].value = ws[0].value
+        out = evaluate(inst.query, encoding)
+        assert inst.tau2.validate(out).ok
+
+    def test_tile_disagreement_fires(self, inst, encoding):
+        # Re-tag a tile index in the y-part only.
+        dollar_seen = False
+        for n in encoding.nodes():
+            if n.label == "$":
+                dollar_seen = True
+            if dollar_seen and n.label in "123":
+                n.label = "2" if n.label != "2" else "3"
+                break
+        out = evaluate(inst.query, encoding)
+        assert inst.tau2.validate(out).ok
+
+    def test_wrong_first_letter_fires(self, inst):
+        # Encode then swap the very first letter's tile claim: tile 3 of
+        # the paper instance starts with 'b' on the u-side.
+        enc = encode_solution_tree(PAPER_EXAMPLE, SOLUTION)
+        first_tile = enc.root.children[0].children[0].children[0]
+        assert first_tile.label == "1"
+        first_tile.label = "3"  # u_3 = 'bb' starts with b, letter here is a
+        out = evaluate(inst.query, enc)
+        assert inst.tau2.validate(out).ok
+
+
+class TestOtherInstances:
+    def test_unsolvable_instance_builds(self):
+        bad = PCPInstance.of(["aa"], ["a"])
+        inst = pcp_to_typechecking(bad)
+        assert len(violation_checkers(bad)) > 0
+        assert inst.theorem == "Theorem 5.3"
+
+    def test_trivial_instance_encoding(self):
+        triv = PCPInstance.of(["ab"], ["ab"])
+        inst = pcp_to_typechecking(triv)
+        enc = encode_solution_tree(triv, [1])
+        assert inst.tau1.is_valid(enc)
+        out = evaluate(inst.query, enc)
+        assert not inst.tau2.validate(out).ok  # counterexample again
+
+    def test_checker_count_scales_with_tiles(self):
+        small = len(violation_checkers(PCPInstance.of(["a"], ["a"])))
+        large = len(violation_checkers(PAPER_EXAMPLE))
+        assert large > small

@@ -1,0 +1,71 @@
+"""Proposition 4.3 (forall-exists core): Q3SAT <=> typechecking with FO
+(star-free) output DTDs."""
+
+import pytest
+
+from repro.logic.qbf import QBF
+from repro.reductions.qsat import (
+    decisive_max_size,
+    q3sat_to_typechecking,
+    source_qbf,
+)
+from repro.typecheck import Verdict, find_counterexample
+from repro.typecheck.search import SearchBudget
+
+
+def run(clauses, nf, ne):
+    inst = q3sat_to_typechecking(clauses, nf, ne)
+    return find_counterexample(
+        inst.query, inst.tau1, inst.tau2, budget=SearchBudget(max_size=decisive_max_size(inst))
+    )
+
+
+CASES = [
+    # (clauses, n_forall, n_exists, expected truth of forall X exists Y CNF)
+    ([[1, 2], [-1, -2]], 1, 1, True),  # y1 := !x1
+    ([[1, 2], [1, -2]], 1, 1, False),  # needs x1 true for all x1
+    ([[1, 2, 3]], 2, 1, True),  # y1 := true
+    ([[2], [-2]], 1, 1, False),  # y1 and !y1 contradictory
+    ([[1, 3], [2, 3], [-3, 1, 2]], 2, 1, False),  # x1=x2=false forces y, then clause 3 fails
+    ([[3], [1, -3, 2]], 2, 1, False),  # y must be true; x1=x2=false kills clause 2
+    ([[1, -2, 3]], 2, 1, True),
+]
+
+
+@pytest.mark.parametrize("clauses,nf,ne,expected", CASES)
+def test_equivalence_with_qbf(clauses, nf, ne, expected):
+    qbf = source_qbf(clauses, nf, ne)
+    assert qbf.is_true() == expected, "source QBF sanity"
+    res = run(clauses, nf, ne)
+    assert res.verdict is not Verdict.NO_COUNTEREXAMPLE_FOUND, "must be decisive"
+    assert (res.verdict is Verdict.TYPECHECKS) == expected
+
+
+def test_counterexample_is_bad_universal_assignment():
+    clauses = [[1, 2], [1, -2]]  # true only when x1 is true
+    inst = q3sat_to_typechecking(clauses, 1, 1)
+    res = find_counterexample(
+        inst.query, inst.tau1, inst.tau2, budget=SearchBudget(max_size=decisive_max_size(inst))
+    )
+    assert res.verdict is Verdict.FAILS
+    x1 = res.counterexample.root.children[0]
+    assert x1.children[0].label == "zero"  # x1 = false breaks it
+
+
+def test_source_qbf_prefix_shape():
+    qbf = source_qbf([[1, 2]], 1, 1)
+    assert isinstance(qbf, QBF)
+    quants = [q for q, _ in qbf.prefix]
+    assert quants == ["forall", "exists"]
+
+
+def test_validation_of_inputs():
+    with pytest.raises(ValueError):
+        q3sat_to_typechecking([[1]], 0, 1)
+    with pytest.raises(ValueError):
+        q3sat_to_typechecking([[5]], 2, 1)
+
+
+def test_notes_document_substitution():
+    inst = q3sat_to_typechecking([[1, 2]], 1, 1)
+    assert any("omits" in n for n in inst.notes)

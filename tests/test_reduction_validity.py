@@ -1,0 +1,101 @@
+"""Theorem 4.2(i): propositional validity <=> typechecking, end to end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.propositional import (
+    PropFormula,
+    p_and,
+    p_implies,
+    p_not,
+    p_or,
+    var,
+)
+from repro.reductions.validity import decisive_max_size, validity_to_typechecking
+from repro.typecheck import Verdict, typecheck
+from repro.typecheck.search import SearchBudget
+
+
+def run(phi: PropFormula):
+    inst = validity_to_typechecking(phi)
+    return typecheck(
+        inst.query,
+        inst.tau1,
+        inst.tau2,
+        budget=SearchBudget(max_size=decisive_max_size(inst)),
+    )
+
+
+CASES = [
+    (p_or(var("a"), p_not(var("a"))), True),
+    (p_implies(var("a"), var("a")), True),
+    (var("a"), False),
+    (p_or(var("a"), var("b")), False),
+    (p_implies(p_and(var("a"), var("b")), var("a")), True),
+    (p_and(p_or(var("a"), p_not(var("a"))), p_or(var("b"), p_not(var("b")))), True),
+    (p_implies(var("a"), var("b")), False),
+    (p_not(p_and(var("a"), p_not(var("a")))), True),
+]
+
+
+@pytest.mark.parametrize("phi,valid", CASES, ids=[str(c[0]) for c in CASES])
+def test_equivalence(phi, valid):
+    res = run(phi)
+    assert res.verdict is not Verdict.NO_COUNTEREXAMPLE_FOUND, "must be decisive"
+    assert (res.verdict is Verdict.TYPECHECKS) == valid
+
+
+def test_counterexample_is_falsifying_assignment():
+    phi = p_implies(var("a"), var("b"))  # falsified by a=1, b=0
+    inst = validity_to_typechecking(phi)
+    res = typecheck(
+        inst.query, inst.tau1, inst.tau2, budget=SearchBudget(max_size=decisive_max_size(inst))
+    )
+    assert res.verdict is Verdict.FAILS
+    tree = res.counterexample
+    assignment = {}
+    for x_node in tree.root.children:
+        assignment[x_node.label] = x_node.children[0].label == "one"
+    assert assignment == {"X_a": True, "X_b": False}
+
+
+def test_instance_components_wellformed():
+    inst = validity_to_typechecking(p_or(var("p"), var("q")))
+    assert inst.tau1.is_valid(next(iter_instances(inst)))
+    assert inst.theorem == "Theorem 4.2(i)"
+
+
+def iter_instances(inst):
+    from repro.dtd.generate import enumerate_instances
+
+    return enumerate_instances(inst.tau1, decisive_max_size(inst))
+
+
+def test_needs_a_variable():
+    from repro.logic.propositional import P_TRUE
+
+    with pytest.raises(ValueError):
+        validity_to_typechecking(P_TRUE)
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return var(draw(st.sampled_from(["a", "b"])))
+    kind = draw(st.sampled_from(["var", "not", "and", "or"]))
+    if kind == "var":
+        return var(draw(st.sampled_from(["a", "b"])))
+    if kind == "not":
+        return p_not(draw(formulas(depth=depth - 1)))
+    l, r = draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1))
+    return p_and(l, r) if kind == "and" else p_or(l, r)
+
+
+@given(formulas())
+@settings(max_examples=25, deadline=None)
+def test_random_formula_equivalence(phi):
+    if not phi.variables():
+        return  # constant-folded away
+    res = run(phi)
+    assert (res.verdict is Verdict.TYPECHECKS) == phi.is_valid()

@@ -1,0 +1,161 @@
+"""JSON query serialization round trips, plus the CLI typecheck command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.examples_data import projection_free_query, woody_allen_query
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.ql.eval import evaluate
+from repro.ql.serde import (
+    QuerySerdeError,
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+)
+from repro.trees import parse_tree, to_term
+
+
+def assert_round_trip_semantics(query: Query, docs) -> None:
+    again = query_from_json(query_to_json(query))
+    for doc in docs:
+        a = evaluate(query, doc)
+        b = evaluate(again, doc)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a == b
+
+
+class TestRoundTrips:
+    def test_simple(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a + b")]),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        assert_round_trip_semantics(q, [parse_tree("root(a, b, c)")])
+
+    def test_conditions_and_constants(self):
+        q = Query(
+            where=Where.of(
+                "root",
+                [Edge.of(None, "X", "a"), Edge.of(None, "Y", "a")],
+                [Condition("X", "=", Const("k")), Condition("X", "!=", "Y")],
+            ),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X", "Y")),)),
+        )
+        assert_round_trip_semantics(q, [parse_tree("root(a['k'], a['z'])")])
+
+    def test_value_of_preserved(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",), value_of="X"),)),
+        )
+        again = query_from_json(query_to_json(q))
+        out = evaluate(again, parse_tree("root(a['v'])"))
+        assert out.root.children[0].value == "v"
+
+    def test_figure_queries_round_trip(self):
+        from repro.examples_data import make_catalog
+
+        docs = [make_catalog(3, seed=1)]
+        assert_round_trip_semantics(woody_allen_query(), docs)
+        assert_round_trip_semantics(projection_free_query(), docs)
+
+    def test_dict_is_json_clean(self):
+        d = query_to_dict(woody_allen_query())
+        json.dumps(d)  # must not raise
+
+    def test_structural_equality_after_round_trip(self):
+        q = projection_free_query()
+        assert query_from_dict(query_to_dict(q)) == q
+
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(QuerySerdeError, match="JSON"):
+            query_from_json("{nope")
+
+    def test_missing_keys(self):
+        with pytest.raises(QuerySerdeError, match="where"):
+            query_from_dict({"construct": {"tag": "out"}})
+        with pytest.raises(QuerySerdeError, match="root"):
+            query_from_dict({"where": {}, "construct": {"tag": "out"}})
+
+    def test_bad_condition(self):
+        with pytest.raises(QuerySerdeError, match="var or const"):
+            query_from_dict(
+                {
+                    "where": {
+                        "root": "r",
+                        "edges": [{"from": None, "to": "X", "path": "a"}],
+                        "conditions": [{"left": "X", "op": "=", "right": {}}],
+                    },
+                    "construct": {"tag": "out"},
+                }
+            )
+
+    def test_semantic_error_wrapped(self):
+        with pytest.raises(QuerySerdeError):
+            query_from_dict(
+                {
+                    "where": {"root": "r", "edges": []},
+                    "construct": {"tag": "out", "args": ["GHOST"]},
+                }
+            )
+
+
+class TestRoundTripProperty:
+    def test_random_queries_round_trip(self):
+        from hypothesis import given, settings
+
+        from tests.test_eval_properties import input_trees, simple_queries
+
+        @given(simple_queries(), input_trees())
+        @settings(max_examples=60, deadline=None)
+        def check(query, tree):
+            again = query_from_json(query_to_json(query))
+            assert again == query
+            a, b = evaluate(query, tree), evaluate(again, tree)
+            assert (a is None) == (b is None) and (a is None or a == b)
+
+        check()
+
+
+class TestCLITypecheck:
+    QUERY = {
+        "where": {"root": "root", "edges": [{"from": None, "to": "X", "path": "a"}]},
+        "construct": {"tag": "out", "children": [{"tag": "item", "args": ["X"]}]},
+    }
+
+    def test_pass(self, tmp_path, capsys):
+        qfile = tmp_path / "q.json"
+        qfile.write_text(json.dumps(self.QUERY))
+        rc = main(
+            [
+                "typecheck",
+                "--query", str(qfile),
+                "--input-dtd", "root -> a.a?",
+                "--output-dtd", "out -> item^>=1",
+                "--unordered-output",
+                "--max-size", "3",
+            ]
+        )
+        assert rc == 0
+        assert "typechecks" in capsys.readouterr().out
+
+    def test_fail_exit_code(self, capsys):
+        rc = main(
+            [
+                "typecheck",
+                "--query", json.dumps(self.QUERY),
+                "--input-dtd", "root -> a*",
+                "--output-dtd", "out -> item^>=2",
+                "--unordered-output",
+                "--max-size", "4",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "fails" in out and "counterexample" in out

@@ -1,0 +1,207 @@
+"""The counting logic SL: evaluation, parsing, positive DNF."""
+
+import itertools
+
+import pytest
+
+from repro.logic.sl import (
+    FALSE,
+    TRUE,
+    CountBox,
+    CountConstraint,
+    SLAtom,
+    at_least,
+    at_most,
+    exactly,
+    only_symbols,
+    parse_sl,
+    sl_and,
+    sl_implies,
+    sl_not,
+    sl_or,
+)
+
+
+def vectors(symbols, cap):
+    for counts in itertools.product(range(cap + 1), repeat=len(symbols)):
+        yield dict(zip(symbols, counts))
+
+
+def assert_dnf_equivalent(phi, symbols=("a", "b"), cap=5):
+    """The positive DNF must agree with direct evaluation everywhere."""
+    boxes = phi.to_positive_dnf()
+    for counts in vectors(symbols, cap):
+        direct = phi.evaluate(counts)
+        via_dnf = any(box.admits(counts) for box in boxes)
+        assert direct == via_dnf, (str(phi), counts)
+
+
+class TestEvaluation:
+    def test_exactly(self):
+        assert exactly("a", 2).satisfied_by_word(["a", "b", "a"])
+        assert not exactly("a", 2).satisfied_by_word(["a"])
+
+    def test_at_least(self):
+        assert at_least("a", 1).satisfied_by_word(["b", "a"])
+        assert not at_least("a", 1).satisfied_by_word(["b"])
+
+    def test_at_most_sugar(self):
+        assert at_most("a", 1).satisfied_by_word(["a"])
+        assert not at_most("a", 1).satisfied_by_word(["a", "a"])
+
+    def test_order_invisible(self):
+        phi = sl_and(exactly("a", 1), exactly("b", 1))
+        assert phi.satisfied_by_word(["a", "b"]) and phi.satisfied_by_word(["b", "a"])
+
+    def test_paper_example_coproducer(self):
+        # co-producer^>=1 -> producer^>=1
+        phi = sl_implies(at_least("co-producer", 1), at_least("producer", 1))
+        assert phi.satisfied_by_word(["producer", "co-producer"])
+        assert phi.satisfied_by_word(["producer"])
+        assert phi.satisfied_by_word([])
+        assert not phi.satisfied_by_word(["co-producer"])
+
+    def test_unmentioned_symbols_are_free(self):
+        assert at_least("a", 1).satisfied_by_word(["a", "z", "w"])
+
+    def test_only_symbols_pins_others(self):
+        phi = sl_and(at_least("a", 1), only_symbols(["a"], ["a", "z"]))
+        assert phi.satisfied_by_word(["a"])
+        assert not phi.satisfied_by_word(["a", "z"])
+
+    def test_invalid_atom(self):
+        with pytest.raises(ValueError):
+            SLAtom("a", "<", 1)
+        with pytest.raises(ValueError):
+            SLAtom("a", "=", -1)
+
+
+class TestParser:
+    def test_atoms(self):
+        assert parse_sl("a^=2") == exactly("a", 2)
+        assert parse_sl("a^>=3") == at_least("a", 3)
+
+    def test_precedence_and_over_or(self):
+        phi = parse_sl("a^=1 | b^=1 & c^=1")
+        assert phi.evaluate({"a": 1})
+        assert not phi.evaluate({"b": 1})
+
+    def test_negation(self):
+        phi = parse_sl("!(a^>=1)")
+        assert phi.evaluate({}) and not phi.evaluate({"a": 1})
+
+    def test_constants(self):
+        assert parse_sl("true").evaluate({})
+        assert not parse_sl("false").evaluate({})
+
+    def test_quoted_symbols(self):
+        phi = parse_sl("'co-producer'^>=1")
+        assert phi.evaluate({"co-producer": 1})
+
+    def test_errors(self):
+        for bad in ["a^", "a^=x", "a = 1", "(a^=1", "a^=1 &"]:
+            with pytest.raises(ValueError):
+                parse_sl(bad)
+
+
+class TestPositiveDNF:
+    def test_simple_atoms(self):
+        assert_dnf_equivalent(exactly("a", 2))
+        assert_dnf_equivalent(at_least("b", 3))
+
+    def test_negated_atoms_expand_positively(self):
+        assert_dnf_equivalent(sl_not(exactly("a", 2)))
+        assert_dnf_equivalent(sl_not(at_least("a", 2)))
+
+    def test_conjunction_merges_constraints(self):
+        assert_dnf_equivalent(sl_and(at_least("a", 1), at_least("a", 3)))
+        assert_dnf_equivalent(sl_and(exactly("a", 2), at_least("a", 1)))
+
+    def test_contradiction_pruned(self):
+        assert parse_sl("a^=2 & a^=3").to_positive_dnf() == []
+        assert parse_sl("a^=2 & a^>=3").to_positive_dnf() == []
+
+    def test_nested_negations(self):
+        assert_dnf_equivalent(parse_sl("!(a^=1 | !(b^>=2))"))
+
+    def test_demorgan_under_negation(self):
+        assert_dnf_equivalent(parse_sl("!(a^=1 & b^=1)"))
+
+    def test_boxes_contain_only_positive_atoms(self):
+        for box in parse_sl("!(a^=2 & b^>=1)").to_positive_dnf():
+            for _, constraint in box.constraints:
+                assert constraint.op in ("=", ">=")
+
+    def test_thm31_shape(self):
+        """The proof of Theorem 3.1 needs not(phi) as a disjunction of
+        conjunctions with integers bounded by max(phi) + 1."""
+        phi = parse_sl("a^=2 & (b^>=3 | c^=1)")
+        neg = sl_not(phi)
+        bound = phi.max_integer() + 1
+        for box in neg.to_positive_dnf():
+            for _, constraint in box.constraints:
+                assert constraint.count <= bound
+
+
+class TestSatisfiability:
+    def test_sat(self):
+        assert parse_sl("a^=2 | false").is_satisfiable()
+        assert not parse_sl("a^=2 & a^=1").is_satisfiable()
+        assert TRUE.is_satisfiable() and not FALSE.is_satisfiable()
+
+    def test_witness_satisfies(self):
+        phi = parse_sl("a^=2 & b^>=1")
+        w = phi.witness()
+        assert w is not None and phi.evaluate(w)
+
+    def test_witness_minimal(self):
+        phi = parse_sl("a^>=3")
+        assert sum(phi.witness().values()) == 3
+
+    def test_witness_none_when_unsat(self):
+        assert parse_sl("a^=1 & a^=2").witness() is None
+
+    def test_equivalence(self):
+        assert parse_sl("a^>=1 & a^>=2").equivalent(parse_sl("a^>=2"))
+        assert not parse_sl("a^>=1").equivalent(parse_sl("a^>=2"))
+        # De Morgan
+        assert sl_not(sl_or(exactly("a", 1), exactly("b", 1))).equivalent(
+            sl_and(sl_not(exactly("a", 1)), sl_not(exactly("b", 1)))
+        )
+
+
+class TestCountBox:
+    def test_merge_exact_exact(self):
+        c = CountConstraint("=", 2)
+        assert c.merge(CountConstraint("=", 2)) == c
+        assert c.merge(CountConstraint("=", 3)) is None
+
+    def test_merge_exact_atleast(self):
+        assert CountConstraint("=", 3).merge(CountConstraint(">=", 2)) == CountConstraint("=", 3)
+        assert CountConstraint("=", 1).merge(CountConstraint(">=", 2)) is None
+
+    def test_merge_atleast_atleast(self):
+        assert CountConstraint(">=", 1).merge(CountConstraint(">=", 4)) == CountConstraint(">=", 4)
+
+    def test_box_min_word(self):
+        box = CountBox.of({"a": CountConstraint(">=", 2), "b": CountConstraint("=", 0)})
+        counts = box.min_word_counts()
+        assert counts == {"a": 2}
+        assert box.admits(counts)
+
+    def test_conjoin_contradiction(self):
+        b1 = CountBox.of({"a": CountConstraint("=", 1)})
+        b2 = CountBox.of({"a": CountConstraint("=", 2)})
+        assert b1.conjoin(b2) is None
+
+
+class TestStructure:
+    def test_symbols(self):
+        assert parse_sl("a^=1 & !(b^>=2)").symbols() == {"a", "b"}
+
+    def test_max_integer(self):
+        assert parse_sl("a^=1 | b^>=7").max_integer() == 7
+        assert TRUE.max_integer() == 0
+
+    def test_atoms_collected(self):
+        assert len(parse_sl("a^=1 & (a^=1 | b^=2)").atoms()) == 3

@@ -1,0 +1,83 @@
+"""Property-based tests for SL: the positive DNF is a faithful normal
+form, and SL content-model DFAs agree with direct evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.content import SLContent
+from repro.logic.sl import (
+    SLFormula,
+    at_least,
+    exactly,
+    sl_and,
+    sl_not,
+    sl_or,
+)
+
+SYMBOLS = ("a", "b")
+
+
+@st.composite
+def formulas(draw, depth: int = 3) -> SLFormula:
+    if depth == 0:
+        s = draw(st.sampled_from(SYMBOLS))
+        n = draw(st.integers(0, 3))
+        return draw(st.sampled_from([exactly(s, n), at_least(s, n)]))
+    kind = draw(st.sampled_from(["atom", "not", "and", "or"]))
+    if kind == "atom":
+        return draw(formulas(depth=0))
+    if kind == "not":
+        return sl_not(draw(formulas(depth=depth - 1)))
+    left, right = draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1))
+    return sl_and(left, right) if kind == "and" else sl_or(left, right)
+
+
+count_maps = st.fixed_dictionaries({s: st.integers(0, 6) for s in SYMBOLS})
+
+
+@given(formulas(), count_maps)
+@settings(max_examples=200, deadline=None)
+def test_positive_dnf_equals_formula(phi, counts):
+    boxes = phi.to_positive_dnf()
+    assert phi.evaluate(counts) == any(b.admits(counts) for b in boxes)
+
+
+@given(formulas(), count_maps)
+@settings(max_examples=150, deadline=None)
+def test_negation_complements(phi, counts):
+    assert phi.evaluate(counts) != sl_not(phi).evaluate(counts)
+
+
+@given(formulas())
+@settings(max_examples=100, deadline=None)
+def test_satisfiable_iff_dnf_nonempty(phi):
+    assert phi.is_satisfiable() == bool(phi.to_positive_dnf())
+
+
+@given(formulas())
+@settings(max_examples=100, deadline=None)
+def test_witness_satisfies(phi):
+    w = phi.witness()
+    if w is None:
+        assert not phi.is_satisfiable()
+    else:
+        assert phi.evaluate(w)
+
+
+@given(formulas(depth=2), st.lists(st.sampled_from(SYMBOLS), max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_sl_content_dfa_agrees_with_evaluation(phi, word):
+    """The counting-DFA compilation used by the Theorem 3.2 pipeline must
+    agree with direct SL evaluation on every word."""
+    content = SLContent(phi)
+    dfa = content.to_dfa(frozenset(SYMBOLS))
+    assert dfa.accepts(tuple(word)) == phi.satisfied_by_word(word)
+
+
+@given(formulas(depth=2))
+@settings(max_examples=60, deadline=None)
+def test_sl_languages_are_star_free(phi):
+    """SL is a subclass of the star-free languages (FO without order):
+    its DFAs are aperiodic."""
+    dfa = SLContent(phi).to_dfa(frozenset(SYMBOLS))
+    assert dfa.is_aperiodic()

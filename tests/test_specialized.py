@@ -1,0 +1,128 @@
+"""Specialized DTDs (Definition 2.1) = unranked regular tree languages."""
+
+import pytest
+
+from repro.dtd import DTD, SpecializedDTD
+from repro.trees import parse_tree
+
+
+@pytest.fixture()
+def paper_singleton() -> SpecializedDTD:
+    """The motivating example: the singleton {a(b(c), b(d))}, which no
+    plain DTD can express (the two b's need different types)."""
+    core = DTD("a", {"a": "b1.b2", "b1": "c", "b2": "d"})
+    return SpecializedDTD(core, {"b1": "b", "b2": "b"})
+
+
+class TestPaperExample:
+    def test_accepts_the_singleton(self, paper_singleton):
+        assert paper_singleton.is_valid(parse_tree("a(b(c), b(d))"))
+
+    def test_rejects_uniform_variants(self, paper_singleton):
+        assert not paper_singleton.is_valid(parse_tree("a(b(c), b(c))"))
+        assert not paper_singleton.is_valid(parse_tree("a(b(d), b(d))"))
+
+    def test_rejects_swapped(self, paper_singleton):
+        assert not paper_singleton.is_valid(parse_tree("a(b(d), b(c))"))
+
+    def test_no_plain_dtd_equivalent(self, paper_singleton):
+        """Sanity: any plain DTD accepting a(b(c),b(d)) and giving b a
+        single content model also accepts a(b(c),b(c)) — specialization is
+        strictly more expressive."""
+        plain = DTD("a", {"a": "b.b", "b": "c + d"})
+        assert plain.is_valid(parse_tree("a(b(c), b(d))"))
+        assert plain.is_valid(parse_tree("a(b(c), b(c))"))  # unavoidable
+
+    def test_witness_specialization(self, paper_singleton):
+        witness = paper_singleton.witness_specialization(parse_tree("a(b(c), b(d))"))
+        assert witness is not None
+        labels = [n.label for n in witness.nodes()]
+        assert labels == ["a", "b1", "c", "b2", "d"]
+        assert paper_singleton.dtd_prime.is_valid(witness)
+
+    def test_witness_none_for_invalid(self, paper_singleton):
+        assert paper_singleton.witness_specialization(parse_tree("a(b(c))")) is None
+
+    def test_apply_mu(self, paper_singleton):
+        prime_tree = parse_tree("a(b1(c), b2(d))")
+        assert paper_singleton.apply_mu(prime_tree) == parse_tree("a(b(c), b(d))")
+
+
+class TestSubsetRun:
+    def test_specialization_sets(self, paper_singleton):
+        t = parse_tree("a(b(c), b(d))")
+        sets = paper_singleton.specialization_sets(t)
+        kids = t.root.children
+        assert sets[id(kids[0])] == {"b1"}
+        assert sets[id(kids[1])] == {"b2"}
+        assert sets[id(t.root)] == {"a"}
+
+    def test_ambiguous_specialization(self):
+        core = DTD("r", {"r": "x1 + x2", "x1": "eps", "x2": "eps"})
+        spec = SpecializedDTD(core, {"x1": "x", "x2": "x"})
+        t = parse_tree("r(x)")
+        sets = spec.specialization_sets(t)
+        assert sets[id(t.root.children[0])] == {"x1", "x2"}
+        assert spec.is_valid(t)
+
+
+class TestIdentityEmbedding:
+    def test_plain_dtd_as_specialized(self):
+        dtd = DTD("a", {"a": "b*.c"})
+        spec = SpecializedDTD(dtd)
+        for text, ok in [("a(b, b, c)", True), ("a(c, b)", False), ("a(c)", True)]:
+            assert spec.is_valid(parse_tree(text)) == ok == dtd.is_valid(parse_tree(text))
+
+
+class TestMultipleRoots:
+    def test_disjunctive_root_types(self):
+        core = DTD(
+            "good",
+            {"good": "x.x", "bad": "x"},
+            alphabet={"good", "bad", "x"},
+        )
+        spec = SpecializedDTD(core, {"good": "r", "bad": "r"}, roots={"good", "bad"})
+        assert spec.is_valid(parse_tree("r(x, x)"))
+        assert spec.is_valid(parse_tree("r(x)"))
+        assert not spec.is_valid(parse_tree("r(x, x, x)"))
+
+    def test_single_root_excludes_other(self):
+        core = DTD("good", {"good": "x.x", "bad": "x"}, alphabet={"good", "bad", "x"})
+        spec = SpecializedDTD(core, {"good": "r", "bad": "r"}, roots={"good"})
+        assert spec.is_valid(parse_tree("r(x, x)"))
+        assert not spec.is_valid(parse_tree("r(x)"))
+
+    def test_unknown_root_rejected(self):
+        core = DTD("a", {"a": "eps"})
+        with pytest.raises(ValueError):
+            SpecializedDTD(core, roots={"zzz"})
+
+
+class TestValidationErrors:
+    def test_mu_domain_checked(self):
+        core = DTD("a", {"a": "eps"})
+        with pytest.raises(ValueError):
+            SpecializedDTD(core, {"zzz": "a"})
+
+    def test_error_message(self, paper_singleton):
+        result = paper_singleton.validate(parse_tree("a(b(c))"))
+        assert not result.ok
+        assert "specialization" in str(result.error)
+
+
+class TestUnorderedSpecialized:
+    def test_sl_content_with_specialization(self):
+        """The Theorem 5.1 output type shape: specializations counted by
+        SL formulas."""
+        core = DTD(
+            "ok",
+            {
+                "ok": "w^>=1",
+                "bad": "w^=0",
+            },
+            unordered=True,
+            alphabet={"ok", "bad", "w"},
+        )
+        spec = SpecializedDTD(core, {"ok": "g", "bad": "g"}, roots={"ok"})
+        assert spec.is_valid(parse_tree("g(w)"))
+        assert not spec.is_valid(parse_tree("g"))

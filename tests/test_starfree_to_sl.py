@@ -1,0 +1,141 @@
+"""Lemmas (dagger)/(double-dagger): star-free expressions on profile
+words compile into SL, exhaustively cross-checked against the DFA."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import parse_regex
+from repro.automata.regex import Complement, Regex, concat, star, sym, union
+from repro.typecheck.starfree import (
+    NotStarFreeError,
+    star_free_to_sl,
+    star_free_to_sl_hom,
+)
+
+
+def check_dagger(regex_text: str, tags: list[str], cap: int = 5) -> None:
+    regex = parse_regex(regex_text)
+    sigma = frozenset(tags) | regex.symbols()
+    phi = star_free_to_sl(regex, tags, sigma)
+    dfa = regex.to_dfa(sigma)
+    for counts in itertools.product(range(cap + 1), repeat=len(tags)):
+        word = tuple(t for t, n in zip(tags, counts) for _ in range(n))
+        assert dfa.accepts(word) == phi.evaluate(dict(zip(tags, counts))), (
+            regex_text,
+            counts,
+        )
+
+
+class TestDagger:
+    @pytest.mark.parametrize(
+        "regex_text",
+        [
+            "a.a.b?",
+            "a*",
+            "a*.b*",
+            "a.b + b.a",
+            "eps",
+            "empty",
+            "~(a.b)",
+            "a*.b.b*",
+            "(a + b).(a + b)",
+            "~(empty)",
+            "a?.b?",
+        ],
+    )
+    def test_battery(self, regex_text):
+        check_dagger(regex_text, ["a", "b"])
+
+    def test_three_tags(self):
+        check_dagger("a*.b.c*", ["a", "b", "c"], cap=3)
+
+    def test_tags_absent_from_regex(self):
+        # phi must pin c to 0 whenever the regex cannot produce it.
+        check_dagger("a*", ["a", "c"])
+
+    def test_rejects_periodic(self):
+        with pytest.raises(NotStarFreeError):
+            star_free_to_sl(parse_regex("(a.a)*"), ["a"])
+
+    def test_rejects_mod3(self):
+        with pytest.raises(NotStarFreeError):
+            star_free_to_sl(parse_regex("(a.a.a)*"), ["a"])
+
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(ValueError):
+            star_free_to_sl(parse_regex("a*"), ["a", "a"])
+
+    def test_integer_sizes_bounded(self):
+        """(dagger): the integers of phi stay linear-ish in r — they are
+        bounded by the DFA's stabilization threshold."""
+        regex = parse_regex("a.a.a.b")
+        phi = star_free_to_sl(regex, ["a", "b"])
+        dfa = regex.to_dfa(frozenset({"a", "b"}))
+        assert phi.max_integer() <= dfa.n_states
+
+
+class TestDoubleDagger:
+    def test_repeated_tags(self):
+        # r = a.b.a? over children tagged (a, b, a): fresh b1, b2, b3.
+        pairs = [("b1", "a"), ("b2", "b"), ("b3", "a")]
+        regex = parse_regex("a.b.a?")
+        phi = star_free_to_sl_hom(regex, pairs)
+        dfa = regex.to_dfa(frozenset({"a", "b"}))
+        for counts in itertools.product(range(4), repeat=3):
+            word = tuple(
+                a for (_, a), n in zip(pairs, counts) for _ in range(n)
+            )
+            env = {b: n for (b, _), n in zip(pairs, counts)}
+            assert dfa.accepts(word) == phi.evaluate(env), counts
+
+    def test_homomorphic_image_property(self):
+        """h(L(phi) ∩ b1*..bk*) = L(r) ∩ a1*..ak* — spot-check the
+        set-level statement on small words."""
+        pairs = [("x1", "a"), ("x2", "a")]
+        regex = parse_regex("a.a")
+        phi = star_free_to_sl_hom(regex, pairs)
+        image = set()
+        for n1 in range(4):
+            for n2 in range(4):
+                if phi.evaluate({"x1": n1, "x2": n2}):
+                    image.add(n1 + n2)  # h collapses both to 'a'
+        direct = {n for n in range(7) if regex.to_dfa(frozenset({"a"})).accepts(("a",) * n)}
+        assert image == direct
+
+    def test_fresh_symbols_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            star_free_to_sl_hom(parse_regex("a*"), [("x", "a"), ("x", "a")])
+
+    def test_rejects_periodic(self):
+        with pytest.raises(NotStarFreeError):
+            star_free_to_sl_hom(parse_regex("(a.a)*"), [("x", "a")])
+
+
+@st.composite
+def star_free_regexes(draw, depth: int = 3) -> Regex:
+    """Random *syntactically* star-free expressions (no Kleene star)."""
+    if depth == 0:
+        return draw(st.sampled_from([sym("a"), sym("b")]))
+    kind = draw(st.sampled_from(["sym", "concat", "union", "complement"]))
+    if kind == "sym":
+        return draw(st.sampled_from([sym("a"), sym("b")]))
+    if kind == "complement":
+        return Complement(draw(star_free_regexes(depth=depth - 1)))
+    left = draw(star_free_regexes(depth=depth - 1))
+    right = draw(star_free_regexes(depth=depth - 1))
+    return concat(left, right) if kind == "concat" else union(left, right)
+
+
+@given(star_free_regexes())
+@settings(max_examples=60, deadline=None)
+def test_dagger_on_random_star_free(regex):
+    sigma = frozenset({"a", "b"})
+    phi = star_free_to_sl(regex, ["a", "b"], sigma)
+    dfa = regex.to_dfa(sigma)
+    for na in range(5):
+        for nb in range(5):
+            word = ("a",) * na + ("b",) * nb
+            assert dfa.accepts(word) == phi.evaluate({"a": na, "b": nb})

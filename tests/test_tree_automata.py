@@ -1,0 +1,160 @@
+"""Unranked tree automata and their equivalence with specialized DTDs
+(the paper's Section 2 citation of [3, 22])."""
+
+import pytest
+
+from repro.dtd import DTD, SpecializedDTD
+from repro.dtd.tree_automata import (
+    UnrankedTreeAutomaton,
+    from_specialized,
+    intersect_dtds,
+    to_specialized,
+)
+from repro.trees import parse_tree
+
+TREES = [
+    "a(b(c), b(d))",
+    "a(b(c), b(c))",
+    "a(b(d), b(c))",
+    "a(b(c))",
+    "a",
+    "a(b(c), b(d), b(c))",
+]
+
+
+@pytest.fixture()
+def singleton_spec() -> SpecializedDTD:
+    core = DTD("a", {"a": "b1.b2", "b1": "c", "b2": "d"})
+    return SpecializedDTD(core, {"b1": "b", "b2": "b"})
+
+
+@pytest.fixture()
+def even_bs_automaton() -> UnrankedTreeAutomaton:
+    """Accepts a-trees with an even number of b leaves."""
+    return UnrankedTreeAutomaton(
+        states={"qa", "qb"},
+        tag_of={"qa": "a", "qb": "b"},
+        horizontal={"qa": "(qb.qb)*", "qb": "eps"},
+        accepting={"qa"},
+    )
+
+
+class TestAutomaton:
+    def test_membership(self, even_bs_automaton):
+        assert even_bs_automaton.accepts(parse_tree("a"))
+        assert even_bs_automaton.accepts(parse_tree("a(b, b)"))
+        assert not even_bs_automaton.accepts(parse_tree("a(b)"))
+        assert not even_bs_automaton.accepts(parse_tree("a(b, b, b)"))
+
+    def test_wrong_tag_rejected(self, even_bs_automaton):
+        assert not even_bs_automaton.accepts(parse_tree("b"))
+
+    def test_reachable_states(self, even_bs_automaton):
+        t = parse_tree("a(b, b)")
+        sets = even_bs_automaton.reachable_states_of(t)
+        assert sets[id(t.root)] == {"qa"}
+        assert sets[id(t.root.children[0])] == {"qb"}
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            UnrankedTreeAutomaton({"q"}, {}, {}, set())
+        with pytest.raises(ValueError):
+            UnrankedTreeAutomaton({"q"}, {"q": "a"}, {}, {"zzz"})
+
+    def test_emptiness(self):
+        dead = UnrankedTreeAutomaton(
+            states={"q"},
+            tag_of={"q": "a"},
+            horizontal={"q": "q"},  # always needs a child: never bottoms out
+            accepting={"q"},
+        )
+        assert dead.is_empty()
+        alive = UnrankedTreeAutomaton(
+            states={"q"}, tag_of={"q": "a"}, horizontal={"q": "q*"}, accepting={"q"}
+        )
+        assert not alive.is_empty()
+
+    def test_emptiness_needs_accepting_productive(self):
+        aut = UnrankedTreeAutomaton(
+            states={"ok", "dead"},
+            tag_of={"ok": "a", "dead": "a"},
+            horizontal={"ok": "eps", "dead": "dead"},
+            accepting={"dead"},
+        )
+        assert aut.is_empty()
+
+
+class TestEquivalence:
+    def test_from_specialized_agrees(self, singleton_spec):
+        automaton = from_specialized(singleton_spec)
+        for text in TREES:
+            t = parse_tree(text)
+            assert automaton.accepts(t) == singleton_spec.is_valid(t), text
+
+    def test_to_specialized_agrees(self, even_bs_automaton):
+        spec = to_specialized(even_bs_automaton)
+        for text in ["a", "a(b)", "a(b, b)", "a(b, b, b)", "a(b, b, b, b)"]:
+            t = parse_tree(text)
+            assert spec.is_valid(t) == even_bs_automaton.accepts(t), text
+
+    def test_round_trip(self, singleton_spec):
+        again = to_specialized(from_specialized(singleton_spec))
+        for text in TREES:
+            t = parse_tree(text)
+            assert again.is_valid(t) == singleton_spec.is_valid(t), text
+
+
+class TestProduct:
+    def test_intersection_semantics(self, even_bs_automaton):
+        at_least_two = UnrankedTreeAutomaton(
+            states={"pa", "pb"},
+            tag_of={"pa": "a", "pb": "b"},
+            horizontal={"pa": "pb.pb.pb*", "pb": "eps"},
+            accepting={"pa"},
+        )
+        both = even_bs_automaton.intersect(at_least_two)
+        cases = {
+            "a": False,  # even (0) but fewer than two
+            "a(b)": False,
+            "a(b, b)": True,
+            "a(b, b, b)": False,  # odd
+            "a(b, b, b, b)": True,
+        }
+        for text, expected in cases.items():
+            assert both.accepts(parse_tree(text)) == expected, text
+
+    def test_disjoint_tags_empty(self, even_bs_automaton):
+        other = UnrankedTreeAutomaton(
+            states={"z"}, tag_of={"z": "zzz"}, horizontal={"z": "eps"}, accepting={"z"}
+        )
+        product = even_bs_automaton.intersect(other)
+        assert product.is_empty()
+
+    def test_intersect_plain_dtds(self):
+        """Plain DTDs are not closed under intersection; the product lands
+        in the specialized class — and agrees with membership pointwise."""
+        even = DTD("a", {"a": "(b.b)*"})
+        at_most_four = DTD("a", {"a": "b?.b?.b?.b?"})
+        both = intersect_dtds(even, at_most_four)
+        for n in range(7):
+            t = parse_tree("a" if n == 0 else "a(" + ", ".join(["b"] * n) + ")")
+            expected = even.is_valid(t) and at_most_four.is_valid(t)
+            assert both.is_valid(t) == expected, n
+
+    def test_intersect_specialized_with_plain(self, singleton_spec=None):
+        core = DTD("a", {"a": "b1.b2", "b1": "c", "b2": "d"})
+        spec = SpecializedDTD(core, {"b1": "b", "b2": "b"})
+        two_bs = DTD("a", {"a": "b.b", "b": "(c + d)?"})
+        both = intersect_dtds(spec, two_bs)
+        assert both.is_valid(parse_tree("a(b(c), b(d))"))
+        assert not both.is_valid(parse_tree("a(b(c), b(c))"))
+        assert not both.is_valid(parse_tree("a(b(c))"))
+
+    def test_product_emptiness_of_contradiction(self, even_bs_automaton):
+        odd_bs = UnrankedTreeAutomaton(
+            states={"oa", "ob"},
+            tag_of={"oa": "a", "ob": "b"},
+            horizontal={"oa": "ob.(ob.ob)*", "ob": "eps"},
+            accepting={"oa"},
+        )
+        assert even_bs_automaton.intersect(odd_bs).is_empty()

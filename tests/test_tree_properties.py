@@ -1,0 +1,122 @@
+"""Property-based tests for trees and value-assignment enumeration."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import parse_tree, to_term, tree_size
+from repro.trees.data_tree import DataTree, Node, document_order
+from repro.trees.values import (
+    assign_values,
+    enumerate_value_assignments,
+    enumerate_valued_trees,
+    fresh_values,
+)
+
+labels = st.sampled_from(["a", "b", "c", "root", "movie", "$"])
+values = st.one_of(st.none(), st.integers(-5, 5), st.sampled_from(["x", "y"]))
+
+
+@st.composite
+def trees(draw, max_depth: int = 3, max_children: int = 3) -> Node:
+    label = draw(labels)
+    value = draw(values)
+    if max_depth == 0:
+        return Node(label, value=value)
+    n = draw(st.integers(0, max_children))
+    children = [draw(trees(max_depth=max_depth - 1, max_children=2)) for _ in range(n)]
+    return Node(label, children, value)
+
+
+@given(trees())
+def test_term_round_trip(node):
+    tree = DataTree(node)
+    assert parse_tree(to_term(tree)) == tree
+
+
+@given(trees())
+def test_size_matches_preorder_count(node):
+    assert node.size() == len(list(node.iter_preorder()))
+
+
+@given(trees())
+def test_depth_bounded_by_size(node):
+    assert node.depth() < node.size()
+
+
+@given(trees())
+def test_copy_equal_but_distinct(node):
+    tree = DataTree(node)
+    clone = tree.copy()
+    assert clone == tree
+    assert clone.root is not tree.root
+
+
+@given(trees())
+def test_document_order_is_bijective(node):
+    order = document_order(node)
+    assert sorted(order.values()) == list(range(node.size()))
+
+
+@given(trees())
+def test_postorder_is_preorder_reversal_compatible(node):
+    pre = list(node.iter_preorder())
+    post = list(node.iter_postorder())
+    assert len(pre) == len(post)
+    assert post[-1] is node
+
+
+class TestValueAssignments:
+    def test_counts_no_constants(self):
+        # Restricted-growth strings = Bell numbers: B(3) = 5.
+        assert sum(1 for _ in enumerate_value_assignments(3)) == 5
+
+    def test_counts_capped_classes(self):
+        # Partitions of 3 elements into <= 2 blocks: S(3,1)+S(3,2) = 1+3 = 4.
+        assert sum(1 for _ in enumerate_value_assignments(3, max_classes=2)) == 4
+
+    def test_constants_multiply_choices(self):
+        # 1 node: one constant or one fresh class.
+        assert sum(1 for _ in enumerate_value_assignments(1, ["c"])) == 2
+
+    def test_all_distinct(self):
+        seen = set()
+        for assignment in enumerate_value_assignments(4, ["k"]):
+            assert assignment not in seen
+            seen.add(assignment)
+
+    def test_canonical_no_symmetric_duplicates(self):
+        # Equality patterns must be unique across assignments.
+        patterns = set()
+        for assignment in enumerate_value_assignments(4):
+            # The equality pattern (first index of each value) identifies
+            # the partition regardless of value names.
+            pattern = tuple(assignment.index(v) for v in assignment)
+            assert pattern not in patterns
+            patterns.add(pattern)
+
+    def test_assign_values_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            assign_values(parse_tree("a(b)"), ["only-one"])
+
+    def test_fresh_values_all_distinct(self):
+        t = fresh_values(parse_tree("a(b, c(d))"))
+        vals = [n.value for n in t.nodes()]
+        assert len(set(vals)) == len(vals)
+
+    def test_enumerate_valued_trees_sizes(self):
+        base = parse_tree("a(b)")
+        out = list(enumerate_valued_trees(base, max_classes=1))
+        assert len(out) == 1
+        assert all(tree_size(t) == 2 for t in out)
+
+
+@given(st.integers(1, 5), st.integers(1, 3))
+@settings(max_examples=30)
+def test_assignment_count_monotone_in_classes(n, cap):
+    smaller = sum(1 for _ in enumerate_value_assignments(n, max_classes=cap))
+    larger = sum(1 for _ in enumerate_value_assignments(n, max_classes=cap + 1))
+    assert smaller <= larger

@@ -1,0 +1,186 @@
+"""Data trees: structure, traversal, parsing, serialization."""
+
+import pytest
+
+from repro.trees import (
+    DataTree,
+    Node,
+    ParseError,
+    document_order,
+    parse_forest,
+    parse_tree,
+    to_term,
+    to_xml,
+    tree_depth,
+    tree_size,
+)
+
+
+class TestNode:
+    def test_label_required(self):
+        with pytest.raises(ValueError):
+            Node("")
+
+    def test_label_must_be_string(self):
+        with pytest.raises(ValueError):
+            Node(42)  # type: ignore[arg-type]
+
+    def test_add_child_returns_child(self):
+        root = Node("a")
+        child = root.add_child(Node("b"))
+        assert child.label == "b"
+        assert root.children == [child]
+
+    def test_size_single(self):
+        assert Node("a").size() == 1
+
+    def test_size_nested(self):
+        t = parse_tree("a(b(c, d), e)")
+        assert t.size() == 5
+
+    def test_depth_leaf_is_zero(self):
+        assert Node("a").depth() == 0
+
+    def test_depth_chain(self):
+        t = parse_tree("a(b(c(d)))")
+        assert t.depth() == 3
+
+    def test_preorder_is_document_order(self):
+        t = parse_tree("a(b(c), d)")
+        labels = [n.label for n in t.root.iter_preorder()]
+        assert labels == ["a", "b", "c", "d"]
+
+    def test_postorder_children_before_parent(self):
+        t = parse_tree("a(b(c), d)")
+        labels = [n.label for n in t.root.iter_postorder()]
+        assert labels.index("c") < labels.index("b")
+        assert labels[-1] == "a"
+
+    def test_leaves(self):
+        t = parse_tree("a(b(c), d)")
+        assert [n.label for n in t.root.leaves()] == ["c", "d"]
+
+    def test_child_word(self):
+        t = parse_tree("a(b, c, b)")
+        assert t.root.child_word() == ("b", "c", "b")
+
+    def test_copy_is_deep(self):
+        t = parse_tree("a(b)")
+        c = t.root.copy()
+        c.children[0].label = "z"
+        assert t.root.children[0].label == "b"
+
+    def test_equality_structural(self):
+        assert parse_tree("a(b, c)") == parse_tree("a(b, c)")
+        assert parse_tree("a(b, c)") != parse_tree("a(c, b)")
+
+    def test_equality_includes_values(self):
+        assert parse_tree("a[1]") != parse_tree("a[2]")
+        assert parse_tree("a[1]") == parse_tree("a[1]")
+
+    def test_hash_consistent_with_eq(self):
+        a, b = parse_tree("a(b[3], c)"), parse_tree("a(b[3], c)")
+        assert hash(a) == hash(b)
+
+
+class TestDataTree:
+    def test_requires_node(self):
+        with pytest.raises(TypeError):
+            DataTree("a")  # type: ignore[arg-type]
+
+    def test_labels(self):
+        assert parse_tree("a(b(c), b)").labels() == {"a", "b", "c"}
+
+    def test_values_excludes_none(self):
+        t = parse_tree("a(b['x'], c)")
+        assert t.values() == {"x"}
+
+    def test_nodes_in_document_order(self):
+        t = parse_tree("a(b, c(d))")
+        assert [n.label for n in t.nodes()] == ["a", "b", "c", "d"]
+
+    def test_tree_size_and_depth_helpers(self):
+        t = parse_tree("a(b(c))")
+        assert tree_size(t) == 3
+        assert tree_depth(t) == 2
+        assert tree_size(t.root) == 3
+
+    def test_document_order_positions(self):
+        t = parse_tree("a(b, c)")
+        order = document_order(t)
+        nodes = t.nodes()
+        assert order[id(nodes[0])] == 0
+        assert order[id(nodes[2])] == 2
+
+
+class TestParser:
+    def test_simple(self):
+        t = parse_tree("a")
+        assert t.root.label == "a" and not t.root.children
+
+    def test_nested_with_values(self):
+        t = parse_tree("a(b['hello world'], c[42])")
+        assert t.root.children[0].value == "hello world"
+        assert t.root.children[1].value == 42
+
+    def test_negative_int_value(self):
+        assert parse_tree("a[-3]").root.value == -3
+
+    def test_unquoted_value_stays_string(self):
+        assert parse_tree("a[v1]").root.value == "v1"
+
+    def test_quoted_label(self):
+        t = parse_tree("'$'(a)")
+        assert t.root.label == "$"
+
+    def test_escaped_quote_in_value(self):
+        t = parse_tree(r"a['it\'s']")
+        assert t.root.value == "it's"
+
+    def test_whitespace_insensitive(self):
+        assert parse_tree(" a ( b , c ) ") == parse_tree("a(b,c)")
+
+    def test_empty_parens(self):
+        assert parse_tree("a()") == parse_tree("a")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tree("a(b) extra")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tree("a(b")
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tree("a[]")
+
+    def test_forest(self):
+        forest = parse_forest("a(b), c, d(e)")
+        assert [t.root.label for t in forest] == ["a", "c", "d"]
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_tree("a(,)")
+        assert "position" in str(exc.value)
+
+
+class TestSerialize:
+    def test_term_round_trip(self):
+        text = "a(b['x'], c(d, d[7]), e)"
+        assert to_term(parse_tree(text)) == text
+
+    def test_term_quotes_odd_labels(self):
+        t = DataTree(Node("$", [Node("a")]))
+        assert parse_tree(to_term(t)) == t
+
+    def test_xml_leaf(self):
+        assert to_xml(parse_tree("a")) == "<a/>"
+
+    def test_xml_nesting_and_values(self):
+        xml = to_xml(parse_tree("a(b['x'])"))
+        assert xml == '<a>\n  <b value="x"/>\n</a>'
+
+    def test_xml_escapes(self):
+        xml = to_xml(DataTree(Node("a", value="<&>")))
+        assert "&lt;&amp;&gt;" in xml

@@ -1,0 +1,139 @@
+"""The dispatcher: routing along the decidability boundary."""
+
+import pytest
+
+from repro.dtd import DTD, SpecializedDTD
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+from repro.typecheck import UndecidableFragmentError, Verdict, typecheck
+from repro.typecheck.search import SearchBudget
+
+
+def copy_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+def tagvar_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("X", ("X",)),)),
+    )
+
+
+def recursive_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a*")]),
+        construct=ConstructNode("out", ()),
+    )
+
+
+TAU1 = DTD("root", {"root": "a.a?"})
+
+
+class TestDispatch:
+    def test_unordered_routes_to_thm31(self):
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        res = typecheck(copy_query(), TAU1, tau2, budget=SearchBudget(max_size=3))
+        assert res.algorithm == "thm-3.1-unordered"
+        assert res.verdict is Verdict.TYPECHECKS
+
+    def test_star_free_routes_to_thm32(self):
+        tau2 = DTD("out", {"out": "item.item*"})
+        res = typecheck(copy_query(), TAU1, tau2, budget=SearchBudget(max_size=3))
+        assert res.algorithm == "thm-3.2-starfree"
+
+    def test_regular_routes_to_thm35(self):
+        tau2 = DTD("out", {"out": "(item.item)*"})
+        res = typecheck(copy_query(), TAU1, tau2, budget=SearchBudget(max_size=3))
+        assert res.algorithm == "thm-3.5-regular"
+
+    def test_unordered_with_tag_variables_ok(self):
+        tau2 = DTD("out", {"out": "a^>=1"}, unordered=True)
+        res = typecheck(tagvar_query(), TAU1, tau2, budget=SearchBudget(max_size=3))
+        assert res.verdict is Verdict.TYPECHECKS
+
+    def test_free_variables_rejected(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", ("Z",)),
+            free_vars=("Z",),
+        )
+        with pytest.raises(ValueError, match="outermost"):
+            typecheck(q, TAU1, DTD("out", {"out": "a^>=0"}, unordered=True))
+
+
+class TestFOContentDispatch:
+    def test_qsat_instance_routes_to_search(self):
+        from repro.reductions.qsat import decisive_max_size, q3sat_to_typechecking
+
+        inst = q3sat_to_typechecking([[1, 2]], 1, 1)
+        res = typecheck(
+            inst.query,
+            inst.tau1,
+            inst.tau2,
+            budget=SearchBudget(max_size=decisive_max_size(inst)),
+        )
+        assert res.algorithm == "starfree-FO-search"
+        assert res.verdict is Verdict.TYPECHECKS
+        assert any("FO content" in n for n in res.notes)
+
+
+class TestUndecidableFragments:
+    def test_specialized_output_raises(self):
+        spec = SpecializedDTD(DTD("out", {"out": "item*"}))
+        with pytest.raises(UndecidableFragmentError) as exc:
+            typecheck(copy_query(), TAU1, spec)
+        assert "5.1" in exc.value.theorem
+
+    def test_recursive_query_raises(self):
+        tau2 = DTD("out", {"out": "item^>=0"}, unordered=True)
+        with pytest.raises(UndecidableFragmentError) as exc:
+            typecheck(recursive_query(), TAU1, tau2)
+        assert "5.3" in exc.value.theorem
+
+    def test_tag_variables_with_ordered_output_raises(self):
+        tau2 = DTD("out", {"out": "a.b?"})
+        with pytest.raises(UndecidableFragmentError):
+            typecheck(tagvar_query(), TAU1, tau2)
+
+    def test_projecting_with_regular_output_raises(self):
+        projecting = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        tau1 = DTD("root", {"root": "a*", "a": "b*"})
+        tau2 = DTD("out", {"out": "(item.item)*"})
+        with pytest.raises(UndecidableFragmentError, match="projection"):
+            typecheck(projecting, tau1, tau2)
+
+
+class TestForceSearch:
+    def test_refutes_outside_fragment(self):
+        # Recursive query emitting nothing under a DTD demanding children.
+        tau2 = DTD("out", {"out": "item.item*"})
+        res = typecheck(
+            recursive_query(), TAU1, tau2, budget=SearchBudget(max_size=3), force_search=True
+        )
+        assert res.verdict is Verdict.FAILS
+
+    def test_cannot_prove_outside_fragment(self):
+        rec = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a*")]),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        tau1_inf = DTD("root", {"root": "a*"})
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        res = typecheck(rec, tau1_inf, tau2, budget=SearchBudget(max_size=3), force_search=True)
+        assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+        assert any("refute" in n for n in res.notes)
+
+    def test_specialized_output_searchable(self):
+        core = DTD("out", {"out": "item1.item1", "item1": "eps"}, alphabet={"item"})
+        spec = SpecializedDTD(core, {"item1": "item"})
+        res = typecheck(
+            copy_query(), TAU1, spec, budget=SearchBudget(max_size=3), force_search=True
+        )
+        # one 'a' -> one item, but spec demands exactly two -> fails.
+        assert res.verdict is Verdict.FAILS

@@ -1,0 +1,154 @@
+"""End-to-end correctness: the typechecker's verdicts against a
+brute-force oracle on finite instance spaces.
+
+The oracle enumerates *every* instance of the input DTD and *every*
+semantically distinct data-value assignment, evaluates the query, and
+validates the output directly.  On these spaces the typechecker's verdict
+must be decisive and agree — across all three procedures (unordered,
+star-free via (dagger), regular)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd import DTD, enumerate_instances
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, Query, Where
+from repro.ql.eval import evaluate
+from repro.trees.values import enumerate_valued_trees
+from repro.typecheck import Verdict, typecheck
+from repro.typecheck.search import SearchBudget
+
+TAU1_POOL = [
+    DTD("root", {"root": "a.b?"}),
+    DTD("root", {"root": "(a + b).(a + b)?"}),
+    DTD("root", {"root": "a.a?", "a": "b?"}),
+    DTD("root", {"root": "b.a.a?"}),
+]
+
+TAU1_MAX_SIZE = 5
+
+
+def oracle_typechecks(query: Query, tau1: DTD, tau2) -> bool:
+    """Ground truth by total enumeration (labels x values)."""
+    from repro.ql.analysis import constants_used, has_data_conditions
+
+    constants = sorted(constants_used(query), key=repr)
+    for labels in enumerate_instances(tau1, TAU1_MAX_SIZE):
+        if has_data_conditions(query):
+            candidates = enumerate_valued_trees(labels, constants)
+        else:
+            from repro.trees.values import fresh_values
+
+            candidates = iter([fresh_values(labels)])
+        for tree in candidates:
+            out = evaluate(query, tree)
+            if out is not None and not tau2.validate(out).ok:
+                return False
+    return True
+
+
+def checker_verdict(query: Query, tau1: DTD, tau2) -> bool:
+    res = typecheck(
+        query,
+        tau1,
+        tau2,
+        budget=SearchBudget(max_size=TAU1_MAX_SIZE),
+        assume_projection_free=True,
+    )
+    assert res.verdict is not Verdict.NO_COUNTEREXAMPLE_FOUND, (
+        "finite space must be decisive: " + res.summary()
+    )
+    return res.verdict is Verdict.TYPECHECKS
+
+
+# -- query generator ------------------------------------------------------------
+
+paths = st.sampled_from(["a", "b", "a + b", "a.b", "b?"])
+conditions = st.sampled_from(
+    [None, ("X", "=", "Y"), ("X", "!=", "Y"), ("X", "=", Const("k"))]
+)
+
+
+@st.composite
+def queries(draw) -> Query:
+    p1 = draw(paths)
+    p2 = draw(paths)
+    two_vars = draw(st.booleans())
+    edges = [Edge.of(None, "X", p1)]
+    if two_vars:
+        edges.append(Edge.of(None, "Y", p2))
+    conds = []
+    cond = draw(conditions)
+    if cond is not None and two_vars:
+        left, op, right = cond
+        conds.append(Condition(left, op, right))
+    elif cond is not None and isinstance(cond[2], Const):
+        conds.append(Condition("X", cond[1], cond[2]))
+    args1 = ("X",)
+    children = [ConstructNode("item", args1)]
+    if two_vars and draw(st.booleans()):
+        children.append(ConstructNode("extra", ("Y",)))
+    return Query(
+        where=Where.of("root", edges, conds),
+        construct=ConstructNode("out", (), tuple(children)),
+    )
+
+
+TAU2_UNORDERED = [
+    DTD("out", {"out": "item^>=1"}, unordered=True, alphabet={"out", "item", "extra"}),
+    DTD("out", {"out": "item^=1"}, unordered=True, alphabet={"out", "item", "extra"}),
+    DTD("out", {"out": "item^=2 | item^=0"}, unordered=True, alphabet={"out", "item", "extra"}),
+    DTD("out", {"out": "extra^=0"}, unordered=True, alphabet={"out", "item", "extra"}),
+]
+
+TAU2_STARFREE = [
+    DTD("out", {"out": "item.item*"}, alphabet={"out", "item", "extra"}),
+    DTD("out", {"out": "item.extra?"}, alphabet={"out", "item", "extra"}),
+    DTD("out", {"out": "item*.extra*"}, alphabet={"out", "item", "extra"}),
+]
+
+TAU2_REGULAR = [
+    DTD("out", {"out": "(item.item)*"}, alphabet={"out", "item", "extra"}),
+    DTD("out", {"out": "(item.item)*.extra*"}, alphabet={"out", "item", "extra"}),
+]
+
+
+@given(queries(), st.integers(0, len(TAU1_POOL) - 1), st.integers(0, len(TAU2_UNORDERED) - 1))
+@settings(max_examples=40, deadline=None)
+def test_unordered_agrees_with_oracle(query, i1, i2):
+    tau1, tau2 = TAU1_POOL[i1], TAU2_UNORDERED[i2]
+    assert checker_verdict(query, tau1, tau2) == oracle_typechecks(query, tau1, tau2)
+
+
+@given(queries(), st.integers(0, len(TAU1_POOL) - 1), st.integers(0, len(TAU2_STARFREE) - 1))
+@settings(max_examples=30, deadline=None)
+def test_starfree_agrees_with_oracle(query, i1, i2):
+    tau1, tau2 = TAU1_POOL[i1], TAU2_STARFREE[i2]
+    assert checker_verdict(query, tau1, tau2) == oracle_typechecks(query, tau1, tau2)
+
+
+@given(queries(), st.integers(0, len(TAU1_POOL) - 1), st.integers(0, len(TAU2_REGULAR) - 1))
+@settings(max_examples=30, deadline=None)
+def test_regular_agrees_with_oracle(query, i1, i2):
+    tau1, tau2 = TAU1_POOL[i1], TAU2_REGULAR[i2]
+    assert checker_verdict(query, tau1, tau2) == oracle_typechecks(query, tau1, tau2)
+
+
+@pytest.mark.parametrize("i1", range(len(TAU1_POOL)))
+def test_cross_procedure_consistency(i1):
+    """The same semantic claim expressed as SL, star-free and regular
+    content must get the same verdict."""
+    tau1 = TAU1_POOL[i1]
+    query = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a + b")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    claims = [
+        DTD("out", {"out": "item^>=1"}, unordered=True, alphabet={"out", "item"}),
+        DTD("out", {"out": "item.item*"}, alphabet={"out", "item"}),
+        DTD("out", {"out": "item.item* & ~(empty)"}, alphabet={"out", "item"}),
+    ]
+    verdicts = {checker_verdict(query, tau1, c) for c in claims}
+    assert len(verdicts) == 1

@@ -1,0 +1,269 @@
+"""The three decision procedures of Section 3, end to end."""
+
+import pytest
+
+from repro.dtd import DTD
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.typecheck import (
+    NotStarFreeError,
+    Verdict,
+    typecheck_regular,
+    typecheck_starfree,
+    typecheck_unordered,
+)
+from repro.typecheck.search import SearchBudget
+from repro.typecheck.starfree import compile_output_dtd, relabel_construct
+
+
+def copy_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+TAU1 = DTD("root", {"root": "a*"})
+TAU1_BOUNDED = DTD("root", {"root": "a.a?"})  # finite instance space
+
+
+class TestTheorem31:
+    def test_fails_with_witness(self):
+        tau2 = DTD("out", {"out": "item^>=2"}, unordered=True)
+        res = typecheck_unordered(copy_query(), TAU1, tau2, SearchBudget(max_size=4))
+        assert res.verdict is Verdict.FAILS
+        assert res.counterexample is not None and res.output is not None
+        assert TAU1.is_valid(res.counterexample)
+        assert not tau2.is_valid(res.output)
+
+    def test_counterexample_is_minimal_size(self):
+        tau2 = DTD("out", {"out": "item^>=2"}, unordered=True)
+        res = typecheck_unordered(copy_query(), TAU1, tau2, SearchBudget(max_size=6))
+        # smallest violating input: root with exactly one 'a'.
+        assert res.counterexample.size() == 2
+
+    def test_proven_typechecks_on_finite_space(self):
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        res = typecheck_unordered(copy_query(), TAU1_BOUNDED, tau2, SearchBudget(max_size=3))
+        assert res.verdict is Verdict.TYPECHECKS
+        assert res.stats.exhausted_space
+
+    def test_budget_limited_inconclusive(self):
+        tau2 = DTD("out", {"out": "item^>=1"}, unordered=True)
+        res = typecheck_unordered(copy_query(), TAU1, tau2, SearchBudget(max_size=4))
+        assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+        assert any("not a completeness proof" in n for n in res.notes)
+
+    def test_rejects_recursive_query(self):
+        rec = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a*")]),
+            construct=ConstructNode("out", ()),
+        )
+        tau2 = DTD("out", {"out": "item^>=0"}, unordered=True)
+        with pytest.raises(ValueError, match="non-recursive"):
+            typecheck_unordered(rec, TAU1, tau2)
+
+    def test_rejects_ordered_output(self):
+        tau2 = DTD("out", {"out": "item.item"})
+        with pytest.raises(ValueError, match="unordered"):
+            typecheck_unordered(copy_query(), TAU1, tau2)
+
+    def test_data_conditions_explored(self):
+        """A query emitting items only for value-equal pairs: violation
+        requires the searcher to propose equal data values."""
+        q = Query(
+            where=Where.of(
+                "root",
+                [Edge.of(None, "X", "a"), Edge.of(None, "Y", "a")],
+                [Condition("X", "=", "Y"), Condition("X", "!=", "X")],
+            ),
+            construct=ConstructNode("out", ()),
+        )
+        # X != X is unsatisfiable: no output ever; out^>=1 DTD on outputs
+        # is vacuously satisfied, so nothing fails.
+        tau2 = DTD("out", {"out": "true"}, unordered=True)
+        res = typecheck_unordered(q, TAU1_BOUNDED, tau2, SearchBudget(max_size=3))
+        assert res.verdict is Verdict.TYPECHECKS
+
+    def test_equal_values_needed_for_violation(self):
+        q = Query(
+            where=Where.of(
+                "root",
+                [Edge.of(None, "X", "a"), Edge.of(None, "Y", "a")],
+                [Condition("X", "=", "Y"), Condition("X", "!=", "Y")],
+            ),
+            construct=ConstructNode("out", ()),
+        )
+        tau2 = DTD("out", {"out": "false"}, unordered=True)
+        # Conditions are contradictory: no bindings, no output, typechecks.
+        res = typecheck_unordered(q, TAU1_BOUNDED, tau2, SearchBudget(max_size=3))
+        assert res.verdict is Verdict.TYPECHECKS
+
+    def test_tag_variables_allowed(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", (), (ConstructNode("X", ("X",)),)),
+        )
+        tau2 = DTD("out", {"out": "a^=1"}, unordered=True)
+        res = typecheck_unordered(q, TAU1_BOUNDED, tau2, SearchBudget(max_size=3))
+        assert res.verdict is Verdict.FAILS  # two a's violate a^=1
+
+
+class TestRelabeling:
+    def test_fresh_tags_distinct(self):
+        relabeled, mapping = relabel_construct(copy_query())
+        tags = [n.label for n in relabeled.construct.walk()]
+        assert len(set(tags)) == len(tags)
+        assert all(t.startswith("_b") for t in tags)
+        assert set(mapping.values()) == {"out", "item"}
+
+    def test_structure_preserved(self):
+        sub = Query(
+            where=Where.of("root", [Edge.of("X", "Y", "b")]),
+            construct=ConstructNode("g", ("X",)),
+            free_vars=("X",),
+        )
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode(
+                "out", (), (ConstructNode("mid", ("X",), (NestedQuery(sub, ("X",)),)),)
+            ),
+        )
+        relabeled, mapping = relabel_construct(q)
+        assert len(mapping) == 3
+        assert len(list(relabeled.subqueries())) == 2
+
+    def test_tag_variables_rejected(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", (), (ConstructNode("X", ("X",)),)),
+        )
+        with pytest.raises(ValueError):
+            relabel_construct(q)
+
+
+class TestTheorem32:
+    def test_star_free_pass(self):
+        tau2 = DTD("out", {"out": "item.item*"})  # one or more
+        res = typecheck_starfree(copy_query(), TAU1_BOUNDED, tau2, SearchBudget(max_size=3))
+        assert res.verdict is Verdict.TYPECHECKS
+
+    def test_star_free_fail(self):
+        tau2 = DTD("out", {"out": "item.item"})  # exactly two
+        res = typecheck_starfree(copy_query(), TAU1, tau2, SearchBudget(max_size=4))
+        assert res.verdict is Verdict.FAILS
+
+    def test_order_sensitivity_detected(self):
+        """tau2 demands first*.second* in the *other* order than the
+        construct produces — the compilation must catch it."""
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a"), Edge.of(None, "Y", "a")]),
+            construct=ConstructNode(
+                "out", (), (ConstructNode("p", ("X",)), ConstructNode("q", ("Y",)))
+            ),
+        )
+        tau2_ok = DTD("out", {"out": "p*.q*"})
+        tau2_bad = DTD("out", {"out": "q.p"})  # requires q before p
+        assert (
+            typecheck_starfree(q, TAU1_BOUNDED, tau2_ok, SearchBudget(max_size=3)).verdict
+            is Verdict.TYPECHECKS
+        )
+        assert (
+            typecheck_starfree(q, TAU1_BOUNDED, tau2_bad, SearchBudget(max_size=3)).verdict
+            is Verdict.FAILS
+        )
+
+    def test_repeated_sibling_tags(self):
+        """Two construct children with the SAME tag — the (double-dagger)
+        case."""
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode(
+                "out", (), (ConstructNode("item", ("X",)), ConstructNode("item", ("X",)))
+            ),
+        )
+        tau2 = DTD("out", {"out": "item.item"})  # exactly two items
+        res = typecheck_starfree(q, TAU1_BOUNDED, tau2, SearchBudget(max_size=3))
+        # each binding yields one node per construct child; with >= 2 a's
+        # there are 2+2 items -> violation.
+        assert res.verdict is Verdict.FAILS
+
+    def test_root_tag_mismatch_always_fails(self):
+        tau2 = DTD("different", {"different": "item*"}, alphabet={"item", "out"})
+        res = typecheck_starfree(copy_query(), TAU1, tau2, SearchBudget(max_size=3))
+        assert res.verdict is Verdict.FAILS
+
+    def test_output_tag_missing_from_tau2(self):
+        tau2 = DTD("out", {"out": "other*"})  # 'item' not in tau2's world
+        res = typecheck_starfree(copy_query(), TAU1, tau2, SearchBudget(max_size=3))
+        assert res.verdict is Verdict.FAILS
+
+    def test_rejects_tag_variables(self):
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", (), (ConstructNode("X", ("X",)),)),
+        )
+        with pytest.raises(ValueError, match="tag variables"):
+            typecheck_starfree(q, TAU1, DTD("out", {"out": "a*"}))
+
+    def test_rejects_regular_output(self):
+        with pytest.raises(NotStarFreeError):
+            typecheck_starfree(copy_query(), TAU1, DTD("out", {"out": "(item.item)*"}))
+
+    def test_compiled_dtd_is_unordered(self):
+        from repro.dtd.content import ContentKind
+
+        relabeled, mapping = relabel_construct(copy_query())
+        tau2 = DTD("out", {"out": "item*"})
+        compiled = compile_output_dtd(relabeled, mapping, tau2)
+        assert compiled.kind() is ContentKind.UNORDERED
+
+
+class TestTheorem35:
+    def test_parity_violation_found(self):
+        tau2 = DTD("out", {"out": "(item.item)*"})  # even number of items
+        res = typecheck_regular(
+            copy_query(), TAU1, tau2, SearchBudget(max_size=4), assume_projection_free=True
+        )
+        assert res.verdict is Verdict.FAILS
+        assert res.counterexample.size() == 2  # one 'a' -> one item (odd)
+
+    def test_parity_satisfied_by_construction(self):
+        """A query that duplicates each item always emits even counts."""
+        q = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode(
+                "out", (), (ConstructNode("item", ("X",)), ConstructNode("item", ("X",)))
+            ),
+        )
+        tau2 = DTD("out", {"out": "(item.item)*"})
+        res = typecheck_regular(
+            q, TAU1_BOUNDED, tau2, SearchBudget(max_size=3), assume_projection_free=True
+        )
+        assert res.verdict is Verdict.TYPECHECKS
+
+    def test_moduli_reported(self):
+        tau2 = DTD("out", {"out": "(item.item)*"})
+        res = typecheck_regular(
+            copy_query(), TAU1, tau2, SearchBudget(max_size=2), assume_projection_free=True
+        )
+        assert any("moduli" in n for n in res.notes)
+
+    def test_projection_gate(self):
+        projecting = Query(
+            where=Where.of(
+                "root", [Edge.of(None, "X", "a"), Edge.of("X", "Y", "b")]
+            ),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        tau1 = DTD("root", {"root": "a*", "a": "b*"})
+        tau2 = DTD("out", {"out": "(item.item)*"})
+        with pytest.raises(ValueError, match="projection-free"):
+            typecheck_regular(projecting, tau1, tau2, SearchBudget(max_size=3))
+
+    def test_rejects_recursive(self):
+        rec = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a*")]),
+            construct=ConstructNode("out", ()),
+        )
+        with pytest.raises(ValueError, match="non-recursive"):
+            typecheck_regular(rec, TAU1, DTD("out", {"out": "item*"}))
