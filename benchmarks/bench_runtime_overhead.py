@@ -1,0 +1,62 @@
+"""Resilient-runtime overhead: the control hot path and checkpoint serde.
+
+Series: (a) the counterexample search with no control vs. a far-future
+deadline vs. deadline + memory ceiling — the per-instance polling cost
+must be noise against evaluation; (b) checkpoint JSON round-trip, the
+fixed cost paid once per interruption/resume (not per instance)."""
+
+import pytest
+
+from conftest import copy_query
+
+from repro.dtd import DTD
+from repro.runtime import Deadline, RuntimeControl, SearchCheckpoint
+from repro.typecheck import Verdict, typecheck_unordered
+from repro.typecheck.search import SearchBudget
+
+TAU1 = DTD("root", {"root": "a*"})
+TAU2 = DTD("out", {"out": "item0^>=0"}, unordered=True)
+BUDGET_SIZE = 7
+
+
+def _run(control=None):
+    return typecheck_unordered(
+        copy_query(), TAU1, TAU2, SearchBudget(max_size=BUDGET_SIZE), control=control
+    )
+
+
+def test_search_no_control(benchmark):
+    res = benchmark(_run)
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+
+
+def test_search_with_deadline_polling(benchmark):
+    """Same search, polling a deadline that never fires."""
+    res = benchmark(lambda: _run(RuntimeControl(deadline=Deadline.after(3600))))
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+
+
+def test_search_with_full_control(benchmark):
+    """Deadline + memory ceiling (stridden /proc probe) together."""
+    res = benchmark(
+        lambda: _run(RuntimeControl.with_deadline(3600, max_rss_mb=1024 * 1024))
+    )
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+
+
+@pytest.mark.parametrize("labels_consumed", [10, 10_000])
+def test_checkpoint_round_trip(benchmark, labels_consumed):
+    ckpt = SearchCheckpoint(
+        fingerprint="f" * 32,
+        algorithm="thm-3.1-unordered",
+        labels_consumed=labels_consumed,
+        values_done=17,
+        stats={
+            "label_trees_checked": labels_consumed,
+            "valued_trees_checked": labels_consumed * 3,
+            "max_size_reached": 9,
+        },
+        reason="deadline expired",
+    )
+    revived = benchmark(lambda: SearchCheckpoint.from_json(ckpt.to_json()))
+    assert revived == ckpt

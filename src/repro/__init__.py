@@ -42,11 +42,21 @@ from repro.dtd import DTD, SpecializedDTD
 from repro.logic.sl import SLFormula, at_least, exactly, parse_sl
 from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
 from repro.ql.eval import evaluate, evaluate_forest
+from repro.runtime import (
+    CancellationToken,
+    Deadline,
+    FaultInjector,
+    FaultPlan,
+    RuntimeControl,
+    SearchCheckpoint,
+)
 from repro.trees import DataTree, Node, parse_tree, to_term, to_xml
 from repro.typecheck import (
+    EvaluationError,
     TypecheckResult,
     UndecidableFragmentError,
     Verdict,
+    WitnessVerificationError,
     find_counterexample,
     typecheck,
 )
@@ -55,23 +65,31 @@ from repro.typecheck.search import SearchBudget
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
     "Condition",
     "Const",
     "ConstructNode",
     "DTD",
     "DataTree",
+    "Deadline",
     "Edge",
+    "EvaluationError",
+    "FaultInjector",
+    "FaultPlan",
     "NestedQuery",
     "Node",
     "Query",
     "Regex",
+    "RuntimeControl",
     "SLFormula",
     "SearchBudget",
+    "SearchCheckpoint",
     "SpecializedDTD",
     "TypecheckResult",
     "UndecidableFragmentError",
     "Verdict",
     "Where",
+    "WitnessVerificationError",
     "at_least",
     "evaluate",
     "evaluate_forest",

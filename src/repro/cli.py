@@ -25,9 +25,23 @@ Commands
         python -m repro typecheck --query q.json --input-dtd in.dtd \\
             --output-dtd out.dtd --unordered-output --max-size 6
 
+    Long runs are interruptible and resumable: ``--deadline SECONDS``
+    stops the search gracefully (verdict ``interrupted``, exit code 3)
+    and ``--checkpoint PATH`` persists the search cursor — rerunning the
+    same command with the same ``--checkpoint`` resumes exactly where the
+    previous invocation stopped::
+
+        python -m repro typecheck ... --deadline 2 --checkpoint run.ckpt
+        # ... interrupted: deadline expired; checkpoint written
+        python -m repro typecheck ... --deadline 2 --checkpoint run.ckpt
+        # resumes; repeats until a decisive verdict or budget exhaustion
+
 DTD files use the paper's rule syntax (see :mod:`repro.dtd.parser`);
 ``--dtd``/``--input-dtd``/``--output-dtd`` accept either a file path or an
 inline rule string.
+
+Exit codes: 0 — done (no violation); 1 — ``FAILS`` (counterexample
+found) or invalid document; 3 — interrupted by deadline/cancellation.
 """
 
 from __future__ import annotations
@@ -38,7 +52,27 @@ import sys
 from typing import Optional, Sequence
 
 from repro.dtd import DTD, enumerate_instances, parse_dtd
+from repro.runtime import (
+    CheckpointError,
+    OperationInterrupted,
+    RuntimeControl,
+    SearchCheckpoint,
+)
 from repro.trees import parse_tree, to_term, to_xml
+
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 3
+
+
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+    return value
+
+
+# argparse reports bad values as "invalid <type.__name__> value".
+_nonneg_float.__name__ = "non-negative number"
 
 
 def _load_dtd(spec: str, unordered: bool = False, root: Optional[str] = None) -> DTD:
@@ -63,10 +97,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_instances(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd, unordered=args.unordered, root=args.root)
+    control = _control_from_args(args)
     count = 0
-    for tree in enumerate_instances(dtd, args.max_size, limit=args.limit):
-        print(to_xml(tree) if args.xml else to_term(tree))
-        count += 1
+    try:
+        for tree in enumerate_instances(dtd, args.max_size, limit=args.limit, control=control):
+            print(to_xml(tree) if args.xml else to_term(tree))
+            count += 1
+    except OperationInterrupted as stop:
+        print(
+            f"-- interrupted after {count} instance(s): {stop.reason}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     print(f"-- {count} instance(s) of size <= {args.max_size}", file=sys.stderr)
     return 0
 
@@ -96,6 +138,16 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _control_from_args(args: argparse.Namespace) -> Optional[RuntimeControl]:
+    deadline = getattr(args, "deadline", None)
+    max_rss = getattr(args, "max_rss_mb", None)
+    if deadline is None and max_rss is None:
+        return None
+    if deadline is not None:
+        return RuntimeControl.with_deadline(deadline, max_rss_mb=max_rss)
+    return RuntimeControl(max_rss_mb=max_rss)
+
+
 def _cmd_typecheck(args: argparse.Namespace) -> int:
     from repro.ql.serde import query_from_json
     from repro.typecheck import Verdict, typecheck
@@ -109,14 +161,48 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
     else:
         query_text = args.query
     query = query_from_json(query_text)
-    result = typecheck(
-        query,
-        tau1,
-        tau2,
-        budget=SearchBudget(max_size=args.max_size),
-        force_search=args.force_search,
-    )
+    budget = SearchBudget(max_size=args.max_size)
+    if args.max_instances is not None:
+        budget.max_instances = args.max_instances
+    resume_from = None
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        try:
+            resume_from = SearchCheckpoint.load(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
+            print("(delete the file to start the search from scratch)", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"resuming from checkpoint {args.checkpoint}", file=sys.stderr)
+    try:
+        result = typecheck(
+            query,
+            tau1,
+            tau2,
+            budget=budget,
+            force_search=args.force_search,
+            control=_control_from_args(args),
+            resume_from=resume_from,
+        )
+    except CheckpointError as exc:
+        print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
+        print("(delete the file to start the search from scratch)", file=sys.stderr)
+        return EXIT_USAGE
     print(result.summary())
+    if result.verdict is Verdict.INTERRUPTED:
+        if args.checkpoint:
+            result.checkpoint.save(args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+        else:
+            print(
+                "interrupted without --checkpoint: progress discarded "
+                "(pass --checkpoint PATH to make the run resumable)",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        # Decisive verdict: the checkpoint is spent, drop it so a rerun
+        # starts fresh instead of resuming into a finished search.
+        os.remove(args.checkpoint)
     return 0 if result.verdict is not Verdict.FAILS else 1
 
 
@@ -141,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_inst.add_argument("--root", default=None)
     p_inst.add_argument("--unordered", action="store_true")
     p_inst.add_argument("--xml", action="store_true", help="print as XML")
+    p_inst.add_argument(
+        "--deadline",
+        type=_nonneg_float,
+        default=None,
+        help="stop enumerating after this many seconds (exit code 3)",
+    )
     p_inst.set_defaults(func=_cmd_instances)
 
     p_bounds = sub.add_parser("bounds", help="report symbolic counterexample bounds")
@@ -158,9 +250,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_tc.add_argument("--unordered-output", action="store_true")
     p_tc.add_argument("--max-size", type=int, default=6, help="search budget (input nodes)")
     p_tc.add_argument(
+        "--max-instances",
+        type=int,
+        default=None,
+        help="cap on valued inputs evaluated (default: SearchBudget default)",
+    )
+    p_tc.add_argument(
         "--force-search",
         action="store_true",
         help="run the refutation-only search outside the decidable fragments",
+    )
+    p_tc.add_argument(
+        "--deadline",
+        type=_nonneg_float,
+        default=None,
+        help="soft wall-clock deadline in seconds; on expiry the verdict "
+        "is 'interrupted' and the exit code is 3",
+    )
+    p_tc.add_argument(
+        "--max-rss-mb",
+        type=_nonneg_float,
+        default=None,
+        help="memory ceiling in MiB; exceeding it interrupts the search",
+    )
+    p_tc.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file: written when interrupted, resumed from when "
+        "it exists, removed on a decisive verdict",
     )
     p_tc.set_defaults(func=_cmd_typecheck)
 

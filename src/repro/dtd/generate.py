@@ -23,6 +23,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro.automata.dfa import DFA
 from repro.dtd.core import DTD
+from repro.runtime.control import RuntimeControl
 from repro.trees.data_tree import DataTree, Node
 
 _INF = float("inf")
@@ -176,12 +177,25 @@ def enumerate_instances(
     max_size: int,
     min_size: int = 1,
     limit: Optional[int] = None,
+    control: Optional[RuntimeControl] = None,
 ) -> Iterator[DataTree]:
     """Instances of the DTD in increasing size order, sizes
-    ``min_size..max_size``, up to ``limit`` trees."""
+    ``min_size..max_size``, up to ``limit`` trees.
+
+    The order is deterministic — the counterexample search's
+    checkpoint/resume machinery depends on it.  ``control`` makes the
+    enumeration interruptible: between trees it polls the
+    :class:`~repro.runtime.RuntimeControl` and raises
+    :class:`~repro.runtime.OperationInterrupted` when a deadline expires
+    or a cancellation is requested (enumeration has no partial result to
+    return, so the exception style is the right fit here; the search
+    engine does its own per-instance polling instead).
+    """
     produced = 0
     for size in range(max(1, min_size), max_size + 1):
         for node in enumerate_trees(dtd, dtd.root, size):
+            if control is not None:
+                control.raise_if_stopped()
             yield DataTree(node)
             produced += 1
             if limit is not None and produced >= limit:

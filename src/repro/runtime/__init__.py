@@ -1,0 +1,48 @@
+"""Resilient execution runtime for the long-running engines.
+
+The paper's decision procedures are CO-NEXPTIME searches; in a service
+they must be *interruptible* (deadlines, cancellation, memory ceilings),
+*resumable* (checkpoints that continue a search exactly where it
+stopped), and *testable under failure* (deterministic fault injection).
+This package provides those three pieces; the search engine
+(:mod:`repro.typecheck.search`) and the CLI consume them.
+
+* :class:`RuntimeControl` — the single knob threaded through every
+  long-running entry point; combines :class:`Deadline`,
+  :class:`CancellationToken`, a memory ceiling, and a
+  :class:`FaultInjector`.
+* :class:`SearchCheckpoint` — a resumable cursor into the deterministic
+  search sequence, JSON-serializable, fingerprint-guarded.
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic
+  cancellations and simulated evaluator failures for tests.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    SearchCheckpoint,
+    search_fingerprint,
+)
+from repro.runtime.control import (
+    CancellationToken,
+    Deadline,
+    OperationInterrupted,
+    RuntimeControl,
+    current_rss_mb,
+)
+from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault
+
+__all__ = [
+    "CancellationToken",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "Deadline",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "OperationInterrupted",
+    "RuntimeControl",
+    "SearchCheckpoint",
+    "current_rss_mb",
+    "search_fingerprint",
+]

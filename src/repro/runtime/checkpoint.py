@@ -1,0 +1,154 @@
+"""Search checkpoints: resumable cursors into the counterexample search.
+
+The bounded search (:func:`repro.typecheck.search.find_counterexample`)
+enumerates a *deterministic* sequence: label trees in increasing size
+(:func:`repro.dtd.generate.enumerate_instances` is exhaustive and
+duplicate-free in a fixed order), and for each label tree a fixed sequence
+of semantically distinct value assignments.  A checkpoint is therefore
+just a cursor into that sequence —
+
+* ``labels_consumed`` — raw label trees already drawn from the enumerator
+  (including ones skipped by sibling-order dedupe), and
+* ``values_done`` — valued candidates already evaluated for the label
+  tree *at* the cursor (0 when interruption fell on a tree boundary) —
+
+plus a snapshot of the search statistics.  Resuming replays the
+enumeration up to the cursor *without evaluating anything* (it only
+rebuilds the dedupe set), then continues exactly where the interrupted
+run stopped, so an interrupted-then-resumed search performs the same
+evaluations — and reaches the same verdict and the same
+``valued_trees_checked`` total — as an uninterrupted one.
+
+A checkpoint is only meaningful for the exact search it was taken from,
+so it carries a fingerprint of the query, both types, the budget, and the
+algorithm; :func:`repro.typecheck.search.find_counterexample` refuses a
+mismatched checkpoint with :class:`CheckpointMismatchError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "SearchCheckpoint",
+    "search_fingerprint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Malformed or unreadable checkpoint document."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The checkpoint belongs to a different search (query, types, budget
+    or algorithm differ)."""
+
+
+def search_fingerprint(
+    query: Any,
+    tau1: Any,
+    output_type: Any,
+    budget: Any,
+    algorithm: str,
+    vacuous_output_ok: bool,
+) -> str:
+    """Stable digest identifying one search configuration.
+
+    Built from ``repr`` of the plain-data query/DTD objects (deterministic
+    across processes: dataclasses of strings and ints) plus every budget
+    field; a validator callable contributes its qualified name.
+    """
+    if callable(output_type) and not hasattr(output_type, "rules"):
+        out_part = f"callable:{getattr(output_type, '__qualname__', repr(output_type))}"
+    else:
+        out_part = repr(output_type)
+    parts = [
+        f"v{CHECKPOINT_VERSION}",
+        repr(query),
+        repr(tau1),
+        out_part,
+        repr(budget),
+        algorithm,
+        str(vacuous_output_ok),
+    ]
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(slots=True)
+class SearchCheckpoint:
+    """Resumable state of one interrupted counterexample search."""
+
+    fingerprint: str
+    algorithm: str
+    labels_consumed: int
+    values_done: int
+    stats: dict[str, Any] = field(default_factory=dict)
+    reason: str = ""
+    version: int = CHECKPOINT_VERSION
+
+    # -- serde ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SearchCheckpoint":
+        if not isinstance(data, dict):
+            raise CheckpointError(f"checkpoint must be an object, got {type(data).__name__}")
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        try:
+            return cls(
+                fingerprint=str(data["fingerprint"]),
+                algorithm=str(data["algorithm"]),
+                labels_consumed=int(data["labels_consumed"]),
+                values_done=int(data["values_done"]),
+                stats=dict(data.get("stats", {})),
+                reason=str(data.get("reason", "")),
+                version=CHECKPOINT_VERSION,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "SearchCheckpoint":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- files ---------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write atomically (tmp + rename) so a crash mid-write never
+        leaves a truncated checkpoint behind."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=2))
+            handle.write("\n")
+        import os
+
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "SearchCheckpoint":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc

@@ -1,0 +1,151 @@
+"""Cooperative execution control: deadlines, cancellation, memory ceilings.
+
+Every decidable case of the paper is decided by the bounded counterexample
+search, whose worst case is CO-NEXPTIME — a single ``typecheck()`` call can
+legitimately run for hours.  A service cannot ship that loop without a way
+to stop it, so every long-running entry point accepts a
+:class:`RuntimeControl` and polls it *cooperatively*: between candidate
+instances the engine asks :meth:`RuntimeControl.stop_reason` and, when a
+deadline has passed, a token was cancelled, or the process grew past the
+memory ceiling, winds down gracefully — returning an ``INTERRUPTED``
+verdict carrying a resumable checkpoint instead of hanging or dying.
+
+Nothing here uses signals or threads for preemption; the engine is
+single-threaded and the checks are O(1) (the memory probe is stridden).
+A :class:`CancellationToken` may, however, be cancelled *from* another
+thread (e.g. a server's request-timeout watchdog): cancellation is a
+single attribute write, atomic under the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "CancellationToken",
+    "Deadline",
+    "OperationInterrupted",
+    "RuntimeControl",
+    "current_rss_mb",
+]
+
+
+class OperationInterrupted(Exception):
+    """Raised by generators/operations that cannot return a partial result
+    object (e.g. plain instance enumeration) when their
+    :class:`RuntimeControl` trips.  Carries the human-readable reason."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(slots=True)
+class Deadline:
+    """A soft wall-clock deadline (monotonic time).
+
+    ``Deadline.after(seconds)`` is the usual constructor.  "Soft" because
+    enforcement is cooperative: the engine checks between instances, so
+    overshoot is bounded by the cost of one candidate evaluation.
+    """
+
+    at_monotonic: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        if seconds < 0:
+            raise ValueError(f"deadline must be non-negative, got {seconds}")
+        return cls(time.monotonic() + seconds)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.at_monotonic
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at_monotonic - time.monotonic()
+
+
+@dataclass(slots=True)
+class CancellationToken:
+    """Cooperative cancellation flag.
+
+    ``cancel()`` may be called from any thread or from a fault-injection
+    hook; the engine observes it at the next instance boundary.
+    """
+
+    _cancelled: bool = False
+    _reason: str = "cancelled"
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+
+def current_rss_mb() -> Optional[float]:
+    """Resident set size of this process in MiB, or ``None`` where the
+    probe is unsupported (non-Linux without /proc)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE") / (1024 * 1024)
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+@dataclass(slots=True)
+class RuntimeControl:
+    """The one knob threaded through every long-running entry point.
+
+    Combines a wall-clock :class:`Deadline`, a :class:`CancellationToken`,
+    an optional memory ceiling, and an optional deterministic fault
+    injector (tests only; see :mod:`repro.runtime.faults`).  All fields
+    are optional — ``RuntimeControl()`` never stops anything.
+    """
+
+    deadline: Optional[Deadline] = None
+    token: Optional[CancellationToken] = None
+    max_rss_mb: Optional[float] = None
+    faults: Optional["object"] = None  # FaultInjector; untyped to avoid a cycle
+    memory_check_stride: int = 256
+    """The RSS probe reads /proc, so it runs only every this many checks."""
+
+    _checks: int = field(default=0, repr=False)
+
+    @classmethod
+    def with_deadline(cls, seconds: float, **kwargs) -> "RuntimeControl":
+        return cls(deadline=Deadline.after(seconds), **kwargs)
+
+    def stop_reason(self) -> Optional[str]:
+        """Why the operation should stop now, or ``None`` to continue.
+
+        This is the engine's per-instance poll; it must stay O(1).
+        """
+        if self.token is not None and self.token.cancelled:
+            return self.token.reason
+        if self.deadline is not None and self.deadline.expired():
+            return "deadline expired"
+        if self.max_rss_mb is not None:
+            self._checks += 1
+            if self._checks % self.memory_check_stride == 0:
+                rss = current_rss_mb()
+                if rss is not None and rss > self.max_rss_mb:
+                    return f"memory ceiling exceeded ({rss:.0f} MiB > {self.max_rss_mb:.0f} MiB)"
+        return None
+
+    def raise_if_stopped(self) -> None:
+        """Exception-style variant for operations without partial results
+        (e.g. :func:`repro.dtd.generate.enumerate_instances`)."""
+        reason = self.stop_reason()
+        if reason is not None:
+            raise OperationInterrupted(reason)

@@ -1,0 +1,80 @@
+"""Deterministic fault injection for the search engine (test harness).
+
+Timing-based interruption tests are flaky by construction; this module
+makes them deterministic.  A :class:`FaultInjector` attached to a
+:class:`~repro.runtime.control.RuntimeControl` can
+
+* force a cooperative cancellation exactly before the N-th valued
+  instance would be evaluated (``cancel_after_instances``), which is how
+  the cancel-then-resume equivalence tests cut a search at a precise,
+  reproducible point; and
+* simulate evaluator failures at chosen instance indices
+  (``fail_instances``), exercising the engine's structured-error path
+  (:class:`repro.typecheck.errors.EvaluationError`) without
+  monkeypatching the evaluator.
+
+Instance indices are *global* 0-based positions in the deterministic
+search sequence (equal to ``stats.valued_trees_checked`` at the moment
+the instance is about to be evaluated), so they address the same tree in
+a fresh run and in a resumed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FaultInjector", "FaultPlan", "InjectedFault"]
+
+
+class InjectedFault(RuntimeError):
+    """A simulated evaluator failure, planted by a :class:`FaultInjector`."""
+
+    def __init__(self, instance_index: int, message: str) -> None:
+        super().__init__(f"{message} (instance #{instance_index})")
+        self.instance_index = instance_index
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Declarative description of the faults to inject."""
+
+    cancel_after_instances: Optional[int] = None
+    """Request cooperative cancellation before instance #N is evaluated
+    (so exactly N instances get evaluated)."""
+
+    fail_instances: frozenset[int] = frozenset()
+    """Global instance indices at which the evaluator "fails"."""
+
+    fail_message: str = "injected evaluator failure"
+
+    def __post_init__(self) -> None:
+        if self.cancel_after_instances is not None and self.cancel_after_instances < 0:
+            raise ValueError("cancel_after_instances must be >= 0")
+        object.__setattr__(self, "fail_instances", frozenset(self.fail_instances))
+
+
+@dataclass(slots=True)
+class FaultInjector:
+    """Executes a :class:`FaultPlan` and counts what actually fired."""
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    cancellations_fired: int = 0
+    failures_fired: int = 0
+
+    def stop_reason(self, next_instance_index: int) -> Optional[str]:
+        """Consulted by the engine alongside the deadline/token checks,
+        with the index of the instance it is about to evaluate."""
+        limit = self.plan.cancel_after_instances
+        if limit is not None and next_instance_index >= limit:
+            self.cancellations_fired += 1
+            return f"fault injection: cancelled after {limit} instances"
+        return None
+
+    def evaluator_fault(self, instance_index: int) -> Optional[InjectedFault]:
+        """The exception the evaluator should "raise" on this instance,
+        or ``None`` for a healthy evaluation."""
+        if instance_index in self.plan.fail_instances:
+            self.failures_fired += 1
+            return InjectedFault(instance_index, self.plan.fail_message)
+        return None

@@ -31,9 +31,14 @@ from repro.typecheck.bounds import (
     thm31_bound,
     thm35_bound,
 )
+from repro.typecheck.errors import (
+    EvaluationError,
+    TypecheckEngineError,
+    WitnessVerificationError,
+)
 from repro.typecheck.ramsey import ramsey_bound, ramsey_bound_variant
 from repro.typecheck.result import SearchStats, TypecheckResult, Verdict
-from repro.typecheck.search import find_counterexample
+from repro.typecheck.search import SearchBudget, find_counterexample
 from repro.typecheck.starfree import (
     NotStarFreeError,
     star_free_to_sl,
@@ -44,11 +49,15 @@ from repro.typecheck.regular import decompose_profile_language, typecheck_regula
 from repro.typecheck.unordered import typecheck_unordered
 
 __all__ = [
+    "EvaluationError",
     "NotStarFreeError",
+    "SearchBudget",
     "SearchStats",
+    "TypecheckEngineError",
     "TypecheckResult",
     "UndecidableFragmentError",
     "Verdict",
+    "WitnessVerificationError",
     "cor41_bound",
     "decompose_profile_language",
     "find_counterexample",

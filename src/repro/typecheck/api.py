@@ -28,6 +28,8 @@ from repro.dtd.core import DTD
 from repro.dtd.specialized import SpecializedDTD
 from repro.ql.analysis import has_tag_variables, is_non_recursive, is_projection_free
 from repro.ql.ast import Query
+from repro.runtime.checkpoint import SearchCheckpoint
+from repro.runtime.control import RuntimeControl
 from repro.typecheck.result import TypecheckResult, Verdict
 from repro.typecheck.search import SearchBudget, find_counterexample
 from repro.typecheck.starfree import typecheck_starfree
@@ -51,12 +53,21 @@ def typecheck(
     budget: Optional[SearchBudget] = None,
     assume_projection_free: bool = False,
     force_search: bool = False,
+    control: Optional[RuntimeControl] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
 ) -> TypecheckResult:
     """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
 
     Dispatches to the strongest applicable decision procedure; raises
     :class:`UndecidableFragmentError` outside the decidable boundary
     unless ``force_search`` requests the refutation-only search.
+
+    ``control`` (a :class:`repro.runtime.RuntimeControl`) makes the run
+    interruptible: on deadline expiry, cancellation, or a memory ceiling
+    the verdict is ``INTERRUPTED`` and carries a checkpoint; pass it back
+    as ``resume_from`` to continue the very same search.  Dispatch is
+    deterministic, so the resumed call routes to the same procedure and
+    the checkpoint's fingerprint is verified before any work happens.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
@@ -65,7 +76,13 @@ def typecheck(
         if not force_search:
             raise UndecidableFragmentError(reason, theorem)
         result = find_counterexample(
-            query, tau1, tau2, budget=budget, algorithm="refutation-search"
+            query,
+            tau1,
+            tau2,
+            budget=budget,
+            algorithm="refutation-search",
+            control=control,
+            resume_from=resume_from,
         )
         if result.verdict is Verdict.TYPECHECKS:
             # Even exhausting a finite space is legitimate; keep it.
@@ -83,7 +100,9 @@ def typecheck(
         )
     kind = tau2.kind()
     if kind is ContentKind.UNORDERED:
-        return typecheck_unordered(query, tau1, tau2, budget=budget)
+        return typecheck_unordered(
+            query, tau1, tau2, budget=budget, control=control, resume_from=resume_from
+        )
     if has_tag_variables(query):
         return fallback(
             "tag variables with ordered output DTDs are outside the paper's "
@@ -97,14 +116,22 @@ def typecheck(
             # point), so the (dagger) pipeline cannot run.  Use the search
             # directly; on finite instance spaces it is still decisive.
             result = find_counterexample(
-                query, tau1, tau2, budget=budget, algorithm="starfree-FO-search"
+                query,
+                tau1,
+                tau2,
+                budget=budget,
+                algorithm="starfree-FO-search",
+                control=control,
+                resume_from=resume_from,
             )
             result.notes.append(
                 "FO content models are checked by direct search (no DFA "
                 "compilation; see Proposition 4.3)"
             )
             return result
-        return typecheck_starfree(query, tau1, tau2, budget=budget)
+        return typecheck_starfree(
+            query, tau1, tau2, budget=budget, control=control, resume_from=resume_from
+        )
     # Fully regular output DTD: Theorem 3.5 needs projection-freeness.
     if not assume_projection_free and not is_projection_free(query, tau1):
         return fallback(
@@ -118,4 +145,6 @@ def typecheck(
         tau2,
         budget=budget,
         assume_projection_free=True,
+        control=control,
+        resume_from=resume_from,
     )

@@ -1,0 +1,66 @@
+"""Structured failures of the typechecking engine.
+
+The search engine distinguishes three failure families and none of them
+may surface as a bare traceback from deep inside the loop:
+
+* :class:`WitnessVerificationError` — the engine found a counterexample
+  but could not re-verify it.  This is a soundness alarm (an engine bug),
+  so it must be a *real* exception: the previous ``assert``-based check
+  was silently stripped under ``python -O``.
+* :class:`EvaluationError` — the query evaluator (or output validator)
+  raised while processing one candidate.  The error carries which
+  instance failed and the phase, so a service can log/skip/abort with
+  context instead of losing the search position.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["EvaluationError", "TypecheckEngineError", "WitnessVerificationError"]
+
+
+class TypecheckEngineError(RuntimeError):
+    """Base class for engine (not verdict) failures."""
+
+
+class WitnessVerificationError(TypecheckEngineError):
+    """A candidate counterexample failed re-verification.
+
+    The search re-evaluates every witness before reporting ``FAILS``; a
+    mismatch means the evaluator or validator is non-deterministic or
+    buggy, and the verdict cannot be trusted.
+    """
+
+    def __init__(self, tree: Any, detail: str) -> None:
+        super().__init__(
+            f"counterexample failed re-verification ({detail}); "
+            "the evaluator/validator disagree with themselves — this is an "
+            "engine bug, not a typechecking verdict"
+        )
+        self.tree = tree
+        self.detail = detail
+
+
+class EvaluationError(TypecheckEngineError):
+    """The evaluator/validator raised on one candidate instance."""
+
+    def __init__(
+        self,
+        phase: str,
+        instance_index: int,
+        tree: Any,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(
+            f"{phase} failed on instance #{instance_index}: "
+            f"{type(cause).__name__ if cause else 'unknown error'}: {cause}"
+        )
+        self.phase = phase
+        self.instance_index = instance_index
+        self.tree = tree
+        self.cause = cause
+        self.checkpoint: Optional[Any] = None
+        """A :class:`repro.runtime.SearchCheckpoint` positioned *at* the
+        failing instance (the search engine attaches it), so a caller can
+        resume — the failing instance is retried, not double-counted."""

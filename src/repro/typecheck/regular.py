@@ -40,6 +40,8 @@ from repro.automata.regex import Regex, parse_regex
 from repro.dtd.core import DTD
 from repro.ql.analysis import has_tag_variables, is_non_recursive, is_projection_free
 from repro.ql.ast import ConstructNode, NestedQuery, Query
+from repro.runtime.checkpoint import SearchCheckpoint
+from repro.runtime.control import RuntimeControl
 from repro.typecheck.bounds import thm35_bound
 from repro.typecheck.result import TypecheckResult
 from repro.typecheck.search import SearchBudget, find_counterexample
@@ -177,9 +179,16 @@ def typecheck_regular(
     budget: Optional[SearchBudget] = None,
     assume_projection_free: bool = False,
     projection_check_size: int = 5,
+    control: Optional[RuntimeControl] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
 ) -> TypecheckResult:
     """Theorem 3.5: typecheck a projection-free, tag-variable-free,
-    non-recursive query against a fully regular output DTD."""
+    non-recursive query against a fully regular output DTD.
+
+    ``control`` makes the run interruptible; ``resume_from`` continues an
+    earlier ``INTERRUPTED`` run's checkpoint (the profile decomposition
+    and bound are recomputed deterministically on resume).
+    """
     if not is_non_recursive(query):
         raise ValueError(
             "Theorem 3.5 requires a non-recursive query; recursion makes "
@@ -208,6 +217,8 @@ def typecheck_regular(
         budget=budget,
         theoretical_bound=bound,
         algorithm="thm-3.5-regular",
+        control=control,
+        resume_from=resume_from,
     )
     result.notes.extend(notes)
     if moduli:

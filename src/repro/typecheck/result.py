@@ -3,7 +3,10 @@
 The paper's procedures are complete but their bounds are astronomically
 large, so the implementation is *anytime*: it searches candidate inputs in
 increasing size and stops at a configurable budget.  The verdict records
-which of the three situations occurred.
+which of the four situations occurred — including the graceful
+``INTERRUPTED`` outcome, where a deadline/cancellation cut the search and
+the result carries a resumable checkpoint instead of pretending the space
+was explored.
 """
 
 from __future__ import annotations
@@ -30,6 +33,13 @@ class Verdict(enum.Enum):
     """The search budget ran out below the theoretical bound; no violation
     was found among the inputs explored.  Not a proof."""
 
+    INTERRUPTED = "interrupted"
+    """A deadline, cancellation, or memory ceiling stopped the search
+    before its budget was spent.  No violation was found among the inputs
+    explored; the result carries a :class:`~repro.runtime.SearchCheckpoint`
+    from which ``find_counterexample(..., resume_from=...)`` continues the
+    search exactly where it stopped.  Not a proof."""
+
     def __bool__(self) -> bool:
         return self is Verdict.TYPECHECKS
 
@@ -45,6 +55,17 @@ class SearchStats:
     budget_max_size: int = 0
     budget_max_instances: int = 0
     exhausted_space: bool = False
+    resumed_from_checkpoint: bool = False
+    """Whether this run continued an earlier interrupted search (its
+    counters include the earlier run's work)."""
+
+    def budget_fraction(self) -> Optional[float]:
+        """Fraction of the *instance budget* consumed — the honest
+        coverage figure an ``INTERRUPTED`` verdict can report (the true
+        space is typically infinite or astronomical)."""
+        if not self.budget_max_instances:
+            return None
+        return min(1.0, self.valued_trees_checked / self.budget_max_instances)
 
 
 @dataclass(slots=True)
@@ -58,6 +79,11 @@ class TypecheckResult:
     stats: SearchStats = field(default_factory=SearchStats)
     algorithm: str = ""
     notes: list[str] = field(default_factory=list)
+    interruption: Optional[str] = None
+    """Why the search stopped early (``INTERRUPTED`` verdicts only)."""
+    checkpoint: Optional[Any] = None
+    """A :class:`repro.runtime.SearchCheckpoint` to resume from
+    (``INTERRUPTED`` verdicts only)."""
 
     def __bool__(self) -> bool:
         return bool(self.verdict)
@@ -75,6 +101,15 @@ class TypecheckResult:
             f"  searched {s.valued_trees_checked} valued inputs over "
             f"{s.label_trees_checked} label trees (sizes <= {s.max_size_reached})"
         )
+        if self.interruption:
+            lines.append(f"  interrupted:    {self.interruption}")
+            frac = s.budget_fraction()
+            if frac is not None:
+                lines.append(f"  budget covered: {frac:.1%} of {s.budget_max_instances} instances")
+            if self.checkpoint is not None:
+                lines.append("  checkpoint:     attached (resume_from=...)")
+        if s.resumed_from_checkpoint:
+            lines.append("  resumed from an earlier checkpoint (totals include prior work)")
         if s.theoretical_bound is not None:
             if s.theoretical_bound == float("inf"):
                 bound = "astronomical (tower of exponentials)"

@@ -14,13 +14,26 @@ The verdict is exact about what was proven:
 * ``TYPECHECKS`` is returned only when the search provably exhausted the
   space — either all of ``inst(tau1)`` (finite instance space) or the
   theoretical bound — with a complete value palette;
+* ``INTERRUPTED`` is returned when a :class:`~repro.runtime.RuntimeControl`
+  (deadline, cancellation, memory ceiling) stopped the search early; the
+  result carries a resumable :class:`~repro.runtime.SearchCheckpoint`;
 * otherwise ``NO_COUNTEREXAMPLE_FOUND``.
+
+Resumability rests on determinism: the search sequence (label trees in
+increasing size, then value assignments per tree) is a fixed order, so a
+checkpoint is a cursor ``(labels_consumed, values_done)`` into it.
+``resume_from=`` replays the enumeration up to the cursor without
+evaluating anything (rebuilding only the sibling-order dedupe set) and
+continues, making an interrupted-then-resumed run perform exactly the
+evaluations — and reach exactly the verdict and statistics — of an
+uninterrupted one.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 from repro.dtd.content import ContentKind, SLContent
 from repro.dtd.core import DTD, ValidationResult
@@ -29,8 +42,15 @@ from repro.dtd.specialized import SpecializedDTD
 from repro.ql.analysis import constants_used, has_data_conditions
 from repro.ql.ast import Query
 from repro.ql.eval import evaluate
+from repro.runtime.checkpoint import (
+    CheckpointMismatchError,
+    SearchCheckpoint,
+    search_fingerprint,
+)
+from repro.runtime.control import RuntimeControl
 from repro.trees.data_tree import DataTree, Node
 from repro.trees.values import assign_values, enumerate_value_assignments, fresh_values
+from repro.typecheck.errors import EvaluationError, WitnessVerificationError
 from repro.typecheck.result import SearchStats, TypecheckResult, Verdict
 
 OutputValidator = Callable[[DataTree], ValidationResult]
@@ -48,7 +68,9 @@ class SearchBudget:
     as there are nodes — complete)."""
 
     max_instances: int = 200_000
-    """Cap on the total number of valued inputs evaluated."""
+    """Cap on the total number of valued inputs evaluated (enforced
+    *before* evaluation: the engine never evaluates instance number
+    ``max_instances + 1``)."""
 
     prune_value_tags: bool = True
     """Enumerate value assignments only over nodes whose tags condition
@@ -100,9 +122,32 @@ def _value_relevant_tags(query: Query) -> Optional[frozenset[str]]:
     return frozenset(relevant)
 
 
-def _unordered_canonical(node: Node) -> tuple:
-    """Label-structure key invariant under sibling reordering."""
-    return (node.label, tuple(sorted(_unordered_canonical(c) for c in node.children)))
+# Interning table for canonical label structures: (label, sorted child
+# ids) -> small int.  Process-wide on purpose — ids must compare equal
+# across separately canonicalized trees, and the dedupe sets that consume
+# them are rebuilt from scratch on checkpoint resume.
+_canonical_ids: dict[tuple, int] = {}
+
+
+def _unordered_canonical(node: Node) -> int:
+    """Label-structure key invariant under sibling reordering.
+
+    Iterative (explicit post-order) AND hash-consed: each distinct shape
+    is interned to a flat integer, so trees deeper than the Python
+    recursion limit — which the enumerator can legitimately produce for
+    chain-shaped DTDs — neither blow the stack during construction nor
+    during the (otherwise deeply recursive) tuple hashing/comparison that
+    set membership would trigger.
+    """
+    ids: dict[int, int] = {}
+    for n in node.iter_postorder():
+        shape = (n.label, tuple(sorted(ids[id(c)] for c in n.children)))
+        interned = _canonical_ids.get(shape)
+        if interned is None:
+            interned = len(_canonical_ids)
+            _canonical_ids[shape] = interned
+        ids[id(n)] = interned
+    return ids[id(node)]
 
 
 def _order_insensitive(tau1: DTD, output_type) -> bool:
@@ -137,6 +182,20 @@ def _valued_candidates(labels: DataTree, constants, max_classes, relevant_tags):
         yield assign_values(labels, values)
 
 
+def _stop_reason(control: Optional[RuntimeControl], next_instance_index: int) -> Optional[str]:
+    """The cooperative per-instance poll: deadline/cancel/memory first,
+    then any fault-injection plan (tests)."""
+    if control is None:
+        return None
+    reason = control.stop_reason()
+    if reason is not None:
+        return reason
+    faults = control.faults
+    if faults is not None:
+        return faults.stop_reason(next_instance_index)
+    return None
+
+
 def find_counterexample(
     query: Query,
     tau1: DTD,
@@ -145,6 +204,8 @@ def find_counterexample(
     theoretical_bound: Optional[int | float] = None,
     vacuous_output_ok: bool = True,
     algorithm: str = "bounded-search",
+    control: Optional[RuntimeControl] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
 ) -> TypecheckResult:
     """Search ``inst(tau1)`` (up to the budget) for a tree whose query
     output violates the output type.
@@ -153,17 +214,40 @@ def find_counterexample(
     where clause has no binding at all, so no output tree exists; the
     paper's definition quantifies over answers, so "no answer" cannot
     violate the output DTD (the default).
+
+    ``control`` makes the search interruptible (see
+    :class:`repro.runtime.RuntimeControl`); an interrupted search returns
+    ``INTERRUPTED`` with a checkpoint, and ``resume_from=`` continues it
+    with identical semantics to an uninterrupted run.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
     budget = budget or SearchBudget()
     validate = _validator_for(output_type)
+    fingerprint = search_fingerprint(
+        query, tau1, output_type, budget, algorithm, vacuous_output_ok
+    )
 
     stats = SearchStats(
         theoretical_bound=theoretical_bound,
         budget_max_size=budget.max_size,
         budget_max_instances=budget.max_instances,
     )
+    resume_labels = 0
+    resume_values = 0
+    if resume_from is not None:
+        if resume_from.fingerprint != fingerprint:
+            raise CheckpointMismatchError(
+                "checkpoint was taken from a different search (query, types, "
+                f"budget or algorithm differ): {resume_from.fingerprint} != {fingerprint}"
+            )
+        resume_labels = resume_from.labels_consumed
+        resume_values = resume_from.values_done
+        stats.label_trees_checked = int(resume_from.stats.get("label_trees_checked", 0))
+        stats.valued_trees_checked = int(resume_from.stats.get("valued_trees_checked", 0))
+        stats.max_size_reached = int(resume_from.stats.get("max_size_reached", 0))
+        stats.resumed_from_checkpoint = True
+
     needs_values = has_data_conditions(query)
     constants = sorted(constants_used(query), key=repr)
     if needs_values and budget.prune_value_tags:
@@ -175,25 +259,116 @@ def find_counterexample(
     dedupe_order = budget.dedupe_sibling_order and _order_insensitive(tau1, output_type)
     seen_canonical: set[tuple] = set()
 
+    def make_checkpoint(reason: str, labels_consumed: int, values_done: int) -> SearchCheckpoint:
+        return SearchCheckpoint(
+            fingerprint=fingerprint,
+            algorithm=algorithm,
+            labels_consumed=labels_consumed,
+            values_done=values_done,
+            stats={
+                "label_trees_checked": stats.label_trees_checked,
+                "valued_trees_checked": stats.valued_trees_checked,
+                "max_size_reached": stats.max_size_reached,
+            },
+            reason=reason,
+        )
+
+    def interrupted(reason: str, labels_consumed: int, values_done: int) -> TypecheckResult:
+        checkpoint = make_checkpoint(reason, labels_consumed, values_done)
+        result = TypecheckResult(
+            Verdict.INTERRUPTED,
+            stats=stats,
+            algorithm=algorithm,
+            interruption=reason,
+            checkpoint=checkpoint,
+        )
+        result.notes.append(
+            "search interrupted before the budget was spent; resume with "
+            "find_counterexample(..., resume_from=result.checkpoint)"
+        )
+        return result
+
     exhausted_sizes = True
+    budget_hit = False
+    raw_index = 0  # position in the deterministic label-tree stream
     for labels in enumerate_instances(tau1, budget.max_size):
         if dedupe_order:
             key = _unordered_canonical(labels.root)
             if key in seen_canonical:
+                raw_index += 1
                 continue
-            seen_canonical.add(key)
-        stats.label_trees_checked += 1
-        stats.max_size_reached = max(stats.max_size_reached, labels.size())
+        else:
+            key = None
+        if raw_index < resume_labels:
+            # Fast-forward of a resumed search: this tree's candidates were
+            # fully evaluated (and counted) before the interruption; only
+            # the dedupe set needs replaying.
+            if dedupe_order:
+                seen_canonical.add(key)
+            raw_index += 1
+            continue
+
         if needs_values:
-            candidates = _valued_candidates(
+            candidates: Iterator[DataTree] = _valued_candidates(
                 labels, constants, budget.max_value_classes, relevant_tags
             )
         else:
             candidates = iter([fresh_values(labels)])
-        for tree in candidates:
+        values_done = 0
+        if raw_index == resume_labels and resume_values > 0:
+            # The tree the interruption fell on: skip what was already
+            # evaluated (its bookkeeping is in the restored stats).
+            candidates = itertools.islice(candidates, resume_values, None)
+            values_done = resume_values
+            if dedupe_order:
+                # The original run booked this tree with its first counted
+                # candidate; replay that part of the bookkeeping.
+                seen_canonical.add(key)
+
+        def count_instance() -> None:
+            # Per-tree bookkeeping rides with the first *counted* candidate
+            # so that a cursor with values_done == 0 means "nothing of this
+            # tree happened yet" — checkpoints taken at any point stay
+            # consistent with the restored statistics.
+            nonlocal values_done
+            if values_done == 0:
+                if dedupe_order:
+                    seen_canonical.add(key)
+                stats.label_trees_checked += 1
+                stats.max_size_reached = max(stats.max_size_reached, labels.size())
             stats.valued_trees_checked += 1
-            output = evaluate(query, tree)
+            values_done += 1
+
+        for tree in candidates:
+            reason = _stop_reason(control, stats.valued_trees_checked)
+            if reason is not None:
+                return interrupted(reason, raw_index, values_done)
+            if stats.valued_trees_checked >= budget.max_instances:
+                # Budget enforced *before* evaluation: never evaluate
+                # instance number max_instances + 1.
+                budget_hit = True
+                break
+            instance_index = stats.valued_trees_checked
+            injected = None
+            if control is not None and control.faults is not None:
+                injected = control.faults.evaluator_fault(instance_index)
+            # The counters move only after the instance is fully processed,
+            # so a failure checkpoint (cursor *at* the failing instance,
+            # instance uncounted) resumes by retrying it — no double count.
+            try:
+                if injected is not None:
+                    raise injected
+                output = evaluate(query, tree)
+            except Exception as exc:
+                error = EvaluationError("query evaluation", instance_index, tree, exc)
+                error.checkpoint = make_checkpoint(
+                    f"evaluator failure on instance #{instance_index}",
+                    raw_index,
+                    values_done,
+                )
+                raise error from exc
             if output is None:
+                count_instance()
                 if vacuous_output_ok:
                     continue
                 return TypecheckResult(
@@ -204,9 +379,32 @@ def find_counterexample(
                     stats=stats,
                     algorithm=algorithm,
                 )
-            result = validate(output)
+            try:
+                result = validate(output)
+            except Exception as exc:
+                error = EvaluationError("output validation", instance_index, tree, exc)
+                error.checkpoint = make_checkpoint(
+                    f"validator failure on instance #{instance_index}",
+                    raw_index,
+                    values_done,
+                )
+                raise error from exc
+            count_instance()
             if not result.ok:
-                assert not validate(evaluate(query, tree)).ok  # re-verify the witness
+                recheck_output = evaluate(query, tree)
+                recheck = (
+                    validate(recheck_output) if recheck_output is not None else None
+                )
+                if recheck is None or recheck.ok:
+                    # Not stripped under ``python -O`` (the assert-based
+                    # predecessor was): a witness that fails re-verification
+                    # means the engine itself is unsound.
+                    raise WitnessVerificationError(
+                        tree,
+                        "validator accepted the output on re-evaluation"
+                        if recheck is not None
+                        else "query produced no output on re-evaluation",
+                    )
                 return TypecheckResult(
                     Verdict.FAILS,
                     counterexample=tree,
@@ -215,11 +413,10 @@ def find_counterexample(
                     stats=stats,
                     algorithm=algorithm,
                 )
-            if stats.valued_trees_checked >= budget.max_instances:
-                exhausted_sizes = False
-                break
-        if not exhausted_sizes:
+        if budget_hit:
+            exhausted_sizes = False
             break
+        raw_index += 1
 
     # Decide whether the exploration was complete.
     space_bound = max_instance_size(tau1)

@@ -40,6 +40,8 @@ from repro.dtd.content import ContentKind
 from repro.logic.sl import FALSE, SLFormula, at_least, exactly, sl_and, sl_or
 from repro.ql.analysis import has_tag_variables, is_non_recursive
 from repro.ql.ast import ConstructNode, NestedQuery, Query
+from repro.runtime.checkpoint import SearchCheckpoint
+from repro.runtime.control import RuntimeControl
 from repro.typecheck.bounds import thm31_bound
 from repro.typecheck.result import TypecheckResult
 from repro.typecheck.search import SearchBudget, find_counterexample
@@ -232,9 +234,16 @@ def typecheck_starfree(
     tau1: DTD,
     tau2: DTD,
     budget: Optional[SearchBudget] = None,
+    control: Optional[RuntimeControl] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
 ) -> TypecheckResult:
     """Theorem 3.2: typecheck a non-recursive, tag-variable-free query
-    against a star-free output DTD by compiling to the unordered case."""
+    against a star-free output DTD by compiling to the unordered case.
+
+    The (double-dagger) relabeling is deterministic, so a checkpoint taken
+    from an interrupted run resumes correctly: the compiled search is
+    rebuilt identically and ``resume_from`` lands on the same cursor.
+    """
     if not is_non_recursive(query):
         raise ValueError(
             "Theorem 3.2 requires a non-recursive query; recursion makes "
@@ -256,6 +265,8 @@ def typecheck_starfree(
         budget=budget,
         theoretical_bound=bound,
         algorithm="thm-3.2-starfree",
+        control=control,
+        resume_from=resume_from,
     )
     result.notes.append(
         f"compiled {len(mapping)} construct tags to SL via (double-dagger); "

@@ -17,6 +17,8 @@ from repro.dtd.content import ContentKind
 from repro.dtd.core import DTD
 from repro.ql.analysis import is_non_recursive
 from repro.ql.ast import Query
+from repro.runtime.checkpoint import SearchCheckpoint
+from repro.runtime.control import RuntimeControl
 from repro.typecheck.bounds import thm31_bound
 from repro.typecheck.result import TypecheckResult
 from repro.typecheck.search import SearchBudget, find_counterexample
@@ -41,9 +43,15 @@ def typecheck_unordered(
     tau1: DTD,
     tau2: DTD,
     budget: Optional[SearchBudget] = None,
+    control: Optional[RuntimeControl] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
 ) -> TypecheckResult:
     """Decide (within budget) whether every output of ``query`` on
-    ``inst(tau1)`` satisfies the unordered DTD ``tau2``."""
+    ``inst(tau1)`` satisfies the unordered DTD ``tau2``.
+
+    ``control`` makes the run interruptible (deadline/cancel/memory);
+    ``resume_from`` continues an earlier ``INTERRUPTED`` run's checkpoint.
+    """
     check_preconditions_thm31(query, tau2)
     bound = thm31_bound(query, tau1, tau2)
     return find_counterexample(
@@ -53,4 +61,6 @@ def typecheck_unordered(
         budget=budget,
         theoretical_bound=bound,
         algorithm="thm-3.1-unordered",
+        control=control,
+        resume_from=resume_from,
     )

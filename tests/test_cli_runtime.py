@@ -1,0 +1,108 @@
+"""CLI surface of the resilient runtime: --deadline, --max-instances,
+and the --checkpoint write/resume/cleanup lifecycle (exit code 3)."""
+
+import os
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, EXIT_USAGE, main
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, Query, Where
+from repro.ql.serde import query_to_json
+from repro.runtime import SearchCheckpoint
+
+
+@pytest.fixture()
+def query_file(tmp_path):
+    query = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const(1))]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    path = tmp_path / "query.json"
+    path.write_text(query_to_json(query))
+    return str(path)
+
+
+def typecheck_args(query_file, *extra):
+    return [
+        "typecheck",
+        "--query", query_file,
+        "--input-dtd", "root -> a*",
+        "--output-dtd", "out -> item^>=0",
+        "--unordered-output",
+        "--max-size", "6",
+        *extra,
+    ]
+
+
+class TestTypecheckDeadline:
+    def test_expired_deadline_exits_3(self, query_file, capsys):
+        rc = main(typecheck_args(query_file, "--deadline", "0"))
+        assert rc == EXIT_INTERRUPTED
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.out
+        assert "deadline expired" in captured.out
+        assert "--checkpoint" in captured.err  # hint that progress was lost
+
+    def test_checkpoint_written_on_interrupt(self, query_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        rc = main(typecheck_args(query_file, "--deadline", "0", "--checkpoint", ckpt))
+        assert rc == EXIT_INTERRUPTED
+        assert os.path.exists(ckpt)
+        assert "checkpoint written" in capsys.readouterr().err
+        loaded = SearchCheckpoint.load(ckpt)
+        assert loaded.reason == "deadline expired"
+
+    def test_resume_completes_and_cleans_up(self, query_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        rc = main(typecheck_args(query_file, "--deadline", "0", "--checkpoint", ckpt))
+        assert rc == EXIT_INTERRUPTED
+        # Rerun without a deadline: resumes, reaches a decisive verdict,
+        # and removes the spent checkpoint.
+        rc = main(typecheck_args(query_file, "--checkpoint", ckpt))
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "resuming from checkpoint" in captured.err
+        assert "resumed from an earlier checkpoint" in captured.out
+        assert not os.path.exists(ckpt)
+
+    def test_max_instances_override(self, query_file, capsys):
+        rc = main(typecheck_args(query_file, "--max-instances", "4"))
+        assert rc == 0
+        assert "4" in capsys.readouterr().out  # instances figure in summary
+
+
+class TestTypecheckBadInput:
+    def test_corrupted_checkpoint_clean_error(self, query_file, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        ckpt.write_text("{garbage")
+        rc = main(typecheck_args(query_file, "--checkpoint", str(ckpt)))
+        assert rc == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "not valid JSON" in err
+
+    def test_mismatched_checkpoint_clean_error(self, query_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        rc = main(typecheck_args(query_file, "--deadline", "0", "--checkpoint", ckpt))
+        assert rc == EXIT_INTERRUPTED
+        # Same checkpoint, different budget: a different search.
+        rc = main(typecheck_args(query_file, "--checkpoint", ckpt, "--max-size", "9"))
+        assert rc == EXIT_USAGE
+        assert "different search" in capsys.readouterr().err
+
+    def test_negative_deadline_rejected_by_parser(self, query_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(typecheck_args(query_file, "--deadline", "-5"))
+        assert exc.value.code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+
+class TestInstancesDeadline:
+    def test_zero_deadline_interrupts(self, capsys):
+        rc = main(["instances", "--dtd", "a -> b*", "--max-size", "8", "--deadline", "0"])
+        assert rc == EXIT_INTERRUPTED
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_no_deadline_unchanged(self, capsys):
+        rc = main(["instances", "--dtd", "a -> b*", "--max-size", "3"])
+        assert rc == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3

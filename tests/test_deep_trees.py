@@ -95,3 +95,29 @@ class TestLongPCPEncodings:
         t = parse_tree(text)
         assert t.depth() == 200
         assert parse_tree(to_term(t)) == t
+
+
+class TestDeepCanonicalization:
+    def test_unordered_canonical_on_deep_chain(self, deep_chain):
+        """The search's sibling-order dedupe key is built iteratively and
+        survives trees deeper than the interpreter recursion limit."""
+        from repro.typecheck.search import _unordered_canonical
+
+        key = _unordered_canonical(deep_chain.root)
+        assert _unordered_canonical(deep_chain.copy().root) == key
+
+    def test_unordered_canonical_ignores_sibling_order_when_deep(self):
+        from repro.typecheck.search import _unordered_canonical
+
+        def chain(order):
+            root = Node("r")
+            cursor = root
+            for i in range(DEPTH):
+                nxt = Node("a")
+                for tag in (order if i == DEPTH - 1 else ("b",)):
+                    nxt.add_child(Node(tag))
+                cursor.add_child(nxt)
+                cursor = nxt
+            return root
+
+        assert _unordered_canonical(chain(("x", "y"))) == _unordered_canonical(chain(("y", "x")))

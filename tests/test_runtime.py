@@ -1,0 +1,195 @@
+"""Units of the resilient-execution runtime: deadlines, cancellation,
+memory ceilings, checkpoint serde, and the deterministic fault injector."""
+
+import time
+
+import pytest
+
+from repro.dtd import DTD
+from repro.dtd.generate import enumerate_instances
+from repro.runtime import (
+    CancellationToken,
+    CheckpointError,
+    CheckpointMismatchError,
+    Deadline,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    OperationInterrupted,
+    RuntimeControl,
+    SearchCheckpoint,
+    current_rss_mb,
+)
+
+
+class TestDeadline:
+    def test_future_deadline_not_expired(self):
+        d = Deadline.after(60)
+        assert not d.expired()
+        assert 0 < d.remaining() <= 60
+
+    def test_zero_deadline_expires_immediately(self):
+        assert Deadline.after(0).expired()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1)
+
+    def test_expiry_with_wall_clock(self):
+        d = Deadline.after(0.01)
+        time.sleep(0.02)
+        assert d.expired() and d.remaining() < 0
+
+
+class TestCancellationToken:
+    def test_initially_clear(self):
+        token = CancellationToken()
+        assert not token.cancelled
+
+    def test_cancel_sets_flag_and_reason(self):
+        token = CancellationToken()
+        token.cancel("user hit ^C")
+        assert token.cancelled
+        assert token.reason == "user hit ^C"
+
+
+class TestRuntimeControl:
+    def test_empty_control_never_stops(self):
+        control = RuntimeControl()
+        assert control.stop_reason() is None
+        control.raise_if_stopped()  # no exception
+
+    def test_deadline_stop(self):
+        control = RuntimeControl.with_deadline(0)
+        assert control.stop_reason() == "deadline expired"
+
+    def test_token_stop_takes_priority(self):
+        token = CancellationToken()
+        token.cancel("shutdown")
+        control = RuntimeControl(deadline=Deadline.after(0), token=token)
+        assert control.stop_reason() == "shutdown"
+
+    def test_raise_if_stopped(self):
+        control = RuntimeControl.with_deadline(0)
+        with pytest.raises(OperationInterrupted, match="deadline expired"):
+            control.raise_if_stopped()
+
+    @pytest.mark.skipif(current_rss_mb() is None, reason="no /proc RSS probe here")
+    def test_memory_ceiling(self):
+        control = RuntimeControl(max_rss_mb=0.001, memory_check_stride=1)
+        reason = control.stop_reason()
+        assert reason is not None and "memory ceiling" in reason
+
+    @pytest.mark.skipif(current_rss_mb() is None, reason="no /proc RSS probe here")
+    def test_memory_probe_is_stridden(self):
+        control = RuntimeControl(max_rss_mb=0.001, memory_check_stride=100)
+        assert all(control.stop_reason() is None for _ in range(99))
+        assert control.stop_reason() is not None
+
+    def test_generous_memory_ceiling_passes(self):
+        control = RuntimeControl(max_rss_mb=10**6, memory_check_stride=1)
+        assert control.stop_reason() is None
+
+
+class TestCheckpointSerde:
+    def checkpoint(self) -> SearchCheckpoint:
+        return SearchCheckpoint(
+            fingerprint="abc123",
+            algorithm="thm-3.1-unordered",
+            labels_consumed=42,
+            values_done=7,
+            stats={"label_trees_checked": 40, "valued_trees_checked": 900, "max_size_reached": 5},
+            reason="deadline expired",
+        )
+
+    def test_json_round_trip(self):
+        ckpt = self.checkpoint()
+        again = SearchCheckpoint.from_json(ckpt.to_json())
+        assert again == ckpt
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        ckpt = self.checkpoint()
+        ckpt.save(path)
+        assert SearchCheckpoint.load(path) == ckpt
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            SearchCheckpoint.from_json("{nope")
+
+    def test_wrong_version_rejected(self):
+        data = self.checkpoint().to_dict()
+        data["version"] = 99
+        with pytest.raises(CheckpointError, match="version"):
+            SearchCheckpoint.from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = self.checkpoint().to_dict()
+        del data["labels_consumed"]
+        with pytest.raises(CheckpointError, match="malformed"):
+            SearchCheckpoint.from_dict(data)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(CheckpointError):
+            SearchCheckpoint.from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            SearchCheckpoint.load(str(tmp_path / "absent.ckpt"))
+
+    def test_mismatch_error_is_checkpoint_error(self):
+        assert issubclass(CheckpointMismatchError, CheckpointError)
+
+
+class TestFaultInjector:
+    def test_no_plan_is_inert(self):
+        inj = FaultInjector()
+        assert inj.stop_reason(0) is None
+        assert inj.evaluator_fault(0) is None
+
+    def test_cancel_after(self):
+        inj = FaultInjector(FaultPlan(cancel_after_instances=3))
+        assert inj.stop_reason(2) is None
+        reason = inj.stop_reason(3)
+        assert reason is not None and "fault injection" in reason
+        assert inj.cancellations_fired == 1
+
+    def test_evaluator_fault_at_index(self):
+        inj = FaultInjector(FaultPlan(fail_instances={5}, fail_message="disk on fire"))
+        assert inj.evaluator_fault(4) is None
+        fault = inj.evaluator_fault(5)
+        assert isinstance(fault, InjectedFault)
+        assert fault.instance_index == 5
+        assert "disk on fire" in str(fault)
+        assert inj.failures_fired == 1
+
+    def test_negative_cancel_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(cancel_after_instances=-1)
+
+
+class TestInterruptibleEnumeration:
+    def test_cancelled_token_stops_enumeration(self):
+        token = CancellationToken()
+        token.cancel("stop enumerating")
+        control = RuntimeControl(token=token)
+        dtd = DTD("a", {"a": "b*"})
+        with pytest.raises(OperationInterrupted, match="stop enumerating"):
+            list(enumerate_instances(dtd, 10, control=control))
+
+    def test_no_control_unchanged(self):
+        dtd = DTD("a", {"a": "b*"})
+        trees = list(enumerate_instances(dtd, 3))
+        assert len(trees) == 3
+
+    def test_mid_stream_cancellation(self):
+        token = CancellationToken()
+        control = RuntimeControl(token=token)
+        dtd = DTD("a", {"a": "b*"})
+        seen = []
+        with pytest.raises(OperationInterrupted):
+            for tree in enumerate_instances(dtd, 10, control=control):
+                seen.append(tree)
+                if len(seen) == 2:
+                    token.cancel()
+        assert len(seen) == 2

@@ -1,0 +1,343 @@
+"""Interrupt/resume semantics of the counterexample search.
+
+The load-bearing property (ISSUE 1 acceptance): a search interrupted by
+deadline, cancellation, or fault injection and resumed from its checkpoint
+returns the *identical* verdict and the *identical*
+``stats.valued_trees_checked`` total as the same search run uninterrupted
+— demonstrated here over the Theorem 3.1, 3.2 and 3.5 procedures.
+"""
+
+import pytest
+
+from repro.dtd import DTD
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, Query, Where
+from repro.runtime import (
+    CancellationToken,
+    CheckpointMismatchError,
+    Deadline,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RuntimeControl,
+    SearchCheckpoint,
+)
+from repro.typecheck import (
+    EvaluationError,
+    Verdict,
+    find_counterexample,
+    typecheck,
+    typecheck_regular,
+    typecheck_starfree,
+    typecheck_unordered,
+)
+from repro.typecheck.search import SearchBudget
+
+
+def cancel_control(after: int) -> RuntimeControl:
+    """Deterministically stop the search right before instance #after."""
+    return RuntimeControl(faults=FaultInjector(FaultPlan(cancel_after_instances=after)))
+
+
+def copy_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+def condition_query() -> Query:
+    """Data conditions force value-assignment enumeration (a large,
+    multi-tier search space on unordered inputs)."""
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const(1))]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+TAU1_UNORDERED = DTD("root", {"root": "a^>=0"}, unordered=True)
+# Finite instance space (2 label trees, 7 valued instances at max_size=3):
+# exhaustive coverage is provable, so the full verdict is TYPECHECKS.
+TAU1_FINITE = DTD("root", {"root": "a.a?"})
+TAU2_PERMISSIVE = DTD("out", {"out": "true"}, unordered=True, alphabet={"out", "item"})
+
+
+def assert_equivalent(full, resumed):
+    assert resumed.verdict is full.verdict
+    assert resumed.stats.valued_trees_checked == full.stats.valued_trees_checked
+    assert resumed.stats.label_trees_checked == full.stats.label_trees_checked
+    assert resumed.stats.max_size_reached == full.stats.max_size_reached
+    assert resumed.stats.resumed_from_checkpoint
+
+
+class TestResumeEquivalenceUnordered:
+    """Theorem 3.1 procedure (acceptance procedure #1)."""
+
+    BUDGET = SearchBudget(max_size=5)
+
+    def full(self):
+        return typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, self.BUDGET
+        )
+
+    @pytest.mark.parametrize("cut", [0, 1, 3, 17, 100, 200])
+    def test_cancel_then_resume(self, cut):
+        full = self.full()
+        assert full.stats.valued_trees_checked > 200  # non-trivial space
+        r1 = typecheck_unordered(
+            condition_query(),
+            TAU1_UNORDERED,
+            TAU2_PERMISSIVE,
+            self.BUDGET,
+            control=cancel_control(cut),
+        )
+        assert r1.verdict is Verdict.INTERRUPTED
+        assert r1.stats.valued_trees_checked == cut
+        assert r1.checkpoint is not None
+        r2 = typecheck_unordered(
+            condition_query(),
+            TAU1_UNORDERED,
+            TAU2_PERMISSIVE,
+            self.BUDGET,
+            resume_from=r1.checkpoint,
+        )
+        assert_equivalent(full, r2)
+
+    def test_chained_interruptions(self):
+        """Interrupt a resumed run again: checkpoints compose."""
+        full = self.full()
+        ckpt = None
+        for cut in (5, 50, 120):
+            res = typecheck_unordered(
+                condition_query(),
+                TAU1_UNORDERED,
+                TAU2_PERMISSIVE,
+                self.BUDGET,
+                control=cancel_control(cut),
+                resume_from=ckpt,
+            )
+            assert res.verdict is Verdict.INTERRUPTED
+            assert res.stats.valued_trees_checked == cut
+            ckpt = res.checkpoint
+        final = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, self.BUDGET, resume_from=ckpt
+        )
+        assert_equivalent(full, final)
+
+    def test_checkpoint_survives_json(self):
+        r1 = typecheck_unordered(
+            condition_query(),
+            TAU1_UNORDERED,
+            TAU2_PERMISSIVE,
+            self.BUDGET,
+            control=cancel_control(40),
+        )
+        revived = SearchCheckpoint.from_json(r1.checkpoint.to_json())
+        r2 = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, self.BUDGET, resume_from=revived
+        )
+        assert_equivalent(self.full(), r2)
+
+    def test_resume_preserves_exhaustive_proof(self):
+        """TYPECHECKS (a completeness proof) must survive interruption:
+        the resumed search covers exactly the not-yet-explored remainder."""
+        budget = SearchBudget(max_size=3)
+        full = typecheck_unordered(
+            condition_query(), TAU1_FINITE, TAU2_PERMISSIVE, budget
+        )
+        assert full.verdict is Verdict.TYPECHECKS
+        r1 = typecheck_unordered(
+            condition_query(),
+            TAU1_FINITE,
+            TAU2_PERMISSIVE,
+            budget,
+            control=cancel_control(3),
+        )
+        assert r1.verdict is Verdict.INTERRUPTED
+        assert r1.checkpoint.values_done > 0  # cut fell mid-tree
+        r2 = typecheck_unordered(
+            condition_query(),
+            TAU1_FINITE,
+            TAU2_PERMISSIVE,
+            budget,
+            resume_from=r1.checkpoint,
+        )
+        assert_equivalent(full, r2)
+        assert r2.stats.exhausted_space
+
+
+class TestResumeEquivalenceStarfree:
+    """Theorem 3.2 procedure (acceptance procedure #2): the (double-dagger)
+    relabeling is deterministic, so checkpoints land on the same cursor."""
+
+    TAU1 = DTD("root", {"root": "a*"})
+    TAU2 = DTD("out", {"out": "item*"})
+    BUDGET = SearchBudget(max_size=6)
+
+    def test_cancel_then_resume(self):
+        full = typecheck_starfree(copy_query(), self.TAU1, self.TAU2, self.BUDGET)
+        r1 = typecheck_starfree(
+            copy_query(), self.TAU1, self.TAU2, self.BUDGET, control=cancel_control(3)
+        )
+        assert r1.verdict is Verdict.INTERRUPTED
+        r2 = typecheck_starfree(
+            copy_query(), self.TAU1, self.TAU2, self.BUDGET, resume_from=r1.checkpoint
+        )
+        assert_equivalent(full, r2)
+
+
+class TestResumeEquivalenceRegular:
+    """Theorem 3.5 procedure (acceptance procedure #3), including a FAILS
+    verdict: the resumed run must find the identical counterexample."""
+
+    TAU1 = DTD("root", {"root": "a*"})
+    TAU2 = DTD("out", {"out": "(item.item)*"})  # even item counts only
+    BUDGET = SearchBudget(max_size=4)
+
+    def run(self, **kwargs):
+        return typecheck_regular(
+            copy_query(), self.TAU1, self.TAU2, self.BUDGET,
+            assume_projection_free=True, **kwargs
+        )
+
+    def test_cancel_then_resume_finds_same_witness(self):
+        full = self.run()
+        assert full.verdict is Verdict.FAILS
+        r1 = self.run(control=cancel_control(1))
+        assert r1.verdict is Verdict.INTERRUPTED
+        r2 = self.run(resume_from=r1.checkpoint)
+        assert_equivalent(full, r2)
+        assert r2.counterexample == full.counterexample
+
+
+class TestDeadlineAndCancellation:
+    def test_expired_deadline_interrupts_immediately(self):
+        control = RuntimeControl(deadline=Deadline.after(0))
+        res = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+            SearchBudget(max_size=5), control=control,
+        )
+        assert res.verdict is Verdict.INTERRUPTED
+        assert res.interruption == "deadline expired"
+        assert res.stats.valued_trees_checked == 0
+        assert not res  # INTERRUPTED is falsy, like every non-proof
+
+    def test_deadline_mid_tier_then_resume(self):
+        """A cut inside the last size tier, mid-way through one tree's
+        value assignments, still resumes to the completeness proof."""
+        res = typecheck_unordered(
+            condition_query(), TAU1_FINITE, TAU2_PERMISSIVE,
+            SearchBudget(max_size=3), control=cancel_control(3),
+        )
+        assert res.verdict is Verdict.INTERRUPTED
+        assert res.checkpoint.labels_consumed == 1  # on the size-3 tree
+        assert res.checkpoint.values_done == 1  # mid-tree, mid-tier
+        assert res.stats.max_size_reached == 3
+        resumed = typecheck_unordered(
+            condition_query(), TAU1_FINITE, TAU2_PERMISSIVE,
+            SearchBudget(max_size=3), resume_from=res.checkpoint,
+        )
+        assert resumed.verdict is Verdict.TYPECHECKS
+        assert resumed.stats.valued_trees_checked == 7
+
+    def test_token_cancellation_reason_propagates(self):
+        token = CancellationToken()
+        token.cancel("request aborted by client")
+        res = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+            SearchBudget(max_size=5), control=RuntimeControl(token=token),
+        )
+        assert res.verdict is Verdict.INTERRUPTED
+        assert res.interruption == "request aborted by client"
+
+    def test_budget_fraction_reported(self):
+        res = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+            SearchBudget(max_size=5, max_instances=100), control=cancel_control(25),
+        )
+        assert res.stats.budget_fraction() == 0.25
+        assert "budget covered" in res.summary()
+
+    def test_dispatch_level_interruption(self):
+        """The public typecheck() front door threads control through."""
+        res = typecheck(
+            condition_query(),
+            TAU1_UNORDERED,
+            DTD("out", {"out": "item^>=0"}, unordered=True),
+            budget=SearchBudget(max_size=5),
+            control=RuntimeControl(deadline=Deadline.after(0)),
+        )
+        assert res.verdict is Verdict.INTERRUPTED
+        assert res.checkpoint is not None
+
+
+class TestCheckpointGuards:
+    def test_mismatched_budget_rejected(self):
+        r1 = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+            SearchBudget(max_size=5), control=cancel_control(10),
+        )
+        with pytest.raises(CheckpointMismatchError):
+            typecheck_unordered(
+                condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+                SearchBudget(max_size=6),  # different budget: different search
+                resume_from=r1.checkpoint,
+            )
+
+    def test_mismatched_query_rejected(self):
+        r1 = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+            SearchBudget(max_size=5), control=cancel_control(10),
+        )
+        with pytest.raises(CheckpointMismatchError):
+            typecheck_unordered(
+                copy_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+                SearchBudget(max_size=5), resume_from=r1.checkpoint,
+            )
+
+
+class TestFaultInjectedFailures:
+    def test_evaluator_fault_is_structured(self):
+        """A failing evaluator surfaces as EvaluationError with the
+        instance position and a resume checkpoint — not a bare traceback."""
+        control = RuntimeControl(faults=FaultInjector(FaultPlan(fail_instances={3})))
+        with pytest.raises(EvaluationError) as err:
+            typecheck_unordered(
+                condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE,
+                SearchBudget(max_size=5), control=control,
+            )
+        exc = err.value
+        assert exc.phase == "query evaluation"
+        assert exc.instance_index == 3
+        assert isinstance(exc.cause, InjectedFault)
+        assert exc.checkpoint is not None
+        assert "instance #3" in str(exc)
+
+    def test_resume_after_fault_matches_uninterrupted(self):
+        """The fault checkpoint sits *at* the failing instance: resuming
+        with a healthy evaluator retries it, with no double counting."""
+        budget = SearchBudget(max_size=5)
+        full = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, budget
+        )
+        control = RuntimeControl(faults=FaultInjector(FaultPlan(fail_instances={7})))
+        with pytest.raises(EvaluationError) as err:
+            typecheck_unordered(
+                condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, budget, control=control
+            )
+        resumed = typecheck_unordered(
+            condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, budget,
+            resume_from=err.value.checkpoint,
+        )
+        assert_equivalent(full, resumed)
+
+    def test_fault_in_raw_search(self):
+        """find_counterexample (the raw engine) reports faults too."""
+        control = RuntimeControl(faults=FaultInjector(FaultPlan(fail_instances={0})))
+        with pytest.raises(EvaluationError):
+            find_counterexample(
+                copy_query(),
+                DTD("root", {"root": "a*"}),
+                TAU2_PERMISSIVE,
+                SearchBudget(max_size=3),
+                control=control,
+            )

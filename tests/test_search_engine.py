@@ -177,3 +177,47 @@ class TestVerdictLogic:
         assert res.stats.theoretical_bound == 10**12
         assert res.stats.budget_max_size == 3
         assert "theoretical" in res.summary()
+
+
+class TestBudgetEnforcement:
+    """max_instances is enforced *before* evaluating a candidate, so the
+    cap holds even when every candidate takes the vacuous-output fast
+    path (which previously skipped the budget check entirely)."""
+
+    def test_vacuous_candidates_respect_max_instances(self):
+        tau1 = DTD("root", {"root": "a*"})
+        tau2 = DTD("out", {"out": "true"}, unordered=True, alphabet={"out", "item"})
+        # plain_query("zzz") never matches: all candidates are vacuous.
+        res = find_counterexample(
+            plain_query("zzz"), tau1, tau2, SearchBudget(max_size=8, max_instances=3)
+        )
+        assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+        assert res.stats.valued_trees_checked == 3
+
+    def test_budget_exactly_exhausted_by_matching_candidates(self):
+        tau1 = DTD("root", {"root": "a*"})
+        tau2 = DTD("out", {"out": "true"}, unordered=True, alphabet={"out", "item"})
+        res = find_counterexample(
+            plain_query(), tau1, tau2, SearchBudget(max_size=8, max_instances=5)
+        )
+        assert res.stats.valued_trees_checked == 5
+
+
+class TestWitnessVerification:
+    def test_unstable_validator_raises_not_asserts(self):
+        """A witness that fails validation once but passes the recheck is
+        an engine inconsistency: it must surface as a structured
+        WitnessVerificationError (an assert would vanish under -O)."""
+        from repro.typecheck import WitnessVerificationError
+
+        tau1 = DTD("root", {"root": "a*"})
+        calls = []
+
+        def flaky_validator(tree):
+            calls.append(tree)
+            return ValidationResult(len(calls) > 1)  # fail first, pass recheck
+
+        with pytest.raises(WitnessVerificationError) as err:
+            find_counterexample(plain_query(), tau1, flaky_validator, SearchBudget(max_size=3))
+        assert err.value.tree is not None
+        assert "re-verification" in str(err.value)
