@@ -3,12 +3,57 @@
 Every module regenerates one artifact of the paper (a theorem's decision
 procedure, a figure's query, a reduction) — see the per-experiment index
 in DESIGN.md and the measured results in EXPERIMENTS.md.
+
+At session end, the runtime-focused series are exported as
+machine-readable JSON next to the repo root: ``BENCH_runtime.json``
+(control-path overhead + checkpoint serde, from
+``bench_runtime_overhead.py``) and ``BENCH_parallel.json``
+(sequential-vs-N-workers wall clock, from ``bench_parallel_speedup.py``).
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 from repro.dtd import DTD
 from repro.ql.ast import ConstructNode, Edge, Query, Where
+
+# Module stem -> emitted artifact.  Only the runtime/parallel series are
+# exported; the paper-experiment series stay in EXPERIMENTS.md.
+_EXPORTS = {
+    "bench_runtime_overhead": "BENCH_runtime.json",
+    "bench_parallel_speedup": "BENCH_parallel.json",
+}
+
+_STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    grouped: dict[str, list[dict]] = {}
+    for bench in bench_session.benchmarks:
+        data = bench.as_dict(include_data=False, flat=True)
+        module = pathlib.Path(str(data.get("fullname", "")).split("::")[0]).stem
+        artifact = _EXPORTS.get(module)
+        if artifact is None:
+            continue
+        grouped.setdefault(artifact, []).append(
+            {
+                "name": data.get("name"),
+                "fullname": data.get("fullname"),
+                "params": data.get("params"),
+                "stats": {k: data.get(k) for k in _STAT_FIELDS if k in data},
+            }
+        )
+    root = pathlib.Path(str(session.config.rootpath))
+    for artifact, entries in grouped.items():
+        entries.sort(key=lambda e: str(e["fullname"]))
+        (root / artifact).write_text(
+            json.dumps({"benchmarks": entries}, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def copy_query(n_branches: int = 1) -> Query:

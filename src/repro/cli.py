@@ -36,6 +36,13 @@ Commands
         python -m repro typecheck ... --deadline 2 --checkpoint run.ckpt
         # resumes; repeats until a decisive verdict or budget exhaustion
 
+    ``--workers N`` shards the search over N worker processes under the
+    fault-tolerant supervisor (:mod:`repro.runtime.supervisor`): crashed
+    or hung workers cost only their shard, and the verdict and statistics
+    are identical to a sequential run.  Interrupting a parallel run
+    writes a multi-shard checkpoint to the same ``--checkpoint`` file;
+    both parallel and sequential reruns resume it exactly.
+
 DTD files use the paper's rule syntax (see :mod:`repro.dtd.parser`);
 ``--dtd``/``--input-dtd``/``--output-dtd`` accept either a file path or an
 inline rule string.
@@ -54,9 +61,12 @@ from typing import Optional, Sequence
 from repro.dtd import DTD, enumerate_instances, parse_dtd
 from repro.runtime import (
     CheckpointError,
+    FaultInjector,
+    FaultPlan,
     OperationInterrupted,
     RuntimeControl,
-    SearchCheckpoint,
+    WorkerKill,
+    load_checkpoint,
 )
 from repro.trees import parse_tree, to_term, to_xml
 
@@ -138,14 +148,35 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_worker_kill(spec: str) -> WorkerKill:
+    """``SHARD:ATTEMPT:AFTER[:MODE]`` — e.g. ``-1:0:3`` kills every
+    shard's first attempt after 3 local instances (CI fault drills)."""
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise argparse.ArgumentTypeError(
+            f"expected SHARD:ATTEMPT:AFTER[:MODE], got {spec!r}"
+        )
+    try:
+        shard, attempt, after = (int(p) for p in parts[:3])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad worker-kill spec {spec!r}: {exc}")
+    mode = parts[3] if len(parts) == 4 else "kill"
+    try:
+        return WorkerKill(shard, attempt, after, mode)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _control_from_args(args: argparse.Namespace) -> Optional[RuntimeControl]:
     deadline = getattr(args, "deadline", None)
     max_rss = getattr(args, "max_rss_mb", None)
-    if deadline is None and max_rss is None:
+    kills = getattr(args, "inject_worker_kill", None) or []
+    faults = FaultInjector(FaultPlan(worker_kills=frozenset(kills))) if kills else None
+    if deadline is None and max_rss is None and faults is None:
         return None
     if deadline is not None:
-        return RuntimeControl.with_deadline(deadline, max_rss_mb=max_rss)
-    return RuntimeControl(max_rss_mb=max_rss)
+        return RuntimeControl.with_deadline(deadline, max_rss_mb=max_rss, faults=faults)
+    return RuntimeControl(max_rss_mb=max_rss, faults=faults)
 
 
 def _cmd_typecheck(args: argparse.Namespace) -> int:
@@ -164,10 +195,15 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
     budget = SearchBudget(max_size=args.max_size)
     if args.max_instances is not None:
         budget.max_instances = args.max_instances
+    supervisor = None
+    if args.shard_retries is not None:
+        from repro.runtime.supervisor import SupervisorConfig
+
+        supervisor = SupervisorConfig(workers=args.workers, shard_retries=args.shard_retries)
     resume_from = None
     if args.checkpoint and os.path.exists(args.checkpoint):
         try:
-            resume_from = SearchCheckpoint.load(args.checkpoint)
+            resume_from = load_checkpoint(args.checkpoint)
         except CheckpointError as exc:
             print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
             print("(delete the file to start the search from scratch)", file=sys.stderr)
@@ -182,6 +218,8 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             force_search=args.force_search,
             control=_control_from_args(args),
             resume_from=resume_from,
+            workers=args.workers,
+            supervisor=supervisor,
         )
     except CheckpointError as exc:
         print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
@@ -278,6 +316,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="checkpoint file: written when interrupted, resumed from when "
         "it exists, removed on a decisive verdict",
+    )
+    p_tc.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard the search over this many worker processes under the "
+        "fault-tolerant supervisor (verdict and statistics are identical "
+        "to a sequential run); 0 or 1 = sequential",
+    )
+    p_tc.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        help="attempts per shard before it is re-split (default: supervisor default)",
+    )
+    p_tc.add_argument(
+        "--inject-worker-kill",
+        type=_parse_worker_kill,
+        action="append",
+        default=None,
+        metavar="SHARD:ATTEMPT:AFTER[:MODE]",
+        help="deterministically kill (or 'hang') the worker holding the given "
+        "shard on the given attempt after AFTER local instances; SHARD=-1 "
+        "matches any shard (fault drills; exit codes are unaffected)",
     )
     p_tc.set_defaults(func=_cmd_typecheck)
 

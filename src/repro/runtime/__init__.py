@@ -13,14 +13,24 @@ This package provides those three pieces; the search engine
   :class:`FaultInjector`.
 * :class:`SearchCheckpoint` — a resumable cursor into the deterministic
   search sequence, JSON-serializable, fingerprint-guarded.
+* :class:`MultiShardCheckpoint` — the sharded (version-2) counterpart:
+  one cursor per shard, merged by the supervisor on interruption.
 * :class:`FaultPlan` / :class:`FaultInjector` — deterministic
-  cancellations and simulated evaluator failures for tests.
+  cancellations, simulated evaluator failures, and worker
+  kills/hangs for tests.
+* :class:`ShardedSearch` / :class:`SupervisorConfig`
+  (:mod:`repro.runtime.supervisor`) — the fault-tolerant multi-process
+  supervisor that runs the search sharded over checkpoint cursor ranges.
 """
 
 from repro.runtime.checkpoint import (
     CheckpointError,
     CheckpointMismatchError,
+    MultiShardCheckpoint,
     SearchCheckpoint,
+    ShardCursor,
+    checkpoint_from_json,
+    load_checkpoint,
     search_fingerprint,
 )
 from repro.runtime.control import (
@@ -30,7 +40,8 @@ from repro.runtime.control import (
     RuntimeControl,
     current_rss_mb,
 )
-from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault, WorkerKill
+from repro.runtime.shard import SearchTask, ShardPlan, ShardSpec, plan_shards
 
 __all__ = [
     "CancellationToken",
@@ -40,9 +51,18 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",
+    "MultiShardCheckpoint",
     "OperationInterrupted",
     "RuntimeControl",
     "SearchCheckpoint",
+    "SearchTask",
+    "ShardCursor",
+    "ShardPlan",
+    "ShardSpec",
+    "WorkerKill",
+    "checkpoint_from_json",
     "current_rss_mb",
+    "load_checkpoint",
+    "plan_shards",
     "search_fingerprint",
 ]

@@ -29,17 +29,23 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 __all__ = [
     "CheckpointError",
     "CheckpointMismatchError",
+    "MultiShardCheckpoint",
     "SearchCheckpoint",
+    "ShardCursor",
+    "load_checkpoint",
+    "checkpoint_from_json",
     "search_fingerprint",
 ]
 
 CHECKPOINT_VERSION = 1
+MULTI_CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(ValueError):
@@ -137,13 +143,7 @@ class SearchCheckpoint:
     def save(self, path: str) -> None:
         """Write atomically (tmp + rename) so a crash mid-write never
         leaves a truncated checkpoint behind."""
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json(indent=2))
-            handle.write("\n")
-        import os
-
-        os.replace(tmp, path)
+        _atomic_write(path, self.to_json(indent=2))
 
     @classmethod
     def load(cls, path: str) -> "SearchCheckpoint":
@@ -152,3 +152,165 @@ class SearchCheckpoint:
                 return cls.from_json(handle.read())
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+
+
+def _atomic_write(path: str, text: str) -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+@dataclass(slots=True)
+class ShardCursor:
+    """One shard's position inside a :class:`MultiShardCheckpoint`.
+
+    ``start_label``/``stop_label`` delimit the shard's cursor range in
+    the deterministic label-tree stream; ``instance_base`` is the global
+    index of the shard's first valued instance (so per-shard counters
+    merge back into the sequential accounting exactly).  For a completed
+    shard (``done``) only ``stats`` matters; for an incomplete one the
+    ``labels_consumed``/``values_done`` cursor resumes it — a cursor at
+    ``(start_label, 0)`` with empty stats means "not started".
+    """
+
+    start_label: int
+    stop_label: int
+    instance_base: int
+    done: bool = False
+    labels_consumed: int = 0
+    values_done: int = 0
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardCursor":
+        if not isinstance(data, dict):
+            raise CheckpointError(f"shard cursor must be an object, got {type(data).__name__}")
+        try:
+            return cls(
+                start_label=int(data["start_label"]),
+                stop_label=int(data["stop_label"]),
+                instance_base=int(data["instance_base"]),
+                done=bool(data.get("done", False)),
+                labels_consumed=int(data.get("labels_consumed", 0)),
+                values_done=int(data.get("values_done", 0)),
+                stats=dict(data.get("stats", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed shard cursor: {exc}") from exc
+
+
+@dataclass(slots=True)
+class MultiShardCheckpoint:
+    """Resumable state of an interrupted *sharded* search (version 2).
+
+    The supervisor merges every worker's per-shard checkpoint into one
+    document: completed shards carry their final statistics, incomplete
+    ones a resumable cursor.  ``total_labels``/``total_instances``/
+    ``capped`` snapshot the deterministic shard plan so a resumed run can
+    verify it reconstructed the same partition.  The version-1 loader
+    rejects these documents; use :func:`load_checkpoint` to accept both.
+    """
+
+    fingerprint: str
+    algorithm: str
+    total_labels: int
+    total_instances: int
+    capped: bool
+    shards: list[ShardCursor] = field(default_factory=list)
+    reason: str = ""
+    version: int = MULTI_CHECKPOINT_VERSION
+
+    # -- serde ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["kind"] = "sharded-search"
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MultiShardCheckpoint":
+        if not isinstance(data, dict):
+            raise CheckpointError(f"checkpoint must be an object, got {type(data).__name__}")
+        version = data.get("version")
+        if version != MULTI_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported sharded checkpoint version {version!r} "
+                f"(this build reads version {MULTI_CHECKPOINT_VERSION})"
+            )
+        try:
+            shards = [ShardCursor.from_dict(s) for s in data["shards"]]
+            return cls(
+                fingerprint=str(data["fingerprint"]),
+                algorithm=str(data["algorithm"]),
+                total_labels=int(data["total_labels"]),
+                total_instances=int(data["total_instances"]),
+                capped=bool(data["capped"]),
+                shards=shards,
+                reason=str(data.get("reason", "")),
+                version=MULTI_CHECKPOINT_VERSION,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed sharded checkpoint: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "MultiShardCheckpoint":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- files ---------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        _atomic_write(path, self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path: str) -> "MultiShardCheckpoint":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+
+
+AnyCheckpoint = Union[SearchCheckpoint, MultiShardCheckpoint]
+
+
+def checkpoint_from_json(text: str) -> AnyCheckpoint:
+    """Version-dispatching loader: version 1 documents revive as
+    :class:`SearchCheckpoint`, version 2 as :class:`MultiShardCheckpoint`
+    (backward compatible — old checkpoints keep working)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CheckpointError(f"checkpoint must be an object, got {type(data).__name__}")
+    version = data.get("version")
+    if version == CHECKPOINT_VERSION:
+        return SearchCheckpoint.from_dict(data)
+    if version == MULTI_CHECKPOINT_VERSION:
+        return MultiShardCheckpoint.from_dict(data)
+    raise CheckpointError(
+        f"unsupported checkpoint version {version!r} (this build reads "
+        f"versions {CHECKPOINT_VERSION} and {MULTI_CHECKPOINT_VERSION})"
+    )
+
+
+def load_checkpoint(path: str) -> AnyCheckpoint:
+    """Read a checkpoint file of either version (see
+    :func:`checkpoint_from_json`)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return checkpoint_from_json(handle.read())
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc

@@ -20,9 +20,10 @@ single attribute write, atomic under the GIL.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = [
     "CancellationToken",
@@ -92,15 +93,50 @@ class CancellationToken:
         return self._reason
 
 
-def current_rss_mb() -> Optional[float]:
-    """Resident set size of this process in MiB, or ``None`` where the
-    probe is unsupported (non-Linux without /proc)."""
+def _rss_from_proc() -> Optional[float]:
+    """Current RSS in MiB via /proc/self/statm (Linux)."""
     try:
         with open("/proc/self/statm", "rb") as handle:
             resident_pages = int(handle.read().split()[1])
         return resident_pages * os.sysconf("SC_PAGE_SIZE") / (1024 * 1024)
     except (OSError, ValueError, IndexError):
         return None
+
+
+def _rss_from_getrusage(platform: str = sys.platform) -> Optional[float]:
+    """Peak RSS in MiB via ``getrusage`` — the portable fallback.
+
+    ``ru_maxrss`` is the *high-water mark*, not the current RSS, which is
+    exactly the conservative figure a memory ceiling wants.  Units differ
+    by platform: Linux (and most BSDs) report KiB, macOS reports bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - resource is POSIX-only
+        return None
+    try:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (OSError, ValueError):  # pragma: no cover - getrusage failure
+        return None
+    if peak <= 0:
+        return None
+    if platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def current_rss_mb() -> Optional[float]:
+    """Resident set size of this process in MiB.
+
+    Prefers the exact /proc probe (Linux); falls back to
+    ``getrusage(RUSAGE_SELF).ru_maxrss`` (peak RSS — conservative but
+    portable) so memory ceilings also work off-Linux.  ``None`` only when
+    neither source is available.
+    """
+    rss = _rss_from_proc()
+    if rss is not None:
+        return rss
+    return _rss_from_getrusage()
 
 
 @dataclass(slots=True)
@@ -118,7 +154,14 @@ class RuntimeControl:
     max_rss_mb: Optional[float] = None
     faults: Optional["object"] = None  # FaultInjector; untyped to avoid a cycle
     memory_check_stride: int = 256
-    """The RSS probe reads /proc, so it runs only every this many checks."""
+    """The RSS probe reads /proc, so it runs only every this many checks
+    — but always on the *first* one, so a fast-allocating operation
+    cannot blow past the ceiling before the probe ever fires."""
+
+    on_tick: Optional[Callable[[int], None]] = None
+    """Observer invoked with the next instance index at every engine
+    poll (the supervisor's workers hang their heartbeats here).  Must be
+    cheap and must not raise."""
 
     _checks: int = field(default=0, repr=False)
 
@@ -136,8 +179,12 @@ class RuntimeControl:
         if self.deadline is not None and self.deadline.expired():
             return "deadline expired"
         if self.max_rss_mb is not None:
+            # Probe on the first poll, then every `stride` polls: the
+            # previous post-increment modulo skipped checks 1..stride-1,
+            # letting a fast allocator overshoot before the first probe.
+            probe = self._checks % max(1, self.memory_check_stride) == 0
             self._checks += 1
-            if self._checks % self.memory_check_stride == 0:
+            if probe:
                 rss = current_rss_mb()
                 if rss is not None and rss > self.max_rss_mb:
                     return f"memory ceiling exceeded ({rss:.0f} MiB > {self.max_rss_mb:.0f} MiB)"

@@ -7,24 +7,52 @@ makes them deterministic.  A :class:`FaultInjector` attached to a
 * force a cooperative cancellation exactly before the N-th valued
   instance would be evaluated (``cancel_after_instances``), which is how
   the cancel-then-resume equivalence tests cut a search at a precise,
-  reproducible point; and
+  reproducible point;
 * simulate evaluator failures at chosen instance indices
   (``fail_instances``), exercising the engine's structured-error path
   (:class:`repro.typecheck.errors.EvaluationError`) without
-  monkeypatching the evaluator.
+  monkeypatching the evaluator; and
+* hard-kill or hang a *shard worker process* (``worker_kills``),
+  simulating SIGKILL/OOM deaths and livelocks for the supervisor's
+  crash-isolation and hang-detection tests.
 
 Instance indices are *global* 0-based positions in the deterministic
 search sequence (equal to ``stats.valued_trees_checked`` at the moment
-the instance is about to be evaluated), so they address the same tree in
-a fresh run and in a resumed one.
+the instance is about to be evaluated — plus the shard's
+``instance_base`` when the search runs a cursor-range shard), so they
+address the same tree in a fresh run, a resumed one, and a sharded one.
+
+Worker faults are inert unless :meth:`FaultInjector.set_worker_context`
+was called (only the supervisor's worker bootstrap does), so a plan that
+kills workers can be threaded through the in-process sequential engine
+without ever firing.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["FaultInjector", "FaultPlan", "InjectedFault"]
+__all__ = [
+    "ANY_SHARD",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "WORKER_KILLED_EXIT",
+    "WorkerKill",
+]
+
+ANY_SHARD = -1
+"""Wildcard ``WorkerKill.shard_start``: the fault applies to every shard."""
+
+WORKER_KILLED_EXIT = 86
+"""Exit status of a worker hard-killed by an injected ``worker_kill``
+fault (``os._exit``, no cleanup — indistinguishable from an OOM kill to
+the supervisor, which is the point)."""
+
+_HANG_NAP_S = 3600.0
 
 
 class InjectedFault(RuntimeError):
@@ -33,6 +61,34 @@ class InjectedFault(RuntimeError):
     def __init__(self, instance_index: int, message: str) -> None:
         super().__init__(f"{message} (instance #{instance_index})")
         self.instance_index = instance_index
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerKill:
+    """One planned worker death (the ``worker_kill`` fault mode).
+
+    Fires in the worker whose shard starts at label index
+    ``shard_start`` (or in every worker, with :data:`ANY_SHARD`), on
+    retry attempt number ``attempt`` (0 = the first try), once the
+    worker has evaluated ``after_instances`` instances *of its shard*.
+    Keying on the attempt makes the plan terminating: the killed shard's
+    retry (attempt + 1) no longer matches, so the supervisor's recovery
+    is what the test actually exercises.
+    """
+
+    shard_start: int = ANY_SHARD
+    attempt: int = 0
+    after_instances: int = 0
+    mode: str = "kill"
+    """``"kill"`` — hard ``os._exit`` (simulated SIGKILL/OOM);
+    ``"hang"`` — stop making progress without dying (simulated livelock;
+    the supervisor's heartbeat timeout must catch it)."""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("kill", "hang"):
+            raise ValueError(f"unknown worker fault mode {self.mode!r}")
+        if self.after_instances < 0:
+            raise ValueError("after_instances must be >= 0")
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,10 +104,15 @@ class FaultPlan:
 
     fail_message: str = "injected evaluator failure"
 
+    worker_kills: frozenset[WorkerKill] = frozenset()
+    """Planned worker deaths/hangs (see :class:`WorkerKill`).  Only fire
+    inside supervisor worker processes."""
+
     def __post_init__(self) -> None:
         if self.cancel_after_instances is not None and self.cancel_after_instances < 0:
             raise ValueError("cancel_after_instances must be >= 0")
         object.__setattr__(self, "fail_instances", frozenset(self.fail_instances))
+        object.__setattr__(self, "worker_kills", frozenset(self.worker_kills))
 
 
 @dataclass(slots=True)
@@ -62,9 +123,41 @@ class FaultInjector:
     cancellations_fired: int = 0
     failures_fired: int = 0
 
+    # Worker context — set only by the supervisor's worker bootstrap.
+    # While unset, worker faults are inert.
+    _shard_start: Optional[int] = None
+    _attempt: int = 0
+    _instance_base: int = 0
+
+    def set_worker_context(self, shard_start: int, attempt: int, instance_base: int) -> None:
+        """Arm worker faults: this injector now runs inside the worker
+        for the shard starting at ``shard_start``, on retry ``attempt``,
+        whose first instance has global index ``instance_base``."""
+        self._shard_start = shard_start
+        self._attempt = attempt
+        self._instance_base = instance_base
+
+    def _worker_fault(self, next_instance_index: int) -> None:
+        """Fire any matching planned worker death.  Never returns if a
+        ``kill`` matches; a ``hang`` blocks until the supervisor kills
+        the process."""
+        if self._shard_start is None:
+            return
+        local = next_instance_index - self._instance_base
+        for fault in self.plan.worker_kills:
+            if fault.shard_start not in (ANY_SHARD, self._shard_start):
+                continue
+            if fault.attempt != self._attempt or local < fault.after_instances:
+                continue
+            if fault.mode == "kill":
+                os._exit(WORKER_KILLED_EXIT)
+            while True:  # "hang": alive but silent — heartbeats stop
+                time.sleep(_HANG_NAP_S)
+
     def stop_reason(self, next_instance_index: int) -> Optional[str]:
         """Consulted by the engine alongside the deadline/token checks,
-        with the index of the instance it is about to evaluate."""
+        with the (global) index of the instance it is about to evaluate."""
+        self._worker_fault(next_instance_index)
         limit = self.plan.cancel_after_instances
         if limit is not None and next_instance_index >= limit:
             self.cancellations_fired += 1

@@ -1,0 +1,221 @@
+"""Shard planning: partitioning the deterministic search into cursor ranges.
+
+The counterexample search enumerates a *fixed* sequence (label trees in
+increasing size, then value assignments per tree), which is what makes it
+checkpointable — and the same determinism makes it *partitionable*: a
+shard is just a cursor range ``[start_label, stop_label)`` over the raw
+label-tree stream, plus the global index of its first valued instance.
+Workers replay the enumeration up to their range (rebuilding only the
+sibling-order dedupe set, never evaluating), evaluate their range, and
+stop; disjoint ranges tiling the stream cover exactly the instances the
+sequential search would evaluate, so per-shard statistics merge back into
+the sequential totals *exactly*.
+
+The planner prices each label tree combinatorially
+(:func:`repro.trees.values.count_value_assignments` is closed-form, no
+assignment is materialized), so shard instance offsets are exact — which
+is what lets global fault-injection indices, the global ``max_instances``
+budget, and the merged ``valued_trees_checked`` all agree with an
+uninterrupted sequential run.
+
+This module is import-light on purpose (the engine imports
+:class:`ShardSpec`); everything that needs the typecheck machinery is
+imported lazily inside :func:`plan_shards`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["SearchTask", "ShardPlan", "ShardSpec", "plan_shards"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One cursor-range shard of the deterministic search."""
+
+    start_label: int
+    """First raw label-tree index this shard evaluates (earlier trees
+    are replayed for dedupe bookkeeping only)."""
+
+    stop_label: int
+    """Exclusive end of the shard's label range."""
+
+    instance_base: int
+    """Global index of the shard's first valued instance — the engine
+    reports fault/budget indices as ``instance_base + local count``."""
+
+    instance_count: int = 0
+    """Planned valued instances in the range (0 is legal: a range of
+    deduped trees)."""
+
+
+@dataclass(frozen=True)
+class SearchTask:
+    """A picklable statement of one search problem.
+
+    Workers receive this — never compiled validators or closures — and
+    rebuild the procedure from scratch via the algorithm tag; compilation
+    (star-free relabeling, profile decomposition, bounds) is
+    deterministic, so every process lands on the identical search and the
+    identical fingerprint.
+    """
+
+    algorithm: str
+    query: Any
+    tau1: Any
+    tau2: Any
+    budget: Any
+    vacuous_output_ok: bool = True
+    theoretical_bound: Optional[float] = None
+
+
+@dataclass
+class ShardPlan:
+    """The deterministic partition of one search into shards."""
+
+    fingerprint: str
+    total_labels: int
+    """Raw label trees covered by the plan (the whole stream, or the
+    prefix up to the instance budget when ``capped``)."""
+
+    total_instances: int
+    """Valued instances the sequential search would evaluate."""
+
+    capped: bool
+    """True when the ``max_instances`` budget truncates the stream — the
+    merged verdict can then never claim exhaustion."""
+
+    needs_values: bool
+    label_counts: list[int] = field(default_factory=list)
+    """Per raw label index, the number of valued candidates the engine
+    will evaluate there (0 for trees skipped by sibling-order dedupe).
+    ``instance_base`` of any label L is ``sum(label_counts[:L])``."""
+
+    shards: list[ShardSpec] = field(default_factory=list)
+
+    def instance_base_at(self, label: int) -> int:
+        return sum(self.label_counts[:label])
+
+    def subrange(self, start_label: int, stop_label: int) -> ShardSpec:
+        """A spec for an arbitrary label range of this plan (used when
+        the supervisor re-splits a repeatedly failing shard)."""
+        base = self.instance_base_at(start_label)
+        count = sum(self.label_counts[start_label:stop_label])
+        return ShardSpec(start_label, stop_label, base, count)
+
+    def split_point(self, start_label: int, stop_label: int) -> Optional[int]:
+        """Label index that halves the range's *instances* (not its
+        labels), or ``None`` when the range cannot be split."""
+        if stop_label - start_label < 2:
+            return None
+        counts = self.label_counts[start_label:stop_label]
+        half = sum(counts) / 2
+        running = 0
+        best, best_gap = None, None
+        for offset in range(1, len(counts)):
+            running += counts[offset - 1]
+            gap = abs(running - half)
+            if best_gap is None or gap < best_gap:
+                best, best_gap = start_label + offset, gap
+        return best
+
+
+def plan_shards(
+    query: Any,
+    tau1: Any,
+    output_type: Any,
+    budget: Any,
+    *,
+    fingerprint: str,
+    target_shards: int,
+    control: Any = None,
+) -> ShardPlan:
+    """Walk the label-tree stream once (no evaluation) and cut it into
+    ``target_shards`` contiguous ranges of roughly equal instance counts.
+
+    Replays exactly the engine's setup — value-relevant tags, constants,
+    sibling-order dedupe — so the per-tree candidate counts match what a
+    worker (or the sequential engine) will actually evaluate.  Raises
+    :class:`~repro.runtime.control.OperationInterrupted` when ``control``
+    trips mid-walk (planning evaluates nothing, so there is no partial
+    result worth keeping).
+    """
+    from repro.dtd.generate import enumerate_instances
+    from repro.ql.analysis import constants_used, has_data_conditions
+    from repro.trees.values import count_value_assignments
+    from repro.typecheck.search import (
+        _order_insensitive,
+        _unordered_canonical,
+        _value_relevant_tags,
+    )
+
+    needs_values = has_data_conditions(query)
+    n_constants = len(set(constants_used(query)))
+    if needs_values and budget.prune_value_tags:
+        relevant_tags = _value_relevant_tags(query)
+    elif needs_values:
+        relevant_tags = None
+    else:
+        relevant_tags = frozenset()
+    dedupe_order = budget.dedupe_sibling_order and _order_insensitive(tau1, output_type)
+    seen_canonical: set[int] = set()
+
+    label_counts: list[int] = []
+    total = 0
+    capped = False
+    for labels in enumerate_instances(tau1, budget.max_size, control=control):
+        beyond_cap = total >= budget.max_instances
+        if dedupe_order:
+            key = _unordered_canonical(labels.root)
+            if key in seen_canonical:
+                if not beyond_cap:
+                    label_counts.append(0)
+                continue
+            seen_canonical.add(key)
+        if beyond_cap:
+            # The sequential engine would hit the instance budget at this
+            # tree's first candidate without evaluating it; the plan ends
+            # here and the merged verdict reports the budget as spent.
+            capped = True
+            break
+        if not needs_values:
+            count = 1
+        else:
+            nodes = labels.nodes()
+            if relevant_tags is None:
+                k = len(nodes)
+            else:
+                k = sum(1 for n in nodes if n.label in relevant_tags)
+            count = count_value_assignments(k, n_constants, budget.max_value_classes)
+        label_counts.append(count)
+        total += count
+
+    # A stream ending inside an over-budget tree is also capped: the
+    # sequential engine would break on the tree's next candidate rather
+    # than exhaust the space.
+    capped = capped or total > budget.max_instances
+    total_labels = len(label_counts)
+    shards: list[ShardSpec] = []
+    if total_labels:
+        per_shard = max(1, -(-total // max(1, target_shards)))  # ceil
+        start = 0
+        base = 0
+        acc = 0
+        for idx, count in enumerate(label_counts):
+            acc += count
+            if acc >= per_shard and idx + 1 < total_labels:
+                shards.append(ShardSpec(start, idx + 1, base, acc))
+                start, base, acc = idx + 1, base + acc, 0
+        shards.append(ShardSpec(start, total_labels, base, acc))
+
+    return ShardPlan(
+        fingerprint=fingerprint,
+        total_labels=total_labels,
+        total_instances=total,
+        capped=capped,
+        needs_values=needs_values,
+        label_counts=label_counts,
+        shards=shards,
+    )

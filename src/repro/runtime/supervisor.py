@@ -1,0 +1,1021 @@
+"""Fault-tolerant sharded search: a multi-process supervisor over
+checkpoint cursors.
+
+The bounded counterexample search is deterministic, so PR 1's checkpoint
+cursors don't just make it resumable — they make it *partitionable*: a
+:class:`~repro.runtime.shard.ShardPlan` cuts the stream into cursor
+ranges, and each range is an independent job whose result merges back
+into exactly the sequential outcome.  :class:`ShardedSearch` runs those
+jobs in ``multiprocessing`` workers and supervises them for robustness:
+
+* **heartbeats + hang detection** — each worker reports progress through
+  its own pipe (one writer per channel: a worker killed mid-write can
+  sever only its own pipe, whereas a shared queue's write lock would be
+  poisoned forever); a silent worker past ``hang_timeout`` is killed and
+  its shard retried;
+* **crash isolation** — a SIGKILL'd or OOM-killed worker fails only its
+  shard; the supervisor retries it with exponential backoff and, after
+  ``shard_retries`` failed attempts, *re-splits* the shard so a
+  poison-range keeps shrinking until it is a single label tree (which
+  then runs in-process, where the caller sees the real error);
+* **first-FAILS-wins cancellation** — a violation found in one shard
+  cancels every shard *later* in the stream; earlier shards run to
+  completion so the reported counterexample (and the merged statistics)
+  are exactly the sequential run's earliest one;
+* **graceful degradation** — if workers cannot start or keep dying
+  (``max_total_failures``), the remaining ranges run in-process,
+  sequentially, with identical semantics;
+* **exact interruption** — a deadline/cancellation/memory ceiling merges
+  every worker's cursor into one :class:`MultiShardCheckpoint`; the
+  resumed run (parallel or not) finishes the incomplete ranges and
+  reaches the identical verdict and identical ``valued_trees_checked``
+  as an uninterrupted sequential search.
+
+Workers never receive compiled validators or closures — only the
+picklable :class:`~repro.runtime.shard.SearchTask` — and rebuild their
+procedure from the algorithm tag; determinism guarantees every process
+lands on the same fingerprint, which is each shard's identity check.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from multiprocessing import connection as mp_connection
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.runtime.checkpoint import (
+    CheckpointMismatchError,
+    MultiShardCheckpoint,
+    SearchCheckpoint,
+    ShardCursor,
+    search_fingerprint,
+)
+from repro.runtime.control import Deadline, OperationInterrupted, RuntimeControl
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.shard import SearchTask, ShardPlan, ShardSpec, plan_shards
+
+__all__ = ["ShardedSearch", "SupervisorConfig"]
+
+_STAT_KEYS = ("label_trees_checked", "valued_trees_checked", "max_size_reached")
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs of the sharded-search supervisor."""
+
+    workers: int = 0
+    """Worker processes (0 = one per CPU).  ``<= 1`` runs every shard
+    in-process (still shard-exact, useful to finish a multi-shard
+    checkpoint without parallelism)."""
+
+    shard_retries: int = 2
+    """Failed attempts per shard before it is re-split (or, when a
+    single label tree, pulled in-process)."""
+
+    shards_per_worker: int = 4
+    """Planned shards per worker — more shards mean finer-grained loss
+    on a crash and better load balance, at slightly more replay."""
+
+    heartbeat_interval: float = 0.2
+    """Seconds between worker progress heartbeats."""
+
+    hang_timeout: float = 30.0
+    """A running worker silent for this long is declared hung and
+    killed.  Must comfortably exceed the cost of one candidate
+    evaluation plus the shard's enumeration replay."""
+
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    """Exponential retry backoff: ``base * 2^(attempt-1)``, capped."""
+
+    max_total_failures: int = 16
+    """Worker deaths across all shards before the supervisor gives up on
+    parallelism and degrades to the in-process sequential path."""
+
+    start_method: Optional[str] = None
+    """``multiprocessing`` start method (None = fork when available)."""
+
+    poll_interval: float = 0.02
+    """Supervisor event-loop tick."""
+
+
+class _EventToken:
+    """Duck-typed :class:`CancellationToken` over a shared mp.Event, so
+    the supervisor's cancellation fan-out reaches every worker's
+    cooperative poll without signals."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Any) -> None:
+        self._event = event
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        return "cancelled by supervisor"
+
+
+class _Heartbeat:
+    """Worker-side progress reporter, hung on ``RuntimeControl.on_tick``."""
+
+    __slots__ = ("conn", "start", "stop", "attempt", "interval", "last")
+
+    def __init__(self, conn: Any, spec: ShardSpec, attempt: int, interval: float) -> None:
+        self.conn = conn
+        self.start = spec.start_label
+        self.stop = spec.stop_label
+        self.attempt = attempt
+        self.interval = interval
+        self.last = time.monotonic()
+        self._send(0)
+
+    def _send(self, progress: int) -> None:
+        try:
+            self.conn.send(("hb", self.start, self.stop, self.attempt, progress))
+        except Exception:
+            pass  # a broken pipe must never take the search down
+
+    def tick(self, next_instance_index: int) -> None:
+        now = time.monotonic()
+        if now - self.last >= self.interval:
+            self.last = now
+            self._send(next_instance_index)
+
+
+def _run_task(
+    task: SearchTask,
+    *,
+    control: Optional[RuntimeControl] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
+    shard: Optional[ShardSpec] = None,
+):
+    """Rebuild a procedure from its picklable task and run one shard (or
+    the full search).  Imported lazily: workers import the typecheck
+    machinery fresh; the parent only reaches here on degradation."""
+    from repro.typecheck.search import find_counterexample
+
+    common = dict(control=control, resume_from=resume_from, shard=shard)
+    if task.algorithm == "thm-3.1-unordered":
+        from repro.typecheck.unordered import typecheck_unordered
+
+        return typecheck_unordered(task.query, task.tau1, task.tau2, task.budget, **common)
+    if task.algorithm == "thm-3.2-starfree":
+        from repro.typecheck.starfree import typecheck_starfree
+
+        return typecheck_starfree(task.query, task.tau1, task.tau2, task.budget, **common)
+    if task.algorithm == "thm-3.5-regular":
+        from repro.typecheck.regular import typecheck_regular
+
+        return typecheck_regular(
+            task.query,
+            task.tau1,
+            task.tau2,
+            task.budget,
+            assume_projection_free=True,
+            **common,
+        )
+    return find_counterexample(
+        task.query,
+        task.tau1,
+        task.tau2,
+        budget=task.budget,
+        theoretical_bound=task.theoretical_bound,
+        vacuous_output_ok=task.vacuous_output_ok,
+        algorithm=task.algorithm,
+        **common,
+    )
+
+
+def _shard_worker_main(
+    task: SearchTask,
+    spec: ShardSpec,
+    attempt: int,
+    cursor: Optional[dict],
+    fingerprint: str,
+    conn: Any,
+    cancel_event: Any,
+    deadline_seconds: Optional[float],
+    max_rss_mb: Optional[float],
+    fault_plan: Optional[FaultPlan],
+    heartbeat_interval: float,
+) -> None:
+    """Worker process entry: run one shard, report exactly one final
+    message (plus heartbeats).  Crashes report nothing — that is the
+    supervisor's problem, by design."""
+    from repro.typecheck.errors import EvaluationError
+    from repro.typecheck.result import Verdict
+
+    key = (spec.start_label, spec.stop_label, attempt)
+
+    def send(kind: str, payload: dict) -> None:
+        try:
+            conn.send((kind, key[0], key[1], key[2], payload))
+        except Exception:
+            os._exit(1)
+
+    try:
+        injector = None
+        if fault_plan is not None:
+            injector = FaultInjector(fault_plan)
+            injector.set_worker_context(spec.start_label, attempt, spec.instance_base)
+        heartbeat = _Heartbeat(conn, spec, attempt, heartbeat_interval)
+        control = RuntimeControl(
+            deadline=Deadline.after(deadline_seconds) if deadline_seconds is not None else None,
+            token=_EventToken(cancel_event),
+            max_rss_mb=max_rss_mb,
+            faults=injector,
+            on_tick=heartbeat.tick,
+        )
+        resume = None
+        if cursor:
+            resume = SearchCheckpoint(
+                fingerprint=fingerprint,
+                algorithm=task.algorithm,
+                labels_consumed=int(cursor["labels_consumed"]),
+                values_done=int(cursor["values_done"]),
+                stats=dict(cursor.get("stats", {})),
+                reason="shard resume",
+            )
+        result = _run_task(task, control=control, resume_from=resume, shard=spec)
+        stats = {k: getattr(result.stats, k) for k in _STAT_KEYS}
+        if result.verdict is Verdict.FAILS:
+            send(
+                "fails",
+                {
+                    "stats": stats,
+                    "counterexample": result.counterexample,
+                    "output": result.output,
+                    "violation": result.violation,
+                },
+            )
+        elif result.verdict is Verdict.INTERRUPTED:
+            ckpt = result.checkpoint
+            send(
+                "interrupted",
+                {
+                    "reason": result.interruption or "interrupted",
+                    "cursor": {
+                        "labels_consumed": ckpt.labels_consumed,
+                        "values_done": ckpt.values_done,
+                        "stats": dict(ckpt.stats),
+                    },
+                    "stats": stats,
+                },
+            )
+        else:
+            send("done", {"stats": stats})
+    except EvaluationError as exc:
+        cursor_out = None
+        if exc.checkpoint is not None:
+            cursor_out = {
+                "labels_consumed": exc.checkpoint.labels_consumed,
+                "values_done": exc.checkpoint.values_done,
+                "stats": dict(exc.checkpoint.stats),
+            }
+        send(
+            "evalerror",
+            {
+                "phase": exc.phase,
+                "instance_index": exc.instance_index,
+                "tree": exc.tree,
+                "cause": repr(exc.cause),
+                "cursor": cursor_out,
+            },
+        )
+    except BaseException:
+        send("error", {"message": traceback.format_exc(limit=20)})
+
+
+@dataclass
+class _ShardState:
+    """Supervisor-side lifecycle of one shard."""
+
+    spec: ShardSpec
+    status: str = "pending"  # pending|running|done|fails|interrupted|inprocess
+    attempt: int = 0
+    cursor: Optional[dict] = None  # resumable position (labels/values/stats)
+    stats: dict = field(default_factory=dict)
+    fails: Optional[dict] = None
+    reason: str = ""
+    ready_at: float = 0.0  # backoff gate
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.spec.start_label, self.spec.stop_label)
+
+    def cursor_entry(self) -> ShardCursor:
+        """This shard's slot in a multi-shard checkpoint."""
+        spec = self.spec
+        if self.status in ("done",):
+            return ShardCursor(
+                spec.start_label,
+                spec.stop_label,
+                spec.instance_base,
+                done=True,
+                stats=dict(self.stats),
+            )
+        if self.status == "interrupted" and self.cursor:
+            return ShardCursor(
+                spec.start_label,
+                spec.stop_label,
+                spec.instance_base,
+                done=False,
+                labels_consumed=int(self.cursor["labels_consumed"]),
+                values_done=int(self.cursor["values_done"]),
+                stats=dict(self.cursor.get("stats", {})),
+            )
+        # pending / running / crashed / fails-demoted: restart the range
+        # from scratch — determinism re-finds whatever was lost.
+        return ShardCursor(
+            spec.start_label,
+            spec.stop_label,
+            spec.instance_base,
+            done=False,
+            labels_consumed=spec.start_label,
+            values_done=0,
+        )
+
+
+@dataclass
+class _Handle:
+    proc: Any
+    state: _ShardState
+    attempt: int
+    last_seen: float
+    conn: Any = None  # parent end of this worker's pipe (None once closed)
+
+    def close_conn(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+            self.conn = None
+
+
+class _SpawnUnavailable(RuntimeError):
+    """Worker processes cannot be created here; degrade to in-process."""
+
+
+class _WorkerEvalError(RuntimeError):
+    """Internal: carries a worker-reported EvaluationError payload."""
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(payload.get("cause", "evaluation error"))
+        self.payload = payload
+
+
+class ShardedSearch:
+    """One fault-tolerant parallel run of the bounded search.
+
+    Build with the picklable :class:`SearchTask` plus the parent-side
+    compiled ``output_type`` (used for planning and the fingerprint), and
+    call :meth:`run`.  The result is a plain
+    :class:`~repro.typecheck.result.TypecheckResult` whose statistics are
+    exactly the sequential run's.
+    """
+
+    def __init__(
+        self,
+        task: SearchTask,
+        output_type: Any = None,
+        engine_query: Any = None,
+        theoretical_bound: Optional[float] = None,
+        control: Optional[RuntimeControl] = None,
+        config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        self.task = task
+        self.output_type = output_type if output_type is not None else task.tau2
+        # The query the *engine* searches with — for most procedures the
+        # task query itself, but the star-free pipeline relabels first
+        # (the task ships the original; workers redo the compilation).
+        self.engine_query = engine_query if engine_query is not None else task.query
+        self.theoretical_bound = theoretical_bound
+        self.control = control
+        self.config = config or SupervisorConfig()
+        self.workers = self.config.workers if self.config.workers > 0 else (os.cpu_count() or 1)
+        self.fingerprint = search_fingerprint(
+            self.engine_query,
+            task.tau1,
+            self.output_type,
+            task.budget,
+            task.algorithm,
+            task.vacuous_output_ok,
+        )
+        self.fault_plan: Optional[FaultPlan] = None
+        if control is not None and isinstance(control.faults, FaultInjector):
+            self.fault_plan = control.faults.plan
+        self.plan: Optional[ShardPlan] = None
+        self.resumed = False
+        # Filled in as the run progresses; surfaced on the result stats.
+        self.worker_deaths = 0
+        self.retries = 0
+        self.resplits = 0
+        self.degraded = False
+        self.stop_reason_text: Optional[str] = None
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self, resume_from: Optional[Any] = None) -> "Any":
+        from repro.typecheck.result import TypecheckResult, Verdict
+
+        if isinstance(resume_from, SearchCheckpoint):
+            # A sequential (version-1) cursor cannot be decomposed into
+            # per-shard statistics; finish it sequentially instead.
+            self.degraded = True
+            result = _run_task(self.task, control=self.control, resume_from=resume_from)
+            result.notes.append(
+                "sequential checkpoint resumed in-process (sharding needs a "
+                "multi-shard checkpoint or a fresh run)"
+            )
+            return result
+
+        target = max(1, self.workers * self.config.shards_per_worker)
+        try:
+            self.plan = plan_shards(
+                self.engine_query,
+                self.task.tau1,
+                self.output_type,
+                self.task.budget,
+                fingerprint=self.fingerprint,
+                target_shards=target,
+                control=self.control,
+            )
+        except OperationInterrupted as stop:
+            # Nothing was evaluated yet: a zero-cursor checkpoint (or the
+            # untouched resume checkpoint) loses no work.
+            checkpoint = resume_from if resume_from is not None else SearchCheckpoint(
+                fingerprint=self.fingerprint,
+                algorithm=self.task.algorithm,
+                labels_consumed=0,
+                values_done=0,
+                reason=stop.reason,
+            )
+            result = TypecheckResult(
+                Verdict.INTERRUPTED,
+                algorithm=self.task.algorithm,
+                interruption=stop.reason,
+                checkpoint=checkpoint,
+            )
+            result.notes.append("interrupted while planning shards; no work lost")
+            return result
+
+        states = self._initial_states(resume_from)
+        if all(st.status == "done" for st in states):
+            return self._merge(states)
+        if self.workers <= 1 or len(self.plan.shards) <= 1:
+            self.degraded = self.workers > 1
+            self._run_inprocess(states)
+            return self._merge(states)
+        try:
+            self._supervise(states)
+        except _SpawnUnavailable:
+            self.degraded = True
+            self._run_inprocess(states)
+        return self._merge(states)
+
+    # -- setup ---------------------------------------------------------------
+
+    def _initial_states(self, resume_from: Optional[MultiShardCheckpoint]) -> list[_ShardState]:
+        plan = self.plan
+        if resume_from is None:
+            return [_ShardState(spec=spec) for spec in plan.shards]
+
+        if resume_from.fingerprint != self.fingerprint:
+            raise CheckpointMismatchError(
+                "checkpoint was taken from a different search (query, types, "
+                f"budget or algorithm differ): {resume_from.fingerprint} != {self.fingerprint}"
+            )
+        if (
+            resume_from.total_labels != plan.total_labels
+            or resume_from.total_instances != plan.total_instances
+            or resume_from.capped != plan.capped
+        ):
+            raise CheckpointMismatchError(
+                "checkpoint shard plan does not match this search's "
+                f"deterministic plan ({resume_from.total_labels}/{resume_from.total_instances}"
+                f"/{resume_from.capped} != {plan.total_labels}/{plan.total_instances}/{plan.capped})"
+            )
+        cum = [0]
+        for count in plan.label_counts:
+            cum.append(cum[-1] + count)
+        cursors = sorted(resume_from.shards, key=lambda c: c.start_label)
+        expected_start = 0
+        states: list[_ShardState] = []
+        for cur in cursors:
+            if cur.start_label != expected_start:
+                raise CheckpointMismatchError(
+                    f"checkpoint shards do not tile the stream (gap at label {expected_start})"
+                )
+            if not 0 <= cur.start_label < cur.stop_label <= plan.total_labels:
+                raise CheckpointMismatchError(
+                    f"checkpoint shard [{cur.start_label}, {cur.stop_label}) out of range"
+                )
+            if cur.instance_base != cum[cur.start_label]:
+                raise CheckpointMismatchError(
+                    f"checkpoint shard at label {cur.start_label} has instance base "
+                    f"{cur.instance_base}, plan says {cum[cur.start_label]}"
+                )
+            expected_start = cur.stop_label
+            spec = ShardSpec(
+                cur.start_label,
+                cur.stop_label,
+                cur.instance_base,
+                cum[cur.stop_label] - cum[cur.start_label],
+            )
+            if cur.done:
+                states.append(_ShardState(spec=spec, status="done", stats=dict(cur.stats)))
+            elif cur.labels_consumed > cur.start_label or cur.values_done > 0:
+                cursor = {
+                    "labels_consumed": cur.labels_consumed,
+                    "values_done": cur.values_done,
+                    "stats": dict(cur.stats),
+                }
+                states.append(_ShardState(spec=spec, cursor=cursor))
+            else:
+                states.append(_ShardState(spec=spec))
+        if expected_start != plan.total_labels:
+            raise CheckpointMismatchError(
+                f"checkpoint shards stop at label {expected_start}, "
+                f"plan covers {plan.total_labels}"
+            )
+        self.resumed = True
+        return states
+
+    # -- supervision loop ----------------------------------------------------
+
+    def _supervise(self, states: list[_ShardState]) -> None:
+        cfg = self.config
+        method = cfg.start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        try:
+            ctx = multiprocessing.get_context(method)
+            cancel_event = ctx.Event()
+        except (OSError, ImportError, ValueError) as exc:
+            raise _SpawnUnavailable(str(exc)) from exc
+
+        running: dict[tuple[int, int], _Handle] = {}
+        evalerror: Optional[_WorkerEvalError] = None
+        stop_grace_until = 0.0
+
+        def barrier() -> Optional[int]:
+            fails = [st.spec.start_label for st in states if st.status == "fails"]
+            return min(fails) if fails else None
+
+        def effective(st: _ShardState) -> bool:
+            """Does this shard still matter for the verdict?"""
+            limit = barrier()
+            return limit is None or st.spec.start_label <= limit
+
+        def settled() -> bool:
+            return all(
+                st.status in ("done", "fails", "interrupted", "inprocess")
+                for st in states
+                if effective(st)
+            )
+
+        def spawn(st: _ShardState) -> None:
+            deadline_seconds = None
+            if self.control is not None and self.control.deadline is not None:
+                deadline_seconds = max(0.0, self.control.deadline.remaining())
+            max_rss = self.control.max_rss_mb if self.control is not None else None
+            # One pipe per worker: the worker holds the sole write end, so
+            # a crash mid-send severs only this channel, and the parent's
+            # read end hitting EOF doubles as death detection.
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            try:
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        self.task,
+                        st.spec,
+                        st.attempt,
+                        st.cursor,
+                        self.fingerprint,
+                        child_conn,
+                        cancel_event,
+                        deadline_seconds,
+                        max_rss,
+                        self.fault_plan,
+                        cfg.heartbeat_interval,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+            except (OSError, ValueError, TypeError, AttributeError, ImportError) as exc:
+                # Unpicklable problem, fork failure, ... — parallelism is
+                # unavailable here, not broken: degrade.
+                for end in (parent_conn, child_conn):
+                    try:
+                        end.close()
+                    except Exception:
+                        pass
+                raise _SpawnUnavailable(str(exc)) from exc
+            child_conn.close()  # parent's copy; the worker owns the write end now
+            st.status = "running"
+            running[st.key] = _Handle(
+                proc=proc,
+                state=st,
+                attempt=st.attempt,
+                last_seen=time.monotonic(),
+                conn=parent_conn,
+            )
+
+        def reap(handle: _Handle) -> None:
+            handle.proc.join(timeout=1.0)
+            handle.close_conn()
+            running.pop(handle.state.key, None)
+
+        def drain(handle: _Handle) -> None:
+            """Deliver every message already in this worker's pipe."""
+            try:
+                while handle.conn is not None and handle.conn.poll():
+                    handle_message(handle.conn.recv())
+            except (EOFError, OSError):
+                handle.close_conn()
+
+        def kill(handle: _Handle) -> None:
+            try:
+                handle.proc.kill()
+            except Exception:
+                pass
+            reap(handle)
+
+        def record_death(st: _ShardState, why: str) -> None:
+            self.worker_deaths += 1
+            st.status = "pending"
+            st.reason = why
+            st.attempt += 1
+            if st.attempt > cfg.shard_retries:
+                split = self.plan.split_point(st.spec.start_label, st.spec.stop_label)
+                if split is None:
+                    # A single label tree that keeps dying: run it where
+                    # the caller can see the real failure.
+                    st.status = "inprocess"
+                    return
+                self.resplits += 1
+                left = _ShardState(spec=self.plan.subrange(st.spec.start_label, split))
+                right = _ShardState(spec=self.plan.subrange(split, st.spec.stop_label))
+                # A carried resume cursor stays valid only for the child that
+                # shares the original start (same instance base, same local
+                # stats); a cursor past the split would need per-child stats
+                # we don't have, so both halves restart from scratch then.
+                if st.cursor is not None and int(st.cursor["labels_consumed"]) < split:
+                    left.cursor = st.cursor
+                idx = states.index(st)
+                states[idx : idx + 1] = [left, right]
+            else:
+                self.retries += 1
+                delay = min(cfg.backoff_cap, cfg.backoff_base * (2 ** (st.attempt - 1)))
+                st.ready_at = time.monotonic() + delay
+
+        def handle_message(msg: tuple) -> None:
+            nonlocal evalerror, stop_grace_until
+            kind, start, stop, attempt, payload = msg
+            st = next((s for s in states if s.key == (start, stop)), None)
+            if st is None or attempt != st.attempt:
+                return  # stale: a killed or re-split attempt
+            handle = running.get(st.key)
+            if kind == "hb":
+                if handle is not None and handle.attempt == attempt:
+                    handle.last_seen = time.monotonic()
+                return
+            if st.status != "running":
+                return
+            if kind == "done":
+                st.status = "done"
+                st.stats = dict(payload["stats"])
+            elif kind == "fails":
+                st.status = "fails"
+                st.stats = dict(payload["stats"])
+                st.fails = payload
+                limit = st.spec.start_label
+                for other in states:
+                    if other.spec.start_label > limit and other.status == "running":
+                        h = running.get(other.key)
+                        if h is not None:
+                            kill(h)
+                        other.status = "pending"
+                        other.cursor = None
+            elif kind == "interrupted":
+                st.status = "interrupted"
+                st.cursor = dict(payload["cursor"])
+                st.stats = dict(payload["cursor"].get("stats", {}))
+                st.reason = payload.get("reason", "interrupted")
+                if self.stop_reason_text is None:
+                    self.stop_reason_text = st.reason
+            elif kind == "evalerror":
+                st.status = "interrupted"
+                if payload.get("cursor"):
+                    st.cursor = dict(payload["cursor"])
+                    st.stats = dict(payload["cursor"].get("stats", {}))
+                st.reason = f"evaluator failure: {payload.get('cause', '?')}"
+                if evalerror is None:
+                    evalerror = _WorkerEvalError(payload)
+            elif kind == "error":
+                record_death(st, payload.get("message", "worker error"))
+
+        try:
+            while True:
+                now = time.monotonic()
+                if self.stop_reason_text is None and self.control is not None:
+                    reason = self.control.stop_reason()
+                    if reason is not None:
+                        self.stop_reason_text = reason
+                        cancel_event.set()
+                        stop_grace_until = now + max(1.0, cfg.hang_timeout)
+                if evalerror is not None and not cancel_event.is_set():
+                    cancel_event.set()
+                    stop_grace_until = now + max(1.0, cfg.hang_timeout)
+
+                stopping = cancel_event.is_set()
+                if not stopping:
+                    if self.worker_deaths >= cfg.max_total_failures:
+                        # Workers keep dying: stop burning processes and
+                        # fall back to the in-process path for the rest.
+                        for handle in list(running.values()):
+                            kill(handle)
+                            handle.state.status = "inprocess"
+                        for st in states:
+                            if st.status == "pending":
+                                st.status = "inprocess"
+                        self.degraded = True
+                        break
+                    for st in states:
+                        if len(running) >= self.workers:
+                            break
+                        if st.status == "pending" and effective(st) and now >= st.ready_at:
+                            spawn(st)
+                    if not running and settled():
+                        break
+                    if not running and all(
+                        st.status != "pending" for st in states if effective(st)
+                    ):
+                        break  # only in-process work left
+                else:
+                    if not running:
+                        break
+                    if now > stop_grace_until:
+                        for handle in list(running.values()):
+                            kill(handle)
+                            handle.state.status = "pending"
+                            handle.state.reason = "killed during shutdown"
+                        break
+
+                conns = [h.conn for h in running.values() if h.conn is not None]
+                if conns:
+                    try:
+                        ready = mp_connection.wait(conns, timeout=cfg.poll_interval)
+                    except OSError:
+                        ready = []
+                else:
+                    time.sleep(cfg.poll_interval)
+                    ready = []
+                for conn in ready:
+                    # handle_message may kill/reap peers; resolve afresh.
+                    handle = next((h for h in running.values() if h.conn is conn), None)
+                    if handle is not None:
+                        drain(handle)
+
+                now = time.monotonic()
+                for handle in list(running.values()):
+                    st = handle.state
+                    if st.status != "running" or handle.attempt != st.attempt:
+                        reap(handle)  # finished (message already processed)
+                        continue
+                    if not handle.proc.is_alive():
+                        # Dead without a final message — unless one is
+                        # still in its pipe; drain once more before judging.
+                        drain(handle)
+                        if st.status == "running":
+                            code = handle.proc.exitcode
+                            reap(handle)
+                            if not cancel_event.is_set():
+                                record_death(st, f"worker died (exit code {code})")
+                            else:
+                                st.status = "pending"
+                        else:
+                            reap(handle)
+                        continue
+                    if now - handle.last_seen > cfg.hang_timeout:
+                        kill(handle)
+                        if not cancel_event.is_set():
+                            record_death(st, "hang detected (heartbeat timeout)")
+                        else:
+                            st.status = "pending"
+        finally:
+            for handle in list(running.values()):
+                kill(handle)
+
+        if evalerror is not None:
+            self._raise_eval_error(states, evalerror)
+
+        # Anything parked for in-process execution (poison shards,
+        # degradation) runs now, unless we are shutting down.
+        if self.stop_reason_text is None and any(st.status == "inprocess" for st in states):
+            self._run_inprocess(states)
+
+    # -- in-process fallback -------------------------------------------------
+
+    def _run_inprocess(self, states: list[_ShardState]) -> None:
+        """Run every unfinished shard in this process, in stream order.
+
+        Semantics are identical to the workers' (same cursors, same
+        global indices); this is both the degradation path and the
+        ``workers <= 1`` path."""
+        from repro.typecheck.errors import EvaluationError
+        from repro.typecheck.result import Verdict
+
+        for st in sorted(states, key=lambda s: s.spec.start_label):
+            if st.status in ("done", "fails", "interrupted"):
+                continue
+            if any(
+                other.status == "fails" and other.spec.start_label < st.spec.start_label
+                for other in states
+            ):
+                break  # first-FAILS-wins: later ranges are irrelevant
+            resume = None
+            if st.cursor:
+                resume = SearchCheckpoint(
+                    fingerprint=self.fingerprint,
+                    algorithm=self.task.algorithm,
+                    labels_consumed=int(st.cursor["labels_consumed"]),
+                    values_done=int(st.cursor["values_done"]),
+                    stats=dict(st.cursor.get("stats", {})),
+                    reason="shard resume",
+                )
+            try:
+                result = _run_task(
+                    self.task, control=self.control, resume_from=resume, shard=st.spec
+                )
+            except EvaluationError as exc:
+                if exc.checkpoint is not None:
+                    st.cursor = {
+                        "labels_consumed": exc.checkpoint.labels_consumed,
+                        "values_done": exc.checkpoint.values_done,
+                        "stats": dict(exc.checkpoint.stats),
+                    }
+                st.status = "interrupted"
+                st.reason = f"evaluator failure: {exc}"
+                exc.checkpoint = self._checkpoint(states, st.reason)
+                raise
+            stats = {k: getattr(result.stats, k) for k in _STAT_KEYS}
+            if result.verdict is Verdict.FAILS:
+                st.status = "fails"
+                st.stats = stats
+                st.fails = {
+                    "stats": stats,
+                    "counterexample": result.counterexample,
+                    "output": result.output,
+                    "violation": result.violation,
+                }
+            elif result.verdict is Verdict.INTERRUPTED:
+                st.status = "interrupted"
+                st.cursor = {
+                    "labels_consumed": result.checkpoint.labels_consumed,
+                    "values_done": result.checkpoint.values_done,
+                    "stats": dict(result.checkpoint.stats),
+                }
+                st.stats = dict(result.checkpoint.stats)
+                st.reason = result.interruption or "interrupted"
+                if self.stop_reason_text is None:
+                    self.stop_reason_text = st.reason
+                break  # the control tripped; remaining shards stay pending
+            else:
+                st.status = "done"
+                st.stats = stats
+
+    # -- merge ---------------------------------------------------------------
+
+    def _checkpoint(self, states: list[_ShardState], reason: str) -> MultiShardCheckpoint:
+        plan = self.plan
+        return MultiShardCheckpoint(
+            fingerprint=self.fingerprint,
+            algorithm=self.task.algorithm,
+            total_labels=plan.total_labels,
+            total_instances=plan.total_instances,
+            capped=plan.capped,
+            shards=[st.cursor_entry() for st in sorted(states, key=lambda s: s.spec.start_label)],
+            reason=reason,
+        )
+
+    def _raise_eval_error(self, states: list[_ShardState], error: _WorkerEvalError) -> None:
+        from repro.typecheck.errors import EvaluationError
+
+        payload = error.payload
+        exc = EvaluationError(
+            str(payload.get("phase", "query evaluation")),
+            int(payload.get("instance_index", -1)),
+            payload.get("tree"),
+            RuntimeError(str(payload.get("cause", "worker evaluation failure"))),
+        )
+        exc.checkpoint = self._checkpoint(
+            states, f"evaluator failure on instance #{payload.get('instance_index')}"
+        )
+        raise exc
+
+    def _sharding_stats(self, states: list[_ShardState]) -> Any:
+        from repro.typecheck.result import ShardingStats
+
+        return ShardingStats(
+            workers=self.workers,
+            shards_total=len(states),
+            shards_completed=sum(1 for st in states if st.status in ("done", "fails")),
+            worker_deaths=self.worker_deaths,
+            retries=self.retries,
+            resplits=self.resplits,
+            degraded=self.degraded,
+        )
+
+    def _merge(self, states: list[_ShardState]) -> Any:
+        from repro.typecheck.result import SearchStats, TypecheckResult, Verdict
+        from repro.typecheck.search import conclude_bounded_search
+
+        budget = self.task.budget
+        stats = SearchStats(
+            theoretical_bound=self.theoretical_bound,
+            budget_max_size=budget.max_size,
+            budget_max_instances=budget.max_instances,
+        )
+        stats.resumed_from_checkpoint = self.resumed
+        stats.sharding = self._sharding_stats(states)
+
+        def add(shard_stats: dict) -> None:
+            stats.label_trees_checked += int(shard_stats.get("label_trees_checked", 0))
+            stats.valued_trees_checked += int(shard_stats.get("valued_trees_checked", 0))
+            stats.max_size_reached = max(
+                stats.max_size_reached, int(shard_stats.get("max_size_reached", 0))
+            )
+
+        ordered = sorted(states, key=lambda s: s.spec.start_label)
+        failing = next((st for st in ordered if st.status == "fails"), None)
+
+        if failing is not None:
+            lower = [st for st in ordered if st.spec.start_label <= failing.spec.start_label]
+            if all(st.status in ("done", "fails") for st in lower):
+                # The sequential run would have evaluated exactly: every
+                # range before the failing shard, then the failing
+                # shard's prefix up to the violation.
+                for st in lower:
+                    add(st.stats)
+                result = TypecheckResult(
+                    Verdict.FAILS,
+                    counterexample=failing.fails["counterexample"],
+                    output=failing.fails["output"],
+                    violation=failing.fails["violation"],
+                    stats=stats,
+                    algorithm=self.task.algorithm,
+                )
+                return result
+            # A lower range never finished (interrupted mid-run): the
+            # failure is not yet provably the earliest one.  Record the
+            # failing range as unfinished — determinism re-finds the
+            # violation on resume.
+            failing.status = "pending"
+            failing.cursor = None
+
+        incomplete = [st for st in ordered if st.status != "done"]
+        if incomplete:
+            reason = self.stop_reason_text or next(
+                (st.reason for st in incomplete if st.reason), "interrupted"
+            )
+            for st in ordered:
+                if st.status in ("done",) or st.stats:
+                    add(st.stats)
+            checkpoint = self._checkpoint(ordered, reason)
+            result = TypecheckResult(
+                Verdict.INTERRUPTED,
+                stats=stats,
+                algorithm=self.task.algorithm,
+                interruption=reason,
+                checkpoint=checkpoint,
+            )
+            result.notes.append(
+                f"sharded search interrupted with {len(incomplete)} of "
+                f"{len(ordered)} shards unfinished; resume with "
+                "find_counterexample(..., resume_from=result.checkpoint) or the "
+                "same CLI command"
+            )
+            return result
+
+        for st in ordered:
+            add(st.stats)
+        exhausted_sizes = not self.plan.capped
+        result = conclude_bounded_search(
+            stats,
+            self.task.tau1,
+            budget,
+            self.theoretical_bound,
+            self.plan.needs_values,
+            exhausted_sizes,
+            self.task.algorithm,
+        )
+        return result

@@ -80,8 +80,28 @@ def enumerate_valued_trees(
 def count_value_assignments(
     n_nodes: int, n_constants: int, max_classes: Optional[int] = None
 ) -> int:
-    """Size of the assignment space (for search-budget reporting)."""
-    return sum(1 for _ in enumerate_value_assignments(n_nodes, list(range(n_constants)), max_classes))
+    """Size of the assignment space — exactly
+    ``len(list(enumerate_value_assignments(n, range(c), cap)))`` but
+    computed by dynamic programming, so the shard planner can price a
+    label tree without materializing a single assignment.
+
+    State ``(i, u)`` mirrors the enumerator's recursion: ``i`` nodes
+    placed, ``u`` anonymous classes opened so far.
+    """
+    if n_nodes < 0:
+        raise ValueError(f"n_nodes must be >= 0, got {n_nodes}")
+    cap = n_nodes if max_classes is None else min(max_classes, n_nodes)
+    # row[u] = number of completions with u classes open, i nodes to go.
+    row = [1] * (cap + 1)
+    for _ in range(n_nodes):
+        nxt = [0] * (cap + 1)
+        for u in range(cap + 1):
+            total = n_constants * row[u]
+            for b in range(min(u + 1, cap)):
+                total += row[max(u, b + 1)]
+            nxt[u] = total
+        row = nxt
+    return row[0]
 
 
 def fresh_values(tree: DataTree) -> DataTree:

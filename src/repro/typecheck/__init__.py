@@ -37,8 +37,8 @@ from repro.typecheck.errors import (
     WitnessVerificationError,
 )
 from repro.typecheck.ramsey import ramsey_bound, ramsey_bound_variant
-from repro.typecheck.result import SearchStats, TypecheckResult, Verdict
-from repro.typecheck.search import SearchBudget, find_counterexample
+from repro.typecheck.result import SearchStats, ShardingStats, TypecheckResult, Verdict
+from repro.typecheck.search import SearchBudget, find_counterexample, run_search
 from repro.typecheck.starfree import (
     NotStarFreeError,
     star_free_to_sl,
@@ -53,6 +53,7 @@ __all__ = [
     "NotStarFreeError",
     "SearchBudget",
     "SearchStats",
+    "ShardingStats",
     "TypecheckEngineError",
     "TypecheckResult",
     "UndecidableFragmentError",
@@ -63,6 +64,7 @@ __all__ = [
     "find_counterexample",
     "ramsey_bound",
     "ramsey_bound_variant",
+    "run_search",
     "star_free_to_sl",
     "star_free_to_sl_hom",
     "thm31_bound",

@@ -31,7 +31,7 @@ from repro.ql.ast import Query
 from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.control import RuntimeControl
 from repro.typecheck.result import TypecheckResult, Verdict
-from repro.typecheck.search import SearchBudget, find_counterexample
+from repro.typecheck.search import SearchBudget, run_search
 from repro.typecheck.starfree import typecheck_starfree
 from repro.typecheck.regular import typecheck_regular
 from repro.typecheck.unordered import typecheck_unordered
@@ -55,6 +55,8 @@ def typecheck(
     force_search: bool = False,
     control: Optional[RuntimeControl] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    workers: int = 0,
+    supervisor: Optional[object] = None,
 ) -> TypecheckResult:
     """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
 
@@ -68,6 +70,11 @@ def typecheck(
     as ``resume_from`` to continue the very same search.  Dispatch is
     deterministic, so the resumed call routes to the same procedure and
     the checkpoint's fingerprint is verified before any work happens.
+
+    ``workers > 1`` runs the search sharded across worker processes under
+    the fault-tolerant supervisor (:mod:`repro.runtime.supervisor`) with
+    exactly the sequential verdict and statistics; ``supervisor`` takes a
+    :class:`repro.runtime.supervisor.SupervisorConfig` for finer control.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
@@ -75,7 +82,7 @@ def typecheck(
     def fallback(reason: str, theorem: str) -> TypecheckResult:
         if not force_search:
             raise UndecidableFragmentError(reason, theorem)
-        result = find_counterexample(
+        result = run_search(
             query,
             tau1,
             tau2,
@@ -83,6 +90,8 @@ def typecheck(
             algorithm="refutation-search",
             control=control,
             resume_from=resume_from,
+            workers=workers,
+            supervisor=supervisor,
         )
         if result.verdict is Verdict.TYPECHECKS:
             # Even exhausting a finite space is legitimate; keep it.
@@ -101,7 +110,14 @@ def typecheck(
     kind = tau2.kind()
     if kind is ContentKind.UNORDERED:
         return typecheck_unordered(
-            query, tau1, tau2, budget=budget, control=control, resume_from=resume_from
+            query,
+            tau1,
+            tau2,
+            budget=budget,
+            control=control,
+            resume_from=resume_from,
+            workers=workers,
+            supervisor=supervisor,
         )
     if has_tag_variables(query):
         return fallback(
@@ -115,7 +131,7 @@ def typecheck(
             # carry no DFA compilation (Proposition 4.3's succinctness
             # point), so the (dagger) pipeline cannot run.  Use the search
             # directly; on finite instance spaces it is still decisive.
-            result = find_counterexample(
+            result = run_search(
                 query,
                 tau1,
                 tau2,
@@ -123,6 +139,8 @@ def typecheck(
                 algorithm="starfree-FO-search",
                 control=control,
                 resume_from=resume_from,
+                workers=workers,
+                supervisor=supervisor,
             )
             result.notes.append(
                 "FO content models are checked by direct search (no DFA "
@@ -130,7 +148,14 @@ def typecheck(
             )
             return result
         return typecheck_starfree(
-            query, tau1, tau2, budget=budget, control=control, resume_from=resume_from
+            query,
+            tau1,
+            tau2,
+            budget=budget,
+            control=control,
+            resume_from=resume_from,
+            workers=workers,
+            supervisor=supervisor,
         )
     # Fully regular output DTD: Theorem 3.5 needs projection-freeness.
     if not assume_projection_free and not is_projection_free(query, tau1):
@@ -147,4 +172,6 @@ def typecheck(
         assume_projection_free=True,
         control=control,
         resume_from=resume_from,
+        workers=workers,
+        supervisor=supervisor,
     )

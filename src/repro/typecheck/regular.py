@@ -44,7 +44,7 @@ from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.control import RuntimeControl
 from repro.typecheck.bounds import thm35_bound
 from repro.typecheck.result import TypecheckResult
-from repro.typecheck.search import SearchBudget, find_counterexample
+from repro.typecheck.search import SearchBudget, run_search
 
 
 @dataclass(frozen=True, slots=True)
@@ -181,6 +181,9 @@ def typecheck_regular(
     projection_check_size: int = 5,
     control: Optional[RuntimeControl] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    workers: int = 0,
+    supervisor: Optional[object] = None,
+    shard: Optional[object] = None,
 ) -> TypecheckResult:
     """Theorem 3.5: typecheck a projection-free, tag-variable-free,
     non-recursive query against a fully regular output DTD.
@@ -210,7 +213,7 @@ def typecheck_regular(
     decomposition = violation_decompositions(query, tau2)
     moduli = profile_moduli([v for vecs in decomposition.values() for v in vecs])
     bound = thm35_bound(query, tau1, periods=moduli or None)
-    result = find_counterexample(
+    result = run_search(
         query,
         tau1,
         tau2,
@@ -219,6 +222,9 @@ def typecheck_regular(
         algorithm="thm-3.5-regular",
         control=control,
         resume_from=resume_from,
+        workers=workers,
+        supervisor=supervisor,
+        shard=shard,
     )
     result.notes.extend(notes)
     if moduli:

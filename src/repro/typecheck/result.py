@@ -45,6 +45,29 @@ class Verdict(enum.Enum):
 
 
 @dataclass(slots=True)
+class ShardingStats:
+    """Diagnostics of one sharded (multi-process) search run.
+
+    Attached by :class:`repro.runtime.supervisor.ShardedSearch`; the
+    search *counters* are unaffected by sharding (they merge back into
+    exactly the sequential totals), this records only how the run was
+    executed and what the supervisor had to survive.
+    """
+
+    workers: int = 0
+    shards_total: int = 0
+    shards_completed: int = 0
+    worker_deaths: int = 0
+    """Worker processes that crashed, were OOM-killed, or hung."""
+    retries: int = 0
+    resplits: int = 0
+    """Shards split in half after exhausting their retry budget."""
+    degraded: bool = False
+    """Whether the supervisor fell back to in-process execution for some
+    or all shards (spawn failure or too many worker deaths)."""
+
+
+@dataclass(slots=True)
 class SearchStats:
     """Diagnostics of one bounded search."""
 
@@ -58,6 +81,9 @@ class SearchStats:
     resumed_from_checkpoint: bool = False
     """Whether this run continued an earlier interrupted search (its
     counters include the earlier run's work)."""
+    sharding: Optional[ShardingStats] = None
+    """How the run was executed when sharded across workers (``None``
+    for plain sequential runs)."""
 
     def budget_fraction(self) -> Optional[float]:
         """Fraction of the *instance budget* consumed — the honest
@@ -110,6 +136,20 @@ class TypecheckResult:
                 lines.append("  checkpoint:     attached (resume_from=...)")
         if s.resumed_from_checkpoint:
             lines.append("  resumed from an earlier checkpoint (totals include prior work)")
+        if s.sharding is not None:
+            sh = s.sharding
+            line = (
+                f"  sharded over {sh.workers} workers: "
+                f"{sh.shards_completed}/{sh.shards_total} shards completed"
+            )
+            if sh.worker_deaths:
+                line += (
+                    f"; survived {sh.worker_deaths} worker deaths "
+                    f"({sh.retries} retries, {sh.resplits} re-splits)"
+                )
+            if sh.degraded:
+                line += "; degraded to in-process execution"
+            lines.append(line)
         if s.theoretical_bound is not None:
             if s.theoretical_bound == float("inf"):
                 bound = "astronomical (tower of exponentials)"

@@ -44,10 +44,12 @@ from repro.ql.ast import Query
 from repro.ql.eval import evaluate
 from repro.runtime.checkpoint import (
     CheckpointMismatchError,
+    MultiShardCheckpoint,
     SearchCheckpoint,
     search_fingerprint,
 )
 from repro.runtime.control import RuntimeControl
+from repro.runtime.shard import SearchTask, ShardSpec
 from repro.trees.data_tree import DataTree, Node
 from repro.trees.values import assign_values, enumerate_value_assignments, fresh_values
 from repro.typecheck.errors import EvaluationError, WitnessVerificationError
@@ -184,9 +186,13 @@ def _valued_candidates(labels: DataTree, constants, max_classes, relevant_tags):
 
 def _stop_reason(control: Optional[RuntimeControl], next_instance_index: int) -> Optional[str]:
     """The cooperative per-instance poll: deadline/cancel/memory first,
-    then any fault-injection plan (tests)."""
+    then any fault-injection plan (tests).  ``next_instance_index`` is
+    *global* (shard ``instance_base`` included), so fault plans address
+    the same tree in sequential, resumed, and sharded runs."""
     if control is None:
         return None
+    if control.on_tick is not None:
+        control.on_tick(next_instance_index)
     reason = control.stop_reason()
     if reason is not None:
         return reason
@@ -194,6 +200,41 @@ def _stop_reason(control: Optional[RuntimeControl], next_instance_index: int) ->
     if faults is not None:
         return faults.stop_reason(next_instance_index)
     return None
+
+
+def conclude_bounded_search(
+    stats: SearchStats,
+    tau1: DTD,
+    budget: SearchBudget,
+    theoretical_bound: Optional[int | float],
+    needs_values: bool,
+    exhausted_sizes: bool,
+    algorithm: str,
+) -> TypecheckResult:
+    """Decide what a violation-free exploration proved.
+
+    Shared verbatim by the sequential engine and the sharded supervisor's
+    merge step, so a parallel run can never claim more (or less) than the
+    equivalent sequential run would."""
+    space_bound = max_instance_size(tau1)
+    covered_all_label_trees = exhausted_sizes and (
+        (space_bound is not None and space_bound <= budget.max_size)
+        or (theoretical_bound is not None and theoretical_bound <= budget.max_size)
+    )
+    values_complete = (not needs_values) or budget.max_value_classes is None
+    stats.exhausted_space = covered_all_label_trees and values_complete
+
+    if stats.exhausted_space:
+        return TypecheckResult(Verdict.TYPECHECKS, stats=stats, algorithm=algorithm)
+    result = TypecheckResult(
+        Verdict.NO_COUNTEREXAMPLE_FOUND, stats=stats, algorithm=algorithm
+    )
+    if theoretical_bound is not None and theoretical_bound > budget.max_size:
+        result.notes.append(
+            f"budget max_size={budget.max_size} is below the theoretical bound; "
+            "the verdict is not a completeness proof"
+        )
+    return result
 
 
 def find_counterexample(
@@ -206,6 +247,7 @@ def find_counterexample(
     algorithm: str = "bounded-search",
     control: Optional[RuntimeControl] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    shard: Optional[ShardSpec] = None,
 ) -> TypecheckResult:
     """Search ``inst(tau1)`` (up to the budget) for a tree whose query
     output violates the output type.
@@ -219,9 +261,31 @@ def find_counterexample(
     :class:`repro.runtime.RuntimeControl`); an interrupted search returns
     ``INTERRUPTED`` with a checkpoint, and ``resume_from=`` continues it
     with identical semantics to an uninterrupted run.
+
+    ``shard`` restricts the run to one cursor range of the deterministic
+    stream (see :class:`repro.runtime.shard.ShardSpec`): trees below the
+    range are replayed for dedupe bookkeeping only, the run stops at the
+    range's end, statistics are shard-local, and every index reported to
+    fault plans and the ``max_instances`` budget is *global*
+    (``instance_base`` + local count) — which is what lets a supervisor
+    merge shard results into exactly the sequential outcome.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
+    if shard is None and isinstance(resume_from, MultiShardCheckpoint):
+        # A sharded checkpoint resumes through the supervisor (even
+        # in-process), which finishes each shard and re-merges.
+        return run_search(
+            query,
+            tau1,
+            output_type,
+            budget=budget,
+            theoretical_bound=theoretical_bound,
+            vacuous_output_ok=vacuous_output_ok,
+            algorithm=algorithm,
+            control=control,
+            resume_from=resume_from,
+        )
     budget = budget or SearchBudget()
     validate = _validator_for(output_type)
     fingerprint = search_fingerprint(
@@ -233,6 +297,7 @@ def find_counterexample(
         budget_max_size=budget.max_size,
         budget_max_instances=budget.max_instances,
     )
+    instance_base = shard.instance_base if shard is not None else 0
     resume_labels = 0
     resume_values = 0
     if resume_from is not None:
@@ -288,10 +353,16 @@ def find_counterexample(
         )
         return result
 
+    # Trees below a shard's range were (or will be) evaluated by other
+    # shards; like a resume fast-forward, they only feed the dedupe set.
+    skip_labels = max(resume_labels, shard.start_label if shard is not None else 0)
+
     exhausted_sizes = True
     budget_hit = False
     raw_index = 0  # position in the deterministic label-tree stream
     for labels in enumerate_instances(tau1, budget.max_size):
+        if shard is not None and raw_index >= shard.stop_label:
+            break
         if dedupe_order:
             key = _unordered_canonical(labels.root)
             if key in seen_canonical:
@@ -299,10 +370,10 @@ def find_counterexample(
                 continue
         else:
             key = None
-        if raw_index < resume_labels:
-            # Fast-forward of a resumed search: this tree's candidates were
-            # fully evaluated (and counted) before the interruption; only
-            # the dedupe set needs replaying.
+        if raw_index < skip_labels:
+            # Fast-forward of a resumed or sharded search: this tree's
+            # candidates were (or will be) evaluated and counted
+            # elsewhere; only the dedupe set needs replaying.
             if dedupe_order:
                 seen_canonical.add(key)
             raw_index += 1
@@ -340,15 +411,16 @@ def find_counterexample(
             values_done += 1
 
         for tree in candidates:
-            reason = _stop_reason(control, stats.valued_trees_checked)
+            reason = _stop_reason(control, instance_base + stats.valued_trees_checked)
             if reason is not None:
                 return interrupted(reason, raw_index, values_done)
-            if stats.valued_trees_checked >= budget.max_instances:
-                # Budget enforced *before* evaluation: never evaluate
-                # instance number max_instances + 1.
+            if instance_base + stats.valued_trees_checked >= budget.max_instances:
+                # Budget enforced *before* evaluation, on the *global*
+                # instance number: never evaluate instance number
+                # max_instances + 1 — in any shard.
                 budget_hit = True
                 break
-            instance_index = stats.valued_trees_checked
+            instance_index = instance_base + stats.valued_trees_checked
             injected = None
             if control is not None and control.faults is not None:
                 injected = control.faults.evaluator_fault(instance_index)
@@ -418,23 +490,127 @@ def find_counterexample(
             break
         raw_index += 1
 
-    # Decide whether the exploration was complete.
-    space_bound = max_instance_size(tau1)
-    covered_all_label_trees = exhausted_sizes and (
-        (space_bound is not None and space_bound <= budget.max_size)
-        or (theoretical_bound is not None and theoretical_bound <= budget.max_size)
-    )
-    values_complete = (not needs_values) or budget.max_value_classes is None
-    stats.exhausted_space = covered_all_label_trees and values_complete
-
-    if stats.exhausted_space:
-        return TypecheckResult(Verdict.TYPECHECKS, stats=stats, algorithm=algorithm)
-    result = TypecheckResult(
-        Verdict.NO_COUNTEREXAMPLE_FOUND, stats=stats, algorithm=algorithm
-    )
-    if theoretical_bound is not None and theoretical_bound > budget.max_size:
+    if shard is not None:
+        # A shard never concludes on its own: whether the whole space was
+        # exhausted is the supervisor's call, made from the merged plan.
+        result = TypecheckResult(
+            Verdict.NO_COUNTEREXAMPLE_FOUND, stats=stats, algorithm=algorithm
+        )
         result.notes.append(
-            f"budget max_size={budget.max_size} is below the theoretical bound; "
-            "the verdict is not a completeness proof"
+            f"shard [{shard.start_label}, {shard.stop_label}) complete"
+        )
+        return result
+
+    # Decide whether the exploration was complete.
+    return conclude_bounded_search(
+        stats, tau1, budget, theoretical_bound, needs_values, exhausted_sizes, algorithm
+    )
+
+
+def run_search(
+    query: Query,
+    tau1: DTD,
+    output_type: Union[DTD, SpecializedDTD, OutputValidator],
+    *,
+    algorithm: str,
+    budget: Optional[SearchBudget] = None,
+    theoretical_bound: Optional[int | float] = None,
+    vacuous_output_ok: bool = True,
+    control: Optional[RuntimeControl] = None,
+    resume_from: Optional[object] = None,
+    shard: Optional[ShardSpec] = None,
+    workers: int = 0,
+    supervisor: Optional[object] = None,
+    task_tau2: Optional[object] = None,
+    task_query: Optional[Query] = None,
+) -> TypecheckResult:
+    """Dispatch one bounded search to the sequential engine or the
+    fault-tolerant sharded supervisor.
+
+    The decision procedures route their searches through here so that
+    ``workers > 1`` (or resuming a multi-shard checkpoint) transparently
+    runs :class:`repro.runtime.supervisor.ShardedSearch`, while a
+    ``shard=`` range (we *are* a worker) and the plain sequential case go
+    straight to :func:`find_counterexample`.
+
+    ``task_tau2``/``task_query`` are the original problem statement
+    shipped to worker processes, which rebuild the procedure from it;
+    they default to ``output_type``/``query`` (already the originals for
+    most procedures — only the star-free pipeline compiles ``tau2`` into
+    ``tau2_bar`` and relabels the query first, and a worker must start
+    from the originals so its own compilation is not applied twice).
+
+    Cross-version resumes degrade rather than fail: a version-1
+    (sequential) checkpoint handed to a parallel run finishes
+    sequentially, and a multi-shard checkpoint handed to a sequential run
+    finishes its shards in-process — both preserve exactness.
+    """
+    if shard is not None:
+        return find_counterexample(
+            query,
+            tau1,
+            output_type,
+            budget=budget,
+            theoretical_bound=theoretical_bound,
+            vacuous_output_ok=vacuous_output_ok,
+            algorithm=algorithm,
+            control=control,
+            resume_from=resume_from,
+            shard=shard,
+        )
+
+    wants_parallel = workers > 1 or (
+        supervisor is not None and getattr(supervisor, "workers", 0) > 1
+    )
+    multi_resume = isinstance(resume_from, MultiShardCheckpoint)
+    if (wants_parallel and not isinstance(resume_from, SearchCheckpoint)) or multi_resume:
+        from repro.runtime.supervisor import ShardedSearch, SupervisorConfig
+
+        task = SearchTask(
+            algorithm=algorithm,
+            query=task_query if task_query is not None else query,
+            tau1=tau1,
+            tau2=task_tau2 if task_tau2 is not None else output_type,
+            budget=budget or SearchBudget(),
+            vacuous_output_ok=vacuous_output_ok,
+            theoretical_bound=theoretical_bound,
+        )
+        if supervisor is not None:
+            config = supervisor
+        elif multi_resume and not wants_parallel:
+            # Sequential caller finishing a sharded checkpoint: complete
+            # the shards in-process rather than silently going parallel.
+            config = SupervisorConfig(workers=1)
+        else:
+            config = SupervisorConfig()
+        if workers > 1 and config.workers != workers:
+            import dataclasses
+
+            config = dataclasses.replace(config, workers=workers)
+        search = ShardedSearch(
+            task,
+            output_type=output_type,
+            engine_query=query,
+            theoretical_bound=theoretical_bound,
+            control=control,
+            config=config,
+        )
+        return search.run(resume_from=resume_from)
+
+    result = find_counterexample(
+        query,
+        tau1,
+        output_type,
+        budget=budget,
+        theoretical_bound=theoretical_bound,
+        vacuous_output_ok=vacuous_output_ok,
+        algorithm=algorithm,
+        control=control,
+        resume_from=resume_from,
+    )
+    if wants_parallel:
+        result.notes.append(
+            "sequential (version-1) checkpoint resumed in-process; pass a "
+            "fresh run --workers to shard it"
         )
     return result

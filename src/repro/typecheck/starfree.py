@@ -44,7 +44,7 @@ from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.control import RuntimeControl
 from repro.typecheck.bounds import thm31_bound
 from repro.typecheck.result import TypecheckResult
-from repro.typecheck.search import SearchBudget, find_counterexample
+from repro.typecheck.search import SearchBudget, run_search
 
 
 class NotStarFreeError(ValueError):
@@ -236,6 +236,9 @@ def typecheck_starfree(
     budget: Optional[SearchBudget] = None,
     control: Optional[RuntimeControl] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    workers: int = 0,
+    supervisor: Optional[object] = None,
+    shard: Optional[object] = None,
 ) -> TypecheckResult:
     """Theorem 3.2: typecheck a non-recursive, tag-variable-free query
     against a star-free output DTD by compiling to the unordered case.
@@ -258,7 +261,9 @@ def typecheck_starfree(
     relabeled, mapping = relabel_construct(query)
     tau2_bar = compile_output_dtd(relabeled, mapping, tau2)
     bound = thm31_bound(relabeled, tau1, tau2_bar)
-    result = find_counterexample(
+    # Workers are shipped the *original* tau2 (plain data) and recompile
+    # tau2_bar deterministically; the compiled DTD never crosses processes.
+    result = run_search(
         relabeled,
         tau1,
         tau2_bar,
@@ -267,6 +272,11 @@ def typecheck_starfree(
         algorithm="thm-3.2-starfree",
         control=control,
         resume_from=resume_from,
+        workers=workers,
+        supervisor=supervisor,
+        shard=shard,
+        task_tau2=tau2,
+        task_query=query,
     )
     result.notes.append(
         f"compiled {len(mapping)} construct tags to SL via (double-dagger); "

@@ -21,7 +21,7 @@ from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.control import RuntimeControl
 from repro.typecheck.bounds import thm31_bound
 from repro.typecheck.result import TypecheckResult
-from repro.typecheck.search import SearchBudget, find_counterexample
+from repro.typecheck.search import SearchBudget, run_search
 
 
 def check_preconditions_thm31(query: Query, tau2: DTD) -> None:
@@ -45,16 +45,22 @@ def typecheck_unordered(
     budget: Optional[SearchBudget] = None,
     control: Optional[RuntimeControl] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    workers: int = 0,
+    supervisor: Optional[object] = None,
+    shard: Optional[object] = None,
 ) -> TypecheckResult:
     """Decide (within budget) whether every output of ``query`` on
     ``inst(tau1)`` satisfies the unordered DTD ``tau2``.
 
     ``control`` makes the run interruptible (deadline/cancel/memory);
     ``resume_from`` continues an earlier ``INTERRUPTED`` run's checkpoint.
+    ``workers > 1`` runs the search under the fault-tolerant sharded
+    supervisor (same verdict, same statistics); ``shard`` restricts the
+    run to one cursor range (supervisor workers use this).
     """
     check_preconditions_thm31(query, tau2)
     bound = thm31_bound(query, tau1, tau2)
-    return find_counterexample(
+    return run_search(
         query,
         tau1,
         tau2,
@@ -63,4 +69,7 @@ def typecheck_unordered(
         algorithm="thm-3.1-unordered",
         control=control,
         resume_from=resume_from,
+        workers=workers,
+        supervisor=supervisor,
+        shard=shard,
     )

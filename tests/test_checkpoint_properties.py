@@ -1,0 +1,259 @@
+"""Property tests for the checkpoint schemas and the shard-pricing DP.
+
+Hypothesis sweeps the serde invariants the example-based tests only
+sample: any well-formed checkpoint survives a JSON round trip bit-exact,
+any structurally corrupted payload is rejected with
+:class:`CheckpointError` (never a silent partial revive), any
+fingerprint drift is rejected with :class:`CheckpointMismatchError`, and
+the closed-form :func:`count_value_assignments` agrees with the
+materializing enumerator on every point of the small domain.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dtd import DTD
+from repro.ql.ast import ConstructNode, Edge, Query, Where
+from repro.runtime import (
+    CheckpointError,
+    CheckpointMismatchError,
+    MultiShardCheckpoint,
+    SearchCheckpoint,
+    ShardCursor,
+)
+from repro.runtime.checkpoint import checkpoint_from_json
+from repro.trees.values import count_value_assignments, enumerate_value_assignments
+from repro.typecheck.search import SearchBudget, find_counterexample
+
+# -- strategies ---------------------------------------------------------------
+
+fingerprints = st.text(alphabet="0123456789abcdef", min_size=8, max_size=40)
+algorithms = st.sampled_from(
+    ["bounded-search", "thm-3.1-unordered", "thm-3.2-starfree", "thm-3.5-regular"]
+)
+counters = st.integers(min_value=0, max_value=10**12)
+stats_dicts = st.fixed_dictionaries(
+    {
+        "label_trees_checked": counters,
+        "valued_trees_checked": counters,
+        "max_size_reached": st.integers(min_value=0, max_value=64),
+    }
+)
+reasons = st.text(max_size=60)
+
+
+@st.composite
+def search_checkpoints(draw):
+    return SearchCheckpoint(
+        fingerprint=draw(fingerprints),
+        algorithm=draw(algorithms),
+        labels_consumed=draw(counters),
+        values_done=draw(counters),
+        stats=draw(stats_dicts),
+        reason=draw(reasons),
+    )
+
+
+@st.composite
+def multi_shard_checkpoints(draw):
+    """A version-2 checkpoint whose shards tile ``[0, total_labels)`` —
+    the invariant the supervisor's resume validation enforces."""
+    label_counts = draw(
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=8)
+    )
+    widths = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=len(label_counts)),
+            min_size=1,
+            max_size=len(label_counts),
+        )
+    )
+    total_labels = len(label_counts)
+    cum = [0]
+    for count in label_counts:
+        cum.append(cum[-1] + count)
+    shards = []
+    start = 0
+    for width in widths:
+        if start >= total_labels:
+            break
+        stop = min(total_labels, start + width)
+        done = draw(st.booleans())
+        if done:
+            shards.append(
+                ShardCursor(
+                    start, stop, cum[start], done=True, stats=draw(stats_dicts)
+                )
+            )
+        else:
+            shards.append(
+                ShardCursor(
+                    start,
+                    stop,
+                    cum[start],
+                    done=False,
+                    labels_consumed=draw(st.integers(min_value=start, max_value=stop)),
+                    values_done=draw(counters),
+                    stats=draw(stats_dicts),
+                )
+            )
+        start = stop
+    if start < total_labels:
+        shards.append(
+            ShardCursor(
+                start,
+                total_labels,
+                cum[start],
+                done=False,
+                labels_consumed=start,
+                values_done=0,
+            )
+        )
+    return MultiShardCheckpoint(
+        fingerprint=draw(fingerprints),
+        algorithm=draw(algorithms),
+        total_labels=total_labels,
+        total_instances=cum[-1],
+        capped=draw(st.booleans()),
+        shards=shards,
+        reason=draw(reasons),
+    )
+
+
+# -- round trips --------------------------------------------------------------
+
+
+@given(search_checkpoints())
+def test_v1_json_round_trip_identity(ckpt):
+    assert SearchCheckpoint.from_json(ckpt.to_json()) == ckpt
+    revived = checkpoint_from_json(ckpt.to_json(indent=2))
+    assert isinstance(revived, SearchCheckpoint)
+    assert revived == ckpt
+
+
+@given(multi_shard_checkpoints())
+def test_v2_json_round_trip_identity(ckpt):
+    assert MultiShardCheckpoint.from_json(ckpt.to_json()) == ckpt
+    revived = checkpoint_from_json(ckpt.to_json(indent=2))
+    assert isinstance(revived, MultiShardCheckpoint)
+    assert revived == ckpt
+
+
+# -- corruption is rejected, never half-revived -------------------------------
+
+
+# ``reason`` and (for v1) ``stats`` are optional by design — a minimal
+# cursor is still a valid checkpoint — and v2's ``kind`` is a
+# human-facing discriminator the loader ignores; everything else is
+# load-bearing.
+_V1_OPTIONAL = {"reason", "stats"}
+_V2_OPTIONAL = {"reason", "kind"}
+
+
+@given(search_checkpoints(), st.data())
+def test_v1_missing_field_rejected(ckpt, data):
+    payload = ckpt.to_dict()
+    victim = data.draw(st.sampled_from(sorted(k for k in payload if k not in _V1_OPTIONAL)))
+    del payload[victim]
+    try:
+        SearchCheckpoint.from_dict(payload)
+    except CheckpointError:
+        return
+    raise AssertionError(f"deleting {victim!r} was not rejected")
+
+
+@given(multi_shard_checkpoints(), st.data())
+def test_v2_missing_field_rejected(ckpt, data):
+    payload = ckpt.to_dict()
+    victim = data.draw(st.sampled_from(sorted(k for k in payload if k not in _V2_OPTIONAL)))
+    del payload[victim]
+    try:
+        MultiShardCheckpoint.from_dict(payload)
+    except CheckpointError:
+        return
+    raise AssertionError(f"deleting {victim!r} was not rejected")
+
+
+@given(
+    search_checkpoints(),
+    st.integers(min_value=-5, max_value=99).filter(lambda v: v not in (1, 2)),
+)
+def test_unknown_version_rejected(ckpt, version):
+    import json
+
+    payload = ckpt.to_dict()
+    payload["version"] = version
+    try:
+        checkpoint_from_json(json.dumps(payload))
+    except CheckpointError:
+        return
+    raise AssertionError(f"version {version} was not rejected")
+
+
+@given(search_checkpoints(), st.integers(min_value=1, max_value=30))
+def test_truncated_json_rejected(ckpt, cut):
+    text = ckpt.to_json()
+    try:
+        checkpoint_from_json(text[: len(text) - cut])
+    except CheckpointError:
+        return
+    raise AssertionError("truncated JSON was not rejected")
+
+
+# -- fingerprint drift --------------------------------------------------------
+
+_QUERY = Query(
+    where=Where.of("root", [Edge.of(None, "X", "a")]),
+    construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+)
+_TAU1 = DTD("root", {"root": "a*"})
+_TAU2 = DTD("out", {"out": "item*"})
+_BUDGET = SearchBudget(max_size=2)
+
+
+def _actual_fingerprint() -> str:
+    from repro.runtime import RuntimeControl
+
+    interrupted = find_counterexample(
+        _QUERY,
+        _TAU1,
+        _TAU2,
+        budget=_BUDGET,
+        control=RuntimeControl.with_deadline(0),
+    )
+    return interrupted.checkpoint.fingerprint
+
+
+_FINGERPRINT = _actual_fingerprint()
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(fingerprints)
+def test_fingerprint_mismatch_rejected(fp):
+    stale = SearchCheckpoint(
+        fingerprint=fp,
+        algorithm="bounded-search",
+        labels_consumed=0,
+        values_done=0,
+    )
+    if fp == _FINGERPRINT:
+        return  # astronomically unlikely, but then resuming is legal
+    try:
+        find_counterexample(_QUERY, _TAU1, _TAU2, budget=_BUDGET, resume_from=stale)
+    except CheckpointMismatchError:
+        return
+    raise AssertionError("foreign fingerprint was not rejected")
+
+
+# -- the shard planner's pricing DP -------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=3),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+)
+def test_count_matches_enumeration(n_nodes, n_constants, max_classes):
+    constants = [f"c{i}" for i in range(n_constants)]
+    expected = sum(1 for _ in enumerate_value_assignments(n_nodes, constants, max_classes))
+    assert count_value_assignments(n_nodes, n_constants, max_classes) == expected

@@ -82,13 +82,72 @@ class TestRuntimeControl:
 
     @pytest.mark.skipif(current_rss_mb() is None, reason="no /proc RSS probe here")
     def test_memory_probe_is_stridden(self):
+        # The probe runs on poll 0 (a tiny ceiling must trip immediately,
+        # not one stride in), then every stride-th poll after that.
         control = RuntimeControl(max_rss_mb=0.001, memory_check_stride=100)
-        assert all(control.stop_reason() is None for _ in range(99))
         assert control.stop_reason() is not None
+        control = RuntimeControl(max_rss_mb=10**6, memory_check_stride=100)
+        control.stop_reason()  # poll 0 probes (generous ceiling: passes)
+        control.max_rss_mb = 0.001  # would trip, but polls 1..99 skip the probe
+        assert all(control.stop_reason() is None for _ in range(99))
+        assert control.stop_reason() is not None  # poll 100 probes again
 
     def test_generous_memory_ceiling_passes(self):
         control = RuntimeControl(max_rss_mb=10**6, memory_check_stride=1)
         assert control.stop_reason() is None
+
+    def test_on_tick_sees_instance_index(self):
+        seen = []
+        control = RuntimeControl(on_tick=seen.append)
+        from repro.typecheck.search import _stop_reason
+
+        _stop_reason(control, 7)
+        _stop_reason(control, 8)
+        assert seen == [7, 8]
+
+
+class TestRssProbeFallback:
+    """``current_rss_mb`` satellite: the /proc-less fallback via
+    ``resource.getrusage`` with the Linux (KiB) / macOS (bytes) split."""
+
+    def test_getrusage_linux_units(self):
+        from repro.runtime.control import _rss_from_getrusage
+
+        value = _rss_from_getrusage(platform="linux")
+        if value is None:
+            pytest.skip("resource module unavailable")
+        import resource
+
+        peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        assert value == pytest.approx(peak_kib / 1024)
+        assert value > 1  # a Python process exceeds 1 MiB
+
+    def test_getrusage_darwin_units(self):
+        from repro.runtime.control import _rss_from_getrusage
+
+        linux = _rss_from_getrusage(platform="linux")
+        darwin = _rss_from_getrusage(platform="darwin")
+        if linux is None or darwin is None:
+            pytest.skip("resource module unavailable")
+        # Same raw ru_maxrss, interpreted as KiB vs bytes: 1024x apart.
+        assert linux == pytest.approx(darwin * 1024, rel=1e-6)
+
+    def test_fallback_used_when_proc_unavailable(self, monkeypatch):
+        import repro.runtime.control as control_mod
+
+        monkeypatch.setattr(control_mod, "_rss_from_proc", lambda: None)
+        value = control_mod.current_rss_mb()
+        if value is None:
+            pytest.skip("resource module unavailable")
+        assert value > 1
+
+    def test_proc_path_preferred(self):
+        from repro.runtime.control import _rss_from_proc
+
+        value = _rss_from_proc()
+        if value is None:
+            pytest.skip("no /proc here")
+        assert value > 1
 
 
 class TestCheckpointSerde:
