@@ -7,8 +7,10 @@ in DESIGN.md and the measured results in EXPERIMENTS.md.
 At session end, the runtime-focused series are exported as
 machine-readable JSON next to the repo root: ``BENCH_runtime.json``
 (control-path overhead + checkpoint serde, from
-``bench_runtime_overhead.py``) and ``BENCH_parallel.json``
-(sequential-vs-N-workers wall clock, from ``bench_parallel_speedup.py``).
+``bench_runtime_overhead.py``), ``BENCH_parallel.json``
+(sequential-vs-N-workers wall clock, from ``bench_parallel_speedup.py``),
+and ``BENCH_eval_cache.json`` (compiled-vs-reference evaluation on the
+search hot path, from ``bench_eval_cache.py``).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.ql.ast import ConstructNode, Edge, Query, Where
 _EXPORTS = {
     "bench_runtime_overhead": "BENCH_runtime.json",
     "bench_parallel_speedup": "BENCH_parallel.json",
+    "bench_eval_cache": "BENCH_eval_cache.json",
 }
 
 _STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")

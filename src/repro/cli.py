@@ -220,6 +220,7 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             resume_from=resume_from,
             workers=args.workers,
             supervisor=supervisor,
+            use_eval_cache=not args.no_eval_cache,
         )
     except CheckpointError as exc:
         print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
@@ -330,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="attempts per shard before it is re-split (default: supervisor default)",
+    )
+    p_tc.add_argument(
+        "--no-eval-cache",
+        action="store_true",
+        help="evaluate every candidate through the uncached reference "
+        "evaluator instead of the compile-once query cache (ablation / "
+        "equivalence check; verdict and statistics are identical, only "
+        "slower)",
     )
     p_tc.add_argument(
         "--inject-worker-kill",

@@ -153,6 +153,45 @@ def constants_used(query: Query) -> frozenset:
     return frozenset(out)
 
 
+def condition_variables(query: Query) -> frozenset[str]:
+    """Variables whose bound node's *data value* a condition can read."""
+    out: set[str] = set()
+    for q in query.subqueries():
+        for c in q.where.conditions:
+            out.add(c.left)
+            if isinstance(c.right, str):
+                out.add(c.right)
+    return frozenset(out)
+
+
+def value_relevant_tags(query: Query) -> Optional[frozenset[str]]:
+    """Tags of nodes whose data values the query can ever *test*.
+
+    Conditions compare ``val(beta(x))`` only for variables ``x`` appearing
+    in conditions; ``beta(x)`` carries the last symbol of the matched edge
+    word.  Values on all other nodes never influence the output, so the
+    search may pin them to fresh constants.  Returns ``None`` when the
+    analysis cannot bound the tags (epsilon in a condition variable's path
+    language, or an unanalyzable edge) — meaning "treat every tag as
+    relevant".
+    """
+    condition_vars = condition_variables(query)
+    relevant: set[str] = set()
+    for q in query.subqueries():
+        for edge in q.where.edges:
+            if edge.target not in condition_vars:
+                continue
+            sigma = edge.regex.symbols() or frozenset({"_any"})
+            dfa = edge.regex.to_dfa(sigma)
+            if dfa.accepts_epsilon():
+                return None  # the variable may alias its source node
+            live = dfa.live_states()
+            for (s, a), t in dfa.transitions.items():
+                if s in live and t in dfa.accepting:
+                    relevant.add(a)
+    return frozenset(relevant)
+
+
 # -- projection-freeness -----------------------------------------------------------
 
 

@@ -1,0 +1,327 @@
+"""Compile-once query evaluation: the counterexample search hot path.
+
+:mod:`repro.ql.eval` is the *reference* semantics, and stays exactly as
+the paper states it — but it recompiles every edge regex to a DFA per
+candidate tree and recomputes document order per nested restriction,
+while the bounded search calls it millions of times.  This module splits
+the work by what can actually change between calls:
+
+* **per run** (:class:`CompiledQuery`): edge DFAs compiled over the input
+  DTD's full alphabet ∪ the regex's own symbols, the canonical variable
+  order of every (sub)query, condition-variable sets, the constants the
+  query compares against, and the value-relevant tag set.  A small
+  process-level memo (:func:`compiled_query_for`) shares one compilation
+  across the procedures and across every shard a worker process runs.
+* **per label tree** (:class:`BoundTree`): one working copy of the tree,
+  its document order, path-target sets keyed by ``(edge, source node)``,
+  and the *structural* bindings of every subquery — edge extension, sort,
+  dedup, everything except condition filtering, which is the only part of
+  binding enumeration that reads data values.
+* **per value assignment** (:meth:`BoundTree.evaluate`): write the values
+  onto the working copy in place (no ``tree.copy()``), filter the cached
+  structural bindings through the conditions, and instantiate the output.
+
+Soundness of the alphabet widening: for a fixed word ``w`` over the
+candidate tree's labels, membership in the language of a regex over
+alphabet ``Sigma`` is invariant under enlarging ``Sigma`` as long as the
+symbols of ``w`` lie in both alphabets — by structural induction over the
+regex, including complement and intersection (``~r`` relative to a larger
+ambient alphabet admits more *words*, but membership of each fixed word
+only depends on whether ``r`` accepts it).  Candidate-tree labels are
+always a subset of the DTD alphabet, so compiling once over
+``dtd.alphabet | regex.symbols()`` answers every per-tree query
+identically; the wider alphabet can only make coreachability pruning
+weaker (visit more nodes), never change which targets are accepted.
+
+Caching the structural bindings *before* condition filtering is exact
+because filtering is a per-binding predicate and the dedup key covers all
+variables of the subquery: filter-then-(sort+dedup) and
+(sort+dedup)-then-filter keep exactly the same bindings in the same
+order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.ql.analysis import (
+    condition_variables,
+    constants_used,
+    has_data_conditions,
+    value_relevant_tags,
+)
+from repro.ql.ast import ConstructNode, NestedQuery, Query
+from repro.ql.eval import Binding, _condition_holds, _single_root
+from repro.trees.data_tree import DataTree, Node
+
+__all__ = ["BoundTree", "CompiledQuery", "compiled_query_for"]
+
+
+class _CompiledEdge:
+    """One where-edge with its DFA flattened for the inner walk."""
+
+    __slots__ = (
+        "source",
+        "target",
+        "start",
+        "accepting",
+        "transitions",
+        "coreach",
+        "accepts_epsilon",
+    )
+
+    def __init__(self, edge: Any, alphabet: frozenset[str]) -> None:
+        self.source = edge.source
+        self.target = edge.target
+        dfa = edge.regex.to_dfa(alphabet | edge.regex.symbols())
+        self.start = dfa.start
+        self.accepting = dfa.accepting
+        self.transitions = dfa.transitions
+        self.coreach = dfa.coreachable_states()
+        self.accepts_epsilon = dfa.accepts_epsilon()
+
+
+class _CompiledSub:
+    """The per-(sub)query artifacts the evaluator needs per binding set."""
+
+    __slots__ = ("query", "root_tag", "edges", "conditions", "var_order", "free_order")
+
+    def __init__(self, query: Query, alphabet: frozenset[str]) -> None:
+        self.query = query
+        self.root_tag = query.where.root_tag
+        self.edges = tuple(_CompiledEdge(e, alphabet) for e in query.where.edges)
+        self.conditions = tuple(query.where.conditions)
+        self.var_order = query.where.variables()
+        self.free_order = tuple(query.free_vars)
+
+
+class CompiledQuery:
+    """A query pre-compiled against one input-DTD alphabet.
+
+    Immutable once built; safe to share across every label tree (and
+    every shard) of one typecheck run.
+    """
+
+    __slots__ = (
+        "query",
+        "alphabet",
+        "constants",
+        "needs_values",
+        "condition_vars",
+        "relevant_tags",
+        "dfas_compiled",
+        "_subs",
+    )
+
+    def __init__(self, query: Query, alphabet: Iterable[str]) -> None:
+        self.query = query
+        self.alphabet = frozenset(alphabet)
+        self._subs: dict[int, _CompiledSub] = {}
+        for q in query.subqueries():
+            self._subs[id(q)] = _CompiledSub(q, self.alphabet)
+        self.dfas_compiled = sum(len(s.edges) for s in self._subs.values())
+        self.constants: tuple[Any, ...] = tuple(sorted(constants_used(query), key=repr))
+        self.needs_values = has_data_conditions(query)
+        self.condition_vars = condition_variables(query)
+        self.relevant_tags = value_relevant_tags(query)
+
+    def bind(self, tree: Union[DataTree, Node], stats: Any = None) -> "BoundTree":
+        """A per-label-tree evaluation context (one copy, reused across
+        every value assignment).  ``stats`` may be a
+        :class:`~repro.typecheck.result.SearchStats` whose
+        ``cache_hits``/``cache_misses`` counters this context bumps."""
+        return BoundTree(self, tree, stats)
+
+
+class BoundTree:
+    """Per-label-tree context: structure is computed once, only data
+    values (and whatever depends on them) are re-evaluated per assignment.
+
+    The context owns a private copy of the label tree; ``evaluate()``
+    writes each assignment onto it in place, so the caller's tree is
+    never mutated and no per-assignment copy is made.
+    """
+
+    __slots__ = ("cq", "root", "nodes", "order", "stats", "_targets", "_structural")
+
+    def __init__(self, cq: CompiledQuery, tree: Union[DataTree, Node], stats: Any) -> None:
+        self.cq = cq
+        source_root = tree.root if isinstance(tree, DataTree) else tree
+        self.root = source_root.copy()
+        self.nodes: list[Node] = list(self.root.iter_preorder())
+        self.order: dict[int, int] = {id(n): i for i, n in enumerate(self.nodes)}
+        self.stats = stats
+        # (edge identity, source node) -> document-ordered target nodes.
+        self._targets: dict[tuple[int, int], list[Node]] = {}
+        # (subquery identity, gamma projected to node positions) ->
+        # structural bindings (sorted, deduped, conditions NOT applied).
+        self._structural: dict[tuple[int, tuple[int, ...]], list[Binding]] = {}
+
+    # -- per-assignment entry -------------------------------------------------
+
+    def evaluate(self, values: Sequence[Any]) -> Optional[DataTree]:
+        """Evaluate the compiled query with ``values`` placed on the tree
+        in document order; semantics identical to
+        :func:`repro.ql.eval.evaluate` on ``assign_values(tree, values)``."""
+        nodes = self.nodes
+        if len(values) != len(nodes):
+            raise ValueError(f"need {len(nodes)} values, got {len(values)}")
+        for node, value in zip(nodes, values):
+            node.value = value
+            node._hash = None  # structure_key includes the value
+        forest = self._forest(self.cq._subs[id(self.cq.query)], {})
+        if not forest:
+            return None
+        return DataTree(_single_root(forest))
+
+    # -- cached structure -----------------------------------------------------
+
+    def _path_targets(self, edge: _CompiledEdge, source: Node) -> list[Node]:
+        # ``id(edge)`` is stable: the compiled query pins every edge alive.
+        key = (id(edge), id(source))
+        hit = self._targets.get(key)
+        if hit is not None:
+            if self.stats is not None:
+                self.stats.cache_hits += 1
+            return hit
+        if self.stats is not None:
+            self.stats.cache_misses += 1
+        out: list[Node] = []
+        if edge.accepts_epsilon:
+            out.append(source)
+        transitions = edge.transitions
+        coreach = edge.coreach
+        accepting = edge.accepting
+        stack = [(child, edge.start) for child in reversed(source.children)]
+        while stack:
+            node, state = stack.pop()
+            nxt = transitions.get((state, node.label))
+            if nxt is None or nxt not in coreach:
+                continue
+            if nxt in accepting:
+                out.append(node)
+            stack.extend((c, nxt) for c in reversed(node.children))
+        self._targets[key] = out
+        return out
+
+    def _structural_bindings(self, sub: _CompiledSub, gamma: Binding) -> list[Binding]:
+        order = self.order
+        key = (id(sub.query), tuple(order[id(gamma[v])] for v in sub.free_order))
+        hit = self._structural.get(key)
+        if hit is not None:
+            if self.stats is not None:
+                self.stats.cache_hits += 1
+            return hit
+        if self.stats is not None:
+            self.stats.cache_misses += 1
+        result = self._compute_bindings(sub, gamma)
+        self._structural[key] = result
+        return result
+
+    def _compute_bindings(self, sub: _CompiledSub, gamma: Binding) -> list[Binding]:
+        """Mirror of :func:`repro.ql.eval.bindings` minus condition
+        filtering (the only value-dependent step)."""
+        root = self.root
+        if root.label != sub.root_tag:
+            return []
+        partial: list[Binding] = [dict(gamma)]
+        for edge in sub.edges:
+            extended: list[Binding] = []
+            for b in partial:
+                source = root if edge.source is None else b[edge.source]
+                targets = self._path_targets(edge, source)
+                if edge.target in b:
+                    if any(t is b[edge.target] for t in targets):
+                        extended.append(b)
+                    continue
+                for t in targets:
+                    nb = dict(b)
+                    nb[edge.target] = t
+                    extended.append(nb)
+            partial = extended
+            if not partial:
+                return []
+        order = self.order
+        var_order = sub.var_order
+        partial.sort(key=lambda b: tuple(order[id(b[v])] for v in var_order))
+        seen: set[tuple[int, ...]] = set()
+        unique: list[Binding] = []
+        for b in partial:
+            key = tuple(order[id(b[v])] for v in var_order)
+            if key not in seen:
+                seen.add(key)
+                unique.append(b)
+        return unique
+
+    # -- value-dependent evaluation ------------------------------------------
+
+    def _forest(self, sub: _CompiledSub, gamma: Binding) -> list[Node]:
+        bnds = self._structural_bindings(sub, gamma)
+        if sub.conditions and bnds:
+            bnds = [
+                b for b in bnds if all(_condition_holds(c, b) for c in sub.conditions)
+            ]
+        if not bnds:
+            return []
+        return self._instantiate(sub.query.construct, bnds)
+
+    def _instantiate(self, cnode: ConstructNode, bnds: list[Binding]) -> list[Node]:
+        order = self.order
+        groups: dict[tuple[int, ...], list[Binding]] = {}
+        for b in bnds:
+            groups.setdefault(tuple(order[id(b[a])] for a in cnode.args), []).append(b)
+        out: list[Node] = []
+        for key in sorted(groups):
+            group = groups[key]
+            rep = group[0]
+            label = rep[cnode.label].label if cnode.is_tag_variable else cnode.label
+            value = rep[cnode.value_of].value if cnode.value_of is not None else None
+            children: list[Node] = []
+            for child in cnode.children:
+                if isinstance(child, ConstructNode):
+                    children.extend(self._instantiate(child, group))
+                else:
+                    children.extend(self._nested_roots(child, group))
+            out.append(Node(label, children, value))
+        return out
+
+    def _nested_roots(self, nested: NestedQuery, bnds: list[Binding]) -> list[Node]:
+        order = self.order
+        sub = self.cq._subs[id(nested.query)]
+        out: list[Node] = []
+        seen: set[tuple[int, ...]] = set()
+        keyed = sorted(
+            ((tuple(order[id(b[a])] for a in nested.args), b) for b in bnds),
+            key=lambda kv: kv[0],
+        )
+        for key, b in keyed:
+            if key in seen:
+                continue
+            seen.add(key)
+            out.extend(self._forest(sub, {a: b[a] for a in nested.args}))
+        return out
+
+
+# -- process-level memo -------------------------------------------------------
+
+# Bounded LRU keyed by (query, alphabet): Query and its AST are frozen and
+# hashable, so structurally identical queries share one compilation — in
+# particular a supervisor worker compiles once per process, not per shard,
+# and the star-free pipeline's deterministic relabeling hits across calls.
+_MEMO_MAX = 16
+_memo: "OrderedDict[tuple[Query, frozenset[str]], CompiledQuery]" = OrderedDict()
+
+
+def compiled_query_for(query: Query, alphabet: Iterable[str]) -> CompiledQuery:
+    """The process-level compilation cache (bounded LRU)."""
+    key = (query, frozenset(alphabet))
+    hit = _memo.get(key)
+    if hit is not None:
+        _memo.move_to_end(key)
+        return hit
+    compiled = CompiledQuery(query, key[1])
+    _memo[key] = compiled
+    if len(_memo) > _MEMO_MAX:
+        _memo.popitem(last=False)
+    return compiled

@@ -185,6 +185,30 @@ def evaluate_forest(
     return _instantiate(query.construct, bnds, root, order)
 
 
+def _single_root(forest: list[Node]) -> Node:
+    """Enforce the program invariant: the outermost construct root binds
+    no variables, so instantiation yields exactly one output node.
+
+    Anything else is an engine bug, and the guard must survive
+    ``python -O`` (its assert-based predecessor was silently stripped);
+    the structured error carries enough to report the failure upstream.
+    The import is deferred: ``repro.typecheck`` imports this package.
+    """
+    if len(forest) != 1:
+        from repro.typecheck.errors import EvaluationError
+
+        raise EvaluationError(
+            "query construction",
+            -1,
+            None,
+            RuntimeError(
+                f"outermost construct root produced {len(forest)} output "
+                "nodes (expected exactly 1: it binds no variables)"
+            ),
+        )
+    return forest[0]
+
+
 def evaluate(query: Query, tree: Union[DataTree, Node]) -> Optional[DataTree]:
     """Evaluate an outermost query; ``None`` when the where clause has no
     binding at all (no output tree is produced)."""
@@ -196,5 +220,4 @@ def evaluate(query: Query, tree: Union[DataTree, Node]) -> Optional[DataTree]:
     forest = evaluate_forest(query, tree, {})
     if not forest:
         return None
-    assert len(forest) == 1, "outermost construct root has no variables"
-    return DataTree(forest[0])
+    return DataTree(_single_root(forest))

@@ -69,6 +69,10 @@ class SearchTask:
     budget: Any
     vacuous_output_ok: bool = True
     theoretical_bound: Optional[float] = None
+    use_eval_cache: bool = True
+    """Whether workers evaluate through the compiled-query cache
+    (:mod:`repro.ql.compile`).  Observably identical either way; shipped
+    so an ablation run is ablated in every process."""
 
 
 @dataclass
@@ -152,7 +156,10 @@ def plan_shards(
     )
 
     needs_values = has_data_conditions(query)
-    n_constants = len(set(constants_used(query)))
+    # The constant *sequence* goes to the pricing DP, which dedupes it
+    # exactly like the enumerator does — duplicate query constants can
+    # never skew the cursor-range shards.
+    constants = sorted(constants_used(query), key=repr)
     if needs_values and budget.prune_value_tags:
         relevant_tags = _value_relevant_tags(query)
     elif needs_values:
@@ -188,7 +195,7 @@ def plan_shards(
                 k = len(nodes)
             else:
                 k = sum(1 for n in nodes if n.label in relevant_tags)
-            count = count_value_assignments(k, n_constants, budget.max_value_classes)
+            count = count_value_assignments(k, constants, budget.max_value_classes)
         label_counts.append(count)
         total += count
 

@@ -60,7 +60,13 @@ from repro.runtime.shard import SearchTask, ShardPlan, ShardSpec, plan_shards
 
 __all__ = ["ShardedSearch", "SupervisorConfig"]
 
-_STAT_KEYS = ("label_trees_checked", "valued_trees_checked", "max_size_reached")
+_STAT_KEYS = (
+    "label_trees_checked",
+    "valued_trees_checked",
+    "max_size_reached",
+    "cache_hits",
+    "cache_misses",
+)
 
 
 @dataclass(frozen=True)
@@ -161,7 +167,12 @@ def _run_task(
     machinery fresh; the parent only reaches here on degradation."""
     from repro.typecheck.search import find_counterexample
 
-    common = dict(control=control, resume_from=resume_from, shard=shard)
+    common = dict(
+        control=control,
+        resume_from=resume_from,
+        shard=shard,
+        use_eval_cache=task.use_eval_cache,
+    )
     if task.algorithm == "thm-3.1-unordered":
         from repro.typecheck.unordered import typecheck_unordered
 
@@ -954,6 +965,11 @@ class ShardedSearch:
             stats.max_size_reached = max(
                 stats.max_size_reached, int(shard_stats.get("max_size_reached", 0))
             )
+            # Cache events are counted per label tree, so disjoint ranges
+            # sum to exactly the sequential totals (failed worker attempts
+            # report nothing; the succeeding attempt redoes the full range).
+            stats.cache_hits += int(shard_stats.get("cache_hits", 0))
+            stats.cache_misses += int(shard_stats.get("cache_misses", 0))
 
         ordered = sorted(states, key=lambda s: s.spec.start_label)
         failing = next((st for st in ordered if st.status == "fails"), None)

@@ -13,9 +13,48 @@ assignment appears exactly once.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence, Union
 
 from repro.trees.data_tree import DataTree, Node
+
+
+class AnonValue:
+    """One anonymous equal-value class.
+
+    Anonymous classes used to be the literal strings ``"_v0", "_v1", ...``,
+    which collide with a query constant literally named ``"_v0"``: two
+    semantically distinct assignments (node equals the constant vs. node in
+    a fresh class) collapse into one, and every ``=``/``!=`` test against
+    that constant is answered wrongly.  A dedicated type is collision-proof
+    against *any* constant: ``AnonValue(i) != x`` for every non-AnonValue
+    ``x``, whatever the query compares against.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AnonValue) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("AnonValue", self.index))
+
+    def __repr__(self) -> str:
+        return f"AnonValue({self.index})"
+
+    def __str__(self) -> str:
+        # Rendered in term syntax / counterexample reports.
+        return f"~{self.index}"
+
+    # __slots__ without __dict__: spell out the pickle protocol so values
+    # survive the trip to supervisor worker processes.
+    def __getstate__(self) -> int:
+        return self.index
+
+    def __setstate__(self, state: int) -> None:
+        self.index = state
 
 
 def assign_values(tree: DataTree, values: Sequence[Any]) -> DataTree:
@@ -37,7 +76,7 @@ def enumerate_value_assignments(
     """All semantically distinct value vectors for ``n_nodes`` nodes.
 
     Each node gets either one of ``constants`` (values the query mentions
-    literally) or an anonymous value ``_v0, _v1, ...``; anonymous class
+    literally) or an anonymous class :class:`AnonValue`; anonymous class
     ids form a restricted-growth string so that permuting anonymous values
     never yields a duplicate.  ``max_classes`` caps the number of distinct
     anonymous values (``None`` = up to ``n_nodes``); capping trades
@@ -45,6 +84,7 @@ def enumerate_value_assignments(
     """
     consts = list(dict.fromkeys(constants))
     cap = n_nodes if max_classes is None else min(max_classes, n_nodes)
+    anon = [AnonValue(b) for b in range(cap)]
 
     def rec(i: int, used_anon: int, prefix: list[Any]) -> Iterator[tuple[Any, ...]]:
         if i == n_nodes:
@@ -55,7 +95,7 @@ def enumerate_value_assignments(
             yield from rec(i + 1, used_anon, prefix)
             prefix.pop()
         for b in range(min(used_anon + 1, cap)):
-            prefix.append(f"_v{b}")
+            prefix.append(anon[b])
             yield from rec(i + 1, max(used_anon, b + 1), prefix)
             prefix.pop()
 
@@ -78,18 +118,30 @@ def enumerate_valued_trees(
 
 
 def count_value_assignments(
-    n_nodes: int, n_constants: int, max_classes: Optional[int] = None
+    n_nodes: int,
+    constants: Union[Sequence[Any], int] = (),
+    max_classes: Optional[int] = None,
 ) -> int:
     """Size of the assignment space — exactly
-    ``len(list(enumerate_value_assignments(n, range(c), cap)))`` but
+    ``len(list(enumerate_value_assignments(n, constants, cap)))`` but
     computed by dynamic programming, so the shard planner can price a
     label tree without materializing a single assignment.
+
+    ``constants`` is the same constant *sequence* the enumerator takes and
+    is deduplicated the same way (``dict.fromkeys``), so duplicate query
+    constants can never make the DP price disagree with what a worker
+    actually enumerates.  A bare ``int`` is accepted as an already-deduped
+    count for callers that never saw the values themselves.
 
     State ``(i, u)`` mirrors the enumerator's recursion: ``i`` nodes
     placed, ``u`` anonymous classes opened so far.
     """
     if n_nodes < 0:
         raise ValueError(f"n_nodes must be >= 0, got {n_nodes}")
+    if isinstance(constants, int):
+        n_constants = constants
+    else:
+        n_constants = len(dict.fromkeys(constants))
     cap = n_nodes if max_classes is None else min(max_classes, n_nodes)
     # row[u] = number of completions with u classes open, i nodes to go.
     row = [1] * (cap + 1)

@@ -57,6 +57,7 @@ def typecheck(
     resume_from: Optional[SearchCheckpoint] = None,
     workers: int = 0,
     supervisor: Optional[object] = None,
+    use_eval_cache: bool = True,
 ) -> TypecheckResult:
     """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
 
@@ -75,6 +76,12 @@ def typecheck(
     the fault-tolerant supervisor (:mod:`repro.runtime.supervisor`) with
     exactly the sequential verdict and statistics; ``supervisor`` takes a
     :class:`repro.runtime.supervisor.SupervisorConfig` for finer control.
+
+    ``use_eval_cache=False`` disables the compile-once evaluation layer
+    (:mod:`repro.ql.compile`) and evaluates every candidate through the
+    reference evaluator — verdicts, witnesses, and search statistics are
+    identical either way (the cache-hit counters read zero); the flag
+    exists for ablation benchmarks and equivalence checks.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
@@ -92,6 +99,7 @@ def typecheck(
             resume_from=resume_from,
             workers=workers,
             supervisor=supervisor,
+            use_eval_cache=use_eval_cache,
         )
         if result.verdict is Verdict.TYPECHECKS:
             # Even exhausting a finite space is legitimate; keep it.
@@ -118,6 +126,7 @@ def typecheck(
             resume_from=resume_from,
             workers=workers,
             supervisor=supervisor,
+            use_eval_cache=use_eval_cache,
         )
     if has_tag_variables(query):
         return fallback(
@@ -141,6 +150,7 @@ def typecheck(
                 resume_from=resume_from,
                 workers=workers,
                 supervisor=supervisor,
+                use_eval_cache=use_eval_cache,
             )
             result.notes.append(
                 "FO content models are checked by direct search (no DFA "
@@ -156,6 +166,7 @@ def typecheck(
             resume_from=resume_from,
             workers=workers,
             supervisor=supervisor,
+            use_eval_cache=use_eval_cache,
         )
     # Fully regular output DTD: Theorem 3.5 needs projection-freeness.
     if not assume_projection_free and not is_projection_free(query, tau1):
@@ -174,4 +185,5 @@ def typecheck(
         resume_from=resume_from,
         workers=workers,
         supervisor=supervisor,
+        use_eval_cache=use_eval_cache,
     )

@@ -184,6 +184,7 @@ def typecheck_regular(
     workers: int = 0,
     supervisor: Optional[object] = None,
     shard: Optional[object] = None,
+    use_eval_cache: bool = True,
 ) -> TypecheckResult:
     """Theorem 3.5: typecheck a projection-free, tag-variable-free,
     non-recursive query against a fully regular output DTD.
@@ -225,6 +226,7 @@ def typecheck_regular(
         workers=workers,
         supervisor=supervisor,
         shard=shard,
+        use_eval_cache=use_eval_cache,
     )
     result.notes.extend(notes)
     if moduli:

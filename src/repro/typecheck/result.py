@@ -74,6 +74,13 @@ class SearchStats:
     label_trees_checked: int = 0
     valued_trees_checked: int = 0
     max_size_reached: int = 0
+    cache_hits: int = 0
+    """Per-tree evaluation-cache hits (path-target and structural-binding
+    lookups served from the compiled query's caches; see
+    :mod:`repro.ql.compile`).  Zero when the cache is disabled.  Counted
+    per label tree, so sequential and sharded totals agree exactly."""
+    cache_misses: int = 0
+    """Per-tree evaluation-cache misses (entries computed and stored)."""
     theoretical_bound: Optional[int | float] = None  # float('inf') = astronomical
     budget_max_size: int = 0
     budget_max_instances: int = 0
@@ -127,6 +134,10 @@ class TypecheckResult:
             f"  searched {s.valued_trees_checked} valued inputs over "
             f"{s.label_trees_checked} label trees (sizes <= {s.max_size_reached})"
         )
+        if s.cache_hits or s.cache_misses:
+            lines.append(
+                f"  eval cache:     {s.cache_hits} hits / {s.cache_misses} misses"
+            )
         if self.interruption:
             lines.append(f"  interrupted:    {self.interruption}")
             frac = s.budget_fraction()

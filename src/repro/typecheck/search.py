@@ -39,8 +39,9 @@ from repro.dtd.content import ContentKind, SLContent
 from repro.dtd.core import DTD, ValidationResult
 from repro.dtd.generate import enumerate_instances, max_instance_size
 from repro.dtd.specialized import SpecializedDTD
-from repro.ql.analysis import constants_used, has_data_conditions
+from repro.ql.analysis import constants_used, has_data_conditions, value_relevant_tags
 from repro.ql.ast import Query
+from repro.ql.compile import BoundTree, compiled_query_for
 from repro.ql.eval import evaluate
 from repro.runtime.checkpoint import (
     CheckpointMismatchError,
@@ -51,7 +52,7 @@ from repro.runtime.checkpoint import (
 from repro.runtime.control import RuntimeControl
 from repro.runtime.shard import SearchTask, ShardSpec
 from repro.trees.data_tree import DataTree, Node
-from repro.trees.values import assign_values, enumerate_value_assignments, fresh_values
+from repro.trees.values import assign_values, enumerate_value_assignments
 from repro.typecheck.errors import EvaluationError, WitnessVerificationError
 from repro.typecheck.result import SearchStats, TypecheckResult, Verdict
 
@@ -91,37 +92,10 @@ def _validator_for(output_type: Union[DTD, SpecializedDTD, OutputValidator]) -> 
     return output_type
 
 
-def _value_relevant_tags(query: Query) -> Optional[frozenset[str]]:
-    """Tags of nodes whose data values the query can ever *test*.
-
-    Conditions compare ``val(beta(x))`` only for variables ``x`` appearing
-    in conditions; ``beta(x)`` carries the last symbol of the matched edge
-    word.  Values on all other nodes never influence the output, so the
-    search may pin them to fresh constants.  Returns ``None`` when the
-    analysis cannot bound the tags (epsilon in a condition variable's path
-    language, or an unanalyzable edge) — meaning "treat every tag as
-    relevant".
-    """
-    condition_vars: set[str] = set()
-    for q in query.subqueries():
-        for c in q.where.conditions:
-            condition_vars.add(c.left)
-            if isinstance(c.right, str):
-                condition_vars.add(c.right)
-    relevant: set[str] = set()
-    for q in query.subqueries():
-        for edge in q.where.edges:
-            if edge.target not in condition_vars:
-                continue
-            sigma = edge.regex.symbols() or frozenset({"_any"})
-            dfa = edge.regex.to_dfa(sigma)
-            if dfa.accepts_epsilon():
-                return None  # the variable may alias its source node
-            live = dfa.live_states()
-            for (s, a), t in dfa.transitions.items():
-                if s in live and t in dfa.accepting:
-                    relevant.add(a)
-    return frozenset(relevant)
+# The analysis moved to :func:`repro.ql.analysis.value_relevant_tags` so
+# the compile layer can share it without importing the typecheck package;
+# the old private name stays importable (the shard planner uses it).
+_value_relevant_tags = value_relevant_tags
 
 
 # Interning table for canonical label structures: (label, sorted child
@@ -167,10 +141,14 @@ def _order_insensitive(tau1: DTD, output_type) -> bool:
     return False
 
 
-def _valued_candidates(labels: DataTree, constants, max_classes, relevant_tags):
-    """Valued versions of a label tree, enumerating assignments only over
-    nodes whose tags the query can compare (``relevant_tags``); every
-    other node gets a unique fresh value."""
+def _assignment_vectors(labels: DataTree, constants, max_classes, relevant_tags):
+    """Full value vectors (document order) for a label tree: enumerated
+    assignments over nodes whose tags the query can compare
+    (``relevant_tags``); every other node gets a unique fresh value.
+
+    This is the *shared* enumeration order of the cached and uncached
+    evaluation paths — checkpoints, shard cursors, and fault-injection
+    indices count the same stream either way."""
     nodes = labels.nodes()
     if relevant_tags is None:
         relevant_idx = list(range(len(nodes)))
@@ -181,6 +159,12 @@ def _valued_candidates(labels: DataTree, constants, max_classes, relevant_tags):
         values = list(filler)
         for i, v in zip(relevant_idx, assignment):
             values[i] = v
+        yield tuple(values)
+
+
+def _valued_candidates(labels: DataTree, constants, max_classes, relevant_tags):
+    """Valued versions of a label tree (the uncached materializing path)."""
+    for values in _assignment_vectors(labels, constants, max_classes, relevant_tags):
         yield assign_values(labels, values)
 
 
@@ -248,9 +232,20 @@ def find_counterexample(
     control: Optional[RuntimeControl] = None,
     resume_from: Optional[SearchCheckpoint] = None,
     shard: Optional[ShardSpec] = None,
+    use_eval_cache: bool = True,
 ) -> TypecheckResult:
     """Search ``inst(tau1)`` (up to the budget) for a tree whose query
     output violates the output type.
+
+    ``use_eval_cache`` selects the compile-once evaluation path
+    (:mod:`repro.ql.compile`): edge DFAs compiled once per run over the
+    DTD alphabet, per-tree structure cached across value assignments, no
+    per-assignment tree copy.  The flag changes *nothing observable* —
+    verdicts, witnesses, statistics, enumeration order, and checkpoint
+    fingerprints are identical either way (so a checkpoint taken with the
+    cache on resumes with it off and vice versa); it exists for ablation
+    benchmarks and as a cross-check in CI.  Reported witnesses are always
+    re-verified through the uncached reference evaluator.
 
     ``vacuous_output_ok`` controls the corner case of inputs on which the
     where clause has no binding at all, so no output tree exists; the
@@ -285,6 +280,7 @@ def find_counterexample(
             algorithm=algorithm,
             control=control,
             resume_from=resume_from,
+            use_eval_cache=use_eval_cache,
         )
     budget = budget or SearchBudget()
     validate = _validator_for(output_type)
@@ -311,12 +307,21 @@ def find_counterexample(
         stats.label_trees_checked = int(resume_from.stats.get("label_trees_checked", 0))
         stats.valued_trees_checked = int(resume_from.stats.get("valued_trees_checked", 0))
         stats.max_size_reached = int(resume_from.stats.get("max_size_reached", 0))
+        stats.cache_hits = int(resume_from.stats.get("cache_hits", 0))
+        stats.cache_misses = int(resume_from.stats.get("cache_misses", 0))
         stats.resumed_from_checkpoint = True
+
+    # Compiled once per run (and memoized per process, so a supervisor
+    # worker compiles once, not once per shard).  The cache flag is not
+    # part of the fingerprint: it cannot change any observable outcome.
+    compiled = compiled_query_for(query, tau1.alphabet) if use_eval_cache else None
 
     needs_values = has_data_conditions(query)
     constants = sorted(constants_used(query), key=repr)
     if needs_values and budget.prune_value_tags:
-        relevant_tags = _value_relevant_tags(query)
+        relevant_tags = (
+            compiled.relevant_tags if compiled is not None else _value_relevant_tags(query)
+        )
     elif needs_values:
         relevant_tags = None  # ablation: every node's value is enumerated
     else:
@@ -334,6 +339,8 @@ def find_counterexample(
                 "label_trees_checked": stats.label_trees_checked,
                 "valued_trees_checked": stats.valued_trees_checked,
                 "max_size_reached": stats.max_size_reached,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
             },
             reason=reason,
         )
@@ -380,11 +387,20 @@ def find_counterexample(
             continue
 
         if needs_values:
-            candidates: Iterator[DataTree] = _valued_candidates(
+            vectors: Iterator[tuple] = _assignment_vectors(
                 labels, constants, budget.max_value_classes, relevant_tags
             )
         else:
-            candidates = iter([fresh_values(labels)])
+            # All-distinct values: the coarsest assignment satisfying
+            # every != and no = — one candidate, same as fresh_values().
+            vectors = iter([tuple(f"_v{i}" for i in range(labels.size()))])
+        if compiled is not None:
+            # One working copy per label tree; every assignment below is
+            # written onto it in place (no per-assignment tree.copy()).
+            bound: Optional[BoundTree] = compiled.bind(labels, stats)
+        else:
+            bound = None
+        candidates: Iterator[tuple] = vectors
         values_done = 0
         if raw_index == resume_labels and resume_values > 0:
             # The tree the interruption fell on: skip what was already
@@ -410,7 +426,7 @@ def find_counterexample(
             stats.valued_trees_checked += 1
             values_done += 1
 
-        for tree in candidates:
+        for values in candidates:
             reason = _stop_reason(control, instance_base + stats.valued_trees_checked)
             if reason is not None:
                 return interrupted(reason, raw_index, values_done)
@@ -427,12 +443,20 @@ def find_counterexample(
             # The counters move only after the instance is fully processed,
             # so a failure checkpoint (cursor *at* the failing instance,
             # instance uncounted) resumes by retrying it — no double count.
+            # The valued tree is materialized only off the hot path (error
+            # reports, witnesses); the cached evaluator works in place.
             try:
                 if injected is not None:
                     raise injected
-                output = evaluate(query, tree)
+                if bound is not None:
+                    output = bound.evaluate(values)
+                else:
+                    tree = assign_values(labels, values)
+                    output = evaluate(query, tree)
             except Exception as exc:
-                error = EvaluationError("query evaluation", instance_index, tree, exc)
+                error = EvaluationError(
+                    "query evaluation", instance_index, assign_values(labels, values), exc
+                )
                 error.checkpoint = make_checkpoint(
                     f"evaluator failure on instance #{instance_index}",
                     raw_index,
@@ -445,7 +469,7 @@ def find_counterexample(
                     continue
                 return TypecheckResult(
                     Verdict.FAILS,
-                    counterexample=tree,
+                    counterexample=assign_values(labels, values),
                     output=None,
                     violation="query produces no output tree on this input",
                     stats=stats,
@@ -454,7 +478,9 @@ def find_counterexample(
             try:
                 result = validate(output)
             except Exception as exc:
-                error = EvaluationError("output validation", instance_index, tree, exc)
+                error = EvaluationError(
+                    "output validation", instance_index, assign_values(labels, values), exc
+                )
                 error.checkpoint = make_checkpoint(
                     f"validator failure on instance #{instance_index}",
                     raw_index,
@@ -463,7 +489,12 @@ def find_counterexample(
                 raise error from exc
             count_instance()
             if not result.ok:
-                recheck_output = evaluate(query, tree)
+                # Re-verification always goes through the uncached
+                # reference evaluator on a fresh tree — with the cache on
+                # this doubles as a per-witness cross-check of the
+                # compiled path.
+                witness = assign_values(labels, values)
+                recheck_output = evaluate(query, witness)
                 recheck = (
                     validate(recheck_output) if recheck_output is not None else None
                 )
@@ -472,15 +503,15 @@ def find_counterexample(
                     # predecessor was): a witness that fails re-verification
                     # means the engine itself is unsound.
                     raise WitnessVerificationError(
-                        tree,
+                        witness,
                         "validator accepted the output on re-evaluation"
                         if recheck is not None
                         else "query produced no output on re-evaluation",
                     )
                 return TypecheckResult(
                     Verdict.FAILS,
-                    counterexample=tree,
-                    output=output,
+                    counterexample=witness,
+                    output=recheck_output,
                     violation=str(result.error),
                     stats=stats,
                     algorithm=algorithm,
@@ -523,6 +554,7 @@ def run_search(
     supervisor: Optional[object] = None,
     task_tau2: Optional[object] = None,
     task_query: Optional[Query] = None,
+    use_eval_cache: bool = True,
 ) -> TypecheckResult:
     """Dispatch one bounded search to the sequential engine or the
     fault-tolerant sharded supervisor.
@@ -557,6 +589,7 @@ def run_search(
             control=control,
             resume_from=resume_from,
             shard=shard,
+            use_eval_cache=use_eval_cache,
         )
 
     wants_parallel = workers > 1 or (
@@ -574,6 +607,7 @@ def run_search(
             budget=budget or SearchBudget(),
             vacuous_output_ok=vacuous_output_ok,
             theoretical_bound=theoretical_bound,
+            use_eval_cache=use_eval_cache,
         )
         if supervisor is not None:
             config = supervisor
@@ -607,6 +641,7 @@ def run_search(
         algorithm=algorithm,
         control=control,
         resume_from=resume_from,
+        use_eval_cache=use_eval_cache,
     )
     if wants_parallel:
         result.notes.append(

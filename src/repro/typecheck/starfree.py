@@ -239,6 +239,7 @@ def typecheck_starfree(
     workers: int = 0,
     supervisor: Optional[object] = None,
     shard: Optional[object] = None,
+    use_eval_cache: bool = True,
 ) -> TypecheckResult:
     """Theorem 3.2: typecheck a non-recursive, tag-variable-free query
     against a star-free output DTD by compiling to the unordered case.
@@ -277,6 +278,7 @@ def typecheck_starfree(
         shard=shard,
         task_tau2=tau2,
         task_query=query,
+        use_eval_cache=use_eval_cache,
     )
     result.notes.append(
         f"compiled {len(mapping)} construct tags to SL via (double-dagger); "

@@ -48,6 +48,7 @@ def typecheck_unordered(
     workers: int = 0,
     supervisor: Optional[object] = None,
     shard: Optional[object] = None,
+    use_eval_cache: bool = True,
 ) -> TypecheckResult:
     """Decide (within budget) whether every output of ``query`` on
     ``inst(tau1)`` satisfies the unordered DTD ``tau2``.
@@ -57,6 +58,8 @@ def typecheck_unordered(
     ``workers > 1`` runs the search under the fault-tolerant sharded
     supervisor (same verdict, same statistics); ``shard`` restricts the
     run to one cursor range (supervisor workers use this).
+    ``use_eval_cache=False`` disables the compile-once evaluation layer
+    (ablation; observably identical, only slower).
     """
     check_preconditions_thm31(query, tau2)
     bound = thm31_bound(query, tau1, tau2)
@@ -72,4 +75,5 @@ def typecheck_unordered(
         workers=workers,
         supervisor=supervisor,
         shard=shard,
+        use_eval_cache=use_eval_cache,
     )

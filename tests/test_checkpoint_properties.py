@@ -250,10 +250,12 @@ def test_fingerprint_mismatch_rejected(fp):
 
 @given(
     st.integers(min_value=0, max_value=6),
-    st.integers(min_value=0, max_value=3),
+    st.lists(st.sampled_from(["c0", "c1", "c2"]), max_size=6),
     st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
 )
-def test_count_matches_enumeration(n_nodes, n_constants, max_classes):
-    constants = [f"c{i}" for i in range(n_constants)]
+def test_count_matches_enumeration(n_nodes, constants, max_classes):
+    """DP price == enumerated count on the *same constant sequence* —
+    including sequences with duplicates, which the old ``n_constants``
+    signature let the planner double-count."""
     expected = sum(1 for _ in enumerate_value_assignments(n_nodes, constants, max_classes))
-    assert count_value_assignments(n_nodes, n_constants, max_classes) == expected
+    assert count_value_assignments(n_nodes, constants, max_classes) == expected

@@ -1,0 +1,390 @@
+"""Compile-once query evaluation (ISSUE 3): exactness of the cached path.
+
+Three layers of evidence that :mod:`repro.ql.compile` changes *nothing
+observable*:
+
+* a Hypothesis sweep asserting node-for-node identical output between the
+  compiled evaluator and the reference :func:`repro.ql.eval.evaluate`,
+  over random DTD instances, random value assignments, and queries
+  drawn with tag variables, nested queries, and =/!= conditions;
+* on/off equivalence of the full decision procedures (Theorems 3.1, 3.2,
+  3.5): identical verdicts, witnesses, outputs, and search statistics,
+  sequential and sharded (``workers=2``), including under the
+  ``worker_kill`` fault mode;
+* the value-enumeration bugfixes riding along: anonymous classes are
+  collision-proof against a query constant literally named ``"_v0"``,
+  and the single-root invariant of ``evaluate()`` raises a structured
+  :class:`EvaluationError` (which survives ``python -O``; asserts don't).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd import DTD
+from repro.dtd.generate import enumerate_instances
+from repro.ql import eval as ql_eval
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
+from repro.ql.compile import CompiledQuery, compiled_query_for
+from repro.ql.eval import evaluate
+from repro.runtime import FaultInjector, FaultPlan, RuntimeControl, WorkerKill
+from repro.runtime.faults import ANY_SHARD
+from repro.trees.values import (
+    AnonValue,
+    assign_values,
+    count_value_assignments,
+    enumerate_value_assignments,
+)
+from repro.typecheck import (
+    EvaluationError,
+    Verdict,
+    typecheck_regular,
+    typecheck_starfree,
+    typecheck_unordered,
+)
+from repro.typecheck.search import SearchBudget, find_counterexample
+
+# -- node-for-node equivalence (Hypothesis) -----------------------------------
+
+TAU1 = DTD("root", {"root": "(a + b)*", "a": "c?", "c": "eps"})
+_INSTANCES = list(enumerate_instances(TAU1, 5))
+
+
+@st.composite
+def programs(draw):
+    """Outermost queries over TAU1 exercising every evaluator feature:
+    multi-edge patterns, =/!= conditions (against constants and between
+    variables), tag variables, and a nested query."""
+    edges = [Edge.of(None, "X", draw(st.sampled_from(["a", "b", "a + b", "a.c"])))]
+    variables = ["X"]
+    if draw(st.booleans()):
+        edges.append(Edge.of(None, "Z", draw(st.sampled_from(["a + b", "b", "a.c?"]))))
+        variables.append("Z")
+    conditions = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        left = draw(st.sampled_from(variables))
+        op = draw(st.sampled_from(["=", "!="]))
+        right = draw(
+            st.sampled_from(
+                [Const(1), Const("x"), Const("_v0")] + [v for v in variables if v != left]
+            )
+        )
+        conditions.append(Condition(left, op, right))
+    # Construct: item(X) — optionally labeled by the tag variable X,
+    # optionally carrying val(X), optionally with a nested query per X.
+    item_children = ()
+    if draw(st.booleans()):
+        inner = Query(
+            where=Where.of("X", [Edge.of(None, "Y", "c")]),
+            construct=ConstructNode("leaf", ("X", "Y")),
+            free_vars=("X",),
+        )
+        item_children = (NestedQuery(inner, ("X",)),)
+    label = "X" if draw(st.booleans()) else "item"
+    value_of = "X" if draw(st.booleans()) else None
+    item = ConstructNode(label, ("X",), item_children, value_of)
+    return Query(where=Where.of("root", edges, conditions), construct=ConstructNode("out", (), (item,)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    programs(),
+    st.integers(min_value=0, max_value=len(_INSTANCES) - 1),
+    st.data(),
+)
+def test_compiled_evaluation_is_node_for_node_identical(query, tree_idx, data):
+    labels = _INSTANCES[tree_idx]
+    values = tuple(
+        data.draw(st.sampled_from([1, 2, "x", "_v0", AnonValue(0)]))
+        for _ in range(labels.size())
+    )
+    reference = evaluate(query, assign_values(labels, values))
+    compiled = compiled_query_for(query, TAU1.alphabet)
+    bound = compiled.bind(labels)
+    got = bound.evaluate(values)
+    if reference is None:
+        assert got is None
+    else:
+        assert got is not None
+        assert got.root.structure_key() == reference.root.structure_key()
+    # Re-evaluating on the same context (cache warm) must be stable too.
+    again = bound.evaluate(values)
+    if reference is None:
+        assert again is None
+    else:
+        assert again.root.structure_key() == reference.root.structure_key()
+
+
+def test_bind_does_not_mutate_the_callers_tree():
+    labels = _INSTANCES[-1]
+    before = labels.root.structure_key()
+    query = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const(1))]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    bound = compiled_query_for(query, TAU1.alphabet).bind(labels)
+    bound.evaluate(tuple(range(labels.size())))
+    assert labels.root.structure_key() == before
+
+
+def test_process_level_memo_reuses_compilations():
+    query = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    structurally_equal = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    first = compiled_query_for(query, TAU1.alphabet)
+    assert compiled_query_for(structurally_equal, TAU1.alphabet) is first
+
+
+# -- on/off equivalence of the decision procedures ----------------------------
+
+U_TAU1 = DTD("root", {"root": "a^>=0"}, unordered=True)
+U_TAU2_OK = DTD("out", {"out": "true"}, unordered=True, alphabet={"out", "item"})
+U_TAU2_STRICT = DTD("out", {"out": "item^=1"}, unordered=True, alphabet={"out", "item"})
+SF_TAU1 = DTD("root", {"root": "(a + b)*"})
+SF_TAU2 = DTD("out", {"out": "~(empty)"}, alphabet={"out", "item"})
+R_TAU2 = DTD("out", {"out": "(item.item)*.item?"})
+BUDGET = SearchBudget(max_size=5)
+
+
+def _condition_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const(1))]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+def _stat_triple(result):
+    s = result.stats
+    return (s.label_trees_checked, s.valued_trees_checked, s.max_size_reached)
+
+
+def assert_on_off_equivalent(run, expect_hits=True):
+    """``run(use_eval_cache=...)`` twice; everything observable must match."""
+    on = run(use_eval_cache=True)
+    off = run(use_eval_cache=False)
+    assert on.verdict is off.verdict
+    assert on.counterexample == off.counterexample
+    assert on.output == off.output
+    assert on.violation == off.violation
+    assert _stat_triple(on) == _stat_triple(off)
+    assert off.stats.cache_hits == 0 and off.stats.cache_misses == 0
+    if expect_hits:
+        assert on.stats.cache_hits > 0
+    return on, off
+
+
+class TestProcedureEquivalence:
+    def test_thm31_no_counterexample(self):
+        assert_on_off_equivalent(
+            lambda **kw: typecheck_unordered(_condition_query(), U_TAU1, U_TAU2_OK, BUDGET, **kw)
+        )
+
+    def test_thm31_fails_with_identical_witness(self):
+        on, off = assert_on_off_equivalent(
+            lambda **kw: typecheck_unordered(
+                _condition_query(), U_TAU1, U_TAU2_STRICT, BUDGET, **kw
+            )
+        )
+        assert on.verdict is Verdict.FAILS
+        assert on.counterexample is not None
+
+    def test_thm32_starfree(self):
+        assert_on_off_equivalent(
+            lambda **kw: typecheck_starfree(_condition_query(), SF_TAU1, SF_TAU2, BUDGET, **kw)
+        )
+
+    def test_thm35_regular(self):
+        assert_on_off_equivalent(
+            lambda **kw: typecheck_regular(
+                _condition_query(),
+                SF_TAU1,
+                R_TAU2,
+                BUDGET,
+                assume_projection_free=True,
+                **kw,
+            )
+        )
+
+    def test_refutation_search_vacuous_fails(self):
+        # vacuous_output_ok=False exercises the materialize-on-FAILS path
+        # of the cached engine (no output tree to compare).
+        on, off = assert_on_off_equivalent(
+            lambda **kw: find_counterexample(
+                _condition_query(),
+                DTD("root", {"root": "b*"}),
+                U_TAU2_OK,
+                budget=BUDGET,
+                vacuous_output_ok=False,
+                **kw,
+            ),
+            expect_hits=False,  # fails on the first instance; nothing re-read
+        )
+        assert on.verdict is Verdict.FAILS
+        assert on.output is None
+
+
+class TestShardedEquivalence:
+    def test_workers2_matches_sequential_including_cache_counters(self):
+        seq = typecheck_unordered(_condition_query(), U_TAU1, U_TAU2_OK, BUDGET)
+        par = typecheck_unordered(
+            _condition_query(), U_TAU1, U_TAU2_OK, BUDGET, workers=2
+        )
+        assert par.verdict is seq.verdict
+        assert _stat_triple(par) == _stat_triple(seq)
+        # Cache events are per label tree, so the shard totals must merge
+        # back into exactly the sequential counters.
+        assert (par.stats.cache_hits, par.stats.cache_misses) == (
+            seq.stats.cache_hits,
+            seq.stats.cache_misses,
+        )
+
+    def test_workers2_under_worker_kill(self):
+        seq = typecheck_unordered(_condition_query(), U_TAU1, U_TAU2_OK, BUDGET)
+        par = typecheck_unordered(
+            _condition_query(),
+            U_TAU1,
+            U_TAU2_OK,
+            BUDGET,
+            workers=2,
+            control=RuntimeControl(
+                faults=FaultInjector(
+                    FaultPlan(worker_kills=frozenset({WorkerKill(ANY_SHARD, 0, 2, "kill")}))
+                )
+            ),
+        )
+        assert par.verdict is seq.verdict
+        assert _stat_triple(par) == _stat_triple(seq)
+        # Failed attempts report nothing; the surviving attempt redoes its
+        # range from scratch, so even cache counters merge exactly.
+        assert (par.stats.cache_hits, par.stats.cache_misses) == (
+            seq.stats.cache_hits,
+            seq.stats.cache_misses,
+        )
+        assert par.stats.sharding is not None
+        assert par.stats.sharding.worker_deaths >= 1
+
+    def test_sharded_cache_off_matches_sequential_cache_off(self):
+        seq = typecheck_unordered(
+            _condition_query(), U_TAU1, U_TAU2_OK, BUDGET, use_eval_cache=False
+        )
+        par = typecheck_unordered(
+            _condition_query(), U_TAU1, U_TAU2_OK, BUDGET, workers=2, use_eval_cache=False
+        )
+        assert par.verdict is seq.verdict
+        assert _stat_triple(par) == _stat_triple(seq)
+        assert (par.stats.cache_hits, par.stats.cache_misses) == (0, 0)
+
+
+def test_checkpoints_interchange_between_cache_modes():
+    """The cache flag is deliberately not part of the search fingerprint:
+    a checkpoint taken with the cache on resumes with it off (and vice
+    versa) and lands on the identical final verdict and statistics."""
+    control = RuntimeControl(faults=FaultInjector(FaultPlan(cancel_after_instances=7)))
+    interrupted = typecheck_unordered(
+        _condition_query(), U_TAU1, U_TAU2_OK, BUDGET, control=control
+    )
+    assert interrupted.verdict is Verdict.INTERRUPTED
+    resumed = typecheck_unordered(
+        _condition_query(),
+        U_TAU1,
+        U_TAU2_OK,
+        BUDGET,
+        resume_from=interrupted.checkpoint,
+        use_eval_cache=False,
+    )
+    straight = typecheck_unordered(_condition_query(), U_TAU1, U_TAU2_OK, BUDGET)
+    assert resumed.verdict is straight.verdict
+    assert _stat_triple(resumed) == _stat_triple(straight)
+
+
+def test_summary_reports_cache_counters():
+    result = typecheck_unordered(_condition_query(), U_TAU1, U_TAU2_OK, BUDGET)
+    assert result.stats.cache_hits > 0
+    assert "eval cache:" in result.summary()
+    uncached = typecheck_unordered(
+        _condition_query(), U_TAU1, U_TAU2_OK, BUDGET, use_eval_cache=False
+    )
+    assert "eval cache:" not in uncached.summary()
+
+
+# -- satellite: anonymous values are collision-proof --------------------------
+
+
+class TestAnonValueRegression:
+    def test_assignments_with_constant_named_v0_stay_distinct(self):
+        # Old representation: the anonymous class rendered as the string
+        # "_v0", aliasing the constant — two semantically distinct
+        # assignments collapsed into duplicates.
+        vals = list(enumerate_value_assignments(1, ["_v0"]))
+        assert len(vals) == 2
+        assert len(set(vals)) == 2
+        assert vals[0] == ("_v0",)
+        assert vals[1] == (AnonValue(0),)
+        assert vals[1][0] != "_v0"
+
+    def test_anon_value_semantics(self):
+        assert AnonValue(0) == AnonValue(0)
+        assert AnonValue(0) != AnonValue(1)
+        assert AnonValue(0) != "_v0" and "_v0" != AnonValue(0)
+        assert hash(AnonValue(3)) == hash(AnonValue(3))
+        import pickle
+
+        assert pickle.loads(pickle.dumps(AnonValue(2))) == AnonValue(2)
+
+    def test_count_still_matches_enumeration_with_v0_constant(self):
+        constants = ["_v0", "_v1", "_v0"]
+        expected = sum(1 for _ in enumerate_value_assignments(3, constants, None))
+        assert count_value_assignments(3, constants, None) == expected
+
+    def test_typecheck_distinguishes_v0_constant_from_anonymous_class(self):
+        """End-to-end: ``X != "_v0"`` must be satisfiable by an anonymous
+        value.  With the old string aliasing, every enumerated assignment
+        for the single relevant node was the literal "_v0", the condition
+        never held, no output was produced, and the search wrongly
+        concluded TYPECHECKS; the collision-proof representation finds
+        the violation."""
+        query = Query(
+            where=Where.of(
+                "root", [Edge.of(None, "X", "a")], [Condition("X", "!=", Const("_v0"))]
+            ),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        tau1 = DTD("root", {"root": "a?"})
+        no_items = DTD("out", {"out": "item^=0"}, unordered=True, alphabet={"out", "item"})
+        result = typecheck_unordered(query, tau1, no_items, SearchBudget(max_size=2))
+        assert result.verdict is Verdict.FAILS
+        witness_values = [n.value for n in result.counterexample.nodes()]
+        assert AnonValue(0) in witness_values
+
+
+# -- satellite: the single-root guard survives python -O ----------------------
+
+
+class TestSingleRootGuard:
+    def test_evaluate_raises_structured_error_on_multi_root_forest(self, monkeypatch):
+        query = Query(
+            where=Where.of("root", [Edge.of(None, "X", "a")]),
+            construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+        )
+        from repro.trees.data_tree import DataTree, Node
+
+        tree = DataTree(Node("root", [Node("a")]))
+        monkeypatch.setattr(
+            ql_eval, "evaluate_forest", lambda *a, **kw: [Node("out"), Node("out")]
+        )
+        with pytest.raises(EvaluationError, match="outermost construct root"):
+            evaluate(query, tree)
+
+    def test_compiled_path_shares_the_guard(self):
+        from repro.ql.eval import _single_root
+        from repro.trees.data_tree import Node
+
+        with pytest.raises(EvaluationError, match="expected exactly 1"):
+            _single_root([Node("out"), Node("out")])
+        with pytest.raises(EvaluationError):
+            _single_root([])
