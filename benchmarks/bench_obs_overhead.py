@@ -1,0 +1,92 @@
+"""Observability overhead: the disabled path must stay unmeasurable.
+
+Series: the counterexample search (a) with ``obs=None`` — the default
+every untraced caller gets, (b) with a fully *disabled* ``Observability``
+handle (NULL_TRACER, no telemetry, no progress) — the cost of carrying
+the handle through the hot loop, and (c) fully enabled (tracer into a
+null sink + metrics + throttled progress into a scratch buffer) — the
+informational price of turning everything on.
+
+The ISSUE 4 acceptance gate: (b) vs (a) must stay under 3% on min times
+(``test_disabled_overhead_below_three_percent``).  The enabled series is
+reported, not gated — tracing costs what it costs.
+"""
+
+import io
+
+import pytest
+
+from conftest import copy_query
+
+from repro.dtd import DTD
+from repro.obs import NullSink, Observability, ProgressReporter, Telemetry, Tracer
+from repro.typecheck import Verdict, typecheck_unordered
+from repro.typecheck.search import SearchBudget
+
+TAU1 = DTD("root", {"root": "a*"})
+TAU2 = DTD("out", {"out": "item0^>=0"}, unordered=True)
+BUDGET_SIZE = 7
+
+_observed: dict[str, float] = {}
+
+
+def _run(obs=None):
+    return typecheck_unordered(
+        copy_query(), TAU1, TAU2, SearchBudget(max_size=BUDGET_SIZE), obs=obs
+    )
+
+
+def _disabled_obs() -> Observability:
+    # All three concerns off: tracer is NULL_TRACER, telemetry and
+    # progress are None.  This is what the engine sees from any caller
+    # that builds the handle but enables nothing.
+    return Observability()
+
+
+def _enabled_obs() -> Observability:
+    return Observability(
+        tracer=Tracer(NullSink()),
+        telemetry=Telemetry(),
+        progress=ProgressReporter(stream=io.StringIO()),
+    )
+
+
+def test_search_obs_none(benchmark):
+    res = benchmark(_run)
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+    _observed["none"] = benchmark.stats.stats.min
+
+
+def test_search_obs_disabled(benchmark):
+    res = benchmark(lambda: _run(_disabled_obs()))
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+    _observed["disabled"] = benchmark.stats.stats.min
+
+
+def test_search_obs_enabled(benchmark):
+    """Informational: tracing + metrics + progress all on (null sink)."""
+    res = benchmark(lambda: _run(_enabled_obs()))
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+    _observed["enabled"] = benchmark.stats.stats.min
+
+
+def test_enabled_run_is_observably_identical():
+    base = _run()
+    obs = _enabled_obs()
+    traced = _run(obs)
+    assert traced.verdict is base.verdict
+    assert traced.stats.valued_trees_checked == base.stats.valued_trees_checked
+    assert traced.stats.label_trees_checked == base.stats.label_trees_checked
+    assert obs.telemetry.counters["search.instances"] == base.stats.valued_trees_checked
+
+
+def test_disabled_overhead_below_three_percent():
+    """ISSUE 4 acceptance: carrying a disabled handle costs < 3% on the
+    min-time comparison (min is the noise-robust statistic here)."""
+    if "none" not in _observed or "disabled" not in _observed:
+        pytest.skip("benchmark series did not run (pytest-benchmark disabled?)")
+    ratio = _observed["disabled"] / _observed["none"]
+    assert ratio < 1.03, (
+        f"disabled-path overhead {100 * (ratio - 1):.2f}% exceeds the 3% gate "
+        f"(none={_observed['none']:.6f}s disabled={_observed['disabled']:.6f}s)"
+    )

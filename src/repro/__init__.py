@@ -40,6 +40,13 @@ Quickstart::
 from repro.automata import Regex, parse_regex
 from repro.dtd import DTD, SpecializedDTD
 from repro.logic.sl import SLFormula, at_least, exactly, parse_sl
+from repro.obs import (
+    JsonlTraceSink,
+    Observability,
+    ProgressReporter,
+    Telemetry,
+    Tracer,
+)
 from repro.ql.ast import Condition, Const, ConstructNode, Edge, NestedQuery, Query, Where
 from repro.ql.eval import evaluate, evaluate_forest
 from repro.runtime import (
@@ -76,8 +83,11 @@ __all__ = [
     "EvaluationError",
     "FaultInjector",
     "FaultPlan",
+    "JsonlTraceSink",
     "NestedQuery",
     "Node",
+    "Observability",
+    "ProgressReporter",
     "Query",
     "Regex",
     "RuntimeControl",
@@ -85,6 +95,8 @@ __all__ = [
     "SearchBudget",
     "SearchCheckpoint",
     "SpecializedDTD",
+    "Telemetry",
+    "Tracer",
     "TypecheckResult",
     "UndecidableFragmentError",
     "Verdict",

@@ -43,6 +43,19 @@ Commands
     writes a multi-shard checkpoint to the same ``--checkpoint`` file;
     both parallel and sequential reruns resume it exactly.
 
+    Observability (none of it changes verdicts or statistics):
+    ``--trace FILE`` appends nested span records (schema
+    ``repro.obs.trace`` v1) as JSON lines; ``--metrics-out FILE`` writes
+    the merged counter/histogram registry as one JSON document;
+    ``--progress`` paints a throttled live line (instances/sec, cache hit
+    rate, ETA) on stderr.
+
+``trace``
+    Inspect a ``--trace`` file after the fact::
+
+        python -m repro trace summarize run.trace --top 5
+        python -m repro trace validate run.trace
+
 DTD files use the paper's rule syntax (see :mod:`repro.dtd.parser`);
 ``--dtd``/``--input-dtd``/``--output-dtd`` accept either a file path or an
 inline rule string.
@@ -179,6 +192,19 @@ def _control_from_args(args: argparse.Namespace) -> Optional[RuntimeControl]:
     return RuntimeControl(max_rss_mb=max_rss, faults=faults)
 
 
+def _obs_from_args(args: argparse.Namespace):
+    """Build the telemetry layer the flags ask for (or ``None``: every
+    instrumentation site stays on the no-op path)."""
+    if not (args.trace or args.metrics_out or args.progress):
+        return None
+    from repro.obs import JsonlTraceSink, Observability, ProgressReporter, Telemetry, Tracer
+
+    tracer = Tracer(JsonlTraceSink.open(args.trace)) if args.trace else None
+    telemetry = Telemetry() if args.metrics_out else None
+    progress = ProgressReporter() if args.progress else None
+    return Observability(tracer=tracer, telemetry=telemetry, progress=progress)
+
+
 def _cmd_typecheck(args: argparse.Namespace) -> int:
     from repro.ql.serde import query_from_json
     from repro.typecheck import Verdict, typecheck
@@ -209,6 +235,7 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             print("(delete the file to start the search from scratch)", file=sys.stderr)
             return EXIT_USAGE
         print(f"resuming from checkpoint {args.checkpoint}", file=sys.stderr)
+    obs = _obs_from_args(args)
     try:
         result = typecheck(
             query,
@@ -221,11 +248,26 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             workers=args.workers,
             supervisor=supervisor,
             use_eval_cache=not args.no_eval_cache,
+            obs=obs,
         )
     except CheckpointError as exc:
         print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
         print("(delete the file to start the search from scratch)", file=sys.stderr)
         return EXIT_USAGE
+    finally:
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.close()
+    if obs is not None and obs.progress is not None:
+        obs.progress.finish(result.stats.valued_trees_checked, result.stats)
+    if obs is not None and obs.telemetry is not None:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.telemetry.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     print(result.summary())
     if result.verdict is Verdict.INTERRUPTED:
         if args.checkpoint:
@@ -243,6 +285,32 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         # starts fresh instead of resuming into a finished search.
         os.remove(args.checkpoint)
     return 0 if result.verdict is not Verdict.FAILS else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace_file, render_summary, summarize_trace, validate_trace_records
+
+    try:
+        records = read_trace_file(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"invalid: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_trace_records(records)
+    if args.action == "validate":
+        if errors:
+            for err in errors:
+                print(f"invalid: {err}")
+            return 1
+        print(f"OK: {len(records)} record(s), schema repro.obs.trace v1")
+        return 0
+    if errors:
+        # Summarize what's there, but say the stream is damaged.
+        print(f"warning: {len(errors)} validation error(s); summary may be partial", file=sys.stderr)
+    print(render_summary(summarize_trace(records, top=args.top)))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -350,7 +418,44 @@ def build_parser() -> argparse.ArgumentParser:
         "shard on the given attempt after AFTER local instances; SHARD=-1 "
         "matches any shard (fault drills; exit codes are unaffected)",
     )
+    p_tc.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write nested span records (search/label_tree/bind/evaluate/"
+        "verify_witness, plus shard/worker under --workers) to FILE as "
+        "JSON lines (schema repro.obs.trace v1); inspect with "
+        "'repro trace summarize FILE'",
+    )
+    p_tc.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the merged counter/histogram registry (schema "
+        "repro.obs.metrics v1) to FILE as JSON; sharded runs fold "
+        "per-worker registries into exactly the sequential totals",
+    )
+    p_tc.add_argument(
+        "--progress",
+        action="store_true",
+        help="paint a throttled live progress line (instances/sec, "
+        "eval-cache hit rate, ETA) on stderr",
+    )
     p_tc.set_defaults(func=_cmd_typecheck)
+
+    p_trace = sub.add_parser("trace", help="inspect a --trace JSONL file")
+    trace_sub = p_trace.add_subparsers(dest="action", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize", help="per-phase time breakdown and slowest label trees"
+    )
+    p_sum.add_argument("file", help="trace file written by typecheck --trace")
+    p_sum.add_argument(
+        "--top", type=int, default=5, help="how many slowest label trees to show"
+    )
+    p_sum.set_defaults(func=_cmd_trace)
+    p_chk = trace_sub.add_parser("validate", help="check records against schema v1")
+    p_chk.add_argument("file", help="trace file written by typecheck --trace")
+    p_chk.set_defaults(func=_cmd_trace)
 
     return parser
 

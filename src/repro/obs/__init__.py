@@ -1,0 +1,105 @@
+"""repro.obs — zero-dependency observability for the counterexample search.
+
+Three independent concerns behind one handle (:class:`Observability`):
+
+* **span tracing** (:mod:`repro.obs.trace`): nested timed spans written
+  as schema-versioned JSONL through a pluggable sink;
+* **metrics** (:mod:`repro.obs.telemetry`): counters / gauges /
+  fixed-bucket timing histograms in a registry whose merge is
+  associative and commutative, so per-worker registries fold into
+  exactly the sequential totals;
+* **live progress** (:mod:`repro.obs.progress`): a throttled stderr
+  reporter fed by the engine's instance counter and the shard planner's
+  DP instance pricing.
+
+Each concern defaults to off; the engine takes ``obs=None`` and the
+disabled path costs one ``is not None`` per candidate instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .progress import ProgressReporter
+from .summarize import render_summary, summarize_trace
+from .telemetry import BUCKET_BOUNDS, Histogram, Telemetry
+from .trace import (
+    NULL_TRACER,
+    SPAN_NAMES,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceSink,
+    NullSink,
+    Span,
+    Tracer,
+    TraceSink,
+    read_trace_file,
+    validate_trace_records,
+)
+
+__all__ = [
+    "Observability",
+    "Telemetry",
+    "Histogram",
+    "BUCKET_BOUNDS",
+    "Tracer",
+    "Span",
+    "TraceSink",
+    "NullSink",
+    "JsonlTraceSink",
+    "NULL_TRACER",
+    "SPAN_NAMES",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "ProgressReporter",
+    "read_trace_file",
+    "validate_trace_records",
+    "summarize_trace",
+    "render_summary",
+]
+
+
+class Observability:
+    """The handle threaded through the search: tracer + metrics + progress.
+
+    Any subset may be active.  ``tracer`` is never ``None`` (disabled
+    tracing is the shared :data:`NULL_TRACER` with ``enabled=False``);
+    ``telemetry`` and ``progress`` are ``None`` when off so hot-loop
+    call sites pay a single attribute check.
+    """
+
+    __slots__ = ("tracer", "telemetry", "progress", "live_stats")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.telemetry = telemetry
+        self.progress = progress
+        # The engine parks its live SearchStats here so out-of-band
+        # readers (worker heartbeats) can snapshot progress without a
+        # callback in the hot loop.
+        self.live_stats: Optional[Any] = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.tracer.enabled or self.telemetry is not None or self.progress is not None
+        )
+
+    def record_search(self, stats: Any) -> None:
+        """Fold one engine run's ``SearchStats`` into the counters.
+
+        Called exactly once per engine run (sequential tail or a single
+        shard) — the supervisor merge folds shard registries instead of
+        re-deriving, so totals are never double counted.
+        """
+        if self.telemetry is None:
+            return
+        self.telemetry.count("search.instances", stats.valued_trees_checked)
+        self.telemetry.count("search.label_trees", stats.label_trees_checked)
+        self.telemetry.count("search.cache_hits", stats.cache_hits)
+        self.telemetry.count("search.cache_misses", stats.cache_misses)

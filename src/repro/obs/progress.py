@@ -1,0 +1,117 @@
+"""Throttled live progress for the counterexample search.
+
+One :class:`ProgressReporter` is shared by a run (sequential engine loop
+or supervisor event loop).  ``maybe_update`` is safe to call from the hot
+loop — it is throttled to ``interval`` seconds by a single clock read —
+and renders instances/sec, the eval-cache hit rate, and (when the shard
+planner's DP instance pricing supplied a total) percent done and an ETA.
+
+Rendering targets stderr: a ``\\r``-rewritten line on a TTY, plain
+newline-terminated lines otherwise (so CI logs stay readable).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class ProgressReporter:
+    """Throttled progress line: instances/sec, cache hit rate, ETA."""
+
+    __slots__ = (
+        "stream",
+        "interval",
+        "total",
+        "_clock",
+        "_start",
+        "_last_emit",
+        "_last_done",
+        "_last_line_len",
+        "_emitted",
+        "_isatty",
+    )
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        interval: float = 0.5,
+        clock=time.monotonic,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.total: Optional[int] = None
+        self._clock = clock
+        self._start = clock()
+        self._last_emit = 0.0  # 0 -> first maybe_update always renders
+        self._last_done = 0
+        self._last_line_len = 0
+        self._emitted = 0
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def set_total(self, total: Optional[int]) -> None:
+        """Install the planner's priced instance total (None = unknown)."""
+        self.total = total
+
+    def maybe_update(self, done: int, stats: Optional[Any] = None) -> None:
+        """Render a progress line if ``interval`` has elapsed.
+
+        ``stats`` duck-types ``SearchStats`` (``cache_hits`` /
+        ``cache_misses``) — any object with those attributes works.
+        """
+        now = self._clock()
+        if self._last_emit and now - self._last_emit < self.interval:
+            return
+        self._render(done, stats, now)
+
+    def finish(self, done: int, stats: Optional[Any] = None) -> None:
+        """Render one final line and terminate the TTY rewrite."""
+        if not self._emitted and done == 0:
+            return
+        self._render(done, stats, self._clock(), final=True)
+        if self._isatty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- internals -----------------------------------------------------------
+
+    def _render(self, done: int, stats: Optional[Any], now: float, final: bool = False) -> None:
+        elapsed = now - self._start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        parts = [f"searched {done}"]
+        if self.total:
+            pct = min(100.0, 100.0 * done / self.total)
+            parts[0] = f"searched {done}/{self.total} ({pct:.1f}%)"
+        parts.append(f"{rate:.0f} inst/s")
+        if stats is not None:
+            hits = getattr(stats, "cache_hits", 0)
+            misses = getattr(stats, "cache_misses", 0)
+            if hits or misses:
+                parts.append(f"cache {100.0 * hits / (hits + misses):.0f}% hit")
+        if self.total and rate > 0 and not final:
+            remaining = max(0, self.total - done)
+            parts.append(f"eta {_fmt_eta(remaining / rate)}")
+        if final:
+            parts.append(f"in {elapsed:.1f}s")
+        line = "  ".join(parts)
+        if self._isatty:
+            pad = " " * max(0, self._last_line_len - len(line))
+            self.stream.write("\r" + line + pad)
+            self._last_line_len = len(line)
+        else:
+            self.stream.write("progress: " + line + "\n")
+        self.stream.flush()
+        self._last_emit = now
+        self._last_done = done
+        self._emitted += 1

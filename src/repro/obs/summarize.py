@@ -1,0 +1,98 @@
+"""Post-hoc analysis of a JSONL trace: per-phase breakdown, slowest trees.
+
+Backs the ``repro trace summarize FILE`` subcommand.  Works on the
+records produced by :mod:`repro.obs.trace` schema v1: per-span-name
+aggregates (count, inclusive total, mean, max) plus the top-k slowest
+``label_tree`` spans with their attributes (size, instance count) so a
+slow search points straight at the trees that cost the most.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["PhaseSummary", "summarize_trace", "render_summary"]
+
+
+class PhaseSummary:
+    """Aggregates for one span name (durations are inclusive)."""
+
+    __slots__ = ("name", "count", "total", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration > self.max:
+            self.max = duration
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def summarize_trace(
+    records: Iterable[dict[str, Any]], top: int = 5
+) -> dict[str, Any]:
+    """Fold a parsed record stream into phase aggregates + slowest trees."""
+    phases: dict[str, PhaseSummary] = {}
+    trees: list[dict[str, Any]] = []
+    meta: dict[str, Any] = {}
+    for record in records:
+        if record.get("type") == "meta":
+            meta = record
+            continue
+        if record.get("type") != "span":
+            continue
+        name = str(record.get("name"))
+        duration = float(record.get("dur", 0.0))
+        summary = phases.get(name)
+        if summary is None:
+            summary = phases[name] = PhaseSummary(name)
+        summary.add(duration)
+        if name == "label_tree":
+            trees.append(record)
+    trees.sort(key=lambda r: float(r.get("dur", 0.0)), reverse=True)
+    return {
+        "meta": meta,
+        "phases": sorted(phases.values(), key=lambda p: p.total, reverse=True),
+        "slowest_trees": trees[: max(0, top)],
+    }
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_trace` output."""
+    lines: list[str] = []
+    meta = summary.get("meta") or {}
+    header = "trace summary"
+    if meta.get("schema"):
+        header += f" ({meta['schema']} v{meta.get('version')})"
+    lines.append(header)
+    phases = summary.get("phases") or []
+    if not phases:
+        lines.append("  (no spans)")
+        return "\n".join(lines)
+    lines.append("  phase            count      total        mean         max")
+    for phase in phases:
+        lines.append(
+            f"  {phase.name:<14} {phase.count:>7}  {phase.total:>9.4f}s"
+            f"  {phase.mean * 1e3:>9.4f}ms  {phase.max * 1e3:>9.4f}ms"
+        )
+    slowest = summary.get("slowest_trees") or []
+    if slowest:
+        lines.append(f"  slowest label trees (top {len(slowest)}):")
+        for record in slowest:
+            attrs = record.get("attrs") or {}
+            detail = "  ".join(
+                f"{key}={attrs[key]}" for key in sorted(attrs) if attrs[key] is not None
+            )
+            lines.append(
+                f"    {float(record.get('dur', 0.0)) * 1e3:>9.4f}ms  "
+                f"span#{record.get('id')}  {detail}".rstrip()
+            )
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Metrics: counters, gauges, and fixed-bucket timing histograms.
+
+The registry is designed around one algebraic requirement: **merging is
+associative and commutative**, so per-worker registries shipped over the
+supervisor's result pipes fold into exactly the same totals regardless of
+arrival order or grouping — the same contract ``SearchStats`` honors for
+the search counters.  Concretely:
+
+* counters merge by integer addition;
+* gauges merge by ``max`` (a gauge records a high-water mark — the only
+  last-writer-free reduction that is exact under reordering);
+* histograms have *fixed* bucket bounds (log-spaced, schema-level
+  constants), so merging is element-wise integer addition of bucket
+  counts plus ``min``/``max``/``count`` folding; durations are
+  accumulated in integer nanoseconds, not floats, so the merged total is
+  bit-for-bit independent of association order.
+
+Everything serializes to plain JSON (:meth:`Telemetry.to_dict`), which is
+both the pipe payload format and the ``--metrics-out`` file format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+__all__ = ["BUCKET_BOUNDS", "Histogram", "Telemetry"]
+
+TELEMETRY_SCHEMA = "repro.obs.metrics"
+TELEMETRY_VERSION = 1
+
+# Fixed log-spaced bucket upper bounds in seconds (half-decades from 1us
+# to 100s) shared by every histogram; the last bucket is the overflow.
+# Schema-level constants: changing them is a TELEMETRY_VERSION bump.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    round(10.0 ** (exp / 2.0), 10) for exp in range(-12, 5)
+)
+
+_N_BUCKETS = len(BUCKET_BOUNDS) + 1  # + overflow
+
+
+class Histogram:
+    """A fixed-bucket timing histogram over :data:`BUCKET_BOUNDS`.
+
+    Durations are stored as integer nanoseconds so that sums — and
+    therefore merges — are exact and association-independent.
+    """
+
+    __slots__ = ("counts", "count", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts = [0] * _N_BUCKETS
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+
+    def observe(self, seconds: float) -> None:
+        ns = int(seconds * 1e9 + 0.5)
+        if ns < 0:
+            ns = 0
+        idx = _N_BUCKETS - 1
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if seconds <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.count += 1
+        self.total_ns += ns
+        if self.min_ns is None or ns < self.min_ns:
+            self.min_ns = ns
+        if self.max_ns is None or ns > self.max_ns:
+            self.max_ns = ns
+
+    def merge(self, other: "Histogram") -> None:
+        for i in range(_N_BUCKETS):
+            self.counts[i] += other.counts[i]
+        self.count += other.count
+        self.total_ns += other.total_ns
+        if other.min_ns is not None:
+            self.min_ns = other.min_ns if self.min_ns is None else min(self.min_ns, other.min_ns)
+        if other.max_ns is not None:
+            self.max_ns = other.max_ns if self.max_ns is None else max(self.max_ns, other.max_ns)
+
+    # -- derived figures -----------------------------------------------------
+
+    def total_seconds(self) -> float:
+        return self.total_ns / 1e9
+
+    def mean_seconds(self) -> float:
+        return (self.total_ns / self.count) / 1e9 if self.count else 0.0
+
+    def max_seconds(self) -> float:
+        return (self.max_ns or 0) / 1e9
+
+    # -- serde ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Histogram":
+        hist = cls()
+        counts = list(data.get("counts", []))
+        if len(counts) != _N_BUCKETS:
+            raise ValueError(
+                f"histogram has {len(counts)} buckets, schema defines {_N_BUCKETS}"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.count = int(data.get("count", 0))
+        hist.total_ns = int(data.get("total_ns", 0))
+        hist.min_ns = None if data.get("min_ns") is None else int(data["min_ns"])
+        hist.max_ns = None if data.get("max_ns") is None else int(data["max_ns"])
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, total={self.total_seconds():.6f}s)"
+
+
+class Telemetry:
+    """One metrics registry: named counters, gauges, and histograms.
+
+    Cheap to create (three empty dicts), cheap when idle (no background
+    machinery), and mergeable: ``a.merge(b)`` folds ``b`` into ``a`` with
+    an associative, commutative reduction per kind.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- collection ----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Record a high-water mark (merge = max, so reordering-exact)."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(seconds)
+
+    # -- merge ---------------------------------------------------------------
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold ``other`` into this registry (associative + commutative)."""
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, value in other.gauges.items():
+            self.gauge_max(name, value)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+
+    @classmethod
+    def merged(cls, registries: Iterable["Telemetry"]) -> "Telemetry":
+        out = cls()
+        for registry in registries:
+            out.merge(registry)
+        return out
+
+    # -- serde ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "version": TELEMETRY_VERSION,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.to_dict() for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Telemetry":
+        if data.get("schema") not in (None, TELEMETRY_SCHEMA):
+            raise ValueError(f"not a telemetry document: schema={data.get('schema')!r}")
+        out = cls()
+        out.counters = {str(k): int(v) for k, v in dict(data.get("counters", {})).items()}
+        out.gauges = {str(k): float(v) for k, v in dict(data.get("gauges", {})).items()}
+        out.histograms = {
+            str(k): Histogram.from_dict(v)
+            for k, v in dict(data.get("histograms", {})).items()
+        }
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Telemetry):
+            return NotImplemented
+        return (
+            self.counters == other.counters
+            and self.gauges == other.gauges
+            and self.histograms == other.histograms
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Telemetry(counters={len(self.counters)}, gauges={len(self.gauges)}, "
+            f"histograms={len(self.histograms)})"
+        )

@@ -1,0 +1,308 @@
+"""Span tracing: nested timed spans emitted as schema-versioned JSONL.
+
+A :class:`Tracer` hands out :class:`Span` tokens (``begin``/``end`` or
+the ``span()`` context manager) and writes one JSON object per line to a
+pluggable :class:`TraceSink`.  The first record of every stream is a
+``meta`` record carrying the schema name and version; every subsequent
+record is a ``span`` record:
+
+    {"type": "meta", "schema": "repro.obs.trace", "version": 1, ...}
+    {"type": "span", "name": "evaluate", "id": 7, "parent": 3,
+     "ts": 0.000123, "dur": 0.000004, "attrs": {...}}
+
+``ts`` is the span's start offset in seconds from tracer creation and
+``dur`` its duration; spans are written when they *end*, so children
+appear before their parents in the file (the ``parent`` id links them
+back up).  The span vocabulary is closed — :data:`SPAN_NAMES` — and
+``validate_trace_records`` checks a parsed stream against schema v1.
+
+The disabled path is :data:`NULL_TRACER`: callers check
+``tracer.enabled`` (a plain attribute) before doing any timing work, so
+tracing off costs one attribute read per potential span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Optional, TextIO
+
+__all__ = [
+    "SPAN_NAMES",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "TraceSink",
+    "NullSink",
+    "JsonlTraceSink",
+    "Tracer",
+    "NULL_TRACER",
+    "validate_trace_records",
+    "read_trace_file",
+]
+
+TRACE_SCHEMA = "repro.obs.trace"
+TRACE_SCHEMA_VERSION = 1
+
+# Closed span vocabulary (schema v1).  Adding a name is a version bump.
+SPAN_NAMES = frozenset(
+    {
+        "search",  # one sequential (or in-process-shard) engine run
+        "label_tree",  # all value assignments of one label tree
+        "compile",  # compiled-query construction / memo lookup
+        "bind",  # structural binding of one label tree
+        "evaluate",  # one value assignment through the evaluator
+        "verify_witness",  # reference re-verification of a counterexample
+        "shard",  # one shard, start to terminal message
+        "worker",  # one worker process, spawn to reap
+    }
+)
+
+
+class Span:
+    """An open span: identity plus start time.  Closed by ``Tracer.end``."""
+
+    __slots__ = ("name", "id", "parent", "start", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent: Optional[int],
+        start: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.id = span_id
+        self.parent = parent
+        self.start = start
+        self.attrs = attrs
+
+
+class TraceSink:
+    """Destination for trace records.  Subclasses override ``write``."""
+
+    def write(self, record: dict[str, Any]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(TraceSink):
+    def write(self, record: dict[str, Any]) -> None:
+        pass
+
+
+class JsonlTraceSink(TraceSink):
+    """Writes one compact JSON object per line to a text stream."""
+
+    def __init__(self, stream: TextIO, close_stream: bool = False) -> None:
+        self._stream = stream
+        self._close_stream = close_stream
+
+    @classmethod
+    def open(cls, path: str) -> "JsonlTraceSink":
+        return cls(open(path, "w", encoding="utf-8"), close_stream=True)
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._close_stream:
+            self._stream.close()
+
+
+class Tracer:
+    """Hands out spans and writes them (at end) to a sink.
+
+    Not thread-safe; each worker process creates its own.  ``enabled`` is
+    checked by instrumentation sites before any clock reads, which is what
+    keeps the :data:`NULL_TRACER` path unmeasurable.
+    """
+
+    __slots__ = ("sink", "enabled", "_clock", "_origin", "_next_id", "_stack")
+
+    def __init__(self, sink: TraceSink, *, clock=time.perf_counter, meta: Optional[dict[str, Any]] = None) -> None:
+        self.sink = sink
+        self.enabled = True
+        self._clock = clock
+        self._origin = clock()
+        self._next_id = 1
+        self._stack: list[int] = []
+        record = {
+            "type": "meta",
+            "schema": TRACE_SCHEMA,
+            "version": TRACE_SCHEMA_VERSION,
+        }
+        if meta:
+            record.update(meta)
+        sink.write(record)
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        return Span(name, span_id, parent, self._clock() - self._origin, attrs)
+
+    def end(self, span: Span, **attrs: Any) -> None:
+        if attrs:
+            span.attrs.update(attrs)
+        # Pop back to the span being closed; tolerates callers that let an
+        # inner span leak (e.g. an exception path) rather than corrupting
+        # every later parent link.
+        while self._stack and self._stack[-1] != span.id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.sink.write(
+            {
+                "type": "span",
+                "name": span.name,
+                "id": span.id,
+                "parent": span.parent,
+                "ts": round(span.start, 9),
+                "dur": round(self._clock() - self._origin - span.start, 9),
+                "attrs": span.attrs,
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        token = self.begin(name, **attrs)
+        try:
+            yield token
+        finally:
+            self.end(token)
+
+    def emit(
+        self,
+        name: str,
+        started_at: float,
+        duration: float,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Write a pre-timed span (e.g. a worker lifetime measured by the
+        supervisor) without touching the nesting stack.  The positional
+        name ``started_at`` deliberately avoids the attr vocabulary
+        (``start``/``stop`` are shard-range attrs)."""
+        span_id = self._next_id
+        self._next_id += 1
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        self.sink.write(
+            {
+                "type": "span",
+                "name": name,
+                "id": span_id,
+                "parent": parent,
+                "ts": round(started_at - self._origin, 9)
+                if started_at >= self._origin
+                else round(started_at, 9),
+                "dur": round(duration, 9),
+                "attrs": attrs,
+            }
+        )
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class _NullTracer(Tracer):
+    """Shared disabled tracer: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(NullSink())
+        self.enabled = False
+
+    def begin(self, name: str, **attrs: Any) -> Span:  # pragma: no cover - trivial
+        return _NULL_SPAN
+
+    def end(self, span: Span, **attrs: Any) -> None:
+        pass
+
+    def emit(self, name, started_at, duration, parent=None, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = Span("", 0, None, 0.0, {})
+NULL_TRACER = _NullTracer()
+
+
+def validate_trace_records(records: Iterable[dict[str, Any]]) -> list[str]:
+    """Check a parsed record stream against trace schema v1.
+
+    Returns a list of human-readable problems (empty == valid).  Children
+    are written before parents, so parent links are checked against the
+    id set of the *whole* stream, not just the prefix.
+    """
+    problems: list[str] = []
+    records = list(records)
+    if not records:
+        return ["empty trace: expected a meta record"]
+    meta = records[0]
+    if meta.get("type") != "meta":
+        problems.append("first record is not a meta record")
+    else:
+        if meta.get("schema") != TRACE_SCHEMA:
+            problems.append(f"unknown schema {meta.get('schema')!r}")
+        if meta.get("version") != TRACE_SCHEMA_VERSION:
+            problems.append(f"unsupported version {meta.get('version')!r}")
+    ids: set[int] = set()
+    spans: list[dict[str, Any]] = []
+    for i, record in enumerate(records[1:], start=2):
+        kind = record.get("type")
+        if kind == "meta":
+            problems.append(f"line {i}: duplicate meta record")
+            continue
+        if kind != "span":
+            problems.append(f"line {i}: unknown record type {kind!r}")
+            continue
+        spans.append(record)
+        name = record.get("name")
+        if name not in SPAN_NAMES:
+            problems.append(f"line {i}: unknown span name {name!r}")
+        span_id = record.get("id")
+        if not isinstance(span_id, int):
+            problems.append(f"line {i}: span id must be an int, got {span_id!r}")
+        elif span_id in ids:
+            problems.append(f"line {i}: duplicate span id {span_id}")
+        else:
+            ids.add(span_id)
+        for field in ("ts", "dur"):
+            value = record.get(field)
+            if not isinstance(value, (int, float)):
+                problems.append(f"line {i}: {field} must be a number, got {value!r}")
+            elif field == "dur" and value < 0:
+                problems.append(f"line {i}: negative duration {value!r}")
+        if not isinstance(record.get("attrs", {}), dict):
+            problems.append(f"line {i}: attrs must be an object")
+    for i, record in enumerate(spans, start=2):
+        parent = record.get("parent")
+        if parent is not None and parent not in ids:
+            problems.append(
+                f"span id {record.get('id')}: parent {parent} not present in trace"
+            )
+    return problems
+
+
+def read_trace_file(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into records (raises on malformed JSON)."""
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: malformed JSON: {exc}") from exc
+    return records

@@ -43,6 +43,7 @@ order.
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.ql.analysis import (
@@ -111,10 +112,12 @@ class CompiledQuery:
         "condition_vars",
         "relevant_tags",
         "dfas_compiled",
+        "compile_seconds",
         "_subs",
     )
 
     def __init__(self, query: Query, alphabet: Iterable[str]) -> None:
+        t0 = perf_counter()
         self.query = query
         self.alphabet = frozenset(alphabet)
         self._subs: dict[int, _CompiledSub] = {}
@@ -125,6 +128,11 @@ class CompiledQuery:
         self.needs_values = has_data_conditions(query)
         self.condition_vars = condition_variables(query)
         self.relevant_tags = value_relevant_tags(query)
+        # Wall-clock cost of this compilation (DFA construction included).
+        # A memo hit via compiled_query_for reports the original build's
+        # cost, not zero: the telemetry "compile" histogram records the
+        # price of the artifact actually in use.
+        self.compile_seconds = perf_counter() - t0
 
     def bind(self, tree: Union[DataTree, Node], stats: Any = None) -> "BoundTree":
         """A per-label-tree evaluation context (one copy, reused across

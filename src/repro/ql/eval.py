@@ -209,14 +209,26 @@ def _single_root(forest: list[Node]) -> Node:
     return forest[0]
 
 
-def evaluate(query: Query, tree: Union[DataTree, Node]) -> Optional[DataTree]:
+def evaluate(
+    query: Query,
+    tree: Union[DataTree, Node],
+    telemetry: Optional[Any] = None,
+) -> Optional[DataTree]:
     """Evaluate an outermost query; ``None`` when the where clause has no
-    binding at all (no output tree is produced)."""
+    binding at all (no output tree is produced).
+
+    ``telemetry`` is duck-typed (anything with ``count(name)``, e.g.
+    :class:`repro.obs.Telemetry`); each call bumps
+    ``eval.reference_calls`` so ablation runs and witness rechecks show up
+    in merged metrics.  ``None`` keeps the reference path dependency-free.
+    """
     if not query.is_program():
         raise ValueError(
             "evaluate() expects an outermost query: no free variables and a "
             "construct root f() with a plain tag"
         )
+    if telemetry is not None:
+        telemetry.count("eval.reference_calls")
     forest = evaluate_forest(query, tree, {})
     if not forest:
         return None

@@ -223,6 +223,10 @@ class MultiShardCheckpoint:
     capped: bool
     shards: list[ShardCursor] = field(default_factory=list)
     reason: str = ""
+    elapsed_seconds: float = 0.0
+    """Wall clock already spent by the interrupted run(s); a resumed run
+    adds its own on top so ``SearchStats.elapsed_seconds`` stays honest.
+    Optional in the document (older version-2 checkpoints load as 0)."""
     version: int = MULTI_CHECKPOINT_VERSION
 
     # -- serde ---------------------------------------------------------------
@@ -255,6 +259,7 @@ class MultiShardCheckpoint:
                 capped=bool(data["capped"]),
                 shards=shards,
                 reason=str(data.get("reason", "")),
+                elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
                 version=MULTI_CHECKPOINT_VERSION,
             )
         except (KeyError, TypeError, ValueError) as exc:

@@ -74,6 +74,12 @@ class SearchTask:
     (:mod:`repro.ql.compile`).  Observably identical either way; shipped
     so an ablation run is ablated in every process."""
 
+    metrics: bool = False
+    """Whether workers collect a :class:`repro.obs.Telemetry` registry
+    and ship it back on their result pipe (folded by the supervisor's
+    merge into exactly the sequential totals).  Off by default: the
+    disabled path must stay unmeasurable."""
+
 
 @dataclass
 class ShardPlan:

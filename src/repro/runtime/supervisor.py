@@ -45,8 +45,11 @@ import time
 import traceback
 from multiprocessing import connection as mp_connection
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Any, Optional
 
+from repro.obs import Observability, Telemetry
+from repro.obs.trace import NULL_TRACER
 from repro.runtime.checkpoint import (
     CheckpointMismatchError,
     MultiShardCheckpoint,
@@ -129,22 +132,46 @@ class _EventToken:
 
 
 class _Heartbeat:
-    """Worker-side progress reporter, hung on ``RuntimeControl.on_tick``."""
+    """Worker-side progress reporter, hung on ``RuntimeControl.on_tick``.
 
-    __slots__ = ("conn", "start", "stop", "attempt", "interval", "last")
+    The payload is a *compact, fixed-shape* metrics snapshot — shard-local
+    instances done plus eval-cache hits/misses, read from the engine's
+    live stats — so the supervisor's hang detector doubles as a progress
+    source.  Three short keys, always: heartbeat size is a regression
+    test (``test_heartbeat_payload_stays_bounded``)."""
 
-    def __init__(self, conn: Any, spec: ShardSpec, attempt: int, interval: float) -> None:
+    __slots__ = ("conn", "start", "stop", "attempt", "interval", "last", "obs")
+
+    def __init__(
+        self,
+        conn: Any,
+        spec: ShardSpec,
+        attempt: int,
+        interval: float,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.conn = conn
         self.start = spec.start_label
         self.stop = spec.stop_label
         self.attempt = attempt
         self.interval = interval
+        self.obs = obs
         self.last = time.monotonic()
-        self._send(0)
+        self._send()
 
-    def _send(self, progress: int) -> None:
+    def _payload(self) -> dict:
+        stats = self.obs.live_stats if self.obs is not None else None
+        if stats is None:
+            return {"i": 0, "ch": 0, "cm": 0}
+        return {
+            "i": stats.valued_trees_checked,
+            "ch": stats.cache_hits,
+            "cm": stats.cache_misses,
+        }
+
+    def _send(self) -> None:
         try:
-            self.conn.send(("hb", self.start, self.stop, self.attempt, progress))
+            self.conn.send(("hb", self.start, self.stop, self.attempt, self._payload()))
         except Exception:
             pass  # a broken pipe must never take the search down
 
@@ -152,7 +179,7 @@ class _Heartbeat:
         now = time.monotonic()
         if now - self.last >= self.interval:
             self.last = now
-            self._send(next_instance_index)
+            self._send()
 
 
 def _run_task(
@@ -161,17 +188,19 @@ def _run_task(
     control: Optional[RuntimeControl] = None,
     resume_from: Optional[SearchCheckpoint] = None,
     shard: Optional[ShardSpec] = None,
+    obs: Optional[Observability] = None,
 ):
     """Rebuild a procedure from its picklable task and run one shard (or
     the full search).  Imported lazily: workers import the typecheck
     machinery fresh; the parent only reaches here on degradation."""
-    from repro.typecheck.search import find_counterexample
+    from repro.typecheck.search import run_search
 
     common = dict(
         control=control,
         resume_from=resume_from,
         shard=shard,
         use_eval_cache=task.use_eval_cache,
+        obs=obs,
     )
     if task.algorithm == "thm-3.1-unordered":
         from repro.typecheck.unordered import typecheck_unordered
@@ -192,7 +221,7 @@ def _run_task(
             assume_projection_free=True,
             **common,
         )
-    return find_counterexample(
+    return run_search(
         task.query,
         task.tau1,
         task.tau2,
@@ -236,7 +265,11 @@ def _shard_worker_main(
         if fault_plan is not None:
             injector = FaultInjector(fault_plan)
             injector.set_worker_context(spec.start_label, attempt, spec.instance_base)
-        heartbeat = _Heartbeat(conn, spec, attempt, heartbeat_interval)
+        # Workers never receive the parent's tracer (a file handle) — they
+        # collect a mergeable registry and ship it with the final message;
+        # the heartbeat reads live progress from the same handle.
+        obs = Observability(telemetry=Telemetry() if task.metrics else None)
+        heartbeat = _Heartbeat(conn, spec, attempt, heartbeat_interval, obs=obs)
         control = RuntimeControl(
             deadline=Deadline.after(deadline_seconds) if deadline_seconds is not None else None,
             token=_EventToken(cancel_event),
@@ -254,8 +287,12 @@ def _shard_worker_main(
                 stats=dict(cursor.get("stats", {})),
                 reason="shard resume",
             )
-        result = _run_task(task, control=control, resume_from=resume, shard=spec)
+        result = _run_task(task, control=control, resume_from=resume, shard=spec, obs=obs)
         stats = {k: getattr(result.stats, k) for k in _STAT_KEYS}
+        # The registry rides the final message (never heartbeats, which
+        # must stay tiny); counters are cumulative like the cursor stats,
+        # so the merge folds exactly one registry per shard.
+        telemetry_out = obs.telemetry.to_dict() if obs.telemetry is not None else None
         if result.verdict is Verdict.FAILS:
             send(
                 "fails",
@@ -264,6 +301,7 @@ def _shard_worker_main(
                     "counterexample": result.counterexample,
                     "output": result.output,
                     "violation": result.violation,
+                    "telemetry": telemetry_out,
                 },
             )
         elif result.verdict is Verdict.INTERRUPTED:
@@ -278,10 +316,11 @@ def _shard_worker_main(
                         "stats": dict(ckpt.stats),
                     },
                     "stats": stats,
+                    "telemetry": telemetry_out,
                 },
             )
         else:
-            send("done", {"stats": stats})
+            send("done", {"stats": stats, "telemetry": telemetry_out})
     except EvaluationError as exc:
         cursor_out = None
         if exc.checkpoint is not None:
@@ -316,6 +355,8 @@ class _ShardState:
     fails: Optional[dict] = None
     reason: str = ""
     ready_at: float = 0.0  # backoff gate
+    telemetry: Optional[dict] = None  # latest shipped Telemetry.to_dict()
+    hb: Optional[dict] = None  # latest heartbeat metrics snapshot
 
     @property
     def key(self) -> tuple[int, int]:
@@ -361,6 +402,7 @@ class _Handle:
     attempt: int
     last_seen: float
     conn: Any = None  # parent end of this worker's pipe (None once closed)
+    spawn_t: float = 0.0  # perf_counter at spawn (worker/shard spans)
 
     def close_conn(self) -> None:
         if self.conn is not None:
@@ -401,8 +443,10 @@ class ShardedSearch:
         theoretical_bound: Optional[float] = None,
         control: Optional[RuntimeControl] = None,
         config: Optional[SupervisorConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.task = task
+        self.obs = obs
         self.output_type = output_type if output_type is not None else task.tau2
         # The query the *engine* searches with — for most procedures the
         # task query itself, but the star-free pipeline relabels first
@@ -431,17 +475,26 @@ class ShardedSearch:
         self.resplits = 0
         self.degraded = False
         self.stop_reason_text: Optional[str] = None
+        self._t0 = time.monotonic()
+        self._prior_elapsed = 0.0
 
     # -- entry ---------------------------------------------------------------
 
     def run(self, resume_from: Optional[Any] = None) -> "Any":
         from repro.typecheck.result import TypecheckResult, Verdict
 
+        self._t0 = time.monotonic()
+        if isinstance(resume_from, MultiShardCheckpoint):
+            self._prior_elapsed = float(resume_from.elapsed_seconds)
+
         if isinstance(resume_from, SearchCheckpoint):
             # A sequential (version-1) cursor cannot be decomposed into
-            # per-shard statistics; finish it sequentially instead.
+            # per-shard statistics; finish it sequentially instead.  The
+            # engine itself stamps wall clock and records the counters.
             self.degraded = True
-            result = _run_task(self.task, control=self.control, resume_from=resume_from)
+            result = _run_task(
+                self.task, control=self.control, resume_from=resume_from, obs=self.obs
+            )
             result.notes.append(
                 "sequential checkpoint resumed in-process (sharding needs a "
                 "multi-shard checkpoint or a fresh run)"
@@ -477,6 +530,11 @@ class ShardedSearch:
             )
             result.notes.append("interrupted while planning shards; no work lost")
             return result
+
+        if self.obs is not None and self.obs.progress is not None:
+            # The planner priced every label tree (closed-form DP), so the
+            # progress reporter gets an exact instance total for its ETA.
+            self.obs.progress.set_total(self.plan.total_instances)
 
         states = self._initial_states(resume_from)
         if all(st.status == "done" for st in states):
@@ -564,6 +622,7 @@ class ShardedSearch:
 
     def _supervise(self, states: list[_ShardState]) -> None:
         cfg = self.config
+        tracer = self.obs.tracer if self.obs is not None else NULL_TRACER
         method = cfg.start_method
         if method is None:
             method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -638,12 +697,24 @@ class ShardedSearch:
                 attempt=st.attempt,
                 last_seen=time.monotonic(),
                 conn=parent_conn,
+                spawn_t=time.perf_counter(),
             )
 
         def reap(handle: _Handle) -> None:
             handle.proc.join(timeout=1.0)
             handle.close_conn()
             running.pop(handle.state.key, None)
+            if tracer.enabled:
+                # Worker lifetime (spawn to reap) as seen by the parent —
+                # this is the supervisor-overhead phase of the taxonomy.
+                tracer.emit(
+                    "worker",
+                    handle.spawn_t,
+                    time.perf_counter() - handle.spawn_t,
+                    start=handle.state.spec.start_label,
+                    stop=handle.state.spec.stop_label,
+                    attempt=handle.attempt,
+                )
 
         def drain(handle: _Handle) -> None:
             """Deliver every message already in this worker's pipe."""
@@ -698,9 +769,27 @@ class ShardedSearch:
             if kind == "hb":
                 if handle is not None and handle.attempt == attempt:
                     handle.last_seen = time.monotonic()
+                    if isinstance(payload, dict):
+                        st.hb = payload
                 return
             if st.status != "running":
                 return
+            if kind in ("done", "fails", "interrupted") and isinstance(payload, dict):
+                if payload.get("telemetry"):
+                    st.telemetry = payload["telemetry"]
+                if tracer.enabled and handle is not None:
+                    # The worker cannot write the parent's trace file; the
+                    # shard span is the parent-side view (spawn to final
+                    # message, replay included).
+                    tracer.emit(
+                        "shard",
+                        handle.spawn_t,
+                        time.perf_counter() - handle.spawn_t,
+                        start=st.spec.start_label,
+                        stop=st.spec.stop_label,
+                        attempt=attempt,
+                        status=kind,
+                    )
             if kind == "done":
                 st.status = "done"
                 st.stats = dict(payload["stats"])
@@ -733,6 +822,26 @@ class ShardedSearch:
                     evalerror = _WorkerEvalError(payload)
             elif kind == "error":
                 record_death(st, payload.get("message", "worker error"))
+
+        def update_progress() -> None:
+            reporter = self.obs.progress if self.obs is not None else None
+            if reporter is None:
+                return
+            # Settled shards report exact stats; running ones their latest
+            # heartbeat snapshot.  The reporter throttles itself.
+            done = hits = misses = 0
+            for st in states:
+                if st.status == "running" and st.hb:
+                    done += int(st.hb.get("i", 0))
+                    hits += int(st.hb.get("ch", 0))
+                    misses += int(st.hb.get("cm", 0))
+                elif st.stats:
+                    done += int(st.stats.get("valued_trees_checked", 0))
+                    hits += int(st.stats.get("cache_hits", 0))
+                    misses += int(st.stats.get("cache_misses", 0))
+            reporter.maybe_update(
+                done, SimpleNamespace(cache_hits=hits, cache_misses=misses)
+            )
 
         try:
             while True:
@@ -795,6 +904,7 @@ class ShardedSearch:
                     handle = next((h for h in running.values() if h.conn is conn), None)
                     if handle is not None:
                         drain(handle)
+                update_progress()
 
                 now = time.monotonic()
                 for handle in list(running.values()):
@@ -863,9 +973,24 @@ class ShardedSearch:
                     stats=dict(st.cursor.get("stats", {})),
                     reason="shard resume",
                 )
+            shard_obs = None
+            if self.obs is not None:
+                # Per-shard registry (folded by _merge like a worker's) so
+                # in-process and worker execution account identically; the
+                # tracer and progress reporter are shared — an in-process
+                # shard gets real engine spans, not a parent-side estimate.
+                shard_obs = Observability(
+                    tracer=self.obs.tracer if self.obs.tracer.enabled else None,
+                    telemetry=Telemetry() if self.obs.telemetry is not None else None,
+                    progress=self.obs.progress,
+                )
             try:
                 result = _run_task(
-                    self.task, control=self.control, resume_from=resume, shard=st.spec
+                    self.task,
+                    control=self.control,
+                    resume_from=resume,
+                    shard=st.spec,
+                    obs=shard_obs,
                 )
             except EvaluationError as exc:
                 if exc.checkpoint is not None:
@@ -879,6 +1004,8 @@ class ShardedSearch:
                 exc.checkpoint = self._checkpoint(states, st.reason)
                 raise
             stats = {k: getattr(result.stats, k) for k in _STAT_KEYS}
+            if shard_obs is not None and shard_obs.telemetry is not None:
+                st.telemetry = shard_obs.telemetry.to_dict()
             if result.verdict is Verdict.FAILS:
                 st.status = "fails"
                 st.stats = stats
@@ -916,6 +1043,7 @@ class ShardedSearch:
             capped=plan.capped,
             shards=[st.cursor_entry() for st in sorted(states, key=lambda s: s.spec.start_label)],
             reason=reason,
+            elapsed_seconds=self._prior_elapsed + (time.monotonic() - self._t0),
         )
 
     def _raise_eval_error(self, states: list[_ShardState], error: _WorkerEvalError) -> None:
@@ -958,8 +1086,14 @@ class ShardedSearch:
         )
         stats.resumed_from_checkpoint = self.resumed
         stats.sharding = self._sharding_stats(states)
+        # Wall clock is the supervisor's own (parallel shards overlap, so
+        # summing per-shard clocks would overstate it), plus any earlier
+        # interrupted runs' from the resumed checkpoint.
+        stats.elapsed_seconds = self._prior_elapsed + (time.monotonic() - self._t0)
+        telemetry = self.obs.telemetry if self.obs is not None else None
 
-        def add(shard_stats: dict) -> None:
+        def add(st: _ShardState) -> None:
+            shard_stats = st.stats
             stats.label_trees_checked += int(shard_stats.get("label_trees_checked", 0))
             stats.valued_trees_checked += int(shard_stats.get("valued_trees_checked", 0))
             stats.max_size_reached = max(
@@ -970,6 +1104,12 @@ class ShardedSearch:
             # report nothing; the succeeding attempt redoes the full range).
             stats.cache_hits += int(shard_stats.get("cache_hits", 0))
             stats.cache_misses += int(shard_stats.get("cache_misses", 0))
+            # The shard's registry folds in exactly when its stats do —
+            # same subset, so merged telemetry counters equal the
+            # sequential run's (killed attempts shipped no registry; the
+            # surviving attempt's covers its full range).
+            if telemetry is not None and st.telemetry:
+                telemetry.merge(Telemetry.from_dict(st.telemetry))
 
         ordered = sorted(states, key=lambda s: s.spec.start_label)
         failing = next((st for st in ordered if st.status == "fails"), None)
@@ -981,7 +1121,7 @@ class ShardedSearch:
                 # range before the failing shard, then the failing
                 # shard's prefix up to the violation.
                 for st in lower:
-                    add(st.stats)
+                    add(st)
                 result = TypecheckResult(
                     Verdict.FAILS,
                     counterexample=failing.fails["counterexample"],
@@ -1005,7 +1145,7 @@ class ShardedSearch:
             )
             for st in ordered:
                 if st.status in ("done",) or st.stats:
-                    add(st.stats)
+                    add(st)
             checkpoint = self._checkpoint(ordered, reason)
             result = TypecheckResult(
                 Verdict.INTERRUPTED,
@@ -1023,7 +1163,7 @@ class ShardedSearch:
             return result
 
         for st in ordered:
-            add(st.stats)
+            add(st)
         exhausted_sizes = not self.plan.capped
         result = conclude_bounded_search(
             stats,

@@ -58,6 +58,7 @@ def typecheck(
     workers: int = 0,
     supervisor: Optional[object] = None,
     use_eval_cache: bool = True,
+    obs: Optional[object] = None,
 ) -> TypecheckResult:
     """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
 
@@ -82,6 +83,11 @@ def typecheck(
     reference evaluator — verdicts, witnesses, and search statistics are
     identical either way (the cache-hit counters read zero); the flag
     exists for ablation benchmarks and equivalence checks.
+
+    ``obs`` (a :class:`repro.obs.Observability`) attaches the telemetry
+    layer — span tracing, phase metrics, live progress — without changing
+    verdicts, witnesses, or search statistics; ``None`` (the default)
+    keeps every instrumentation site on the unmeasurable no-op path.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
@@ -100,6 +106,7 @@ def typecheck(
             workers=workers,
             supervisor=supervisor,
             use_eval_cache=use_eval_cache,
+            obs=obs,
         )
         if result.verdict is Verdict.TYPECHECKS:
             # Even exhausting a finite space is legitimate; keep it.
@@ -127,6 +134,7 @@ def typecheck(
             workers=workers,
             supervisor=supervisor,
             use_eval_cache=use_eval_cache,
+            obs=obs,
         )
     if has_tag_variables(query):
         return fallback(
@@ -151,6 +159,7 @@ def typecheck(
                 workers=workers,
                 supervisor=supervisor,
                 use_eval_cache=use_eval_cache,
+                obs=obs,
             )
             result.notes.append(
                 "FO content models are checked by direct search (no DFA "
@@ -167,6 +176,7 @@ def typecheck(
             workers=workers,
             supervisor=supervisor,
             use_eval_cache=use_eval_cache,
+            obs=obs,
         )
     # Fully regular output DTD: Theorem 3.5 needs projection-freeness.
     if not assume_projection_free and not is_projection_free(query, tau1):
@@ -186,4 +196,5 @@ def typecheck(
         workers=workers,
         supervisor=supervisor,
         use_eval_cache=use_eval_cache,
+        obs=obs,
     )

@@ -185,6 +185,7 @@ def typecheck_regular(
     supervisor: Optional[object] = None,
     shard: Optional[object] = None,
     use_eval_cache: bool = True,
+    obs: Optional[object] = None,
 ) -> TypecheckResult:
     """Theorem 3.5: typecheck a projection-free, tag-variable-free,
     non-recursive query against a fully regular output DTD.
@@ -227,6 +228,7 @@ def typecheck_regular(
         supervisor=supervisor,
         shard=shard,
         use_eval_cache=use_eval_cache,
+        obs=obs,
     )
     result.notes.extend(notes)
     if moduli:

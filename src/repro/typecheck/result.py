@@ -81,6 +81,12 @@ class SearchStats:
     per label tree, so sequential and sharded totals agree exactly."""
     cache_misses: int = 0
     """Per-tree evaluation-cache misses (entries computed and stored)."""
+    elapsed_seconds: float = 0.0
+    """Wall-clock time spent searching.  Preserved across checkpoint
+    resume (a resumed run's elapsed time includes the interrupted runs'),
+    so the instances/sec figure in :meth:`TypecheckResult.summary` stays
+    honest.  Excluded from the sequential == sharded exactness contract —
+    wall clock is execution-dependent by nature."""
     theoretical_bound: Optional[int | float] = None  # float('inf') = astronomical
     budget_max_size: int = 0
     budget_max_instances: int = 0
@@ -137,6 +143,18 @@ class TypecheckResult:
         if s.cache_hits or s.cache_misses:
             lines.append(
                 f"  eval cache:     {s.cache_hits} hits / {s.cache_misses} misses"
+            )
+        if s.elapsed_seconds > 0:
+            rate = s.valued_trees_checked / s.elapsed_seconds
+            lines.append(
+                f"  wall clock:     {s.elapsed_seconds:.2f}s "
+                f"({rate:.0f} instances/sec)"
+            )
+        if s.budget_max_instances and s.valued_trees_checked > s.budget_max_instances:
+            lines.append(
+                f"  budget overrun: {s.valued_trees_checked} instances counted "
+                f"against a budget of {s.budget_max_instances} "
+                "(resumed totals include work done under an earlier budget)"
             )
         if self.interruption:
             lines.append(f"  interrupted:    {self.interruption}")

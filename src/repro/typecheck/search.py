@@ -33,12 +33,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterator, Optional, Union
 
 from repro.dtd.content import ContentKind, SLContent
 from repro.dtd.core import DTD, ValidationResult
 from repro.dtd.generate import enumerate_instances, max_instance_size
 from repro.dtd.specialized import SpecializedDTD
+from repro.obs import Observability
+from repro.obs.trace import NULL_TRACER
 from repro.ql.analysis import constants_used, has_data_conditions, value_relevant_tags
 from repro.ql.ast import Query
 from repro.ql.compile import BoundTree, compiled_query_for
@@ -49,8 +52,8 @@ from repro.runtime.checkpoint import (
     SearchCheckpoint,
     search_fingerprint,
 )
-from repro.runtime.control import RuntimeControl
-from repro.runtime.shard import SearchTask, ShardSpec
+from repro.runtime.control import OperationInterrupted, RuntimeControl
+from repro.runtime.shard import SearchTask, ShardSpec, plan_shards
 from repro.trees.data_tree import DataTree, Node
 from repro.trees.values import assign_values, enumerate_value_assignments
 from repro.typecheck.errors import EvaluationError, WitnessVerificationError
@@ -233,9 +236,15 @@ def find_counterexample(
     resume_from: Optional[SearchCheckpoint] = None,
     shard: Optional[ShardSpec] = None,
     use_eval_cache: bool = True,
+    obs: Optional[Observability] = None,
 ) -> TypecheckResult:
     """Search ``inst(tau1)`` (up to the budget) for a tree whose query
     output violates the output type.
+
+    ``obs`` attaches telemetry (:class:`repro.obs.Observability`): span
+    tracing, phase histograms, and live progress.  Like the eval cache it
+    changes *nothing observable* in the verdict or statistics; disabled
+    (the default ``None``) it costs one attribute check per instance.
 
     ``use_eval_cache`` selects the compile-once evaluation path
     (:mod:`repro.ql.compile`): edge DFAs compiled once per run over the
@@ -281,6 +290,7 @@ def find_counterexample(
             control=control,
             resume_from=resume_from,
             use_eval_cache=use_eval_cache,
+            obs=obs,
         )
     budget = budget or SearchBudget()
     validate = _validator_for(output_type)
@@ -293,6 +303,20 @@ def find_counterexample(
         budget_max_size=budget.max_size,
         budget_max_instances=budget.max_instances,
     )
+    # Observability unpacked to locals once: the disabled path must cost
+    # nothing measurable in the per-instance loop (see
+    # benchmarks/bench_obs_overhead.py).
+    tracer = obs.tracer if obs is not None else NULL_TRACER
+    tracing = tracer.enabled
+    telemetry = obs.telemetry if obs is not None else None
+    progress = obs.progress if obs is not None else None
+    timing = tracing or telemetry is not None
+    if obs is not None:
+        # Out-of-band readers (worker heartbeats) snapshot live progress
+        # from here instead of a callback in the hot loop.
+        obs.live_stats = stats
+    t0 = perf_counter()
+    prior_elapsed = 0.0
     instance_base = shard.instance_base if shard is not None else 0
     resume_labels = 0
     resume_values = 0
@@ -309,12 +333,37 @@ def find_counterexample(
         stats.max_size_reached = int(resume_from.stats.get("max_size_reached", 0))
         stats.cache_hits = int(resume_from.stats.get("cache_hits", 0))
         stats.cache_misses = int(resume_from.stats.get("cache_misses", 0))
+        prior_elapsed = float(resume_from.stats.get("elapsed_seconds", 0.0))
         stats.resumed_from_checkpoint = True
+
+    root_span = (
+        tracer.begin(
+            "shard" if shard is not None else "search",
+            algorithm=algorithm,
+            max_size=budget.max_size,
+            **(
+                {"start": shard.start_label, "stop": shard.stop_label}
+                if shard is not None
+                else {}
+            ),
+        )
+        if tracing
+        else None
+    )
 
     # Compiled once per run (and memoized per process, so a supervisor
     # worker compiles once, not once per shard).  The cache flag is not
     # part of the fingerprint: it cannot change any observable outcome.
-    compiled = compiled_query_for(query, tau1.alphabet) if use_eval_cache else None
+    if not use_eval_cache:
+        compiled = None
+    elif tracing:
+        with tracer.span("compile") as compile_span:
+            compiled = compiled_query_for(query, tau1.alphabet)
+            compile_span.attrs["build_s"] = round(compiled.compile_seconds, 9)
+    else:
+        compiled = compiled_query_for(query, tau1.alphabet)
+    if telemetry is not None and compiled is not None:
+        telemetry.observe("compile", compiled.compile_seconds)
 
     needs_values = has_data_conditions(query)
     constants = sorted(constants_used(query), key=repr)
@@ -341,6 +390,9 @@ def find_counterexample(
                 "max_size_reached": stats.max_size_reached,
                 "cache_hits": stats.cache_hits,
                 "cache_misses": stats.cache_misses,
+                # Wall clock is carried in the checkpoint so a resumed
+                # run's instances/sec figure covers all attempts.
+                "elapsed_seconds": prior_elapsed + (perf_counter() - t0),
             },
             reason=reason,
         )
@@ -366,176 +418,229 @@ def find_counterexample(
 
     exhausted_sizes = True
     budget_hit = False
+    tree_span = None  # open label_tree span (tracing only)
     raw_index = 0  # position in the deterministic label-tree stream
-    for labels in enumerate_instances(tau1, budget.max_size):
-        if shard is not None and raw_index >= shard.stop_label:
-            break
-        if dedupe_order:
-            key = _unordered_canonical(labels.root)
-            if key in seen_canonical:
-                raw_index += 1
-                continue
-        else:
-            key = None
-        if raw_index < skip_labels:
-            # Fast-forward of a resumed or sharded search: this tree's
-            # candidates were (or will be) evaluated and counted
-            # elsewhere; only the dedupe set needs replaying.
+    try:
+        for labels in enumerate_instances(tau1, budget.max_size):
+            if shard is not None and raw_index >= shard.stop_label:
+                break
             if dedupe_order:
-                seen_canonical.add(key)
-            raw_index += 1
-            continue
-
-        if needs_values:
-            vectors: Iterator[tuple] = _assignment_vectors(
-                labels, constants, budget.max_value_classes, relevant_tags
-            )
-        else:
-            # All-distinct values: the coarsest assignment satisfying
-            # every != and no = — one candidate, same as fresh_values().
-            vectors = iter([tuple(f"_v{i}" for i in range(labels.size()))])
-        if compiled is not None:
-            # One working copy per label tree; every assignment below is
-            # written onto it in place (no per-assignment tree.copy()).
-            bound: Optional[BoundTree] = compiled.bind(labels, stats)
-        else:
-            bound = None
-        candidates: Iterator[tuple] = vectors
-        values_done = 0
-        if raw_index == resume_labels and resume_values > 0:
-            # The tree the interruption fell on: skip what was already
-            # evaluated (its bookkeeping is in the restored stats).
-            candidates = itertools.islice(candidates, resume_values, None)
-            values_done = resume_values
-            if dedupe_order:
-                # The original run booked this tree with its first counted
-                # candidate; replay that part of the bookkeeping.
-                seen_canonical.add(key)
-
-        def count_instance() -> None:
-            # Per-tree bookkeeping rides with the first *counted* candidate
-            # so that a cursor with values_done == 0 means "nothing of this
-            # tree happened yet" — checkpoints taken at any point stay
-            # consistent with the restored statistics.
-            nonlocal values_done
-            if values_done == 0:
+                key = _unordered_canonical(labels.root)
+                if key in seen_canonical:
+                    raw_index += 1
+                    continue
+            else:
+                key = None
+            if raw_index < skip_labels:
+                # Fast-forward of a resumed or sharded search: this tree's
+                # candidates were (or will be) evaluated and counted
+                # elsewhere; only the dedupe set needs replaying.
                 if dedupe_order:
                     seen_canonical.add(key)
-                stats.label_trees_checked += 1
-                stats.max_size_reached = max(stats.max_size_reached, labels.size())
-            stats.valued_trees_checked += 1
-            values_done += 1
+                raw_index += 1
+                continue
 
-        for values in candidates:
-            reason = _stop_reason(control, instance_base + stats.valued_trees_checked)
-            if reason is not None:
-                return interrupted(reason, raw_index, values_done)
-            if instance_base + stats.valued_trees_checked >= budget.max_instances:
-                # Budget enforced *before* evaluation, on the *global*
-                # instance number: never evaluate instance number
-                # max_instances + 1 — in any shard.
-                budget_hit = True
-                break
-            instance_index = instance_base + stats.valued_trees_checked
-            injected = None
-            if control is not None and control.faults is not None:
-                injected = control.faults.evaluator_fault(instance_index)
-            # The counters move only after the instance is fully processed,
-            # so a failure checkpoint (cursor *at* the failing instance,
-            # instance uncounted) resumes by retrying it — no double count.
-            # The valued tree is materialized only off the hot path (error
-            # reports, witnesses); the cached evaluator works in place.
-            try:
-                if injected is not None:
-                    raise injected
-                if bound is not None:
-                    output = bound.evaluate(values)
+            if tracing:
+                tree_span = tracer.begin(
+                    "label_tree", index=raw_index, size=labels.size()
+                )
+            if needs_values:
+                vectors: Iterator[tuple] = _assignment_vectors(
+                    labels, constants, budget.max_value_classes, relevant_tags
+                )
+            else:
+                # All-distinct values: the coarsest assignment satisfying
+                # every != and no = — one candidate, same as fresh_values().
+                vectors = iter([tuple(f"_v{i}" for i in range(labels.size()))])
+            if compiled is not None:
+                # One working copy per label tree; every assignment below is
+                # written onto it in place (no per-assignment tree.copy()).
+                if timing:
+                    t_bind = perf_counter()
+                    bound: Optional[BoundTree] = compiled.bind(labels, stats)
+                    dt_bind = perf_counter() - t_bind
+                    if telemetry is not None:
+                        telemetry.observe("bind", dt_bind)
+                    if tracing:
+                        tracer.emit("bind", t_bind, dt_bind)
                 else:
-                    tree = assign_values(labels, values)
-                    output = evaluate(query, tree)
-            except Exception as exc:
-                error = EvaluationError(
-                    "query evaluation", instance_index, assign_values(labels, values), exc
-                )
-                error.checkpoint = make_checkpoint(
-                    f"evaluator failure on instance #{instance_index}",
-                    raw_index,
-                    values_done,
-                )
-                raise error from exc
-            if output is None:
-                count_instance()
-                if vacuous_output_ok:
-                    continue
-                return TypecheckResult(
-                    Verdict.FAILS,
-                    counterexample=assign_values(labels, values),
-                    output=None,
-                    violation="query produces no output tree on this input",
-                    stats=stats,
-                    algorithm=algorithm,
-                )
-            try:
-                result = validate(output)
-            except Exception as exc:
-                error = EvaluationError(
-                    "output validation", instance_index, assign_values(labels, values), exc
-                )
-                error.checkpoint = make_checkpoint(
-                    f"validator failure on instance #{instance_index}",
-                    raw_index,
-                    values_done,
-                )
-                raise error from exc
-            count_instance()
-            if not result.ok:
-                # Re-verification always goes through the uncached
-                # reference evaluator on a fresh tree — with the cache on
-                # this doubles as a per-witness cross-check of the
-                # compiled path.
-                witness = assign_values(labels, values)
-                recheck_output = evaluate(query, witness)
-                recheck = (
-                    validate(recheck_output) if recheck_output is not None else None
-                )
-                if recheck is None or recheck.ok:
-                    # Not stripped under ``python -O`` (the assert-based
-                    # predecessor was): a witness that fails re-verification
-                    # means the engine itself is unsound.
-                    raise WitnessVerificationError(
-                        witness,
-                        "validator accepted the output on re-evaluation"
-                        if recheck is not None
-                        else "query produced no output on re-evaluation",
+                    bound = compiled.bind(labels, stats)
+            else:
+                bound = None
+            candidates: Iterator[tuple] = vectors
+            values_done = 0
+            if raw_index == resume_labels and resume_values > 0:
+                # The tree the interruption fell on: skip what was already
+                # evaluated (its bookkeeping is in the restored stats).
+                candidates = itertools.islice(candidates, resume_values, None)
+                values_done = resume_values
+                if dedupe_order:
+                    # The original run booked this tree with its first counted
+                    # candidate; replay that part of the bookkeeping.
+                    seen_canonical.add(key)
+
+            def count_instance() -> None:
+                # Per-tree bookkeeping rides with the first *counted* candidate
+                # so that a cursor with values_done == 0 means "nothing of this
+                # tree happened yet" — checkpoints taken at any point stay
+                # consistent with the restored statistics.
+                nonlocal values_done
+                if values_done == 0:
+                    if dedupe_order:
+                        seen_canonical.add(key)
+                    stats.label_trees_checked += 1
+                    stats.max_size_reached = max(stats.max_size_reached, labels.size())
+                stats.valued_trees_checked += 1
+                values_done += 1
+                if progress is not None:
+                    progress.maybe_update(
+                        instance_base + stats.valued_trees_checked, stats
                     )
-                return TypecheckResult(
-                    Verdict.FAILS,
-                    counterexample=witness,
-                    output=recheck_output,
-                    violation=str(result.error),
-                    stats=stats,
-                    algorithm=algorithm,
-                )
-        if budget_hit:
-            exhausted_sizes = False
-            break
-        raw_index += 1
 
-    if shard is not None:
-        # A shard never concludes on its own: whether the whole space was
-        # exhausted is the supervisor's call, made from the merged plan.
-        result = TypecheckResult(
-            Verdict.NO_COUNTEREXAMPLE_FOUND, stats=stats, algorithm=algorithm
-        )
-        result.notes.append(
-            f"shard [{shard.start_label}, {shard.stop_label}) complete"
-        )
-        return result
+            for values in candidates:
+                reason = _stop_reason(control, instance_base + stats.valued_trees_checked)
+                if reason is not None:
+                    return interrupted(reason, raw_index, values_done)
+                if instance_base + stats.valued_trees_checked >= budget.max_instances:
+                    # Budget enforced *before* evaluation, on the *global*
+                    # instance number: never evaluate instance number
+                    # max_instances + 1 — in any shard.
+                    budget_hit = True
+                    break
+                instance_index = instance_base + stats.valued_trees_checked
+                injected = None
+                if control is not None and control.faults is not None:
+                    injected = control.faults.evaluator_fault(instance_index)
+                # The counters move only after the instance is fully processed,
+                # so a failure checkpoint (cursor *at* the failing instance,
+                # instance uncounted) resumes by retrying it — no double count.
+                # The valued tree is materialized only off the hot path (error
+                # reports, witnesses); the cached evaluator works in place.
+                try:
+                    if injected is not None:
+                        raise injected
+                    if timing:
+                        t_eval = perf_counter()
+                    if bound is not None:
+                        output = bound.evaluate(values)
+                    else:
+                        tree = assign_values(labels, values)
+                        output = evaluate(query, tree, telemetry=telemetry)
+                    if timing:
+                        dt_eval = perf_counter() - t_eval
+                        if telemetry is not None:
+                            telemetry.observe("evaluate", dt_eval)
+                        if tracing:
+                            tracer.emit("evaluate", t_eval, dt_eval, i=instance_index)
+                except Exception as exc:
+                    error = EvaluationError(
+                        "query evaluation", instance_index, assign_values(labels, values), exc
+                    )
+                    error.checkpoint = make_checkpoint(
+                        f"evaluator failure on instance #{instance_index}",
+                        raw_index,
+                        values_done,
+                    )
+                    raise error from exc
+                if output is None:
+                    count_instance()
+                    if vacuous_output_ok:
+                        continue
+                    return TypecheckResult(
+                        Verdict.FAILS,
+                        counterexample=assign_values(labels, values),
+                        output=None,
+                        violation="query produces no output tree on this input",
+                        stats=stats,
+                        algorithm=algorithm,
+                    )
+                try:
+                    result = validate(output)
+                except Exception as exc:
+                    error = EvaluationError(
+                        "output validation", instance_index, assign_values(labels, values), exc
+                    )
+                    error.checkpoint = make_checkpoint(
+                        f"validator failure on instance #{instance_index}",
+                        raw_index,
+                        values_done,
+                    )
+                    raise error from exc
+                count_instance()
+                if not result.ok:
+                    # Re-verification always goes through the uncached
+                    # reference evaluator on a fresh tree — with the cache on
+                    # this doubles as a per-witness cross-check of the
+                    # compiled path.
+                    witness = assign_values(labels, values)
+                    if timing:
+                        t_verify = perf_counter()
+                    recheck_output = evaluate(query, witness, telemetry=telemetry)
+                    recheck = (
+                        validate(recheck_output) if recheck_output is not None else None
+                    )
+                    if timing:
+                        dt_verify = perf_counter() - t_verify
+                        if telemetry is not None:
+                            telemetry.observe("verify_witness", dt_verify)
+                        if tracing:
+                            tracer.emit(
+                                "verify_witness", t_verify, dt_verify, i=instance_index
+                            )
+                    if recheck is None or recheck.ok:
+                        # Not stripped under ``python -O`` (the assert-based
+                        # predecessor was): a witness that fails re-verification
+                        # means the engine itself is unsound.
+                        raise WitnessVerificationError(
+                            witness,
+                            "validator accepted the output on re-evaluation"
+                            if recheck is not None
+                            else "query produced no output on re-evaluation",
+                        )
+                    return TypecheckResult(
+                        Verdict.FAILS,
+                        counterexample=witness,
+                        output=recheck_output,
+                        violation=str(result.error),
+                        stats=stats,
+                        algorithm=algorithm,
+                    )
+            if tree_span is not None:
+                tracer.end(tree_span, instances=values_done)
+                tree_span = None
+            if budget_hit:
+                exhausted_sizes = False
+                break
+            raw_index += 1
 
-    # Decide whether the exploration was complete.
-    return conclude_bounded_search(
-        stats, tau1, budget, theoretical_bound, needs_values, exhausted_sizes, algorithm
-    )
+        if shard is not None:
+            # A shard never concludes on its own: whether the whole space was
+            # exhausted is the supervisor's call, made from the merged plan.
+            result = TypecheckResult(
+                Verdict.NO_COUNTEREXAMPLE_FOUND, stats=stats, algorithm=algorithm
+            )
+            result.notes.append(
+                f"shard [{shard.start_label}, {shard.stop_label}) complete"
+            )
+            return result
+
+        # Decide whether the exploration was complete.
+        return conclude_bounded_search(
+            stats, tau1, budget, theoretical_bound, needs_values, exhausted_sizes, algorithm
+        )
+    finally:
+        # Every exit path — verdicts, interruptions, evaluator failures —
+        # stamps honest wall clock (the result's stats object is this
+        # one) and closes any span still open.
+        stats.elapsed_seconds = prior_elapsed + (perf_counter() - t0)
+        if tree_span is not None:
+            tracer.end(tree_span)
+        if root_span is not None:
+            tracer.end(
+                root_span,
+                instances=stats.valued_trees_checked,
+                label_trees=stats.label_trees_checked,
+            )
 
 
 def run_search(
@@ -555,6 +660,7 @@ def run_search(
     task_tau2: Optional[object] = None,
     task_query: Optional[Query] = None,
     use_eval_cache: bool = True,
+    obs: Optional[Observability] = None,
 ) -> TypecheckResult:
     """Dispatch one bounded search to the sequential engine or the
     fault-tolerant sharded supervisor.
@@ -578,7 +684,7 @@ def run_search(
     finishes its shards in-process — both preserve exactness.
     """
     if shard is not None:
-        return find_counterexample(
+        result = find_counterexample(
             query,
             tau1,
             output_type,
@@ -590,7 +696,14 @@ def run_search(
             resume_from=resume_from,
             shard=shard,
             use_eval_cache=use_eval_cache,
+            obs=obs,
         )
+        if obs is not None:
+            # Counters are derived once per engine run; the supervisor
+            # folds shard registries instead of re-deriving, so merged
+            # totals can never double count.
+            obs.record_search(result.stats)
+        return result
 
     wants_parallel = workers > 1 or (
         supervisor is not None and getattr(supervisor, "workers", 0) > 1
@@ -608,6 +721,7 @@ def run_search(
             vacuous_output_ok=vacuous_output_ok,
             theoretical_bound=theoretical_bound,
             use_eval_cache=use_eval_cache,
+            metrics=obs is not None and obs.telemetry is not None,
         )
         if supervisor is not None:
             config = supervisor
@@ -628,8 +742,28 @@ def run_search(
             theoretical_bound=theoretical_bound,
             control=control,
             config=config,
+            obs=obs,
         )
         return search.run(resume_from=resume_from)
+
+    if obs is not None and obs.progress is not None and obs.progress.total is None:
+        # Sequential run with live progress: one planning pass prices the
+        # whole stream (closed-form, nothing evaluated) so the reporter
+        # can show percent done and an ETA.  The fingerprint is only
+        # stored on the plan, which is discarded here.
+        try:
+            pricing = plan_shards(
+                query,
+                tau1,
+                output_type,
+                budget or SearchBudget(),
+                fingerprint="",
+                target_shards=1,
+                control=control,
+            )
+            obs.progress.set_total(pricing.total_instances)
+        except OperationInterrupted:
+            pass  # the engine will observe the same stop signal itself
 
     result = find_counterexample(
         query,
@@ -642,7 +776,10 @@ def run_search(
         control=control,
         resume_from=resume_from,
         use_eval_cache=use_eval_cache,
+        obs=obs,
     )
+    if obs is not None:
+        obs.record_search(result.stats)
     if wants_parallel:
         result.notes.append(
             "sequential (version-1) checkpoint resumed in-process; pass a "

@@ -240,6 +240,7 @@ def typecheck_starfree(
     supervisor: Optional[object] = None,
     shard: Optional[object] = None,
     use_eval_cache: bool = True,
+    obs: Optional[object] = None,
 ) -> TypecheckResult:
     """Theorem 3.2: typecheck a non-recursive, tag-variable-free query
     against a star-free output DTD by compiling to the unordered case.
@@ -279,6 +280,7 @@ def typecheck_starfree(
         task_tau2=tau2,
         task_query=query,
         use_eval_cache=use_eval_cache,
+        obs=obs,
     )
     result.notes.append(
         f"compiled {len(mapping)} construct tags to SL via (double-dagger); "

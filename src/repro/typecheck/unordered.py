@@ -49,6 +49,7 @@ def typecheck_unordered(
     supervisor: Optional[object] = None,
     shard: Optional[object] = None,
     use_eval_cache: bool = True,
+    obs: Optional[object] = None,
 ) -> TypecheckResult:
     """Decide (within budget) whether every output of ``query`` on
     ``inst(tau1)`` satisfies the unordered DTD ``tau2``.
@@ -76,4 +77,5 @@ def typecheck_unordered(
         supervisor=supervisor,
         shard=shard,
         use_eval_cache=use_eval_cache,
+        obs=obs,
     )

@@ -143,11 +143,12 @@ def test_v2_json_round_trip_identity(ckpt):
 
 
 # ``reason`` and (for v1) ``stats`` are optional by design — a minimal
-# cursor is still a valid checkpoint — and v2's ``kind`` is a
-# human-facing discriminator the loader ignores; everything else is
-# load-bearing.
+# cursor is still a valid checkpoint — v2's ``kind`` is a human-facing
+# discriminator the loader ignores, and v2's ``elapsed_seconds`` defaults
+# to 0 so checkpoints written before the telemetry layer still load;
+# everything else is load-bearing.
 _V1_OPTIONAL = {"reason", "stats"}
-_V2_OPTIONAL = {"reason", "kind"}
+_V2_OPTIONAL = {"reason", "kind", "elapsed_seconds"}
 
 
 @given(search_checkpoints(), st.data())

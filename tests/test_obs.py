@@ -1,0 +1,461 @@
+"""Telemetry subsystem: span tracing, metrics merge algebra, live progress.
+
+The load-bearing properties (ISSUE 4 acceptance):
+
+* attaching the telemetry layer never changes verdicts, witnesses, or
+  search statistics — traced and untraced runs are observably identical;
+* ``Telemetry.merge`` is associative and commutative, so a sharded run
+  (including one surviving injected worker kills) folds per-worker
+  registries into exactly the sequential totals;
+* heartbeat payloads stay compact no matter how large the counters grow;
+* the ``--trace`` JSONL stream validates against schema v1 and the
+  summarizer reads it back.
+"""
+
+import io
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd import DTD
+from repro.obs import (
+    BUCKET_BOUNDS,
+    Histogram,
+    JsonlTraceSink,
+    Observability,
+    ProgressReporter,
+    Telemetry,
+    Tracer,
+    read_trace_file,
+    render_summary,
+    summarize_trace,
+    validate_trace_records,
+)
+from repro.obs.trace import NULL_TRACER, SPAN_NAMES, TRACE_SCHEMA, TRACE_SCHEMA_VERSION
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, Query, Where
+from repro.runtime import FaultInjector, FaultPlan, RuntimeControl, WorkerKill
+from repro.runtime.faults import ANY_SHARD
+from repro.runtime.supervisor import _Heartbeat
+from repro.runtime.shard import ShardSpec
+from repro.typecheck import Verdict, typecheck
+from repro.typecheck.search import SearchBudget
+
+# -- shared workload (same shapes as test_supervisor) -------------------------
+
+
+def condition_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const(1))]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+TAU1 = DTD("root", {"root": "a^>=0"}, unordered=True)
+TAU2_PERMISSIVE = DTD("out", {"out": "true"}, unordered=True, alphabet={"out", "item"})
+TAU2_STRICT = DTD("out", {"out": "item^=1"}, unordered=True, alphabet={"out", "item"})
+BUDGET = SearchBudget(max_size=5)
+
+KILL_EVERY_FIRST_ATTEMPT = RuntimeControl(
+    faults=FaultInjector(
+        FaultPlan(worker_kills=frozenset({WorkerKill(ANY_SHARD, 0, 2, "kill")}))
+    )
+)
+
+
+def assert_same_search(a, b):
+    """The exactness contract: everything except wall clock."""
+    assert a.verdict is b.verdict
+    assert a.stats.valued_trees_checked == b.stats.valued_trees_checked
+    assert a.stats.label_trees_checked == b.stats.label_trees_checked
+    assert a.stats.max_size_reached == b.stats.max_size_reached
+    assert a.stats.cache_hits == b.stats.cache_hits
+    assert a.stats.cache_misses == b.stats.cache_misses
+
+
+# -- telemetry registry -------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_counters_gauges_histograms(self):
+        t = Telemetry()
+        t.count("x")
+        t.count("x", 4)
+        t.gauge_max("g", 2.0)
+        t.gauge_max("g", 1.0)  # lower: ignored
+        t.observe("h", 0.001)
+        assert t.counters == {"x": 5}
+        assert t.gauges == {"g": 2.0}
+        assert t.histograms["h"].count == 1
+        assert bool(t)
+        assert not bool(Telemetry())
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram()
+        h.observe(0.0)  # first bucket
+        h.observe(BUCKET_BOUNDS[-1] * 10)  # overflow bucket
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+        assert h.count == 2
+        assert h.min_ns == 0
+        assert h.max_ns == int(BUCKET_BOUNDS[-1] * 10 * 1e9 + 0.5)
+
+    def test_serde_roundtrip_exact(self):
+        t = Telemetry()
+        t.count("a", 7)
+        t.gauge_max("g", 1.5)
+        t.observe("h", 0.01)
+        t.observe("h", 3.0)
+        doc = t.to_dict()
+        assert doc["schema"] == "repro.obs.metrics"
+        assert doc["version"] == 1
+        assert Telemetry.from_dict(json.loads(json.dumps(doc))) == t
+
+    def test_from_dict_rejects_wrong_bucket_count(self):
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram.from_dict({"counts": [0, 1], "count": 1, "total_ns": 5})
+
+    def test_merge_with_empty_is_identity(self):
+        t = Telemetry()
+        t.count("a", 3)
+        t.observe("h", 0.5)
+        before = t.to_dict()
+        t.merge(Telemetry())
+        assert t.to_dict() == before
+
+
+# -- Hypothesis: the merge algebra --------------------------------------------
+
+_durations = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def telemetries(draw):
+    t = Telemetry()
+    for name, n in draw(
+        st.dictionaries(st.sampled_from(["a", "b", "c"]), st.integers(0, 10**9), max_size=3)
+    ).items():
+        t.count(name, n)
+    for name, v in draw(
+        st.dictionaries(st.sampled_from(["g1", "g2"]), st.floats(0, 1e6), max_size=2)
+    ).items():
+        t.gauge_max(name, v)
+    for name, obs in draw(
+        st.dictionaries(
+            st.sampled_from(["h1", "h2"]), st.lists(_durations, max_size=5), max_size=2
+        )
+    ).items():
+        for seconds in obs:
+            t.observe(name, seconds)
+    return t
+
+
+@settings(max_examples=60, deadline=None)
+@given(telemetries(), telemetries(), telemetries())
+def test_merge_is_associative_and_commutative(a, b, c):
+    ab_c = Telemetry.merged([Telemetry.merged([a, b]), c])
+    a_bc = Telemetry.merged([a, Telemetry.merged([b, c])])
+    cba = Telemetry.merged([c, b, a])
+    assert ab_c.to_dict() == a_bc.to_dict() == cba.to_dict()
+
+
+# -- tracer + schema ----------------------------------------------------------
+
+
+class TestTracer:
+    def _tracer(self):
+        buf = io.StringIO()
+        fake = iter(x / 10.0 for x in range(1000))
+        return Tracer(JsonlTraceSink(buf), clock=lambda: next(fake)), buf
+
+    def test_stream_validates_and_nests(self):
+        tracer, buf = self._tracer()
+        root = tracer.begin("search", algorithm="t")
+        with tracer.span("label_tree", index=0):
+            with tracer.span("evaluate"):
+                pass
+        tracer.emit("worker", 0.05, 0.2, start=0, stop=4)
+        tracer.end(root, instances=3)
+        tracer.close()
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert validate_trace_records(records) == []
+        assert records[0] == {"type": "meta", "schema": TRACE_SCHEMA, "version": TRACE_SCHEMA_VERSION}
+        by_name = {r["name"]: r for r in records[1:]}
+        # Children close (and are written) before parents; links hold anyway.
+        assert by_name["evaluate"]["parent"] == by_name["label_tree"]["id"]
+        assert by_name["label_tree"]["parent"] == by_name["search"]["id"]
+        assert by_name["worker"]["parent"] == by_name["search"]["id"]
+        assert by_name["search"]["attrs"] == {"algorithm": "t", "instances": 3}
+        assert all(r["dur"] >= 0 for r in records[1:])
+
+    def test_validator_catches_damage(self):
+        tracer, buf = self._tracer()
+        with tracer.span("evaluate"):
+            pass
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert validate_trace_records(records) == []
+        assert validate_trace_records([]) == ["empty trace: expected a meta record"]
+        assert validate_trace_records(records[1:])  # missing meta
+        bad_name = [records[0], dict(records[1], name="frobnicate")]
+        assert any("unknown span name" in p for p in validate_trace_records(bad_name))
+        bad_parent = [records[0], dict(records[1], parent=999)]
+        assert any("parent 999" in p for p in validate_trace_records(bad_parent))
+        bad_dur = [records[0], dict(records[1], dur=-1.0)]
+        assert any("negative duration" in p for p in validate_trace_records(bad_dur))
+
+    def test_null_tracer_is_inert(self):
+        span = NULL_TRACER.begin("search")
+        NULL_TRACER.end(span)
+        NULL_TRACER.emit("worker", 0.0, 1.0)
+        assert not NULL_TRACER.enabled
+
+
+# -- engine integration -------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_traced_run_identical_to_untraced(self, tmp_path):
+        base = typecheck(condition_query(), TAU1, TAU2_STRICT, budget=BUDGET)
+        path = str(tmp_path / "run.trace")
+        obs = Observability(
+            tracer=Tracer(JsonlTraceSink.open(path)),
+            telemetry=Telemetry(),
+            progress=ProgressReporter(stream=io.StringIO(), interval=0.0),
+        )
+        traced = typecheck(condition_query(), TAU1, TAU2_STRICT, budget=BUDGET, obs=obs)
+        obs.tracer.close()
+        assert_same_search(base, traced)
+        assert traced.counterexample == base.counterexample
+
+        records = read_trace_file(path)
+        assert validate_trace_records(records) == []
+        names = {r["name"] for r in records[1:]}
+        assert {"search", "compile", "label_tree", "bind", "evaluate", "verify_witness"} <= names
+        assert names <= SPAN_NAMES
+
+    def test_telemetry_counts_the_search(self):
+        obs = Observability(telemetry=Telemetry())
+        result = typecheck(condition_query(), TAU1, TAU2_PERMISSIVE, budget=BUDGET, obs=obs)
+        t = obs.telemetry
+        assert t.counters["search.instances"] == result.stats.valued_trees_checked
+        assert t.counters["search.label_trees"] == result.stats.label_trees_checked
+        assert t.counters["search.cache_hits"] == result.stats.cache_hits
+        assert t.counters["search.cache_misses"] == result.stats.cache_misses
+        # One histogram observation per evaluated instance.
+        assert t.histograms["evaluate"].count == result.stats.valued_trees_checked
+
+    def test_sequential_equals_sharded_with_kills(self):
+        seq_obs = Observability(telemetry=Telemetry())
+        seq = typecheck(condition_query(), TAU1, TAU2_PERMISSIVE, budget=BUDGET, obs=seq_obs)
+        par_obs = Observability(telemetry=Telemetry())
+        par = typecheck(
+            condition_query(),
+            TAU1,
+            TAU2_PERMISSIVE,
+            budget=BUDGET,
+            workers=4,
+            control=KILL_EVERY_FIRST_ATTEMPT,
+            obs=par_obs,
+        )
+        assert_same_search(seq, par)
+        assert par.stats.sharding is not None and par.stats.sharding.worker_deaths > 0
+        # Counters merge to exactly the sequential totals — a killed
+        # attempt ships no registry and its retry redoes the full range.
+        assert par_obs.telemetry.counters == seq_obs.telemetry.counters
+        # Histogram observation *counts* agree too (durations are wall
+        # clock, inherently run-dependent).  "compile" is per engine run:
+        # one sequential compilation vs one per shard — excluded.
+        for name, hist in seq_obs.telemetry.histograms.items():
+            if name == "compile":
+                continue
+            assert par_obs.telemetry.histograms[name].count == hist.count, name
+
+    def test_traced_sharded_run_with_kills(self, tmp_path):
+        path = str(tmp_path / "sharded.trace")
+        obs = Observability(tracer=Tracer(JsonlTraceSink.open(path)))
+        result = typecheck(
+            condition_query(),
+            TAU1,
+            TAU2_PERMISSIVE,
+            budget=BUDGET,
+            workers=2,
+            control=KILL_EVERY_FIRST_ATTEMPT,
+            obs=obs,
+        )
+        obs.tracer.close()
+        base = typecheck(condition_query(), TAU1, TAU2_PERMISSIVE, budget=BUDGET)
+        assert_same_search(base, result)
+        records = read_trace_file(path)
+        assert validate_trace_records(records) == []
+        names = [r["name"] for r in records[1:]]
+        assert "shard" in names
+        assert "worker" in names
+
+    def test_untraced_run_has_no_registry_side_channel(self):
+        result = typecheck(condition_query(), TAU1, TAU2_STRICT, budget=BUDGET)
+        # obs=None must leave behind wall clock only, no other change.
+        assert result.stats.elapsed_seconds > 0
+        assert result.verdict is Verdict.FAILS
+
+
+# -- heartbeat payload --------------------------------------------------------
+
+
+class TestHeartbeat:
+    def test_heartbeat_payload_stays_bounded(self):
+        class FakeStats:
+            valued_trees_checked = 10**15
+            cache_hits = 10**15
+            cache_misses = 10**15
+
+        obs = Observability()
+        obs.live_stats = FakeStats()
+        hb = _Heartbeat(conn=None, spec=ShardSpec(0, 5, 0, 5), attempt=3, interval=1.0, obs=obs)
+        payload = hb._payload()
+        assert set(payload) == {"i", "ch", "cm"}
+        assert len(pickle.dumps(payload)) < 128
+        assert payload["i"] == 10**15
+
+    def test_heartbeat_payload_without_obs(self):
+        hb = _Heartbeat(conn=None, spec=ShardSpec(0, 5, 0, 5), attempt=0, interval=1.0)
+        assert hb._payload() == {"i": 0, "ch": 0, "cm": 0}
+
+
+# -- elapsed time across resume (satellite 1) ---------------------------------
+
+
+class TestElapsed:
+    def test_elapsed_recorded_and_preserved_across_resume(self):
+        from repro.runtime import RuntimeControl as RC
+
+        cancel = RC(
+            faults=FaultInjector(FaultPlan(cancel_after_instances=5))
+        )
+        first = typecheck(condition_query(), TAU1, TAU2_PERMISSIVE, budget=BUDGET, control=cancel)
+        assert first.verdict is Verdict.INTERRUPTED
+        assert first.stats.elapsed_seconds > 0
+        resumed = typecheck(
+            condition_query(), TAU1, TAU2_PERMISSIVE, budget=BUDGET, resume_from=first.checkpoint
+        )
+        assert resumed.verdict is not Verdict.INTERRUPTED
+        # Resumed elapsed includes the interrupted run's time.
+        assert resumed.stats.elapsed_seconds >= first.stats.elapsed_seconds
+        assert "wall clock" in resumed.summary()
+
+    def test_summary_reports_rate(self):
+        result = typecheck(condition_query(), TAU1, TAU2_STRICT, budget=BUDGET)
+        text = result.summary()
+        assert "wall clock:" in text
+        assert "instances/sec" in text
+
+
+# -- progress reporter --------------------------------------------------------
+
+
+class TestProgress:
+    def _reporter(self, interval=0.5, total=None):
+        stream = io.StringIO()
+        times = iter(x * 0.1 for x in range(1000))
+        reporter = ProgressReporter(stream=stream, interval=interval, clock=lambda: next(times))
+        reporter.set_total(total)
+        return reporter, stream
+
+    def test_throttles_to_interval(self):
+        reporter, stream = self._reporter(interval=0.5)
+        for i in range(20):  # fake clock advances 0.1s per call
+            reporter.maybe_update(i)
+        lines = stream.getvalue().splitlines()
+        # first call renders, then roughly every 5th clock tick
+        assert 2 <= len(lines) <= 6
+
+    def test_renders_rate_cache_and_eta(self):
+        reporter, stream = self._reporter(interval=0.0, total=1000)
+
+        class S:
+            cache_hits = 75
+            cache_misses = 25
+
+        reporter.maybe_update(100, S())
+        line = stream.getvalue().splitlines()[-1]
+        assert "100/1000" in line
+        assert "(10.0%)" in line
+        assert "cache 75% hit" in line
+        assert "eta" in line
+        assert "inst/s" in line
+
+    def test_finish_writes_final_line(self):
+        reporter, stream = self._reporter(interval=0.0, total=10)
+        reporter.maybe_update(5)
+        reporter.finish(10, None)
+        assert "in " in stream.getvalue().splitlines()[-1]
+
+    def test_finish_silent_when_nothing_happened(self):
+        reporter, stream = self._reporter()
+        reporter.finish(0, None)
+        assert stream.getvalue() == ""
+
+
+# -- summarizer ---------------------------------------------------------------
+
+
+class TestSummarize:
+    def test_summarize_and_render(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        obs = Observability(tracer=Tracer(JsonlTraceSink.open(path)))
+        typecheck(condition_query(), TAU1, TAU2_STRICT, budget=BUDGET, obs=obs)
+        obs.tracer.close()
+        summary = summarize_trace(read_trace_file(path), top=2)
+        phases = {p.name for p in summary["phases"]}
+        assert {"search", "label_tree", "evaluate"} <= phases
+        assert len(summary["slowest_trees"]) <= 2
+        text = render_summary(summary)
+        assert "trace summary (repro.obs.trace v1)" in text
+        assert "slowest label trees" in text
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_typecheck_trace_metrics_and_trace_subcommands(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.ql.serde import query_to_json
+
+        qfile = tmp_path / "q.json"
+        qfile.write_text(query_to_json(condition_query()), encoding="utf-8")
+        trace = tmp_path / "run.trace"
+        metrics = tmp_path / "run.metrics.json"
+        argv = [
+            "typecheck",
+            "--query", str(qfile),
+            "--input-dtd", "root -> a^>=0", "--unordered-input",
+            "--output-dtd", "out -> item^=1", "--unordered-output",
+            "--max-size", "5",
+            "--trace", str(trace),
+            "--metrics-out", str(metrics),
+        ]
+        assert main(argv) == 1  # FAILS
+        capsys.readouterr()
+
+        doc = json.loads(metrics.read_text(encoding="utf-8"))
+        assert doc["schema"] == "repro.obs.metrics"
+        assert doc["counters"]["search.instances"] > 0
+
+        assert main(["trace", "validate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+
+        assert main(["trace", "summarize", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "label_tree" in out
+
+    def test_trace_validate_rejects_damage(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.trace"
+        bad.write_text('{"type":"span","name":"nope","id":1,"ts":0,"dur":0,"attrs":{}}\n')
+        assert main(["trace", "validate", str(bad)]) == 1
+        assert "invalid:" in capsys.readouterr().out

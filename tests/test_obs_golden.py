@@ -1,0 +1,136 @@
+"""Golden renderings of ``TypecheckResult.summary()``.
+
+Each case pins the exact multi-line text for one execution shape —
+sharded, interrupted, resumed (with budget overrun), degraded — built
+from hand-made stats with a fixed ``elapsed_seconds`` so the wall-clock
+line is deterministic.  A renderer change that alters any of these is a
+deliberate UX decision and should update the goldens in the same commit.
+"""
+
+from repro.typecheck.result import (
+    SearchStats,
+    ShardingStats,
+    TypecheckResult,
+    Verdict,
+)
+
+
+def test_golden_sharded_summary():
+    result = TypecheckResult(
+        verdict=Verdict.NO_COUNTEREXAMPLE_FOUND,
+        algorithm="thm-3.1-unordered",
+        stats=SearchStats(
+            label_trees_checked=58,
+            valued_trees_checked=256,
+            max_size_reached=5,
+            cache_hits=198,
+            cache_misses=116,
+            elapsed_seconds=2.0,
+            budget_max_size=5,
+            budget_max_instances=100_000,
+            sharding=ShardingStats(
+                workers=4,
+                shards_total=4,
+                shards_completed=4,
+                worker_deaths=2,
+                retries=2,
+                resplits=0,
+            ),
+        ),
+    )
+    assert result.summary() == (
+        "[thm-3.1-unordered] verdict: no_counterexample_found\n"
+        "  searched 256 valued inputs over 58 label trees (sizes <= 5)\n"
+        "  eval cache:     198 hits / 116 misses\n"
+        "  wall clock:     2.00s (128 instances/sec)\n"
+        "  sharded over 4 workers: 4/4 shards completed; "
+        "survived 2 worker deaths (2 retries, 0 re-splits)"
+    )
+
+
+def test_golden_interrupted_summary():
+    result = TypecheckResult(
+        verdict=Verdict.INTERRUPTED,
+        algorithm="thm-3.2-starfree",
+        interruption="deadline expired",
+        checkpoint=object(),
+        stats=SearchStats(
+            label_trees_checked=10,
+            valued_trees_checked=50,
+            max_size_reached=3,
+            elapsed_seconds=0.5,
+            budget_max_size=6,
+            budget_max_instances=200,
+        ),
+    )
+    assert result.summary() == (
+        "[thm-3.2-starfree] verdict: interrupted\n"
+        "  searched 50 valued inputs over 10 label trees (sizes <= 3)\n"
+        "  wall clock:     0.50s (100 instances/sec)\n"
+        "  interrupted:    deadline expired\n"
+        "  budget covered: 25.0% of 200 instances\n"
+        "  checkpoint:     attached (resume_from=...)"
+    )
+
+
+def test_golden_resumed_with_budget_overrun():
+    # A resumed run whose combined totals exceed the (smaller) budget the
+    # final leg ran under: budget_fraction() silently caps at 1.0, so the
+    # summary says so explicitly (ISSUE 4 satellite).
+    result = TypecheckResult(
+        verdict=Verdict.NO_COUNTEREXAMPLE_FOUND,
+        algorithm="thm-3.1-unordered",
+        stats=SearchStats(
+            label_trees_checked=40,
+            valued_trees_checked=300,
+            max_size_reached=5,
+            elapsed_seconds=3.0,
+            budget_max_size=5,
+            budget_max_instances=250,
+            resumed_from_checkpoint=True,
+        ),
+    )
+    assert result.summary() == (
+        "[thm-3.1-unordered] verdict: no_counterexample_found\n"
+        "  searched 300 valued inputs over 40 label trees (sizes <= 5)\n"
+        "  wall clock:     3.00s (100 instances/sec)\n"
+        "  budget overrun: 300 instances counted against a budget of 250 "
+        "(resumed totals include work done under an earlier budget)\n"
+        "  resumed from an earlier checkpoint (totals include prior work)"
+    )
+
+
+def test_golden_degraded_summary():
+    result = TypecheckResult(
+        verdict=Verdict.TYPECHECKS,
+        algorithm="thm-3.5-regular",
+        stats=SearchStats(
+            label_trees_checked=12,
+            valued_trees_checked=12,
+            max_size_reached=4,
+            elapsed_seconds=0.25,
+            budget_max_size=4,
+            budget_max_instances=100_000,
+            exhausted_space=True,
+            theoretical_bound=12,
+            sharding=ShardingStats(
+                workers=4,
+                shards_total=2,
+                shards_completed=2,
+                degraded=True,
+            ),
+        ),
+    )
+    assert result.summary() == (
+        "[thm-3.5-regular] verdict: typechecks\n"
+        "  searched 12 valued inputs over 12 label trees (sizes <= 4)\n"
+        "  wall clock:     0.25s (48 instances/sec)\n"
+        "  sharded over 4 workers: 2/2 shards completed; "
+        "degraded to in-process execution\n"
+        "  theoretical counterexample bound: 12 nodes"
+    )
+
+
+def test_budget_fraction_still_caps_at_one():
+    stats = SearchStats(valued_trees_checked=300, budget_max_instances=250)
+    assert stats.budget_fraction() == 1.0
