@@ -1,0 +1,97 @@
+"""Durable checkpoint-store overhead: what crash safety costs.
+
+Series: (a) one durable checkpoint write with fsync on/off and
+generations 1 vs 3 — the fsync is the dominant cost, the rotation renames
+are noise; (b) the full counterexample search with autosave at the
+default interval (1000 instances) vs. no checkpointing at all.  The
+acceptance gate is on (b): fsync-on autosave at the default interval must
+stay under 10% of total search time (asserted here, and the measured
+margin is recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import copy_query
+
+from repro.dtd import DTD
+from repro.runtime import CheckpointAutosave, DurableStore, RuntimeControl, SearchCheckpoint
+from repro.typecheck import Verdict, typecheck_unordered
+from repro.typecheck.search import SearchBudget
+
+TAU1 = DTD("root", {"root": "a*"})
+TAU2 = DTD("out", {"out": "item0^>=0"}, unordered=True)
+BUDGET_SIZE = 7
+DEFAULT_INTERVAL = 1000
+
+CKPT = SearchCheckpoint(
+    fingerprint="f" * 32,
+    algorithm="thm-3.1-unordered",
+    labels_consumed=4821,
+    values_done=173,
+    stats={
+        "label_trees_checked": 4821,
+        "valued_trees_checked": 14463,
+        "max_size_reached": 9,
+    },
+    reason="autosave",
+)
+
+
+@pytest.mark.parametrize("fsync", [True, False], ids=["fsync", "no-fsync"])
+@pytest.mark.parametrize("generations", [1, 3], ids=["gen1", "gen3"])
+def test_checkpoint_write(benchmark, tmp_path, fsync, generations):
+    store = DurableStore(
+        str(tmp_path / "bench.ckpt"), generations=generations, fsync=fsync
+    )
+    benchmark(store.save_checkpoint, CKPT)
+    assert store.load_checkpoint() == CKPT
+
+
+def _run(control=None):
+    return typecheck_unordered(
+        copy_query(), TAU1, TAU2, SearchBudget(max_size=BUDGET_SIZE), control=control
+    )
+
+
+def _run_with_autosave(store):
+    control = RuntimeControl()
+    control.autosave = CheckpointAutosave(store, every_instances=DEFAULT_INTERVAL)
+    result = _run(control)
+    assert control.autosave.failures == 0
+    return result
+
+
+def test_search_no_checkpointing(benchmark):
+    res = benchmark(_run)
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+
+
+@pytest.mark.parametrize("fsync", [True, False], ids=["fsync", "no-fsync"])
+def test_search_with_autosave(benchmark, tmp_path, fsync):
+    store = DurableStore(str(tmp_path / "bench.ckpt"), generations=3, fsync=fsync)
+    res = benchmark(lambda: _run_with_autosave(store))
+    assert res.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
+
+
+def test_fsync_overhead_gate(tmp_path):
+    """The acceptance gate, as a plain timed comparison: autosave with
+    fsync at the default interval costs < 10% of total search time."""
+    import time
+
+    def timed(fn):
+        fn()  # warm caches (DTD automata, compiled query)
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    base = timed(_run)
+    store = DurableStore(str(tmp_path / "gate.ckpt"), generations=3, fsync=True)
+    durable = timed(lambda: _run_with_autosave(store))
+    overhead = (durable - base) / base
+    assert overhead < 0.10, (
+        f"fsync-on autosave overhead {overhead:.1%} exceeds the 10% gate "
+        f"(base {base:.3f}s, durable {durable:.3f}s)"
+    )

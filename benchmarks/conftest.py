@@ -28,6 +28,7 @@ _EXPORTS = {
     "bench_parallel_speedup": "BENCH_parallel.json",
     "bench_eval_cache": "BENCH_eval_cache.json",
     "bench_obs_overhead": "BENCH_obs_overhead.json",
+    "bench_durability": "BENCH_durability.json",
 }
 
 _STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Crash-recovery smoke drill: SIGTERM a running CLI search mid-flight,
+resume it from the durable checkpoint, and assert the interrupted-then-
+resumed run reaches the identical verdict and identical search totals as
+an uninterrupted reference run.
+
+This is the end-to-end version of tests/test_crash_matrix.py, shaped for
+CI: one reference run, one killed run, resume-until-decisive, exact
+comparison.  Exit 0 on success, 1 with a diagnostic on any drift.
+
+    PYTHONPATH=src python scripts/crash_smoke.py [--max-size 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+QUERY_JSON = """\
+{
+  "construct": {
+    "children": [{"args": ["X"], "tag": "item"}],
+    "tag": "out"
+  },
+  "where": {
+    "conditions": [{"left": "X", "op": "=", "right": {"const": 1}}],
+    "edges": [{"from": null, "path": "a", "to": "X"}],
+    "root": "root"
+  }
+}
+"""
+
+EXIT_INTERRUPTED = 3
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def typecheck_cmd(query_path: str, max_size: int, *extra: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "typecheck",
+        "--query", query_path,
+        "--input-dtd", "root -> a*",
+        "--output-dtd", "out -> item^>=0",
+        "--unordered-output",
+        "--max-size", str(max_size),
+        *extra,
+    ]
+
+
+def outcome(stdout: str) -> tuple[str, str]:
+    """The two timing-independent summary lines: verdict and totals."""
+    lines = stdout.splitlines()
+    verdict = next(l.strip() for l in lines if "verdict:" in l)
+    searched = next(l.strip() for l in lines if l.strip().startswith("searched"))
+    return verdict, searched
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 typing
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-size", type=int, default=10,
+                        help="search budget; must be big enough that the "
+                        "signal lands mid-run (default: 10, ~140k instances)")
+    parser.add_argument("--checkpoint-interval", type=int, default=500)
+    parser.add_argument("--max-resumes", type=int, default=5)
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="crash-smoke-")
+    query_path = os.path.join(workdir, "query.json")
+    with open(query_path, "w", encoding="utf-8") as handle:
+        handle.write(QUERY_JSON)
+    ckpt = os.path.join(workdir, "run.ckpt")
+
+    print(f"[1/4] reference run (max-size {args.max_size})...")
+    ref = subprocess.run(
+        typecheck_cmd(query_path, args.max_size),
+        capture_output=True, text=True, env=cli_env(), timeout=600,
+    )
+    if ref.returncode != 0:
+        fail(f"reference run exited {ref.returncode}: {ref.stderr}")
+    ref_outcome = outcome(ref.stdout)
+    print(f"      {ref_outcome[0]}")
+    print(f"      {ref_outcome[1]}")
+
+    print("[2/4] killing a fresh run with SIGTERM mid-search...")
+    victim = subprocess.Popen(
+        typecheck_cmd(
+            query_path, args.max_size,
+            "--checkpoint", ckpt,
+            "--checkpoint-interval", str(args.checkpoint_interval),
+        ),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=cli_env(),
+    )
+    deadline = time.monotonic() + 120
+    while (
+        not os.path.exists(ckpt)
+        and victim.poll() is None
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+    if victim.poll() is not None:
+        fail(
+            f"search finished (exit {victim.returncode}) before the signal "
+            "landed — raise --max-size"
+        )
+    victim.send_signal(signal.SIGTERM)
+    out, err = victim.communicate(timeout=600)
+    if victim.returncode != EXIT_INTERRUPTED:
+        fail(f"SIGTERM'd run exited {victim.returncode}, expected 3: {err}")
+    if "received SIGTERM" not in out:
+        fail(f"verdict does not mention the signal: {out}")
+    if "checkpoint written to" not in err:
+        fail(f"no final checkpoint flushed on SIGTERM: {err}")
+    print("      exit 3, checkpoint flushed")
+
+    print("[3/4] resuming from the durable checkpoint...")
+    for attempt in range(args.max_resumes):
+        resumed = subprocess.run(
+            typecheck_cmd(
+                query_path, args.max_size,
+                "--checkpoint", ckpt,
+                "--checkpoint-interval", str(args.checkpoint_interval),
+            ),
+            capture_output=True, text=True, env=cli_env(), timeout=600,
+        )
+        if resumed.returncode != EXIT_INTERRUPTED:
+            break
+    if resumed.returncode != 0:
+        fail(f"resume exited {resumed.returncode}: {resumed.stderr}")
+    if "resuming from checkpoint" not in resumed.stderr:
+        fail("resumed run did not actually load the checkpoint")
+
+    print("[4/4] comparing against the uninterrupted run...")
+    got = outcome(resumed.stdout)
+    if got != ref_outcome:
+        fail(
+            "interrupted-then-resumed outcome drifted:\n"
+            f"  reference: {ref_outcome}\n"
+            f"  resumed:   {got}"
+        )
+    if os.path.exists(ckpt):
+        fail("decisive verdict left the spent checkpoint behind")
+    print("OK: resumed run identical to uninterrupted run")
+    print(f"      {got[0]}")
+    print(f"      {got[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

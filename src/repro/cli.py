@@ -43,9 +43,18 @@ Commands
     writes a multi-shard checkpoint to the same ``--checkpoint`` file;
     both parallel and sequential reruns resume it exactly.
 
+    Checkpoints are written through the crash-safe durable store
+    (:mod:`repro.runtime.durable`): fsync'd atomic writes (``--fsync``,
+    default on), an integrity footer, rotated generations
+    (``--checkpoint-generations``) with automatic fall-back to the newest
+    verifiable one on resume, and periodic autosave
+    (``--checkpoint-interval``).  ``SIGTERM``/``SIGINT`` stop the search
+    at the next instance boundary, flush a final checkpoint, and exit 3 —
+    ``kill <pid>`` means "pause and persist", not "lose the run".
+
     Observability (none of it changes verdicts or statistics):
     ``--trace FILE`` appends nested span records (schema
-    ``repro.obs.trace`` v1) as JSON lines; ``--metrics-out FILE`` writes
+    ``repro.obs.trace`` v2) as JSON lines; ``--metrics-out FILE`` writes
     the merged counter/histogram registry as one JSON document;
     ``--progress`` paints a throttled live line (instances/sec, cache hit
     rate, ETA) on stderr.
@@ -76,10 +85,10 @@ from repro.runtime import (
     CheckpointError,
     FaultInjector,
     FaultPlan,
+    IOFault,
     OperationInterrupted,
     RuntimeControl,
     WorkerKill,
-    load_checkpoint,
 )
 from repro.trees import parse_tree, to_term, to_xml
 
@@ -180,16 +189,49 @@ def _parse_worker_kill(spec: str) -> WorkerKill:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _parse_io_fault(spec: str) -> IOFault:
+    """``OP:INDEX:MODE`` — e.g. ``write:0:torn`` tears the very first
+    checkpoint tmp-file write; ``replace:1:crash`` dies at the second
+    rename (crash-consistency drills)."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(f"expected OP:INDEX:MODE, got {spec!r}")
+    try:
+        index = int(parts[1])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad I/O fault spec {spec!r}: {exc}")
+    try:
+        return IOFault(parts[0], index, parts[2])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _control_from_args(args: argparse.Namespace) -> Optional[RuntimeControl]:
     deadline = getattr(args, "deadline", None)
     max_rss = getattr(args, "max_rss_mb", None)
     kills = getattr(args, "inject_worker_kill", None) or []
-    faults = FaultInjector(FaultPlan(worker_kills=frozenset(kills))) if kills else None
+    io_faults = getattr(args, "inject_io_fault", None) or []
+    faults = (
+        FaultInjector(
+            FaultPlan(worker_kills=frozenset(kills), io_faults=frozenset(io_faults))
+        )
+        if kills or io_faults
+        else None
+    )
     if deadline is None and max_rss is None and faults is None:
         return None
     if deadline is not None:
         return RuntimeControl.with_deadline(deadline, max_rss_mb=max_rss, faults=faults)
     return RuntimeControl(max_rss_mb=max_rss, faults=faults)
+
+
+def _flush_store_events(store) -> None:
+    """Print (and drain) the durable store's recovery/cleanup notes —
+    quarantines, generation fall-backs, stale-tmp removal — so operators
+    see self-healing happen, on stderr, as it does."""
+    for note in store.events:
+        print(f"checkpoint: {note}", file=sys.stderr)
+    store.events.clear()
 
 
 def _obs_from_args(args: argparse.Namespace):
@@ -226,16 +268,42 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         from repro.runtime.supervisor import SupervisorConfig
 
         supervisor = SupervisorConfig(workers=args.workers, shard_retries=args.shard_retries)
+    obs = _obs_from_args(args)
+    control = _control_from_args(args)
+    store = None
     resume_from = None
-    if args.checkpoint and os.path.exists(args.checkpoint):
+    if args.checkpoint:
+        from repro.runtime import CheckpointAutosave, DurableStore
+
+        store = DurableStore(
+            args.checkpoint,
+            generations=args.checkpoint_generations,
+            fsync=args.fsync,
+            faults=control.faults if control is not None else None,
+            telemetry=obs.telemetry if obs is not None else None,
+            tracer=obs.tracer if obs is not None else None,
+        )
         try:
-            resume_from = load_checkpoint(args.checkpoint)
+            # Loads the newest *verifiable* generation: a corrupt newest
+            # file is quarantined (*.corrupt) and the previous generation
+            # recovers the run; stale tmp files from crashed runs are
+            # cleaned; None means a fresh search.
+            resume_from = store.try_load()
         except CheckpointError as exc:
+            _flush_store_events(store)
             print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
             print("(delete the file to start the search from scratch)", file=sys.stderr)
             return EXIT_USAGE
-        print(f"resuming from checkpoint {args.checkpoint}", file=sys.stderr)
-    obs = _obs_from_args(args)
+        _flush_store_events(store)
+        if resume_from is not None:
+            print(f"resuming from checkpoint {args.checkpoint}", file=sys.stderr)
+        if control is None:
+            control = RuntimeControl()
+        control.autosave = CheckpointAutosave(
+            store, every_instances=args.checkpoint_interval
+        )
+    saved_final = False
+    save_error = None
     try:
         result = typecheck(
             query,
@@ -243,18 +311,30 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             tau2,
             budget=budget,
             force_search=args.force_search,
-            control=_control_from_args(args),
+            control=control,
             resume_from=resume_from,
             workers=args.workers,
             supervisor=supervisor,
             use_eval_cache=not args.no_eval_cache,
             obs=obs,
+            handle_signals=True,
         )
+        if result.verdict is Verdict.INTERRUPTED and store is not None:
+            # Flush the final checkpoint while the tracer is still open
+            # (the write emits a checkpoint_write span); a failed flush
+            # must not mask the verdict — the run still exits 3.
+            try:
+                store.save_checkpoint(result.checkpoint)
+                saved_final = True
+            except CheckpointError as exc:
+                save_error = exc
     except CheckpointError as exc:
         print(f"error: cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
         print("(delete the file to start the search from scratch)", file=sys.stderr)
         return EXIT_USAGE
     finally:
+        if store is not None:
+            _flush_store_events(store)
         if obs is not None and obs.tracer.enabled:
             obs.tracer.close()
     if obs is not None and obs.progress is not None:
@@ -270,9 +350,14 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         print(f"trace written to {args.trace}", file=sys.stderr)
     print(result.summary())
     if result.verdict is Verdict.INTERRUPTED:
-        if args.checkpoint:
-            result.checkpoint.save(args.checkpoint)
+        if saved_final:
             print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+        elif save_error is not None:
+            print(
+                f"warning: could not write checkpoint {args.checkpoint}: "
+                f"{save_error}",
+                file=sys.stderr,
+            )
         else:
             print(
                 "interrupted without --checkpoint: progress discarded "
@@ -280,10 +365,12 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return EXIT_INTERRUPTED
-    if args.checkpoint and os.path.exists(args.checkpoint):
-        # Decisive verdict: the checkpoint is spent, drop it so a rerun
-        # starts fresh instead of resuming into a finished search.
-        os.remove(args.checkpoint)
+    if store is not None:
+        # Decisive verdict: the checkpoint is spent — drop every
+        # generation (quarantined *.corrupt files are kept as evidence)
+        # so a rerun starts fresh instead of resuming a finished search.
+        store.clear()
+        _flush_store_events(store)
     return 0 if result.verdict is not Verdict.FAILS else 1
 
 
@@ -304,7 +391,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             for err in errors:
                 print(f"invalid: {err}")
             return 1
-        print(f"OK: {len(records)} record(s), schema repro.obs.trace v1")
+        from repro.obs import TRACE_SCHEMA, TRACE_SCHEMA_VERSION
+
+        version = records[0].get("version", TRACE_SCHEMA_VERSION)
+        print(f"OK: {len(records)} record(s), schema {TRACE_SCHEMA} v{version}")
         return 0
     if errors:
         # Summarize what's there, but say the stream is damaged.
@@ -383,8 +473,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_tc.add_argument(
         "--checkpoint",
         default=None,
-        help="checkpoint file: written when interrupted, resumed from when "
-        "it exists, removed on a decisive verdict",
+        help="checkpoint file: written durably when interrupted (and "
+        "periodically while running, see --checkpoint-interval), resumed "
+        "from when any generation exists, removed on a decisive verdict",
+    )
+    p_tc.add_argument(
+        "--checkpoint-generations",
+        type=int,
+        default=2,
+        metavar="K",
+        help="rotated checkpoint generations to keep (PATH, PATH.1, ...); "
+        "loading falls back to the newest generation that passes its "
+        "integrity check, quarantining corrupt files as *.corrupt "
+        "(default: 2)",
+    )
+    p_tc.add_argument(
+        "--fsync",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fsync checkpoint writes (file and directory entry) so they "
+        "survive power loss; --no-fsync trades that durability for speed "
+        "(writes stay atomic either way)",
+    )
+    p_tc.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="autosave the checkpoint every N evaluated instances "
+        "(sequential engine; the parallel supervisor autosaves on a time "
+        "interval) so a crash loses at most one window (default: 1000)",
+    )
+    p_tc.add_argument(
+        "--inject-io-fault",
+        type=_parse_io_fault,
+        action="append",
+        default=None,
+        metavar="OP:INDEX:MODE",
+        help="deterministically fault occurrence INDEX of checkpoint I/O "
+        "primitive OP (write|fsync|replace|fsyncdir|remove) with MODE "
+        "(torn|enospc|eio|fsync|bitflip|crash|torn-crash) — "
+        "crash-consistency drills; see tests/test_crash_matrix.py",
     )
     p_tc.add_argument(
         "--workers",
@@ -423,9 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write nested span records (search/label_tree/bind/evaluate/"
-        "verify_witness, plus shard/worker under --workers) to FILE as "
-        "JSON lines (schema repro.obs.trace v1); inspect with "
-        "'repro trace summarize FILE'",
+        "verify_witness/checkpoint_write, plus shard/worker under "
+        "--workers) to FILE as JSON lines (schema repro.obs.trace v2); "
+        "inspect with 'repro trace summarize FILE'",
     )
     p_tc.add_argument(
         "--metrics-out",
@@ -453,7 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5, help="how many slowest label trees to show"
     )
     p_sum.set_defaults(func=_cmd_trace)
-    p_chk = trace_sub.add_parser("validate", help="check records against schema v1")
+    p_chk = trace_sub.add_parser("validate", help="check records against the trace schema")
     p_chk.add_argument("file", help="trace file written by typecheck --trace")
     p_chk.set_defaults(func=_cmd_trace)
 

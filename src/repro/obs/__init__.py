@@ -26,6 +26,7 @@ from .telemetry import BUCKET_BOUNDS, Histogram, Telemetry
 from .trace import (
     NULL_TRACER,
     SPAN_NAMES,
+    SUPPORTED_TRACE_VERSIONS,
     TRACE_SCHEMA,
     TRACE_SCHEMA_VERSION,
     JsonlTraceSink,
@@ -49,6 +50,7 @@ __all__ = [
     "JsonlTraceSink",
     "NULL_TRACER",
     "SPAN_NAMES",
+    "SUPPORTED_TRACE_VERSIONS",
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_VERSION",
     "ProgressReporter",

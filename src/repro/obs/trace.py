@@ -6,7 +6,7 @@ pluggable :class:`TraceSink`.  The first record of every stream is a
 ``meta`` record carrying the schema name and version; every subsequent
 record is a ``span`` record:
 
-    {"type": "meta", "schema": "repro.obs.trace", "version": 1, ...}
+    {"type": "meta", "schema": "repro.obs.trace", "version": 2, ...}
     {"type": "span", "name": "evaluate", "id": 7, "parent": 3,
      "ts": 0.000123, "dur": 0.000004, "attrs": {...}}
 
@@ -14,7 +14,9 @@ record is a ``span`` record:
 ``dur`` its duration; spans are written when they *end*, so children
 appear before their parents in the file (the ``parent`` id links them
 back up).  The span vocabulary is closed — :data:`SPAN_NAMES` — and
-``validate_trace_records`` checks a parsed stream against schema v1.
+``validate_trace_records`` checks a parsed stream against the schema
+(v1 and v2 streams both validate; v2 added the ``checkpoint_write``
+span).
 
 The disabled path is :data:`NULL_TRACER`: callers check
 ``tracer.enabled`` (a plain attribute) before doing any timing work, so
@@ -30,6 +32,7 @@ from typing import Any, Iterable, Iterator, Optional, TextIO
 
 __all__ = [
     "SPAN_NAMES",
+    "SUPPORTED_TRACE_VERSIONS",
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_VERSION",
     "Span",
@@ -43,9 +46,12 @@ __all__ = [
 ]
 
 TRACE_SCHEMA = "repro.obs.trace"
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+SUPPORTED_TRACE_VERSIONS = frozenset({1, TRACE_SCHEMA_VERSION})
 
-# Closed span vocabulary (schema v1).  Adding a name is a version bump.
+# Closed span vocabulary.  Adding a name is a version bump: v2 added
+# "checkpoint_write" (the durable store's persistence phase); v1 streams
+# remain valid — the vocabulary only grew.
 SPAN_NAMES = frozenset(
     {
         "search",  # one sequential (or in-process-shard) engine run
@@ -56,6 +62,7 @@ SPAN_NAMES = frozenset(
         "verify_witness",  # reference re-verification of a counterexample
         "shard",  # one shard, start to terminal message
         "worker",  # one worker process, spawn to reap
+        "checkpoint_write",  # one durable checkpoint persistence (v2)
     }
 )
 
@@ -237,7 +244,8 @@ NULL_TRACER = _NullTracer()
 
 
 def validate_trace_records(records: Iterable[dict[str, Any]]) -> list[str]:
-    """Check a parsed record stream against trace schema v1.
+    """Check a parsed record stream against the trace schema (v1 or v2
+    — v2 only grew the span vocabulary, so one validator covers both).
 
     Returns a list of human-readable problems (empty == valid).  Children
     are written before parents, so parent links are checked against the
@@ -253,7 +261,7 @@ def validate_trace_records(records: Iterable[dict[str, Any]]) -> list[str]:
     else:
         if meta.get("schema") != TRACE_SCHEMA:
             problems.append(f"unknown schema {meta.get('schema')!r}")
-        if meta.get("version") != TRACE_SCHEMA_VERSION:
+        if meta.get("version") not in SUPPORTED_TRACE_VERSIONS:
             problems.append(f"unsupported version {meta.get('version')!r}")
     ids: set[int] = set()
     spans: list[dict[str, Any]] = []

@@ -25,6 +25,7 @@ This package provides those three pieces; the search engine
 
 from repro.runtime.checkpoint import (
     CheckpointError,
+    CheckpointIntegrityError,
     CheckpointMismatchError,
     MultiShardCheckpoint,
     SearchCheckpoint,
@@ -40,16 +41,29 @@ from repro.runtime.control import (
     RuntimeControl,
     current_rss_mb,
 )
-from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault, WorkerKill
+from repro.runtime.durable import CheckpointAutosave, DurableStore, FileSystem
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    IOFault,
+    WorkerKill,
+)
 from repro.runtime.shard import SearchTask, ShardPlan, ShardSpec, plan_shards
+from repro.runtime.signals import graceful_signals
 
 __all__ = [
     "CancellationToken",
+    "CheckpointAutosave",
     "CheckpointError",
+    "CheckpointIntegrityError",
     "CheckpointMismatchError",
     "Deadline",
+    "DurableStore",
     "FaultInjector",
     "FaultPlan",
+    "FileSystem",
+    "IOFault",
     "InjectedFault",
     "MultiShardCheckpoint",
     "OperationInterrupted",
@@ -62,6 +76,7 @@ __all__ = [
     "WorkerKill",
     "checkpoint_from_json",
     "current_rss_mb",
+    "graceful_signals",
     "load_checkpoint",
     "plan_shards",
     "search_fingerprint",

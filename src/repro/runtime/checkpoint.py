@@ -29,12 +29,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Optional, Union
 
 __all__ = [
     "CheckpointError",
+    "CheckpointIntegrityError",
     "CheckpointMismatchError",
     "MultiShardCheckpoint",
     "SearchCheckpoint",
@@ -50,6 +50,12 @@ MULTI_CHECKPOINT_VERSION = 2
 
 class CheckpointError(ValueError):
     """Malformed or unreadable checkpoint document."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """The checkpoint file is corrupt: its durable-envelope integrity
+    footer (length/CRC32/SHA-256 over the payload bytes) does not match,
+    or the bytes are not even valid UTF-8."""
 
 
 class CheckpointMismatchError(CheckpointError):
@@ -141,25 +147,29 @@ class SearchCheckpoint:
     # -- files ---------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Write atomically (tmp + rename) so a crash mid-write never
-        leaves a truncated checkpoint behind."""
-        _atomic_write(path, self.to_json(indent=2))
+        """Write one durable generation atomically (envelope + tmp +
+        rename; no fsync — use a :class:`~repro.runtime.durable.
+        DurableStore` directly for the fully crash-safe path)."""
+        _plain_store(path).save_checkpoint(self)
 
     @classmethod
     def load(cls, path: str) -> "SearchCheckpoint":
-        try:
-            with open(path, encoding="utf-8") as handle:
-                return cls.from_json(handle.read())
-        except OSError as exc:
-            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        checkpoint = load_checkpoint(path)
+        if not isinstance(checkpoint, cls):
+            raise CheckpointError(
+                f"checkpoint {path!r} is a {type(checkpoint).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return checkpoint
 
 
-def _atomic_write(path: str, text: str) -> None:
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.write("\n")
-    os.replace(tmp, path)
+def _plain_store(path: str):
+    """A minimal durable store for the convenience ``save`` methods:
+    single generation, no fsync (matching the historical atomic-rename
+    behavior, now with the integrity envelope)."""
+    from repro.runtime.durable import DurableStore  # deferred: durable imports us
+
+    return DurableStore(path, generations=1, fsync=False)
 
 
 @dataclass(slots=True)
@@ -276,15 +286,17 @@ class MultiShardCheckpoint:
     # -- files ---------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        _atomic_write(path, self.to_json(indent=2))
+        _plain_store(path).save_checkpoint(self)
 
     @classmethod
     def load(cls, path: str) -> "MultiShardCheckpoint":
-        try:
-            with open(path, encoding="utf-8") as handle:
-                return cls.from_json(handle.read())
-        except OSError as exc:
-            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        checkpoint = load_checkpoint(path)
+        if not isinstance(checkpoint, cls):
+            raise CheckpointError(
+                f"checkpoint {path!r} is a {type(checkpoint).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return checkpoint
 
 
 AnyCheckpoint = Union[SearchCheckpoint, MultiShardCheckpoint]
@@ -293,13 +305,20 @@ AnyCheckpoint = Union[SearchCheckpoint, MultiShardCheckpoint]
 def checkpoint_from_json(text: str) -> AnyCheckpoint:
     """Version-dispatching loader: version 1 documents revive as
     :class:`SearchCheckpoint`, version 2 as :class:`MultiShardCheckpoint`
-    (backward compatible — old checkpoints keep working)."""
+    (backward compatible — old checkpoints keep working).  Documents
+    wrapped in the durable integrity envelope (schema ``repro.durable``,
+    see :mod:`repro.runtime.durable`) are verified and unwrapped first;
+    bare legacy documents still load."""
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
         raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
     if not isinstance(data, dict):
         raise CheckpointError(f"checkpoint must be an object, got {type(data).__name__}")
+    from repro.runtime.durable import is_envelope, unwrap_envelope  # deferred: cycle
+
+    if is_envelope(data):
+        data = unwrap_envelope(data)
     version = data.get("version")
     if version == CHECKPOINT_VERSION:
         return SearchCheckpoint.from_dict(data)
@@ -313,9 +332,27 @@ def checkpoint_from_json(text: str) -> AnyCheckpoint:
 
 def load_checkpoint(path: str) -> AnyCheckpoint:
     """Read a checkpoint file of either version (see
-    :func:`checkpoint_from_json`)."""
+    :func:`checkpoint_from_json`).
+
+    Every failure mode — the file is missing, unreadable (permission
+    denied, the path is a directory), not UTF-8, not JSON, corrupt, or
+    structurally invalid — surfaces as a :class:`CheckpointError` with
+    the path in the message, never a raw ``OSError`` traceback.
+    """
     try:
-        with open(path, encoding="utf-8") as handle:
-            return checkpoint_from_json(handle.read())
+        with open(path, "rb") as handle:
+            raw = handle.read()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CheckpointIntegrityError(
+            f"checkpoint {path!r} is not valid UTF-8: {exc}"
+        ) from exc
+    try:
+        return checkpoint_from_json(text)
+    except CheckpointError as exc:
+        if path in str(exc):
+            raise
+        raise type(exc)(f"checkpoint {path!r}: {exc}") from exc

@@ -163,6 +163,14 @@ class RuntimeControl:
     poll (the supervisor's workers hang their heartbeats here).  Must be
     cheap and must not raise."""
 
+    autosave: Optional["object"] = None
+    """A :class:`repro.runtime.durable.CheckpointAutosave` (untyped to
+    avoid a cycle).  When set, the sequential engine persists a
+    checkpoint every ``every_instances`` evaluated instances and the
+    supervisor persists one on a time interval — so a crash loses at
+    most one checkpoint window of work.  A failed autosave is counted,
+    never raised: durability is a safety net, not a dependency."""
+
     _checks: int = field(default=0, repr=False)
 
     @classmethod

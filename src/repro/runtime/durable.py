@@ -1,0 +1,544 @@
+"""Crash-safe durable artifact store for search checkpoints.
+
+The checkpoint is the *only* recovery mechanism a CO-NEXPTIME-sized
+bounded search has — one torn write or bit flip used to silently destroy
+hours of work.  This module makes checkpoint persistence survive any
+single failure:
+
+* **atomic, fsync'd writes** — payload goes to ``path.tmp`` which is
+  fsync'd, renamed over the destination with ``os.replace`` (atomic on
+  POSIX), and the directory entry is fsync'd too, so a crash at *any*
+  boundary leaves either the old file or the new one, never a torn mix;
+* **integrity footer** — the checkpoint document rides inside a JSON
+  envelope (schema ``repro.durable`` v1) carrying the CRC32 and SHA-256
+  of the canonical payload bytes; silent corruption (bit rot, partial
+  flush) is detected at load time instead of producing a wrong cursor;
+* **generation rotation** — the last *K* verifiable checkpoints are kept
+  (``path``, ``path.1`` .. ``path.K-1``); loading falls back to the
+  newest generation that verifies, *quarantining* corrupt files with a
+  ``.corrupt`` suffix (evidence, not deleted) and recording the recovery
+  in telemetry;
+* **retry with backoff + jitter** — transient I/O errors (EIO, ENOSPC,
+  a failing fsync) are retried with exponential backoff and
+  deterministic jitter before the write is declared failed; a failed
+  *autosave* never kills the search (the checkpoint is a safety net, not
+  a dependency);
+* **injectable filesystem shim** — every primitive goes through a
+  :class:`FileSystem` object, and a :class:`~repro.runtime.faults.
+  FaultInjector` can deterministically fail, corrupt, or crash any
+  single operation (see :class:`~repro.runtime.faults.IOFault`), which
+  is what the crash-consistency matrix in ``tests/test_crash_matrix.py``
+  drives.
+
+Telemetry (when a registry is attached): ``durable.writes``,
+``durable.write_retries``, ``durable.recoveries``,
+``durable.quarantined``, ``durable.tmp_cleaned``,
+``durable.autosave_failures`` counters and a ``checkpoint_write`` span
+per persisted generation.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+import zlib
+from hashlib import sha256
+from random import Random
+from typing import Any, Callable, Optional
+
+from repro.runtime.checkpoint import (
+    AnyCheckpoint,
+    CheckpointError,
+    CheckpointIntegrityError,
+    checkpoint_from_json,
+)
+
+__all__ = [
+    "CheckpointAutosave",
+    "DurableStore",
+    "ENVELOPE_SCHEMA",
+    "ENVELOPE_VERSION",
+    "FileSystem",
+    "unwrap_envelope",
+    "wrap_envelope",
+]
+
+ENVELOPE_SCHEMA = "repro.durable"
+ENVELOPE_VERSION = 1
+
+# OSError errnos treated as transient (worth a retry): media hiccups and
+# a full disk that an operator may be clearing.  Everything else —
+# EACCES, EISDIR, EROFS — is structural and fails fast.
+_TRANSIENT_ERRNOS = frozenset({errno.EIO, errno.ENOSPC, errno.EAGAIN, errno.EINTR})
+
+
+# -- envelope -----------------------------------------------------------------
+
+
+def _canonical_payload_bytes(payload: dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def wrap_envelope(payload: dict[str, Any]) -> bytes:
+    """Serialize a checkpoint document into the durable envelope: the
+    payload plus an integrity footer over its canonical bytes."""
+    body = _canonical_payload_bytes(payload)
+    envelope = {
+        "schema": ENVELOPE_SCHEMA,
+        "version": ENVELOPE_VERSION,
+        "payload": payload,
+        "integrity": {
+            "length": len(body),
+            "crc32": zlib.crc32(body),
+            "sha256": sha256(body).hexdigest(),
+        },
+    }
+    return (json.dumps(envelope, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+def is_envelope(data: Any) -> bool:
+    return isinstance(data, dict) and data.get("schema") == ENVELOPE_SCHEMA
+
+
+def unwrap_envelope(data: dict[str, Any]) -> dict[str, Any]:
+    """Verify a parsed envelope and return its payload document.
+
+    Raises :class:`CheckpointIntegrityError` on any mismatch — wrong
+    version, missing footer, length/CRC32/SHA-256 disagreement.  The
+    CRC32 is checked first (cheap), the SHA-256 is authoritative.
+    """
+    if data.get("version") != ENVELOPE_VERSION:
+        raise CheckpointIntegrityError(
+            f"unsupported durable envelope version {data.get('version')!r} "
+            f"(this build reads version {ENVELOPE_VERSION})"
+        )
+    payload = data.get("payload")
+    footer = data.get("integrity")
+    if not isinstance(payload, dict) or not isinstance(footer, dict):
+        raise CheckpointIntegrityError("durable envelope is missing payload or integrity footer")
+    body = _canonical_payload_bytes(payload)
+    try:
+        length = int(footer["length"])
+        crc = int(footer["crc32"])
+        digest = str(footer["sha256"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointIntegrityError(f"malformed integrity footer: {exc}") from exc
+    if length != len(body):
+        raise CheckpointIntegrityError(
+            f"integrity footer length mismatch ({length} != {len(body)})"
+        )
+    if crc != zlib.crc32(body):
+        raise CheckpointIntegrityError("integrity footer CRC32 mismatch (corrupt checkpoint)")
+    if digest != sha256(body).hexdigest():
+        raise CheckpointIntegrityError("integrity footer SHA-256 mismatch (corrupt checkpoint)")
+    return payload
+
+
+# -- filesystem shim ----------------------------------------------------------
+
+
+class FileSystem:
+    """The primitives the durable store needs, as an injectable object.
+
+    The default implementation is the real OS.  Tests substitute a
+    different one (or, more commonly, leave this in place and let a
+    :class:`FaultInjector` damage individual operations through the
+    store's fault hooks, which sit *above* this shim).
+    """
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def fsync_file(self, path: str) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return os.listdir(path)
+
+    def fsync_dir(self, path: str) -> None:
+        """Flush the directory entry (the rename itself) to disk.  Best
+        effort off-POSIX: directories that cannot be opened or fsync'd
+        (Windows, some network filesystems) are skipped silently."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class DurableStore:
+    """Durable checkpoint persistence for one checkpoint path.
+
+    ``path`` is the newest generation; rotated older generations live at
+    ``path.1`` .. ``path.K-1``, the scratch file at ``path.tmp``, and
+    quarantined corrupt files keep their name plus a ``.corrupt``
+    suffix.  All methods raise :class:`CheckpointError` subclasses, never
+    raw ``OSError``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        generations: int = 2,
+        fsync: bool = True,
+        fs: Optional[FileSystem] = None,
+        faults: Optional[Any] = None,
+        retries: int = 3,
+        backoff_base: float = 0.01,
+        backoff_cap: float = 0.5,
+        jitter_seed: Optional[int] = None,
+        telemetry: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if generations < 1:
+            raise ValueError(f"generations must be >= 1, got {generations}")
+        self.path = path
+        self.generations = generations
+        self.fsync = fsync
+        self.fs = fs if fs is not None else FileSystem()
+        self.faults = faults
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.telemetry = telemetry
+        self.tracer = tracer
+        self._sleep = sleep
+        # Deterministic jitter: seeded from the path unless overridden,
+        # so two runs of the same command back off identically.
+        seed = jitter_seed if jitter_seed is not None else zlib.crc32(path.encode("utf-8"))
+        self._rng = Random(seed)
+        self.events: list[str] = []
+        """Human-readable recovery/cleanup notes accumulated by load and
+        write (the CLI prints them to stderr)."""
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name, n)
+
+    def _note(self, message: str) -> None:
+        self.events.append(message)
+
+    # -- paths ---------------------------------------------------------------
+
+    def generation_path(self, index: int) -> str:
+        return self.path if index == 0 else f"{self.path}.{index}"
+
+    @property
+    def tmp_path(self) -> str:
+        return f"{self.path}.tmp"
+
+    def exists(self) -> bool:
+        """Whether *any* generation is present (a crash between rotation
+        and the final rename can leave only ``path.1``)."""
+        return any(
+            self.fs.exists(self.generation_path(i)) for i in range(self.generations)
+        )
+
+    # -- faulty primitives ---------------------------------------------------
+
+    def _fault(self, op: str):
+        if self.faults is None:
+            return None
+        hook = getattr(self.faults, "io_fault", None)
+        return hook(op) if hook is not None else None
+
+    def _apply_write(self, path: str, data: bytes) -> None:
+        from repro.runtime.faults import IO_CRASH_EXIT
+
+        fault = self._fault("write")
+        if fault is None:
+            self.fs.write_bytes(path, data)
+            return
+        if fault.mode == "crash":
+            os._exit(IO_CRASH_EXIT)
+        if fault.mode in ("torn", "torn-crash"):
+            self.fs.write_bytes(path, data[: max(1, len(data) // 2)])
+            if fault.mode == "torn-crash":
+                os._exit(IO_CRASH_EXIT)
+            raise OSError(errno.EIO, f"injected torn write on {path}")
+        if fault.mode == "enospc":
+            raise OSError(errno.ENOSPC, f"injected ENOSPC on {path}")
+        if fault.mode == "eio":
+            raise OSError(errno.EIO, f"injected EIO on {path}")
+        if fault.mode == "bitflip":
+            # Deterministic silent corruption: flip one bit at a position
+            # derived from the content, write the full buffer, report
+            # success.  Only the integrity footer can catch this.
+            position = zlib.crc32(data) % (len(data) * 8)
+            damaged = bytearray(data)
+            damaged[position // 8] ^= 1 << (position % 8)
+            self.fs.write_bytes(path, bytes(damaged))
+            return
+        # "fsync" mode on a write op: not meaningful, treat as EIO.
+        raise OSError(errno.EIO, f"injected {fault.mode} on {path}")
+
+    def _apply_simple(self, op: str, action: Callable[[], None], target: str) -> None:
+        from repro.runtime.faults import IO_CRASH_EXIT
+
+        fault = self._fault(op)
+        if fault is not None:
+            if fault.mode in ("crash", "torn-crash"):
+                os._exit(IO_CRASH_EXIT)
+            if fault.mode == "enospc":
+                raise OSError(errno.ENOSPC, f"injected ENOSPC on {op} {target}")
+            raise OSError(errno.EIO, f"injected {fault.mode} failure on {op} {target}")
+        action()
+
+    # -- write ---------------------------------------------------------------
+
+    def save_checkpoint(self, checkpoint: AnyCheckpoint) -> None:
+        """Persist one checkpoint generation durably (envelope + atomic
+        rename + rotation), retrying transient I/O errors."""
+        self.save_document(checkpoint.to_dict())
+
+    def save_document(self, payload: dict[str, Any]) -> None:
+        data = wrap_envelope(payload)
+        t0 = time.perf_counter()
+        last_error: Optional[OSError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._count("durable.write_retries")
+                delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+                self._sleep(delay * (1.0 + self._rng.random()))
+            try:
+                self._write_once(data)
+                break
+            except OSError as exc:
+                last_error = exc
+                if exc.errno not in _TRANSIENT_ERRNOS:
+                    raise CheckpointError(
+                        f"cannot write checkpoint {self.path!r}: {exc}"
+                    ) from exc
+        else:
+            raise CheckpointError(
+                f"cannot write checkpoint {self.path!r} after "
+                f"{self.retries + 1} attempts: {last_error}"
+            ) from last_error
+        self._count("durable.writes")
+        self._count("durable.bytes_written", len(data))
+        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+            self.tracer.emit(
+                "checkpoint_write",
+                t0,
+                time.perf_counter() - t0,
+                bytes=len(data),
+                fsync=self.fsync,
+                generations=self.generations,
+            )
+
+    def _write_once(self, data: bytes) -> None:
+        tmp = self.tmp_path
+        self._apply_write(tmp, data)
+        if self.fsync:
+            self._apply_simple("fsync", lambda: self.fs.fsync_file(tmp), tmp)
+        # Rotate oldest-first so every intermediate state still holds a
+        # verifiable generation under some name; each rename is atomic.
+        for i in range(self.generations - 1, 0, -1):
+            older = self.generation_path(i - 1)
+            if self.fs.exists(older):
+                newer = self.generation_path(i)
+                self._apply_simple(
+                    "replace", lambda o=older, n=newer: self.fs.replace(o, n), older
+                )
+        self._apply_simple("replace", lambda: self.fs.replace(tmp, self.path), tmp)
+        if self.fsync:
+            parent = os.path.dirname(os.path.abspath(self.path)) or "."
+            self._apply_simple("fsyncdir", lambda: self.fs.fsync_dir(parent), parent)
+
+    # -- load ----------------------------------------------------------------
+
+    def try_load(self) -> Optional[AnyCheckpoint]:
+        """Like :meth:`load_checkpoint`, but ``None`` when no generation
+        exists at all (a fresh run).  Still raises
+        :class:`CheckpointError` when files exist and none verifies."""
+        self.clean_stale_tmp()
+        if not self.exists():
+            return None
+        return self.load_checkpoint()
+
+    def load_checkpoint(self) -> AnyCheckpoint:
+        """Load the newest verifiable generation.
+
+        Corrupt generations are quarantined (renamed to ``*.corrupt``)
+        and the next one is tried; falling back past the newest existing
+        file counts as a *recovery* in telemetry.  Raises
+        :class:`CheckpointError` (with every path and its failure) when
+        nothing verifies.
+        """
+        self.clean_stale_tmp()
+        failures: list[str] = []
+        newest_seen = False
+        for index in range(self.generations):
+            gen = self.generation_path(index)
+            try:
+                raw = self.fs.read_bytes(gen)
+            except FileNotFoundError:
+                continue
+            except OSError as exc:
+                failures.append(f"{gen}: {exc}")
+                newest_seen = True
+                continue
+            try:
+                checkpoint = self._verify(gen, raw)
+            except CheckpointError as exc:
+                failures.append(f"{gen}: {exc}")
+                self._quarantine(gen)
+                newest_seen = True
+                continue
+            if newest_seen:
+                # A newer generation existed but did not verify: this
+                # load *recovered* from an older one.
+                self._count("durable.recoveries")
+                self._note(
+                    f"recovered from generation {index} ({gen}) — newer "
+                    "generation(s) were corrupt or unreadable"
+                )
+            return checkpoint
+        if failures:
+            raise CheckpointError(
+                f"no verifiable checkpoint generation at {self.path!r}: "
+                + "; ".join(failures)
+            )
+        raise CheckpointError(f"cannot read checkpoint {self.path!r}: no such file")
+
+    def _verify(self, path: str, raw: bytes) -> AnyCheckpoint:
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CheckpointIntegrityError(f"checkpoint is not valid UTF-8: {exc}") from exc
+        return checkpoint_from_json(text)
+
+    def _quarantine(self, path: str) -> None:
+        try:
+            self.fs.replace(path, f"{path}.corrupt")
+        except OSError:
+            return  # quarantine is best-effort; the fall-back still works
+        self._count("durable.quarantined")
+        self._note(f"quarantined corrupt checkpoint {path} -> {path}.corrupt")
+
+    # -- hygiene -------------------------------------------------------------
+
+    def clean_stale_tmp(self) -> int:
+        """Remove scratch files a crashed run left behind (``path.tmp``).
+        Returns how many were cleaned; failures are reported, not
+        raised."""
+        cleaned = 0
+        tmp = self.tmp_path
+        if self.fs.exists(tmp):
+            try:
+                self._apply_simple("remove", lambda: self.fs.remove(tmp), tmp)
+                cleaned += 1
+                self._note(f"removed stale checkpoint scratch file {tmp}")
+            except OSError as exc:
+                self._note(f"could not remove stale scratch file {tmp}: {exc}")
+        if cleaned:
+            self._count("durable.tmp_cleaned", cleaned)
+        return cleaned
+
+    def clear(self) -> None:
+        """Remove every generation and the scratch file (a decisive
+        verdict spends the checkpoint).  Quarantined ``*.corrupt`` files
+        are kept — they are evidence."""
+        for index in range(self.generations):
+            gen = self.generation_path(index)
+            if self.fs.exists(gen):
+                try:
+                    self._apply_simple("remove", lambda g=gen: self.fs.remove(g), gen)
+                except OSError as exc:
+                    self._note(f"could not remove spent checkpoint {gen}: {exc}")
+        self.clean_stale_tmp()
+
+
+# -- periodic autosave --------------------------------------------------------
+
+
+class CheckpointAutosave:
+    """Periodic checkpoint persistence hooked into the engine/supervisor.
+
+    The sequential engine calls :meth:`due` with its instance counter
+    (every ``every_instances`` evaluated instances trigger a save); the
+    supervisor uses the time-based :meth:`due_now` between event-loop
+    ticks.  A failed save is counted and remembered but never interrupts
+    the search — durability is a safety net, not a dependency.
+    """
+
+    __slots__ = (
+        "store",
+        "every_instances",
+        "min_interval_s",
+        "saves",
+        "failures",
+        "last_error",
+        "_next_at",
+        "_last_t",
+    )
+
+    def __init__(
+        self,
+        store: DurableStore,
+        every_instances: int = 1000,
+        min_interval_s: float = 0.5,
+    ) -> None:
+        if every_instances < 1:
+            raise ValueError(f"every_instances must be >= 1, got {every_instances}")
+        self.store = store
+        self.every_instances = every_instances
+        self.min_interval_s = min_interval_s
+        self.saves = 0
+        self.failures = 0
+        self.last_error: Optional[CheckpointError] = None
+        self._next_at = every_instances
+        self._last_t = time.monotonic()
+
+    def due(self, instances_done: int) -> bool:
+        return instances_done >= self._next_at
+
+    def due_now(self) -> bool:
+        return time.monotonic() - self._last_t >= self.min_interval_s
+
+    def save(self, checkpoint: AnyCheckpoint, instances_done: int = 0) -> bool:
+        """Persist one autosave generation; returns whether it stuck."""
+        self._next_at = max(self._next_at, instances_done) + self.every_instances
+        self._last_t = time.monotonic()
+        try:
+            self.store.save_checkpoint(checkpoint)
+        except CheckpointError as exc:
+            self.failures += 1
+            self.last_error = exc
+            if self.store.telemetry is not None:
+                self.store.telemetry.count("durable.autosave_failures")
+            return False
+        self.saves += 1
+        return True

@@ -14,7 +14,11 @@ makes them deterministic.  A :class:`FaultInjector` attached to a
   monkeypatching the evaluator; and
 * hard-kill or hang a *shard worker process* (``worker_kills``),
   simulating SIGKILL/OOM deaths and livelocks for the supervisor's
-  crash-isolation and hang-detection tests.
+  crash-isolation and hang-detection tests; and
+* fail or corrupt *checkpoint I/O* at exact filesystem-operation
+  boundaries (``io_faults``), driving the durable store's torn-write /
+  ENOSPC / EIO / fsync-failure / bit-flip / crash drills
+  (:mod:`repro.runtime.durable`) from the same seed-reproducible plan.
 
 Instance indices are *global* 0-based positions in the deterministic
 search sequence (equal to ``stats.valued_trees_checked`` at the moment
@@ -39,6 +43,10 @@ __all__ = [
     "ANY_SHARD",
     "FaultInjector",
     "FaultPlan",
+    "IOFault",
+    "IO_CRASH_EXIT",
+    "IO_FAULT_MODES",
+    "IO_OPS",
     "InjectedFault",
     "WORKER_KILLED_EXIT",
     "WorkerKill",
@@ -51,6 +59,22 @@ WORKER_KILLED_EXIT = 86
 """Exit status of a worker hard-killed by an injected ``worker_kill``
 fault (``os._exit``, no cleanup — indistinguishable from an OOM kill to
 the supervisor, which is the point)."""
+
+IO_CRASH_EXIT = 87
+"""Exit status of a process hard-killed by an injected ``crash`` /
+``torn-crash`` I/O fault: the process dies *at* a checkpoint-write
+operation boundary, exactly like a power loss mid-write."""
+
+IO_OPS = frozenset({"write", "fsync", "replace", "fsyncdir", "remove"})
+"""Filesystem primitives of the durable store an :class:`IOFault` can
+attach to (in the order one atomic checkpoint write performs them:
+``write`` the tmp file, ``fsync`` it, ``replace`` for each rotation
+rename plus the final tmp->path rename, ``fsyncdir`` the directory;
+``remove`` covers stale-tmp cleanup and generation clearing)."""
+
+IO_FAULT_MODES = frozenset(
+    {"torn", "enospc", "eio", "fsync", "bitflip", "crash", "torn-crash"}
+)
 
 _HANG_NAP_S = 3600.0
 
@@ -92,6 +116,43 @@ class WorkerKill:
 
 
 @dataclass(frozen=True, slots=True)
+class IOFault:
+    """One planned checkpoint-I/O fault (the ``io_fault`` mode).
+
+    Fires on occurrence number ``index`` (0-based) of filesystem
+    primitive ``op`` as counted by the :class:`FaultInjector` across the
+    process — deterministic, because the durable store performs a fixed
+    operation sequence per checkpoint write.  One-shot by construction:
+    the retry that re-runs the operation draws a fresh (higher) index
+    and no longer matches, so retry recovery is what gets exercised.
+
+    Modes split into *transient errors* the store must absorb with
+    retry/backoff (``torn`` — a partial write followed by EIO;
+    ``enospc``; ``eio``; ``fsync`` — the flush itself fails), *silent
+    corruption* the integrity footer must catch at load time
+    (``bitflip`` — the full buffer is written with one bit flipped, no
+    error raised), and *crashes* that kill the process at the boundary
+    (``crash`` — die before the operation runs; ``torn-crash`` — write
+    half the buffer, then die), exiting with :data:`IO_CRASH_EXIT` so a
+    harness can tell an injected crash from a real failure.
+    """
+
+    op: str = "write"
+    index: int = 0
+    mode: str = "eio"
+
+    def __post_init__(self) -> None:
+        if self.op not in IO_OPS:
+            raise ValueError(f"unknown I/O op {self.op!r} (expected one of {sorted(IO_OPS)})")
+        if self.mode not in IO_FAULT_MODES:
+            raise ValueError(
+                f"unknown I/O fault mode {self.mode!r} (expected one of {sorted(IO_FAULT_MODES)})"
+            )
+        if self.index < 0:
+            raise ValueError("index must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
 class FaultPlan:
     """Declarative description of the faults to inject."""
 
@@ -108,11 +169,17 @@ class FaultPlan:
     """Planned worker deaths/hangs (see :class:`WorkerKill`).  Only fire
     inside supervisor worker processes."""
 
+    io_faults: frozenset[IOFault] = frozenset()
+    """Planned checkpoint-I/O faults (see :class:`IOFault`).  Only fire
+    where a :class:`~repro.runtime.durable.DurableStore` consults the
+    injector — engine evaluation is never affected."""
+
     def __post_init__(self) -> None:
         if self.cancel_after_instances is not None and self.cancel_after_instances < 0:
             raise ValueError("cancel_after_instances must be >= 0")
         object.__setattr__(self, "fail_instances", frozenset(self.fail_instances))
         object.__setattr__(self, "worker_kills", frozenset(self.worker_kills))
+        object.__setattr__(self, "io_faults", frozenset(self.io_faults))
 
 
 @dataclass(slots=True)
@@ -122,12 +189,18 @@ class FaultInjector:
     plan: FaultPlan = field(default_factory=FaultPlan)
     cancellations_fired: int = 0
     failures_fired: int = 0
+    io_faults_fired: int = 0
 
     # Worker context — set only by the supervisor's worker bootstrap.
     # While unset, worker faults are inert.
     _shard_start: Optional[int] = None
     _attempt: int = 0
     _instance_base: int = 0
+
+    # Per-op operation counters for I/O faults: occurrence N of op X is
+    # a stable address because the durable store's operation sequence per
+    # checkpoint write is fixed.
+    _io_ops: dict[str, int] = field(default_factory=dict)
 
     def set_worker_context(self, shard_start: int, attempt: int, instance_base: int) -> None:
         """Arm worker faults: this injector now runs inside the worker
@@ -162,6 +235,20 @@ class FaultInjector:
         if limit is not None and next_instance_index >= limit:
             self.cancellations_fired += 1
             return f"fault injection: cancelled after {limit} instances"
+        return None
+
+    def io_fault(self, op: str) -> Optional[IOFault]:
+        """Consulted by the durable store before each filesystem
+        primitive; returns the planned fault for this occurrence of
+        ``op`` (counting it either way), or ``None``."""
+        if not self.plan.io_faults:
+            return None
+        index = self._io_ops.get(op, 0)
+        self._io_ops[op] = index + 1
+        for fault in self.plan.io_faults:
+            if fault.op == op and fault.index == index:
+                self.io_faults_fired += 1
+                return fault
         return None
 
     def evaluator_fault(self, instance_index: int) -> Optional[InjectedFault]:

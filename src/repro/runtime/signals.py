@@ -1,0 +1,76 @@
+"""Graceful POSIX-signal shutdown for long-running searches.
+
+``SIGTERM``/``SIGINT`` should not vaporise hours of search: inside
+:func:`graceful_signals` they request *cooperative* cancellation on a
+:class:`~repro.runtime.control.CancellationToken`, the engine stops at
+the next instance boundary with the ``INTERRUPTED`` verdict, and the
+caller (the CLI, the supervisor) flushes a final checkpoint before
+exiting — turning ``kill <pid>`` into "pause and persist".
+
+A *second* delivery of the same signal restores the default disposition
+first, so a determined operator can still terminate a run that is stuck
+somewhere uncooperative: the next signal kills the process for real.
+
+Signal handlers can only be installed from the main thread; elsewhere
+(or on platforms without the signal), the context manager degrades to a
+no-op rather than failing — worker processes install their own handlers
+from *their* main thread (see :mod:`repro.runtime.supervisor`).
+"""
+
+from __future__ import annotations
+
+import signal
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence
+
+__all__ = ["GRACEFUL_SIGNALS", "graceful_signals"]
+
+GRACEFUL_SIGNALS: tuple[int, ...] = tuple(
+    sig for sig in (getattr(signal, "SIGTERM", None), getattr(signal, "SIGINT", None))
+    if sig is not None
+)
+
+
+@contextmanager
+def graceful_signals(
+    token: Any,
+    signals: Optional[Sequence[int]] = None,
+    on_signal: Optional[Any] = None,
+) -> Iterator[None]:
+    """Install handlers that turn the given signals into a cooperative
+    ``token.cancel(reason)``; restore the previous handlers on exit.
+
+    ``on_signal(signum)``, if given, runs inside the handler after the
+    cancel (async-signal context: keep it tiny — a counter, a note).
+    """
+    wanted = tuple(signals) if signals is not None else GRACEFUL_SIGNALS
+    installed: dict[int, Any] = {}
+    fired: set[int] = set()
+
+    def _handler(signum: int, frame: Any) -> None:
+        if signum in fired:
+            # Second delivery: re-arm the default so signal #3 is fatal,
+            # and keep waiting for the cooperative stop meanwhile.
+            try:
+                signal.signal(signum, signal.SIG_DFL)
+            except (ValueError, OSError):
+                pass
+        fired.add(signum)
+        name = signal.Signals(signum).name if signum in signal.Signals._value2member_map_ else str(signum)
+        token.cancel(f"received {name}: stopping at the next instance boundary")
+        if on_signal is not None:
+            on_signal(signum)
+
+    for sig in wanted:
+        try:
+            installed[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # not the main thread / unsupported
+            continue
+    try:
+        yield
+    finally:
+        for sig, previous in installed.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):
+                pass

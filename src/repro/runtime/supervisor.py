@@ -131,6 +131,31 @@ class _EventToken:
         return "cancelled by supervisor"
 
 
+class _CompositeToken:
+    """Duck-typed token that is cancelled when *any* member is — a
+    worker watches both the supervisor's shared event and its own local
+    token (fed by that worker's POSIX signal handlers)."""
+
+    __slots__ = ("_members",)
+
+    def __init__(self, *members: Any) -> None:
+        self._members = members
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self._members[-1].cancel(reason)
+
+    @property
+    def cancelled(self) -> bool:
+        return any(m.cancelled for m in self._members)
+
+    @property
+    def reason(self) -> str:
+        for member in self._members:
+            if member.cancelled:
+                return member.reason
+        return "cancelled"
+
+
 class _Heartbeat:
     """Worker-side progress reporter, hung on ``RuntimeControl.on_tick``.
 
@@ -248,7 +273,15 @@ def _shard_worker_main(
 ) -> None:
     """Worker process entry: run one shard, report exactly one final
     message (plus heartbeats).  Crashes report nothing — that is the
-    supervisor's problem, by design."""
+    supervisor's problem, by design.
+
+    A SIGTERM/SIGINT delivered *to the worker itself* (an operator's
+    ``kill``, a container runtime draining the node) is forwarded to a
+    local cooperative token: the shard stops at the next instance
+    boundary and reports ``interrupted`` with its cursor, so the
+    supervisor folds the signal into a resumable multi-shard checkpoint
+    instead of losing the shard's progress."""
+    from repro.runtime.signals import graceful_signals
     from repro.typecheck.errors import EvaluationError
     from repro.typecheck.result import Verdict
 
@@ -270,9 +303,12 @@ def _shard_worker_main(
         # the heartbeat reads live progress from the same handle.
         obs = Observability(telemetry=Telemetry() if task.metrics else None)
         heartbeat = _Heartbeat(conn, spec, attempt, heartbeat_interval, obs=obs)
+        from repro.runtime.control import CancellationToken
+
+        local_token = CancellationToken()
         control = RuntimeControl(
             deadline=Deadline.after(deadline_seconds) if deadline_seconds is not None else None,
-            token=_EventToken(cancel_event),
+            token=_CompositeToken(_EventToken(cancel_event), local_token),
             max_rss_mb=max_rss_mb,
             faults=injector,
             on_tick=heartbeat.tick,
@@ -287,7 +323,8 @@ def _shard_worker_main(
                 stats=dict(cursor.get("stats", {})),
                 reason="shard resume",
             )
-        result = _run_task(task, control=control, resume_from=resume, shard=spec, obs=obs)
+        with graceful_signals(local_token):
+            result = _run_task(task, control=control, resume_from=resume, shard=spec, obs=obs)
         stats = {k: getattr(result.stats, k) for k in _STAT_KEYS}
         # The registry rides the final message (never heartbeats, which
         # must stay tiny); counters are cumulative like the cursor stats,
@@ -623,6 +660,10 @@ class ShardedSearch:
     def _supervise(self, states: list[_ShardState]) -> None:
         cfg = self.config
         tracer = self.obs.tracer if self.obs is not None else NULL_TRACER
+        # Parent-side periodic durability: the merged multi-shard cursor
+        # is persisted on a time interval, so a supervisor crash (not
+        # just a worker crash) loses at most one autosave window.
+        autosave = self.control.autosave if self.control is not None else None
         method = cfg.start_method
         if method is None:
             method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -905,6 +946,8 @@ class ShardedSearch:
                     if handle is not None:
                         drain(handle)
                 update_progress()
+                if autosave is not None and autosave.due_now():
+                    autosave.save(self._checkpoint(states, "autosave"))
 
                 now = time.monotonic()
                 for handle in list(running.values()):
@@ -955,6 +998,7 @@ class ShardedSearch:
         from repro.typecheck.errors import EvaluationError
         from repro.typecheck.result import Verdict
 
+        autosave = self.control.autosave if self.control is not None else None
         for st in sorted(states, key=lambda s: s.spec.start_label):
             if st.status in ("done", "fails", "interrupted"):
                 continue
@@ -1030,6 +1074,8 @@ class ShardedSearch:
             else:
                 st.status = "done"
                 st.stats = stats
+            if autosave is not None and autosave.due_now():
+                autosave.save(self._checkpoint(states, "autosave"))
 
     # -- merge ---------------------------------------------------------------
 

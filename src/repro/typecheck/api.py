@@ -59,6 +59,7 @@ def typecheck(
     supervisor: Optional[object] = None,
     use_eval_cache: bool = True,
     obs: Optional[object] = None,
+    handle_signals: bool = False,
 ) -> TypecheckResult:
     """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
 
@@ -88,9 +89,41 @@ def typecheck(
     layer — span tracing, phase metrics, live progress — without changing
     verdicts, witnesses, or search statistics; ``None`` (the default)
     keeps every instrumentation site on the unmeasurable no-op path.
+
+    ``handle_signals=True`` installs SIGTERM/SIGINT handlers for the
+    duration of the call (main thread only; a no-op elsewhere) that
+    request cooperative cancellation — the search stops at the next
+    instance boundary with the ``INTERRUPTED`` verdict and a resumable
+    checkpoint, turning ``kill <pid>`` into "pause and persist".  The
+    caller still owns persisting the returned checkpoint (the CLI does).
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
+
+    if handle_signals:
+        from repro.runtime.control import CancellationToken
+        from repro.runtime.signals import graceful_signals
+
+        if control is None:
+            control = RuntimeControl()
+        if control.token is None:
+            control.token = CancellationToken()
+        with graceful_signals(control.token):
+            return typecheck(
+                query,
+                tau1,
+                tau2,
+                budget=budget,
+                assume_projection_free=assume_projection_free,
+                force_search=force_search,
+                control=control,
+                resume_from=resume_from,
+                workers=workers,
+                supervisor=supervisor,
+                use_eval_cache=use_eval_cache,
+                obs=obs,
+                handle_signals=False,
+            )
 
     def fallback(reason: str, theorem: str) -> TypecheckResult:
         if not force_search:

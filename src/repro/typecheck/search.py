@@ -412,6 +412,12 @@ def find_counterexample(
         )
         return result
 
+    # Periodic durable checkpointing (crash safety).  Shard runs never
+    # autosave from here: a shard-local cursor is not a whole-search
+    # checkpoint — the supervisor persists the merged multi-shard
+    # document itself.
+    autosave = control.autosave if control is not None and shard is None else None
+
     # Trees below a shard's range were (or will be) evaluated by other
     # shards; like a resume fast-forward, they only feed the dedupe set.
     skip_labels = max(resume_labels, shard.start_label if shard is not None else 0)
@@ -495,6 +501,14 @@ def find_counterexample(
                 if progress is not None:
                     progress.maybe_update(
                         instance_base + stats.valued_trees_checked, stats
+                    )
+                if autosave is not None and autosave.due(stats.valued_trees_checked):
+                    # The cursor is *after* this instance, matching what an
+                    # interruption here would record; a failed write is
+                    # counted by the autosave and never stops the search.
+                    autosave.save(
+                        make_checkpoint("autosave", raw_index, values_done),
+                        stats.valued_trees_checked,
                     )
 
             for values in candidates:

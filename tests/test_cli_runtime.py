@@ -96,6 +96,78 @@ class TestTypecheckBadInput:
         assert "non-negative" in capsys.readouterr().err
 
 
+class TestDurableCheckpointFlags:
+    def test_generations_rotate_on_disk(self, query_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        for _ in range(3):
+            rc = main(
+                typecheck_args(
+                    query_file,
+                    "--deadline", "0",
+                    "--checkpoint", ckpt,
+                    "--checkpoint-generations", "3",
+                )
+            )
+            assert rc == EXIT_INTERRUPTED
+        capsys.readouterr()
+        assert os.path.exists(ckpt)
+        assert os.path.exists(f"{ckpt}.1")
+        assert os.path.exists(f"{ckpt}.2")
+        # A decisive resume spends every generation, not just the newest.
+        rc = main(
+            typecheck_args(
+                query_file, "--checkpoint", ckpt, "--checkpoint-generations", "3"
+            )
+        )
+        assert rc == 0
+        for suffix in ("", ".1", ".2"):
+            assert not os.path.exists(f"{ckpt}{suffix}")
+
+    def test_no_fsync_still_atomic_and_resumable(self, query_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        rc = main(
+            typecheck_args(
+                query_file, "--deadline", "0", "--checkpoint", ckpt, "--no-fsync"
+            )
+        )
+        assert rc == EXIT_INTERRUPTED
+        rc = main(typecheck_args(query_file, "--checkpoint", ckpt, "--no-fsync"))
+        assert rc == 0
+        assert "resuming from checkpoint" in capsys.readouterr().err
+
+    def test_stale_tmp_reported_and_cleaned(self, query_file, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        tmp = tmp_path / "run.ckpt.tmp"
+        rc = main(typecheck_args(query_file, "--deadline", "0", "--checkpoint", str(ckpt)))
+        assert rc == EXIT_INTERRUPTED
+        tmp.write_text("half a checkpoint from a crashed run")
+        capsys.readouterr()
+        rc = main(typecheck_args(query_file, "--checkpoint", str(ckpt)))
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "stale" in err
+        assert not tmp.exists()
+
+    @pytest.mark.parametrize(
+        "spec", ["write", "write:zero:eio", "write:0:sparks", "teleport:0:eio"]
+    )
+    def test_bad_io_fault_spec_rejected_by_parser(self, query_file, spec, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(typecheck_args(query_file, "--inject-io-fault", spec))
+        assert exc.value.code == 2
+
+    def test_zero_generations_rejected(self, query_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        with pytest.raises(ValueError, match="generations"):
+            main(
+                typecheck_args(
+                    query_file,
+                    "--checkpoint", ckpt,
+                    "--checkpoint-generations", "0",
+                )
+            )
+
+
 class TestInstancesDeadline:
     def test_zero_deadline_interrupts(self, capsys):
         rc = main(["instances", "--dtd", "a -> b*", "--max-size", "8", "--deadline", "0"])

@@ -1,0 +1,280 @@
+"""Crash-consistency matrix for the durable checkpoint store.
+
+CrashMonkey-style: enumerate crash points — every checkpoint-write
+operation boundary (``write``/``fsync``/``replace``/``fsyncdir`` at
+several occurrence indices), every injected I/O fault mode, SIGTERM, and
+a worker kill — run the CLI search in a subprocess so ``os._exit`` kills
+only that process, then *resume* and assert the interrupted-then-resumed
+search reaches the **identical verdict and valued-instance total** as an
+uninterrupted reference run.  The search sequence is deterministic and
+the checkpoint is an exact cursor into it, so these assertions are
+timing-independent: it does not matter *where* the crash landed, only
+that some verifiable generation survived it.
+
+The reference search ("root -> a*", max size 6) evaluates 278 valued
+inputs over 6 label trees; with ``--checkpoint-interval 3`` each run
+crosses ~90 autosave boundaries, so occurrence indices 0..2 of every
+I/O primitive are all exercised.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, main
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, Query, Where
+from repro.ql.serde import query_to_json
+from repro.runtime.faults import IO_CRASH_EXIT
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = str(REPO_ROOT / "src")
+
+
+def _query_json() -> str:
+    query = Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const(1))]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+    return query_to_json(query)
+
+
+@pytest.fixture(scope="module")
+def query_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("crash-matrix") / "query.json"
+    path.write_text(_query_json())
+    return str(path)
+
+
+def typecheck_args(query_file, *extra, max_size=6):
+    return [
+        "typecheck",
+        "--query", query_file,
+        "--input-dtd", "root -> a*",
+        "--output-dtd", "out -> item^>=0",
+        "--unordered-output",
+        "--max-size", str(max_size),
+        *extra,
+    ]
+
+
+def run_cli(args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+
+
+def outcome(stdout: str) -> tuple[str, str]:
+    """The two timing-independent summary lines: verdict and totals."""
+    lines = stdout.splitlines()
+    verdict = next(l for l in lines if "verdict:" in l).strip()
+    searched = next(l for l in lines if l.strip().startswith("searched")).strip()
+    return verdict, searched
+
+
+@pytest.fixture(scope="module")
+def reference(query_file):
+    """Uninterrupted run: the ground truth every crashed run must match."""
+    proc = run_cli(typecheck_args(query_file))
+    assert proc.returncode == 0, proc.stderr
+    return outcome(proc.stdout)
+
+
+def resume_until_decisive(query_file, ckpt, *, max_runs=5, extra=()):
+    """Re-run (no faults) until a decisive verdict; a crash loses at most
+    one autosave window, so one resume normally suffices."""
+    for _ in range(max_runs):
+        proc = run_cli(
+            typecheck_args(
+                query_file, "--checkpoint", ckpt, "--checkpoint-interval", "3", *extra
+            )
+        )
+        if proc.returncode != EXIT_INTERRUPTED:
+            return proc
+    raise AssertionError(f"no decisive verdict after {max_runs} resumes")
+
+
+# -- crash points at every write-path operation boundary ----------------------
+
+CRASH_POINTS = [
+    ("write", 0, "crash"),  # before the very first tmp write: nothing on disk
+    ("write", 0, "torn-crash"),  # half a tmp file, then dead
+    ("write", 1, "crash"),  # second autosave: generation 0 already good
+    ("write", 1, "torn-crash"),
+    ("fsync", 0, "crash"),  # tmp written but never flushed
+    ("fsync", 1, "crash"),
+    ("replace", 0, "crash"),  # before the first tmp->path rename
+    ("replace", 1, "crash"),  # mid-rotation: path already moved to path.1
+    ("replace", 2, "crash"),  # after rotation, before the new tmp->path
+    ("fsyncdir", 0, "crash"),  # after rename, before the directory flush
+    ("fsyncdir", 1, "crash"),
+]
+
+
+class TestCrashAtEveryBoundary:
+    @pytest.mark.parametrize(
+        "op,index,mode", CRASH_POINTS, ids=[f"{o}-{i}-{m}" for o, i, m in CRASH_POINTS]
+    )
+    def test_crash_then_resume_matches_reference(
+        self, query_file, tmp_path, reference, op, index, mode
+    ):
+        ckpt = str(tmp_path / "run.ckpt")
+        crashed = run_cli(
+            typecheck_args(
+                query_file,
+                "--checkpoint", ckpt,
+                "--checkpoint-interval", "3",
+                "--inject-io-fault", f"{op}:{index}:{mode}",
+            )
+        )
+        assert crashed.returncode == IO_CRASH_EXIT, crashed.stderr
+        recovered = resume_until_decisive(query_file, ckpt)
+        assert recovered.returncode == 0, recovered.stderr
+        assert outcome(recovered.stdout) == reference
+        # A decisive verdict spends the checkpoint; every generation and
+        # scratch file must be gone (quarantined evidence may remain).
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.startswith("run.ckpt") and not name.endswith(".corrupt")
+        ]
+        assert leftovers == []
+
+
+# -- transient faults: retried inside the run, no resume needed ---------------
+
+
+class TestTransientFaultsRetried:
+    @pytest.mark.parametrize("spec", ["write:0:torn", "write:0:enospc", "write:1:eio", "fsync:0:fsync"])
+    def test_search_completes_despite_fault(self, query_file, tmp_path, capsys, spec):
+        ckpt = str(tmp_path / "run.ckpt")
+        metrics = str(tmp_path / "metrics.json")
+        rc = main(
+            typecheck_args(
+                query_file,
+                "--checkpoint", ckpt,
+                "--checkpoint-interval", "3",
+                "--inject-io-fault", spec,
+                "--metrics-out", metrics,
+            )
+        )
+        assert rc == 0
+        verdict, _ = outcome(capsys.readouterr().out)
+        assert "no_counterexample_found" in verdict
+        counters = json.load(open(metrics))["counters"]
+        assert counters["durable.write_retries"] >= 1
+        assert counters["durable.writes"] >= 2  # autosaves kept flowing
+
+
+# -- silent corruption: caught at resume, recovered from the older generation -
+
+
+class TestBitFlipRecovery:
+    def test_quarantine_and_generation_fallback(self, query_file, tmp_path, capsys, reference):
+        ckpt = str(tmp_path / "run.ckpt")
+        # Run A: interrupt immediately; generation 0 holds a good cursor.
+        assert main(
+            typecheck_args(query_file, "--deadline", "0", "--checkpoint", ckpt)
+        ) == EXIT_INTERRUPTED
+        # Run B: resume and interrupt again, but the final write is
+        # silently bit-flipped — the store *reports success* (this is the
+        # one failure atomic rename cannot stop; only the footer can).
+        assert main(
+            typecheck_args(
+                query_file,
+                "--deadline", "0",
+                "--checkpoint", ckpt,
+                "--inject-io-fault", "write:0:bitflip",
+            )
+        ) == EXIT_INTERRUPTED
+        capsys.readouterr()
+        # Run C: the corrupt newest generation is quarantined, the run
+        # recovers from generation 1 and finishes with reference totals.
+        metrics = str(tmp_path / "metrics.json")
+        rc = main(
+            typecheck_args(query_file, "--checkpoint", ckpt, "--metrics-out", metrics)
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert outcome(captured.out) == reference
+        assert "quarantined corrupt checkpoint" in captured.err
+        assert "recovered from generation 1" in captured.err
+        assert os.path.exists(f"{ckpt}.corrupt")  # evidence survives clear()
+        counters = json.load(open(metrics))["counters"]
+        assert counters["durable.quarantined"] == 1
+        assert counters["durable.recoveries"] == 1
+
+
+# -- POSIX signals: kill(1) means pause-and-persist ---------------------------
+
+
+class TestSigtermGracefulShutdown:
+    def test_sigterm_flushes_checkpoint_and_resume_matches(self, query_file, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        # max-size 10 runs ~140k instances (seconds), so the signal lands
+        # mid-search; interval 500 makes the first autosave appear fast.
+        args = typecheck_args(
+            query_file,
+            "--checkpoint", ckpt,
+            "--checkpoint-interval", "500",
+            max_size=10,
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        deadline = time.monotonic() + 60
+        while (
+            not os.path.exists(ckpt)
+            and proc.poll() is None
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        if proc.poll() is not None:  # pragma: no cover - machine-speed guard
+            pytest.skip("search finished before the signal could land")
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == EXIT_INTERRUPTED, err
+        assert "received SIGTERM" in out
+        assert "checkpoint written to" in err
+        recovered = resume_until_decisive(
+            query_file, ckpt, extra=("--max-size", "10")
+        )
+        assert recovered.returncode == 0, recovered.stderr
+        reference = run_cli(typecheck_args(query_file, max_size=10))
+        assert reference.returncode == 0
+        assert outcome(recovered.stdout) == outcome(reference.stdout)
+
+
+# -- worker kill under the sharded supervisor ---------------------------------
+
+
+class TestWorkerKillWithDurableCheckpoint:
+    def test_killed_worker_retried_verdict_matches(self, query_file, tmp_path, reference):
+        ckpt = str(tmp_path / "run.ckpt")
+        proc = run_cli(
+            typecheck_args(
+                query_file,
+                "--workers", "2",
+                "--checkpoint", ckpt,
+                "--inject-worker-kill=-1:0:3",
+            )
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert outcome(proc.stdout) == reference

@@ -1,0 +1,340 @@
+"""The durable checkpoint store: envelope integrity, generation
+rotation and fall-back, quarantine, retry, tmp hygiene, and structured
+errors for every way a checkpoint file can be damaged.
+
+The Hypothesis sections sweep what the example-based tests sample: *any*
+truncation or bit flip of a checkpoint file must surface as a
+:class:`CheckpointError` (never a raw traceback), and generation
+fall-back must always pick the newest verifiable file.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    CheckpointAutosave,
+    CheckpointError,
+    CheckpointIntegrityError,
+    DurableStore,
+    FaultInjector,
+    FaultPlan,
+    IOFault,
+    MultiShardCheckpoint,
+    SearchCheckpoint,
+    ShardCursor,
+    load_checkpoint,
+)
+from repro.obs import Telemetry
+from repro.runtime.durable import unwrap_envelope, wrap_envelope
+
+
+def ckpt(n: int = 0) -> SearchCheckpoint:
+    return SearchCheckpoint(
+        fingerprint="f" * 16,
+        algorithm="bounded-search",
+        labels_consumed=n,
+        values_done=n * 3,
+        stats={"label_trees_checked": n, "valued_trees_checked": n * 3, "max_size_reached": 2},
+        reason=f"gen {n}",
+    )
+
+
+def store_at(tmp_path, **kwargs) -> DurableStore:
+    kwargs.setdefault("sleep", lambda s: None)  # retries must not slow tests
+    return DurableStore(str(tmp_path / "run.ckpt"), **kwargs)
+
+
+# -- envelope -----------------------------------------------------------------
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        payload = ckpt(3).to_dict()
+        data = json.loads(wrap_envelope(payload).decode("utf-8"))
+        assert data["schema"] == "repro.durable"
+        assert unwrap_envelope(data) == payload
+
+    def test_tampered_payload_detected(self):
+        data = json.loads(wrap_envelope(ckpt(3).to_dict()).decode("utf-8"))
+        data["payload"]["values_done"] += 1  # silent semantic corruption
+        with pytest.raises(CheckpointIntegrityError):
+            unwrap_envelope(data)
+
+    def test_missing_footer_detected(self):
+        data = json.loads(wrap_envelope(ckpt(0).to_dict()).decode("utf-8"))
+        del data["integrity"]
+        with pytest.raises(CheckpointIntegrityError):
+            unwrap_envelope(data)
+
+    def test_legacy_bare_checkpoint_still_loads(self, tmp_path):
+        # Pre-durable files are bare checkpoint documents; they must keep
+        # loading (a user upgrades mid-run).
+        path = tmp_path / "legacy.ckpt"
+        path.write_text(ckpt(2).to_json(indent=2))
+        assert load_checkpoint(str(path)) == ckpt(2)
+
+
+# -- store round trips and rotation -------------------------------------------
+
+
+class TestStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = store_at(tmp_path)
+        store.save_checkpoint(ckpt(1))
+        assert store.load_checkpoint() == ckpt(1)
+
+    def test_multi_shard_round_trip(self, tmp_path):
+        store = store_at(tmp_path)
+        multi = MultiShardCheckpoint(
+            fingerprint="f" * 16,
+            algorithm="bounded-search",
+            total_labels=4,
+            total_instances=10,
+            capped=False,
+            shards=[ShardCursor(0, 4, 0, done=False, labels_consumed=2, values_done=1)],
+        )
+        store.save_checkpoint(multi)
+        assert store.load_checkpoint() == multi
+
+    def test_rotation_keeps_last_k(self, tmp_path):
+        store = store_at(tmp_path, generations=3)
+        for n in range(5):
+            store.save_checkpoint(ckpt(n))
+        assert load_checkpoint(store.generation_path(0)) == ckpt(4)
+        assert load_checkpoint(store.generation_path(1)) == ckpt(3)
+        assert load_checkpoint(store.generation_path(2)) == ckpt(2)
+        assert not os.path.exists(store.generation_path(3))
+
+    def test_corrupt_newest_falls_back_and_quarantines(self, tmp_path):
+        telemetry = Telemetry()
+        store = store_at(tmp_path, generations=2, telemetry=telemetry)
+        store.save_checkpoint(ckpt(1))
+        store.save_checkpoint(ckpt(2))
+        with open(store.path, "r+b") as fh:
+            fh.seek(40)
+            fh.write(b"\xff\xfe")
+        recovered = store_at(tmp_path, generations=2, telemetry=telemetry)
+        assert recovered.load_checkpoint() == ckpt(1)
+        counters = telemetry.to_dict()["counters"]
+        assert counters["durable.recoveries"] == 1
+        assert counters["durable.quarantined"] == 1
+        assert os.path.exists(f"{store.path}.corrupt")  # evidence kept
+        assert any("recovered" in note for note in recovered.events)
+
+    def test_all_generations_corrupt_is_structured_error(self, tmp_path):
+        store = store_at(tmp_path, generations=2)
+        store.save_checkpoint(ckpt(1))
+        store.save_checkpoint(ckpt(2))
+        for index in range(2):
+            with open(store.generation_path(index), "wb") as fh:
+                fh.write(b"\x00garbage\xff")
+        with pytest.raises(CheckpointError) as exc:
+            store_at(tmp_path, generations=2).load_checkpoint()
+        assert "run.ckpt" in str(exc.value)
+
+    def test_missing_file_is_structured_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such file"):
+            store_at(tmp_path).load_checkpoint()
+        assert store_at(tmp_path).try_load() is None
+
+    def test_exists_sees_older_generation_only(self, tmp_path):
+        # Crash between rotation and the final rename can leave only
+        # PATH.1 — resume detection must still fire.
+        store = store_at(tmp_path, generations=2)
+        store.save_checkpoint(ckpt(1))
+        os.replace(store.generation_path(0), store.generation_path(1))
+        fresh = store_at(tmp_path, generations=2)
+        assert fresh.exists()
+        assert fresh.load_checkpoint() == ckpt(1)
+
+    def test_path_is_directory_wrapped(self, tmp_path):
+        # Permission-denied is unreliable under root; IsADirectoryError
+        # exercises the same raw-OSError escape path (the satellite bug).
+        target = tmp_path / "run.ckpt"
+        target.mkdir()
+        with pytest.raises(CheckpointError, match="run.ckpt"):
+            load_checkpoint(str(target))
+        store = store_at(tmp_path, generations=1)
+        with pytest.raises(CheckpointError, match="run.ckpt"):
+            store.save_checkpoint(ckpt(0))
+
+    def test_stale_tmp_cleaned_on_load(self, tmp_path):
+        telemetry = Telemetry()
+        store = store_at(tmp_path, telemetry=telemetry)
+        store.save_checkpoint(ckpt(1))
+        with open(store.tmp_path, "wb") as fh:
+            fh.write(b"half a checkpoint")  # a crashed run's leftovers
+        fresh = store_at(tmp_path, telemetry=telemetry)
+        assert fresh.try_load() == ckpt(1)
+        assert not os.path.exists(store.tmp_path)
+        assert telemetry.to_dict()["counters"]["durable.tmp_cleaned"] == 1
+        assert any("stale" in note for note in fresh.events)
+
+    def test_clear_removes_generations_keeps_corrupt(self, tmp_path):
+        store = store_at(tmp_path, generations=2)
+        store.save_checkpoint(ckpt(1))
+        store.save_checkpoint(ckpt(2))
+        evidence = f"{store.path}.corrupt"
+        with open(evidence, "wb") as fh:
+            fh.write(b"quarantined earlier")
+        store.clear()
+        assert not store.exists()
+        assert not os.path.exists(store.tmp_path)
+        assert os.path.exists(evidence)
+
+
+# -- injected I/O faults ------------------------------------------------------
+
+
+def faulty(*faults: IOFault) -> FaultInjector:
+    return FaultInjector(FaultPlan(io_faults=frozenset(faults)))
+
+
+class TestInjectedFaults:
+    @pytest.mark.parametrize("mode", ["torn", "enospc", "eio"])
+    def test_transient_write_fault_retried(self, tmp_path, mode):
+        telemetry = Telemetry()
+        store = store_at(
+            tmp_path, faults=faulty(IOFault("write", 0, mode)), telemetry=telemetry
+        )
+        store.save_checkpoint(ckpt(1))  # retry (occurrence 1) succeeds
+        assert store.load_checkpoint() == ckpt(1)
+        counters = telemetry.to_dict()["counters"]
+        assert counters["durable.write_retries"] >= 1
+        assert counters["durable.writes"] == 1
+
+    def test_fsync_failure_retried(self, tmp_path):
+        store = store_at(tmp_path, faults=faulty(IOFault("fsync", 0, "fsync")))
+        store.save_checkpoint(ckpt(1))
+        assert store.load_checkpoint() == ckpt(1)
+        assert store.faults.io_faults_fired == 1
+
+    def test_persistent_fault_exhausts_retries(self, tmp_path):
+        faults = faulty(*(IOFault("write", i, "eio") for i in range(10)))
+        store = store_at(tmp_path, faults=faults, retries=3)
+        with pytest.raises(CheckpointError, match="after 4 attempts"):
+            store.save_checkpoint(ckpt(1))
+
+    def test_bitflip_caught_by_integrity_footer(self, tmp_path):
+        # The write "succeeds" (silent corruption); only the footer can
+        # catch it — at load time, with quarantine + structured error.
+        store = store_at(tmp_path, faults=faulty(IOFault("write", 0, "bitflip")))
+        store.save_checkpoint(ckpt(1))
+        with pytest.raises(CheckpointError):
+            store_at(tmp_path, generations=1).load_checkpoint()
+        assert os.path.exists(f"{store.path}.corrupt")
+
+    def test_bitflip_with_second_generation_recovers(self, tmp_path):
+        store = store_at(tmp_path, generations=2)
+        store.save_checkpoint(ckpt(1))
+        flipping = store_at(
+            tmp_path, generations=2, faults=faulty(IOFault("write", 0, "bitflip"))
+        )
+        flipping.save_checkpoint(ckpt(2))
+        recovered = store_at(tmp_path, generations=2)
+        assert recovered.load_checkpoint() == ckpt(1)
+
+    def test_occurrence_addressing_is_per_op(self, tmp_path):
+        # replace occurrence #1 is the rotation's second rename — write
+        # occurrences are counted independently.
+        injector = faulty(IOFault("replace", 2, "eio"))
+        store = store_at(tmp_path, generations=2, faults=injector)
+        store.save_checkpoint(ckpt(1))  # replace #0 (tmp->path)
+        store.save_checkpoint(ckpt(2))  # replace #1 (rotate), #2 faulted, retried
+        assert injector.io_faults_fired == 1
+        assert store.load_checkpoint() == ckpt(2)
+
+
+# -- autosave -----------------------------------------------------------------
+
+
+class TestAutosave:
+    def test_due_every_n_instances(self, tmp_path):
+        autosave = CheckpointAutosave(store_at(tmp_path), every_instances=10)
+        assert not autosave.due(9)
+        assert autosave.due(10)
+        autosave.save(ckpt(1), 10)
+        assert not autosave.due(19)
+        assert autosave.due(20)
+        assert autosave.saves == 1
+
+    def test_failed_autosave_counted_not_raised(self, tmp_path):
+        telemetry = Telemetry()
+        faults = faulty(*(IOFault("write", i, "eio") for i in range(20)))
+        store = store_at(tmp_path, faults=faults, retries=2, telemetry=telemetry)
+        autosave = CheckpointAutosave(store, every_instances=1)
+        assert autosave.save(ckpt(1), 1) is False  # swallowed, not raised
+        assert autosave.failures == 1
+        assert isinstance(autosave.last_error, CheckpointError)
+        assert telemetry.to_dict()["counters"]["durable.autosave_failures"] == 1
+
+
+# -- property sweeps ----------------------------------------------------------
+
+
+def _write_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("durable-prop")
+    return DurableStore(str(root / "p.ckpt"), fsync=False, sleep=lambda s: None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_any_truncation_is_structured_error(tmp_path_factory, data):
+    store = _write_store(tmp_path_factory)
+    store.save_checkpoint(ckpt(data.draw(st.integers(0, 50), label="n")))
+    raw = open(store.path, "rb").read()
+    cut = data.draw(st.integers(1, len(raw)), label="cut")
+    with open(store.path, "wb") as fh:
+        fh.write(raw[: len(raw) - cut])
+    try:
+        loaded = store.load_checkpoint()
+    except CheckpointError:
+        return  # structured rejection: the required outcome
+    # Only the untouched document may ever load (cutting the trailing
+    # newline alone leaves valid JSON).
+    assert raw[: len(raw) - cut].strip() == raw.strip()
+    assert isinstance(loaded, SearchCheckpoint)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_any_bit_flip_is_structured_error_or_detected(tmp_path_factory, data):
+    store = _write_store(tmp_path_factory)
+    store.save_checkpoint(ckpt(data.draw(st.integers(0, 50), label="n")))
+    raw = bytearray(open(store.path, "rb").read())
+    bit = data.draw(st.integers(0, len(raw) * 8 - 1), label="bit")
+    raw[bit // 8] ^= 1 << (bit % 8)
+    with open(store.path, "wb") as fh:
+        fh.write(bytes(raw))
+    with pytest.raises(CheckpointError):
+        # Every single-bit flip lands inside the envelope document (the
+        # payload breaks the footer hashes; the footer breaks itself;
+        # structural JSON damage breaks parsing) — never a raw traceback,
+        # and never a silently different checkpoint.
+        store.load_checkpoint()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_fallback_picks_newest_verifiable_generation(tmp_path_factory, data):
+    generations = data.draw(st.integers(2, 4), label="generations")
+    root = tmp_path_factory.mktemp("durable-gen")
+    store = DurableStore(
+        str(root / "g.ckpt"), generations=generations, fsync=False, sleep=lambda s: None
+    )
+    for n in range(generations):
+        store.save_checkpoint(ckpt(n))
+    # Generation index i holds ckpt(generations - 1 - i); corrupt a
+    # proper prefix of the newest files.
+    corrupt_newest = data.draw(st.integers(1, generations - 1), label="corrupt")
+    for index in range(corrupt_newest):
+        with open(store.generation_path(index), "wb") as fh:
+            fh.write(b"\xffnot a checkpoint")
+    fresh = DurableStore(
+        str(root / "g.ckpt"), generations=generations, fsync=False, sleep=lambda s: None
+    )
+    assert fresh.load_checkpoint() == ckpt(generations - 1 - corrupt_newest)
