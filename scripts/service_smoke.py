@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Service crash-recovery smoke drill: SIGKILL the job server mid-search,
+restart it on the same data directory, and assert the resumed job reports
+the identical verdict and identical search totals as an uninterrupted
+in-process reference run.
+
+This is the end-to-end version of tests/test_service_chaos.py, shaped
+for CI: one reference run, one server killed with a Theorem 3.5
+(regular output) job in flight, one restarted server that resumes the
+job from its journal + checkpoint.  Exit 0 on success, 1 with a
+diagnostic on any drift.
+
+    PYTHONPATH=src python scripts/service_smoke.py [--max-size 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC_DIR)
+
+EXIT_DRAINED = 3
+IO_CRASH_EXIT = 87
+
+# Theorem 3.5 workload: regular (non-star-free) output DTD.  The query
+# emits item pairs, so "(item.item)*" always holds and the bounded
+# search runs to exhaustion — long enough for the kill to land mid-run.
+QUERY = {
+    "where": {
+        "root": "root",
+        "edges": [{"from": None, "to": "X", "path": "a"}],
+        "conditions": [{"left": "X", "op": "=", "right": {"const": 1}}],
+    },
+    "construct": {
+        "tag": "out",
+        "children": [
+            {"tag": "item", "args": ["X"]},
+            {"tag": "item", "args": ["X"]},
+        ],
+    },
+}
+
+
+def submission(max_size: int, max_instances: int) -> dict:
+    return {
+        "query": QUERY,
+        "input_dtd": "root -> a*",
+        "output_dtd": "out -> (item.item)*",
+        "max_size": max_size,
+        "max_instances": max_instances,
+    }
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 typing
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def http(port: int, method: str, path: str, body=None, timeout=15):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read() or b"{}")
+
+
+_SERVER_SEQ = [0]
+
+
+def start_server(data_dir: str, log_dir: str) -> tuple[subprocess.Popen, int, str]:
+    _SERVER_SEQ[0] += 1
+    log_path = os.path.join(log_dir, f"server-{_SERVER_SEQ[0]}.log")
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--data-dir", data_dir, "--port", "0",
+            "--slice-seconds", "0.05", "--checkpoint-interval", "300",
+        ],
+        stdout=log, stderr=subprocess.STDOUT, text=True, env=cli_env(),
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        with open(log_path) as handle:
+            for line in handle:
+                if "listening on http://" in line:
+                    return proc, int(line.rsplit(":", 1)[1]), log_path
+        if proc.poll() is not None:
+            fail(f"server died before announcing (exit {proc.returncode}); "
+                 f"see {log_path}")
+        time.sleep(0.01)
+    fail(f"server never announced its port; see {log_path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-size", type=int, default=10)
+    parser.add_argument("--max-instances", type=int, default=12_000)
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="service-smoke-")
+    data_dir = os.path.join(workdir, "data")
+    payload = submission(args.max_size, args.max_instances)
+
+    print(f"[1/4] in-process reference run (Thm 3.5, max-size {args.max_size})...")
+    from repro.service.scheduler import parse_submission
+    from repro.typecheck import typecheck
+
+    sub = parse_submission(payload)
+    ref = typecheck(sub.query, sub.tau1, sub.tau2, budget=sub.budget)
+    if ref.verdict.value == "interrupted":
+        fail("reference run was interrupted — cannot anchor the comparison")
+    print(f"      verdict: {ref.verdict.value} ({ref.algorithm}), "
+          f"{ref.stats.valued_trees_checked} valued / "
+          f"{ref.stats.label_trees_checked} label trees")
+
+    print("[2/4] SIGKILL'ing the server with the job mid-run...")
+    server, port, log_path = start_server(data_dir, workdir)
+    status, body = http(port, "POST", "/jobs", payload)
+    if status != 202:
+        fail(f"submit returned {status}: {body}")
+    job_id = body["id"]
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        status, job = http(port, "GET", f"/jobs/{job_id}")
+        if job.get("state") == "running":
+            break
+        if job.get("state") in ("done", "failed", "cancelled"):
+            fail(f"job reached {job['state']} before the kill landed — "
+                 "raise --max-size/--max-instances")
+        time.sleep(0.005)
+    else:
+        fail("job never started running")
+    server.send_signal(signal.SIGKILL)
+    server.wait(timeout=60)
+    print(f"      killed while {job['state']} (slices so far: {job.get('slices', 0)})")
+
+    print("[3/4] restarting on the same data directory...")
+    server, port, log_path = start_server(data_dir, workdir)
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        status, job = http(port, "GET", f"/jobs/{job_id}")
+        if status != 200:
+            fail(f"restarted server lost the job: {status} {job}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            break
+        time.sleep(0.05)
+    if job["state"] != "done":
+        fail(f"resumed job ended {job['state']}: {job.get('error')}")
+
+    print("[4/4] comparing against the uninterrupted reference...")
+    result = job["result"]
+    drift = []
+    if result["verdict"] != ref.verdict.value:
+        drift.append(f"verdict {result['verdict']} != {ref.verdict.value}")
+    if result["valued_trees_checked"] != ref.stats.valued_trees_checked:
+        drift.append(
+            f"valued {result['valued_trees_checked']} != {ref.stats.valued_trees_checked}"
+        )
+    if result["label_trees_checked"] != ref.stats.label_trees_checked:
+        drift.append(
+            f"label {result['label_trees_checked']} != {ref.stats.label_trees_checked}"
+        )
+    if drift:
+        fail("killed-and-resumed job drifted from the reference: " + "; ".join(drift))
+    status, listing = http(port, "GET", "/jobs")
+    if [j["id"] for j in listing["jobs"]] != [job_id]:
+        fail(f"job table drifted (lost or duplicated jobs): {listing}")
+
+    server.send_signal(signal.SIGTERM)
+    if server.wait(timeout=60) != EXIT_DRAINED:
+        fail(f"drain exited {server.returncode}, expected {EXIT_DRAINED}")
+    print("OK: resumed job identical to uninterrupted run")
+    print(f"      verdict: {result['verdict']}, "
+          f"{result['valued_trees_checked']} valued / "
+          f"{result['label_trees_checked']} label trees")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

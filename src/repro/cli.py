@@ -59,6 +59,19 @@ Commands
     ``--progress`` paints a throttled live line (instances/sec, cache hit
     rate, ETA) on stderr.
 
+``serve``
+    Run the resilient typechecking job server (:mod:`repro.service`)::
+
+        python -m repro serve --data-dir ./service-data --port 8642
+
+    Jobs are submitted as JSON (``POST /jobs``), run preemptively
+    time-sliced, and survive kills: the job table is a crash-safe
+    journal, running jobs checkpoint continuously, and restarting with
+    the same ``--data-dir`` resumes every interrupted job to the exact
+    verdict an uninterrupted run would report.  Admission control sheds
+    load (429 + Retry-After) instead of melting down; ``SIGTERM`` drains
+    gracefully (checkpoint, flush, exit 3); a second signal force-exits.
+
 ``trace``
     Inspect a ``--trace`` file after the fact::
 
@@ -105,6 +118,16 @@ def _nonneg_float(text: str) -> float:
 
 # argparse reports bad values as "invalid <type.__name__> value".
 _nonneg_float.__name__ = "non-negative number"
+
+
+def _pos_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+    return value
+
+
+_pos_float.__name__ = "positive number"
 
 
 def _load_dtd(spec: str, unordered: bool = False, root: Optional[str] = None) -> DTD:
@@ -189,6 +212,25 @@ def _parse_worker_kill(spec: str) -> WorkerKill:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _parse_service_fault(spec: str):
+    """``POINT:INDEX:MODE`` — e.g. ``journal:1:crash`` kills the server
+    at its second journal write; ``slice:0:fail`` makes the first job
+    slice raise (retry-path drills; see tests/test_service_chaos.py)."""
+    from repro.runtime import ServiceFault
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(f"expected POINT:INDEX:MODE, got {spec!r}")
+    try:
+        index = int(parts[1])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad service fault spec {spec!r}: {exc}")
+    try:
+        return ServiceFault(parts[0], index, parts[2])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _parse_io_fault(spec: str) -> IOFault:
     """``OP:INDEX:MODE`` — e.g. ``write:0:torn`` tears the very first
     checkpoint tmp-file write; ``replace:1:crash`` dies at the second
@@ -211,11 +253,16 @@ def _control_from_args(args: argparse.Namespace) -> Optional[RuntimeControl]:
     max_rss = getattr(args, "max_rss_mb", None)
     kills = getattr(args, "inject_worker_kill", None) or []
     io_faults = getattr(args, "inject_io_fault", None) or []
+    service_faults = getattr(args, "inject_service_fault", None) or []
     faults = (
         FaultInjector(
-            FaultPlan(worker_kills=frozenset(kills), io_faults=frozenset(io_faults))
+            FaultPlan(
+                worker_kills=frozenset(kills),
+                io_faults=frozenset(io_faults),
+                service_faults=frozenset(service_faults),
+            )
         )
-        if kills or io_faults
+        if kills or io_faults or service_faults
         else None
     )
     if deadline is None and max_rss is None and faults is None:
@@ -318,6 +365,7 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             use_eval_cache=not args.no_eval_cache,
             obs=obs,
             handle_signals=True,
+            heartbeat_timeout=args.heartbeat_timeout,
         )
         if result.verdict is Verdict.INTERRUPTED and store is not None:
             # Flush the final checkpoint while the tracer is still open
@@ -372,6 +420,55 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         store.clear()
         _flush_store_events(store)
     return 0 if result.verdict is not Verdict.FAILS else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import JobServer, ServerConfig
+
+    obs = _obs_from_args(args)
+    control = _control_from_args(args)
+    telemetry = obs.telemetry if obs is not None else None
+    if telemetry is None and args.metrics_out:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        slice_seconds=args.slice_seconds,
+        checkpoint_every=args.checkpoint_interval,
+        max_attempts=args.max_attempts,
+        read_timeout=args.read_timeout,
+        max_active_jobs=args.max_active_jobs,
+        max_compute_seconds=args.max_compute_seconds,
+        max_rss_mb=args.max_rss_mb,
+        max_size_cap=args.max_size_cap,
+    )
+    server = JobServer(
+        config,
+        faults=control.faults if control is not None else None,
+        telemetry=telemetry,
+        tracer=obs.tracer if obs is not None else None,
+    )
+    try:
+        code = asyncio.run(server.run())
+    except KeyboardInterrupt:  # pragma: no cover - handler races are OS-timed
+        code = EXIT_INTERRUPTED
+    finally:
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.close()
+        if telemetry is not None and args.metrics_out:
+            import json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(telemetry.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+    return code
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -530,6 +627,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per shard before it is re-split (default: supervisor default)",
     )
     p_tc.add_argument(
+        "--heartbeat-timeout",
+        type=_pos_float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds a running worker may stay silent before the "
+        "supervisor declares it hung and retries its shard (sharded runs "
+        "only; default: supervisor hang_timeout)",
+    )
+    p_tc.add_argument(
         "--no-eval-cache",
         action="store_true",
         help="evaluate every candidate through the uncached reference "
@@ -553,7 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write nested span records (search/label_tree/bind/evaluate/"
         "verify_witness/checkpoint_write, plus shard/worker under "
-        "--workers) to FILE as JSON lines (schema repro.obs.trace v2); "
+        "--workers) to FILE as JSON lines (schema repro.obs.trace v3); "
         "inspect with 'repro trace summarize FILE'",
     )
     p_tc.add_argument(
@@ -571,6 +677,126 @@ def build_parser() -> argparse.ArgumentParser:
         "eval-cache hit rate, ETA) on stderr",
     )
     p_tc.set_defaults(func=_cmd_typecheck)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the resilient typechecking job server (crash-safe queue, "
+        "admission control, preempt/resume scheduling)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound port is announced on stdout)",
+    )
+    p_srv.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for the durable job journal and per-job checkpoints; "
+        "restarting with the same directory resumes every interrupted job",
+    )
+    p_srv.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="bound on active (queued+running+preempted) jobs; overflow is "
+        "shed with 429 + Retry-After (default: 64)",
+    )
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent job slices (executor threads; default: 2)",
+    )
+    p_srv.add_argument(
+        "--slice-seconds",
+        type=_nonneg_float,
+        default=0.5,
+        help="preemption time quantum per job slice (default: 0.5)",
+    )
+    p_srv.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=200,
+        metavar="N",
+        help="autosave each running job's checkpoint every N evaluated "
+        "instances — the most work SIGKILL can lose per job (default: 200)",
+    )
+    p_srv.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="poison cap: failing slices per job before it fails permanently "
+        "(default: 3)",
+    )
+    p_srv.add_argument(
+        "--read-timeout",
+        type=_nonneg_float,
+        default=5.0,
+        help="seconds a client may take to deliver a request before 408 "
+        "(the slow-client guard; default: 5)",
+    )
+    p_srv.add_argument(
+        "--max-active-jobs",
+        type=int,
+        default=8,
+        help="per-tenant cap on active jobs (default: 8)",
+    )
+    p_srv.add_argument(
+        "--max-compute-seconds",
+        type=_nonneg_float,
+        default=None,
+        help="per-tenant cap on engine seconds per job, enforced between "
+        "slices (default: unlimited)",
+    )
+    p_srv.add_argument(
+        "--max-rss-mb",
+        type=_nonneg_float,
+        default=None,
+        help="memory ceiling threaded into every job slice (default: none)",
+    )
+    p_srv.add_argument(
+        "--max-size-cap",
+        type=int,
+        default=None,
+        help="reject submissions whose search budget max_size exceeds this "
+        "(422; default: no cap)",
+    )
+    p_srv.add_argument(
+        "--inject-io-fault",
+        type=_parse_io_fault,
+        action="append",
+        default=None,
+        metavar="OP:INDEX:MODE",
+        help="deterministically fault journal-write I/O primitives "
+        "(kill-during-journal-write drills; same spec as typecheck)",
+    )
+    p_srv.add_argument(
+        "--inject-service-fault",
+        type=_parse_service_fault,
+        action="append",
+        default=None,
+        metavar="POINT:INDEX:MODE",
+        help="deterministically fault occurrence INDEX of scheduler point "
+        "POINT (admit|slice|preempt|complete|journal) with MODE "
+        "(crash|fail) — service chaos drills",
+    )
+    p_srv.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write request/job/job_slice/drain span records (schema "
+        "repro.obs.trace v3) to FILE as JSON lines",
+    )
+    p_srv.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the service counter registry to FILE as JSON on exit",
+    )
+    p_srv.add_argument("--progress", action="store_true", help=argparse.SUPPRESS)
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser("trace", help="inspect a --trace JSONL file")
     trace_sub = p_trace.add_subparsers(dest="action", required=True)

@@ -15,8 +15,9 @@ record is a ``span`` record:
 appear before their parents in the file (the ``parent`` id links them
 back up).  The span vocabulary is closed — :data:`SPAN_NAMES` — and
 ``validate_trace_records`` checks a parsed stream against the schema
-(v1 and v2 streams both validate; v2 added the ``checkpoint_write``
-span).
+(v1, v2 and v3 streams all validate; v2 added the ``checkpoint_write``
+span, v3 the job-service spans ``request``/``job``/``job_slice``/
+``drain``).
 
 The disabled path is :data:`NULL_TRACER`: callers check
 ``tracer.enabled`` (a plain attribute) before doing any timing work, so
@@ -46,12 +47,13 @@ __all__ = [
 ]
 
 TRACE_SCHEMA = "repro.obs.trace"
-TRACE_SCHEMA_VERSION = 2
-SUPPORTED_TRACE_VERSIONS = frozenset({1, TRACE_SCHEMA_VERSION})
+TRACE_SCHEMA_VERSION = 3
+SUPPORTED_TRACE_VERSIONS = frozenset({1, 2, TRACE_SCHEMA_VERSION})
 
 # Closed span vocabulary.  Adding a name is a version bump: v2 added
-# "checkpoint_write" (the durable store's persistence phase); v1 streams
-# remain valid — the vocabulary only grew.
+# "checkpoint_write" (the durable store's persistence phase), v3 the
+# job-service spans; older streams remain valid — the vocabulary only
+# grew.
 SPAN_NAMES = frozenset(
     {
         "search",  # one sequential (or in-process-shard) engine run
@@ -63,6 +65,10 @@ SPAN_NAMES = frozenset(
         "shard",  # one shard, start to terminal message
         "worker",  # one worker process, spawn to reap
         "checkpoint_write",  # one durable checkpoint persistence (v2)
+        "request",  # one HTTP request through the job service (v3)
+        "job",  # one service job, admission to terminal state (v3)
+        "job_slice",  # one preemptible scheduler slice of a job (v3)
+        "drain",  # one graceful service drain, signal to flush (v3)
     }
 )
 

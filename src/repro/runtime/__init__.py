@@ -47,6 +47,7 @@ from repro.runtime.faults import (
     FaultPlan,
     InjectedFault,
     IOFault,
+    ServiceFault,
     WorkerKill,
 )
 from repro.runtime.shard import SearchTask, ShardPlan, ShardSpec, plan_shards
@@ -70,6 +71,7 @@ __all__ = [
     "RuntimeControl",
     "SearchCheckpoint",
     "SearchTask",
+    "ServiceFault",
     "ShardCursor",
     "ShardPlan",
     "ShardSpec",

@@ -28,11 +28,28 @@ single failure:
   FaultInjector` can deterministically fail, corrupt, or crash any
   single operation (see :class:`~repro.runtime.faults.IOFault`), which
   is what the crash-consistency matrix in ``tests/test_crash_matrix.py``
-  drives.
+  drives;
+* **inter-process advisory lock** — each write takes a non-blocking
+  ``fcntl`` lock on ``path.lock`` for the duration of the rotation, so
+  two processes sharing a checkpoint directory cannot interleave their
+  rename sequences; a held lock raises :class:`CheckpointError` naming
+  the holder's PID instead of corrupting state (off-POSIX the lock
+  degrades to a no-op);
+* **bounded quarantine** — corrupt generations are renamed to unique
+  ``*.corrupt`` names (evidence, never overwritten), but the store keeps
+  at most ``generations`` of them per path: a persistently failing
+  writer prunes its oldest evidence (logged) instead of filling the
+  disk.
+
+The store also persists arbitrary JSON *documents* (``save_document`` /
+``load_document``) under the same envelope, rotation, lock, and
+quarantine machinery — the service's job journal
+(:mod:`repro.service.journal`) rides this path.
 
 Telemetry (when a registry is attached): ``durable.writes``,
 ``durable.write_retries``, ``durable.recoveries``,
-``durable.quarantined``, ``durable.tmp_cleaned``,
+``durable.quarantined``, ``durable.corrupt_pruned``,
+``durable.lock_conflicts``, ``durable.tmp_cleaned``,
 ``durable.autosave_failures`` counters and a ``checkpoint_write`` span
 per persisted generation.
 """
@@ -47,6 +64,11 @@ import zlib
 from hashlib import sha256
 from random import Random
 from typing import Any, Callable, Optional
+
+try:  # POSIX only; the advisory lock degrades to a no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from repro.runtime.checkpoint import (
     AnyCheckpoint,
@@ -175,6 +197,9 @@ class FileSystem:
     def listdir(self, path: str) -> list[str]:
         return os.listdir(path)
 
+    def mtime(self, path: str) -> float:
+        return os.path.getmtime(path)
+
     def fsync_dir(self, path: str) -> None:
         """Flush the directory entry (the rename itself) to disk.  Best
         effort off-POSIX: directories that cannot be opened or fsync'd
@@ -219,6 +244,7 @@ class DurableStore:
         telemetry: Optional[Any] = None,
         tracer: Optional[Any] = None,
         sleep: Callable[[float], None] = time.sleep,
+        locking: bool = True,
     ) -> None:
         if generations < 1:
             raise ValueError(f"generations must be >= 1, got {generations}")
@@ -228,6 +254,7 @@ class DurableStore:
         self.fs = fs if fs is not None else FileSystem()
         self.faults = faults
         self.retries = retries
+        self.locking = locking and fcntl is not None
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.telemetry = telemetry
@@ -258,6 +285,10 @@ class DurableStore:
     @property
     def tmp_path(self) -> str:
         return f"{self.path}.tmp"
+
+    @property
+    def lock_path(self) -> str:
+        return f"{self.path}.lock"
 
     def exists(self) -> bool:
         """Whether *any* generation is present (a crash between rotation
@@ -316,6 +347,57 @@ class DurableStore:
             raise OSError(errno.EIO, f"injected {fault.mode} failure on {op} {target}")
         action()
 
+    # -- inter-process advisory lock -----------------------------------------
+
+    def _acquire_lock(self) -> Optional[int]:
+        """Take the non-blocking advisory lock guarding generation
+        rotation.  Returns the lock fd (``None`` when locking is off or
+        unavailable); raises :class:`CheckpointError` naming the holder's
+        PID when another process holds it — interleaved rotation would
+        corrupt the generation chain, so contention must fail loudly."""
+        if not self.locking:
+            return None
+        try:
+            fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError as exc:
+            # Cannot even create the lock file (read-only dir, ENOSPC):
+            # proceed unlocked — the lock is protection, not a dependency.
+            self._note(f"could not create lock file {self.lock_path}: {exc}")
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            holder = "unknown"
+            try:
+                raw = os.read(fd, 64).strip()
+                if raw:
+                    holder = raw.decode("ascii", "replace")
+            except OSError:
+                pass
+            os.close(fd)
+            self._count("durable.lock_conflicts")
+            raise CheckpointError(
+                f"checkpoint {self.path!r} is locked by process {holder} "
+                f"(advisory lock {self.lock_path}); two runs must not share "
+                "a checkpoint path"
+            ) from None
+        try:
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        except OSError:
+            pass  # best-effort: the PID in the file is diagnostics only
+        return fd
+
+    def _release_lock(self, fd: Optional[int]) -> None:
+        if fd is None:
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
     # -- write ---------------------------------------------------------------
 
     def save_checkpoint(self, checkpoint: AnyCheckpoint) -> None:
@@ -327,25 +409,29 @@ class DurableStore:
         data = wrap_envelope(payload)
         t0 = time.perf_counter()
         last_error: Optional[OSError] = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                self._count("durable.write_retries")
-                delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
-                self._sleep(delay * (1.0 + self._rng.random()))
-            try:
-                self._write_once(data)
-                break
-            except OSError as exc:
-                last_error = exc
-                if exc.errno not in _TRANSIENT_ERRNOS:
-                    raise CheckpointError(
-                        f"cannot write checkpoint {self.path!r}: {exc}"
-                    ) from exc
-        else:
-            raise CheckpointError(
-                f"cannot write checkpoint {self.path!r} after "
-                f"{self.retries + 1} attempts: {last_error}"
-            ) from last_error
+        lock_fd = self._acquire_lock()
+        try:
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self._count("durable.write_retries")
+                    delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+                    self._sleep(delay * (1.0 + self._rng.random()))
+                try:
+                    self._write_once(data)
+                    break
+                except OSError as exc:
+                    last_error = exc
+                    if exc.errno not in _TRANSIENT_ERRNOS:
+                        raise CheckpointError(
+                            f"cannot write checkpoint {self.path!r}: {exc}"
+                        ) from exc
+            else:
+                raise CheckpointError(
+                    f"cannot write checkpoint {self.path!r} after "
+                    f"{self.retries + 1} attempts: {last_error}"
+                ) from last_error
+        finally:
+            self._release_lock(lock_fd)
         self._count("durable.writes")
         self._count("durable.bytes_written", len(data))
         if self.tracer is not None and getattr(self.tracer, "enabled", False):
@@ -389,7 +475,7 @@ class DurableStore:
         return self.load_checkpoint()
 
     def load_checkpoint(self) -> AnyCheckpoint:
-        """Load the newest verifiable generation.
+        """Load the newest verifiable generation as a checkpoint.
 
         Corrupt generations are quarantined (renamed to ``*.corrupt``)
         and the next one is tried; falling back past the newest existing
@@ -397,6 +483,25 @@ class DurableStore:
         :class:`CheckpointError` (with every path and its failure) when
         nothing verifies.
         """
+        return self._load(self._verify)
+
+    def try_load_document(self) -> Optional[dict[str, Any]]:
+        """Like :meth:`load_document`, but ``None`` when no generation
+        exists at all."""
+        self.clean_stale_tmp()
+        if not self.exists():
+            return None
+        return self.load_document()
+
+    def load_document(self) -> dict[str, Any]:
+        """Load the newest verifiable generation as a raw JSON document
+        (the payload of the durable envelope; bare legacy documents load
+        as-is).  Same rotation/quarantine/recovery semantics as
+        :meth:`load_checkpoint` — this is how non-checkpoint artifacts
+        (the service's job journal) share the store."""
+        return self._load(self._verify_document)
+
+    def _load(self, verify: Callable[[str, bytes], Any]) -> Any:
         self.clean_stale_tmp()
         failures: list[str] = []
         newest_seen = False
@@ -411,7 +516,7 @@ class DurableStore:
                 newest_seen = True
                 continue
             try:
-                checkpoint = self._verify(gen, raw)
+                loaded = verify(gen, raw)
             except CheckpointError as exc:
                 failures.append(f"{gen}: {exc}")
                 self._quarantine(gen)
@@ -425,7 +530,7 @@ class DurableStore:
                     f"recovered from generation {index} ({gen}) — newer "
                     "generation(s) were corrupt or unreadable"
                 )
-            return checkpoint
+            return loaded
         if failures:
             raise CheckpointError(
                 f"no verifiable checkpoint generation at {self.path!r}: "
@@ -433,20 +538,84 @@ class DurableStore:
             )
         raise CheckpointError(f"cannot read checkpoint {self.path!r}: no such file")
 
-    def _verify(self, path: str, raw: bytes) -> AnyCheckpoint:
+    def _decode(self, raw: bytes) -> str:
         try:
-            text = raw.decode("utf-8")
+            return raw.decode("utf-8")
         except UnicodeDecodeError as exc:
             raise CheckpointIntegrityError(f"checkpoint is not valid UTF-8: {exc}") from exc
-        return checkpoint_from_json(text)
+
+    def _verify(self, path: str, raw: bytes) -> AnyCheckpoint:
+        return checkpoint_from_json(self._decode(raw))
+
+    def _verify_document(self, path: str, raw: bytes) -> dict[str, Any]:
+        try:
+            data = json.loads(self._decode(raw))
+        except json.JSONDecodeError as exc:
+            raise CheckpointIntegrityError(f"document is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CheckpointIntegrityError(
+                f"document must be an object, got {type(data).__name__}"
+            )
+        if is_envelope(data):
+            return unwrap_envelope(data)
+        return data
 
     def _quarantine(self, path: str) -> None:
+        # Unique evidence name: never overwrite an earlier quarantine of
+        # the same generation file.
+        target = f"{path}.corrupt"
+        suffix = 0
+        while self.fs.exists(target):
+            suffix += 1
+            target = f"{path}.corrupt.{suffix}"
         try:
-            self.fs.replace(path, f"{path}.corrupt")
+            self.fs.replace(path, target)
         except OSError:
             return  # quarantine is best-effort; the fall-back still works
         self._count("durable.quarantined")
-        self._note(f"quarantined corrupt checkpoint {path} -> {path}.corrupt")
+        self._note(f"quarantined corrupt checkpoint {path} -> {target}")
+        self._prune_corrupt()
+
+    def _corrupt_files(self) -> list[str]:
+        """Every quarantined evidence file belonging to this store's
+        path, oldest first (by mtime, then name, for determinism)."""
+        directory = os.path.dirname(self.path) or "."
+        prefix = os.path.basename(self.path)
+        try:
+            names = self.fs.listdir(directory)
+        except OSError:
+            return []
+        found = [
+            os.path.join(directory, name)
+            for name in names
+            if name.startswith(prefix) and ".corrupt" in name
+        ]
+
+        def age_key(path: str):
+            try:
+                return (self.fs.mtime(path), path)
+            except OSError:
+                return (0.0, path)
+
+        return sorted(found, key=age_key)
+
+    def _prune_corrupt(self) -> None:
+        """Cap quarantine evidence at the configured generation count so
+        a persistently failing writer cannot fill the disk; oldest files
+        go first, and every pruning is logged."""
+        corrupt = self._corrupt_files()
+        excess = len(corrupt) - self.generations
+        for path in corrupt[:max(0, excess)]:
+            try:
+                self.fs.remove(path)
+            except OSError as exc:
+                self._note(f"could not prune quarantined file {path}: {exc}")
+                continue
+            self._count("durable.corrupt_pruned")
+            self._note(
+                f"pruned quarantined file {path} (cap: {self.generations} "
+                "corrupt files per checkpoint path)"
+            )
 
     # -- hygiene -------------------------------------------------------------
 
@@ -470,7 +639,8 @@ class DurableStore:
     def clear(self) -> None:
         """Remove every generation and the scratch file (a decisive
         verdict spends the checkpoint).  Quarantined ``*.corrupt`` files
-        are kept — they are evidence."""
+        are kept — they are evidence; the advisory lock file is not, so
+        a cleared path leaves no debris behind."""
         for index in range(self.generations):
             gen = self.generation_path(index)
             if self.fs.exists(gen):
@@ -478,6 +648,11 @@ class DurableStore:
                     self._apply_simple("remove", lambda g=gen: self.fs.remove(g), gen)
                 except OSError as exc:
                     self._note(f"could not remove spent checkpoint {gen}: {exc}")
+        if self.locking and self.fs.exists(self.lock_path):
+            try:
+                self.fs.remove(self.lock_path)
+            except OSError as exc:
+                self._note(f"could not remove lock file {self.lock_path}: {exc}")
         self.clean_stale_tmp()
 
 

@@ -48,6 +48,9 @@ __all__ = [
     "IO_FAULT_MODES",
     "IO_OPS",
     "InjectedFault",
+    "SERVICE_FAULT_MODES",
+    "SERVICE_POINTS",
+    "ServiceFault",
     "WORKER_KILLED_EXIT",
     "WorkerKill",
 ]
@@ -75,6 +78,17 @@ rename plus the final tmp->path rename, ``fsyncdir`` the directory;
 IO_FAULT_MODES = frozenset(
     {"torn", "enospc", "eio", "fsync", "bitflip", "crash", "torn-crash"}
 )
+
+SERVICE_POINTS = frozenset({"admit", "slice", "preempt", "complete", "journal"})
+"""Scheduler state transitions of the job service a :class:`ServiceFault`
+can attach to: ``admit`` — a job was journaled as submitted; ``slice`` —
+a scheduler slice is about to run the engine; ``preempt`` — a preempted
+slice saved its cursor checkpoint; ``complete`` — a terminal verdict was
+computed but not yet journaled; ``journal`` — a journal flush is about
+to be persisted (the durable store's own ``io_faults`` address the
+individual filesystem primitives underneath)."""
+
+SERVICE_FAULT_MODES = frozenset({"crash", "fail"})
 
 _HANG_NAP_S = 3600.0
 
@@ -153,6 +167,44 @@ class IOFault:
 
 
 @dataclass(frozen=True, slots=True)
+class ServiceFault:
+    """One planned job-service fault (the ``service_fault`` mode).
+
+    Fires on occurrence number ``index`` (0-based) of scheduler state
+    transition ``point`` as counted by the :class:`FaultInjector` across
+    the server process.  The scheduler's transition sequence for a fixed
+    workload is deterministic, so (point, index) addresses the same
+    moment in every run — which is what lets the chaos matrix SIGKILL a
+    server "at each scheduler state transition" without timing.
+
+    Modes: ``crash`` — the server process dies on the spot
+    (``os._exit`` with :data:`IO_CRASH_EXIT`, indistinguishable from
+    SIGKILL at that boundary); ``fail`` — the engine slice raises
+    :class:`InjectedFault` instead (a simulated worker crash; several of
+    these at consecutive indices are a *crash storm* that must be
+    absorbed by the scheduler's retry/backoff/poison-cap machinery).
+    """
+
+    point: str = "slice"
+    index: int = 0
+    mode: str = "crash"
+
+    def __post_init__(self) -> None:
+        if self.point not in SERVICE_POINTS:
+            raise ValueError(
+                f"unknown service point {self.point!r} (expected one of "
+                f"{sorted(SERVICE_POINTS)})"
+            )
+        if self.mode not in SERVICE_FAULT_MODES:
+            raise ValueError(
+                f"unknown service fault mode {self.mode!r} (expected one of "
+                f"{sorted(SERVICE_FAULT_MODES)})"
+            )
+        if self.index < 0:
+            raise ValueError("index must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
 class FaultPlan:
     """Declarative description of the faults to inject."""
 
@@ -174,12 +226,18 @@ class FaultPlan:
     where a :class:`~repro.runtime.durable.DurableStore` consults the
     injector — engine evaluation is never affected."""
 
+    service_faults: frozenset[ServiceFault] = frozenset()
+    """Planned job-service faults (see :class:`ServiceFault`).  Only
+    fire where the service scheduler consults the injector — library
+    callers are never affected."""
+
     def __post_init__(self) -> None:
         if self.cancel_after_instances is not None and self.cancel_after_instances < 0:
             raise ValueError("cancel_after_instances must be >= 0")
         object.__setattr__(self, "fail_instances", frozenset(self.fail_instances))
         object.__setattr__(self, "worker_kills", frozenset(self.worker_kills))
         object.__setattr__(self, "io_faults", frozenset(self.io_faults))
+        object.__setattr__(self, "service_faults", frozenset(self.service_faults))
 
 
 @dataclass(slots=True)
@@ -190,6 +248,7 @@ class FaultInjector:
     cancellations_fired: int = 0
     failures_fired: int = 0
     io_faults_fired: int = 0
+    service_faults_fired: int = 0
 
     # Worker context — set only by the supervisor's worker bootstrap.
     # While unset, worker faults are inert.
@@ -201,6 +260,9 @@ class FaultInjector:
     # a stable address because the durable store's operation sequence per
     # checkpoint write is fixed.
     _io_ops: dict[str, int] = field(default_factory=dict)
+
+    # Per-point transition counters for service faults, same scheme.
+    _service_points: dict[str, int] = field(default_factory=dict)
 
     def set_worker_context(self, shard_start: int, attempt: int, instance_base: int) -> None:
         """Arm worker faults: this injector now runs inside the worker
@@ -248,6 +310,25 @@ class FaultInjector:
         for fault in self.plan.io_faults:
             if fault.op == op and fault.index == index:
                 self.io_faults_fired += 1
+                return fault
+        return None
+
+    def service_fault(self, point: str) -> Optional[ServiceFault]:
+        """Consulted by the job-service scheduler at each state
+        transition; counts this occurrence of ``point`` and returns the
+        planned fault addressed to it, or ``None``.  ``crash`` faults are
+        executed here (the process dies at the transition boundary, with
+        :data:`IO_CRASH_EXIT`); ``fail`` faults are returned for the
+        scheduler to raise inside the job slice."""
+        if not self.plan.service_faults:
+            return None
+        index = self._service_points.get(point, 0)
+        self._service_points[point] = index + 1
+        for fault in self.plan.service_faults:
+            if fault.point == point and fault.index == index:
+                self.service_faults_fired += 1
+                if fault.mode == "crash":
+                    os._exit(IO_CRASH_EXIT)
                 return fault
         return None
 

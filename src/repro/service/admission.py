@@ -1,0 +1,150 @@
+"""Admission control and load shedding for the typechecking job service.
+
+A CO-NEXPTIME search behind an HTTP endpoint is a denial-of-service
+footgun unless the server *sheds load it cannot carry*.  Admission is
+decided before a job touches the journal:
+
+* **bounded queue** — at most ``max_queue`` active jobs in the whole
+  server; overflow is rejected with HTTP 429 and a ``Retry-After``
+  estimated from the queue depth and the scheduler's slice quantum (a
+  truthful hint, not a constant);
+* **per-tenant concurrency** — each tenant may hold at most
+  ``max_active_jobs`` queued/running/preempted jobs, so one noisy tenant
+  cannot starve the rest (429 again, with the tenant named);
+* **per-tenant budgets** — a tenant's jobs are capped at
+  ``max_compute_seconds`` of engine time and ``max_rss_mb`` of resident
+  memory; the caps are *enforced by the existing*
+  :class:`~repro.runtime.control.RuntimeControl` (deadline budget
+  checked between slices, the RSS ceiling inside the engine's
+  cooperative poll), so an admitted job can never exceed what admission
+  promised;
+* **oversized requests** — a submission whose search budget exceeds the
+  tenant's ``max_size`` cap is rejected with 422 before any parsing of
+  the search space happens.
+
+Rejections are cheap, deterministic, and observable
+(``service.rejected`` counters by reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["AdmissionControl", "AdmissionDecision", "TenantPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class TenantPolicy:
+    """Budgets one tenant's jobs must live within."""
+
+    max_active_jobs: int = 8
+    """Queued + running + preempted jobs this tenant may hold at once."""
+
+    max_compute_seconds: Optional[float] = None
+    """Total engine seconds one job may consume across all its slices
+    (checked between slices; the job fails with a deadline error once
+    exceeded).  ``None`` = unlimited."""
+
+    max_rss_mb: Optional[float] = None
+    """Memory ceiling threaded into each slice's ``RuntimeControl``; a
+    job that trips it fails with a memory error.  ``None`` = no ceiling."""
+
+    max_size: Optional[int] = None
+    """Cap on the submission's search budget (``max_size``).  ``None`` =
+    no cap."""
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    status: int = 202
+    reason: str = ""
+    retry_after: float = 0.0
+
+    @classmethod
+    def ok(cls) -> "AdmissionDecision":
+        return cls(admitted=True)
+
+    @classmethod
+    def reject(cls, status: int, reason: str, retry_after: float = 0.0) -> "AdmissionDecision":
+        return cls(admitted=False, status=status, reason=reason, retry_after=retry_after)
+
+
+class AdmissionControl:
+    """Decides, per submission, whether the server takes the job."""
+
+    def __init__(
+        self,
+        max_queue: int = 64,
+        default_policy: Optional[TenantPolicy] = None,
+        policies: Optional[dict[str, TenantPolicy]] = None,
+        telemetry: Optional[Any] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        self.default_policy = default_policy if default_policy is not None else TenantPolicy()
+        self.policies = dict(policies) if policies else {}
+        self.telemetry = telemetry
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name)
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    def retry_after(self, active_total: int, workers: int, slice_seconds: float) -> float:
+        """A truthful backoff hint: roughly one slice per queued job per
+        worker, clamped to [1, 60] seconds."""
+        workers = max(1, workers)
+        estimate = (active_total / workers) * max(0.05, slice_seconds)
+        return min(60.0, max(1.0, estimate))
+
+    def admit(
+        self,
+        tenant: str,
+        *,
+        requested_max_size: int,
+        active_total: int,
+        tenant_active: int,
+        workers: int,
+        slice_seconds: float,
+        draining: bool = False,
+    ) -> AdmissionDecision:
+        """One admission decision.  ``active_total``/``tenant_active``
+        are the journal's live counts at the moment of the request."""
+        if draining:
+            self._count("service.rejected.draining")
+            return AdmissionDecision.reject(
+                503, "server is draining; submit to another instance",
+                retry_after=self.retry_after(active_total, workers, slice_seconds),
+            )
+        policy = self.policy_for(tenant)
+        if policy.max_size is not None and requested_max_size > policy.max_size:
+            self._count("service.rejected.oversized")
+            return AdmissionDecision.reject(
+                422,
+                f"search budget max_size={requested_max_size} exceeds tenant "
+                f"cap {policy.max_size}",
+            )
+        if active_total >= self.max_queue:
+            self._count("service.rejected.queue_full")
+            return AdmissionDecision.reject(
+                429,
+                f"job queue is full ({active_total}/{self.max_queue} active jobs)",
+                retry_after=self.retry_after(active_total, workers, slice_seconds),
+            )
+        if tenant_active >= policy.max_active_jobs:
+            self._count("service.rejected.tenant_limit")
+            return AdmissionDecision.reject(
+                429,
+                f"tenant {tenant!r} already holds {tenant_active} active jobs "
+                f"(limit {policy.max_active_jobs})",
+                retry_after=self.retry_after(tenant_active, workers, slice_seconds),
+            )
+        self._count("service.admitted")
+        return AdmissionDecision.ok()

@@ -1,0 +1,164 @@
+"""Minimal HTTP/1.1 over asyncio streams — just enough for the job API.
+
+Stdlib only (no new dependencies is a hard constraint of this repo), so
+the server speaks a deliberately small slice of HTTP/1.1:
+
+* one request per connection (every response carries
+  ``Connection: close``) — the job API is submit/poll, not streaming;
+* JSON bodies both ways, ``Content-Length`` framing only (no chunked
+  encoding, no expect/continue);
+* defensive by default: a header section over ``MAX_HEADER_BYTES`` or a
+  body over ``max_body`` is 413, a client that stalls mid-request is
+  timed out with 408 (the *slow-client* guard — one dribbling client
+  must not pin a connection handler forever), and anything unparsable
+  is 400.
+
+Parsing failures raise :class:`HttpError`, which the server renders as
+a JSON error response; they never take the process down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "HttpError",
+    "MAX_HEADER_BYTES",
+    "Request",
+    "STATUS_PHRASES",
+    "read_request",
+    "render_response",
+]
+
+MAX_HEADER_BYTES = 16 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served; rendered as a JSON error."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass(slots=True)
+class Request:
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body: int = 1 << 20,
+    timeout: float = 5.0,
+) -> Optional[Request]:
+    """Parse one request from the stream.
+
+    Returns ``None`` on a clean EOF before any bytes (client connected
+    and left); raises :class:`HttpError` for everything else that is not
+    a well-formed request — including the slow-client timeout (408).
+    """
+    try:
+        head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout)
+    except asyncio.TimeoutError as exc:
+        raise HttpError(408, "timed out reading request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "connection closed mid-request") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[0] or not parts[1].startswith("/"):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpError(400, f"bad Content-Length {length_text!r}") from exc
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length_text!r}")
+        if length > max_body:
+            raise HttpError(413, f"body of {length} bytes exceeds the {max_body}-byte limit")
+        if length:
+            try:
+                body = await asyncio.wait_for(reader.readexactly(length), timeout)
+            except asyncio.TimeoutError as exc:
+                raise HttpError(408, "timed out reading request body") from exc
+            except asyncio.IncompleteReadError as exc:
+                raise HttpError(400, "connection closed mid-body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked bodies are not supported; send Content-Length")
+    # Strip the query string; the job API does not use it.
+    path = target.split("?", 1)[0]
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    payload: Any,
+    extra_headers: Optional[dict[str, str]] = None,
+) -> bytes:
+    """One complete JSON response (headers + body), connection-close."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if extra_headers:
+        for name, value in extra_headers.items():
+            lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

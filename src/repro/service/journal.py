@@ -1,0 +1,299 @@
+"""Crash-safe job journal: the service's one source of truth.
+
+Every job the server has ever acknowledged lives in the journal — a
+single JSON document persisted through the crash-safe
+:class:`~repro.runtime.durable.DurableStore` (fsync'd atomic writes,
+integrity envelope, generation rotation, advisory lock).  A server
+killed with SIGKILL at *any* point therefore restarts into a consistent
+journal: either the state before its last flush or the state after it,
+never a torn mix — and the chaos matrix
+(``tests/test_service_chaos.py``) kills the process at every scheduler
+state transition to prove it.
+
+Replay rules on restart (:meth:`JobJournal.recover`):
+
+* ``running`` jobs did not finish (the process died under them) — they
+  become ``preempted`` and the scheduler re-admits them; their per-job
+  checkpoint (written by the engine's autosave) resumes the search
+  exactly, so the replayed job reaches the identical verdict as an
+  uninterrupted run;
+* corrupt *entries* (a malformed job record inside a verifiable
+  document — e.g. written by a newer build) are **quarantined**: moved
+  to the journal's ``quarantined`` list with the parse error, counted
+  (``service.journal_quarantined``), and never silently dropped;
+* terminal jobs (``done``/``failed``/``cancelled``) replay as-is;
+  ``done`` results re-seed the fingerprint result cache, so a repeat
+  submission after a crash is still free.
+
+The journal flushes after every state transition — one durable write
+per transition is the price of "no lost or duplicated jobs", and the
+load benchmark (``BENCH_service.json``) records what it costs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.runtime.durable import DurableStore
+
+__all__ = [
+    "ACTIVE_STATES",
+    "JOB_STATES",
+    "JOURNAL_SCHEMA",
+    "JOURNAL_VERSION",
+    "JobJournal",
+    "JobRecord",
+    "JournalEntryError",
+    "TERMINAL_STATES",
+]
+
+JOURNAL_SCHEMA = "repro.service.journal"
+JOURNAL_VERSION = 1
+
+SUBMITTED = "submitted"
+RUNNING = "running"
+PREEMPTED = "preempted"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = frozenset({SUBMITTED, RUNNING, PREEMPTED, DONE, FAILED, CANCELLED})
+ACTIVE_STATES = frozenset({SUBMITTED, RUNNING, PREEMPTED})
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class JournalEntryError(ValueError):
+    """One job record inside the journal document is malformed."""
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """One job, submission to terminal state.
+
+    ``submission`` is the raw (validated) request payload — query JSON,
+    DTD texts, budget, flags — so a restarted server can rebuild the
+    exact search without the client; ``fingerprint`` is the search
+    fingerprint that keys deduplication and the result cache.
+    """
+
+    id: str
+    tenant: str
+    fingerprint: str
+    submission: dict[str, Any]
+    state: str = SUBMITTED
+    submitted_at: float = 0.0
+    attempts: int = 0
+    slices: int = 0
+    compute_seconds: float = 0.0
+    interruption: str = ""
+    error: Optional[str] = None
+    result: Optional[dict[str, Any]] = None
+
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "fingerprint": self.fingerprint,
+            "submission": self.submission,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "attempts": self.attempts,
+            "slices": self.slices,
+            "compute_seconds": self.compute_seconds,
+        }
+        if self.interruption:
+            out["interruption"] = self.interruption
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["result"] = self.result
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobRecord":
+        if not isinstance(data, dict):
+            raise JournalEntryError(
+                f"job record must be an object, got {type(data).__name__}"
+            )
+        try:
+            state = str(data["state"])
+            if state not in JOB_STATES:
+                raise JournalEntryError(f"unknown job state {state!r}")
+            submission = data["submission"]
+            if not isinstance(submission, dict):
+                raise JournalEntryError("job submission must be an object")
+            result = data.get("result")
+            if result is not None and not isinstance(result, dict):
+                raise JournalEntryError("job result must be an object")
+            return cls(
+                id=str(data["id"]),
+                tenant=str(data["tenant"]),
+                fingerprint=str(data["fingerprint"]),
+                submission=submission,
+                state=state,
+                submitted_at=float(data.get("submitted_at", 0.0)),
+                attempts=int(data.get("attempts", 0)),
+                slices=int(data.get("slices", 0)),
+                compute_seconds=float(data.get("compute_seconds", 0.0)),
+                interruption=str(data.get("interruption", "")),
+                error=None if data.get("error") is None else str(data["error"]),
+                result=result,
+            )
+        except JournalEntryError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalEntryError(f"malformed job record: {exc}") from exc
+
+    # -- API-facing view -----------------------------------------------------
+
+    def public_dict(self) -> dict[str, Any]:
+        """What ``GET /jobs/<id>`` returns (the submission rides along so
+        a client can reconstruct what it asked for)."""
+        return self.to_dict()
+
+
+class JobJournal:
+    """The in-memory job table plus its durable persistence.
+
+    Not thread-safe by design: every mutation happens on the server's
+    event-loop thread (engine slices run in executor threads, but their
+    *outcomes* are applied by the coordinator).
+    """
+
+    def __init__(self, store: DurableStore, telemetry: Optional[Any] = None) -> None:
+        self.store = store
+        self.telemetry = telemetry
+        self.jobs: dict[str, JobRecord] = {}
+        self.quarantined: list[dict[str, Any]] = []
+        self.next_seq = 1
+        self.events: list[str] = []
+        """Human-readable recovery notes (the server logs them)."""
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name, n)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "version": JOURNAL_VERSION,
+            "next_seq": self.next_seq,
+            "jobs": {job_id: record.to_dict() for job_id, record in self.jobs.items()},
+            "quarantined": self.quarantined,
+        }
+
+    def flush(self) -> None:
+        """Persist the journal durably (one atomic, fsync'd, locked,
+        rotated write).  Raises :class:`CheckpointError` on unrecoverable
+        I/O failure — the caller decides whether that is fatal."""
+        self.store.save_document(self.to_dict())
+        self._count("service.journal_flushes")
+
+    def load(self) -> bool:
+        """Replay the newest verifiable journal generation.  Returns
+        whether a journal existed.  Corrupt *entries* are quarantined,
+        never fatal; a corrupt *document* falls back a generation inside
+        the durable store (or raises when nothing verifies)."""
+        doc = self.store.try_load_document()
+        if doc is None:
+            return False
+        if doc.get("schema") != JOURNAL_SCHEMA:
+            raise JournalEntryError(
+                f"not a job journal: schema {doc.get('schema')!r}"
+            )
+        if doc.get("version") != JOURNAL_VERSION:
+            raise JournalEntryError(
+                f"unsupported journal version {doc.get('version')!r} "
+                f"(this build reads version {JOURNAL_VERSION})"
+            )
+        raw_jobs = doc.get("jobs")
+        if not isinstance(raw_jobs, dict):
+            raise JournalEntryError("journal jobs table must be an object")
+        quarantined = doc.get("quarantined")
+        self.quarantined = list(quarantined) if isinstance(quarantined, list) else []
+        self.jobs = {}
+        for job_id, raw in raw_jobs.items():
+            try:
+                record = JobRecord.from_dict(raw)
+            except JournalEntryError as exc:
+                self.quarantined.append(
+                    {"id": str(job_id), "error": str(exc), "entry": raw}
+                )
+                self._count("service.journal_quarantined")
+                self.events.append(f"quarantined corrupt journal entry {job_id}: {exc}")
+                continue
+            self.jobs[record.id] = record
+        try:
+            self.next_seq = max(1, int(doc.get("next_seq", 1)))
+        except (TypeError, ValueError):
+            self.next_seq = 1
+        # Defensive: never reissue an id that exists (a corrupt next_seq
+        # must not cause duplicate jobs).
+        for job_id in self.jobs:
+            if job_id.startswith("j"):
+                try:
+                    self.next_seq = max(self.next_seq, int(job_id[1:]) + 1)
+                except ValueError:
+                    pass
+        return True
+
+    def recover(self) -> list[str]:
+        """Post-restart replay: jobs the dead server left ``running``
+        become ``preempted`` (their checkpoint resumes them); returns
+        the re-admitted job ids in deterministic (submission) order."""
+        recovered = []
+        for record in self.in_order():
+            if record.state == RUNNING:
+                record.state = PREEMPTED
+                record.interruption = "server restarted while job was running"
+                recovered.append(record.id)
+                self._count("service.resumed_jobs")
+                self.events.append(
+                    f"job {record.id} was running at crash; resuming from its checkpoint"
+                )
+        return recovered
+
+    # -- job table -----------------------------------------------------------
+
+    def new_job_id(self) -> str:
+        job_id = f"j{self.next_seq:06d}"
+        self.next_seq += 1
+        return job_id
+
+    def add(self, record: JobRecord) -> None:
+        if record.id in self.jobs:
+            raise JournalEntryError(f"duplicate job id {record.id!r}")
+        if not record.submitted_at:
+            record.submitted_at = time.time()
+        self.jobs[record.id] = record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self.jobs.get(job_id)
+
+    def in_order(self) -> list[JobRecord]:
+        """Records in submission order (ids are monotonic)."""
+        return [self.jobs[k] for k in sorted(self.jobs)]
+
+    def active(self) -> list[JobRecord]:
+        return [r for r in self.in_order() if r.active()]
+
+    def active_by_tenant(self, tenant: str) -> int:
+        return sum(1 for r in self.jobs.values() if r.tenant == tenant and r.active())
+
+    def find_fingerprint(
+        self, fingerprint: str, states: Iterable[str]
+    ) -> Optional[JobRecord]:
+        """Earliest job with this fingerprint in one of ``states`` (the
+        dedupe / result-cache lookup)."""
+        wanted = frozenset(states)
+        for record in self.in_order():
+            if record.fingerprint == fingerprint and record.state in wanted:
+                return record
+        return None

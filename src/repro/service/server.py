@@ -1,0 +1,379 @@
+"""The resilient typechecking job server: asyncio front, sliced engine back.
+
+One process, three moving parts:
+
+* the **HTTP front** (``asyncio.start_server`` + :mod:`.http`) accepts
+  submissions and polls — every request handled on the event loop, so
+  journal mutations are single-threaded by construction;
+* the **pump** (one coroutine) feeds runnable jobs to a small thread
+  pool that runs engine slices (:meth:`JobScheduler.run_slice`), and
+  applies each outcome back on the loop — preempt/resume, retries, and
+  the result cache all live behind it;
+* the **drain path**: SIGTERM/SIGINT stops admission (503), cancels the
+  running slices cooperatively, waits for their checkpoints to flush,
+  persists the journal one last time, and exits **3** — the repo-wide
+  "interrupted, resumable" exit code.  A second signal during the drain
+  force-exits immediately (``os._exit(3)``), the operator's escape
+  hatch when a slice refuses to stop.
+
+A server killed with SIGKILL instead restarts into
+:meth:`JobScheduler.recover`: the journal replays, ``running`` jobs
+resume from their checkpoints, and verdicts come out identical to an
+uninterrupted run (the chaos matrix in ``tests/test_service_chaos.py``
+is the proof).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.runtime.durable import DurableStore
+from repro.runtime.faults import FaultInjector
+from repro.service.admission import AdmissionControl, TenantPolicy
+from repro.service.http import HttpError, Request, read_request, render_response
+from repro.service.journal import JobJournal
+from repro.service.scheduler import JobScheduler, SchedulerConfig, ServiceFaultError
+
+__all__ = ["EXIT_DRAINED", "JobServer", "ServerConfig"]
+
+EXIT_DRAINED = 3
+"""Exit code after a graceful signal-triggered drain (matches the CLI's
+"interrupted, resumable" convention)."""
+
+
+@dataclass(slots=True)
+class ServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 = pick an ephemeral port (announced on stdout at startup)."""
+    data_dir: str = "service-data"
+    max_queue: int = 64
+    workers: int = 2
+    slice_seconds: float = 0.5
+    checkpoint_every: int = 200
+    max_attempts: int = 3
+    read_timeout: float = 5.0
+    max_body: int = 1 << 20
+    max_active_jobs: int = 8
+    max_compute_seconds: Optional[float] = None
+    max_rss_mb: Optional[float] = None
+    max_size_cap: Optional[int] = None
+
+
+class JobServer:
+    """Wires journal + admission + scheduler behind the HTTP front."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        faults: Optional[FaultInjector] = None,
+        telemetry: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        self.config = config
+        self.telemetry = telemetry
+        self.tracer = tracer
+        os.makedirs(config.data_dir, exist_ok=True)
+        # The journal store carries the fault injector: --inject-io-fault
+        # drills (torn writes, crashes mid-rename) hit the job table, the
+        # most valuable thing the server persists.
+        self.journal_store = DurableStore(
+            os.path.join(config.data_dir, "journal.json"),
+            faults=faults,
+            telemetry=telemetry,
+        )
+        self.journal = JobJournal(self.journal_store, telemetry=telemetry)
+        self.admission = AdmissionControl(
+            max_queue=config.max_queue,
+            default_policy=TenantPolicy(
+                max_active_jobs=config.max_active_jobs,
+                max_compute_seconds=config.max_compute_seconds,
+                max_rss_mb=config.max_rss_mb,
+                max_size=config.max_size_cap,
+            ),
+            telemetry=telemetry,
+        )
+        self.scheduler = JobScheduler(
+            config.data_dir,
+            self.journal,
+            self.admission,
+            config=SchedulerConfig(
+                slice_seconds=config.slice_seconds,
+                checkpoint_every=config.checkpoint_every,
+                max_attempts=config.max_attempts,
+                workers=config.workers,
+            ),
+            telemetry=telemetry,
+            tracer=tracer,
+            faults=faults,
+        )
+        self.exit_code = 0
+        self.started_jobs = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._done: Optional[asyncio.Event] = None
+        self._draining = False
+        self._pump_task: Optional[asyncio.Task] = None
+        self._signals_installed: list[int] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        print(f"repro-serve: {message}", file=sys.stderr, flush=True)
+
+    async def start(self) -> int:
+        """Recover, bind, announce; returns the bound port."""
+        recovered = self.scheduler.recover()
+        for note in self.journal.events:
+            self._log(note)
+        self.journal.events.clear()
+        if recovered:
+            self._log(f"recovered {len(recovered)} preempted job(s): {', '.join(recovered)}")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-slice"
+        )
+        self._wake = asyncio.Event()
+        self._done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        port = self._server.sockets[0].getsockname()[1]
+        # The announcement is the smoke tests' handshake: parsed from
+        # stdout to learn the ephemeral port.  Keep the format stable.
+        print(
+            f"repro-serve: listening on http://{self.config.host}:{port}",
+            flush=True,
+        )
+        self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+        return port
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._on_signal, sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                continue
+            self._signals_installed.append(sig)
+
+    def _on_signal(self, sig: int) -> None:
+        if self._draining:
+            # Second signal during the drain: the operator means it.
+            self._log("second signal during drain; forcing exit")
+            os._exit(EXIT_DRAINED)
+        self._log(f"received signal {sig}; draining (signal again to force exit)")
+        # Re-arm both signals as raw force-exit handlers *before* the
+        # drain starts: a second delivery must work even when the drain
+        # has the event loop blocked (executor shutdown joins threads),
+        # where a loop-dispatched callback would never run.
+        for other in self._signals_installed:
+            try:
+                signal.signal(other, _force_exit)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+        asyncio.get_running_loop().create_task(self.drain())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, checkpoint running jobs,
+        flush the journal, release the port, report exit code 3."""
+        if self._draining:
+            return
+        self._draining = True
+        drain_started = time.perf_counter()
+        self.scheduler.drain_begin()
+        if self._wake is not None:
+            self._wake.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pump_task is not None:
+            await self._pump_task
+        try:
+            self.scheduler.flush()
+        except Exception as exc:  # noqa: BLE001 - drain must reach exit
+            self._log(f"final journal flush failed: {exc}")
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "drain", drain_started, time.perf_counter() - drain_started,
+                active=len(self.journal.active()),
+            )
+        active = len(self.journal.active())
+        self._log(f"drained; {active} active job(s) checkpointed for resume")
+        self.exit_code = EXIT_DRAINED
+        if self._done is not None:
+            self._done.set()
+
+    async def run(self) -> int:
+        """Start, serve until drained, return the exit code."""
+        await self.start()
+        self.install_signal_handlers()
+        try:
+            assert self._done is not None
+            await self._done.wait()
+        finally:
+            loop = asyncio.get_running_loop()
+            for sig in self._signals_installed:
+                try:
+                    loop.remove_signal_handler(sig)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        return self.exit_code
+
+    async def stop(self) -> None:
+        """Programmatic shutdown for tests (no signal, same drain path)."""
+        await self.drain()
+
+    # -- the pump ------------------------------------------------------------
+
+    async def _pump(self) -> None:
+        """Feed runnable jobs to the executor; apply outcomes on the loop."""
+        loop = asyncio.get_running_loop()
+        running: dict[asyncio.Future, str] = {}
+        assert self._wake is not None
+        while True:
+            while not self._draining and len(running) < self.config.workers:
+                record = self.scheduler.next_runnable()
+                if record is None:
+                    break
+                try:
+                    token = self.scheduler.start_slice(record)
+                except Exception as exc:  # noqa: BLE001 - journal flush failure
+                    self._log(f"cannot start job {record.id}: {exc}")
+                    self.scheduler.apply_outcome(
+                        record.id,
+                        _flush_failure_outcome(exc),
+                    )
+                    continue
+                self.started_jobs += 1
+                future = loop.run_in_executor(
+                    self._executor, self.scheduler.run_slice, record.id, token
+                )
+                running[future] = record.id
+            if not running:
+                if self._draining:
+                    break
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.05)
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+                continue
+            done, _ = await asyncio.wait(
+                set(running), return_when=asyncio.FIRST_COMPLETED, timeout=0.5
+            )
+            for future in done:
+                job_id = running.pop(future)
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # noqa: BLE001 - executor boundary
+                    outcome = _flush_failure_outcome(exc)
+                try:
+                    self.scheduler.apply_outcome(job_id, outcome)
+                except ServiceFaultError as exc:
+                    # An injected "fail" at preempt/complete/journal: the
+                    # transition did not flush; the job replays from its
+                    # previous durable state on the next pass.
+                    self._log(f"transition fault on job {job_id}: {exc}")
+
+    # -- HTTP ----------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.perf_counter()
+        status = 500
+        method = path = ""
+        try:
+            try:
+                request = await read_request(
+                    reader, max_body=self.config.max_body, timeout=self.config.read_timeout
+                )
+            except HttpError as exc:
+                status = exc.status
+                if status == 408 and self.telemetry is not None:
+                    self.telemetry.count("service.slow_clients")
+                writer.write(render_response(status, {"error": exc.message}))
+                return
+            if request is None:
+                return
+            method, path = request.method, request.path
+            try:
+                status, payload, headers = self._route(request)
+            except HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+                headers = (
+                    {"Retry-After": f"{exc.retry_after:.0f}"} if exc.retry_after else None
+                )
+            except ServiceFaultError as exc:
+                status, payload, headers = 500, {"error": str(exc)}, None
+            writer.write(render_response(status, payload, headers))
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.count("service.requests")
+            if self.tracer is not None and self.tracer.enabled and method:
+                self.tracer.emit(
+                    "request", started, time.perf_counter() - started,
+                    method=method, path=path, status=status,
+                )
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            writer.close()
+
+    def _route(self, request: Request) -> tuple[int, Any, Optional[dict[str, str]]]:
+        method, path = request.method, request.path
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "draining": self._draining}, None
+        if path == "/stats" and method == "GET":
+            stats = self.scheduler.stats()
+            if self.telemetry is not None:
+                stats["counters"] = dict(self.telemetry.to_dict().get("counters", {}))
+            return 200, stats, None
+        if path == "/jobs" and method == "POST":
+            status, body = self.scheduler.submit(request.json())
+            if self._wake is not None:
+                self._wake.set()
+            headers = None
+            retry_after = body.pop("retry_after", None)
+            if retry_after is not None:
+                headers = {"Retry-After": f"{retry_after:.0f}"}
+            return status, body, headers
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": [r.public_dict() for r in self.journal.in_order()]}, None
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            if method == "GET":
+                record = self.journal.get(job_id)
+                if record is None:
+                    raise HttpError(404, f"no such job {job_id!r}")
+                return 200, record.public_dict(), None
+            if method == "DELETE":
+                status, body = self.scheduler.cancel(job_id)
+                return status, body, None
+            raise HttpError(405, f"{method} not supported on {path}")
+        if path in ("/jobs", "/healthz", "/stats"):
+            raise HttpError(405, f"{method} not supported on {path}")
+        raise HttpError(404, f"no such endpoint {path!r}")
+
+
+def _force_exit(signum, frame):  # pragma: no cover - exits the process
+    os._exit(EXIT_DRAINED)
+
+
+def _flush_failure_outcome(exc: BaseException):
+    from repro.service.scheduler import SliceOutcome
+
+    return SliceOutcome(kind="error", error=f"{type(exc).__name__}: {exc}", retryable=True)

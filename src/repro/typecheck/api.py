@@ -60,6 +60,7 @@ def typecheck(
     use_eval_cache: bool = True,
     obs: Optional[object] = None,
     handle_signals: bool = False,
+    heartbeat_timeout: Optional[float] = None,
 ) -> TypecheckResult:
     """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
 
@@ -96,9 +97,30 @@ def typecheck(
     instance boundary with the ``INTERRUPTED`` verdict and a resumable
     checkpoint, turning ``kill <pid>`` into "pause and persist".  The
     caller still owns persisting the returned checkpoint (the CLI does).
+
+    ``heartbeat_timeout`` overrides the supervisor's hang-detection
+    threshold (seconds a running worker may stay silent before it is
+    declared hung and its shard retried; default
+    :attr:`~repro.runtime.supervisor.SupervisorConfig.hang_timeout`).
+    Lower it when candidate evaluations are fast and livelocked workers
+    should be reaped quickly; raise it when a single evaluation can
+    legitimately take longer than the default.  Only meaningful for
+    sharded runs (``workers > 1``); it composes with an explicit
+    ``supervisor`` config, overriding just this field.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
+    if heartbeat_timeout is not None:
+        if heartbeat_timeout <= 0:
+            raise ValueError(f"heartbeat_timeout must be positive, got {heartbeat_timeout}")
+        import dataclasses
+
+        from repro.runtime.supervisor import SupervisorConfig
+
+        if supervisor is None:
+            supervisor = SupervisorConfig(workers=workers, hang_timeout=heartbeat_timeout)
+        else:
+            supervisor = dataclasses.replace(supervisor, hang_timeout=heartbeat_timeout)
 
     if handle_signals:
         from repro.runtime.control import CancellationToken

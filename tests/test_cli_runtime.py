@@ -178,3 +178,30 @@ class TestInstancesDeadline:
         rc = main(["instances", "--dtd", "a -> b*", "--max-size", "3"])
         assert rc == 0
         assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+
+class TestHeartbeatTimeoutFlag:
+    def test_hung_worker_reaped_verdict_identical(self, query_file, capsys):
+        rc = main(typecheck_args(query_file))
+        assert rc == 0
+        sequential = capsys.readouterr().out
+
+        rc = main(
+            typecheck_args(
+                query_file,
+                "--workers", "2",
+                "--heartbeat-timeout", "0.6",
+                "--inject-worker-kill", "0:0:1:hang",
+            )
+        )
+        assert rc == 0
+        sharded = capsys.readouterr().out
+        verdict = next(l for l in sequential.splitlines() if "verdict:" in l)
+        assert verdict in sharded
+
+    @pytest.mark.parametrize("bad", ["-1", "0"])
+    def test_nonpositive_timeout_rejected_by_parser(self, query_file, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(typecheck_args(query_file, "--heartbeat-timeout", bad))
+        assert exc.value.code == EXIT_USAGE
+        assert "positive" in capsys.readouterr().err

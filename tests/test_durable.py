@@ -338,3 +338,109 @@ def test_fallback_picks_newest_verifiable_generation(tmp_path_factory, data):
         str(root / "g.ckpt"), generations=generations, fsync=False, sleep=lambda s: None
     )
     assert fresh.load_checkpoint() == ckpt(generations - 1 - corrupt_newest)
+
+
+# -- inter-process advisory lock ----------------------------------------------
+
+
+class TestAdvisoryLock:
+    def test_held_lock_fails_loudly_with_holder_pid(self, tmp_path):
+        holder = store_at(tmp_path)
+        fd = holder._acquire_lock()
+        assert fd is not None
+
+        telemetry = Telemetry()
+        contender = store_at(tmp_path, telemetry=telemetry)
+        with pytest.raises(CheckpointError) as err:
+            contender.save_checkpoint(ckpt(1))
+        # The error names the holding process and the lock file.
+        assert str(os.getpid()) in str(err.value)
+        assert contender.lock_path in str(err.value)
+        assert telemetry.to_dict()["counters"]["durable.lock_conflicts"] == 1
+
+        holder._release_lock(fd)
+        contender.save_checkpoint(ckpt(1))  # contention gone, save works
+        assert contender.load_checkpoint() == ckpt(1)
+
+    def test_lock_is_released_after_every_save(self, tmp_path):
+        a = store_at(tmp_path)
+        b = store_at(tmp_path)
+        a.save_checkpoint(ckpt(1))
+        b.save_checkpoint(ckpt(2))  # would raise if a held the lock
+        assert a.load_checkpoint() == ckpt(2)
+        assert os.path.exists(a.lock_path)
+
+    def test_locking_can_be_disabled(self, tmp_path):
+        holder = store_at(tmp_path)
+        fd = holder._acquire_lock()
+        unlocked = store_at(tmp_path, locking=False)
+        unlocked.save_checkpoint(ckpt(3))  # ignores the held lock
+        assert unlocked.load_checkpoint() == ckpt(3)
+        holder._release_lock(fd)
+
+    def test_clear_removes_lock_file(self, tmp_path):
+        store = store_at(tmp_path)
+        store.save_checkpoint(ckpt(1))
+        store.clear()
+        assert not os.path.exists(store.path)
+        assert not os.path.exists(store.lock_path)
+
+
+# -- quarantine cap -----------------------------------------------------------
+
+
+class TestQuarantineCap:
+    def test_corrupt_evidence_capped_at_generation_count(self, tmp_path):
+        telemetry = Telemetry()
+        for n in range(5):
+            store = store_at(tmp_path, generations=2, telemetry=telemetry)
+            store.save_checkpoint(ckpt(n))
+            store.save_checkpoint(ckpt(n + 10))
+            with open(store.path, "r+b") as fh:
+                fh.seek(40)
+                fh.write(b"\xff\xfe")
+            reader = store_at(tmp_path, generations=2, telemetry=telemetry)
+            assert reader.load_checkpoint() == ckpt(n)  # fallback still works
+        corrupt = [name for name in os.listdir(tmp_path) if ".corrupt" in name]
+        assert 1 <= len(corrupt) <= 2, corrupt
+        counters = telemetry.to_dict()["counters"]
+        assert counters["durable.quarantined"] == 5
+        assert counters["durable.corrupt_pruned"] >= 3
+
+    def test_pruning_is_logged(self, tmp_path):
+        for n in range(4):
+            store = store_at(tmp_path, generations=1)
+            store.save_checkpoint(ckpt(n))
+            with open(store.path, "r+b") as fh:
+                fh.seek(40)
+                fh.write(b"\xff\xfe")
+            reader = store_at(tmp_path, generations=1)
+            with pytest.raises(CheckpointError):
+                reader.load_checkpoint()
+        assert any("pruned quarantined file" in note for note in reader.events)
+
+
+# -- raw document API (journal sharing) ---------------------------------------
+
+
+class TestDocumentStore:
+    def test_round_trip_and_missing(self, tmp_path):
+        store = store_at(tmp_path)
+        assert store.try_load_document() is None
+        with pytest.raises(CheckpointError):
+            store.load_document()
+        store.save_document({"jobs": [1, 2], "nested": {"ok": True}})
+        assert store.load_document() == {"jobs": [1, 2], "nested": {"ok": True}}
+        fresh = store_at(tmp_path)
+        assert fresh.try_load_document() == {"jobs": [1, 2], "nested": {"ok": True}}
+
+    def test_corrupt_newest_document_falls_back(self, tmp_path):
+        store = store_at(tmp_path, generations=2)
+        store.save_document({"rev": 1})
+        store.save_document({"rev": 2})
+        with open(store.path, "r+b") as fh:
+            fh.seek(30)
+            fh.write(b"\x00\x00")
+        fresh = store_at(tmp_path, generations=2)
+        assert fresh.load_document() == {"rev": 1}
+        assert os.path.exists(f"{store.path}.corrupt")

@@ -411,7 +411,7 @@ class TestSummarize:
         assert {"search", "label_tree", "evaluate"} <= phases
         assert len(summary["slowest_trees"]) <= 2
         text = render_summary(summary)
-        assert "trace summary (repro.obs.trace v2)" in text
+        assert f"trace summary (repro.obs.trace v{TRACE_SCHEMA_VERSION})" in text
         assert "slowest label trees" in text
 
 

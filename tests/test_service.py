@@ -1,0 +1,733 @@
+"""The typechecking job service, in-process: journal, admission,
+scheduler state machine, HTTP layer, and the asyncio server end to end.
+
+The subprocess chaos matrix (kill-and-restart exactness) lives in
+``tests/test_service_chaos.py``; this file drives every layer directly
+so failures localize.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.dtd import DTD
+from repro.obs import Telemetry
+from repro.ql.ast import Condition, Const, ConstructNode, Edge, Query, Where
+from repro.ql.serde import query_to_dict
+from repro.runtime import DurableStore, FaultInjector, FaultPlan, ServiceFault
+from repro.service import (
+    AdmissionControl,
+    JobJournal,
+    JobScheduler,
+    JobServer,
+    SchedulerConfig,
+    ServerConfig,
+    TenantPolicy,
+)
+from repro.service.journal import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PREEMPTED,
+    RUNNING,
+    SUBMITTED,
+    JobRecord,
+)
+from repro.service.http import HttpError, read_request, render_response
+from repro.service.scheduler import SubmissionError, parse_submission
+from repro.typecheck import typecheck
+from repro.typecheck.search import SearchBudget
+
+
+def condition_query() -> Query:
+    return Query(
+        where=Where.of("root", [Edge.of(None, "X", "a")], [Condition("X", "=", Const(1))]),
+        construct=ConstructNode("out", (), (ConstructNode("item", ("X",)),)),
+    )
+
+
+def payload(max_size=5, max_instances=50_000, **overrides):
+    base = {
+        "query": query_to_dict(condition_query()),
+        "input_dtd": "root -> a*",
+        "output_dtd": "out -> item^>=0",
+        "output_unordered": True,
+        "max_size": max_size,
+        "max_instances": max_instances,
+    }
+    base.update(overrides)
+    return base
+
+
+def reference_result(max_size=5, max_instances=50_000):
+    sub = parse_submission(payload(max_size=max_size, max_instances=max_instances))
+    return typecheck(sub.query, sub.tau1, sub.tau2, budget=sub.budget)
+
+
+def make_scheduler(tmp_path, *, config=None, admission=None, faults=None, telemetry=None):
+    store = DurableStore(str(tmp_path / "journal.json"), telemetry=telemetry)
+    journal = JobJournal(store, telemetry=telemetry)
+    admission = admission or AdmissionControl(max_queue=16, telemetry=telemetry)
+    return JobScheduler(
+        str(tmp_path),
+        journal,
+        admission,
+        config=config or SchedulerConfig(slice_seconds=0.5, checkpoint_every=100),
+        telemetry=telemetry,
+        faults=faults,
+    )
+
+
+def pump(scheduler, max_iters=500, wait_backoff=True):
+    """Drive the scheduler synchronously until nothing is runnable."""
+    for _ in range(max_iters):
+        record = scheduler.next_runnable()
+        if record is None:
+            if wait_backoff and scheduler.retry_at and scheduler.journal.active():
+                time.sleep(0.02)
+                continue
+            return
+        token = scheduler.start_slice(record)
+        outcome = scheduler.run_slice(record.id, token)
+        scheduler.apply_outcome(record.id, outcome)
+    raise AssertionError("scheduler did not converge")
+
+
+# ---------------------------------------------------------------------------
+# Journal
+
+
+class TestJournal:
+    def test_round_trip_and_recover(self, tmp_path):
+        store = DurableStore(str(tmp_path / "journal.json"))
+        journal = JobJournal(store)
+        a = JobRecord(id=journal.new_job_id(), tenant="t", fingerprint="fp-a", submission={"x": 1})
+        b = JobRecord(id=journal.new_job_id(), tenant="t", fingerprint="fp-b", submission={"x": 2})
+        journal.add(a)
+        journal.add(b)
+        a.state = RUNNING
+        b.state = DONE
+        b.result = {"verdict": "typechecks"}
+        journal.flush()
+
+        replay = JobJournal(DurableStore(str(tmp_path / "journal.json")))
+        assert replay.load() is True
+        recovered = replay.recover()
+        assert recovered == [a.id]
+        assert replay.get(a.id).state == PREEMPTED
+        assert replay.get(a.id).interruption
+        assert replay.get(b.id).state == DONE
+        assert replay.get(b.id).result == {"verdict": "typechecks"}
+        # Ids are never reissued after replay.
+        assert replay.new_job_id() not in replay.jobs
+
+    def test_load_missing_is_fresh(self, tmp_path):
+        journal = JobJournal(DurableStore(str(tmp_path / "journal.json")))
+        assert journal.load() is False
+        assert journal.jobs == {}
+
+    def test_corrupt_entry_is_quarantined_not_fatal(self, tmp_path):
+        store = DurableStore(str(tmp_path / "journal.json"))
+        journal = JobJournal(store)
+        good = JobRecord(id=journal.new_job_id(), tenant="t", fingerprint="fp", submission={})
+        journal.add(good)
+        doc = journal.to_dict()
+        doc["jobs"]["j-bad"] = {"id": "j-bad", "state": "exploded"}
+        store.save_document(doc)
+
+        telemetry = Telemetry()
+        replay = JobJournal(DurableStore(str(tmp_path / "journal.json")), telemetry=telemetry)
+        assert replay.load() is True
+        assert good.id in replay.jobs
+        assert "j-bad" not in replay.jobs
+        assert len(replay.quarantined) == 1
+        assert "exploded" in replay.quarantined[0]["error"]
+        assert telemetry.counters["service.journal_quarantined"] == 1
+        assert any("quarantined" in note for note in replay.events)
+
+    def test_corrupt_next_seq_never_reissues_ids(self, tmp_path):
+        store = DurableStore(str(tmp_path / "journal.json"))
+        journal = JobJournal(store)
+        for _ in range(3):
+            journal.add(JobRecord(id=journal.new_job_id(), tenant="t", fingerprint="f", submission={}))
+        doc = journal.to_dict()
+        doc["next_seq"] = 1  # lie
+        store.save_document(doc)
+        replay = JobJournal(DurableStore(str(tmp_path / "journal.json")))
+        replay.load()
+        assert replay.new_job_id() == "j000004"
+
+
+# ---------------------------------------------------------------------------
+# Admission
+
+
+class TestAdmission:
+    def test_queue_overflow_sheds_with_retry_after(self):
+        ctl = AdmissionControl(max_queue=2)
+        dec = ctl.admit(
+            "t", requested_max_size=4, active_total=2, tenant_active=0,
+            workers=2, slice_seconds=0.5,
+        )
+        assert not dec.admitted
+        assert dec.status == 429
+        assert dec.retry_after >= 1.0
+        assert "queue is full" in dec.reason
+
+    def test_tenant_cap_is_isolated(self):
+        ctl = AdmissionControl(max_queue=100, default_policy=TenantPolicy(max_active_jobs=1))
+        busy = ctl.admit(
+            "noisy", requested_max_size=4, active_total=1, tenant_active=1,
+            workers=2, slice_seconds=0.5,
+        )
+        assert busy.status == 429 and "noisy" in busy.reason
+        other = ctl.admit(
+            "quiet", requested_max_size=4, active_total=1, tenant_active=0,
+            workers=2, slice_seconds=0.5,
+        )
+        assert other.admitted
+
+    def test_draining_refuses_with_503(self):
+        dec = AdmissionControl().admit(
+            "t", requested_max_size=4, active_total=0, tenant_active=0,
+            workers=2, slice_seconds=0.5, draining=True,
+        )
+        assert dec.status == 503 and not dec.admitted
+
+    def test_oversized_budget_is_422(self):
+        ctl = AdmissionControl(default_policy=TenantPolicy(max_size=6))
+        dec = ctl.admit(
+            "t", requested_max_size=9, active_total=0, tenant_active=0,
+            workers=2, slice_seconds=0.5,
+        )
+        assert dec.status == 422 and "max_size=9" in dec.reason
+
+    def test_retry_after_is_clamped(self):
+        ctl = AdmissionControl()
+        assert ctl.retry_after(0, 4, 0.5) == 1.0
+        assert ctl.retry_after(10_000, 1, 0.5) == 60.0
+
+
+# ---------------------------------------------------------------------------
+# Submission validation
+
+
+class TestParseSubmission:
+    def test_missing_keys(self):
+        with pytest.raises(SubmissionError, match="missing 'query'"):
+            parse_submission({"input_dtd": "root -> a*", "output_dtd": "out -> a*"})
+
+    def test_bad_query(self):
+        with pytest.raises(SubmissionError, match="invalid query"):
+            parse_submission(payload(query={"nope": 1}))
+
+    def test_bad_dtd(self):
+        with pytest.raises(SubmissionError, match="invalid input DTD"):
+            parse_submission(payload(input_dtd="root -> ((("))
+
+    def test_bad_budget(self):
+        with pytest.raises(SubmissionError, match="max_size"):
+            parse_submission(payload(max_size=0))
+
+    def test_fingerprint_is_semantic_identity(self):
+        a = parse_submission(payload())
+        b = parse_submission(payload())
+        c = parse_submission(payload(max_size=6))
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+        forced = parse_submission(payload(force_search=True))
+        assert forced.fingerprint != a.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Scheduler state machine
+
+
+class TestScheduler:
+    def test_submit_run_to_done_matches_direct_typecheck(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        status, body = scheduler.submit(payload())
+        assert status == 202 and body["state"] == SUBMITTED
+        pump(scheduler)
+        record = scheduler.journal.get(body["id"])
+        assert record.state == DONE
+        ref = reference_result()
+        assert record.result["verdict"] == ref.verdict.value
+        assert record.result["valued_trees_checked"] == ref.stats.valued_trees_checked
+
+    def test_preemption_slices_and_resumes_exactly(self, tmp_path):
+        # Slices must be wide enough to dwarf the fixed per-slice cost
+        # (journal flush + checkpoint resume, several ms on a loaded
+        # 1-core box) or the job needs hundreds of slices to finish.
+        scheduler = make_scheduler(
+            tmp_path,
+            config=SchedulerConfig(slice_seconds=0.05, checkpoint_every=100),
+        )
+        status, body = scheduler.submit(payload(max_size=9, max_instances=8000))
+        assert status == 202
+        pump(scheduler)
+        record = scheduler.journal.get(body["id"])
+        assert record.state == DONE
+        assert record.slices >= 2, "job should have been preempted at least once"
+        ref = reference_result(max_size=9, max_instances=8000)
+        assert record.result["verdict"] == ref.verdict.value
+        assert record.result["valued_trees_checked"] == ref.stats.valued_trees_checked
+
+    def test_round_robin_no_starvation(self, tmp_path):
+        scheduler = make_scheduler(
+            tmp_path,
+            config=SchedulerConfig(slice_seconds=0.05, checkpoint_every=100),
+        )
+        _, a = scheduler.submit(payload(max_size=9, max_instances=4000))
+        _, b = scheduler.submit(payload(max_size=9, max_instances=4001))
+        order = []
+        for _ in range(500):
+            record = scheduler.next_runnable()
+            if record is None:
+                break
+            order.append(record.id)
+            token = scheduler.start_slice(record)
+            scheduler.apply_outcome(record.id, scheduler.run_slice(record.id, token))
+        assert scheduler.journal.get(a["id"]).state == DONE
+        assert scheduler.journal.get(b["id"]).state == DONE
+        # Round robin: the second job gets its first slice right after
+        # the first job's first slice, not after the first job finishes.
+        assert order[0] == a["id"] and order[1] == b["id"]
+        if order.count(a["id"]) >= 2:
+            assert order[2] == a["id"]
+
+    def test_result_cache_serves_repeat_submission(self, tmp_path):
+        telemetry = Telemetry()
+        scheduler = make_scheduler(tmp_path, telemetry=telemetry)
+        _, body = scheduler.submit(payload())
+        pump(scheduler)
+        t0 = time.perf_counter()
+        status, repeat = scheduler.submit(payload())
+        elapsed = time.perf_counter() - t0
+        assert status == 200 and repeat["cache"] == "hit"
+        assert repeat["result"]["verdict"] == scheduler.journal.get(body["id"]).result["verdict"]
+        assert elapsed < 0.010, f"cache hit took {elapsed * 1000:.2f}ms"
+        assert telemetry.counters["service.cache_hits"] == 1
+        # no_cache opts out and runs a fresh job.
+        status, fresh = scheduler.submit(payload(no_cache=True))
+        assert status == 202 and "id" in fresh
+
+    def test_active_duplicates_coalesce(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        _, first = scheduler.submit(payload())
+        status, dup = scheduler.submit(payload())
+        assert status == 202 and dup["deduplicated"] is True
+        assert dup["id"] == first["id"]
+        assert len(scheduler.journal.jobs) == 1
+
+    def test_poison_job_fails_after_max_attempts(self, tmp_path):
+        faults = FaultInjector(
+            FaultPlan(
+                service_faults=frozenset(
+                    ServiceFault("slice", i, "fail") for i in range(10)
+                )
+            )
+        )
+        telemetry = Telemetry()
+        scheduler = make_scheduler(
+            tmp_path,
+            config=SchedulerConfig(
+                slice_seconds=0.5, max_attempts=3, retry_backoff_base=0.01
+            ),
+            faults=faults,
+            telemetry=telemetry,
+        )
+        _, body = scheduler.submit(payload())
+        pump(scheduler)
+        record = scheduler.journal.get(body["id"])
+        assert record.state == FAILED
+        assert record.attempts == 3
+        assert "injected service fault" in record.error
+        assert telemetry.counters["service.retries"] == 2
+        assert telemetry.counters["service.poisoned"] == 1
+
+    def test_crash_storm_retries_then_succeeds(self, tmp_path):
+        faults = FaultInjector(
+            FaultPlan(
+                service_faults=frozenset(
+                    {ServiceFault("slice", 0, "fail"), ServiceFault("slice", 1, "fail")}
+                )
+            )
+        )
+        scheduler = make_scheduler(
+            tmp_path,
+            config=SchedulerConfig(
+                slice_seconds=0.5, max_attempts=3, retry_backoff_base=0.01
+            ),
+            faults=faults,
+        )
+        _, body = scheduler.submit(payload())
+        pump(scheduler)
+        record = scheduler.journal.get(body["id"])
+        assert record.state == DONE
+        assert record.attempts == 2
+        ref = reference_result()
+        assert record.result["verdict"] == ref.verdict.value
+
+    def test_compute_budget_exhaustion_fails_the_job(self, tmp_path):
+        admission = AdmissionControl(
+            default_policy=TenantPolicy(max_compute_seconds=1e-9)
+        )
+        scheduler = make_scheduler(tmp_path, admission=admission)
+        _, body = scheduler.submit(payload(max_size=9, max_instances=50_000))
+        pump(scheduler)
+        record = scheduler.journal.get(body["id"])
+        assert record.state == FAILED
+        assert "budget" in record.error
+
+    def test_memory_ceiling_fails_rather_than_loops(self, tmp_path):
+        admission = AdmissionControl(default_policy=TenantPolicy(max_rss_mb=0.001))
+        scheduler = make_scheduler(tmp_path, admission=admission)
+        _, body = scheduler.submit(payload())
+        pump(scheduler)
+        record = scheduler.journal.get(body["id"])
+        assert record.state == FAILED
+        assert "memory ceiling" in record.error
+
+    def test_cancel_queued_and_running(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        _, queued = scheduler.submit(payload())
+        status, body = scheduler.cancel(queued["id"])
+        assert status == 200 and body["state"] == CANCELLED
+
+        _, running = scheduler.submit(payload(max_size=9, no_cache=True))
+        record = scheduler.next_runnable()
+        token = scheduler.start_slice(record)
+        status, body = scheduler.cancel(record.id)
+        assert status == 202 and body["cancelling"] is True
+        outcome = scheduler.run_slice(record.id, token)
+        scheduler.apply_outcome(record.id, outcome)
+        assert scheduler.journal.get(record.id).state == CANCELLED
+
+        status, body = scheduler.cancel(record.id)
+        assert status == 409
+        status, _ = scheduler.cancel("j999999")
+        assert status == 404
+
+    def test_crash_replay_resumes_to_identical_verdict(self, tmp_path):
+        """In-process SIGKILL simulation: drop the scheduler mid-job and
+        rebuild everything from disk."""
+        config = SchedulerConfig(slice_seconds=0.03, checkpoint_every=50)
+        scheduler = make_scheduler(tmp_path, config=config)
+        _, body = scheduler.submit(payload(max_size=9, max_instances=6000))
+        # Run a couple of slices, then "crash" with the job mid-flight.
+        for _ in range(3):
+            record = scheduler.next_runnable()
+            token = scheduler.start_slice(record)
+            outcome = scheduler.run_slice(record.id, token)
+            scheduler.apply_outcome(record.id, outcome)
+        record = scheduler.next_runnable()
+        scheduler.start_slice(record)  # durably RUNNING; never finishes
+        del scheduler
+
+        reborn = make_scheduler(tmp_path, config=config)
+        recovered = reborn.recover()
+        assert recovered == [body["id"]]
+        assert reborn.journal.get(body["id"]).state == PREEMPTED
+        pump(reborn)
+        record = reborn.journal.get(body["id"])
+        assert record.state == DONE
+        ref = reference_result(max_size=9, max_instances=6000)
+        assert record.result["verdict"] == ref.verdict.value
+        assert record.result["valued_trees_checked"] == ref.stats.valued_trees_checked
+        assert record.result["label_trees_checked"] == ref.stats.label_trees_checked
+
+    def test_recover_reseeds_result_cache(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        _, body = scheduler.submit(payload())
+        pump(scheduler)
+        reborn = make_scheduler(tmp_path)
+        reborn.recover()
+        status, repeat = reborn.submit(payload())
+        assert status == 200 and repeat["cache"] == "hit"
+
+    def test_unreadable_job_checkpoint_restarts_search(self, tmp_path):
+        config = SchedulerConfig(slice_seconds=0.03, checkpoint_every=50)
+        scheduler = make_scheduler(tmp_path, config=config)
+        _, body = scheduler.submit(payload(max_size=9, max_instances=4000))
+        record = scheduler.next_runnable()
+        token = scheduler.start_slice(record)
+        scheduler.apply_outcome(record.id, scheduler.run_slice(record.id, token))
+        assert scheduler.journal.get(body["id"]).state == PREEMPTED
+        # Vaporize every generation of the job checkpoint into garbage.
+        store = scheduler.job_store(body["id"])
+        for index in range(store.generations):
+            path = store.generation_path(index)
+            try:
+                store.fs.write_bytes(path + ".tmp", b"\x00garbage\x00")
+                store.fs.replace(path + ".tmp", path)
+            except FileNotFoundError:
+                pass
+        pump(scheduler)
+        record = scheduler.journal.get(body["id"])
+        assert record.state == DONE
+        ref = reference_result(max_size=9, max_instances=4000)
+        assert record.result["verdict"] == ref.verdict.value
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+
+
+def _request_from(data: bytes, timeout=1.0, max_body=1 << 20, eof=True):
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return await read_request(reader, max_body=max_body, timeout=timeout)
+
+    return asyncio.run(inner())
+
+
+class TestHttp:
+    def test_parses_post_with_body(self):
+        body = b'{"a": 1}'
+        raw = (
+            b"POST /jobs HTTP/1.1\r\nContent-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        request = _request_from(raw)
+        assert request.method == "POST"
+        assert request.path == "/jobs"
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert _request_from(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _request_from(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+        with pytest.raises(HttpError) as err:
+            _request_from(raw, max_body=1024)
+        assert err.value.status == 413
+
+    def test_slow_client_times_out_408(self):
+        with pytest.raises(HttpError) as err:
+            _request_from(b"POST /jobs HTTP/1.1\r\nContent-L", timeout=0.05, eof=False)
+        assert err.value.status == 408
+
+    def test_stalled_body_times_out_408(self):
+        raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\npartial"
+        with pytest.raises(HttpError) as err:
+            _request_from(raw, timeout=0.05, eof=False)
+        assert err.value.status == 408
+
+    def test_chunked_is_rejected(self):
+        raw = b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpError) as err:
+            _request_from(raw)
+        assert err.value.status == 400
+
+    def test_render_response_shape(self):
+        raw = render_response(429, {"error": "full"}, {"Retry-After": "3"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 3" in head
+        assert b"Connection: close" in head
+        assert json.loads(body) == {"error": "full"}
+
+
+# ---------------------------------------------------------------------------
+# Server end to end (in-process asyncio)
+
+
+async def _raw_call(port, method, path, body=None, host="127.0.0.1"):
+    reader, writer = await asyncio.open_connection(host, port)
+    data = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(data)}\r\n\r\n"
+    ).encode()
+    writer.write(head + data)
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(-1), 30)
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    return status, json.loads(body_part), head_part.decode("latin-1")
+
+
+def _server(tmp_path, **overrides):
+    defaults = dict(
+        data_dir=str(tmp_path / "data"),
+        port=0,
+        slice_seconds=0.05,
+        checkpoint_every=100,
+        workers=2,
+    )
+    defaults.update(overrides)
+    return JobServer(ServerConfig(**defaults), telemetry=Telemetry())
+
+
+class TestServerEndToEnd:
+    def test_submit_poll_done_and_cache(self, tmp_path):
+        async def scenario():
+            server = _server(tmp_path)
+            port = await server.start()
+            status, health, _ = await _raw_call(port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+
+            status, body, _ = await _raw_call(port, "POST", "/jobs", payload())
+            assert status == 202
+            job_id = body["id"]
+            for _ in range(400):
+                status, job, _ = await _raw_call(port, "GET", f"/jobs/{job_id}")
+                if job["state"] in (DONE, FAILED):
+                    break
+                await asyncio.sleep(0.02)
+            assert job["state"] == DONE
+
+            t0 = time.perf_counter()
+            status, again, _ = await _raw_call(port, "POST", "/jobs", payload())
+            elapsed = time.perf_counter() - t0
+            assert status == 200 and again["cache"] == "hit"
+            assert elapsed < 0.050  # loopback round-trip; lookup itself is <10ms
+
+            status, listing, _ = await _raw_call(port, "GET", "/jobs")
+            assert [j["id"] for j in listing["jobs"]] == [job_id]
+            status, stats, _ = await _raw_call(port, "GET", "/stats")
+            assert stats["jobs"][DONE] == 1
+            assert stats["counters"]["service.completed"] == 1
+            await server.stop()
+            assert server.exit_code == 3
+            return job["result"]
+
+        result = asyncio.run(scenario())
+        ref = reference_result()
+        assert result["verdict"] == ref.verdict.value
+        assert result["valued_trees_checked"] == ref.stats.valued_trees_checked
+
+    def test_queue_overflow_is_shed_with_retry_after(self, tmp_path):
+        async def scenario():
+            server = _server(tmp_path, max_queue=1, workers=1, slice_seconds=0.05)
+            port = await server.start()
+            status, first, _ = await _raw_call(
+                port, "POST", "/jobs", payload(max_size=10, max_instances=30_000)
+            )
+            assert status == 202
+            status, shed, head = await _raw_call(
+                port, "POST", "/jobs", payload(max_size=4, max_instances=99)
+            )
+            assert status == 429
+            assert "Retry-After:" in head
+            assert "queue is full" in shed["error"]
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_errors_routes_and_cancel(self, tmp_path):
+        async def scenario():
+            server = _server(tmp_path)
+            port = await server.start()
+            status, body, _ = await _raw_call(port, "GET", "/jobs/j000042")
+            assert status == 404
+            status, body, _ = await _raw_call(port, "PUT", "/jobs")
+            assert status == 405
+            status, body, _ = await _raw_call(port, "GET", "/nope")
+            assert status == 404
+            status, body, _ = await _raw_call(port, "POST", "/jobs", {"query": 5})
+            assert status == 400
+            status, body, _ = await _raw_call(
+                port, "POST", "/jobs", payload(max_size=10, max_instances=50_000)
+            )
+            job_id = body["id"]
+            status, body, _ = await _raw_call(port, "DELETE", f"/jobs/{job_id}")
+            assert status in (200, 202)
+            for _ in range(200):
+                status, job, _ = await _raw_call(port, "GET", f"/jobs/{job_id}")
+                if job["state"] == CANCELLED:
+                    break
+                await asyncio.sleep(0.02)
+            assert job["state"] == CANCELLED
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_slow_client_gets_408_without_wedging_server(self, tmp_path):
+        async def scenario():
+            server = _server(tmp_path, read_timeout=0.1)
+            port = await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"POST /jobs HTTP/1.1\r\nContent-Le")  # ... and stall
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), 5)
+            assert b"408" in raw.split(b"\r\n", 1)[0]
+            writer.close()
+            # The server still serves others afterwards.
+            status, health, _ = await _raw_call(port, "GET", "/healthz")
+            assert status == 200
+            assert server.telemetry.counters["service.slow_clients"] == 1
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_drain_checkpoints_and_resume_matches_reference(self, tmp_path):
+        async def scenario():
+            server = _server(tmp_path, slice_seconds=0.2)
+            port = await server.start()
+            status, body, _ = await _raw_call(
+                port, "POST", "/jobs", payload(max_size=10, max_instances=30_000)
+            )
+            job_id = body["id"]
+            await asyncio.sleep(0.15)  # let a slice start
+            await server.stop()
+            assert server.exit_code == 3
+            state = server.journal.get(job_id).state
+            assert state in (SUBMITTED, PREEMPTED)
+            # Draining refuses new work with 503 before the port closes —
+            # exercised directly against admission since the port is gone.
+            dec = server.scheduler.submit(payload(max_size=4, no_cache=True))
+            assert dec[0] == 503
+            return job_id
+
+        job_id = asyncio.run(scenario())
+
+        async def resume():
+            server = _server(tmp_path, slice_seconds=0.2)
+            port = await server.start()
+            for _ in range(600):
+                status, job, _ = await _raw_call(port, "GET", f"/jobs/{job_id}")
+                if job["state"] in (DONE, FAILED):
+                    break
+                await asyncio.sleep(0.05)
+            await server.stop()
+            return job
+
+        job = asyncio.run(resume())
+        assert job["state"] == DONE
+        ref = reference_result(max_size=10, max_instances=30_000)
+        assert job["result"]["verdict"] == ref.verdict.value
+        assert job["result"]["valued_trees_checked"] == ref.stats.valued_trees_checked
+
+    def test_journal_entry_quarantine_is_visible_in_stats(self, tmp_path):
+        data_dir = tmp_path / "data"
+        data_dir.mkdir()
+        store = DurableStore(str(data_dir / "journal.json"))
+        journal = JobJournal(store)
+        journal.add(JobRecord(id=journal.new_job_id(), tenant="t", fingerprint="f", submission={}))
+        doc = journal.to_dict()
+        doc["jobs"]["j-bad"] = {"id": "j-bad", "state": "nope"}
+        store.save_document(doc)
+
+        async def scenario():
+            server = _server(tmp_path)
+            port = await server.start()
+            status, stats, _ = await _raw_call(port, "GET", "/stats")
+            assert stats["quarantined_entries"] == 1
+            status, listing, _ = await _raw_call(port, "GET", "/jobs")
+            assert len(listing["jobs"]) == 1
+            await server.stop()
+
+        asyncio.run(scenario())

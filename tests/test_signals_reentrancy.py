@@ -1,0 +1,167 @@
+"""Signal-handler re-entrancy: graceful shutdown must compose.
+
+`graceful_signals` is a context manager the CLI, the supervisor, and
+the service all enter — sometimes nested (CLI handler around a
+supervisor run).  These tests pin the contract: previous handlers are
+restored on exit (even nested), a first delivery is a cooperative
+cancel, a second delivery re-arms ``SIG_DFL`` so a third is fatal, and
+the job server force-exits promptly on a second SIGTERM even while the
+drain has the event loop blocked.
+
+In-process tests use ``SIGUSR1``/``SIGUSR2`` so a bug cannot kill the
+test runner; the server tests run in subprocesses.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import CancellationToken
+from repro.runtime.signals import GRACEFUL_SIGNALS, graceful_signals
+from repro.service import EXIT_DRAINED
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from test_service_chaos import ServerProc, WORKLOAD, http  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = str(REPO_ROOT / "src")
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGUSR1"), reason="POSIX signals required"
+)
+
+
+class TestGracefulSignals:
+    def test_covers_sigterm_and_sigint(self):
+        assert signal.SIGTERM in GRACEFUL_SIGNALS
+        assert signal.SIGINT in GRACEFUL_SIGNALS
+
+    def test_restores_previous_handler(self):
+        seen = []
+        previous = signal.signal(signal.SIGUSR1, lambda s, f: seen.append(s))
+        try:
+            token = CancellationToken()
+            with graceful_signals(token, signals=[signal.SIGUSR1]):
+                assert signal.getsignal(signal.SIGUSR1) is not None
+                assert not seen
+            restored = signal.getsignal(signal.SIGUSR1)
+            signal.raise_signal(signal.SIGUSR1)
+            assert seen == [signal.SIGUSR1], "previous handler not restored"
+            assert not token.cancelled
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+
+    def test_nested_contexts_unwind_in_order(self):
+        previous = signal.signal(signal.SIGUSR1, signal.SIG_IGN)
+        try:
+            outer, inner = CancellationToken(), CancellationToken()
+            with graceful_signals(outer, signals=[signal.SIGUSR1]):
+                outer_handler = signal.getsignal(signal.SIGUSR1)
+                with graceful_signals(inner, signals=[signal.SIGUSR1]):
+                    assert signal.getsignal(signal.SIGUSR1) is not outer_handler
+                    signal.raise_signal(signal.SIGUSR1)
+                    assert inner.cancelled and not outer.cancelled
+                assert signal.getsignal(signal.SIGUSR1) is outer_handler
+                signal.raise_signal(signal.SIGUSR1)
+                assert outer.cancelled
+            assert signal.getsignal(signal.SIGUSR1) is signal.SIG_IGN
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+
+    def test_first_delivery_cancels_cooperatively(self):
+        token = CancellationToken()
+        fired = []
+        with graceful_signals(token, signals=[signal.SIGUSR2], on_signal=fired.append):
+            signal.raise_signal(signal.SIGUSR2)
+        assert token.cancelled
+        assert "SIGUSR2" in (token.reason or "")
+        assert fired == [signal.SIGUSR2]
+
+    def test_second_delivery_rearms_default_disposition(self):
+        previous = signal.signal(signal.SIGUSR1, signal.SIG_IGN)
+        try:
+            token = CancellationToken()
+            with graceful_signals(token, signals=[signal.SIGUSR1]):
+                signal.raise_signal(signal.SIGUSR1)
+                assert token.cancelled
+                assert signal.getsignal(signal.SIGUSR1) is not signal.SIG_DFL
+                # Second delivery: still cooperative, but the *next* one
+                # is fatal — the default disposition is re-armed.  (Do
+                # not raise a third time: SIGUSR1's default terminates.)
+                signal.raise_signal(signal.SIGUSR1)
+                assert signal.getsignal(signal.SIGUSR1) is signal.SIG_DFL
+            assert signal.getsignal(signal.SIGUSR1) is signal.SIG_IGN
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+
+    def test_degrades_to_noop_off_main_thread(self):
+        token = CancellationToken()
+        before = signal.getsignal(signal.SIGUSR1)
+        outcome = {}
+
+        def worker():
+            try:
+                with graceful_signals(token, signals=[signal.SIGUSR1]):
+                    outcome["entered"] = True
+            except BaseException as exc:  # noqa: BLE001 - recording, not handling
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10)
+        assert outcome.get("entered") is True
+        assert "error" not in outcome
+        assert signal.getsignal(signal.SIGUSR1) is before
+        assert not token.cancelled
+
+
+class TestServerSecondSigterm:
+    def test_double_sigterm_exits_promptly_with_drain_code(self, tmp_path):
+        server = ServerProc(tmp_path / "data", tmp_path=tmp_path)
+        status, body, _ = http(server.port, "POST", "/jobs", WORKLOAD)
+        assert status == 202
+        server.proc.send_signal(signal.SIGTERM)
+        time.sleep(0.05)
+        server.proc.send_signal(signal.SIGTERM)
+        started = time.monotonic()
+        try:
+            assert server.wait(timeout=15) == EXIT_DRAINED
+        finally:
+            server.kill()
+        assert time.monotonic() - started < 10
+
+    def test_force_exit_path_is_armed_during_drain(self, tmp_path):
+        """Deterministic variant: a SIGTERM raised *while the drain is
+        running* must hit the re-armed raw handler and exit 3 — even
+        though the event loop never gets to dispatch another callback."""
+        driver = f"""
+import asyncio, signal, sys
+sys.path.insert(0, {SRC_DIR!r})
+from repro.service import JobServer, ServerConfig
+
+async def main():
+    server = JobServer(ServerConfig(data_dir={str(tmp_path / "data")!r}, port=0))
+    await server.start()
+    server.install_signal_handlers()
+    signal.raise_signal(signal.SIGTERM)   # first: begin drain
+    await asyncio.sleep(0.3)              # handler runs, raw handler re-armed
+    signal.raise_signal(signal.SIGTERM)   # second: raw force-exit, code 3
+    await asyncio.sleep(30)
+
+asyncio.run(main())
+print("server survived a second SIGTERM", file=sys.stderr)
+sys.exit(9)
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", driver],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == EXIT_DRAINED, proc.stderr

@@ -546,3 +546,53 @@ class TestApiAndTaskPlumbing:
         seq = typecheck_unordered(condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, BUDGET)
         res = ShardedSearch(task, config=SupervisorConfig(workers=2)).run()
         assert_equivalent(seq, res)
+
+
+class TestHeartbeatTimeoutOverride:
+    """`typecheck(..., heartbeat_timeout=)` — the hang-detection
+    threshold as a first-class API knob (mirrored by the CLI's
+    ``--heartbeat-timeout``)."""
+
+    def test_slow_worker_is_reaped_and_run_stays_exact(self):
+        seq = typecheck(condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, BUDGET)
+        par = typecheck(
+            condition_query(),
+            TAU1_UNORDERED,
+            TAU2_PERMISSIVE,
+            BUDGET,
+            control=kill_control(WorkerKill(0, 0, 1, "hang")),
+            workers=2,
+            supervisor=SupervisorConfig(workers=2, heartbeat_interval=0.05),
+            heartbeat_timeout=0.6,
+        )
+        assert_equivalent(seq, par)
+        assert par.stats.sharding.worker_deaths >= 1
+
+    def test_overrides_explicit_supervisor_config(self):
+        seq = typecheck(condition_query(), TAU1_UNORDERED, TAU2_PERMISSIVE, BUDGET)
+        # The config says "wait an hour"; the argument wins and the hung
+        # worker is reaped fast enough for this test to finish.
+        par = typecheck(
+            condition_query(),
+            TAU1_UNORDERED,
+            TAU2_PERMISSIVE,
+            BUDGET,
+            control=kill_control(WorkerKill(0, 0, 1, "hang")),
+            workers=2,
+            supervisor=SupervisorConfig(
+                workers=2, heartbeat_interval=0.05, hang_timeout=3600.0
+            ),
+            heartbeat_timeout=0.6,
+        )
+        assert_equivalent(seq, par)
+        assert par.stats.sharding.worker_deaths >= 1
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            typecheck(
+                condition_query(),
+                TAU1_UNORDERED,
+                TAU2_PERMISSIVE,
+                BUDGET,
+                heartbeat_timeout=0.0,
+            )
