@@ -1,4 +1,5 @@
-"""Parallel speedup of the sharded supervisor on the Theorem 3.5 workload.
+"""Parallel speedup of the pooled sharded supervisor on the Theorem 3.5
+workload.
 
 Sequential vs ``N``-workers wall clock for the same bounded search: the
 regular-output procedure (profile decomposition + Ramsey-bounded
@@ -12,12 +13,20 @@ Every variant must agree exactly with the sequential run — the exactness
 guarantee is asserted, not assumed — so this file doubles as an
 end-to-end parity check under real multiprocessing.
 
-Single-round ``pedantic`` timing: the workload is seconds-long and the
-interesting quantity is the wall-clock ratio between the parametrized
-worker counts (1 = the in-process sequential path), not microbenchmark
-statistics.  Results land in ``BENCH_parallel.json`` via the conftest
-session hook.
+Timing protocol: one discarded warmup round (first touch pays fork and
+import costs) then three measured rounds, gated on the **median** so a
+single scheduler hiccup cannot flip the verdict.  The speedup gate is
+hardware-conditional: on a box with at least four cores, four workers
+must beat sequential by >= 2x; on smaller machines (including 1-core CI
+runners, where process parallelism cannot win) every worker count must
+stay within 15% of the sequential median.  The latter is the
+supervisor's adaptive-sequential path under test: with more workers
+than cores it plans a single full-stream range and runs it in-process,
+so the only admissible overhead is the shard planner's pricing walk.
+Results land in ``BENCH_parallel.json`` via the conftest session hook.
 """
+
+import os
 
 import pytest
 
@@ -29,6 +38,13 @@ from repro.typecheck.search import SearchBudget
 TAU1 = DTD("root", {"root": "(a + b)*"})
 TAU2 = DTD("out", {"out": "(item0.item0)*.item0?"})
 MAX_SIZE = 8
+
+# Slowest-run-wins parity margin for machines where parallelism cannot
+# pay for itself (see module docstring).
+PARITY_SLACK = 1.15
+
+# Worker count -> median seconds, filled in parametrize order (1 first).
+_MEDIANS: dict[int, float] = {}
 
 
 def _query() -> Query:
@@ -56,7 +72,9 @@ def sequential_baseline():
 
 @pytest.mark.parametrize("workers", [1, 2, 4])
 def test_thm35_workload_speedup(benchmark, workers, sequential_baseline):
-    result = benchmark.pedantic(_run, args=(workers,), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        _run, args=(workers,), rounds=3, warmup_rounds=1, iterations=1
+    )
     assert result.verdict is Verdict.NO_COUNTEREXAMPLE_FOUND
     # Exactness: identical totals whatever the worker count.
     assert (
@@ -70,3 +88,20 @@ def test_thm35_workload_speedup(benchmark, workers, sequential_baseline):
     if workers > 1:
         assert result.stats.sharding is not None
         assert result.stats.sharding.shards_completed == result.stats.sharding.shards_total
+
+    _MEDIANS[workers] = benchmark.stats.stats.median
+    if workers == 1:
+        return
+    sequential_median = _MEDIANS.get(1)
+    assert sequential_median is not None, "sequential baseline must run first"
+    median = _MEDIANS[workers]
+    # The floor everywhere: parallelism must never cost more than 15%.
+    assert median <= sequential_median * PARITY_SLACK, (
+        f"{workers} workers: median {median:.3f}s is more than "
+        f"{PARITY_SLACK:.0%} of sequential {sequential_median:.3f}s"
+    )
+    if workers == 4 and (os.cpu_count() or 1) >= 4:
+        assert median * 2.0 <= sequential_median, (
+            f"4 workers on a >=4-core machine must be >=2x sequential: "
+            f"median {median:.3f}s vs sequential {sequential_median:.3f}s"
+        )

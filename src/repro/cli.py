@@ -311,10 +311,15 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
     if args.max_instances is not None:
         budget.max_instances = args.max_instances
     supervisor = None
-    if args.shard_retries is not None:
+    if args.shard_retries is not None or args.shards_per_worker is not None:
         from repro.runtime.supervisor import SupervisorConfig
 
-        supervisor = SupervisorConfig(workers=args.workers, shard_retries=args.shard_retries)
+        overrides = {}
+        if args.shard_retries is not None:
+            overrides["shard_retries"] = args.shard_retries
+        if args.shards_per_worker is not None:
+            overrides["shards_per_worker"] = args.shards_per_worker
+        supervisor = SupervisorConfig(workers=args.workers, **overrides)
     obs = _obs_from_args(args)
     control = _control_from_args(args)
     store = None
@@ -448,6 +453,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_compute_seconds=args.max_compute_seconds,
         max_rss_mb=args.max_rss_mb,
         max_size_cap=args.max_size_cap,
+        search_workers=args.search_workers,
     )
     server = JobServer(
         config,
@@ -627,6 +633,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per shard before it is re-split (default: supervisor default)",
     )
     p_tc.add_argument(
+        "--shards-per-worker",
+        type=int,
+        default=None,
+        help="cursor ranges planned per worker for the pool's work-stealing "
+        "(more ranges = finer load balancing and finer-grained loss on a "
+        "crash, at more enumeration replay; default: supervisor default)",
+    )
+    p_tc.add_argument(
         "--heartbeat-timeout",
         type=_pos_float,
         default=None,
@@ -658,9 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write nested span records (search/label_tree/bind/evaluate/"
-        "verify_witness/checkpoint_write, plus shard/worker under "
-        "--workers) to FILE as JSON lines (schema repro.obs.trace v3); "
-        "inspect with 'repro trace summarize FILE'",
+        "verify_witness/checkpoint_write, plus pool/steal/shard/worker "
+        "under --workers) to FILE as JSON lines (schema repro.obs.trace "
+        "v4); inspect with 'repro trace summarize FILE'",
     )
     p_tc.add_argument(
         "--metrics-out",
@@ -714,6 +728,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=_nonneg_float,
         default=0.5,
         help="preemption time quantum per job slice (default: 0.5)",
+    )
+    p_srv.add_argument(
+        "--search-workers",
+        type=int,
+        default=0,
+        help="share a persistent pool of this many search worker processes "
+        "across job slices (one slice borrows it at a time; others run "
+        "sequentially); 0 = every slice searches sequentially (default)",
     )
     p_srv.add_argument(
         "--checkpoint-interval",
@@ -787,7 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write request/job/job_slice/drain span records (schema "
-        "repro.obs.trace v3) to FILE as JSON lines",
+        "repro.obs.trace v4) to FILE as JSON lines",
     )
     p_srv.add_argument(
         "--metrics-out",

@@ -47,13 +47,13 @@ __all__ = [
 ]
 
 TRACE_SCHEMA = "repro.obs.trace"
-TRACE_SCHEMA_VERSION = 3
-SUPPORTED_TRACE_VERSIONS = frozenset({1, 2, TRACE_SCHEMA_VERSION})
+TRACE_SCHEMA_VERSION = 4
+SUPPORTED_TRACE_VERSIONS = frozenset({1, 2, 3, TRACE_SCHEMA_VERSION})
 
 # Closed span vocabulary.  Adding a name is a version bump: v2 added
 # "checkpoint_write" (the durable store's persistence phase), v3 the
-# job-service spans; older streams remain valid — the vocabulary only
-# grew.
+# job-service spans, v4 the worker-pool spans; older streams remain
+# valid — the vocabulary only grew.
 SPAN_NAMES = frozenset(
     {
         "search",  # one sequential (or in-process-shard) engine run
@@ -62,13 +62,15 @@ SPAN_NAMES = frozenset(
         "bind",  # structural binding of one label tree
         "evaluate",  # one value assignment through the evaluator
         "verify_witness",  # reference re-verification of a counterexample
-        "shard",  # one shard, start to terminal message
+        "shard",  # one cursor range, steal dispatch to terminal message
         "worker",  # one worker process, spawn to reap
         "checkpoint_write",  # one durable checkpoint persistence (v2)
         "request",  # one HTTP request through the job service (v3)
         "job",  # one service job, admission to terminal state (v3)
         "job_slice",  # one preemptible scheduler slice of a job (v3)
         "drain",  # one graceful service drain, signal to flush (v3)
+        "pool",  # one worker pool engagement, install to quiesce/close (v4)
+        "steal",  # one idle gap ending in a range dispatch (v4)
     }
 )
 

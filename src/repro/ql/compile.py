@@ -42,6 +42,7 @@ order.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from time import perf_counter
 from typing import Any, Iterable, Optional, Sequence, Union
@@ -315,21 +316,37 @@ class BoundTree:
 
 # Bounded LRU keyed by (query, alphabet): Query and its AST are frozen and
 # hashable, so structurally identical queries share one compilation — in
-# particular a supervisor worker compiles once per process, not per shard,
-# and the star-free pipeline's deterministic relabeling hits across calls.
+# particular a pool worker compiles once per process, not per range, and
+# the star-free pipeline's deterministic relabeling hits across calls.
+#
+# The memo is shared by every thread in the process — the service
+# scheduler evaluates job slices on a thread-pool executor — so the LRU
+# bookkeeping (move_to_end/popitem re-link the OrderedDict) runs under a
+# lock.  Compilation itself runs outside the lock: it is pure and
+# idempotent, so two threads racing on a miss at worst compile twice and
+# the first insert wins.
 _MEMO_MAX = 16
 _memo: "OrderedDict[tuple[Query, frozenset[str]], CompiledQuery]" = OrderedDict()
+_memo_lock = threading.Lock()
 
 
 def compiled_query_for(query: Query, alphabet: Iterable[str]) -> CompiledQuery:
-    """The process-level compilation cache (bounded LRU)."""
+    """The process-level compilation cache (bounded LRU, thread-safe)."""
     key = (query, frozenset(alphabet))
-    hit = _memo.get(key)
-    if hit is not None:
-        _memo.move_to_end(key)
-        return hit
+    with _memo_lock:
+        hit = _memo.get(key)
+        if hit is not None:
+            _memo.move_to_end(key)
+            return hit
     compiled = CompiledQuery(query, key[1])
-    _memo[key] = compiled
-    if len(_memo) > _MEMO_MAX:
-        _memo.popitem(last=False)
+    with _memo_lock:
+        hit = _memo.get(key)
+        if hit is not None:
+            # Lost the compile race: keep the entry already published so
+            # every caller shares one object (and its eval caches).
+            _memo.move_to_end(key)
+            return hit
+        _memo[key] = compiled
+        if len(_memo) > _MEMO_MAX:
+            _memo.popitem(last=False)
     return compiled

@@ -183,6 +183,15 @@ class ShardCursor:
     shard (``done``) only ``stats`` matters; for an incomplete one the
     ``labels_consumed``/``values_done`` cursor resumes it — a cursor at
     ``(start_label, 0)`` with empty stats means "not started".
+
+    ``in_flight`` marks a range that was dispatched to a pool worker but
+    unfinished when the checkpoint was cut (an autosave mid-run, a
+    supervisor crash): its partial work was never reported, so resume
+    restarts it from the recorded cursor — exactness is unaffected, the
+    flag is diagnostic ("this range was mid-steal").  The field is an
+    optional extension of the version-2 document: old readers built from
+    explicit keys ignore it, and old documents without it load as
+    ``False``.
     """
 
     start_label: int
@@ -192,6 +201,7 @@ class ShardCursor:
     labels_consumed: int = 0
     values_done: int = 0
     stats: dict[str, Any] = field(default_factory=dict)
+    in_flight: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -209,6 +219,7 @@ class ShardCursor:
                 labels_consumed=int(data.get("labels_consumed", 0)),
                 values_done=int(data.get("values_done", 0)),
                 stats=dict(data.get("stats", {})),
+                in_flight=bool(data.get("in_flight", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed shard cursor: {exc}") from exc

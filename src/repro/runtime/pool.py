@@ -1,0 +1,605 @@
+"""Persistent worker pool: long-lived search workers fed over command pipes.
+
+PR 2's supervisor proved the sharded search exact under crashes but spawned
+one process per shard, recompiled the query in every worker, and left a
+static plan's stragglers idle — a net slowdown (BENCH_parallel.json).  This
+module is the economics fix: a :class:`WorkerPool` starts ``workers``
+processes *once* (fork start method where available, so the parent's warmed
+compile memo is inherited copy-on-write), installs the search task and its
+compiled query/DFA tables exactly once per run, and the supervisor then
+feeds fine-grained cursor ranges to idle members over their duplex command
+pipes — work-stealing with no per-range process spawn and no per-range
+compilation.
+
+The pool is deliberately dumb about search semantics: it owns process
+lifecycle (spawn, install, dispatch, abort, respawn, escalating reap) and
+message transport; the supervisor owns shard state, retries, and the
+exactness machinery.  One pool can outlive many ``ShardedSearch`` runs —
+:meth:`WorkerPool.install` rotates a run id so a stale final from a
+previous run can never be mistaken for the current run's — which is what
+lets ``typecheck()`` calls and service scheduler slices share workers.
+
+Wire protocol (all picklable tuples):
+
+* parent -> worker: ``("install", run_id, task, fingerprint, fault_plan,
+  max_rss_mb, warm_query, warm_alphabet)``, ``("run", spec, attempt,
+  cursor, deadline_seconds)``, ``("stop",)``;
+* worker -> parent: ``(kind, run_id, start, stop, attempt, payload)`` with
+  ``kind`` one of ``"hb"`` (heartbeat) or the finals ``"done"`` /
+  ``"fails"`` / ``"interrupted"`` / ``"evalerror"`` / ``"error"`` —
+  exactly one final per dispatched range.
+
+Deadlines are *per range*: each dispatch carries the remaining seconds at
+steal time, so a long-lived worker never holds a deadline computed at pool
+startup (the spawn-per-shard code computed it once per worker — stale the
+moment workers outlive one shard).
+
+Aborts are *cooperative*: each member has its own event; the supervisor
+sets it to cancel a range that first-FAILS-wins made irrelevant, and the
+worker stops at the next instance boundary and stays alive for the next
+steal — where the old supervisor killed and respawned the whole process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Optional
+
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.shard import SearchTask, ShardSpec
+
+__all__ = ["PoolUnavailable", "WorkerPool", "reap_process"]
+
+_JOIN_TIMEOUT = 1.0
+_QUIESCE_GRACE = 2.0
+
+
+class PoolUnavailable(RuntimeError):
+    """Worker processes cannot be created here (no usable start method,
+    fork failure, unpicklable task...); callers degrade to in-process."""
+
+
+def reap_process(proc: Any, join_timeout: float = _JOIN_TIMEOUT) -> int:
+    """Join a worker process, escalating when the join times out.
+
+    ``join(timeout)`` alone can leak a live child: a worker wedged in
+    uninterruptible I/O (or ignoring SIGTERM) survives the timeout and
+    the caller dropping the handle orphans it.  So: join, then
+    ``terminate()`` + re-join, then ``kill()`` + re-join, each bounded.
+    Returns the number of escalation steps taken (0 = the plain join
+    sufficed), so callers can count leaks in telemetry.
+    """
+    try:
+        proc.join(timeout=join_timeout)
+    except Exception:
+        pass
+    if not proc.is_alive():
+        return 0
+    try:
+        proc.terminate()
+    except Exception:
+        pass
+    try:
+        proc.join(timeout=join_timeout)
+    except Exception:
+        pass
+    if not proc.is_alive():
+        return 1
+    try:
+        proc.kill()
+    except Exception:
+        pass
+    try:
+        proc.join(timeout=join_timeout)
+    except Exception:
+        pass
+    return 2
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _run_range(
+    conn: Any,
+    run_id: int,
+    task: SearchTask,
+    fingerprint: str,
+    fault_plan: Optional[FaultPlan],
+    max_rss_mb: Optional[float],
+    cancel_event: Any,
+    abort_event: Any,
+    heartbeat_interval: float,
+    spec: ShardSpec,
+    attempt: int,
+    cursor: Optional[dict],
+    deadline_seconds: Optional[float],
+) -> None:
+    """Run one stolen cursor range and send exactly one final message.
+
+    Mirrors the retired spawn-per-shard worker body, with two protocol
+    changes: every message carries the pool run id (stale-final filtering
+    across runs on a shared pool), and the deadline is the per-range value
+    carried by the dispatch.  Exceptions are reported, never allowed to
+    kill the persistent worker — except a severed parent pipe, which means
+    the supervisor is gone and this process is an orphan.
+    """
+    from repro.obs import Observability, Telemetry
+    from repro.runtime.checkpoint import SearchCheckpoint
+    from repro.runtime.control import CancellationToken, Deadline, RuntimeControl
+    from repro.runtime.signals import graceful_signals
+    from repro.runtime.supervisor import (
+        _STAT_KEYS,
+        _CompositeToken,
+        _EventToken,
+        _Heartbeat,
+        _run_task,
+    )
+    from repro.typecheck.errors import EvaluationError
+    from repro.typecheck.result import Verdict
+
+    def send(kind: str, payload: dict) -> None:
+        try:
+            conn.send((kind, run_id, spec.start_label, spec.stop_label, attempt, payload))
+        except Exception:
+            os._exit(1)  # parent is gone; nothing left to serve
+
+    try:
+        injector = None
+        if fault_plan is not None:
+            injector = FaultInjector(fault_plan)
+            injector.set_worker_context(spec.start_label, attempt, spec.instance_base)
+        # Workers never receive the parent's tracer (a file handle) — they
+        # collect a mergeable registry and ship it with the final message;
+        # the heartbeat reads live progress from the same handle.
+        obs = Observability(telemetry=Telemetry() if task.metrics else None)
+        heartbeat = _Heartbeat(
+            conn, spec, attempt, heartbeat_interval, obs=obs, run_id=run_id
+        )
+        local_token = CancellationToken()
+        control = RuntimeControl(
+            deadline=Deadline.after(deadline_seconds) if deadline_seconds is not None else None,
+            token=_CompositeToken(
+                _EventToken(cancel_event), _EventToken(abort_event), local_token
+            ),
+            max_rss_mb=max_rss_mb,
+            faults=injector,
+            on_tick=heartbeat.tick,
+        )
+        resume = None
+        if cursor:
+            resume = SearchCheckpoint(
+                fingerprint=fingerprint,
+                algorithm=task.algorithm,
+                labels_consumed=int(cursor["labels_consumed"]),
+                values_done=int(cursor["values_done"]),
+                stats=dict(cursor.get("stats", {})),
+                reason="shard resume",
+            )
+        with graceful_signals(local_token):
+            result = _run_task(task, control=control, resume_from=resume, shard=spec, obs=obs)
+        stats = {k: getattr(result.stats, k) for k in _STAT_KEYS}
+        # The registry rides the final message (never heartbeats, which
+        # must stay tiny); counters are cumulative like the cursor stats,
+        # so the merge folds exactly one registry per shard.
+        telemetry_out = obs.telemetry.to_dict() if obs.telemetry is not None else None
+        if result.verdict is Verdict.FAILS:
+            send(
+                "fails",
+                {
+                    "stats": stats,
+                    "counterexample": result.counterexample,
+                    "output": result.output,
+                    "violation": result.violation,
+                    "telemetry": telemetry_out,
+                },
+            )
+        elif result.verdict is Verdict.INTERRUPTED:
+            ckpt = result.checkpoint
+            send(
+                "interrupted",
+                {
+                    "reason": result.interruption or "interrupted",
+                    "cursor": {
+                        "labels_consumed": ckpt.labels_consumed,
+                        "values_done": ckpt.values_done,
+                        "stats": dict(ckpt.stats),
+                    },
+                    "stats": stats,
+                    "telemetry": telemetry_out,
+                },
+            )
+        else:
+            send("done", {"stats": stats, "telemetry": telemetry_out})
+    except EvaluationError as exc:
+        cursor_out = None
+        if exc.checkpoint is not None:
+            cursor_out = {
+                "labels_consumed": exc.checkpoint.labels_consumed,
+                "values_done": exc.checkpoint.values_done,
+                "stats": dict(exc.checkpoint.stats),
+            }
+        send(
+            "evalerror",
+            {
+                "phase": exc.phase,
+                "instance_index": exc.instance_index,
+                "tree": exc.tree,
+                "cause": repr(exc.cause),
+                "cursor": cursor_out,
+            },
+        )
+    except BaseException:
+        send("error", {"message": traceback.format_exc(limit=20)})
+
+
+def _pool_worker_main(
+    conn: Any,
+    cancel_event: Any,
+    abort_event: Any,
+    heartbeat_interval: float,
+) -> None:
+    """Persistent worker entry: serve install/run commands until stopped.
+
+    The worker holds no search state between ranges beyond the process
+    compile memo (:func:`repro.ql.compile.compiled_query_for`) — which is
+    the point: one compilation serves every range this process ever runs,
+    and under fork the parent's pre-warmed memo means zero compilations.
+    """
+    current: Optional[tuple] = None  # (run_id, task, fingerprint, plan, max_rss)
+    while True:
+        try:
+            cmd = conn.recv()
+        except (EOFError, OSError):
+            os._exit(0)  # supervisor gone; do not linger as an orphan
+        op = cmd[0]
+        if op == "stop":
+            try:
+                conn.close()
+            except Exception:
+                pass
+            os._exit(0)
+        if op == "install":
+            _, run_id, task, fingerprint, fault_plan, max_rss_mb, warm_query, warm_alphabet = cmd
+            current = (run_id, task, fingerprint, fault_plan, max_rss_mb)
+            if warm_query is not None and task.use_eval_cache:
+                # Build the run's compiled tables once, now, while idle —
+                # under spawn this is the "ship tables once" moment; under
+                # fork it is a memo hit on the parent's inherited entry.
+                try:
+                    from repro.ql.compile import compiled_query_for
+
+                    compiled_query_for(warm_query, warm_alphabet)
+                except Exception:
+                    pass  # best effort: ranges compile lazily if this fails
+            continue
+        if op == "run" and current is not None:
+            _, spec, attempt, cursor, deadline_seconds = cmd
+            # Any abort aimed at a previous range is void now: the parent
+            # set it strictly before sending this dispatch.
+            abort_event.clear()
+            run_id, task, fingerprint, fault_plan, max_rss_mb = current
+            _run_range(
+                conn,
+                run_id,
+                task,
+                fingerprint,
+                fault_plan,
+                max_rss_mb,
+                cancel_event,
+                abort_event,
+                heartbeat_interval,
+                spec,
+                attempt,
+                cursor,
+                deadline_seconds,
+            )
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class _PoolMember:
+    """Parent-side view of one pool worker process."""
+
+    __slots__ = ("index", "proc", "conn", "abort_event", "busy", "last_seen", "spawn_t", "idle_t")
+
+    def __init__(self, index: int, proc: Any, conn: Any, abort_event: Any) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.abort_event = abort_event
+        self.busy: Optional[tuple[int, int, int]] = None  # (start, stop, attempt)
+        self.last_seen = time.monotonic()
+        self.spawn_t = time.perf_counter()
+        self.idle_t = time.perf_counter()
+
+    def close_conn(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+            self.conn = None
+
+
+class WorkerPool:
+    """A fixed-size set of persistent search workers.
+
+    Created once and reused: by one :class:`ShardedSearch`, across
+    ``typecheck()`` calls, or across service scheduler slices.  Start is
+    lazy (:meth:`ensure_started`), so holding an unstarted pool costs
+    nothing.  Not thread-safe: one run drives the pool at a time
+    (:meth:`install` quiesces any straggler work from the previous run
+    first).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        heartbeat_interval: float = 0.2,
+        tracer: Any = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.start_method = start_method
+        self.heartbeat_interval = heartbeat_interval
+        self.tracer = tracer
+        self.members: list[_PoolMember] = []
+        self.cancel_event: Any = None
+        self.reap_escalations = 0
+        """Escalated reaps (``terminate``/``kill`` was needed after a
+        timed-out join) — surfaced as the ``supervisor.reap_escalations``
+        telemetry counter."""
+        self.respawns = 0
+        self._ctx: Any = None
+        self._run_seq = 0
+        self._install_args: Optional[tuple] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._ctx is not None and not self._closed
+
+    def ensure_started(self) -> None:
+        """Start the worker processes (idempotent).  Raises
+        :class:`PoolUnavailable` where multiprocessing cannot work."""
+        if self._closed:
+            raise PoolUnavailable("worker pool is closed")
+        if self._ctx is not None:
+            return
+        method = self.start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        try:
+            ctx = multiprocessing.get_context(method)
+            cancel_event = ctx.Event()
+        except (OSError, ImportError, ValueError) as exc:
+            raise PoolUnavailable(str(exc)) from exc
+        self._ctx = ctx
+        self.cancel_event = cancel_event
+        try:
+            for index in range(self.workers):
+                self.members.append(self._spawn_member(index))
+        except PoolUnavailable:
+            self.close()
+            raise
+
+    def _spawn_member(self, index: int) -> _PoolMember:
+        ctx = self._ctx
+        try:
+            abort_event = ctx.Event()
+            # One duplex pipe per member, one writer per direction: a
+            # worker killed mid-send severs only its own channel (a shared
+            # queue's write lock would be poisoned forever), and the
+            # parent's read end hitting EOF doubles as death detection.
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+        except (OSError, ValueError) as exc:
+            raise PoolUnavailable(str(exc)) from exc
+        try:
+            proc = ctx.Process(
+                target=_pool_worker_main,
+                args=(child_conn, self.cancel_event, abort_event, self.heartbeat_interval),
+                daemon=True,
+            )
+            proc.start()
+        except (OSError, ValueError, TypeError, AttributeError, ImportError) as exc:
+            for end in (parent_conn, child_conn):
+                try:
+                    end.close()
+                except Exception:
+                    pass
+            raise PoolUnavailable(str(exc)) from exc
+        child_conn.close()  # parent's copy; the worker owns that end now
+        member = _PoolMember(index, proc, parent_conn, abort_event)
+        if self._install_args is not None:
+            # A member (re)spawned mid-run needs the current task.
+            self._send(member, ("install", self._run_seq, *self._install_args))
+        return member
+
+    def install(
+        self,
+        task: SearchTask,
+        fingerprint: str,
+        fault_plan: Optional[FaultPlan],
+        max_rss_mb: Optional[float],
+        warm_query: Any = None,
+        warm_alphabet: Any = None,
+    ) -> int:
+        """Ship one run's task (and compiled-table warm-up) to every
+        member, exactly once; returns the fresh run id.  Any straggler
+        range from a previous run is quiesced first, so the pool is fully
+        idle and the shared cancel event can be safely re-armed."""
+        self.ensure_started()
+        self.quiesce()
+        self._run_seq += 1
+        alphabet = frozenset(warm_alphabet) if warm_alphabet is not None else None
+        self._install_args = (task, fingerprint, fault_plan, max_rss_mb, warm_query, alphabet)
+        self.cancel_event.clear()
+        for member in list(self.members):
+            member.abort_event.clear()
+            if not self._send(member, ("install", self._run_seq, *self._install_args)):
+                self.respawn(member)  # respawn installs via _spawn_member
+        return self._run_seq
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _send(self, member: _PoolMember, msg: tuple) -> bool:
+        if member.conn is None:
+            return False
+        try:
+            member.conn.send(msg)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            return False
+
+    def dispatch(
+        self,
+        member: _PoolMember,
+        spec: ShardSpec,
+        attempt: int,
+        cursor: Optional[dict],
+        deadline_seconds: Optional[float],
+    ) -> bool:
+        """Steal: hand one cursor range (with its *per-range* remaining
+        deadline) to an idle member.  False means the member is dead —
+        the caller respawns and retries elsewhere."""
+        if not self._send(member, ("run", spec, attempt, cursor, deadline_seconds)):
+            return False
+        member.busy = (spec.start_label, spec.stop_label, attempt)
+        member.last_seen = time.monotonic()
+        return True
+
+    def idle_members(self) -> list[_PoolMember]:
+        return [
+            m
+            for m in self.members
+            if m.busy is None and m.conn is not None and m.proc.is_alive()
+        ]
+
+    def abort(self, member: _PoolMember) -> None:
+        """Ask a member to drop its current range at the next instance
+        boundary (it stays alive and steals again); the final message for
+        the aborted range still arrives and frees the member."""
+        member.abort_event.set()
+
+    # -- reaping -------------------------------------------------------------
+
+    def reap(self, member: _PoolMember) -> None:
+        """Join a dead (or killed) member, escalating if it lingers.
+        Idempotent: a second reap of the same member is a no-op."""
+        member.close_conn()
+        if member.spawn_t is None:
+            return
+        if reap_process(member.proc, _JOIN_TIMEOUT):
+            self.reap_escalations += 1
+        member.busy = None
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "worker",
+                member.spawn_t,
+                time.perf_counter() - member.spawn_t,
+                member=member.index,
+            )
+        member.spawn_t = None
+
+    def kill(self, member: _PoolMember) -> None:
+        try:
+            member.proc.kill()
+        except Exception:
+            pass
+        self.reap(member)
+
+    def respawn(self, member: _PoolMember) -> _PoolMember:
+        """Replace a dead (or wedged — it is killed first) member with a
+        fresh process in the same slot, re-installing the current run's
+        task.  Raises :class:`PoolUnavailable` when processes cannot be
+        created."""
+        if member.spawn_t is not None and member.proc.is_alive():
+            # A deliberate replacement (hang, quiesce straggler) — SIGKILL
+            # so the bounded join below cannot time out and "escalate";
+            # escalations are reserved for joins that *should* have worked.
+            try:
+                member.proc.kill()
+            except Exception:
+                pass
+        self.reap(member)
+        fresh = self._spawn_member(member.index)
+        for i, existing in enumerate(self.members):
+            if existing is member:
+                self.members[i] = fresh
+                break
+        else:  # pragma: no cover - member not tracked (already replaced)
+            self.members.append(fresh)
+        self.respawns += 1
+        return fresh
+
+    # -- end of run ----------------------------------------------------------
+
+    def quiesce(self, grace: float = _QUIESCE_GRACE) -> None:
+        """Bring every member back to idle: abort in-flight ranges, wait
+        (bounded) for their finals, drain and discard stale messages, and
+        respawn anything dead or still wedged.  Called between runs on a
+        shared pool; a fresh run id makes any message that still slips
+        through inert."""
+        if self._ctx is None or self._closed:
+            return
+        for member in self.members:
+            if member.busy is not None:
+                member.abort_event.set()
+        deadline = time.monotonic() + grace
+        while True:
+            pending = False
+            for member in self.members:
+                try:
+                    while member.conn is not None and member.conn.poll():
+                        msg = member.conn.recv()
+                        if msg[0] != "hb":
+                            member.busy = None
+                            member.idle_t = time.perf_counter()
+                except (EOFError, OSError):
+                    member.close_conn()
+                if member.busy is not None and member.proc.is_alive():
+                    pending = True
+            if not pending or time.monotonic() > deadline:
+                break
+            time.sleep(0.01)
+        for member in list(self.members):
+            if member.busy is not None or member.conn is None or not member.proc.is_alive():
+                try:
+                    member.proc.kill()
+                except Exception:
+                    pass
+                self.respawn(member)
+
+    def close(self) -> None:
+        """Stop every worker and reap it (escalating as needed).  After
+        close the pool cannot be restarted; ``multiprocessing``'s
+        ``active_children`` sees no survivors — the pool-leak CI check."""
+        if self._closed:
+            self.members = []
+            return
+        self._closed = True
+        if self.cancel_event is not None:
+            try:
+                self.cancel_event.set()
+            except Exception:
+                pass
+        for member in self.members:
+            member.abort_event.set()
+            self._send(member, ("stop",))
+        for member in self.members:
+            self.reap(member)
+        self.members = []
+        self._ctx = None
+
+    def __enter__(self) -> "WorkerPool":
+        self.ensure_started()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

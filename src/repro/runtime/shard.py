@@ -25,10 +25,19 @@ imported lazily inside :func:`plan_shards`.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["SearchTask", "ShardPlan", "ShardSpec", "plan_shards"]
+
+# Completed plans by (fingerprint, target_shards) — the pricing walk is a
+# pure function of the fingerprinted search configuration, so repeated
+# searches (service slices, pooled callers, benchmark rounds) reuse it.
+_PLAN_MEMO_MAX = 8
+_plan_memo: "OrderedDict[tuple[str, int], ShardPlan]" = OrderedDict()
+_plan_memo_lock = threading.Lock()
 
 
 @dataclass(frozen=True, slots=True)
@@ -161,6 +170,18 @@ def plan_shards(
         _value_relevant_tags,
     )
 
+    # The fingerprint digests everything the walk depends on (query,
+    # DTDs, every budget field, algorithm), so a completed plan can be
+    # reused verbatim: services and pooled callers re-issuing the same
+    # search skip the pricing walk entirely.  Plans are treated as
+    # immutable by every consumer.
+    memo_key = (fingerprint, target_shards)
+    with _plan_memo_lock:
+        hit = _plan_memo.get(memo_key)
+        if hit is not None:
+            _plan_memo.move_to_end(memo_key)
+            return hit
+
     needs_values = has_data_conditions(query)
     # The constant *sequence* goes to the pricing DP, which dedupes it
     # exactly like the enumerator does — duplicate query constants can
@@ -223,7 +244,7 @@ def plan_shards(
                 start, base, acc = idx + 1, base + acc, 0
         shards.append(ShardSpec(start, total_labels, base, acc))
 
-    return ShardPlan(
+    plan = ShardPlan(
         fingerprint=fingerprint,
         total_labels=total_labels,
         total_instances=total,
@@ -232,3 +253,14 @@ def plan_shards(
         label_counts=label_counts,
         shards=shards,
     )
+    with _plan_memo_lock:
+        if memo_key not in _plan_memo:
+            _plan_memo[memo_key] = plan
+            if len(_plan_memo) > _PLAN_MEMO_MAX:
+                _plan_memo.popitem(last=False)
+        else:
+            # Lost a concurrent walk race: keep the published plan so
+            # every caller shares one object.
+            plan = _plan_memo[memo_key]
+            _plan_memo.move_to_end(memo_key)
+    return plan

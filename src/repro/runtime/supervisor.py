@@ -31,6 +31,21 @@ jobs in ``multiprocessing`` workers and supervises them for robustness:
   reaches the identical verdict and identical ``valued_trees_checked``
   as an uninterrupted sequential search.
 
+Since PR 8 the workers are a **persistent pool**
+(:class:`~repro.runtime.pool.WorkerPool`): processes start once per run
+— or once per *service*, when a pool is shared through
+``SupervisorConfig.pool`` — and the supervisor *steals* pending cursor
+ranges onto whichever member is idle, over that member's command pipe.
+Compared with the retired spawn-per-shard loop this removes the per-shard
+process spawn and per-shard query compilation (the compiled tables ship
+to each worker exactly once, at install; under fork they arrive free via
+the parent's pre-warmed memo), and turns the static plan into dynamic
+load balancing: a member that finishes early immediately pulls the next
+range instead of idling behind a straggler.  Crash isolation is
+unchanged — a dead member fails only the range it was running and is
+respawned into the same slot — and first-FAILS-wins cancellation is now
+cooperative (a per-member abort event) rather than a process kill.
+
 Workers never receive compiled validators or closures — only the
 picklable :class:`~repro.runtime.shard.SearchTask` — and rebuild their
 procedure from the algorithm tag; determinism guarantees every process
@@ -39,10 +54,8 @@ lands on the same fingerprint, which is each shard's identity check.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-import traceback
 from multiprocessing import connection as mp_connection
 from dataclasses import dataclass, field
 from types import SimpleNamespace
@@ -57,8 +70,9 @@ from repro.runtime.checkpoint import (
     ShardCursor,
     search_fingerprint,
 )
-from repro.runtime.control import Deadline, OperationInterrupted, RuntimeControl
+from repro.runtime.control import OperationInterrupted, RuntimeControl
 from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.pool import PoolUnavailable, WorkerPool, _PoolMember
 from repro.runtime.shard import SearchTask, ShardPlan, ShardSpec, plan_shards
 
 __all__ = ["ShardedSearch", "SupervisorConfig"]
@@ -108,23 +122,65 @@ class SupervisorConfig:
     start_method: Optional[str] = None
     """``multiprocessing`` start method (None = fork when available)."""
 
-    poll_interval: float = 0.02
-    """Supervisor event-loop tick."""
+    adaptive_sequential: bool = True
+    """On a host with fewer cores than ``workers`` (and no fault plan or
+    caller pool demanding real processes), run the search in-process
+    instead of forking: oversubscribed workers time-slice one CPU and can
+    only add cache-miss, replay, and IPC cost over the sequential engine.
+    Set ``False`` to force worker processes regardless."""
+
+    poll_interval: float = 0.05
+    """Supervisor event-loop tick.  Message arrival wakes the loop
+    immediately (``connection.wait`` returns on readability); the tick
+    only bounds timer granularity — backoff gates, autosave, hang
+    detection — so it is deliberately coarse to keep the parent nearly
+    free on oversubscribed hosts."""
+
+    pool: Optional[Any] = field(default=None, compare=False, repr=False)
+    """A caller-owned :class:`~repro.runtime.pool.WorkerPool` to run on
+    instead of starting (and closing) a private one — this is how worker
+    processes survive across ``typecheck()`` calls and service scheduler
+    slices.  The supervisor quiesces (never closes) a shared pool; the
+    owner is responsible for ``close()``.  Excluded from equality so two
+    configs differing only in pool identity still compare equal."""
 
 
 class _EventToken:
     """Duck-typed :class:`CancellationToken` over a shared mp.Event, so
     the supervisor's cancellation fan-out reaches every worker's
-    cooperative poll without signals."""
+    cooperative poll without signals.
 
-    __slots__ = ("_event",)
+    The engine polls its token on every instance, and ``mp.Event.is_set``
+    costs two semaphore syscalls — enough to dominate cheap evaluations
+    (~35% wall-clock on the Theorem 3.5 benchmark).  The event is
+    therefore only re-read every ``_STRIDE`` polls, sticky once set:
+    cancellation and abort still land on an instance boundary, at most
+    ``_STRIDE - 1`` instances later, which the 2-second shutdown grace
+    absorbs without measurement.  The first poll always reads through,
+    so a pre-set event is honored immediately.
+    """
+
+    __slots__ = ("_event", "_left", "_set")
+
+    _STRIDE = 32
 
     def __init__(self, event: Any) -> None:
         self._event = event
+        self._left = 0
+        self._set = False
 
     @property
     def cancelled(self) -> bool:
-        return self._event.is_set()
+        if self._set:
+            return True
+        if self._left > 0:
+            self._left -= 1
+            return False
+        self._left = self._STRIDE - 1
+        if self._event.is_set():
+            self._set = True
+            return True
+        return False
 
     @property
     def reason(self) -> str:
@@ -163,9 +219,13 @@ class _Heartbeat:
     instances done plus eval-cache hits/misses, read from the engine's
     live stats — so the supervisor's hang detector doubles as a progress
     source.  Three short keys, always: heartbeat size is a regression
-    test (``test_heartbeat_payload_stays_bounded``)."""
+    test (``test_heartbeat_payload_stays_bounded``).
 
-    __slots__ = ("conn", "start", "stop", "attempt", "interval", "last", "obs")
+    When ``run_id`` is set (pool workers), messages carry it so the
+    supervisor can discard heartbeats that straggle in from a previous
+    run of a shared pool; ``None`` keeps the legacy 5-tuple shape."""
+
+    __slots__ = ("conn", "start", "stop", "attempt", "interval", "last", "obs", "run_id")
 
     def __init__(
         self,
@@ -174,6 +234,7 @@ class _Heartbeat:
         attempt: int,
         interval: float,
         obs: Optional[Observability] = None,
+        run_id: Optional[int] = None,
     ) -> None:
         self.conn = conn
         self.start = spec.start_label
@@ -181,6 +242,7 @@ class _Heartbeat:
         self.attempt = attempt
         self.interval = interval
         self.obs = obs
+        self.run_id = run_id
         self.last = time.monotonic()
         self._send()
 
@@ -195,8 +257,12 @@ class _Heartbeat:
         }
 
     def _send(self) -> None:
+        if self.run_id is None:
+            msg = ("hb", self.start, self.stop, self.attempt, self._payload())
+        else:
+            msg = ("hb", self.run_id, self.start, self.stop, self.attempt, self._payload())
         try:
-            self.conn.send(("hb", self.start, self.stop, self.attempt, self._payload()))
+            self.conn.send(msg)
         except Exception:
             pass  # a broken pipe must never take the search down
 
@@ -258,128 +324,6 @@ def _run_task(
     )
 
 
-def _shard_worker_main(
-    task: SearchTask,
-    spec: ShardSpec,
-    attempt: int,
-    cursor: Optional[dict],
-    fingerprint: str,
-    conn: Any,
-    cancel_event: Any,
-    deadline_seconds: Optional[float],
-    max_rss_mb: Optional[float],
-    fault_plan: Optional[FaultPlan],
-    heartbeat_interval: float,
-) -> None:
-    """Worker process entry: run one shard, report exactly one final
-    message (plus heartbeats).  Crashes report nothing — that is the
-    supervisor's problem, by design.
-
-    A SIGTERM/SIGINT delivered *to the worker itself* (an operator's
-    ``kill``, a container runtime draining the node) is forwarded to a
-    local cooperative token: the shard stops at the next instance
-    boundary and reports ``interrupted`` with its cursor, so the
-    supervisor folds the signal into a resumable multi-shard checkpoint
-    instead of losing the shard's progress."""
-    from repro.runtime.signals import graceful_signals
-    from repro.typecheck.errors import EvaluationError
-    from repro.typecheck.result import Verdict
-
-    key = (spec.start_label, spec.stop_label, attempt)
-
-    def send(kind: str, payload: dict) -> None:
-        try:
-            conn.send((kind, key[0], key[1], key[2], payload))
-        except Exception:
-            os._exit(1)
-
-    try:
-        injector = None
-        if fault_plan is not None:
-            injector = FaultInjector(fault_plan)
-            injector.set_worker_context(spec.start_label, attempt, spec.instance_base)
-        # Workers never receive the parent's tracer (a file handle) — they
-        # collect a mergeable registry and ship it with the final message;
-        # the heartbeat reads live progress from the same handle.
-        obs = Observability(telemetry=Telemetry() if task.metrics else None)
-        heartbeat = _Heartbeat(conn, spec, attempt, heartbeat_interval, obs=obs)
-        from repro.runtime.control import CancellationToken
-
-        local_token = CancellationToken()
-        control = RuntimeControl(
-            deadline=Deadline.after(deadline_seconds) if deadline_seconds is not None else None,
-            token=_CompositeToken(_EventToken(cancel_event), local_token),
-            max_rss_mb=max_rss_mb,
-            faults=injector,
-            on_tick=heartbeat.tick,
-        )
-        resume = None
-        if cursor:
-            resume = SearchCheckpoint(
-                fingerprint=fingerprint,
-                algorithm=task.algorithm,
-                labels_consumed=int(cursor["labels_consumed"]),
-                values_done=int(cursor["values_done"]),
-                stats=dict(cursor.get("stats", {})),
-                reason="shard resume",
-            )
-        with graceful_signals(local_token):
-            result = _run_task(task, control=control, resume_from=resume, shard=spec, obs=obs)
-        stats = {k: getattr(result.stats, k) for k in _STAT_KEYS}
-        # The registry rides the final message (never heartbeats, which
-        # must stay tiny); counters are cumulative like the cursor stats,
-        # so the merge folds exactly one registry per shard.
-        telemetry_out = obs.telemetry.to_dict() if obs.telemetry is not None else None
-        if result.verdict is Verdict.FAILS:
-            send(
-                "fails",
-                {
-                    "stats": stats,
-                    "counterexample": result.counterexample,
-                    "output": result.output,
-                    "violation": result.violation,
-                    "telemetry": telemetry_out,
-                },
-            )
-        elif result.verdict is Verdict.INTERRUPTED:
-            ckpt = result.checkpoint
-            send(
-                "interrupted",
-                {
-                    "reason": result.interruption or "interrupted",
-                    "cursor": {
-                        "labels_consumed": ckpt.labels_consumed,
-                        "values_done": ckpt.values_done,
-                        "stats": dict(ckpt.stats),
-                    },
-                    "stats": stats,
-                    "telemetry": telemetry_out,
-                },
-            )
-        else:
-            send("done", {"stats": stats, "telemetry": telemetry_out})
-    except EvaluationError as exc:
-        cursor_out = None
-        if exc.checkpoint is not None:
-            cursor_out = {
-                "labels_consumed": exc.checkpoint.labels_consumed,
-                "values_done": exc.checkpoint.values_done,
-                "stats": dict(exc.checkpoint.stats),
-            }
-        send(
-            "evalerror",
-            {
-                "phase": exc.phase,
-                "instance_index": exc.instance_index,
-                "tree": exc.tree,
-                "cause": repr(exc.cause),
-                "cursor": cursor_out,
-            },
-        )
-    except BaseException:
-        send("error", {"message": traceback.format_exc(limit=20)})
-
-
 @dataclass
 class _ShardState:
     """Supervisor-side lifecycle of one shard."""
@@ -421,7 +365,9 @@ class _ShardState:
                 stats=dict(self.cursor.get("stats", {})),
             )
         # pending / running / crashed / fails-demoted: restart the range
-        # from scratch — determinism re-finds whatever was lost.
+        # from scratch — determinism re-finds whatever was lost.  A range
+        # on a worker right now is flagged in_flight (its partial work was
+        # never reported, so restart is still the exact resume point).
         return ShardCursor(
             spec.start_label,
             spec.stop_label,
@@ -429,29 +375,14 @@ class _ShardState:
             done=False,
             labels_consumed=spec.start_label,
             values_done=0,
+            in_flight=self.status == "running",
         )
 
 
-@dataclass
-class _Handle:
-    proc: Any
-    state: _ShardState
-    attempt: int
-    last_seen: float
-    conn: Any = None  # parent end of this worker's pipe (None once closed)
-    spawn_t: float = 0.0  # perf_counter at spawn (worker/shard spans)
-
-    def close_conn(self) -> None:
-        if self.conn is not None:
-            try:
-                self.conn.close()
-            except Exception:
-                pass
-            self.conn = None
-
-
-class _SpawnUnavailable(RuntimeError):
-    """Worker processes cannot be created here; degrade to in-process."""
+# Worker processes cannot be created here; degrade to in-process.  The
+# pool raises it for every spawn-shaped failure, so the supervisor's
+# historical name is now an alias.
+_SpawnUnavailable = PoolUnavailable
 
 
 class _WorkerEvalError(RuntimeError):
@@ -538,7 +469,30 @@ class ShardedSearch:
             )
             return result
 
-        target = max(1, self.workers * self.config.shards_per_worker)
+        # Process parallelism only pays when ranges actually run
+        # concurrently.  On a host with fewer cores than workers, forked
+        # workers time-slice one CPU: the same total evaluation work plus
+        # per-process cache misses, prefix replay, and IPC — strictly
+        # slower than the sequential engine.  When nothing demands real
+        # processes (no fault plan to deliver, no caller-owned pool to
+        # run on), plan a single full-stream range and run it in this
+        # process: exact same verdict and statistics, none of the cost.
+        cores = os.cpu_count() or 1
+        adaptive = (
+            self.config.adaptive_sequential
+            and self.workers > cores
+            and self.config.pool is None
+            and self.fault_plan is None
+        )
+        if adaptive:
+            target = 1
+        else:
+            # Fine-grained stealing granularity has the same economics:
+            # every range past the first replays its label-stream prefix,
+            # so when cores are scarce (but processes are demanded) plan
+            # the coarsest exact split instead.
+            per_worker = self.config.shards_per_worker if cores >= self.workers else 1
+            target = max(1, self.workers * per_worker)
         try:
             self.plan = plan_shards(
                 self.engine_query,
@@ -577,9 +531,19 @@ class ShardedSearch:
         if all(st.status == "done" for st in states):
             return self._merge(states)
         if self.workers <= 1 or len(self.plan.shards) <= 1:
-            self.degraded = self.workers > 1
+            # Degraded means "parallelism was attempted and lost" — an
+            # adaptive (or unsplittable) plan chose sequential up front.
+            self.degraded = self.workers > 1 and not adaptive
             self._run_inprocess(states)
-            return self._merge(states)
+            result = self._merge(states)
+            if adaptive:
+                result.notes.append(
+                    f"{self.workers} workers requested on a {cores}-core "
+                    "host: ran in-process (process parallelism cannot win "
+                    "when oversubscribed; pass adaptive_sequential=False "
+                    "or a fault plan/pool to force workers)"
+                )
+            return result
         try:
             self._supervise(states)
         except _SpawnUnavailable:
@@ -664,16 +628,50 @@ class ShardedSearch:
         # is persisted on a time interval, so a supervisor crash (not
         # just a worker crash) loses at most one autosave window.
         autosave = self.control.autosave if self.control is not None else None
-        method = cfg.start_method
-        if method is None:
-            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-        try:
-            ctx = multiprocessing.get_context(method)
-            cancel_event = ctx.Event()
-        except (OSError, ImportError, ValueError) as exc:
-            raise _SpawnUnavailable(str(exc)) from exc
+        max_rss = self.control.max_rss_mb if self.control is not None else None
 
-        running: dict[tuple[int, int], _Handle] = {}
+        # Warm the parent's process-level compile memo before workers
+        # start: under fork the children inherit the compiled query/DFA
+        # tables copy-on-write, so "ship the tables once" costs nothing;
+        # under spawn, the install command's warm-up entry compiles once
+        # per worker process instead of once per range.
+        if self.task.use_eval_cache:
+            try:
+                from repro.ql.compile import compiled_query_for
+
+                compiled_query_for(self.engine_query, self.task.tau1.alphabet)
+            except Exception:
+                pass
+
+        shared = cfg.pool is not None
+        pool: WorkerPool = cfg.pool if shared else WorkerPool(
+            self.workers,
+            start_method=cfg.start_method,
+            heartbeat_interval=cfg.heartbeat_interval,
+            tracer=tracer if tracer.enabled else None,
+        )
+        pool.ensure_started()  # PoolUnavailable propagates: run() degrades
+        pool_t0 = time.perf_counter()
+        base_escalations = pool.reap_escalations
+        base_respawns = pool.respawns
+        try:
+            run_id = pool.install(
+                self.task,
+                self.fingerprint,
+                self.fault_plan,
+                max_rss,
+                warm_query=self.engine_query if self.task.use_eval_cache else None,
+                warm_alphabet=self.task.tau1.alphabet,
+            )
+        except PoolUnavailable:
+            if not shared:
+                pool.close()
+            raise
+        cancel_event = pool.cancel_event
+
+        # member index -> (state, attempt, dispatch perf_counter): which
+        # range each busy member is working.
+        assigned: dict[int, tuple[_ShardState, int, float]] = {}
         evalerror: Optional[_WorkerEvalError] = None
         stop_grace_until = 0.0
 
@@ -693,84 +691,80 @@ class ShardedSearch:
                 if effective(st)
             )
 
-        def spawn(st: _ShardState) -> None:
-            deadline_seconds = None
-            if self.control is not None and self.control.deadline is not None:
-                deadline_seconds = max(0.0, self.control.deadline.remaining())
-            max_rss = self.control.max_rss_mb if self.control is not None else None
-            # One pipe per worker: the worker holds the sole write end, so
-            # a crash mid-send severs only this channel, and the parent's
-            # read end hitting EOF doubles as death detection.
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            try:
-                proc = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(
-                        self.task,
-                        st.spec,
-                        st.attempt,
-                        st.cursor,
-                        self.fingerprint,
-                        child_conn,
-                        cancel_event,
-                        deadline_seconds,
-                        max_rss,
-                        self.fault_plan,
-                        cfg.heartbeat_interval,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-            except (OSError, ValueError, TypeError, AttributeError, ImportError) as exc:
-                # Unpicklable problem, fork failure, ... — parallelism is
-                # unavailable here, not broken: degrade.
-                for end in (parent_conn, child_conn):
-                    try:
-                        end.close()
-                    except Exception:
-                        pass
-                raise _SpawnUnavailable(str(exc)) from exc
-            child_conn.close()  # parent's copy; the worker owns the write end now
-            st.status = "running"
-            running[st.key] = _Handle(
-                proc=proc,
-                state=st,
-                attempt=st.attempt,
-                last_seen=time.monotonic(),
-                conn=parent_conn,
-                spawn_t=time.perf_counter(),
-            )
+        def release(member: _PoolMember) -> None:
+            member.busy = None
+            member.idle_t = time.perf_counter()
+            assigned.pop(member.index, None)
 
-        def reap(handle: _Handle) -> None:
-            handle.proc.join(timeout=1.0)
-            handle.close_conn()
-            running.pop(handle.state.key, None)
-            if tracer.enabled:
-                # Worker lifetime (spawn to reap) as seen by the parent —
-                # this is the supervisor-overhead phase of the taxonomy.
-                tracer.emit(
-                    "worker",
-                    handle.spawn_t,
-                    time.perf_counter() - handle.spawn_t,
-                    start=handle.state.spec.start_label,
-                    stop=handle.state.spec.stop_label,
-                    attempt=handle.attempt,
-                )
+        def abort_running(st: _ShardState) -> None:
+            """Cooperatively cancel the member working this range: it
+            drops the range at the next instance boundary and stays
+            alive for the next steal (its final is discarded by the
+            status guard in handle_message)."""
+            for member in pool.members:
+                if member.busy is not None and member.busy[:2] == st.key:
+                    pool.abort(member)
 
-        def drain(handle: _Handle) -> None:
-            """Deliver every message already in this worker's pipe."""
+        def drain(member: _PoolMember) -> None:
+            """Deliver every message already in this member's pipe."""
             try:
-                while handle.conn is not None and handle.conn.poll():
-                    handle_message(handle.conn.recv())
+                while member.conn is not None and member.conn.poll():
+                    handle_message(member, member.conn.recv())
             except (EOFError, OSError):
-                handle.close_conn()
+                member.close_conn()
 
-        def kill(handle: _Handle) -> None:
-            try:
-                handle.proc.kill()
-            except Exception:
-                pass
-            reap(handle)
+        def dispatch_ready(now: float) -> None:
+            """Work-stealing: hand pending ranges, in stream order, to
+            idle members.  Each dispatch carries the deadline *remaining
+            right now* — a persistent worker must never trust a value
+            computed at pool startup."""
+            idle = pool.idle_members()
+            for st in states:
+                if not idle:
+                    break
+                if st.status != "pending" or not effective(st) or now < st.ready_at:
+                    continue
+                member = idle.pop(0)
+                deadline_seconds = None
+                if self.control is not None and self.control.deadline is not None:
+                    deadline_seconds = max(0.0, self.control.deadline.remaining())
+                idle_t = member.idle_t
+                if not pool.dispatch(member, st.spec, st.attempt, st.cursor, deadline_seconds):
+                    # Died while idle; the death sweep below respawns it.
+                    member.close_conn()
+                    continue
+                st.status = "running"
+                assigned[member.index] = (st, st.attempt, time.perf_counter())
+                if tracer.enabled:
+                    # Steal latency: how long the member sat idle before
+                    # pulling this range — the load-balance health signal.
+                    tracer.emit(
+                        "steal",
+                        idle_t,
+                        time.perf_counter() - idle_t,
+                        start=st.spec.start_label,
+                        stop=st.spec.stop_label,
+                        attempt=st.attempt,
+                        member=member.index,
+                    )
+
+        def member_lost(member: _PoolMember, why: str, respawn: bool = True) -> None:
+            """Account a member that died (or hung) mid-range, then
+            respawn a fresh process into its slot (unless shutting down,
+            where replacing it would be wasted churn)."""
+            entry = assigned.get(member.index)
+            release(member)
+            if entry is not None:
+                st, att, _ = entry
+                if st.status == "running" and att == st.attempt:
+                    if not cancel_event.is_set():
+                        record_death(st, why)
+                    else:
+                        st.status = "pending"
+            if respawn:
+                pool.respawn(member)  # PoolUnavailable propagates: degrade
+            else:
+                pool.kill(member)
 
         def record_death(st: _ShardState, why: str) -> None:
             self.worker_deaths += 1
@@ -800,32 +794,39 @@ class ShardedSearch:
                 delay = min(cfg.backoff_cap, cfg.backoff_base * (2 ** (st.attempt - 1)))
                 st.ready_at = time.monotonic() + delay
 
-        def handle_message(msg: tuple) -> None:
-            nonlocal evalerror, stop_grace_until
-            kind, start, stop, attempt, payload = msg
+        def handle_message(member: _PoolMember, msg: tuple) -> None:
+            nonlocal evalerror
+            kind, msg_run, start, stop, attempt, payload = msg
+            member.last_seen = time.monotonic()
+            if kind == "hb":
+                if msg_run != run_id:
+                    return  # straggler heartbeat from a previous run
+                st = next((s for s in states if s.key == (start, stop)), None)
+                if st is not None and attempt == st.attempt and isinstance(payload, dict):
+                    st.hb = payload
+                return
+            # Any final frees the member for the next steal — even one
+            # for a range this run no longer cares about.
+            entry = assigned.get(member.index)
+            release(member)
+            if msg_run != run_id:
+                return  # straggler final from a previous run of a shared pool
             st = next((s for s in states if s.key == (start, stop)), None)
             if st is None or attempt != st.attempt:
                 return  # stale: a killed or re-split attempt
-            handle = running.get(st.key)
-            if kind == "hb":
-                if handle is not None and handle.attempt == attempt:
-                    handle.last_seen = time.monotonic()
-                    if isinstance(payload, dict):
-                        st.hb = payload
-                return
             if st.status != "running":
-                return
+                return  # aborted (first-FAILS-wins) or already judged dead
             if kind in ("done", "fails", "interrupted") and isinstance(payload, dict):
                 if payload.get("telemetry"):
                     st.telemetry = payload["telemetry"]
-                if tracer.enabled and handle is not None:
+                if tracer.enabled and entry is not None:
                     # The worker cannot write the parent's trace file; the
-                    # shard span is the parent-side view (spawn to final
-                    # message, replay included).
+                    # shard span is the parent-side view (steal dispatch
+                    # to final message, replay included).
                     tracer.emit(
                         "shard",
-                        handle.spawn_t,
-                        time.perf_counter() - handle.spawn_t,
+                        entry[2],
+                        time.perf_counter() - entry[2],
                         start=st.spec.start_label,
                         stop=st.spec.stop_label,
                         attempt=attempt,
@@ -841,9 +842,7 @@ class ShardedSearch:
                 limit = st.spec.start_label
                 for other in states:
                     if other.spec.start_label > limit and other.status == "running":
-                        h = running.get(other.key)
-                        if h is not None:
-                            kill(h)
+                        abort_running(other)
                         other.status = "pending"
                         other.cursor = None
             elif kind == "interrupted":
@@ -902,36 +901,40 @@ class ShardedSearch:
                     if self.worker_deaths >= cfg.max_total_failures:
                         # Workers keep dying: stop burning processes and
                         # fall back to the in-process path for the rest.
-                        for handle in list(running.values()):
-                            kill(handle)
-                            handle.state.status = "inprocess"
+                        for member in pool.members:
+                            if member.busy is not None:
+                                pool.abort(member)
+                            release(member)
                         for st in states:
-                            if st.status == "pending":
+                            if st.status in ("pending", "running"):
                                 st.status = "inprocess"
                         self.degraded = True
                         break
-                    for st in states:
-                        if len(running) >= self.workers:
-                            break
-                        if st.status == "pending" and effective(st) and now >= st.ready_at:
-                            spawn(st)
-                    if not running and settled():
+                    dispatch_ready(now)
+                    if not assigned and settled():
                         break
-                    if not running and all(
+                    if not assigned and all(
                         st.status != "pending" for st in states if effective(st)
                     ):
                         break  # only in-process work left
                 else:
-                    if not running:
+                    if not assigned:
                         break
                     if now > stop_grace_until:
-                        for handle in list(running.values()):
-                            kill(handle)
-                            handle.state.status = "pending"
-                            handle.state.reason = "killed during shutdown"
+                        # Past the grace window: members still mid-range
+                        # are wedged; their ranges restart on resume.
+                        for entry in list(assigned.values()):
+                            st, att, _ = entry
+                            if st.status == "running" and att == st.attempt:
+                                st.status = "pending"
+                                st.reason = "killed during shutdown"
+                        for member in pool.members:
+                            if member.busy is not None:
+                                pool.kill(member)
+                                release(member)
                         break
 
-                conns = [h.conn for h in running.values() if h.conn is not None]
+                conns = [m.conn for m in pool.members if m.conn is not None]
                 if conns:
                     try:
                         ready = mp_connection.wait(conns, timeout=cfg.poll_interval)
@@ -941,43 +944,57 @@ class ShardedSearch:
                     time.sleep(cfg.poll_interval)
                     ready = []
                 for conn in ready:
-                    # handle_message may kill/reap peers; resolve afresh.
-                    handle = next((h for h in running.values() if h.conn is conn), None)
-                    if handle is not None:
-                        drain(handle)
+                    member = next((m for m in pool.members if m.conn is conn), None)
+                    if member is not None:
+                        drain(member)
                 update_progress()
                 if autosave is not None and autosave.due_now():
                     autosave.save(self._checkpoint(states, "autosave"))
 
                 now = time.monotonic()
-                for handle in list(running.values()):
-                    st = handle.state
-                    if st.status != "running" or handle.attempt != st.attempt:
-                        reap(handle)  # finished (message already processed)
-                        continue
-                    if not handle.proc.is_alive():
+                for member in list(pool.members):
+                    if member.conn is None or not member.proc.is_alive():
                         # Dead without a final message — unless one is
                         # still in its pipe; drain once more before judging.
-                        drain(handle)
-                        if st.status == "running":
-                            code = handle.proc.exitcode
-                            reap(handle)
-                            if not cancel_event.is_set():
-                                record_death(st, f"worker died (exit code {code})")
-                            else:
-                                st.status = "pending"
-                        else:
-                            reap(handle)
+                        drain(member)
+                        code = member.proc.exitcode
+                        member_lost(
+                            member,
+                            f"worker died (exit code {code})",
+                            respawn=not cancel_event.is_set(),
+                        )
                         continue
-                    if now - handle.last_seen > cfg.hang_timeout:
-                        kill(handle)
-                        if not cancel_event.is_set():
-                            record_death(st, "hang detected (heartbeat timeout)")
-                        else:
-                            st.status = "pending"
+                    if member.busy is not None and now - member.last_seen > cfg.hang_timeout:
+                        member_lost(
+                            member,
+                            "hang detected (heartbeat timeout)",
+                            respawn=not cancel_event.is_set(),
+                        )
         finally:
-            for handle in list(running.values()):
-                kill(handle)
+            try:
+                # A shared pool survives for the next run (quiesced so no
+                # straggler range bleeds compute into it); a private pool
+                # shuts down here — the no-leaked-children guarantee.
+                if shared:
+                    pool.quiesce()
+                else:
+                    pool.close()
+            finally:
+                delta = pool.reap_escalations - base_escalations
+                if delta > 0 and self.obs is not None and self.obs.telemetry is not None:
+                    # Escalated reaps are the "leaked child" signal the
+                    # old join-and-drop reap silently swallowed.
+                    self.obs.telemetry.count("supervisor.reap_escalations", delta)
+                if tracer.enabled:
+                    tracer.emit(
+                        "pool",
+                        pool_t0,
+                        time.perf_counter() - pool_t0,
+                        workers=pool.workers,
+                        shared=shared,
+                        respawns=pool.respawns - base_respawns,
+                        reap_escalations=delta,
+                    )
 
         if evalerror is not None:
             self._raise_eval_error(states, evalerror)

@@ -37,6 +37,7 @@ checkpoint store — runs in executor threads.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -218,6 +219,18 @@ class SchedulerConfig:
     workers: int = 2
     """Concurrent job slices (executor threads)."""
 
+    search_workers: int = 0
+    """Search processes shared by all job slices (0 = every slice runs
+    its search sequentially, in the executor thread — the default, and
+    the only mode exercised by the crash drills).  When ``> 1``, the
+    scheduler lazily starts one persistent
+    :class:`~repro.runtime.pool.WorkerPool` of this size and job slices
+    *borrow* it: one slice at a time runs its search sharded across the
+    pool (ranges are stolen by idle pool members), concurrent slices
+    fall back to the sequential path rather than queue behind it.  The
+    pool's processes survive across slices and jobs — compiled query
+    tables ship to them once — and are closed at drain."""
+
 
 @dataclass(slots=True)
 class SliceOutcome:
@@ -258,6 +271,12 @@ class JobScheduler:
         self.cancel_requested: set[str] = set()
         self.retry_at: dict[str, float] = {}
         self.last_sliced: Optional[str] = None
+        # The shared search pool (search_workers > 1): started lazily on
+        # first use, borrowed by one slice at a time under a non-blocking
+        # lock, closed by close_search_pool() at drain.
+        self._search_pool: Optional[Any] = None
+        self._search_pool_lock = threading.Lock()
+        self._search_pool_failed = False
 
     # -- plumbing ------------------------------------------------------------
 
@@ -288,6 +307,51 @@ class JobScheduler:
             os.path.join(self.data_dir, f"{job_id}.ckpt"),
             telemetry=self.telemetry,
         )
+
+    # -- shared search pool ---------------------------------------------------
+
+    def _borrow_search_pool(self) -> Optional[Any]:
+        """Borrow the shared search pool for one slice, or ``None``.
+
+        ``None`` when pooled search is off (``search_workers <= 1``),
+        the server is draining, worker processes cannot start here, or
+        another slice holds the pool — a slice never *queues* behind a
+        peer's search; it just runs this quantum sequentially.  The
+        caller must hand the pool back via :meth:`_release_search_pool`.
+        """
+        if self.config.search_workers <= 1 or self.draining or self._search_pool_failed:
+            return None
+        if not self._search_pool_lock.acquire(blocking=False):
+            self._count("service.search_pool_contended")
+            return None
+        try:
+            if self._search_pool is None:
+                from repro.runtime.pool import WorkerPool
+
+                self._search_pool = WorkerPool(self.config.search_workers)
+            self._search_pool.ensure_started()
+            return self._search_pool
+        except Exception:
+            # No multiprocessing here (or the pool broke): remember and
+            # stay on the sequential path for the rest of this process.
+            self._search_pool_failed = True
+            self._search_pool = None
+            self._search_pool_lock.release()
+            return None
+
+    def _release_search_pool(self) -> None:
+        self._search_pool_lock.release()
+
+    def close_search_pool(self) -> None:
+        """Shut down the shared pool's worker processes (idempotent; the
+        drain path).  Waits for a borrowing slice to hand the pool back
+        — by then drain has cancelled every slice token, so the wait is
+        one instance boundary, not one search."""
+        pool, self._search_pool = self._search_pool, None
+        if pool is None:
+            return
+        with self._search_pool_lock:
+            pool.close()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -462,6 +526,7 @@ class JobScheduler:
             )
             from repro.typecheck.api import UndecidableFragmentError, typecheck
 
+            pool = self._borrow_search_pool()
             try:
                 result = typecheck(
                     sub.query,
@@ -471,6 +536,7 @@ class JobScheduler:
                     force_search=sub.force_search,
                     control=control,
                     resume_from=resume_from,
+                    pool=pool,
                 )
             except UndecidableFragmentError as exc:
                 return SliceOutcome(
@@ -480,6 +546,9 @@ class JobScheduler:
                     started_at=started_at,
                     elapsed=time.perf_counter() - started_at,
                 )
+            finally:
+                if pool is not None:
+                    self._release_search_pool()
             elapsed = time.perf_counter() - started_at
             if result.verdict is Verdict.INTERRUPTED and result.checkpoint is not None:
                 try:

@@ -65,6 +65,9 @@ class ServerConfig:
     max_compute_seconds: Optional[float] = None
     max_rss_mb: Optional[float] = None
     max_size_cap: Optional[int] = None
+    search_workers: int = 0
+    """Shared search-pool processes for job slices (0 = sequential
+    search per slice; see ``SchedulerConfig.search_workers``)."""
 
 
 class JobServer:
@@ -109,6 +112,7 @@ class JobServer:
                 checkpoint_every=config.checkpoint_every,
                 max_attempts=config.max_attempts,
                 workers=config.workers,
+                search_workers=config.search_workers,
             ),
             telemetry=telemetry,
             tracer=tracer,
@@ -202,6 +206,12 @@ class JobServer:
             self._log(f"final journal flush failed: {exc}")
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        try:
+            # Every slice has finished or checkpointed by now; the shared
+            # search pool's worker processes must not outlive the server.
+            self.scheduler.close_search_pool()
+        except Exception as exc:  # noqa: BLE001 - drain must reach exit
+            self._log(f"search pool shutdown failed: {exc}")
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.emit(
                 "drain", drain_started, time.perf_counter() - drain_started,

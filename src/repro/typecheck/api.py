@@ -61,6 +61,7 @@ def typecheck(
     obs: Optional[object] = None,
     handle_signals: bool = False,
     heartbeat_timeout: Optional[float] = None,
+    pool: Optional[object] = None,
 ) -> TypecheckResult:
     """Decide (within budget) ``q(inst(tau1)) subseteq inst(tau2)``.
 
@@ -107,9 +108,29 @@ def typecheck(
     legitimately take longer than the default.  Only meaningful for
     sharded runs (``workers > 1``); it composes with an explicit
     ``supervisor`` config, overriding just this field.
+
+    ``pool`` (a :class:`repro.runtime.pool.WorkerPool`) runs the sharded
+    search on caller-owned worker processes that persist across
+    ``typecheck()`` calls — the amortization path for services issuing
+    many searches: processes start and compile once, every later call
+    only steals ranges onto them.  The pool is quiesced, never closed,
+    by the search; the caller owns ``pool.close()``.  Implies a sharded
+    run sized to the pool unless ``workers``/``supervisor`` say
+    otherwise; composes with an explicit ``supervisor`` config.
     """
     if not query.is_program():
         raise ValueError("typechecking applies to outermost queries (no free variables)")
+    if pool is not None:
+        import dataclasses
+
+        from repro.runtime.supervisor import SupervisorConfig
+
+        if supervisor is None:
+            supervisor = SupervisorConfig(
+                workers=workers if workers > 0 else pool.workers, pool=pool
+            )
+        else:
+            supervisor = dataclasses.replace(supervisor, pool=pool)
     if heartbeat_timeout is not None:
         if heartbeat_timeout <= 0:
             raise ValueError(f"heartbeat_timeout must be positive, got {heartbeat_timeout}")
