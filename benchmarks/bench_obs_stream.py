@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Observability-plane overhead benchmark → ``BENCH_obs_stream.json``.
+
+What the live event plane costs on the service's 40-job workload (the
+same batch as ``bench_service.py``), measured three ways against live
+in-process servers:
+
+* **events_off** — the baseline: ``ServerConfig(events=False)``, every
+  publish site on its no-op path;
+* **events_on** — bus enabled, nobody listening: the pure publish
+  price (dict build + ring append under one lock per transition);
+* **events_streamed** — bus enabled plus one SSE consumer on
+  ``/events`` reading the whole batch live: the streaming price
+  (JSON-encode + frame + socket write per event).
+
+Acceptance gates (medians of interleaved rounds, with small absolute
+floors so fsync jitter on a quiet batch cannot fail a run honestly
+under the percentage):
+
+* publish overhead   (events_on  vs events_off) < 1%;
+* streaming overhead (events_streamed vs events_off) < 5%.
+
+Standalone:
+
+    PYTHONPATH=src python benchmarks/bench_obs_stream.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC_DIR)
+
+SUBMIT_JOBS = 40
+ROUNDS = 3
+PUBLISH_GATE_PCT = 1.0
+STREAM_GATE_PCT = 5.0
+# Absolute floors (seconds): below this, a delta is journal/fsync noise,
+# not event-plane cost.
+PUBLISH_FLOOR_S = 0.15
+STREAM_FLOOR_S = 0.25
+
+QUERY = {
+    "where": {
+        "root": "root",
+        "edges": [{"from": None, "to": "X", "path": "a"}],
+        "conditions": [{"left": "X", "op": "=", "right": {"const": 1}}],
+    },
+    "construct": {
+        "tag": "out",
+        "children": [{"tag": "item", "args": ["X"]}],
+    },
+}
+
+
+def submission(max_size: int, max_instances: int) -> dict:
+    return {
+        "query": QUERY,
+        "input_dtd": "root -> a*",
+        "output_dtd": "out -> item^>=0",
+        "output_unordered": True,
+        "max_size": max_size,
+        "max_instances": max_instances,
+    }
+
+
+async def raw_call(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = json.dumps(body).encode() if body is not None else b""
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(data)}\r\n\r\n".encode() + data
+    )
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(-1), 60)
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    return status, json.loads(raw.partition(b"\r\n\r\n")[2])
+
+
+async def sse_consume(port, counter):
+    """One live /events consumer; counts data frames until cancelled."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"GET /events HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\n\r\n")
+    await writer.drain()
+    try:
+        await reader.readuntil(b"\r\n\r\n")  # response head
+        while True:
+            frame = await reader.readuntil(b"\n\n")
+            if frame.startswith(b"data:") or b"\ndata:" in frame:
+                counter[0] += 1
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        pass
+    finally:
+        writer.close()
+
+
+async def run_batch(data_dir: str, events: bool, consume: bool) -> dict:
+    from repro.obs import Telemetry
+    from repro.service import JobServer, ServerConfig
+
+    server = JobServer(
+        ServerConfig(
+            data_dir=data_dir, port=0, slice_seconds=0.5, workers=2, events=events
+        ),
+        telemetry=Telemetry(),
+    )
+    port = await server.start()
+    consumer = None
+    frames = [0]
+    if consume:
+        consumer = asyncio.ensure_future(sse_consume(port, frames))
+        await asyncio.sleep(0.01)  # subscribed before the batch starts
+
+    batch_started = time.perf_counter()
+    job_ids = []
+    for i in range(SUBMIT_JOBS):
+        status, body = await raw_call(port, "POST", "/jobs", submission(4, 100 + i))
+        assert status == 202, body
+        job_ids.append(body["id"])
+    pending = set(job_ids)
+    while pending:
+        await asyncio.sleep(0.02)
+        _, listing = await raw_call(port, "GET", "/jobs")
+        for job in listing["jobs"]:
+            if job["id"] in pending and job["state"] in ("done", "failed"):
+                assert job["state"] == "done", job
+                pending.discard(job["id"])
+    wall = time.perf_counter() - batch_started
+
+    published = server.events.stats()["published"] if server.events else 0
+    if consumer is not None:
+        await asyncio.sleep(0.05)  # let the tail of the stream arrive
+        consumer.cancel()
+        try:
+            await consumer
+        except asyncio.CancelledError:
+            pass
+    await server.stop()
+    return {"wall_seconds": wall, "events_published": published, "frames_seen": frames[0]}
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="bench-obs-stream-")
+    configs = {
+        "events_off": dict(events=False, consume=False),
+        "events_on": dict(events=True, consume=False),
+        "events_streamed": dict(events=True, consume=True),
+    }
+    samples: dict[str, list[dict]] = {name: [] for name in configs}
+    # Interleaved rounds: drift (thermal, page cache) hits every config
+    # equally instead of biasing whichever ran last.
+    for round_no in range(ROUNDS):
+        for name, options in configs.items():
+            data_dir = os.path.join(workdir, f"{name}-{round_no}")
+            result = asyncio.run(run_batch(data_dir, **options))
+            samples[name].append(result)
+            print(
+                f"round {round_no} {name}: {result['wall_seconds']:.3f}s "
+                f"({result['events_published']} events, "
+                f"{result['frames_seen']} frames)",
+                file=sys.stderr,
+            )
+
+    medians = {
+        name: statistics.median(s["wall_seconds"] for s in rows)
+        for name, rows in samples.items()
+    }
+    base = medians["events_off"]
+
+    def gate(name: str, pct: float, floor_s: float) -> dict:
+        delta = medians[name] - base
+        overhead_pct = 100.0 * delta / base if base else 0.0
+        passed = delta <= max(base * pct / 100.0, floor_s)
+        return {
+            "median_s": round(medians[name], 3),
+            "baseline_s": round(base, 3),
+            "overhead_pct": round(overhead_pct, 2),
+            "gate_pct": pct,
+            "floor_s": floor_s,
+            "pass": passed,
+        }
+
+    gates = {
+        "publish_overhead": gate("events_on", PUBLISH_GATE_PCT, PUBLISH_FLOOR_S),
+        "stream_overhead": gate("events_streamed", STREAM_GATE_PCT, STREAM_FLOOR_S),
+    }
+
+    streamed = samples["events_streamed"][-1]
+    report = {
+        "schema": "repro.bench.obs_stream",
+        "version": 1,
+        "config": {
+            "submit_jobs": SUBMIT_JOBS,
+            "rounds": ROUNDS,
+            "slice_seconds": 0.5,
+            "workers": 2,
+        },
+        "samples": {
+            name: [round(s["wall_seconds"], 3) for s in rows]
+            for name, rows in samples.items()
+        },
+        "events_published_per_batch": streamed["events_published"],
+        "frames_seen_last_round": streamed["frames_seen"],
+        "gates": gates,
+    }
+    out_path = os.path.join(REPO_ROOT, "BENCH_obs_stream.json")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    failures = [name for name, g in gates.items() if not g["pass"]]
+    if failures:
+        print(f"FAIL: gates exceeded: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"OK: publish {gates['publish_overhead']['overhead_pct']}%, "
+          f"stream {gates['stream_overhead']['overhead_pct']}%; wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

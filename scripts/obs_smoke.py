@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Live observability smoke drill, shaped for CI: start a real server
+subprocess, scrape ``/metrics`` as spec-valid Prometheus text, watch a
+job travel submitted → running → done **entirely over SSE** (zero
+GET /jobs polling between submit and verdict), check the event/trace
+correlation ids line up, paint one ``repro top`` frame, and drain.
+
+Exit 0 on success, 1 with a diagnostic on the first drift.
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC_DIR)
+
+EXIT_DRAINED = 3
+
+QUERY = {
+    "where": {
+        "root": "root",
+        "edges": [{"from": None, "to": "X", "path": "a"}],
+        "conditions": [{"left": "X", "op": "=", "right": {"const": 1}}],
+    },
+    "construct": {
+        "tag": "out",
+        "children": [{"tag": "item", "args": ["X"]}],
+    },
+}
+
+SUBMISSION = {
+    "query": QUERY,
+    "input_dtd": "root -> a*",
+    "output_dtd": "out -> item^>=0",
+    "output_unordered": True,
+    "max_size": 8,
+    "max_instances": 6_000,
+}
+
+
+def fail(message: str):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def http_json(port, method, path, body=None, timeout=15):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read() or b"{}")
+
+
+def scrape_metrics(port):
+    """GET /metrics; returns (content_type, parsed families)."""
+    from repro.obs.promexp import parse_prometheus_text
+
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=15) as resp:
+        content_type = resp.headers.get("Content-Type", "")
+        body = resp.read().decode("utf-8")
+    return content_type, parse_prometheus_text(body)
+
+
+def sample(families, name, labels=""):
+    family = families.get(name)
+    if family is None:
+        fail(f"/metrics is missing family {name!r}")
+    return family["samples"].get(name + labels)
+
+
+def start_server(data_dir: str, log_dir: str, trace_path: str):
+    log_path = os.path.join(log_dir, "server.log")
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--data-dir", data_dir, "--port", "0",
+            "--slice-seconds", "0.05", "--checkpoint-interval", "300",
+            "--trace", trace_path,
+        ],
+        stdout=log, stderr=subprocess.STDOUT, text=True, env=cli_env(),
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        with open(log_path) as handle:
+            for line in handle:
+                if "listening on http://" in line:
+                    return proc, int(line.rsplit(":", 1)[1]), log_path
+        if proc.poll() is not None:
+            fail(f"server died before announcing; see {log_path}")
+        time.sleep(0.01)
+    fail(f"server never announced; see {log_path}")
+
+
+def main() -> int:
+    from repro.service.top import iter_sse
+
+    workdir = tempfile.mkdtemp(prefix="obs-smoke-")
+    trace_path = os.path.join(workdir, "server.trace")
+    server, port, log_path = start_server(os.path.join(workdir, "data"), workdir, trace_path)
+
+    print("[1/5] /readyz and a cold /metrics scrape...")
+    status, ready = http_json(port, "GET", "/readyz")
+    if status != 200 or ready.get("ready") is not True:
+        fail(f"/readyz not ready: {status} {ready}")
+    content_type, families = scrape_metrics(port)
+    if not content_type.startswith("text/plain; version=0.0.4"):
+        fail(f"unexpected /metrics content type: {content_type!r}")
+    if sample(families, "repro_service_queue_depth") != 0:
+        fail(f"cold queue depth should be 0: {families['repro_service_queue_depth']}")
+    print(f"      {len(families)} metric families, content type OK")
+
+    print("[2/5] watching a job end-to-end over SSE (no polling)...")
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    conn.request("GET", "/events", headers={"Accept": "text/event-stream"})
+    resp = conn.getresponse()
+    if resp.status != 200:
+        fail(f"GET /events returned {resp.status}")
+    frames = iter_sse(resp)
+    first = next(frames)
+    if first.get("event") != "hello":
+        fail(f"stream did not open with a hello frame: {first}")
+
+    status, body = http_json(port, "POST", "/jobs", SUBMISSION)
+    if status != 202:
+        fail(f"submit returned {status}: {body}")
+    job_id = body["id"]
+
+    seen, done_event = [], None
+    deadline = time.monotonic() + 120
+    for frame in frames:
+        if time.monotonic() > deadline:
+            fail(f"no terminal event within 120s; saw {[e['type'] for e in seen]}")
+        if not frame["data"]:
+            continue
+        event = json.loads(frame["data"])
+        if event.get("job_id") != job_id:
+            continue
+        seen.append(event)
+        if event["type"] == "job_done":
+            done_event = event
+            break
+        if event["type"] == "job_failed":
+            fail(f"job failed: {event}")
+    conn.close()
+    types = [e["type"] for e in seen]
+    for needed in ("job_submitted", "job_running", "slice_finished", "job_done"):
+        if needed not in types:
+            fail(f"event stream missing {needed}: {types}")
+    if types.index("job_submitted") > types.index("job_running"):
+        fail(f"out-of-order lifecycle: {types}")
+    seqs = [e["seq"] for e in seen]
+    if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+        fail(f"event seqs not strictly increasing: {seqs}")
+    verdict = done_event["data"]["verdict"]
+    print(f"      {len(seen)} events, verdict over SSE: {verdict}")
+
+    print("[3/5] post-job /metrics agrees with the stream...")
+    _, families = scrape_metrics(port)
+    if sample(families, "repro_service_completed_total") != 1:
+        fail("completed counter did not reach 1")
+    if sample(families, "repro_service_jobs", '{state="done"}') != 1:
+        fail("jobs{state=done} gauge did not reach 1")
+    if not sample(families, "repro_service_events_published_total"):
+        fail("events_published counter missing or zero")
+
+    print("[4/5] one `repro top --once` frame...")
+    top = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "top",
+            "--url", f"http://127.0.0.1:{port}",
+            "--once", "--interval", "0.3", "--duration", "10",
+        ],
+        capture_output=True, text=True, env=cli_env(), timeout=60,
+    )
+    if top.returncode != 0:
+        fail(f"repro top exited {top.returncode}: {top.stderr}")
+    if job_id not in top.stdout or "done" not in top.stdout:
+        fail(f"top frame missing the job row:\n{top.stdout}")
+    print("      dashboard row:",
+          next(l for l in top.stdout.splitlines() if l.startswith(job_id)))
+
+    print("[5/5] drain, then join the trace against the stream...")
+    server.send_signal(signal.SIGTERM)
+    if server.wait(timeout=60) != EXIT_DRAINED:
+        fail(f"drain exited {server.returncode}, expected {EXIT_DRAINED}")
+    slice_seqs = set()
+    with open(trace_path) as handle:
+        for line in handle:
+            record = json.loads(line)
+            attrs = record.get("attrs") or {}
+            if record.get("name") == "job_slice" and attrs.get("job_id") == job_id:
+                if "event_seq" in attrs:
+                    slice_seqs.add(attrs["event_seq"])
+    stream_slice_seqs = {e["seq"] for e in seen if e["type"] == "slice_finished"}
+    if not slice_seqs:
+        fail("no job_slice spans carried event_seq correlation attrs")
+    if not (stream_slice_seqs & slice_seqs):
+        fail(
+            f"trace/stream correlation broken: spans {sorted(slice_seqs)} "
+            f"vs stream {sorted(stream_slice_seqs)}"
+        )
+    print(f"      {len(slice_seqs)} job_slice spans joined on event_seq")
+    print(f"OK: job {job_id} watched end-to-end over SSE; verdict {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,7 +54,7 @@ Commands
 
     Observability (none of it changes verdicts or statistics):
     ``--trace FILE`` appends nested span records (schema
-    ``repro.obs.trace`` v2) as JSON lines; ``--metrics-out FILE`` writes
+    ``repro.obs.trace`` v5) as JSON lines; ``--metrics-out FILE`` writes
     the merged counter/histogram registry as one JSON document;
     ``--progress`` paints a throttled live line (instances/sec, cache hit
     rate, ETA) on stderr.
@@ -71,6 +71,18 @@ Commands
     verdict an uninterrupted run would report.  Admission control sheds
     load (429 + Retry-After) instead of melting down; ``SIGTERM`` drains
     gracefully (checkpoint, flush, exit 3); a second signal force-exits.
+
+    The server is observable live: ``GET /metrics`` serves the counter
+    registry in Prometheus text format, ``GET /events`` (and
+    ``GET /jobs/{id}/events``) stream every job state transition and
+    progress tick as Server-Sent Events, and ``GET /readyz`` /
+    ``GET /healthz`` split readiness from liveness.
+
+``top``
+    Watch a running server live (SSE + /metrics, no polling of job
+    state)::
+
+        python -m repro top --url http://127.0.0.1:8642
 
 ``trace``
     Inspect a ``--trace`` file after the fact::
@@ -454,6 +466,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_rss_mb=args.max_rss_mb,
         max_size_cap=args.max_size_cap,
         search_workers=args.search_workers,
+        events=not args.no_events,
+        events_capacity=args.events_capacity,
+        sse_heartbeat=args.sse_heartbeat,
     )
     server = JobServer(
         config,
@@ -475,6 +490,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 json.dump(telemetry.to_dict(), handle, indent=2, sort_keys=True)
                 handle.write("\n")
     return code
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.top import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        duration=args.duration,
+        once=args.once,
+    )
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -674,7 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write nested span records (search/label_tree/bind/evaluate/"
         "verify_witness/checkpoint_write, plus pool/steal/shard/worker "
         "under --workers) to FILE as JSON lines (schema repro.obs.trace "
-        "v4); inspect with 'repro trace summarize FILE'",
+        "v5); inspect with 'repro trace summarize FILE'",
     )
     p_tc.add_argument(
         "--metrics-out",
@@ -809,7 +835,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write request/job/job_slice/drain span records (schema "
-        "repro.obs.trace v4) to FILE as JSON lines",
+        "repro.obs.trace v5, with job_id/event_seq correlation attrs "
+        "joinable against the /events stream) to FILE as JSON lines",
     )
     p_srv.add_argument(
         "--metrics-out",
@@ -817,8 +844,63 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the service counter registry to FILE as JSON on exit",
     )
+    p_srv.add_argument(
+        "--no-events",
+        action="store_true",
+        help="disable the in-process event bus: no /events or "
+        "/jobs/{id}/events streams (503), and zero publish overhead on "
+        "the scheduler hot path",
+    )
+    p_srv.add_argument(
+        "--events-capacity",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="event ring-buffer size: how far back Last-Event-ID resume "
+        "can reach before the stream reports dropped events "
+        "(default: 2048)",
+    )
+    p_srv.add_argument(
+        "--sse-heartbeat",
+        type=_pos_float,
+        default=3.0,
+        metavar="SECONDS",
+        help="keep-alive comment interval on idle event streams "
+        "(default: 3)",
+    )
     p_srv.add_argument("--progress", action="store_true", help=argparse.SUPPRESS)
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard for a running job server (SSE /events + "
+        "/metrics; no job-state polling)",
+    )
+    p_top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="base URL of the server (default: http://127.0.0.1:8642)",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=_pos_float,
+        default=1.0,
+        help="repaint interval in seconds (default: 1)",
+    )
+    p_top.add_argument(
+        "--duration",
+        type=_pos_float,
+        default=None,
+        help="exit after this many seconds (default: run until Ctrl-C "
+        "or the server drains)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="paint one colorless frame after a single interval and exit "
+        "(scripting; degrades to snapshots-only if the stream is down)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_trace = sub.add_parser("trace", help="inspect a --trace JSONL file")
     trace_sub = p_trace.add_subparsers(dest="action", required=True)

@@ -20,7 +20,16 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from .progress import ProgressReporter
+from .events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    EVENT_VERSION,
+    EventBus,
+    Subscription,
+    validate_event,
+)
+from .progress import ProgressReporter, progress_snapshot
+from .promexp import parse_prometheus_text, render_prometheus, sanitize_metric_name
 from .summarize import render_summary, summarize_trace
 from .telemetry import BUCKET_BOUNDS, Histogram, Telemetry
 from .trace import (
@@ -54,6 +63,16 @@ __all__ = [
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_VERSION",
     "ProgressReporter",
+    "progress_snapshot",
+    "EventBus",
+    "Subscription",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "EVENT_VERSION",
+    "validate_event",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
     "read_trace_file",
     "validate_trace_records",
     "summarize_trace",
@@ -70,13 +89,15 @@ class Observability:
     call sites pay a single attribute check.
     """
 
-    __slots__ = ("tracer", "telemetry", "progress", "live_stats")
+    __slots__ = ("tracer", "telemetry", "progress", "live_stats", "events", "job_id")
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         telemetry: Optional[Telemetry] = None,
         progress: Optional[ProgressReporter] = None,
+        events: Optional[EventBus] = None,
+        job_id: Optional[str] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.telemetry = telemetry
@@ -85,11 +106,20 @@ class Observability:
         # readers (worker heartbeats) can snapshot progress without a
         # callback in the hot loop.
         self.live_stats: Optional[Any] = None
+        # Live event feed (repro.obs.events) + the correlation id every
+        # event published on behalf of this run should carry.  Neither is
+        # consulted in the hot loop — feeds hang off RuntimeControl.on_tick
+        # and the supervisor's poll loop.
+        self.events = events
+        self.job_id = job_id
 
     @property
     def active(self) -> bool:
         return (
-            self.tracer.enabled or self.telemetry is not None or self.progress is not None
+            self.tracer.enabled
+            or self.telemetry is not None
+            or self.progress is not None
+            or self.events is not None
         )
 
     def record_search(self, stats: Any) -> None:

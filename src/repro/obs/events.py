@@ -1,0 +1,270 @@
+"""repro.obs.events — a bounded, drop-counting in-process event bus.
+
+The live observability plane needs a single funnel that turns what the
+system already knows — scheduler state transitions, slice lifecycles,
+worker heartbeats, progress ticks — into schema-versioned JSON events a
+subscriber (the SSE layer, ``repro top``, a test) can consume without
+polling.  Design constraints, in order:
+
+* **Never block or grow without bound.**  Publishers run on the event
+  loop, on executor threads, and inside the supervisor's poll loop; a
+  slow subscriber must never stall them.  Every subscriber owns a
+  bounded pending deque — when it overflows, the *oldest* pending events
+  are dropped and counted, and the subscriber is told how many it lost.
+* **Resumable.**  The bus keeps a bounded ring of recent events indexed
+  by a monotonically increasing ``seq``; a reconnecting consumer replays
+  from its ``Last-Event-ID`` and learns exactly how many events fell off
+  the ring in the meantime.
+* **Joinable against traces.**  Events carry correlation ids
+  (``job_id``, ``run_id``) and the scheduler stamps each slice span with
+  the matching ``event_seq``, so an SSE stream and a trace file can be
+  joined row-for-row (see DESIGN §6d).
+
+Thread-safety: all mutation happens under one :class:`threading.Lock`.
+Subscriber wakeup callbacks are invoked *outside* the lock so a wakeup
+that schedules onto an asyncio loop (``call_soon_threadsafe``) can never
+deadlock against a publisher.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_VERSION",
+    "EVENT_TYPES",
+    "EventBus",
+    "Subscription",
+    "validate_event",
+]
+
+EVENT_SCHEMA = "repro.obs.event"
+EVENT_VERSION = 1
+
+# Closed vocabulary, same policy as trace.SPAN_NAMES: consumers may
+# switch on ``type`` and new types are a conscious schema decision.
+EVENT_TYPES = frozenset(
+    {
+        # service / scheduler lifecycle
+        "job_submitted",
+        "job_running",
+        "job_preempted",
+        "job_done",
+        "job_failed",
+        "job_cancelled",
+        "slice_started",
+        "slice_finished",
+        "server_started",
+        "server_recovered",
+        "server_draining",
+        # engine / runtime feeds
+        "job_progress",
+        "search_progress",
+        "pool_started",
+        "pool_worker_respawned",
+        "pool_closed",
+        "shard_stolen",
+        # bus bookkeeping (synthesized for consumers, never ring-buffered
+        # twice)
+        "events_dropped",
+    }
+)
+
+_TERMINAL_TYPES = frozenset({"job_done", "job_failed", "job_cancelled"})
+
+
+def validate_event(event: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``event`` is a well-formed bus event."""
+    if not isinstance(event, dict):
+        raise ValueError("event must be a dict")
+    if event.get("schema") != EVENT_SCHEMA:
+        raise ValueError(f"bad event schema: {event.get('schema')!r}")
+    if event.get("v") != EVENT_VERSION:
+        raise ValueError(f"unsupported event version: {event.get('v')!r}")
+    if not isinstance(event.get("seq"), int) or event["seq"] < 0:
+        raise ValueError(f"bad event seq: {event.get('seq')!r}")
+    if event.get("type") not in EVENT_TYPES:
+        raise ValueError(f"unknown event type: {event.get('type')!r}")
+    if not isinstance(event.get("ts"), (int, float)):
+        raise ValueError("event missing numeric ts")
+    for key in ("job_id", "run_id"):
+        value = event.get(key)
+        if value is not None and not isinstance(value, (str, int)):
+            raise ValueError(f"bad correlation id {key}={value!r}")
+    if not isinstance(event.get("data"), dict):
+        raise ValueError("event data must be a dict")
+
+
+class Subscription:
+    """One consumer's bounded view of the bus.
+
+    ``pop()`` drains the pending queue and returns ``(events, dropped)``
+    where ``dropped`` is how many events overflowed *since the previous
+    pop* — the SSE layer turns a non-zero count into an
+    ``events_dropped`` notice for that client.
+    """
+
+    __slots__ = ("_bus", "max_pending", "_pending", "_dropped", "dropped_total", "wakeup", "closed")
+
+    def __init__(
+        self,
+        bus: "EventBus",
+        max_pending: int,
+        wakeup: Optional[Callable[[], None]],
+    ) -> None:
+        self._bus = bus
+        self.max_pending = max(1, int(max_pending))
+        self._pending: deque[dict[str, Any]] = deque()
+        self._dropped = 0
+        self.dropped_total = 0
+        self.wakeup = wakeup
+        self.closed = False
+
+    def _offer(self, event: dict[str, Any]) -> bool:
+        """Append under the bus lock; returns True if a wakeup is due."""
+        was_empty = not self._pending
+        self._pending.append(event)
+        if len(self._pending) > self.max_pending:
+            self._pending.popleft()
+            self._dropped += 1
+            self.dropped_total += 1
+        return was_empty
+
+    def pop(self) -> tuple[list[dict[str, Any]], int]:
+        with self._bus._lock:
+            events = list(self._pending)
+            self._pending.clear()
+            dropped = self._dropped
+            self._dropped = 0
+        return events, dropped
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Bounded pub/sub with a replay ring and per-subscriber drop counts."""
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.capacity = max(1, int(capacity))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._subs: list[Subscription] = []
+        self._next_seq = 1
+        self.published = 0
+        self.ring_dropped = 0  # events no longer replayable
+        self.subscriber_dropped = 0  # events lost by slow subscribers
+
+    # -- publish -------------------------------------------------------------
+
+    def publish(
+        self,
+        type: str,
+        *,
+        job_id: Optional[str] = None,
+        run_id: Optional[int] = None,
+        **data: Any,
+    ) -> dict[str, Any]:
+        """Publish one event; returns it (``seq`` feeds trace correlation).
+
+        Safe from any thread; never blocks on subscribers.  Unknown types
+        raise ``ValueError`` — the vocabulary is closed on purpose.
+        """
+        if type not in EVENT_TYPES:
+            raise ValueError(f"unknown event type: {type!r}")
+        event: dict[str, Any] = {
+            "schema": EVENT_SCHEMA,
+            "v": EVENT_VERSION,
+            "type": type,
+            "ts": round(self._clock(), 6),
+            "job_id": job_id,
+            "run_id": run_id,
+            "data": data,
+        }
+        wakeups: list[Callable[[], None]] = []
+        with self._lock:
+            event["seq"] = self._next_seq
+            self._next_seq += 1
+            self.published += 1
+            if len(self._ring) == self.capacity:
+                self.ring_dropped += 1
+            self._ring.append(event)
+            for sub in self._subs:
+                before = sub.dropped_total
+                if sub._offer(event) and sub.wakeup is not None:
+                    wakeups.append(sub.wakeup)
+                self.subscriber_dropped += sub.dropped_total - before
+        for wake in wakeups:
+            try:
+                wake()
+            except Exception:
+                pass  # a dying subscriber must not poison publishers
+        return event
+
+    # -- subscribe / replay --------------------------------------------------
+
+    def subscribe(
+        self,
+        max_pending: int = 512,
+        wakeup: Optional[Callable[[], None]] = None,
+    ) -> Subscription:
+        sub = Subscription(self, max_pending, wakeup)
+        with self._lock:
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            sub.closed = True
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+
+    def replay_since(self, last_seq: int) -> tuple[list[dict[str, Any]], int]:
+        """Events with ``seq > last_seq`` still in the ring, plus how many
+        matching events have already fallen off it (the resume gap)."""
+        with self._lock:
+            events = [e for e in self._ring if e["seq"] > last_seq]
+            newest_lost = 0
+            if self._ring:
+                oldest = self._ring[0]["seq"]
+            else:
+                oldest = self._next_seq
+            # Events (last_seq, oldest) were published but are gone.
+            if last_seq + 1 < oldest:
+                newest_lost = min(oldest, self._next_seq) - last_seq - 1
+        return events, max(0, newest_lost)
+
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._next_seq - 1
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "published": self.published,
+                "ring_dropped": self.ring_dropped,
+                "subscriber_dropped": self.subscriber_dropped,
+                "subscribers": len(self._subs),
+                "capacity": self.capacity,
+            }
+
+    @staticmethod
+    def is_terminal(event_type: str) -> bool:
+        return event_type in _TERMINAL_TYPES
+
+    @staticmethod
+    def terminal_types() -> Iterable[str]:
+        return _TERMINAL_TYPES

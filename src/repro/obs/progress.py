@@ -16,7 +16,7 @@ import sys
 import time
 from typing import Any, Optional, TextIO
 
-__all__ = ["ProgressReporter"]
+__all__ = ["ProgressReporter", "progress_snapshot"]
 
 
 def _fmt_eta(seconds: float) -> str:
@@ -25,6 +25,39 @@ def _fmt_eta(seconds: float) -> str:
     if seconds >= 60:
         return f"{seconds / 60:.1f}m"
     return f"{seconds:.0f}s"
+
+
+def progress_snapshot(
+    done: int,
+    elapsed: float,
+    total: Optional[int] = None,
+    hits: int = 0,
+    misses: int = 0,
+) -> dict[str, Any]:
+    """The progress math, factored out of rendering.
+
+    Shared shape for the event-bus ``job_progress`` / ``search_progress``
+    payloads so every feed (scheduler slices, supervisor heartbeats)
+    reports the same figures the stderr reporter derives.  ``eta_seconds``
+    is only present when the DP-priced ``total`` is known and the rate is
+    positive; ``pct`` likewise requires a total.
+    """
+    rate = done / elapsed if elapsed > 0 else 0.0
+    snap: dict[str, Any] = {
+        "done": int(done),
+        "elapsed": round(elapsed, 3),
+        "rate": round(rate, 1),
+        "total": int(total) if total else None,
+        "pct": None,
+        "eta_seconds": None,
+    }
+    if total:
+        snap["pct"] = round(min(100.0, 100.0 * done / total), 1)
+        if rate > 0:
+            snap["eta_seconds"] = round(max(0, total - done) / rate, 1)
+    if hits or misses:
+        snap["cache_hit_pct"] = round(100.0 * hits / (hits + misses), 1)
+    return snap
 
 
 class ProgressReporter:
@@ -74,6 +107,16 @@ class ProgressReporter:
         if self._last_emit and now - self._last_emit < self.interval:
             return
         self._render(done, stats, now)
+
+    def snapshot(self, done: int, stats: Optional[Any] = None) -> dict[str, Any]:
+        """Current figures as a :func:`progress_snapshot` dict (no render)."""
+        return progress_snapshot(
+            done,
+            self._clock() - self._start,
+            total=self.total,
+            hits=getattr(stats, "cache_hits", 0) if stats is not None else 0,
+            misses=getattr(stats, "cache_misses", 0) if stats is not None else 0,
+        )
 
     def finish(self, done: int, stats: Optional[Any] = None) -> None:
         """Render one final line and terminate the TTY rewrite."""

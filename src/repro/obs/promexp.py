@@ -1,0 +1,187 @@
+"""repro.obs.promexp — Prometheus text exposition for the Telemetry registry.
+
+Renders a :class:`repro.obs.Telemetry` snapshot (plus ad-hoc live gauges
+the service computes at scrape time) in the Prometheus text-based
+exposition format 0.0.4:
+
+* counters are suffixed ``_total`` and typed ``counter``;
+* gauges keep their name and are typed ``gauge``;
+* the fixed-bucket integer-ns histograms become classic Prometheus
+  histograms — cumulative ``_bucket{le="..."}`` series over
+  :data:`repro.obs.telemetry.BUCKET_BOUNDS` (in seconds), a ``+Inf``
+  bucket equal to ``_count``, and an exact ``_sum`` derived from the
+  nanosecond total.
+
+Metric names are sanitized into the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset
+(dots become underscores) and prefixed ``repro_`` so a scrape of several
+processes namespaces cleanly.  Everything here is pure string building —
+no sockets, no threads — so it is trivially testable against the spec.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from .telemetry import BUCKET_BOUNDS, Histogram, Telemetry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "METRIC_NAME_RE",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+# An extra sample: (name, labels-or-None, value, prom_type).
+ExtraSample = tuple[str, Optional[dict[str, str]], Union[int, float], str]
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """Map a registry name ("service.cache_hits") to a legal metric name."""
+    cleaned = _BAD_CHARS.sub("_", name.strip())
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if not cleaned or not METRIC_NAME_RE.match(cleaned):
+        cleaned = "_" + _BAD_CHARS.sub("_", cleaned)
+    return cleaned
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Optional[dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"bad label name: {key!r}")
+        parts.append(f'{key}="{_escape_label_value(str(labels[key]))}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_le(bound: float) -> str:
+    # Buckets are schema constants; render them compactly but exactly the
+    # same way every scrape (label-value stability matters for TSDBs).
+    return _format_value(float(bound))
+
+
+def _render_histogram(name: str, hist: Histogram, lines: list[str]) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for i, bound in enumerate(BUCKET_BOUNDS):
+        cumulative += hist.counts[i]
+        lines.append(
+            f'{name}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
+        )
+    cumulative += hist.counts[len(BUCKET_BOUNDS)]  # overflow bucket
+    lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{name}_sum {_format_value(hist.total_ns / 1e9)}")
+    lines.append(f"{name}_count {hist.count}")
+
+
+def render_prometheus(
+    telemetry: Optional[Telemetry] = None,
+    extra: Iterable[ExtraSample] = (),
+    prefix: str = "repro",
+) -> str:
+    """Render one scrape.  Returns the full exposition body (ends in \\n)."""
+    lines: list[str] = []
+
+    if telemetry is not None:
+        for raw_name in sorted(telemetry.counters):
+            name = sanitize_metric_name(raw_name, prefix) + "_total"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(telemetry.counters[raw_name])}")
+        for raw_name in sorted(telemetry.gauges):
+            name = sanitize_metric_name(raw_name, prefix)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(telemetry.gauges[raw_name])}")
+        for raw_name in sorted(telemetry.histograms):
+            name = sanitize_metric_name(raw_name, prefix) + "_seconds"
+            _render_histogram(name, telemetry.histograms[raw_name], lines)
+
+    # Extra samples arrive pre-grouped by name so each family gets one
+    # TYPE line even when it fans out over labels (e.g. jobs by state).
+    seen_types: dict[str, str] = {}
+    for raw_name, labels, value, prom_type in extra:
+        if prom_type not in ("counter", "gauge"):
+            raise ValueError(f"extra samples must be counter/gauge, got {prom_type!r}")
+        name = sanitize_metric_name(raw_name, prefix)
+        if prom_type == "counter" and not name.endswith("_total"):
+            name += "_total"
+        declared = seen_types.get(name)
+        if declared is None:
+            seen_types[name] = prom_type
+            lines.append(f"# TYPE {name} {prom_type}")
+        elif declared != prom_type:
+            raise ValueError(f"conflicting types for {name}: {declared} vs {prom_type}")
+        lines.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def parse_prometheus_text(body: str) -> dict[str, dict[str, Any]]:
+    """A small spec-shaped parser used by tests and ``repro top``.
+
+    Returns ``{metric_name: {"type": str|None, "samples": {labelstr: value}}}``
+    and raises ``ValueError`` on malformed lines, undeclared histogram
+    components, or non-monotonic cumulative buckets.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+"
+        r"([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$"
+    )
+    for lineno, line in enumerate(body.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families.setdefault(parts[2], {"type": None, "samples": {}})
+                families[parts[2]]["type"] = parts[3]
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name, labelstr, value_s = match.group(1), match.group(2) or "", match.group(3)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        family = families.setdefault(base, {"type": None, "samples": {}})
+        if value_s == "+Inf":
+            value: float = math.inf
+        elif value_s == "-Inf":
+            value = -math.inf
+        elif value_s == "NaN":
+            value = math.nan
+        else:
+            value = float(value_s)
+        family["samples"][name + labelstr] = value
+    return families

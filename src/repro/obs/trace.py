@@ -15,9 +15,11 @@ record is a ``span`` record:
 appear before their parents in the file (the ``parent`` id links them
 back up).  The span vocabulary is closed — :data:`SPAN_NAMES` — and
 ``validate_trace_records`` checks a parsed stream against the schema
-(v1, v2 and v3 streams all validate; v2 added the ``checkpoint_write``
-span, v3 the job-service spans ``request``/``job``/``job_slice``/
-``drain``).
+(v1–v5 streams all validate; v2 added the ``checkpoint_write`` span, v3
+the job-service spans ``request``/``job``/``job_slice``/``drain``, v4
+the worker-pool spans, and v5 added no names at all — only the optional
+``job_id``/``event_seq`` correlation attrs that join service spans to
+the live event stream of :mod:`repro.obs.events`).
 
 The disabled path is :data:`NULL_TRACER`: callers check
 ``tracer.enabled`` (a plain attribute) before doing any timing work, so
@@ -47,13 +49,14 @@ __all__ = [
 ]
 
 TRACE_SCHEMA = "repro.obs.trace"
-TRACE_SCHEMA_VERSION = 4
-SUPPORTED_TRACE_VERSIONS = frozenset({1, 2, 3, TRACE_SCHEMA_VERSION})
+TRACE_SCHEMA_VERSION = 5
+SUPPORTED_TRACE_VERSIONS = frozenset({1, 2, 3, 4, TRACE_SCHEMA_VERSION})
 
 # Closed span vocabulary.  Adding a name is a version bump: v2 added
 # "checkpoint_write" (the durable store's persistence phase), v3 the
-# job-service spans, v4 the worker-pool spans; older streams remain
-# valid — the vocabulary only grew.
+# job-service spans, v4 the worker-pool spans, v5 only the optional
+# "job_id"/"event_seq" span attrs (event-stream correlation); older
+# streams remain valid — the vocabulary only grew.
 SPAN_NAMES = frozenset(
     {
         "search",  # one sequential (or in-process-shard) engine run
@@ -252,8 +255,9 @@ NULL_TRACER = _NullTracer()
 
 
 def validate_trace_records(records: Iterable[dict[str, Any]]) -> list[str]:
-    """Check a parsed record stream against the trace schema (v1 or v2
-    — v2 only grew the span vocabulary, so one validator covers both).
+    """Check a parsed record stream against the trace schema (v1–v5 —
+    later versions only grew the span vocabulary or added optional
+    attrs, so one validator covers all of them).
 
     Returns a list of human-readable problems (empty == valid).  Children
     are written before parents, so parent links are checked against the
@@ -298,8 +302,19 @@ def validate_trace_records(records: Iterable[dict[str, Any]]) -> list[str]:
                 problems.append(f"line {i}: {field} must be a number, got {value!r}")
             elif field == "dur" and value < 0:
                 problems.append(f"line {i}: negative duration {value!r}")
-        if not isinstance(record.get("attrs", {}), dict):
+        attrs = record.get("attrs", {})
+        if not isinstance(attrs, dict):
             problems.append(f"line {i}: attrs must be an object")
+        else:
+            # v5 correlation attrs are optional but typed when present.
+            if "event_seq" in attrs and not isinstance(attrs["event_seq"], int):
+                problems.append(
+                    f"line {i}: event_seq must be an int, got {attrs['event_seq']!r}"
+                )
+            if "job_id" in attrs and not isinstance(attrs["job_id"], str):
+                problems.append(
+                    f"line {i}: job_id must be a string, got {attrs['job_id']!r}"
+                )
     for i, record in enumerate(spans, start=2):
         parent = record.get("parent")
         if parent is not None and parent not in ids:

@@ -347,6 +347,10 @@ class WorkerPool:
         self.start_method = start_method
         self.heartbeat_interval = heartbeat_interval
         self.tracer = tracer
+        self.events: Any = None
+        """Optional :class:`repro.obs.events.EventBus`: pool lifecycle
+        (start/respawn/close) is published for the live dashboard.  Set
+        by whoever owns the pool; per-dispatch work stays event-free."""
         self.members: list[_PoolMember] = []
         self.cancel_event: Any = None
         self.reap_escalations = 0
@@ -360,6 +364,14 @@ class WorkerPool:
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _publish(self, type: str, **data: Any) -> None:
+        if self.events is None:
+            return
+        try:
+            self.events.publish(type, run_id=self._run_seq or None, **data)
+        except Exception:  # noqa: BLE001 - observability must not kill the pool
+            pass
 
     @property
     def started(self) -> bool:
@@ -388,6 +400,7 @@ class WorkerPool:
         except PoolUnavailable:
             self.close()
             raise
+        self._publish("pool_started", workers=self.workers)
 
     def _spawn_member(self, index: int) -> _PoolMember:
         ctx = self._ctx
@@ -536,6 +549,7 @@ class WorkerPool:
         else:  # pragma: no cover - member not tracked (already replaced)
             self.members.append(fresh)
         self.respawns += 1
+        self._publish("pool_worker_respawned", member=member.index, respawns=self.respawns)
         return fresh
 
     # -- end of run ----------------------------------------------------------
@@ -596,6 +610,9 @@ class WorkerPool:
             self.reap(member)
         self.members = []
         self._ctx = None
+        self._publish(
+            "pool_closed", respawns=self.respawns, reap_escalations=self.reap_escalations
+        )
 
     def __enter__(self) -> "WorkerPool":
         self.ensure_started()

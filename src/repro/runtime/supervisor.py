@@ -62,6 +62,7 @@ from types import SimpleNamespace
 from typing import Any, Optional
 
 from repro.obs import Observability, Telemetry
+from repro.obs.progress import progress_snapshot
 from repro.obs.trace import NULL_TRACER
 from repro.runtime.checkpoint import (
     CheckpointMismatchError,
@@ -650,6 +651,9 @@ class ShardedSearch:
             heartbeat_interval=cfg.heartbeat_interval,
             tracer=tracer if tracer.enabled else None,
         )
+        events = self.obs.events if self.obs is not None else None
+        if events is not None and pool.events is None:
+            pool.events = events
         pool.ensure_started()  # PoolUnavailable propagates: run() degrades
         pool_t0 = time.perf_counter()
         base_escalations = pool.reap_escalations
@@ -674,6 +678,12 @@ class ShardedSearch:
         assigned: dict[int, tuple[_ShardState, int, float]] = {}
         evalerror: Optional[_WorkerEvalError] = None
         stop_grace_until = 0.0
+        # Event-feed state: steal tally for this run and the next time a
+        # search_progress event may be published (the bus analogue of the
+        # progress reporter's throttle).
+        steals = [0]
+        supervise_t0 = time.monotonic()
+        next_progress_event = [0.0]
 
         def barrier() -> Optional[int]:
             fails = [st.spec.start_label for st in states if st.status == "fails"]
@@ -735,6 +745,7 @@ class ShardedSearch:
                     continue
                 st.status = "running"
                 assigned[member.index] = (st, st.attempt, time.perf_counter())
+                steals[0] += 1
                 if tracer.enabled:
                     # Steal latency: how long the member sat idle before
                     # pulling this range — the load-balance health signal.
@@ -746,6 +757,17 @@ class ShardedSearch:
                         stop=st.spec.stop_label,
                         attempt=st.attempt,
                         member=member.index,
+                    )
+                if events is not None:
+                    events.publish(
+                        "shard_stolen",
+                        job_id=self.obs.job_id if self.obs is not None else None,
+                        run_id=run_id,
+                        member=member.index,
+                        start=st.spec.start_label,
+                        stop=st.spec.stop_label,
+                        attempt=st.attempt,
+                        steals=steals[0],
                     )
 
         def member_lost(member: _PoolMember, why: str, respawn: bool = True) -> None:
@@ -865,7 +887,7 @@ class ShardedSearch:
 
         def update_progress() -> None:
             reporter = self.obs.progress if self.obs is not None else None
-            if reporter is None:
+            if reporter is None and events is None:
                 return
             # Settled shards report exact stats; running ones their latest
             # heartbeat snapshot.  The reporter throttles itself.
@@ -879,9 +901,32 @@ class ShardedSearch:
                     done += int(st.stats.get("valued_trees_checked", 0))
                     hits += int(st.stats.get("cache_hits", 0))
                     misses += int(st.stats.get("cache_misses", 0))
-            reporter.maybe_update(
-                done, SimpleNamespace(cache_hits=hits, cache_misses=misses)
-            )
+            if reporter is not None:
+                reporter.maybe_update(
+                    done, SimpleNamespace(cache_hits=hits, cache_misses=misses)
+                )
+            if events is not None:
+                # The {"i","ch","cm"} heartbeats, forwarded: per-run
+                # progress with the DP-priced instance total, so the ETA
+                # is exact, not a budget bound.
+                now = time.monotonic()
+                if now >= next_progress_event[0]:
+                    next_progress_event[0] = now + 0.25
+                    events.publish(
+                        "search_progress",
+                        job_id=self.obs.job_id if self.obs is not None else None,
+                        run_id=run_id,
+                        total_kind="priced",
+                        workers=len(pool.members),
+                        steals=steals[0],
+                        **progress_snapshot(
+                            done,
+                            now - supervise_t0,
+                            total=self.plan.total_instances,
+                            hits=hits,
+                            misses=misses,
+                        ),
+                    )
 
         try:
             while True:

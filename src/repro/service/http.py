@@ -4,7 +4,9 @@ Stdlib only (no new dependencies is a hard constraint of this repo), so
 the server speaks a deliberately small slice of HTTP/1.1:
 
 * one request per connection (every response carries
-  ``Connection: close``) — the job API is submit/poll, not streaming;
+  ``Connection: close``) — the job API is submit/poll, plus the one
+  sanctioned long-lived shape: a Server-Sent-Events response whose end
+  is delimited by connection close (helpers below frame the stream);
 * JSON bodies both ways, ``Content-Length`` framing only (no chunked
   encoding, no expect/continue);
 * defensive by default: a header section over ``MAX_HEADER_BYTES`` or a
@@ -28,10 +30,16 @@ __all__ = [
     "HttpError",
     "MAX_HEADER_BYTES",
     "Request",
+    "SSE_CONTENT_TYPE",
     "STATUS_PHRASES",
     "read_request",
     "render_response",
+    "render_sse_comment",
+    "render_sse_event",
+    "render_stream_head",
 ]
+
+SSE_CONTENT_TYPE = "text/event-stream; charset=utf-8"
 
 MAX_HEADER_BYTES = 16 * 1024
 
@@ -67,6 +75,18 @@ class Request:
     path: str
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    query: str = ""
+
+    def query_params(self) -> dict[str, str]:
+        """Parse the raw query string (last value wins; no + decoding —
+        the API only passes small integers and identifiers here)."""
+        params: dict[str, str] = {}
+        for pair in self.query.split("&"):
+            if not pair:
+                continue
+            name, _, value = pair.partition("=")
+            params[name] = value
+        return params
 
     def json(self) -> Any:
         if not self.body:
@@ -139,9 +159,10 @@ async def read_request(
                 raise HttpError(400, "connection closed mid-body") from exc
     elif headers.get("transfer-encoding"):
         raise HttpError(400, "chunked bodies are not supported; send Content-Length")
-    # Strip the query string; the job API does not use it.
-    path = target.split("?", 1)[0]
-    return Request(method=method.upper(), path=path, headers=headers, body=body)
+    # Routing matches on the bare path; the query string is kept for the
+    # few endpoints that take parameters (SSE resume).
+    path, _, query = target.partition("?")
+    return Request(method=method.upper(), path=path, headers=headers, body=body, query=query)
 
 
 def render_response(
@@ -162,3 +183,57 @@ def render_response(
         for name, value in extra_headers.items():
             lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+# -- Server-Sent Events framing ----------------------------------------------
+#
+# SSE needs no chunked encoding: the response omits Content-Length and the
+# stream ends when the connection closes, which HTTP/1.1 permits and every
+# EventSource/curl client understands.  Frames use bare LF per the SSE spec.
+
+
+def render_stream_head(
+    status: int = 200,
+    content_type: str = SSE_CONTENT_TYPE,
+    extra_headers: Optional[dict[str, str]] = None,
+) -> bytes:
+    """Response head for a connection-close-delimited event stream."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        "Cache-Control: no-store",
+        "Connection: close",
+        "X-Accel-Buffering: no",
+    ]
+    if extra_headers:
+        for name, value in extra_headers.items():
+            lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def render_sse_event(
+    data: str,
+    event: Optional[str] = None,
+    event_id: Optional[int] = None,
+) -> bytes:
+    """One SSE frame: optional ``id:``/``event:`` lines then ``data:``.
+
+    ``data`` containing newlines fans out over multiple ``data:`` lines
+    (the client rejoins them), keeping the frame well-formed for any
+    payload.
+    """
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    for chunk in data.split("\n"):
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def render_sse_comment(text: str = "") -> bytes:
+    """A comment frame (``: text``) — the keep-alive heartbeat shape."""
+    safe = text.replace("\n", " ")
+    return (f": {safe}\n\n").encode("utf-8")

@@ -44,6 +44,8 @@ from typing import Any, Optional
 
 from repro.dtd.core import DTD
 from repro.dtd.parser import DTDParseError, parse_dtd
+from repro.obs import Observability
+from repro.obs.progress import progress_snapshot
 from repro.ql.ast import Query
 from repro.ql.serde import QuerySerdeError, query_from_dict
 from repro.runtime.checkpoint import CheckpointError, search_fingerprint
@@ -231,6 +233,65 @@ class SchedulerConfig:
     pool's processes survive across slices and jobs — compiled query
     tables ship to them once — and are closed at drain."""
 
+    progress_interval: float = 0.25
+    """Minimum seconds between ``job_progress`` events per running slice
+    (the event-bus analogue of the stderr reporter's throttle)."""
+
+
+class _SliceProgressPublisher:
+    """Turns the engine's per-instance tick into throttled ``job_progress``
+    events.  Hangs off ``RuntimeControl.on_tick`` so the hot loop pays one
+    clock read per candidate instance; figures come from the
+    ``obs.live_stats`` snapshot the engine parks (cumulative across
+    resumed slices).  Sequential slices have no DP-priced total, so the
+    ETA/pct are against the submission's instance *budget* — honest as
+    "budget used", labelled ``total_kind: budget`` (the supervisor feed
+    publishes ``priced`` totals)."""
+
+    __slots__ = (
+        "events", "job_id", "obs", "interval", "clock",
+        "slice_start", "base_seconds", "budget_total", "_next_at",
+    )
+
+    def __init__(
+        self,
+        events: Any,
+        job_id: str,
+        obs: Observability,
+        base_seconds: float,
+        budget_total: int,
+        interval: float,
+        clock=time.monotonic,
+    ) -> None:
+        self.events = events
+        self.job_id = job_id
+        self.obs = obs
+        self.interval = interval
+        self.clock = clock
+        self.slice_start = clock()
+        self.base_seconds = base_seconds
+        self.budget_total = budget_total
+        self._next_at = self.slice_start + interval
+
+    def tick(self, next_instance_index: int) -> None:
+        now = self.clock()
+        if now < self._next_at:
+            return
+        self._next_at = now + self.interval
+        stats = self.obs.live_stats
+        if stats is None:
+            return
+        snap = progress_snapshot(
+            stats.valued_trees_checked,
+            self.base_seconds + (now - self.slice_start),
+            total=self.budget_total,
+            hits=stats.cache_hits,
+            misses=stats.cache_misses,
+        )
+        self.events.publish(
+            "job_progress", job_id=self.job_id, total_kind="budget", **snap
+        )
+
 
 @dataclass(slots=True)
 class SliceOutcome:
@@ -257,6 +318,7 @@ class JobScheduler:
         telemetry: Optional[Any] = None,
         tracer: Optional[Any] = None,
         faults: Optional[FaultInjector] = None,
+        events: Optional[Any] = None,
     ) -> None:
         self.data_dir = data_dir
         self.journal = journal
@@ -265,7 +327,10 @@ class JobScheduler:
         self.telemetry = telemetry
         self.tracer = tracer
         self.faults = faults
+        self.events = events
         self.draining = False
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.result_cache: dict[str, dict[str, Any]] = {}
         self.running_tokens: dict[str, CancellationToken] = {}
         self.cancel_requested: set[str] = set()
@@ -283,6 +348,15 @@ class JobScheduler:
     def _count(self, name: str, n: int = 1) -> None:
         if self.telemetry is not None:
             self.telemetry.count(name, n)
+
+    def _publish(
+        self, type: str, job_id: Optional[str] = None, **data: Any
+    ) -> Optional[int]:
+        """Publish one bus event; returns its ``seq`` (None when events
+        are off) so span attrs can carry the correlation id."""
+        if self.events is None:
+            return None
+        return self.events.publish(type, job_id=job_id, **data)["seq"]
 
     def _service_fault(self, point: str) -> None:
         """Consult the fault plan at a scheduler state transition.  Mode
@@ -329,6 +403,7 @@ class JobScheduler:
                 from repro.runtime.pool import WorkerPool
 
                 self._search_pool = WorkerPool(self.config.search_workers)
+                self._search_pool.events = self.events
             self._search_pool.ensure_started()
             return self._search_pool
         except Exception:
@@ -381,12 +456,15 @@ class JobScheduler:
         if not sub.no_cache:
             cached = self.result_cache.get(sub.fingerprint)
             if cached is not None:
+                self.cache_hits += 1
                 self._count("service.cache_hits")
                 return 200, {
                     "cache": "hit",
                     "fingerprint": sub.fingerprint,
                     "result": cached,
                 }
+            self.cache_misses += 1
+            self._count("service.cache_misses")
         existing = self.journal.find_fingerprint(sub.fingerprint, ACTIVE_STATES)
         if existing is not None:
             self._count("service.deduplicated")
@@ -420,6 +498,14 @@ class JobScheduler:
         self.journal.add(record)
         self.flush()
         self._count("service.submitted")
+        self._publish(
+            "job_submitted",
+            job_id=record.id,
+            tenant=sub.tenant,
+            fingerprint=sub.fingerprint,
+            max_size=sub.budget.max_size,
+            max_instances=sub.budget.max_instances,
+        )
         return 202, {
             "id": record.id,
             "state": record.state,
@@ -448,6 +534,7 @@ class JobScheduler:
         self.job_store(job_id).clear()
         self.flush()
         self._count("service.cancelled")
+        self._publish("job_cancelled", job_id=record.id, while_state="queued")
         return 200, {"id": record.id, "state": record.state}
 
     # -- scheduling ----------------------------------------------------------
@@ -480,10 +567,19 @@ class JobScheduler:
         after this flush replays it as preempted) and mint its slice's
         cancellation token."""
         token = CancellationToken()
+        was_fresh = record.slices == 0 and record.state == SUBMITTED
         record.state = RUNNING
         self.running_tokens[record.id] = token
         self.last_sliced = record.id
         self.flush()
+        if was_fresh:
+            self._publish("job_running", job_id=record.id, attempts=record.attempts)
+        self._publish(
+            "slice_started",
+            job_id=record.id,
+            slice=record.slices,
+            attempts=record.attempts,
+        )
         return token
 
     def run_slice(self, job_id: str, token: CancellationToken) -> SliceOutcome:
@@ -516,6 +612,22 @@ class JobScheduler:
                 self._count("service.checkpoint_restarts")
                 store.clear()
                 resume_from = None
+            obs: Optional[Observability] = None
+            on_tick = None
+            if self.events is not None:
+                # The slice-local observability handle carries the bus +
+                # correlation id down the stack (the supervisor publishes
+                # ``search_progress`` from it when the slice runs pooled);
+                # the on_tick publisher covers the sequential path.
+                obs = Observability(events=self.events, job_id=job_id)
+                on_tick = _SliceProgressPublisher(
+                    self.events,
+                    job_id,
+                    obs,
+                    base_seconds=record.compute_seconds,
+                    budget_total=sub.budget.max_instances,
+                    interval=self.config.progress_interval,
+                ).tick
             control = RuntimeControl(
                 deadline=Deadline.after(slice_seconds),
                 token=token,
@@ -523,6 +635,7 @@ class JobScheduler:
                 autosave=CheckpointAutosave(
                     store, every_instances=self.config.checkpoint_every
                 ),
+                on_tick=on_tick,
             )
             from repro.typecheck.api import UndecidableFragmentError, typecheck
 
@@ -537,6 +650,7 @@ class JobScheduler:
                     control=control,
                     resume_from=resume_from,
                     pool=pool,
+                    obs=obs,
                 )
             except UndecidableFragmentError as exc:
                 return SliceOutcome(
@@ -591,16 +705,28 @@ class JobScheduler:
         if record is None:  # pragma: no cover - coordinator bug guard
             return
         self.retry_at.pop(job_id, None)
+        event_seq = self._publish(
+            "slice_finished",
+            job_id=job_id,
+            kind=outcome.kind,
+            elapsed=round(outcome.elapsed, 6),
+            slice=record.slices,
+        )
         if self.tracer is not None and self.tracer.enabled and outcome.elapsed:
+            # v5 correlation attrs: the slice span names the bus event it
+            # mirrors, so trace files and SSE captures join row-for-row.
+            attrs: dict[str, Any] = {"job": job_id, "job_id": job_id, "kind": outcome.kind}
+            if event_seq is not None:
+                attrs["event_seq"] = event_seq
             self.tracer.emit(
-                "job_slice", outcome.started_at, outcome.elapsed,
-                job=job_id, kind=outcome.kind,
+                "job_slice", outcome.started_at, outcome.elapsed, **attrs
             )
         if outcome.kind == "budget":
             record.state = FAILED
             record.error = "tenant compute budget exhausted"
             self.job_store(job_id).clear()
             self._count("service.budget_exhausted")
+            self._publish("job_failed", job_id=job_id, error=record.error, reason="budget")
         elif outcome.kind == "error":
             record.attempts += 1
             if not outcome.retryable or record.attempts >= self.config.max_attempts:
@@ -608,6 +734,13 @@ class JobScheduler:
                 record.error = outcome.error
                 self.job_store(job_id).clear()
                 self._count("service.poisoned" if outcome.retryable else "service.failed")
+                self._publish(
+                    "job_failed",
+                    job_id=job_id,
+                    error=record.error,
+                    reason="poisoned" if outcome.retryable else "error",
+                    attempts=record.attempts,
+                )
             else:
                 record.state = PREEMPTED
                 record.interruption = f"attempt {record.attempts} failed: {outcome.error}"
@@ -617,6 +750,13 @@ class JobScheduler:
                 )
                 self.retry_at[job_id] = time.monotonic() + delay
                 self._count("service.retries")
+                self._publish(
+                    "job_preempted",
+                    job_id=job_id,
+                    reason="retry",
+                    attempts=record.attempts,
+                    retry_delay=round(delay, 3),
+                )
         else:
             result = outcome.result
             assert result is not None
@@ -631,17 +771,30 @@ class JobScheduler:
                     record.interruption = result.interruption or "cancelled"
                     self.job_store(job_id).clear()
                     self._count("service.cancelled")
+                    self._publish(
+                        "job_cancelled", job_id=job_id, while_state="running"
+                    )
                 elif result.interruption and "memory ceiling" in result.interruption:
                     # Resuming would re-trip the same ceiling immediately.
                     record.state = FAILED
                     record.error = result.interruption
                     self.job_store(job_id).clear()
                     self._count("service.memory_failed")
+                    self._publish(
+                        "job_failed", job_id=job_id, error=record.error, reason="memory"
+                    )
                 else:
                     self._service_fault("preempt")
                     record.state = PREEMPTED
                     record.interruption = result.interruption or "slice expired"
                     self._count("service.preemptions")
+                    self._publish(
+                        "job_preempted",
+                        job_id=job_id,
+                        reason="slice",
+                        slices=record.slices,
+                        instances=result.stats.valued_trees_checked,
+                    )
             else:
                 self._service_fault("complete")
                 record.state = DONE
@@ -651,6 +804,14 @@ class JobScheduler:
                 self.result_cache[record.fingerprint] = record.result
                 self.job_store(job_id).clear()
                 self._count("service.completed")
+                self._publish(
+                    "job_done",
+                    job_id=job_id,
+                    verdict=result.verdict.value,
+                    slices=record.slices,
+                    instances=result.stats.valued_trees_checked,
+                    compute_seconds=round(record.compute_seconds, 3),
+                )
         if not record.active():
             # A cancel that raced a terminal outcome must not linger and
             # cancel a future job that reuses nothing but our attention.
@@ -664,6 +825,7 @@ class JobScheduler:
         instance boundary (it will be applied as ``preempted`` with its
         checkpoint flushed — that is the graceful-drain contract)."""
         self.draining = True
+        self._publish("server_draining", running=len(self.running_tokens))
         for token in self.running_tokens.values():
             token.cancel("server draining")
 
@@ -671,11 +833,33 @@ class JobScheduler:
         by_state: dict[str, int] = {}
         for record in self.journal.jobs.values():
             by_state[record.state] = by_state.get(record.state, 0) + 1
-        return {
+        queue_depth = by_state.get(SUBMITTED, 0) + by_state.get(PREEMPTED, 0)
+        running = len(self.running_tokens)
+        workers = max(1, self.config.workers)
+        out: dict[str, Any] = {
             "jobs": by_state,
             "active": len(self.journal.active()),
             "max_queue": self.admission.max_queue,
             "draining": self.draining,
             "result_cache_entries": len(self.result_cache),
             "quarantined_entries": len(self.journal.quarantined),
+            # Dashboard cold-start snapshot: what `repro top` renders
+            # before the first event arrives.
+            "queue_depth": queue_depth,
+            "running_slices": running,
+            "workers": self.config.workers,
+            "pool_utilization": round(running / workers, 3),
+            "result_cache": {
+                "entries": len(self.result_cache),
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "search_pool": {
+                "workers": self.config.search_workers,
+                "started": self._search_pool is not None,
+                "failed": self._search_pool_failed,
+            },
         }
+        if self.events is not None:
+            out["events"] = self.events.stats()
+        return out

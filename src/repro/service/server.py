@@ -26,6 +26,7 @@ is the proof).
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 import sys
@@ -34,10 +35,21 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.obs import EVENT_SCHEMA, EVENT_VERSION, EventBus, Telemetry
+from repro.obs.promexp import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.promexp import render_prometheus
 from repro.runtime.durable import DurableStore
 from repro.runtime.faults import FaultInjector
 from repro.service.admission import AdmissionControl, TenantPolicy
-from repro.service.http import HttpError, Request, read_request, render_response
+from repro.service.http import (
+    HttpError,
+    Request,
+    read_request,
+    render_response,
+    render_sse_comment,
+    render_sse_event,
+    render_stream_head,
+)
 from repro.service.journal import JobJournal
 from repro.service.scheduler import JobScheduler, SchedulerConfig, ServiceFaultError
 
@@ -68,6 +80,21 @@ class ServerConfig:
     search_workers: int = 0
     """Shared search-pool processes for job slices (0 = sequential
     search per slice; see ``SchedulerConfig.search_workers``)."""
+    events: bool = True
+    """Live event plane: the in-process EventBus plus the SSE routes
+    (``GET /events``, ``GET /jobs/{id}/events``).  Off = both 503 and
+    the scheduler publishes nothing."""
+    events_capacity: int = 2048
+    """Replay-ring size: how far back a ``Last-Event-ID`` resume reaches."""
+    sse_heartbeat: float = 3.0
+    """Seconds of stream silence before a ``:`` comment keep-alive."""
+    sse_max_pending: int = 512
+    """Per-subscriber pending-queue bound; overflow drops oldest events
+    (counted and reported to that client, never buffered unboundedly)."""
+    sse_evict_drops: int = 2048
+    """Cumulative dropped events after which a slow consumer is evicted."""
+    sse_write_timeout: float = 5.0
+    """Seconds a single stream write may stall before eviction."""
 
 
 class JobServer:
@@ -81,8 +108,13 @@ class JobServer:
         tracer: Optional[Any] = None,
     ) -> None:
         self.config = config
-        self.telemetry = telemetry
+        # /metrics always has a registry to render, even when no
+        # --metrics-out file was requested.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.tracer = tracer
+        self.events: Optional[EventBus] = (
+            EventBus(capacity=config.events_capacity) if config.events else None
+        )
         os.makedirs(config.data_dir, exist_ok=True)
         # The journal store carries the fault injector: --inject-io-fault
         # drills (torn writes, crashes mid-rename) hit the job table, the
@@ -90,9 +122,9 @@ class JobServer:
         self.journal_store = DurableStore(
             os.path.join(config.data_dir, "journal.json"),
             faults=faults,
-            telemetry=telemetry,
+            telemetry=self.telemetry,
         )
-        self.journal = JobJournal(self.journal_store, telemetry=telemetry)
+        self.journal = JobJournal(self.journal_store, telemetry=self.telemetry)
         self.admission = AdmissionControl(
             max_queue=config.max_queue,
             default_policy=TenantPolicy(
@@ -101,7 +133,7 @@ class JobServer:
                 max_rss_mb=config.max_rss_mb,
                 max_size=config.max_size_cap,
             ),
-            telemetry=telemetry,
+            telemetry=self.telemetry,
         )
         self.scheduler = JobScheduler(
             config.data_dir,
@@ -114,9 +146,10 @@ class JobServer:
                 workers=config.workers,
                 search_workers=config.search_workers,
             ),
-            telemetry=telemetry,
+            telemetry=self.telemetry,
             tracer=tracer,
             faults=faults,
+            events=self.events,
         )
         self.exit_code = 0
         self.started_jobs = 0
@@ -125,8 +158,15 @@ class JobServer:
         self._wake: Optional[asyncio.Event] = None
         self._done: Optional[asyncio.Event] = None
         self._draining = False
+        self._ready = False
+        self._started_at = time.monotonic()
         self._pump_task: Optional[asyncio.Task] = None
         self._signals_installed: list[int] = []
+        # Live SSE connections: their per-connection wake events (set at
+        # drain so every stream notices promptly) and their handler tasks
+        # (awaited at drain so teardown is clean, not abandoned).
+        self._stream_wakes: set[asyncio.Event] = set()
+        self._stream_tasks: set[asyncio.Task] = set()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -156,6 +196,16 @@ class JobServer:
             f"repro-serve: listening on http://{self.config.host}:{port}",
             flush=True,
         )
+        self._ready = True
+        if self.events is not None:
+            # A restarted server announces recovery (resumed jobs only —
+            # jobs already terminal in the journal replay silently, which
+            # is what keeps restarted streams free of duplicate terminal
+            # events); a fresh one announces birth.
+            if recovered:
+                self.events.publish("server_recovered", resumed=list(recovered), port=port)
+            else:
+                self.events.publish("server_started", port=port)
         self._pump_task = asyncio.get_running_loop().create_task(self._pump())
         return port
 
@@ -191,13 +241,21 @@ class JobServer:
         if self._draining:
             return
         self._draining = True
+        self._ready = False
         drain_started = time.perf_counter()
         self.scheduler.drain_begin()
+        # Wake every SSE stream *before* closing the listener: on recent
+        # asyncio, ``Server.wait_closed`` waits for handlers, and a stream
+        # parked on its heartbeat timer must notice the drain first.
+        for wake in list(self._stream_wakes):
+            wake.set()
         if self._wake is not None:
             self._wake.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._stream_tasks:
+            await asyncio.wait(set(self._stream_tasks), timeout=2.0)
         if self._pump_task is not None:
             await self._pump_task
         try:
@@ -317,6 +375,13 @@ class JobServer:
             if request is None:
                 return
             method, path = request.method, request.path
+            if method == "GET" and _stream_job_id(path) is not None:
+                status = await self._handle_stream(request, writer)
+                return
+            if method == "GET" and path == "/metrics":
+                status = 200
+                writer.write(self._render_metrics())
+                return
             try:
                 status, payload, headers = self._route(request)
             except HttpError as exc:
@@ -343,12 +408,222 @@ class JobServer:
                 pass
             writer.close()
 
+    # -- live observability plane --------------------------------------------
+
+    def _render_metrics(self) -> bytes:
+        """One Prometheus scrape: the Telemetry registry plus live gauges
+        computed at scrape time (job states, queue depth, utilization)."""
+        stats = self.scheduler.stats()
+        extra: list[tuple[str, Optional[dict[str, str]], Any, str]] = []
+        for state in sorted(stats["jobs"]):
+            extra.append(("service.jobs", {"state": state}, stats["jobs"][state], "gauge"))
+        extra.append(("service.queue_depth", None, stats["queue_depth"], "gauge"))
+        extra.append(("service.running_slices", None, stats["running_slices"], "gauge"))
+        extra.append(("service.workers", None, stats["workers"], "gauge"))
+        extra.append(("service.pool_utilization", None, stats["pool_utilization"], "gauge"))
+        extra.append(("service.draining", None, 1 if self._draining else 0, "gauge"))
+        extra.append(
+            ("service.result_cache_entries", None, stats["result_cache"]["entries"], "gauge")
+        )
+        extra.append(
+            ("service.uptime_seconds", None, round(time.monotonic() - self._started_at, 3), "gauge")
+        )
+        if self.events is not None:
+            ev = self.events.stats()
+            extra.append(("service.events_published", None, ev["published"], "counter"))
+            extra.append(
+                (
+                    "service.events_dropped",
+                    None,
+                    ev["ring_dropped"] + ev["subscriber_dropped"],
+                    "counter",
+                )
+            )
+            extra.append(("service.event_subscribers", None, ev["subscribers"], "gauge"))
+        body = render_prometheus(self.telemetry, extra).encode("utf-8")
+        head = (
+            f"HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {PROM_CONTENT_TYPE}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        return head + body
+
+    async def _handle_stream(self, request: Request, writer: asyncio.StreamWriter) -> int:
+        """One SSE subscriber, connect to eviction/drain/terminal event.
+
+        Protocol: a ``hello`` frame (stream metadata + resume horizon),
+        then replay for ``Last-Event-ID`` resumes, then live events with
+        ``id:`` set to the bus ``seq``; ``:`` comment heartbeats cover
+        silence.  Slow consumers get bounded buffering + drop notices and
+        are evicted when ``sse_evict_drops`` accumulates or one write
+        stalls ``sse_write_timeout``.  Job-scoped streams end cleanly
+        after that job's terminal event."""
+        if self.events is None:
+            writer.write(render_response(503, {"error": "event streaming is disabled"}))
+            return 503
+        if self._draining:
+            writer.write(render_response(503, {"error": "server is draining"}))
+            return 503
+        job_filter = _stream_job_id(request.path) or None
+        record = None
+        if job_filter is not None:
+            record = self.journal.get(job_filter)
+            if record is None:
+                writer.write(render_response(404, {"error": f"no such job {job_filter!r}"}))
+                return 404
+        last_seq: Optional[int] = None
+        raw = request.headers.get("last-event-id")
+        if raw is None:
+            raw = request.query_params().get("last_event_id")
+        if raw:
+            try:
+                last_seq = max(0, int(raw))
+            except ValueError:
+                writer.write(render_response(400, {"error": f"bad Last-Event-ID {raw!r}"}))
+                return 400
+        if self.telemetry is not None:
+            self.telemetry.count("service.sse_connections")
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+
+        def _wakeup() -> None:
+            # Publishers run on executor threads too; hop to the loop.
+            try:
+                loop.call_soon_threadsafe(wake.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+
+        sub = self.events.subscribe(max_pending=self.config.sse_max_pending, wakeup=_wakeup)
+        task = asyncio.current_task()
+        if task is not None:
+            self._stream_tasks.add(task)
+        self._stream_wakes.add(wake)
+        watermark = last_seq if last_seq is not None else 0
+        total_drops = 0
+        status = 200
+        try:
+            hello: dict[str, Any] = {
+                "schema": EVENT_SCHEMA,
+                "v": EVENT_VERSION,
+                "last_seq": self.events.last_seq(),
+                "job_id": job_filter,
+            }
+            if record is not None:
+                hello["state"] = record.state
+            writer.write(render_stream_head())
+            writer.write(
+                render_sse_event(json.dumps(hello, sort_keys=True), event="hello")
+            )
+            terminal_sent = False
+            if record is not None and not record.active():
+                # Already terminal: the hello carries the state; there is
+                # no live event to wait for (and synthesizing one here
+                # would duplicate terminal events across reconnects).
+                await writer.drain()
+                return 200
+            if last_seq is not None:
+                replayed, lost = self.events.replay_since(last_seq)
+                if lost:
+                    total_drops += lost
+                    writer.write(_dropped_frame(lost, "ring"))
+                for event in replayed:
+                    if _stream_wants(event, job_filter):
+                        writer.write(
+                            render_sse_event(
+                                json.dumps(event, sort_keys=True),
+                                event=event["type"],
+                                event_id=event["seq"],
+                            )
+                        )
+                        if job_filter is not None and EventBus.is_terminal(event["type"]):
+                            terminal_sent = True
+                    watermark = max(watermark, event["seq"])
+            while True:
+                try:
+                    await asyncio.wait_for(writer.drain(), timeout=self.config.sse_write_timeout)
+                except asyncio.TimeoutError:
+                    if self.telemetry is not None:
+                        self.telemetry.count("service.sse_evicted")
+                    return status
+                if terminal_sent or self._draining or total_drops >= self.config.sse_evict_drops:
+                    break
+                try:
+                    await asyncio.wait_for(wake.wait(), timeout=self.config.sse_heartbeat)
+                except asyncio.TimeoutError:
+                    writer.write(render_sse_comment(f"hb seq={self.events.last_seq()}"))
+                    continue
+                wake.clear()
+                batch, dropped = sub.pop()
+                if dropped:
+                    total_drops += dropped
+                    if self.telemetry is not None:
+                        self.telemetry.count("service.events_dropped", dropped)
+                    writer.write(_dropped_frame(dropped, "subscriber"))
+                for event in batch:
+                    if event["seq"] <= watermark:
+                        continue  # already sent during replay
+                    watermark = event["seq"]
+                    if not _stream_wants(event, job_filter):
+                        continue
+                    writer.write(
+                        render_sse_event(
+                            json.dumps(event, sort_keys=True),
+                            event=event["type"],
+                            event_id=event["seq"],
+                        )
+                    )
+                    if job_filter is not None and EventBus.is_terminal(event["type"]):
+                        terminal_sent = True
+            if self._draining:
+                writer.write(render_sse_comment("server draining; stream closing"))
+            elif total_drops >= self.config.sse_evict_drops:
+                if self.telemetry is not None:
+                    self.telemetry.count("service.sse_evicted")
+                writer.write(
+                    render_sse_comment(f"evicted: {total_drops} events dropped")
+                )
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            return status
+        except (ConnectionResetError, BrokenPipeError):
+            return status
+        finally:
+            sub.close()
+            self._stream_wakes.discard(wake)
+            if task is not None:
+                self._stream_tasks.discard(task)
+
     def _route(self, request: Request) -> tuple[int, Any, Optional[dict[str, str]]]:
         method, path = request.method, request.path
         if path == "/healthz" and method == "GET":
-            return 200, {"status": "ok", "draining": self._draining}, None
+            pool = {
+                "workers": self.config.search_workers,
+                "started": self.scheduler._search_pool is not None,
+                "failed": self.scheduler._search_pool_failed,
+            }
+            if self._draining:
+                health = "draining"
+            elif pool["failed"]:
+                # Still alive (liveness stays 200) but degraded: pooled
+                # search broke and slices fell back to sequential.
+                health = "degraded"
+            else:
+                health = "ok"
+            return 200, {"status": health, "draining": self._draining, "search_pool": pool}, None
+        if path == "/readyz" and method == "GET":
+            ready = self._ready and not self._draining
+            body = {
+                "ready": ready,
+                "recovered": self._ready or self._draining,
+                "draining": self._draining,
+            }
+            return (200 if ready else 503), body, None
         if path == "/stats" and method == "GET":
             stats = self.scheduler.stats()
+            stats["uptime_seconds"] = round(time.monotonic() - self._started_at, 3)
             if self.telemetry is not None:
                 stats["counters"] = dict(self.telemetry.to_dict().get("counters", {}))
             return 200, stats, None
@@ -374,9 +649,41 @@ class JobServer:
                 status, body = self.scheduler.cancel(job_id)
                 return status, body, None
             raise HttpError(405, f"{method} not supported on {path}")
-        if path in ("/jobs", "/healthz", "/stats"):
+        if path in ("/jobs", "/healthz", "/readyz", "/stats", "/metrics", "/events"):
             raise HttpError(405, f"{method} not supported on {path}")
         raise HttpError(404, f"no such endpoint {path!r}")
+
+
+def _stream_job_id(path: str) -> Optional[str]:
+    """``""`` for the firehose (``/events``), the job id for a job-scoped
+    stream (``/jobs/{id}/events``), ``None`` for any other path."""
+    if path == "/events":
+        return ""
+    if path.startswith("/jobs/") and path.endswith("/events"):
+        job_id = path[len("/jobs/") : -len("/events")]
+        if job_id and "/" not in job_id:
+            return job_id
+    return None
+
+
+def _stream_wants(event: dict[str, Any], job_filter: Optional[str]) -> bool:
+    """Job-scoped streams get that job's events plus the global lifecycle
+    ones (``job_id`` None: drain/recovery affect every watcher)."""
+    if job_filter is None:
+        return True
+    return event.get("job_id") in (None, job_filter)
+
+
+def _dropped_frame(count: int, where: str) -> bytes:
+    """A synthesized (not bus-sequenced) drop notice for one client."""
+    payload = {
+        "schema": EVENT_SCHEMA,
+        "v": EVENT_VERSION,
+        "type": "events_dropped",
+        "count": count,
+        "where": where,
+    }
+    return render_sse_event(json.dumps(payload, sort_keys=True), event="events_dropped")
 
 
 def _force_exit(signum, frame):  # pragma: no cover - exits the process

@@ -1,0 +1,497 @@
+"""``repro top`` — a live terminal dashboard for the job service.
+
+A deliberately small, curses-free ANSI renderer over the observability
+plane this service exposes:
+
+* ``GET /events`` (Server-Sent Events) pushes every job state
+  transition, slice boundary, progress tick, and pool event — the
+  dashboard never polls for job state;
+* ``GET /metrics`` (Prometheus text format) and ``GET /stats`` (JSON)
+  are sampled once per refresh for the counter/gauge panel;
+* ``GET /jobs`` seeds the job table once at startup (jobs submitted
+  before the stream was opened would otherwise be invisible until
+  their next event).
+
+Everything is stdlib: :mod:`http.client` for the SSE stream (the
+response has no ``Content-Length`` — read until close, exactly the
+framing the server promises), :mod:`urllib.request` for snapshots, and
+raw ANSI escapes for the paint.  The layers are split so tests can
+drive them without a server or a TTY:
+
+* :func:`iter_sse` — bytes-in, events-out SSE parser;
+* :class:`TopModel` — pure state machine fed by ``apply_event`` /
+  ``apply_stats`` / ``apply_metrics``;
+* :func:`render` — ``TopModel`` → ANSI string, no I/O;
+* :func:`run_top` — the loop that wires them to a live server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.obs.promexp import parse_prometheus_text, sanitize_metric_name
+
+__all__ = [
+    "TopModel",
+    "iter_sse",
+    "parse_sse_frame",
+    "render",
+    "run_top",
+]
+
+CLEAR = "\x1b[2J\x1b[H"
+BOLD = "\x1b[1m"
+DIM = "\x1b[2m"
+RESET = "\x1b[0m"
+
+STATE_ORDER = {"running": 0, "preempted": 1, "submitted": 2, "done": 3, "failed": 4, "cancelled": 5}
+
+# Event types that change a job's journaled state (data may carry more).
+_STATE_FOR_TYPE = {
+    "job_submitted": "submitted",
+    "job_running": "running",
+    "job_preempted": "preempted",
+    "job_done": "done",
+    "job_failed": "failed",
+    "job_cancelled": "cancelled",
+}
+
+
+# -- SSE client parsing -------------------------------------------------------
+
+
+def parse_sse_frame(lines: Iterable[str]) -> dict[str, Any]:
+    """One frame's field lines → ``{"id", "event", "data", "comment"}``.
+
+    Multiple ``data:`` lines rejoin with ``\\n`` per the SSE spec;
+    comment lines (leading ``:``) are collected so heartbeats are
+    observable by tests.
+    """
+    frame: dict[str, Any] = {"id": None, "event": None, "data": "", "comment": None}
+    data_parts: list[str] = []
+    comments: list[str] = []
+    for line in lines:
+        if line.startswith(":"):
+            comments.append(line[1:].lstrip())
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            continue
+        value = value.lstrip()
+        if name == "data":
+            data_parts.append(value)
+        elif name == "id":
+            frame["id"] = value
+        elif name == "event":
+            frame["event"] = value
+    frame["data"] = "\n".join(data_parts)
+    if comments:
+        frame["comment"] = " ".join(comments)
+    return frame
+
+
+def iter_sse(stream: Any) -> Iterator[dict[str, Any]]:
+    """Parse SSE frames from a binary file-like object (``readline``).
+
+    Yields one dict per frame (including pure-comment heartbeat frames,
+    with ``data == ""``); stops cleanly at EOF, which for this server's
+    connection-close-delimited streams means "stream over".
+    """
+    pending: list[str] = []
+    while True:
+        raw = stream.readline()
+        if not raw:
+            break
+        line = raw.decode("utf-8", "replace").rstrip("\r\n")
+        if line == "":
+            if pending:
+                yield parse_sse_frame(pending)
+                pending = []
+            continue
+        pending.append(line)
+    if pending:
+        yield parse_sse_frame(pending)
+
+
+# -- The dashboard model ------------------------------------------------------
+
+
+class TopModel:
+    """Pure dashboard state: jobs, rates, pool — no I/O, no clock reads.
+
+    Callers pass ``now`` explicitly (monotonic seconds) so tests are
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.jobs: dict[str, dict[str, Any]] = {}
+        self.last_seq = 0
+        self.events_seen = 0
+        self.dropped = 0
+        self.heartbeats = 0
+        self.connected = False
+        self.draining = False
+        self.server_note = ""
+        self.stats: dict[str, Any] = {}
+        self.metrics: dict[str, float] = {}
+        self.steals = 0
+        self.pool_workers = 0
+        self.pool_respawns = 0
+        # Instance-rate tracking: (now, instances_done) samples per job.
+        self._rate_samples: dict[str, tuple[float, float]] = {}
+        self.rates: dict[str, float] = {}
+
+    # -- feed ------------------------------------------------------------
+
+    def seed_jobs(self, jobs: Iterable[dict[str, Any]]) -> None:
+        """Seed the table from ``GET /jobs`` (pre-stream submissions)."""
+        for record in jobs:
+            job_id = record.get("id")
+            if not isinstance(job_id, str):
+                continue
+            row = self.jobs.setdefault(job_id, {})
+            row.setdefault("state", record.get("state", "?"))
+            row.setdefault("tenant", record.get("tenant", "?"))
+            row["slices"] = record.get("slices", row.get("slices", 0))
+            if record.get("result"):
+                row["verdict"] = record["result"].get("verdict")
+
+    def apply_event(self, event: dict[str, Any], now: float) -> None:
+        """Fold one bus event (already JSON-decoded) into the model."""
+        etype = event.get("type")
+        seq = event.get("seq")
+        if isinstance(seq, int) and seq > self.last_seq:
+            self.last_seq = seq
+        self.events_seen += 1
+        data = event.get("data") or {}
+        job_id = event.get("job_id")
+        if etype == "events_dropped":
+            # Synthesized per-client notice: count rides at the top level.
+            self.dropped += int(event.get("count", data.get("count", 0)))
+            return
+        if etype in ("server_started", "server_recovered"):
+            self.connected = True
+            self.server_note = f"{etype} port={data.get('port', '?')}"
+            return
+        if etype == "server_draining":
+            self.draining = True
+            return
+        if etype == "pool_started":
+            self.pool_workers = int(data.get("workers", 0))
+            return
+        if etype == "pool_worker_respawned":
+            self.pool_respawns += 1
+            return
+        if etype == "pool_closed":
+            self.pool_workers = 0
+            return
+        if etype == "shard_stolen":
+            steals = data.get("steals")
+            if isinstance(steals, int):
+                self.steals = max(self.steals, steals)
+            else:
+                self.steals += 1
+            return
+        if job_id is None:
+            return
+        row = self.jobs.setdefault(job_id, {"state": "?", "tenant": "?"})
+        if etype in _STATE_FOR_TYPE:
+            row["state"] = _STATE_FOR_TYPE[etype]
+        if etype == "job_submitted":
+            row["tenant"] = data.get("tenant", row.get("tenant", "?"))
+        elif etype == "slice_started":
+            row["slices"] = data.get("slice", row.get("slices", 0))
+        elif etype == "slice_finished":
+            row["last_slice"] = data.get("kind")
+        elif etype in ("job_progress", "search_progress"):
+            done = data.get("done")
+            if isinstance(done, (int, float)):
+                row["done"] = done
+                prev = self._rate_samples.get(job_id)
+                if prev is not None and now > prev[0] and done >= prev[1]:
+                    self.rates[job_id] = (done - prev[1]) / (now - prev[0])
+                self._rate_samples[job_id] = (now, float(done))
+            if data.get("eta_seconds") is not None:
+                row["eta"] = data["eta_seconds"]
+            if data.get("pct") is not None:
+                row["pct"] = data["pct"]
+            if data.get("cache_hit_pct") is not None:
+                row["cache_hit_pct"] = data["cache_hit_pct"]
+        elif etype == "job_done":
+            row["verdict"] = data.get("verdict")
+        elif etype == "job_failed":
+            row["verdict"] = data.get("reason", "failed")
+
+    def apply_stats(self, stats: dict[str, Any]) -> None:
+        self.stats = stats
+
+    def apply_metrics(self, families: dict[str, dict[str, Any]]) -> None:
+        """Fold a parsed ``/metrics`` body (see ``parse_prometheus_text``)
+        down to the flat name→value samples the renderer shows."""
+        flat: dict[str, float] = {}
+        for family in families.values():
+            for sample_key, value in family.get("samples", {}).items():
+                flat[sample_key] = value
+        self.metrics = flat
+
+
+# -- Rendering ----------------------------------------------------------------
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1000:
+        return f"{value / 1000:.1f}k/s"
+    return f"{value:.1f}/s"
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render(model: TopModel, width: int = 100, color: bool = True) -> str:
+    """Paint the model as one full-screen ANSI frame (a plain string).
+
+    ``color=False`` drops the escape codes (``--once`` mode, tests,
+    piped output).
+    """
+    bold = BOLD if color else ""
+    dim = DIM if color else ""
+    reset = RESET if color else ""
+    lines: list[str] = []
+    state = "DRAINING" if model.draining else ("LIVE" if model.connected else "CONNECTING")
+    stats = model.stats
+    lines.append(
+        f"{bold}repro top{reset}  [{state}]  "
+        f"seq={model.last_seq} events={model.events_seen} "
+        f"dropped={model.dropped} heartbeats={model.heartbeats}"
+    )
+    if model.server_note:
+        lines.append(f"{dim}{model.server_note}{reset}")
+    if stats:
+        pool = stats.get("search_pool") or {}
+        lines.append(
+            "queue_depth={qd} running_slices={rs} workers={w} "
+            "pool_util={pu} pool_workers={pw} respawns={pr} steals={st}".format(
+                qd=stats.get("queue_depth", "?"),
+                rs=stats.get("running_slices", "?"),
+                w=stats.get("workers", "?"),
+                pu=stats.get("pool_utilization", "?"),
+                pw=pool.get("workers", model.pool_workers),
+                pr=model.pool_respawns,
+                st=model.steals,
+            )
+        )
+        cache = stats.get("result_cache") or {}
+        lines.append(
+            "result_cache entries={e} hits={h} misses={m}  uptime={u}s".format(
+                e=cache.get("entries", "?"),
+                h=cache.get("hits", "?"),
+                m=cache.get("misses", "?"),
+                u=stats.get("uptime_seconds", "?"),
+            )
+        )
+    if model.metrics:
+        interesting = [
+            ("service.completed", "completed"),
+            ("service.failed", "failed"),
+            ("service.preemptions", "preempted"),
+            ("service.events_published", "events"),
+            ("service.events_dropped", "ev_dropped"),
+            ("service.sse_connections", "sse_conns"),
+        ]
+        parts = []
+        for raw, label in interesting:
+            name = sanitize_metric_name(raw)
+            for suffix in ("_total", ""):
+                value = model.metrics.get(name + suffix)
+                if value is not None:
+                    parts.append(f"{label}={value:g}")
+                    break
+        if parts:
+            lines.append(f"{dim}metrics:{reset} " + " ".join(parts))
+    lines.append("")
+    header = f"{'JOB':<14} {'STATE':<10} {'TENANT':<10} {'SLICES':>6} {'DONE':>9} {'RATE':>9} {'PCT':>5} {'ETA':>7} VERDICT"
+    lines.append(bold + header[:width] + reset)
+    rows = sorted(
+        model.jobs.items(),
+        key=lambda kv: (STATE_ORDER.get(kv[1].get("state", "?"), 9), kv[0]),
+    )
+    for job_id, row in rows[:30]:
+        pct = row.get("pct")
+        line = (
+            f"{job_id[:14]:<14} {row.get('state', '?'):<10} "
+            f"{str(row.get('tenant', '?'))[:10]:<10} "
+            f"{row.get('slices', 0):>6} "
+            f"{row.get('done', '-')!s:>9} "
+            f"{_fmt_rate(model.rates.get(job_id)):>9} "
+            f"{(f'{pct:.0f}%' if pct is not None else '-'):>5} "
+            f"{_fmt_eta(row.get('eta')):>7} "
+            f"{row.get('verdict', '')}"
+        )
+        lines.append(line[:width])
+    if len(rows) > 30:
+        lines.append(f"{dim}... {len(rows) - 30} more job(s){reset}")
+    if not rows:
+        lines.append(f"{dim}(no jobs yet — POST /jobs to submit){reset}")
+    return "\n".join(lines) + "\n"
+
+
+# -- The live loop ------------------------------------------------------------
+
+
+def _fetch_json(base_url: str, path: str, timeout: float = 2.0) -> Optional[dict[str, Any]]:
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except (OSError, ValueError, urllib.error.URLError):
+        return None
+
+
+def _fetch_metrics(base_url: str, timeout: float = 2.0) -> Optional[dict[str, Any]]:
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(base_url + "/metrics", timeout=timeout) as resp:
+            return parse_prometheus_text(resp.read().decode("utf-8"))
+    except (OSError, ValueError, urllib.error.URLError):
+        return None
+
+
+def _open_stream(base_url: str, last_event_id: int = 0, timeout: float = 10.0):
+    """Open ``GET /events`` and return ``(connection, response)``.
+
+    ``http.client`` rather than urllib because the response deliberately
+    has no ``Content-Length``: we stream ``readline`` until close.
+    """
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(base_url)
+    conn = http.client.HTTPConnection(parts.hostname or "127.0.0.1", parts.port or 80, timeout=timeout)
+    headers = {"Accept": "text/event-stream"}
+    if last_event_id:
+        headers["Last-Event-ID"] = str(last_event_id)
+    conn.request("GET", "/events", headers=headers)
+    resp = conn.getresponse()
+    if resp.status != 200:
+        body = resp.read(512)
+        conn.close()
+        raise ConnectionError(f"GET /events -> {resp.status}: {body[:200]!r}")
+    return conn, resp
+
+
+def run_top(
+    url: str,
+    interval: float = 1.0,
+    duration: Optional[float] = None,
+    once: bool = False,
+    out: Any = None,
+) -> int:
+    """The ``repro top`` loop.
+
+    ``once`` paints a single colorless frame from snapshots + whatever
+    events arrive within one interval, then exits (scripting / tests).
+    ``duration`` bounds total wall-clock (None = until Ctrl-C or the
+    server drains).  Returns an exit code.
+    """
+    import sys
+
+    out = out if out is not None else sys.stdout
+    base_url = url.rstrip("/")
+    model = TopModel()
+    seeded = _fetch_json(base_url, "/jobs")
+    if seeded and isinstance(seeded.get("jobs"), list):
+        model.seed_jobs(seeded["jobs"])
+    stats = _fetch_json(base_url, "/stats")
+    if stats:
+        model.apply_stats(stats)
+    metrics = _fetch_metrics(base_url)
+    if metrics:
+        model.apply_metrics(metrics)
+
+    deadline = (time.monotonic() + duration) if duration is not None else None
+    try:
+        conn, resp = _open_stream(base_url, model.last_seq)
+    except (OSError, ConnectionError) as exc:
+        print(f"repro top: cannot stream from {base_url}: {exc}", file=sys.stderr)
+        if once:
+            out.write(render(model, color=False))
+            return 0
+        return 1
+    model.connected = True
+
+    next_paint = time.monotonic() + (interval if once else 0.0)
+    code = 0
+    try:
+        # The SSE read and the paint share one thread: the server's
+        # heartbeat (every few seconds) bounds how long readline blocks,
+        # so the paint cadence is min(interval, heartbeat).
+        frames = iter_sse(resp)
+        while True:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                break
+            try:
+                frame = next(frames)
+            except StopIteration:
+                model.connected = False
+                break
+            except OSError:
+                model.connected = False
+                break
+            now = time.monotonic()
+            if frame["data"]:
+                try:
+                    event = json.loads(frame["data"])
+                except ValueError:
+                    event = None
+                if isinstance(event, dict):
+                    if frame.get("event") == "hello":
+                        seq = event.get("last_seq")
+                        if isinstance(seq, int) and seq > model.last_seq:
+                            model.last_seq = seq
+                    else:
+                        model.apply_event(event, now)
+            elif frame.get("comment"):
+                model.heartbeats += 1
+            if now >= next_paint:
+                stats = _fetch_json(base_url, "/stats", timeout=1.0)
+                if stats:
+                    model.apply_stats(stats)
+                metrics = _fetch_metrics(base_url, timeout=1.0)
+                if metrics:
+                    model.apply_metrics(metrics)
+                if once:
+                    out.write(render(model, color=False))
+                    return 0
+                out.write(CLEAR + render(model))
+                out.flush()
+                next_paint = now + interval
+            if model.draining:
+                break
+    except KeyboardInterrupt:
+        code = 0
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    # Final frame so the exit state (drained / disconnected) is visible.
+    out.write((CLEAR if not once else "") + render(model, color=not once))
+    out.flush()
+    return code

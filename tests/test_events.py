@@ -1,0 +1,189 @@
+"""The in-process event bus: bounded rings, drop accounting, replay,
+schema validation, and thread-safety under concurrent publishers.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    EVENT_VERSION,
+    EventBus,
+    validate_event,
+)
+
+
+def make_bus(capacity=8):
+    # Deterministic clock so event ts never depends on wall time.
+    ticks = iter(range(1, 100_000))
+    return EventBus(capacity=capacity, clock=lambda: float(next(ticks)))
+
+
+class TestPublish:
+    def test_event_shape_and_monotone_seq(self):
+        bus = make_bus()
+        first = bus.publish("job_submitted", job_id="j1", tenant="t")
+        second = bus.publish("job_running", job_id="j1")
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert first["schema"] == EVENT_SCHEMA and first["v"] == EVENT_VERSION
+        assert first["type"] == "job_submitted"
+        assert first["job_id"] == "j1" and first["run_id"] is None
+        assert first["data"] == {"tenant": "t"}
+        validate_event(first)
+        validate_event(second)
+        # Events must be JSON-serializable as published.
+        json.dumps(first)
+
+    def test_unknown_type_rejected(self):
+        bus = make_bus()
+        with pytest.raises(ValueError, match="unknown event type"):
+            bus.publish("job_exploded")
+        assert bus.last_seq() == 0
+
+    def test_terminal_classification(self):
+        assert EventBus.is_terminal("job_done")
+        assert EventBus.is_terminal("job_failed")
+        assert EventBus.is_terminal("job_cancelled")
+        assert not EventBus.is_terminal("job_running")
+        assert set(EventBus.terminal_types()) <= EVENT_TYPES
+
+
+class TestValidate:
+    def test_rejects_malformed(self):
+        bus = make_bus()
+        good = bus.publish("job_done", job_id="j1", verdict="typechecks")
+        for mutate in (
+            {"schema": "nope"},
+            {"v": 99},
+            {"seq": "one"},
+            {"type": "job_exploded"},
+            {"ts": None},
+            {"job_id": {"x": 1}},
+            {"data": "not-a-dict"},
+        ):
+            bad = dict(good, **mutate)
+            with pytest.raises(ValueError):
+                validate_event(bad)
+        with pytest.raises(ValueError):
+            validate_event("not a dict")
+
+
+class TestRingReplay:
+    def test_replay_since_returns_tail(self):
+        bus = make_bus(capacity=16)
+        for i in range(5):
+            bus.publish("job_progress", job_id="j1", done=i)
+        events, lost = bus.replay_since(2)
+        assert [e["seq"] for e in events] == [3, 4, 5]
+        assert lost == 0
+
+    def test_ring_overflow_counts_lost_events(self):
+        bus = make_bus(capacity=4)
+        for i in range(10):
+            bus.publish("job_progress", job_id="j1", done=i)
+        # Ring holds seqs 7..10; resuming from 2 lost seqs 3..6.
+        events, lost = bus.replay_since(2)
+        assert [e["seq"] for e in events] == [7, 8, 9, 10]
+        assert lost == 4
+        assert bus.stats()["ring_dropped"] == 6
+
+    def test_replay_from_future_is_empty(self):
+        bus = make_bus()
+        bus.publish("server_started", port=1)
+        events, lost = bus.replay_since(99)
+        assert events == [] and lost == 0
+
+
+class TestSubscription:
+    def test_pop_drains_and_reports_drops(self):
+        bus = make_bus()
+        sub = bus.subscribe(max_pending=3)
+        for i in range(7):
+            bus.publish("job_progress", job_id="j1", done=i)
+        events, dropped = sub.pop()
+        # Oldest events were dropped; the 3 newest survive.
+        assert [e["data"]["done"] for e in events] == [4, 5, 6]
+        assert dropped == 4
+        assert sub.dropped_total == 4
+        # Drop count resets between pops.
+        events, dropped = sub.pop()
+        assert events == [] and dropped == 0
+        assert bus.stats()["subscriber_dropped"] == 4
+        sub.close()
+        assert bus.stats()["subscribers"] == 0
+
+    def test_wakeup_fires_on_empty_to_nonempty_edge(self):
+        bus = make_bus()
+        wakes = []
+        sub = bus.subscribe(max_pending=10, wakeup=lambda: wakes.append(1))
+        bus.publish("job_running", job_id="j1")
+        bus.publish("job_progress", job_id="j1")  # queue non-empty: no wake
+        assert len(wakes) == 1
+        sub.pop()
+        bus.publish("job_done", job_id="j1")
+        assert len(wakes) == 2
+
+    def test_wakeup_exception_does_not_poison_publishers(self):
+        bus = make_bus()
+
+        def bad_wakeup():
+            raise RuntimeError("subscriber died")
+
+        bus.subscribe(max_pending=4, wakeup=bad_wakeup)
+        event = bus.publish("server_started", port=1)
+        assert event["seq"] == 1
+
+    def test_closed_subscriber_receives_nothing(self):
+        bus = make_bus()
+        sub = bus.subscribe()
+        sub.close()
+        bus.publish("server_started", port=1)
+        events, dropped = sub.pop()
+        assert events == [] and dropped == 0
+
+
+class TestConcurrency:
+    def test_concurrent_publishers_keep_seq_dense(self):
+        bus = EventBus(capacity=4096)
+        per_thread = 200
+
+        def blast():
+            for i in range(per_thread):
+                bus.publish("job_progress", job_id="jx", done=i)
+
+        threads = [threading.Thread(target=blast) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = 4 * per_thread
+        assert bus.last_seq() == total
+        assert bus.stats()["published"] == total
+        events, lost = bus.replay_since(0)
+        assert lost == 0
+        assert [e["seq"] for e in events] == list(range(1, total + 1))
+
+    def test_concurrent_publish_with_popping_subscriber(self):
+        bus = EventBus(capacity=4096)
+        sub = bus.subscribe(max_pending=4096)
+        stop = threading.Event()
+        received = []
+
+        def consume():
+            while not stop.is_set():
+                events, _ = sub.pop()
+                received.extend(events)
+            events, _ = sub.pop()
+            received.extend(events)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for i in range(500):
+            bus.publish("job_progress", job_id="jy", done=i)
+        stop.set()
+        consumer.join()
+        assert sub.dropped_total == 0
+        assert sorted(e["seq"] for e in received) == list(range(1, 501))

@@ -1,0 +1,148 @@
+"""Prometheus text exposition: golden output, spec conformance
+(histogram monotonicity, +Inf == _count), name sanitation, and the
+round-trip through the mini parser ``repro top`` uses.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import Telemetry, parse_prometheus_text, render_prometheus, sanitize_metric_name
+from repro.obs.promexp import CONTENT_TYPE, METRIC_NAME_RE
+from repro.obs.telemetry import BUCKET_BOUNDS
+
+
+class TestSanitize:
+    def test_dots_become_underscores_with_prefix(self):
+        assert sanitize_metric_name("service.cache_hits") == "repro_service_cache_hits"
+        assert sanitize_metric_name("a-b c.d") == "repro_a_b_c_d"
+
+    def test_no_prefix(self):
+        assert sanitize_metric_name("jobs", prefix="") == "jobs"
+
+    def test_always_legal(self):
+        for raw in ("9lives", "", "läbel", "x:y", "a.b.c"):
+            assert METRIC_NAME_RE.match(sanitize_metric_name(raw))
+
+
+class TestRenderGolden:
+    def test_counters_and_gauges_exact(self):
+        t = Telemetry()
+        t.count("service.completed", 3)
+        t.count("service.failed")
+        t.gauge_max("queue.depth", 7)
+        body = render_prometheus(t)
+        assert body == (
+            "# TYPE repro_service_completed_total counter\n"
+            "repro_service_completed_total 3\n"
+            "# TYPE repro_service_failed_total counter\n"
+            "repro_service_failed_total 1\n"
+            "# TYPE repro_queue_depth gauge\n"
+            "repro_queue_depth 7\n"
+        )
+
+    def test_extra_samples_with_labels_share_one_type_line(self):
+        body = render_prometheus(
+            extra=[
+                ("service.jobs", {"state": "done"}, 2, "gauge"),
+                ("service.jobs", {"state": "running"}, 1, "gauge"),
+                ("service.events_published", None, 9, "counter"),
+            ]
+        )
+        assert body == (
+            "# TYPE repro_service_jobs gauge\n"
+            'repro_service_jobs{state="done"} 2\n'
+            'repro_service_jobs{state="running"} 1\n'
+            "# TYPE repro_service_events_published_total counter\n"
+            "repro_service_events_published_total 9\n"
+        )
+
+    def test_label_values_escaped(self):
+        body = render_prometheus(extra=[("m", {"p": 'a"b\\c\nd'}, 1, "gauge")])
+        assert '\\"' in body and "\\\\" in body and "\\n" in body
+
+    def test_conflicting_extra_types_raise(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            render_prometheus(
+                extra=[
+                    ("m_total", None, 1, "counter"),
+                    ("m_total", None, 2, "gauge"),
+                ]
+            )
+
+    def test_bad_extra_type_raises(self):
+        with pytest.raises(ValueError, match="counter/gauge"):
+            render_prometheus(extra=[("m", None, 1, "histogram")])
+
+    def test_empty_scrape_is_single_newline(self):
+        assert render_prometheus() == "\n"
+
+    def test_content_type_is_prometheus_004(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestHistogramSpec:
+    def make_body(self):
+        t = Telemetry()
+        # One observation per regime: well below, mid, and above the
+        # largest bound (the overflow bucket).
+        t.observe("evaluate", 5e-7)  # 0.5us
+        t.observe("evaluate", 2e-3)  # 2ms
+        t.observe("evaluate", 5000.0)  # 5000s: overflow
+        return render_prometheus(t)
+
+    def test_histogram_is_cumulative_and_consistent(self):
+        body = self.make_body()
+        families = parse_prometheus_text(body)
+        fam = families["repro_evaluate_seconds"]
+        assert fam["type"] == "histogram"
+        buckets = [
+            (key, value)
+            for key, value in fam["samples"].items()
+            if "_bucket{" in key
+        ]
+        # Buckets appear in bound order and never decrease.
+        values = [value for _, value in buckets]
+        assert values == sorted(values)
+        assert len(buckets) == len(BUCKET_BOUNDS) + 1
+        inf_value = fam["samples"]['repro_evaluate_seconds_bucket{le="+Inf"}']
+        assert inf_value == fam["samples"]["repro_evaluate_seconds_count"] == 3
+        total = fam["samples"]["repro_evaluate_seconds_sum"]
+        assert total == pytest.approx(5e-7 + 2e-3 + 5000.0)
+
+    def test_le_labels_are_stable_strings(self):
+        body = self.make_body()
+        again = self.make_body()
+        assert body == again
+
+
+class TestParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text("this is not a sample line\n")
+
+    def test_parses_special_values(self):
+        families = parse_prometheus_text("m_inf +Inf\nm_ninf -Inf\nm_nan NaN\n")
+        assert families["m_inf"]["samples"]["m_inf"] == math.inf
+        assert families["m_ninf"]["samples"]["m_ninf"] == -math.inf
+        assert math.isnan(families["m_nan"]["samples"]["m_nan"])
+
+    def test_round_trip_full_registry(self):
+        t = Telemetry()
+        t.count("service.completed", 41)
+        t.gauge_max("pool.utilization", 0.5)
+        t.observe("label_tree", 12_345e-9)
+        body = render_prometheus(
+            t, extra=[("service.jobs", {"state": "done"}, 41, "gauge")]
+        )
+        families = parse_prometheus_text(body)
+        assert families["repro_service_completed_total"]["samples"][
+            "repro_service_completed_total"
+        ] == 41
+        assert families["repro_pool_utilization"]["samples"][
+            "repro_pool_utilization"
+        ] == 0.5
+        assert families["repro_service_jobs"]["samples"][
+            'repro_service_jobs{state="done"}'
+        ] == 41
+        assert families["repro_label_tree_seconds"]["type"] == "histogram"

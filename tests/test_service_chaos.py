@@ -272,3 +272,125 @@ def test_sigterm_drains_and_resumes_exactly(spawn, reference):
     revived = spawn()
     job = wait_terminal(revived.port, job_id)
     assert_matches_reference(job, reference)
+
+
+# ---------------------------------------------------------------------------
+# The observability plane under chaos: a stream cut off by SIGKILL and
+# re-opened against the restarted server must not duplicate terminal
+# events — the journal recovery replays finished jobs silently, so a
+# watcher that already saw "done" never sees it again.
+
+
+class EventStream:
+    """A blocking SSE client over ``http.client`` (the same transport
+    ``repro top`` uses); collects decoded bus events."""
+
+    def __init__(self, port, last_event_id=None, timeout=30):
+        import http.client
+
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+        headers = {"Accept": "text/event-stream"}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        self.conn.request("GET", "/events", headers=headers)
+        self.resp = self.conn.getresponse()
+        assert self.resp.status == 200, self.resp.status
+        from repro.service.top import iter_sse
+
+        self.frames = iter_sse(self.resp)
+        self.events = []
+
+    def read_until(self, pred, timeout=60):
+        deadline = time.monotonic() + timeout
+        for frame in self.frames:
+            if frame.get("event") == "hello":
+                continue
+            if frame["data"]:
+                event = json.loads(frame["data"])
+                self.events.append(event)
+                if pred(event):
+                    return event
+            if time.monotonic() > deadline:
+                break
+        raise AssertionError(f"stream ended before match; saw {self.events}")
+
+    def drain_to_eof(self):
+        """Consume what remains (after a server kill: until reset/EOF)."""
+        import http.client
+
+        try:
+            for frame in self.frames:
+                if frame["data"] and frame.get("event") != "hello":
+                    self.events.append(json.loads(frame["data"]))
+        except (OSError, http.client.HTTPException):
+            pass
+
+    def close(self):
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def _terminal_counts(*event_lists):
+    counts = {}
+    for events in event_lists:
+        for event in events:
+            if event.get("type") in ("job_done", "job_failed", "job_cancelled"):
+                key = (event.get("job_id"), event["type"])
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def test_sigkill_midstream_restarted_stream_resumes_without_duplicate_terminals(
+    spawn, reference
+):
+    server = spawn()
+    stream = EventStream(server.port)
+
+    # A quick job reaches its terminal event while the stream watches.
+    quick = dict(WORKLOAD, max_size=5, max_instances=5_000)
+    status, body, _ = http(server.port, "POST", "/jobs", quick)
+    assert status == 202
+    quick_id = body["id"]
+    done = stream.read_until(
+        lambda e: e.get("type") == "job_done" and e.get("job_id") == quick_id
+    )
+    assert done["data"]["verdict"]
+
+    # A long job is mid-flight when the server is SIGKILLed.
+    status, body, _ = http(server.port, "POST", "/jobs", WORKLOAD)
+    assert status == 202
+    long_id = body["id"]
+    stream.read_until(
+        lambda e: e.get("type") == "job_running" and e.get("job_id") == long_id
+    )
+    server.proc.kill()
+    server.proc.wait(timeout=10)
+    stream.drain_to_eof()  # abrupt close, no terminal for the long job
+    stream.close()
+    assert _terminal_counts(stream.events).get((long_id, "job_done")) is None
+
+    # Restart on the same journal; the re-opened stream sees recovery,
+    # then the long job's one and only terminal event — and never a
+    # replayed terminal for the job that finished before the kill.
+    revived = spawn()
+    # Resume from seq 0: the recovery events published before we could
+    # reconnect replay from the ring (the restarted bus starts fresh, so
+    # the old incarnation's seqs do not carry over).
+    resumed = EventStream(revived.port, last_event_id=0)
+    recovered = resumed.read_until(lambda e: e.get("type") == "server_recovered")
+    assert long_id in recovered["data"]["resumed"]
+    resumed.read_until(
+        lambda e: e.get("type") == "job_done" and e.get("job_id") == long_id,
+        timeout=120,
+    )
+    resumed.close()
+
+    counts = _terminal_counts(stream.events, resumed.events)
+    assert counts[(quick_id, "job_done")] == 1
+    assert counts[(long_id, "job_done")] == 1
+    assert set(counts) == {(quick_id, "job_done"), (long_id, "job_done")}
+
+    job = wait_terminal(revived.port, long_id)
+    assert_matches_reference(job, reference)

@@ -1,0 +1,195 @@
+"""The ``repro top`` dashboard: SSE parsing, the pure model, the ANSI
+renderer, and one end-to-end paint against a live server subprocess.
+"""
+
+import io
+import json
+import time
+from pathlib import Path
+
+from repro.service.top import TopModel, iter_sse, parse_sse_frame, render, run_top
+
+
+def feed(*events, now=1.0):
+    model = TopModel()
+    for i, event in enumerate(events):
+        model.apply_event(event, now + i)
+    return model
+
+
+def ev(etype, seq, job_id=None, **data):
+    return {
+        "schema": "repro.obs.event",
+        "v": 1,
+        "type": etype,
+        "ts": 0.0,
+        "seq": seq,
+        "job_id": job_id,
+        "run_id": None,
+        "data": data,
+    }
+
+
+class TestIterSse:
+    def test_frames_split_on_blank_lines(self):
+        stream = io.BytesIO(
+            b"id: 1\nevent: job_done\ndata: {}\n\n: hb seq=1\n\ndata: a\ndata: b\n\n"
+        )
+        frames = list(iter_sse(stream))
+        assert frames[0] == {"id": "1", "event": "job_done", "data": "{}", "comment": None}
+        assert frames[1]["comment"] == "hb seq=1" and frames[1]["data"] == ""
+        assert frames[2]["data"] == "a\nb"
+
+    def test_crlf_tolerated_and_trailing_frame_flushed(self):
+        stream = io.BytesIO(b"data: x\r\n\r\ndata: tail\n")
+        frames = list(iter_sse(stream))
+        assert [f["data"] for f in frames] == ["x", "tail"]
+
+    def test_unknown_fields_ignored(self):
+        frame = parse_sse_frame(["retry: 100", "data: ok", "bogus line"])
+        assert frame["data"] == "ok"
+
+
+class TestModel:
+    def test_job_lifecycle_folds_to_final_state(self):
+        model = feed(
+            ev("job_submitted", 1, "j1", tenant="acme"),
+            ev("job_running", 2, "j1"),
+            ev("slice_started", 3, "j1", slice=1),
+            ev("slice_finished", 4, "j1", kind="preempt"),
+            ev("job_preempted", 5, "j1"),
+            ev("job_running", 6, "j1"),
+            ev("job_done", 7, "j1", verdict="typechecks"),
+        )
+        row = model.jobs["j1"]
+        assert row["state"] == "done"
+        assert row["tenant"] == "acme"
+        assert row["verdict"] == "typechecks"
+        assert model.last_seq == 7
+        assert model.events_seen == 7
+
+    def test_progress_events_compute_rates(self):
+        model = TopModel()
+        model.apply_event(ev("job_progress", 1, "j1", done=100, pct=10.0, eta_seconds=9.0), 10.0)
+        model.apply_event(ev("job_progress", 2, "j1", done=400), 12.0)
+        assert model.rates["j1"] == 150.0
+        assert model.jobs["j1"]["done"] == 400
+        assert model.jobs["j1"]["pct"] == 10.0
+        assert model.jobs["j1"]["eta"] == 9.0
+
+    def test_pool_steals_and_drop_accounting(self):
+        model = feed(
+            ev("pool_started", 1, None, workers=3),
+            ev("shard_stolen", 2, "j1", steals=2),
+            ev("shard_stolen", 3, "j1", steals=5),
+            ev("pool_worker_respawned", 4, None, member=1),
+            ev("server_draining", 5, None),
+        )
+        assert model.pool_workers == 3
+        assert model.steals == 5
+        assert model.pool_respawns == 1
+        assert model.draining is True
+        # A synthesized per-client drop notice (no seq, top-level count).
+        model.apply_event(
+            {"type": "events_dropped", "count": 4, "where": "subscriber"}, 1.0
+        )
+        assert model.dropped == 4
+
+    def test_seed_jobs_does_not_override_live_state(self):
+        model = TopModel()
+        model.apply_event(ev("job_running", 3, "j1"), 1.0)
+        model.seed_jobs(
+            [
+                {"id": "j1", "state": "submitted", "tenant": "t", "slices": 2},
+                {"id": "j2", "state": "done", "tenant": "t", "result": {"verdict": "typechecks"}},
+            ]
+        )
+        assert model.jobs["j1"]["state"] == "running"  # live event wins
+        assert model.jobs["j2"]["state"] == "done"
+        assert model.jobs["j2"]["verdict"] == "typechecks"
+
+
+class TestRender:
+    def test_running_jobs_sort_first_and_fields_show(self):
+        model = feed(
+            ev("job_submitted", 1, "job-done", tenant="t"),
+            ev("job_done", 2, "job-done", verdict="typechecks"),
+            ev("job_submitted", 3, "job-live", tenant="t"),
+            ev("job_running", 4, "job-live"),
+        )
+        model.apply_stats(
+            {
+                "queue_depth": 0,
+                "running_slices": 1,
+                "workers": 2,
+                "pool_utilization": 0.5,
+                "result_cache": {"entries": 1, "hits": 0, "misses": 2},
+                "uptime_seconds": 1.5,
+            }
+        )
+        out = render(model, color=False)
+        assert "\x1b" not in out
+        lines = out.splitlines()
+        table = [l for l in lines if l.startswith("job-")]
+        assert table[0].startswith("job-live") and "running" in table[0]
+        assert table[1].startswith("job-done") and "typechecks" in table[1]
+        assert "queue_depth=0" in out and "pool_util=0.5" in out
+
+    def test_color_frames_use_ansi(self):
+        out = render(feed(), color=True)
+        assert "\x1b[1m" in out and "\x1b[0m" in out
+
+    def test_empty_model_renders_hint(self):
+        out = render(TopModel(), color=False)
+        assert "no jobs yet" in out
+
+    def test_wide_tables_truncate_to_width(self):
+        model = feed(
+            ev("job_submitted", 1, "j" * 40, tenant="t" * 40),
+        )
+        out = render(model, width=40, color=False)
+        rows = [l for l in out.splitlines() if l.startswith("jjj")]
+        assert rows and all(len(l) <= 40 for l in rows)
+
+
+class TestRunTopOffline:
+    def test_once_degrades_to_snapshot_when_server_down(self):
+        out = io.StringIO()
+        code = run_top("http://127.0.0.1:1", once=True, out=out)
+        assert code == 0
+        assert "repro top" in out.getvalue()
+
+    def test_streamless_live_mode_fails_fast(self):
+        out = io.StringIO()
+        code = run_top("http://127.0.0.1:1", once=False, out=out)
+        assert code == 1
+
+
+class TestRunTopLive:
+    def test_once_paints_a_live_job_table(self, tmp_path):
+        from tests.test_service import payload
+        from tests.test_service_chaos import ServerProc, http, wait_terminal
+
+        server = ServerProc(tmp_path / "data", "--sse-heartbeat", "0.1", tmp_path=tmp_path)
+        try:
+            status, body, _ = http(server.port, "POST", "/jobs", payload())
+            assert status == 202
+            job = wait_terminal(server.port, body["id"])
+            out = io.StringIO()
+            code = run_top(
+                f"http://127.0.0.1:{server.port}",
+                once=True,
+                interval=0.3,
+                duration=10.0,
+                out=out,
+            )
+            text = out.getvalue()
+            assert code == 0
+            assert body["id"] in text
+            assert "done" in text
+            # Long verdicts may truncate at the table width; match a prefix.
+            assert job["result"]["verdict"][:15] in text
+            assert "queue_depth=0" in text
+            assert "completed=1" in text  # the /metrics panel
+        finally:
+            server.kill()
